@@ -1,0 +1,145 @@
+// Command decompile runs the project's compile→decompile pipeline on a
+// mini-C source file, optionally applying DIRTY-style name recovery.
+//
+// Usage:
+//
+//	decompile [-annotate] [-ir] [-func NAME] [-types a,b,c] FILE
+//	decompile -snippet AEEK [-annotate] [-ir]
+//
+// With -snippet it operates on one of the embedded study snippets instead
+// of a file. -ir prints the intermediate representation instead of
+// pseudo-C; -annotate applies the corpus-trained recovery model (or the
+// paper-faithful overrides for snippets).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"decompstudy/internal/compile"
+	"decompstudy/internal/corpus"
+	"decompstudy/internal/csrc"
+	"decompstudy/internal/decomp"
+	"decompstudy/internal/namerec"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	annotate := flag.Bool("annotate", false, "apply name/type recovery to the decompiled output")
+	showIR := flag.Bool("ir", false, "print the intermediate representation instead of pseudo-C")
+	funcName := flag.String("func", "", "only process the named function")
+	typeList := flag.String("types", "", "comma-separated extra type names for the parser")
+	snippet := flag.String("snippet", "", "operate on an embedded study snippet (AEEK, BAPL, POSTORDER, TC)")
+	flag.Parse()
+
+	if *snippet != "" {
+		return runSnippet(*snippet, *annotate, *showIR)
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: decompile [flags] FILE  (or -snippet ID)")
+		return 2
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "decompile: %v\n", err)
+		return 1
+	}
+	var extra []string
+	if *typeList != "" {
+		extra = strings.Split(*typeList, ",")
+	}
+	file, err := csrc.Parse(string(src), extra)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "decompile: %v\n", err)
+		return 1
+	}
+	obj, err := compile.Compile(file)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "decompile: %v\n", err)
+		return 1
+	}
+
+	var annotator *namerec.Annotator
+	if *annotate {
+		training, err := corpus.TrainingFiles()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "decompile: %v\n", err)
+			return 1
+		}
+		model, err := namerec.TrainModel(training)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "decompile: %v\n", err)
+			return 1
+		}
+		annotator = &namerec.Annotator{Model: model}
+	}
+
+	for _, fn := range obj.Funcs {
+		if *funcName != "" && fn.Name != *funcName {
+			continue
+		}
+		if *showIR {
+			fmt.Println(fn.String())
+			continue
+		}
+		d, err := decomp.LiftFunc(fn)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "decompile: %s: %v\n", fn.Name, err)
+			return 1
+		}
+		if annotator != nil {
+			a, err := annotator.Annotate(d)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "decompile: %s: %v\n", fn.Name, err)
+				return 1
+			}
+			fmt.Println(a.Source())
+			continue
+		}
+		fmt.Println(d.Source())
+	}
+	return 0
+}
+
+func runSnippet(id string, annotate, showIR bool) int {
+	s, ok := corpus.SnippetByID(strings.ToUpper(id))
+	if !ok {
+		fmt.Fprintf(os.Stderr, "decompile: unknown snippet %q (want AEEK, BAPL, POSTORDER, TC)\n", id)
+		return 2
+	}
+	if showIR {
+		file, err := s.Parse()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "decompile: %v\n", err)
+			return 1
+		}
+		obj, err := compile.Compile(file)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "decompile: %v\n", err)
+			return 1
+		}
+		cf, ok := obj.Func0(s.FuncName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "decompile: %s missing %s\n", s.ID, s.FuncName)
+			return 1
+		}
+		fmt.Println(cf.String())
+		return 0
+	}
+	p, err := corpus.Prepare(s)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "decompile: %v\n", err)
+		return 1
+	}
+	if annotate {
+		fmt.Println(p.Dirty.Source())
+	} else {
+		fmt.Println(p.HexRays.Source())
+	}
+	return 0
+}

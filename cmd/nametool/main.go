@@ -1,0 +1,135 @@
+// Command nametool computes the paper's intrinsic similarity metrics for
+// name pairs or for an embedded study snippet's full renaming.
+//
+// Usage:
+//
+//	nametool pair CANDIDATE REFERENCE     # metrics for one name pair
+//	nametool snippet ID                   # full metric report for a snippet
+//	nametool nearest NAME [K]             # nearest embedding neighbors
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"decompstudy/internal/corpus"
+	"decompstudy/internal/embed"
+	"decompstudy/internal/metrics"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	if len(os.Args) < 2 {
+		usage()
+		return 2
+	}
+	model, err := trainModel()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nametool: %v\n", err)
+		return 1
+	}
+	switch os.Args[1] {
+	case "pair":
+		if len(os.Args) != 4 {
+			usage()
+			return 2
+		}
+		return pair(os.Args[2], os.Args[3], model)
+	case "snippet":
+		if len(os.Args) != 3 {
+			usage()
+			return 2
+		}
+		return snippet(os.Args[2], model)
+	case "nearest":
+		if len(os.Args) < 3 {
+			usage()
+			return 2
+		}
+		k := 8
+		if len(os.Args) > 3 {
+			if n, err := strconv.Atoi(os.Args[3]); err == nil {
+				k = n
+			}
+		}
+		return nearest(os.Args[2], k, model)
+	default:
+		usage()
+		return 2
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  nametool pair CANDIDATE REFERENCE
+  nametool snippet AEEK|BAPL|POSTORDER|TC
+  nametool nearest NAME [K]`)
+}
+
+func trainModel() (*embed.Model, error) {
+	ctxs, err := corpus.EmbeddingContexts()
+	if err != nil {
+		return nil, err
+	}
+	return embed.Train(ctxs, &embed.Config{Dim: 24})
+}
+
+func pair(cand, ref string, model *embed.Model) int {
+	fmt.Printf("candidate: %q   reference: %q\n\n", cand, ref)
+	fmt.Printf("  exact match:            %.0f\n", metrics.ExactMatch(cand, ref))
+	fmt.Printf("  Levenshtein distance:   %d\n", metrics.Levenshtein(cand, ref))
+	fmt.Printf("  normalized Levenshtein: %.4f\n", metrics.NormalizedLevenshtein(cand, ref))
+	fmt.Printf("  Jaccard (char bigrams): %.4f\n", metrics.JaccardNGrams(cand, ref, 2))
+	fmt.Printf("  token Jaccard:          %.4f\n", metrics.TokenJaccard(cand, ref))
+	bleu := metrics.BLEU(metrics.TokenizeNames(cand), metrics.TokenizeNames(ref), 4)
+	fmt.Printf("  BLEU (subtokens):       %.4f\n", bleu)
+	if v, err := metrics.VarCLR(cand, ref, model); err == nil {
+		fmt.Printf("  VarCLR (embedding):     %.4f\n", v)
+	}
+	if b, err := metrics.BERTScoreF1(metrics.TokenizeNames(cand), metrics.TokenizeNames(ref), model); err == nil {
+		fmt.Printf("  BERTScore F1:           %.4f\n", b)
+	}
+	return 0
+}
+
+func snippet(id string, model *embed.Model) int {
+	s, ok := corpus.SnippetByID(strings.ToUpper(id))
+	if !ok {
+		fmt.Fprintf(os.Stderr, "nametool: unknown snippet %q\n", id)
+		return 2
+	}
+	p, err := corpus.Prepare(s)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nametool: %v\n", err)
+		return 1
+	}
+	var pairs []metrics.Pair
+	fmt.Printf("%s (%s) renamings:\n", s.ID, s.FuncName)
+	for _, r := range p.Dirty.Renames {
+		fmt.Printf("  %-10s -> %-10s (orig type %-18s -> %s)\n", r.OrigName, r.NewName, r.OrigType, r.NewType)
+		pairs = append(pairs, metrics.Pair{Candidate: r.NewName, Reference: r.OrigName})
+	}
+	rep, err := metrics.Evaluate(pairs, p.Dirty.Source(), p.OrigSource, model)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nametool: %v\n", err)
+		return 1
+	}
+	fmt.Printf("\n  exact match:   %.3f\n  Levenshtein:   %.2f (mean)\n  Jaccard:       %.3f\n  BLEU:          %.3f\n  codeBLEU:      %.3f\n  BERTScore F1:  %.3f\n  VarCLR:        %.3f\n",
+		rep.ExactMatch, rep.Levenshtein, rep.Jaccard, rep.BLEU, rep.CodeBLEU, rep.BERTScoreF1, rep.VarCLR)
+	return 0
+}
+
+func nearest(name string, k int, model *embed.Model) int {
+	near, err := model.Nearest(name, k)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nametool: %v\n", err)
+		return 1
+	}
+	fmt.Printf("nearest subtokens to %q: %s\n", name, strings.Join(near, ", "))
+	return 0
+}

@@ -1,0 +1,99 @@
+// Command studysim runs the full study simulation and regenerates the
+// paper's tables and figures.
+//
+// Usage:
+//
+//	studysim [-seed N] [-artifact NAME] [-csv]
+//
+// With no flags it prints every table and figure in paper order using the
+// shipped seed. -artifact selects a single artifact (table1, table2,
+// table3, table4, fig1..fig8, intext, metrics); -csv dumps the anonymized
+// response dataset instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"decompstudy/internal/core"
+	"decompstudy/internal/experiments"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	seed := flag.Int64("seed", 0, "simulation seed (0 = shipped default)")
+	artifact := flag.String("artifact", "", "single artifact to render (table1..table4, fig1..fig8, intext, metrics, ablations, confound)")
+	csv := flag.Bool("csv", false, "dump the anonymized response dataset as CSV")
+	export := flag.String("export", "", "write the replication package (CSV + JSON) to this directory")
+	flag.Parse()
+
+	r, err := experiments.NewRunner(&core.Config{Seed: *seed})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "studysim: %v\n", err)
+		return 1
+	}
+	if *csv {
+		fmt.Print(r.Study.Dataset.CSV())
+		return 0
+	}
+	if *export != "" {
+		if err := r.Study.Dataset.WriteReplicationPackage(*export); err != nil {
+			fmt.Fprintf(os.Stderr, "studysim: %v\n", err)
+			return 1
+		}
+		fmt.Printf("replication package written to %s\n", *export)
+		return 0
+	}
+
+	var out string
+	switch strings.ToLower(*artifact) {
+	case "":
+		out, err = r.All()
+	case "table1":
+		out, err = r.TableI()
+	case "table2":
+		out, err = r.TableII()
+	case "table3":
+		out, err = r.TableIII()
+	case "table4":
+		out, err = r.TableIV()
+	case "fig1":
+		out, err = r.Figure1()
+	case "fig2":
+		out, err = r.Figure2()
+	case "fig3":
+		out, err = r.Figure3()
+	case "fig4":
+		out, err = r.Figure4()
+	case "fig5":
+		out, err = r.Figure5()
+	case "fig6":
+		out, err = r.Figure6()
+	case "fig7":
+		out, err = r.Figure7()
+	case "fig8":
+		out, err = r.Figure8()
+	case "intext":
+		out, err = r.InTextStats()
+	case "metrics":
+		out = r.MetricReportTable()
+	case "ablations":
+		out, _, err = experiments.Ablations(*seed)
+	case "confound":
+		out, err = experiments.ConfoundComparison()
+	default:
+		fmt.Fprintf(os.Stderr, "studysim: unknown artifact %q\n", *artifact)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "studysim: %v\n", err)
+		return 1
+	}
+	fmt.Print(out)
+	return 0
+}

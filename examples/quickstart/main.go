@@ -1,0 +1,54 @@
+// Quickstart: run the full study simulation end-to-end and print the
+// paper's headline results (Tables I and II plus the RQ3 preference test).
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"decompstudy/internal/core"
+)
+
+func main() {
+	// core.New wires the whole pipeline: the four snippets are compiled,
+	// decompiled, and DIRTY-annotated; the simulated participant pool
+	// takes the survey; metrics and the expert panel run on the renamings.
+	study, err := core.New(&core.Config{Seed: 99})
+	if err != nil {
+		log.Fatalf("building study: %v", err)
+	}
+	fmt.Printf("Participants: %d retained, %d excluded by the quality check\n",
+		len(study.Dataset.Participants), len(study.Dataset.ExcludedIDs))
+	fmt.Printf("Observations: %d gradable, %d timed\n\n",
+		len(study.Dataset.CorrectnessRows()), len(study.Dataset.TimingRows()))
+
+	// RQ1: does the treatment improve correctness? (Paper: no.)
+	correctness, err := study.AnalyzeCorrectness()
+	if err != nil {
+		log.Fatalf("correctness model: %v", err)
+	}
+	fmt.Println(correctness)
+
+	// RQ2: does it make participants faster? (Paper: no.)
+	timing, err := study.AnalyzeTiming()
+	if err != nil {
+		log.Fatalf("timing model: %v", err)
+	}
+	fmt.Println(timing)
+
+	// RQ3: do participants prefer the annotated output anyway? (Paper:
+	// names yes, emphatically; types no.)
+	opinions, err := study.AnalyzeOpinions()
+	if err != nil {
+		log.Fatalf("opinions: %v", err)
+	}
+	fmt.Printf("Name preference (Wilcoxon): p = %.3g\n", opinions.NameTest.P)
+	fmt.Printf("Type preference (Wilcoxon): p = %.3f\n", opinions.TypeTest.P)
+
+	dirty, _ := correctness.Coef("uses_DIRTY")
+	fmt.Printf("\nHeadline: uses_DIRTY = %.3f ± %.3f (p = %.2f) — annotations are\n"+
+		"strongly preferred yet do not measurably improve comprehension.\n",
+		dirty.Estimate, dirty.StdErr, dirty.P)
+}

@@ -1,0 +1,3 @@
+module decompstudy
+
+go 1.22

@@ -1,0 +1,531 @@
+package compile
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"decompstudy/internal/csrc"
+)
+
+func compileSrc(t *testing.T, src string, extraTypes []string) *Object {
+	t.Helper()
+	f, err := csrc.Parse(src, extraTypes)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	obj, err := Compile(f)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return obj
+}
+
+func TestCompileStripsNames(t *testing.T) {
+	obj := compileSrc(t, `
+int add_two(int first, int second) {
+  int total = first + second;
+  return total;
+}
+`, nil)
+	fn, ok := obj.Func0("add_two")
+	if !ok {
+		t.Fatal("add_two not found")
+	}
+	if fn.NParams != 2 {
+		t.Fatalf("NParams = %d, want 2", fn.NParams)
+	}
+	// Names survive only in the symbol table, never in instruction text.
+	text := fn.String()
+	for _, name := range []string{"first", "second", "total"} {
+		if strings.Contains(text, name) {
+			t.Errorf("IR text leaks source name %q:\n%s", name, text)
+		}
+	}
+	if len(fn.Symbols) != 3 {
+		t.Fatalf("symbols = %d, want 3", len(fn.Symbols))
+	}
+	if fn.Symbols[2].OrigName != "total" || fn.Symbols[2].Kind != VarLocal {
+		t.Errorf("symbol[2] = %+v, want local total", fn.Symbols[2])
+	}
+	if fn.Symbols[0].Kind != VarParam {
+		t.Errorf("symbol[0] kind = %v, want VarParam", fn.Symbols[0].Kind)
+	}
+}
+
+func TestCompileMemberAccessBecomesAddressArithmetic(t *testing.T) {
+	obj := compileSrc(t, `
+struct array {
+  void *data;
+  char **sorted;
+  int used;
+};
+int get_used(struct array *a) {
+  return a->used;
+}
+`, nil)
+	fn, _ := obj.Func0("get_used")
+	text := fn.String()
+	// a->used is at offset 16; the IR must show an add of 16 and a load4.
+	if !strings.Contains(text, "16") {
+		t.Errorf("expected offset 16 in IR:\n%s", text)
+	}
+	if !strings.Contains(text, "load4") {
+		t.Errorf("expected 4-byte load for int field:\n%s", text)
+	}
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			if strings.Contains(in.String(), "used") {
+				t.Errorf("field name leaked into instruction %q", in.String())
+			}
+		}
+	}
+}
+
+func TestCompileIndexScaling(t *testing.T) {
+	obj := compileSrc(t, `
+long get_elem(long *xs, int i) {
+  return xs[i];
+}
+`, nil)
+	fn, _ := obj.Func0("get_elem")
+	text := fn.String()
+	if !strings.Contains(text, "mul") || !strings.Contains(text, "8") {
+		t.Errorf("expected 8-byte scaling mul in IR:\n%s", text)
+	}
+	if !strings.Contains(text, "load8") {
+		t.Errorf("expected 8-byte load:\n%s", text)
+	}
+}
+
+func TestCompileByteIndexNoScaling(t *testing.T) {
+	obj := compileSrc(t, `
+char get_byte(char *s, int i) {
+  return s[i];
+}
+`, nil)
+	fn, _ := obj.Func0("get_byte")
+	text := fn.String()
+	if strings.Contains(text, "mul") {
+		t.Errorf("byte access should not scale:\n%s", text)
+	}
+	if !strings.Contains(text, "load1") {
+		t.Errorf("expected 1-byte load:\n%s", text)
+	}
+}
+
+func TestCompileControlFlowShape(t *testing.T) {
+	obj := compileSrc(t, `
+int clamp(int x) {
+  if (x < 0) {
+    return 0;
+  }
+  while (x > 100) {
+    x -= 10;
+  }
+  return x;
+}
+`, nil)
+	fn, _ := obj.Func0("clamp")
+	var condCount, retCount int
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case OpCondBr:
+				condCount++
+			case OpRet:
+				retCount++
+			}
+		}
+	}
+	if condCount != 2 {
+		t.Errorf("cond branches = %d, want 2 (if + while)", condCount)
+	}
+	if retCount != 2 {
+		t.Errorf("returns = %d, want 2", retCount)
+	}
+	// Exactly one back edge (the while loop).
+	back := 0
+	seen := map[int]bool{}
+	order := []int{}
+	var dfs func(id int)
+	dfs = func(id int) {
+		if seen[id] {
+			return
+		}
+		seen[id] = true
+		order = append(order, id)
+		for _, s := range fn.Block0(id).Succs() {
+			dfs(s)
+		}
+	}
+	dfs(fn.Blocks[0].ID)
+	pos := map[int]int{}
+	for i, id := range order {
+		pos[id] = i
+	}
+	for _, b := range fn.Blocks {
+		for _, s := range b.Succs() {
+			if p, ok := pos[s]; ok && p <= pos[b.ID] && s != b.ID {
+				back++
+			}
+		}
+	}
+	if back < 1 {
+		t.Errorf("expected at least one back edge for the while loop")
+	}
+}
+
+func TestCompileShortCircuitCondition(t *testing.T) {
+	obj := compileSrc(t, `
+int both(int a, int b) {
+  if (a > 0 && b > 0) {
+    return 1;
+  }
+  return 0;
+}
+`, nil)
+	fn, _ := obj.Func0("both")
+	// Short-circuit in condition context must not materialize a boolean
+	// temp: no OpMov of constants 0/1 before the branches.
+	condCount := 0
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == OpCondBr {
+				condCount++
+			}
+		}
+	}
+	if condCount != 2 {
+		t.Errorf("cond branches = %d, want 2 for short-circuit &&", condCount)
+	}
+}
+
+func TestCompileShortCircuitValue(t *testing.T) {
+	obj := compileSrc(t, `
+int val(int a, int b) {
+  int c = a > 0 && b > 0;
+  return c;
+}
+`, nil)
+	fn, _ := obj.Func0("val")
+	text := fn.String()
+	if !strings.Contains(text, "condbr") {
+		t.Errorf("value-context && should still short-circuit:\n%s", text)
+	}
+}
+
+func TestCompileFunctionPointerCall(t *testing.T) {
+	obj := compileSrc(t, `
+long apply(long (*fn)(long, long), long x, long y) {
+  return fn(x, y);
+}
+`, nil)
+	fn, _ := obj.Func0("apply")
+	found := false
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == OpCall && in.Callee.Kind == OperandTemp {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("expected an indirect call through a temp")
+	}
+	if !fn.Symbols[0].IsFuncPtr {
+		t.Errorf("symbol[0] = %+v, want IsFuncPtr", fn.Symbols[0])
+	}
+}
+
+func TestCompilePointerArithScaling(t *testing.T) {
+	obj := compileSrc(t, `
+long deref_off(long *p, int i) {
+  return *(p + i);
+}
+`, nil)
+	fn, _ := obj.Func0("deref_off")
+	text := fn.String()
+	if !strings.Contains(text, "mul") {
+		t.Errorf("pointer arithmetic should scale the integer side:\n%s", text)
+	}
+}
+
+func TestCompileTernary(t *testing.T) {
+	obj := compileSrc(t, `
+int absval(int x) {
+  return x > 0 ? x : -x;
+}
+`, nil)
+	fn, _ := obj.Func0("absval")
+	var movs, condbrs int
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case OpMov:
+				movs++
+			case OpCondBr:
+				condbrs++
+			}
+		}
+	}
+	if condbrs != 1 || movs < 2 {
+		t.Errorf("ternary lowering: %d condbr, %d mov; want 1, ≥2", condbrs, movs)
+	}
+}
+
+func TestCompileForLoop(t *testing.T) {
+	obj := compileSrc(t, `
+int sum_n(int n) {
+  int s = 0;
+  for (int i = 0; i < n; i++) {
+    s += i;
+  }
+  return s;
+}
+`, nil)
+	fn, _ := obj.Func0("sum_n")
+	if len(fn.Blocks) < 4 {
+		t.Errorf("for loop should produce ≥4 blocks, got %d", len(fn.Blocks))
+	}
+}
+
+func TestCompileBreakContinue(t *testing.T) {
+	obj := compileSrc(t, `
+int scan(int n) {
+  int found = 0;
+  while (n > 0) {
+    n -= 1;
+    if (n == 7) {
+      found = 1;
+      break;
+    }
+    if (n % 2 == 0) continue;
+    found += 1;
+  }
+  return found;
+}
+`, nil)
+	if _, ok := obj.Func0("scan"); !ok {
+		t.Fatal("scan not compiled")
+	}
+}
+
+func TestCompileBreakOutsideLoop(t *testing.T) {
+	f, err := csrc.Parse(`int f(void) { break; return 0; }`, nil)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if _, err := Compile(f); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("err = %v, want ErrUnsupported", err)
+	}
+}
+
+func TestCompileSizeof(t *testing.T) {
+	obj := compileSrc(t, `
+struct pair { long a; long b; };
+long size_of_pair(void) {
+  return sizeof(struct pair);
+}
+`, nil)
+	fn, _ := obj.Func0("size_of_pair")
+	text := fn.String()
+	if !strings.Contains(text, "ret 16") {
+		t.Errorf("sizeof(struct pair) should fold to 16:\n%s", text)
+	}
+}
+
+func TestCompileIntLiterals(t *testing.T) {
+	cases := map[string]int64{
+		"42":   42,
+		"0x10": 16,
+		"0xff": 255,
+		"7LL":  7,
+		"3U":   3,
+	}
+	for text, want := range cases {
+		got, err := parseIntLit(text)
+		if err != nil {
+			t.Errorf("parseIntLit(%q): %v", text, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("parseIntLit(%q) = %d, want %d", text, got, want)
+		}
+	}
+	if _, err := parseIntLit("zz"); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("bad literal: err = %v, want ErrUnsupported", err)
+	}
+}
+
+func TestCharValue(t *testing.T) {
+	cases := map[string]int64{
+		"a": 'a', `\n`: '\n', `\0`: 0, `\\`: '\\', "/": '/',
+	}
+	for body, want := range cases {
+		if got := charValue(body); got != want {
+			t.Errorf("charValue(%q) = %d, want %d", body, got, want)
+		}
+	}
+}
+
+func TestUnreachableBlocksPruned(t *testing.T) {
+	obj := compileSrc(t, `
+int early(int x) {
+  return x;
+}
+`, nil)
+	fn, _ := obj.Func0("early")
+	if len(fn.Blocks) != 1 {
+		t.Errorf("blocks = %d, want 1 (no unreachable tails)", len(fn.Blocks))
+	}
+}
+
+func TestEveryBlockTerminated(t *testing.T) {
+	obj := compileSrc(t, `
+int f(int a, int b) {
+  int m = a;
+  if (a < b) m = b;
+  for (int i = 0; i < 3; i++) m += i;
+  return m;
+}
+`, nil)
+	fn, _ := obj.Func0("f")
+	for _, b := range fn.Blocks {
+		term := b.Term()
+		switch term.Op {
+		case OpRet, OpBr, OpCondBr:
+		default:
+			t.Errorf("block b%d not terminated (last op %v)", b.ID, term.Op)
+		}
+		// No terminator mid-block.
+		for i, in := range b.Instrs[:max(0, len(b.Instrs)-1)] {
+			switch in.Op {
+			case OpRet, OpBr, OpCondBr:
+				t.Errorf("block b%d has terminator at position %d", b.ID, i)
+			}
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestCompileDoWhile(t *testing.T) {
+	obj := compileSrc(t, `
+int drain(int n) {
+  int total = 0;
+  do {
+    total += n;
+    n -= 1;
+  } while (n > 0);
+  return total;
+}
+`, nil)
+	fn, _ := obj.Func0("drain")
+	// Do-while: exactly one conditional branch, and the body runs before it.
+	condbrs := 0
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == OpCondBr {
+				condbrs++
+			}
+		}
+	}
+	if condbrs != 1 {
+		t.Errorf("do-while cond branches = %d, want 1", condbrs)
+	}
+	// Entry block must branch straight into the body (test-at-bottom).
+	entry := fn.Blocks[0]
+	if entry.Term().Op != OpBr {
+		t.Errorf("entry terminator = %v, want unconditional branch into body", entry.Term().Op)
+	}
+}
+
+func TestCompileSwitch(t *testing.T) {
+	obj := compileSrc(t, `
+int classify(int code) {
+  switch (code) {
+  case 1:
+    return 10;
+  case 2:
+    return 20;
+  default:
+    return -1;
+  }
+}
+`, nil)
+	fn, _ := obj.Func0("classify")
+	var cmps, condbrs int
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case OpCmpEQ:
+				cmps++
+			case OpCondBr:
+				condbrs++
+			}
+		}
+	}
+	if cmps != 2 || condbrs != 2 {
+		t.Errorf("switch chain: %d compares, %d branches; want 2, 2", cmps, condbrs)
+	}
+}
+
+func TestCompileSwitchTagEvaluatedOnce(t *testing.T) {
+	obj := compileSrc(t, `
+int pick(int x) {
+  int r = 0;
+  switch (next_value(x)) {
+  case 1:
+    r = 1;
+    break;
+  case 2:
+    r = 2;
+    break;
+  default:
+    r = 3;
+  }
+  return r;
+}
+`, nil)
+	fn, _ := obj.Func0("pick")
+	calls := 0
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == OpCall {
+				calls++
+			}
+		}
+	}
+	if calls != 1 {
+		t.Errorf("switch tag evaluated %d times, want once", calls)
+	}
+}
+
+func TestCompileBreakInSwitchInsideLoop(t *testing.T) {
+	// A break inside a switch exits the switch, not the loop.
+	obj := compileSrc(t, `
+int count(int n) {
+  int total = 0;
+  for (int i = 0; i < n; i++) {
+    switch (i % 2) {
+    case 0:
+      total += 1;
+      break;
+    default:
+      total += 2;
+    }
+    total += 100;
+  }
+  return total;
+}
+`, nil)
+	if _, ok := obj.Func0("count"); !ok {
+		t.Fatal("count not compiled")
+	}
+}

@@ -1,0 +1,339 @@
+package compile
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrExec is returned for runtime faults during IR interpretation.
+var ErrExec = errors.New("compile: execution fault")
+
+// Machine executes compiled IR. It provides a flat little-endian byte
+// memory for load/store, resolves calls to other functions in the same
+// object, and supports a few libc builtins (memmove, memcpy, memset) so
+// the corpus functions run. The interpreter exists to differentially test
+// the decompiler: original IR and recompiled-decompiled IR must agree on
+// every input.
+type Machine struct {
+	obj *Object
+	mem []byte
+	// StepLimit bounds total executed instructions (default 1e6).
+	StepLimit int
+	steps     int
+}
+
+// NewMachine builds a machine over obj with memSize bytes of memory.
+func NewMachine(obj *Object, memSize int) *Machine {
+	if memSize <= 0 {
+		memSize = 1 << 16
+	}
+	return &Machine{obj: obj, mem: make([]byte, memSize), StepLimit: 1_000_000}
+}
+
+// Mem exposes the machine memory for test setup and inspection.
+func (m *Machine) Mem() []byte { return m.mem }
+
+// Call runs the named function with the given arguments and returns its
+// result (0 for void functions).
+func (m *Machine) Call(name string, args ...int64) (int64, error) {
+	m.steps = 0
+	return m.call(name, args, 0)
+}
+
+func (m *Machine) call(name string, args []int64, depth int) (int64, error) {
+	if depth > 200 {
+		return 0, fmt.Errorf("compile: call depth exceeded in %s: %w", name, ErrExec)
+	}
+	if v, ok, err := m.builtin(name, args); ok {
+		return v, err
+	}
+	fn, ok := m.obj.Func0(name)
+	if !ok {
+		return 0, fmt.Errorf("compile: undefined function %q: %w", name, ErrExec)
+	}
+	if len(args) != fn.NParams {
+		return 0, fmt.Errorf("compile: %s called with %d args, wants %d: %w", name, len(args), fn.NParams, ErrExec)
+	}
+	regs := make([]int64, fn.NTemps)
+	copy(regs, args)
+
+	val := func(o Operand) (int64, error) {
+		switch o.Kind {
+		case OperandTemp:
+			return regs[o.Temp], nil
+		case OperandConst:
+			return o.Const, nil
+		case OperandNone:
+			return 0, nil
+		default:
+			return 0, fmt.Errorf("compile: cannot evaluate symbol operand %s: %w", o, ErrExec)
+		}
+	}
+
+	cur := fn.Blocks[0]
+	for {
+		for _, in := range cur.Instrs {
+			m.steps++
+			if m.steps > m.StepLimit {
+				return 0, fmt.Errorf("compile: step limit exceeded in %s: %w", name, ErrExec)
+			}
+			switch in.Op {
+			case OpMov:
+				v, err := val(in.A)
+				if err != nil {
+					return 0, err
+				}
+				regs[in.Dst] = v
+			case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpShl, OpShr,
+				OpCmpEQ, OpCmpNE, OpCmpLT, OpCmpLE, OpCmpGT, OpCmpGE:
+				a, err := val(in.A)
+				if err != nil {
+					return 0, err
+				}
+				b, err := val(in.B)
+				if err != nil {
+					return 0, err
+				}
+				v, err := applyBinop(in.Op, a, b)
+				if err != nil {
+					return 0, fmt.Errorf("%w (in %s)", err, name)
+				}
+				regs[in.Dst] = v
+			case OpNeg:
+				a, err := val(in.A)
+				if err != nil {
+					return 0, err
+				}
+				regs[in.Dst] = -a
+			case OpNot:
+				a, err := val(in.A)
+				if err != nil {
+					return 0, err
+				}
+				regs[in.Dst] = ^a
+			case OpLNot:
+				a, err := val(in.A)
+				if err != nil {
+					return 0, err
+				}
+				if a == 0 {
+					regs[in.Dst] = 1
+				} else {
+					regs[in.Dst] = 0
+				}
+			case OpLoad:
+				addr, err := val(in.A)
+				if err != nil {
+					return 0, err
+				}
+				v, err := m.load(addr, in.Width)
+				if err != nil {
+					return 0, fmt.Errorf("%w (in %s)", err, name)
+				}
+				regs[in.Dst] = v
+			case OpStore:
+				addr, err := val(in.A)
+				if err != nil {
+					return 0, err
+				}
+				v, err := val(in.B)
+				if err != nil {
+					return 0, err
+				}
+				if err := m.store(addr, in.Width, v); err != nil {
+					return 0, fmt.Errorf("%w (in %s)", err, name)
+				}
+			case OpCall:
+				callArgs := make([]int64, len(in.Args))
+				for i, a := range in.Args {
+					v, err := val(a)
+					if err != nil {
+						return 0, err
+					}
+					callArgs[i] = v
+				}
+				var callee string
+				switch in.Callee.Kind {
+				case OperandSym:
+					callee = in.Callee.Sym
+				case OperandTemp:
+					return 0, fmt.Errorf("compile: indirect calls need a function table, %s: %w", name, ErrExec)
+				default:
+					return 0, fmt.Errorf("compile: bad callee %s: %w", in.Callee, ErrExec)
+				}
+				v, err := m.call(callee, callArgs, depth+1)
+				if err != nil {
+					return 0, err
+				}
+				if in.Dst >= 0 {
+					regs[in.Dst] = v
+				}
+			case OpRet:
+				if in.A.Kind == OperandNone {
+					return 0, nil
+				}
+				v, err := val(in.A)
+				if err != nil {
+					return 0, err
+				}
+				return truncate(v, fn.RetWidth, fn.RetSigned), nil
+			case OpBr:
+				next := m.obj.blockIn(fn, in.Target)
+				if next == nil {
+					return 0, fmt.Errorf("compile: missing block b%d in %s: %w", in.Target, name, ErrExec)
+				}
+				cur = next
+				goto nextBlock
+			case OpCondBr:
+				c, err := val(in.A)
+				if err != nil {
+					return 0, err
+				}
+				target := in.Target
+				if c == 0 {
+					target = in.Else
+				}
+				next := m.obj.blockIn(fn, target)
+				if next == nil {
+					return 0, fmt.Errorf("compile: missing block b%d in %s: %w", target, name, ErrExec)
+				}
+				cur = next
+				goto nextBlock
+			default:
+				return 0, fmt.Errorf("compile: unknown opcode %v in %s: %w", in.Op, name, ErrExec)
+			}
+		}
+		return 0, fmt.Errorf("compile: block b%d in %s fell through: %w", cur.ID, name, ErrExec)
+	nextBlock:
+	}
+}
+
+func (o *Object) blockIn(fn *Func, id int) *Block { return fn.Block0(id) }
+
+func applyBinop(op Opcode, a, b int64) (int64, error) {
+	switch op {
+	case OpAdd:
+		return a + b, nil
+	case OpSub:
+		return a - b, nil
+	case OpMul:
+		return a * b, nil
+	case OpDiv:
+		if b == 0 {
+			return 0, fmt.Errorf("compile: division by zero: %w", ErrExec)
+		}
+		return a / b, nil
+	case OpRem:
+		if b == 0 {
+			return 0, fmt.Errorf("compile: modulo by zero: %w", ErrExec)
+		}
+		return a % b, nil
+	case OpAnd:
+		return a & b, nil
+	case OpOr:
+		return a | b, nil
+	case OpXor:
+		return a ^ b, nil
+	case OpShl:
+		return a << (uint(b) & 63), nil
+	case OpShr:
+		return int64(uint64(a) >> (uint(b) & 63)), nil
+	case OpCmpEQ:
+		return b2i(a == b), nil
+	case OpCmpNE:
+		return b2i(a != b), nil
+	case OpCmpLT:
+		return b2i(a < b), nil
+	case OpCmpLE:
+		return b2i(a <= b), nil
+	case OpCmpGT:
+		return b2i(a > b), nil
+	case OpCmpGE:
+		return b2i(a >= b), nil
+	default:
+		return 0, fmt.Errorf("compile: not a binop: %v: %w", op, ErrExec)
+	}
+}
+
+func b2i(v bool) int64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// truncate narrows a value to the declared return width.
+func truncate(v int64, width int, signed bool) int64 {
+	switch width {
+	case 1:
+		if signed {
+			return int64(int8(v))
+		}
+		return int64(uint8(v))
+	case 2:
+		if signed {
+			return int64(int16(v))
+		}
+		return int64(uint16(v))
+	case 4:
+		if signed {
+			return int64(int32(v))
+		}
+		return int64(uint32(v))
+	default:
+		return v
+	}
+}
+
+func (m *Machine) load(addr int64, width int) (int64, error) {
+	if addr < 0 || addr+int64(width) > int64(len(m.mem)) {
+		return 0, fmt.Errorf("compile: load of %d bytes at %#x out of bounds: %w", width, addr, ErrExec)
+	}
+	var v uint64
+	for i := width - 1; i >= 0; i-- {
+		v = v<<8 | uint64(m.mem[addr+int64(i)])
+	}
+	return truncate(int64(v), width, false), nil
+}
+
+func (m *Machine) store(addr int64, width int, v int64) error {
+	if addr < 0 || addr+int64(width) > int64(len(m.mem)) {
+		return fmt.Errorf("compile: store of %d bytes at %#x out of bounds: %w", width, addr, ErrExec)
+	}
+	for i := 0; i < width; i++ {
+		m.mem[addr+int64(i)] = byte(v)
+		v >>= 8
+	}
+	return nil
+}
+
+// builtin implements the small libc surface the corpus uses.
+func (m *Machine) builtin(name string, args []int64) (int64, bool, error) {
+	switch name {
+	case "memcpy", "memmove":
+		if len(args) != 3 {
+			return 0, true, fmt.Errorf("compile: %s wants 3 args: %w", name, ErrExec)
+		}
+		dst, src, n := args[0], args[1], args[2]
+		if n < 0 || dst < 0 || src < 0 ||
+			dst+n > int64(len(m.mem)) || src+n > int64(len(m.mem)) {
+			return 0, true, fmt.Errorf("compile: %s out of bounds: %w", name, ErrExec)
+		}
+		copy(m.mem[dst:dst+n], append([]byte(nil), m.mem[src:src+n]...))
+		return dst, true, nil
+	case "memset":
+		if len(args) != 3 {
+			return 0, true, fmt.Errorf("compile: memset wants 3 args: %w", ErrExec)
+		}
+		dst, c, n := args[0], args[1], args[2]
+		if n < 0 || dst < 0 || dst+n > int64(len(m.mem)) {
+			return 0, true, fmt.Errorf("compile: memset out of bounds: %w", ErrExec)
+		}
+		for i := int64(0); i < n; i++ {
+			m.mem[dst+i] = byte(c)
+		}
+		return dst, true, nil
+	default:
+		return 0, false, nil
+	}
+}

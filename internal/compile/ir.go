@@ -1,0 +1,291 @@
+// Package compile lowers the csrc AST to a three-address intermediate
+// representation with explicit basic blocks — the "binary" of this
+// project's toolchain. The lowering is deliberately lossy in exactly the
+// ways real compilation is lossy for the paper's purposes:
+//
+//   - variable and parameter names disappear (operands are numbered temps),
+//   - types collapse to widths and signedness,
+//   - struct member accesses become explicit address arithmetic
+//     (base + byte-offset loads and stores),
+//   - array subscripts become scaled pointer arithmetic.
+//
+// The companion package internal/decomp lifts this IR back into
+// Hex-Rays-style pseudo-C, completing the compile→decompile pipeline the
+// study's snippets went through. The compiler also emits a SymbolTable —
+// the ground-truth alignment between original and stripped names that the
+// paper's intrinsic metrics are computed over.
+package compile
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrUnsupported is returned when a source construct is outside the
+// compilable subset.
+var ErrUnsupported = errors.New("compile: unsupported construct")
+
+// Opcode enumerates IR operations.
+type Opcode int
+
+// IR opcodes. Binary arithmetic ops take A and B; Load/Store move Width
+// bytes through an address operand; Call invokes Callee with Args.
+const (
+	OpMov Opcode = iota + 1
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+	OpNot  // bitwise ~
+	OpNeg  // arithmetic -
+	OpLNot // logical !
+	OpCmpEQ
+	OpCmpNE
+	OpCmpLT
+	OpCmpLE
+	OpCmpGT
+	OpCmpGE
+	OpLoad  // Dst = *(Width*)A
+	OpStore // *(Width*)A = B
+	OpCall  // Dst = Callee(Args...)
+	OpRet   // return A (A.Kind == OperandNone for void)
+	OpBr    // unconditional branch to Target
+	OpCondBr
+)
+
+var opNames = map[Opcode]string{
+	OpMov: "mov", OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div",
+	OpRem: "rem", OpAnd: "and", OpOr: "or", OpXor: "xor", OpShl: "shl",
+	OpShr: "shr", OpNot: "not", OpNeg: "neg", OpLNot: "lnot",
+	OpCmpEQ: "cmpeq", OpCmpNE: "cmpne", OpCmpLT: "cmplt", OpCmpLE: "cmple",
+	OpCmpGT: "cmpgt", OpCmpGE: "cmpge", OpLoad: "load", OpStore: "store",
+	OpCall: "call", OpRet: "ret", OpBr: "br", OpCondBr: "condbr",
+}
+
+func (o Opcode) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("Opcode(%d)", int(o))
+}
+
+// OperandKind discriminates Operand representations.
+type OperandKind int
+
+// Operand kinds.
+const (
+	OperandNone OperandKind = iota
+	OperandTemp
+	OperandConst
+	OperandSym // global symbol (function name, string label)
+)
+
+// Operand is one IR operand.
+type Operand struct {
+	Kind  OperandKind
+	Temp  int
+	Const int64
+	Sym   string
+}
+
+// Temp returns a temp operand.
+func Temp(id int) Operand { return Operand{Kind: OperandTemp, Temp: id} }
+
+// Const returns an integer-constant operand.
+func Const(v int64) Operand { return Operand{Kind: OperandConst, Const: v} }
+
+// Sym returns a symbol operand.
+func Sym(name string) Operand { return Operand{Kind: OperandSym, Sym: name} }
+
+// None is the absent operand.
+var None = Operand{Kind: OperandNone}
+
+func (o Operand) String() string {
+	switch o.Kind {
+	case OperandNone:
+		return "_"
+	case OperandTemp:
+		return fmt.Sprintf("t%d", o.Temp)
+	case OperandConst:
+		return fmt.Sprintf("%d", o.Const)
+	case OperandSym:
+		return "@" + o.Sym
+	default:
+		return fmt.Sprintf("Operand(kind=%d)", int(o.Kind))
+	}
+}
+
+// Instr is one IR instruction.
+type Instr struct {
+	Op   Opcode
+	Dst  int // destination temp, -1 when none
+	A, B Operand
+	// Callee and Args are used by OpCall.
+	Callee Operand
+	Args   []Operand
+	// Width is the byte width for OpLoad/OpStore (1, 2, 4, or 8).
+	Width int
+	// Target and Else are successor block IDs for OpBr/OpCondBr (Else is
+	// the false edge).
+	Target, Else int
+}
+
+func (in Instr) String() string {
+	switch in.Op {
+	case OpLoad:
+		return fmt.Sprintf("t%d = load%d %s", in.Dst, in.Width, in.A)
+	case OpStore:
+		return fmt.Sprintf("store%d %s, %s", in.Width, in.A, in.B)
+	case OpCall:
+		parts := make([]string, len(in.Args))
+		for i, a := range in.Args {
+			parts[i] = a.String()
+		}
+		if in.Dst >= 0 {
+			return fmt.Sprintf("t%d = call %s(%s)", in.Dst, in.Callee, strings.Join(parts, ", "))
+		}
+		return fmt.Sprintf("call %s(%s)", in.Callee, strings.Join(parts, ", "))
+	case OpRet:
+		if in.A.Kind == OperandNone {
+			return "ret"
+		}
+		return "ret " + in.A.String()
+	case OpBr:
+		return fmt.Sprintf("br b%d", in.Target)
+	case OpCondBr:
+		return fmt.Sprintf("condbr %s, b%d, b%d", in.A, in.Target, in.Else)
+	case OpMov:
+		return fmt.Sprintf("t%d = %s", in.Dst, in.A)
+	case OpNot, OpNeg, OpLNot:
+		return fmt.Sprintf("t%d = %s %s", in.Dst, in.Op, in.A)
+	default:
+		return fmt.Sprintf("t%d = %s %s, %s", in.Dst, in.Op, in.A, in.B)
+	}
+}
+
+// Block is a basic block: straight-line instructions ending in a
+// terminator (OpRet, OpBr, or OpCondBr).
+type Block struct {
+	ID     int
+	Instrs []Instr
+}
+
+// Term returns the block terminator.
+func (b *Block) Term() Instr {
+	if len(b.Instrs) == 0 {
+		return Instr{}
+	}
+	return b.Instrs[len(b.Instrs)-1]
+}
+
+// Succs returns the successor block IDs.
+func (b *Block) Succs() []int {
+	t := b.Term()
+	switch t.Op {
+	case OpBr:
+		return []int{t.Target}
+	case OpCondBr:
+		return []int{t.Target, t.Else}
+	default:
+		return nil
+	}
+}
+
+// VarKind distinguishes parameters from locals in the symbol table.
+type VarKind int
+
+// Symbol kinds.
+const (
+	VarParam VarKind = iota + 1
+	VarLocal
+)
+
+// Symbol records the ground-truth identity of one stripped variable: its
+// original name and type spelling, the temp that carries it in the IR, and
+// its inferred width/signedness.
+type Symbol struct {
+	Kind     VarKind
+	OrigName string
+	OrigType string
+	Temp     int
+	Width    int
+	Signed   bool
+	// Pointee is the width of the pointed-to element for pointer-typed
+	// variables (0 for non-pointers); it drives the decompiler's cast
+	// rendering.
+	Pointee int
+	// IsFuncPtr marks function-pointer variables.
+	IsFuncPtr bool
+}
+
+// Func is one compiled function.
+type Func struct {
+	Name    string
+	NParams int
+	// NTemps is the total number of temps (params occupy temps 0..NParams-1).
+	NTemps int
+	Blocks []*Block
+	// Symbols lists the named variables in declaration order (params
+	// first); scratch temps introduced by expression lowering are not
+	// listed.
+	Symbols []Symbol
+	// RetWidth is the return value width in bytes, 0 for void.
+	RetWidth int
+	// RetSigned records return signedness for rendering.
+	RetSigned bool
+}
+
+// Block0 returns the block with the given ID.
+func (f *Func) Block0(id int) *Block {
+	for _, b := range f.Blocks {
+		if b.ID == id {
+			return b
+		}
+	}
+	return nil
+}
+
+// SymbolForTemp returns the symbol carried by the given temp, if any.
+func (f *Func) SymbolForTemp(t int) (Symbol, bool) {
+	for _, s := range f.Symbols {
+		if s.Temp == t {
+			return s, true
+		}
+	}
+	return Symbol{}, false
+}
+
+// String renders the function's IR as text, one instruction per line.
+func (f *Func) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s(%d params, %d temps):\n", f.Name, f.NParams, f.NTemps)
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "b%d:\n", b.ID)
+		for _, in := range b.Instrs {
+			fmt.Fprintf(&sb, "  %s\n", in.String())
+		}
+	}
+	return sb.String()
+}
+
+// Object is the result of compiling a translation unit.
+type Object struct {
+	Funcs []*Func
+}
+
+// Func0 returns the compiled function with the given name.
+func (o *Object) Func0(name string) (*Func, bool) {
+	for _, f := range o.Funcs {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,409 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"decompstudy/internal/htest"
+	"decompstudy/internal/linalg"
+	"decompstudy/internal/mixed"
+	"decompstudy/internal/qualcode"
+	"decompstudy/internal/survey"
+)
+
+// buildSpec assembles the paper's model formula
+// (~ uses_DIRTY + Exp_Coding + Exp_RE + (1|user) + (1|question)) from
+// dataset rows.
+func (s *Study) buildSpec(rows []survey.Response, response func(survey.Response) float64) (*mixed.Spec, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("core: no observations: %w", ErrAnalysis)
+	}
+	y := make([]float64, len(rows))
+	design := make([][]float64, len(rows))
+	for i, r := range rows {
+		y[i] = response(r)
+		dirty := 0.0
+		if r.UsesDirty {
+			dirty = 1
+		}
+		design[i] = []float64{1, dirty, r.ExpCoding, r.ExpRE}
+	}
+	x, err := linalg.NewMatrixFromRows(design)
+	if err != nil {
+		return nil, err
+	}
+	uidx, nu := s.Dataset.UserIndex(rows)
+	qidx, nq := s.Dataset.QuestionIndex(rows)
+	return &mixed.Spec{
+		Response:   y,
+		Fixed:      x,
+		FixedNames: []string{"(Intercept)", "uses_DIRTY", "Exp_Coding", "Exp_RE"},
+		Random: []mixed.RandomFactor{
+			{Name: "user", Index: uidx, NLevels: nu},
+			{Name: "question", Index: qidx, NLevels: nq},
+		},
+	}, nil
+}
+
+// AnalyzeCorrectness fits the RQ1 logistic mixed model (Table I).
+func (s *Study) AnalyzeCorrectness() (*mixed.Result, error) {
+	rows := s.Dataset.CorrectnessRows()
+	spec, err := s.buildSpec(rows, func(r survey.Response) float64 {
+		if r.Correct {
+			return 1
+		}
+		return 0
+	})
+	if err != nil {
+		return nil, err
+	}
+	return mixed.FitGLMMLogit(spec)
+}
+
+// AnalyzeTiming fits the RQ2 linear mixed model (Table II).
+func (s *Study) AnalyzeTiming() (*mixed.Result, error) {
+	rows := s.Dataset.TimingRows()
+	spec, err := s.buildSpec(rows, func(r survey.Response) float64 { return r.TimeSec })
+	if err != nil {
+		return nil, err
+	}
+	return mixed.FitLMM(spec)
+}
+
+// QuestionCorrectness summarizes one question's Figure 5 bars plus a
+// Fisher exact test on the 2×2 correctness table.
+type QuestionCorrectness struct {
+	QuestionID               string
+	DirtyCorrect, DirtyWrong int
+	HexCorrect, HexWrong     int
+	// FisherP is the two-sided exact p-value for treatment ×
+	// correctness.
+	FisherP float64
+}
+
+// DirtyRate returns the treatment-arm correct fraction.
+func (q QuestionCorrectness) DirtyRate() float64 {
+	n := q.DirtyCorrect + q.DirtyWrong
+	if n == 0 {
+		return 0
+	}
+	return float64(q.DirtyCorrect) / float64(n)
+}
+
+// HexRate returns the control-arm correct fraction.
+func (q QuestionCorrectness) HexRate() float64 {
+	n := q.HexCorrect + q.HexWrong
+	if n == 0 {
+		return 0
+	}
+	return float64(q.HexCorrect) / float64(n)
+}
+
+// CorrectnessByQuestion computes the Figure 5 per-question bars.
+func (s *Study) CorrectnessByQuestion() ([]QuestionCorrectness, error) {
+	byQ := s.Dataset.ByQuestion()
+	if len(byQ) == 0 {
+		return nil, fmt.Errorf("core: no gradable responses: %w", ErrAnalysis)
+	}
+	ids := make([]string, 0, len(byQ))
+	for id := range byQ {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]QuestionCorrectness, 0, len(ids))
+	for _, id := range ids {
+		qc := QuestionCorrectness{QuestionID: id}
+		for _, r := range byQ[id] {
+			switch {
+			case r.UsesDirty && r.Correct:
+				qc.DirtyCorrect++
+			case r.UsesDirty:
+				qc.DirtyWrong++
+			case r.Correct:
+				qc.HexCorrect++
+			default:
+				qc.HexWrong++
+			}
+		}
+		fr, err := htest.FisherExact2x2(qc.DirtyCorrect, qc.DirtyWrong, qc.HexCorrect, qc.HexWrong, htest.TwoSided)
+		if err != nil {
+			return nil, fmt.Errorf("core: fisher on %s: %w", id, err)
+		}
+		qc.FisherP = fr.P
+		out = append(out, qc)
+	}
+	return out, nil
+}
+
+// TimingGroups returns completion times split by treatment, optionally
+// restricted to one snippet or question and to correct answers only
+// (Figures 6b and 7c). Empty selector strings match everything.
+func (s *Study) TimingGroups(snippetID, questionID string, onlyCorrect bool) (hex, dirty []float64, err error) {
+	for _, r := range s.Dataset.TimingRows() {
+		if snippetID != "" && r.SnippetID != snippetID {
+			continue
+		}
+		if questionID != "" && r.QuestionID != questionID {
+			continue
+		}
+		if onlyCorrect && !(r.Gradable && r.Correct) {
+			continue
+		}
+		if r.UsesDirty {
+			dirty = append(dirty, r.TimeSec)
+		} else {
+			hex = append(hex, r.TimeSec)
+		}
+	}
+	if len(hex) == 0 || len(dirty) == 0 {
+		return nil, nil, fmt.Errorf("core: empty timing cell (snippet=%q question=%q correct=%t): %w",
+			snippetID, questionID, onlyCorrect, ErrAnalysis)
+	}
+	return hex, dirty, nil
+}
+
+// OpinionAnalysis holds the Figure 8 data and tests.
+type OpinionAnalysis struct {
+	// NameDirty/NameHex/TypeDirty/TypeHex are the raw Likert samples
+	// (1 = "Provided immediate" … 5 = "Prevented").
+	NameDirty, NameHex, TypeDirty, TypeHex []float64
+	// NameTest and TypeTest compare DIRTY vs Hex-Rays ratings.
+	NameTest, TypeTest htest.WilcoxonResult
+}
+
+// AnalyzeOpinions computes the RQ3 perception comparison.
+func (s *Study) AnalyzeOpinions() (*OpinionAnalysis, error) {
+	out := &OpinionAnalysis{}
+	seen := map[string]bool{}
+	for _, r := range s.Dataset.Responses {
+		// One opinion per user × snippet.
+		key := fmt.Sprintf("%d-%s", r.UserID, r.SnippetID)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		if r.UsesDirty {
+			out.NameDirty = append(out.NameDirty, float64(r.NameLikert))
+			out.TypeDirty = append(out.TypeDirty, float64(r.TypeLikert))
+		} else {
+			out.NameHex = append(out.NameHex, float64(r.NameLikert))
+			out.TypeHex = append(out.TypeHex, float64(r.TypeLikert))
+		}
+	}
+	if len(out.NameDirty) == 0 || len(out.NameHex) == 0 {
+		return nil, fmt.Errorf("core: empty opinion cell: %w", ErrAnalysis)
+	}
+	var err error
+	out.NameTest, err = htest.WilcoxonRankSum(out.NameDirty, out.NameHex, htest.TwoSided)
+	if err != nil {
+		return nil, fmt.Errorf("core: name opinion test: %w", err)
+	}
+	out.TypeTest, err = htest.WilcoxonRankSum(out.TypeDirty, out.TypeHex, htest.TwoSided)
+	if err != nil {
+		return nil, fmt.Errorf("core: type opinion test: %w", err)
+	}
+	return out, nil
+}
+
+// TrustAnalysis holds the §IV-A in-text results: the Fisher test on
+// POSTORDER-Q2, the trust-vs-correctness Wilcoxon, and the open-coding
+// themes.
+type TrustAnalysis struct {
+	// PostorderFisher is the exact test on the POSTORDER-Q2 2×2 table
+	// (paper: p = 0.01059).
+	PostorderFisher float64
+	// TrustTest compares DIRTY users' type-opinion Likert ratings between
+	// incorrect and correct answers (paper: p = 0.02477; incorrect
+	// answerers trust annotations more).
+	TrustTest htest.WilcoxonResult
+	// Themes are the grounded-theory themes with participant lists.
+	Themes []qualcode.Theme
+}
+
+// AnalyzeTrust computes the §IV-A qualitative/trust results.
+func (s *Study) AnalyzeTrust() (*TrustAnalysis, error) {
+	out := &TrustAnalysis{}
+	qcs, err := s.CorrectnessByQuestion()
+	if err != nil {
+		return nil, err
+	}
+	for _, qc := range qcs {
+		if qc.QuestionID == "POSTORDER-Q2" {
+			out.PostorderFisher = qc.FisherP
+		}
+	}
+
+	// Trust proxy: DIRTY users' Likert ratings of types, split by
+	// correctness (lower rating = more trusting of the annotations).
+	var incorrectRatings, correctRatings []float64
+	var coded []qualcode.CodedResponse
+	for _, r := range s.Dataset.CorrectnessRows() {
+		if !r.UsesDirty {
+			continue
+		}
+		if r.Correct {
+			correctRatings = append(correctRatings, float64(r.TypeLikert))
+		} else {
+			incorrectRatings = append(incorrectRatings, float64(r.TypeLikert))
+		}
+		if r.RationaleCode != "" {
+			coded = append(coded, qualcode.CodedResponse{
+				UserID: r.UserID, Code: r.RationaleCode, Correct: r.Correct,
+			})
+		}
+	}
+	out.TrustTest, err = htest.WilcoxonRankSum(incorrectRatings, correctRatings, htest.TwoSided)
+	if err != nil {
+		return nil, fmt.Errorf("core: trust test: %w", err)
+	}
+	out.Themes, err = qualcode.SynthesizeThemes(coded)
+	if err != nil {
+		return nil, fmt.Errorf("core: themes: %w", err)
+	}
+	return out, nil
+}
+
+// PerceptionResult holds the RQ4 Spearman tests between DIRTY users'
+// Likert ratings and their correctness.
+type PerceptionResult struct {
+	// TypeCorr is the types rating vs correctness correlation (paper:
+	// significant positive ρ = 0.1035 — worse rating, more correct).
+	TypeCorr htest.CorrResult
+	// NameCorr is the names rating vs correctness correlation (paper:
+	// not significant).
+	NameCorr htest.CorrResult
+}
+
+// PerceptionVsPerformance computes the RQ4 correlations.
+func (s *Study) PerceptionVsPerformance() (*PerceptionResult, error) {
+	var typeRatings, nameRatings, correctness []float64
+	for _, r := range s.Dataset.CorrectnessRows() {
+		if !r.UsesDirty {
+			continue
+		}
+		typeRatings = append(typeRatings, float64(r.TypeLikert))
+		nameRatings = append(nameRatings, float64(r.NameLikert))
+		if r.Correct {
+			correctness = append(correctness, 1)
+		} else {
+			correctness = append(correctness, 0)
+		}
+	}
+	tc, err := htest.Spearman(typeRatings, correctness)
+	if err != nil {
+		return nil, fmt.Errorf("core: type perception correlation: %w", err)
+	}
+	nc, err := htest.Spearman(nameRatings, correctness)
+	if err != nil {
+		return nil, fmt.Errorf("core: name perception correlation: %w", err)
+	}
+	return &PerceptionResult{TypeCorr: tc, NameCorr: nc}, nil
+}
+
+// MetricCorrelation is one row of Tables III and IV.
+type MetricCorrelation struct {
+	Metric  string
+	TimeRho float64
+	TimeP   float64
+	CorrRho float64
+	CorrP   float64
+}
+
+// MetricCorrelations computes the RQ5 Spearman correlations between each
+// intrinsic similarity metric (per snippet) and per-response time and
+// correctness on DIRTY-annotated snippets.
+func (s *Study) MetricCorrelations() ([]MetricCorrelation, error) {
+	type row struct {
+		snippet string
+		time    float64
+		correct float64
+		hasCorr bool
+	}
+	var rows []row
+	for _, r := range s.Dataset.TimingRows() {
+		if !r.UsesDirty {
+			continue
+		}
+		rw := row{snippet: r.SnippetID, time: r.TimeSec}
+		if r.Gradable {
+			rw.hasCorr = true
+			if r.Correct {
+				rw.correct = 1
+			}
+		}
+		rows = append(rows, rw)
+	}
+	if len(rows) < 3 {
+		return nil, fmt.Errorf("core: too few DIRTY observations (%d): %w", len(rows), ErrAnalysis)
+	}
+
+	metricsOf := func(id string) map[string]float64 {
+		rep := s.MetricReports[id]
+		return map[string]float64{
+			"BLEU":                         rep.BLEU,
+			"codeBLEU":                     rep.CodeBLEU,
+			"Jaccard Similarity":           rep.Jaccard,
+			"Levenshtein":                  rep.Levenshtein,
+			"BERTScore F1":                 rep.BERTScoreF1,
+			"VarCLR":                       rep.VarCLR,
+			"Human Evaluation (Variables)": rep.HumanVariables,
+			"Human Evaluation (Types)":     rep.HumanTypes,
+		}
+	}
+	order := []string{
+		"BLEU", "codeBLEU", "Jaccard Similarity", "Levenshtein",
+		"BERTScore F1", "VarCLR",
+		"Human Evaluation (Variables)", "Human Evaluation (Types)",
+	}
+
+	var out []MetricCorrelation
+	for _, name := range order {
+		var xsTime, ysTime, xsCorr, ysCorr []float64
+		for _, rw := range rows {
+			v := metricsOf(rw.snippet)[name]
+			xsTime = append(xsTime, v)
+			ysTime = append(ysTime, rw.time)
+			if rw.hasCorr {
+				xsCorr = append(xsCorr, v)
+				ysCorr = append(ysCorr, rw.correct)
+			}
+		}
+		mc := MetricCorrelation{Metric: name}
+		if ct, err := htest.Spearman(xsTime, ysTime); err == nil {
+			mc.TimeRho, mc.TimeP = ct.R, ct.P
+		}
+		if cc, err := htest.Spearman(xsCorr, ysCorr); err == nil {
+			mc.CorrRho, mc.CorrP = cc.R, cc.P
+		}
+		out = append(out, mc)
+	}
+	return out, nil
+}
+
+// TreatmentLRT runs likelihood-ratio tests for the uses_DIRTY effect in
+// both models — the effect-size-oriented robustness check the paper's §VI
+// recommends over sole reliance on Wald p-values.
+func (s *Study) TreatmentLRT() (correctness, timing *mixed.LRTResult, err error) {
+	crSpec, err := s.buildSpec(s.Dataset.CorrectnessRows(), func(r survey.Response) float64 {
+		if r.Correct {
+			return 1
+		}
+		return 0
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	correctness, err = mixed.LikelihoodRatioTest(crSpec, "uses_DIRTY", true)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: correctness LRT: %w", err)
+	}
+	tmSpec, err := s.buildSpec(s.Dataset.TimingRows(), func(r survey.Response) float64 { return r.TimeSec })
+	if err != nil {
+		return nil, nil, err
+	}
+	timing, err = mixed.LikelihoodRatioTest(tmSpec, "uses_DIRTY", false)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: timing LRT: %w", err)
+	}
+	return correctness, timing, nil
+}

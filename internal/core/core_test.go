@@ -1,0 +1,352 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"decompstudy/internal/htest"
+	"decompstudy/internal/stats"
+)
+
+// defaultStudy is built once: the full pipeline takes a couple of seconds
+// and every RQ test reads from the same (deterministic) run.
+var (
+	studyOnce sync.Once
+	studyVal  *Study
+	studyErr  error
+)
+
+func defaultStudy(t *testing.T) *Study {
+	t.Helper()
+	studyOnce.Do(func() {
+		studyVal, studyErr = New(nil)
+	})
+	if studyErr != nil {
+		t.Fatalf("core.New: %v", studyErr)
+	}
+	return studyVal
+}
+
+func TestStudyPipelineAssembles(t *testing.T) {
+	s := defaultStudy(t)
+	if len(s.Prepared) != 4 {
+		t.Errorf("prepared snippets = %d, want 4", len(s.Prepared))
+	}
+	if len(s.Dataset.Participants) != 40 {
+		t.Errorf("retained participants = %d, want 40 (§III-E)", len(s.Dataset.Participants))
+	}
+	if len(s.Dataset.ExcludedIDs) != 2 {
+		t.Errorf("excluded = %d, want 2", len(s.Dataset.ExcludedIDs))
+	}
+	if s.Embed == nil || s.Recovery == nil || s.Panel == nil {
+		t.Error("study missing trained models or panel")
+	}
+	if len(s.MetricReports) != 4 {
+		t.Errorf("metric reports = %d, want 4", len(s.MetricReports))
+	}
+	if _, ok := s.PreparedByID("AEEK"); !ok {
+		t.Error("PreparedByID(AEEK) failed")
+	}
+}
+
+// TestRQ1CorrectnessModel reproduces Table I's shape: no significant
+// treatment effect, coding experience positive, RE experience negative,
+// random-effect structure present.
+func TestRQ1CorrectnessModel(t *testing.T) {
+	s := defaultStudy(t)
+	res, err := s.AnalyzeCorrectness()
+	if err != nil {
+		t.Fatalf("AnalyzeCorrectness: %v", err)
+	}
+	dirty, ok := res.Coef("uses_DIRTY")
+	if !ok {
+		t.Fatal("uses_DIRTY coefficient missing")
+	}
+	if dirty.Significant() {
+		t.Errorf("uses_DIRTY significant (%.4f ± %.4f, p=%.4f); Table I reports no effect",
+			dirty.Estimate, dirty.StdErr, dirty.P)
+	}
+	if dirty.Estimate > 0.3 {
+		t.Errorf("uses_DIRTY estimate = %.3f; Table I reports a slightly negative effect", dirty.Estimate)
+	}
+	coding, _ := res.Coef("Exp_Coding")
+	if coding.Estimate <= 0 {
+		t.Errorf("Exp_Coding estimate = %.3f, want positive (Table I)", coding.Estimate)
+	}
+	re, _ := res.Coef("Exp_RE")
+	if re.Significant() {
+		t.Errorf("Exp_RE significant (%.3f, p=%.4f); Table I reports insignificance", re.Estimate, re.P)
+	}
+	if len(res.Random) != 2 {
+		t.Fatalf("random components = %d, want user + question", len(res.Random))
+	}
+	if res.R2Conditional <= res.R2Marginal {
+		t.Errorf("R²c (%.3f) must exceed R²m (%.3f)", res.R2Conditional, res.R2Marginal)
+	}
+	if res.NObs < 250 || res.NObs > 320 {
+		t.Errorf("observations = %d, want ≈273", res.NObs)
+	}
+}
+
+// TestRQ2TimingModel reproduces Table II's shape: positive but
+// insignificant treatment effect; only the intercept significant.
+func TestRQ2TimingModel(t *testing.T) {
+	s := defaultStudy(t)
+	res, err := s.AnalyzeTiming()
+	if err != nil {
+		t.Fatalf("AnalyzeTiming: %v", err)
+	}
+	dirty, _ := res.Coef("uses_DIRTY")
+	if dirty.Estimate <= 0 {
+		t.Errorf("uses_DIRTY timing estimate = %.2f, want positive (Table II: +26.3)", dirty.Estimate)
+	}
+	if dirty.Significant() {
+		t.Errorf("uses_DIRTY timing significant (p=%.4f); Table II reports insignificance", dirty.P)
+	}
+	intercept, _ := res.Coef("(Intercept)")
+	if !intercept.Significant() {
+		t.Errorf("intercept p=%.4f, want significant (Table II)", intercept.P)
+	}
+	if res.NObs < 280 || res.NObs > 320 {
+		t.Errorf("observations = %d, want ≈296", res.NObs)
+	}
+}
+
+// TestFigure5Shapes checks the per-question correctness pattern: DIRTY
+// collapses on POSTORDER-Q2 (Fisher significant) and helps on BAPL.
+func TestFigure5Shapes(t *testing.T) {
+	s := defaultStudy(t)
+	qcs, err := s.CorrectnessByQuestion()
+	if err != nil {
+		t.Fatalf("CorrectnessByQuestion: %v", err)
+	}
+	if len(qcs) != 8 {
+		t.Fatalf("questions = %d, want 8", len(qcs))
+	}
+	byID := map[string]QuestionCorrectness{}
+	for _, q := range qcs {
+		byID[q.QuestionID] = q
+	}
+	po2 := byID["POSTORDER-Q2"]
+	if po2.DirtyRate() >= po2.HexRate() {
+		t.Errorf("POSTORDER-Q2: DIRTY rate %.2f should be far below Hex-Rays %.2f (Fig 4/5)",
+			po2.DirtyRate(), po2.HexRate())
+	}
+	if po2.FisherP >= 0.05 {
+		t.Errorf("POSTORDER-Q2 Fisher p = %.4f, paper reports 0.011", po2.FisherP)
+	}
+	for _, id := range []string{"BAPL-Q1", "BAPL-Q2"} {
+		q := byID[id]
+		if q.DirtyRate() <= q.HexRate() {
+			t.Errorf("%s: DIRTY rate %.2f should exceed Hex-Rays %.2f (Fig 5)", id, q.DirtyRate(), q.HexRate())
+		}
+	}
+}
+
+// TestFigure6BAPLTiming: no significant completion-time difference on BAPL
+// (paper: Welch p = 0.72).
+func TestFigure6BAPLTiming(t *testing.T) {
+	s := defaultStudy(t)
+	hex, dirty, err := s.TimingGroups("BAPL", "", false)
+	if err != nil {
+		t.Fatalf("TimingGroups: %v", err)
+	}
+	w, err := htest.WelchT(hex, dirty, htest.TwoSided)
+	if err != nil {
+		t.Fatalf("WelchT: %v", err)
+	}
+	if w.P < 0.05 {
+		t.Errorf("BAPL Welch p = %.4f, paper reports insignificance (0.72)", w.P)
+	}
+}
+
+// TestFigure7AEEKQ2Timing: correct answers under DIRTY take several minutes
+// longer (paper: ≈3.5 min).
+func TestFigure7AEEKQ2Timing(t *testing.T) {
+	s := defaultStudy(t)
+	hex, dirty, err := s.TimingGroups("", "AEEK-Q2", true)
+	if err != nil {
+		t.Fatalf("TimingGroups: %v", err)
+	}
+	gap := stats.Mean(dirty) - stats.Mean(hex)
+	if gap < 60 {
+		t.Errorf("AEEK-Q2 correct-answer gap = %.1fs, want ≥60s (paper: ≈210s)", gap)
+	}
+}
+
+// TestRQ3Opinions: names universally preferred under DIRTY; types not
+// significantly different.
+func TestRQ3Opinions(t *testing.T) {
+	s := defaultStudy(t)
+	op, err := s.AnalyzeOpinions()
+	if err != nil {
+		t.Fatalf("AnalyzeOpinions: %v", err)
+	}
+	if op.NameTest.P > 1e-6 {
+		t.Errorf("name preference p = %g, paper reports 5e-14", op.NameTest.P)
+	}
+	if stats.Mean(op.NameDirty) >= stats.Mean(op.NameHex) {
+		t.Errorf("DIRTY name ratings (%.2f) should be better (lower) than Hex-Rays (%.2f)",
+			stats.Mean(op.NameDirty), stats.Mean(op.NameHex))
+	}
+	if op.TypeTest.P < 0.05 {
+		t.Errorf("type preference p = %.4f, paper reports insignificance (0.27)", op.TypeTest.P)
+	}
+}
+
+// TestRQ1Trust: incorrect answerers trusted the annotations more (lower
+// type ratings), significantly (paper p = 0.025).
+func TestRQ1Trust(t *testing.T) {
+	s := defaultStudy(t)
+	tr, err := s.AnalyzeTrust()
+	if err != nil {
+		t.Fatalf("AnalyzeTrust: %v", err)
+	}
+	if tr.PostorderFisher >= 0.05 {
+		t.Errorf("postorder Fisher p = %.4f, paper reports 0.011", tr.PostorderFisher)
+	}
+	if tr.TrustTest.P >= 0.1 {
+		t.Errorf("trust Wilcoxon p = %.4f, paper reports 0.025", tr.TrustTest.P)
+	}
+	if len(tr.Themes) != 2 {
+		t.Fatalf("themes = %d, want the two §IV-A themes", len(tr.Themes))
+	}
+	// The usage-driven theme must out-perform the face-value theme.
+	var usage, names float64
+	for _, th := range tr.Themes {
+		switch th.Code {
+		case "usage-demonstrates-purpose":
+			usage = th.CorrectRate
+		case "names-indicate-usage":
+			names = th.CorrectRate
+		}
+	}
+	if usage <= names {
+		t.Errorf("usage-theme correct rate %.2f should exceed names-theme %.2f", usage, names)
+	}
+}
+
+// TestRQ4Perception: type ratings correlate positively with correctness
+// (worse rating ↔ more correct, paper ρ=0.1035 p=0.025); names do not.
+func TestRQ4Perception(t *testing.T) {
+	s := defaultStudy(t)
+	pp, err := s.PerceptionVsPerformance()
+	if err != nil {
+		t.Fatalf("PerceptionVsPerformance: %v", err)
+	}
+	if pp.TypeCorr.R <= 0 {
+		t.Errorf("type rating vs correctness ρ = %.4f, want positive", pp.TypeCorr.R)
+	}
+	if pp.TypeCorr.P >= 0.1 {
+		t.Errorf("type rating correlation p = %.4f, paper reports 0.025", pp.TypeCorr.P)
+	}
+	if math.Abs(pp.NameCorr.R) >= math.Abs(pp.TypeCorr.R) && pp.NameCorr.P < 0.05 {
+		t.Errorf("name rating correlation should be weaker/insignificant (ρ=%.4f p=%.4f)",
+			pp.NameCorr.R, pp.NameCorr.P)
+	}
+}
+
+// TestRQ5MetricCorrelations: the paper's headline disconnect — surface
+// similarity correlates positively with time and does not positively
+// track correctness.
+func TestRQ5MetricCorrelations(t *testing.T) {
+	s := defaultStudy(t)
+	mcs, err := s.MetricCorrelations()
+	if err != nil {
+		t.Fatalf("MetricCorrelations: %v", err)
+	}
+	if len(mcs) != 8 {
+		t.Fatalf("metric rows = %d, want 8 (Tables III/IV)", len(mcs))
+	}
+	byName := map[string]MetricCorrelation{}
+	for _, m := range mcs {
+		byName[m.Metric] = m
+	}
+	// Table III: Jaccard, BLEU, and human variable evaluation all
+	// positively and significantly correlated with time.
+	for _, name := range []string{"Jaccard Similarity", "BLEU", "Human Evaluation (Variables)"} {
+		m := byName[name]
+		if m.TimeRho <= 0 {
+			t.Errorf("%s vs time ρ = %.4f, want positive (Table III)", name, m.TimeRho)
+		}
+		if m.TimeP >= 0.05 {
+			t.Errorf("%s vs time p = %.4f, want significant (Table III)", name, m.TimeP)
+		}
+	}
+	// Table IV: neither Jaccard nor human variable evaluation positively
+	// tracks correctness — the similarity/comprehension disconnect.
+	for _, name := range []string{"Jaccard Similarity", "Human Evaluation (Variables)"} {
+		m := byName[name]
+		if m.CorrRho > 0.1 {
+			t.Errorf("%s vs correctness ρ = %.4f, want ≤ 0 (Table IV)", name, m.CorrRho)
+		}
+	}
+	// Levenshtein distance correlates negatively with correctness (the
+	// paper's footnote-2 observation in the opposite orientation).
+	if m := byName["Levenshtein"]; m.CorrRho >= 0 {
+		t.Errorf("Levenshtein vs correctness ρ = %.4f, want negative", m.CorrRho)
+	}
+}
+
+// TestRQ5ExpertPanel: the simulated 12-rater panel agrees at the paper's
+// reported level (α = 0.872).
+func TestRQ5ExpertPanel(t *testing.T) {
+	s := defaultStudy(t)
+	if s.Panel.Alpha < 0.75 || s.Panel.Alpha > 0.97 {
+		t.Errorf("Krippendorff α = %.3f, paper reports 0.872", s.Panel.Alpha)
+	}
+}
+
+func TestStudyDeterminism(t *testing.T) {
+	a, err := New(&Config{Seed: 5})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	b, err := New(&Config{Seed: 5})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if a.Dataset.CSV() != b.Dataset.CSV() {
+		t.Error("same seed should reproduce the dataset")
+	}
+	ra, err := a.AnalyzeCorrectness()
+	if err != nil {
+		t.Fatalf("AnalyzeCorrectness: %v", err)
+	}
+	rb, err := b.AnalyzeCorrectness()
+	if err != nil {
+		t.Fatalf("AnalyzeCorrectness: %v", err)
+	}
+	da, _ := ra.Coef("uses_DIRTY")
+	db, _ := rb.Coef("uses_DIRTY")
+	if math.Abs(da.Estimate-db.Estimate) > 1e-6 {
+		t.Errorf("model fits differ across identical runs: %v vs %v", da.Estimate, db.Estimate)
+	}
+}
+
+func TestTimingGroupsErrors(t *testing.T) {
+	s := defaultStudy(t)
+	if _, _, err := s.TimingGroups("NOPE", "", false); err == nil {
+		t.Error("unknown snippet: want error")
+	}
+}
+
+// TestTreatmentLRT: the likelihood-ratio view agrees with the Wald view —
+// dropping uses_DIRTY does not significantly worsen either model.
+func TestTreatmentLRT(t *testing.T) {
+	s := defaultStudy(t)
+	cr, tm, err := s.TreatmentLRT()
+	if err != nil {
+		t.Fatalf("TreatmentLRT: %v", err)
+	}
+	if cr.P < 0.05 {
+		t.Errorf("correctness LRT p = %.4f; the treatment effect should be insignificant", cr.P)
+	}
+	if tm.P < 0.01 {
+		t.Errorf("timing LRT p = %.4f; the treatment effect should not be strongly significant", tm.P)
+	}
+	if cr.Chi2 < 0 || tm.Chi2 < 0 {
+		t.Errorf("negative chi-square: %v, %v", cr.Chi2, tm.Chi2)
+	}
+}

@@ -1,0 +1,159 @@
+// Package core is the paper's primary contribution rebuilt as a library:
+// an end-to-end extrinsic-evaluation harness for decompiler annotation
+// tools. It wires every substrate together — corpus preparation
+// (compile→decompile→annotate), survey administration over the simulated
+// participant pool, grading, mixed-effects modeling, perception analysis,
+// and intrinsic-metric correlation — and exposes one analysis method per
+// research question:
+//
+//	RQ1 AnalyzeCorrectness   → Table I   (logistic GLMM)
+//	RQ2 AnalyzeTiming        → Table II  (linear LMM)
+//	RQ1 CorrectnessByQuestion→ Figure 5  (+ Fisher's exact on POSTORDER-Q2)
+//	RQ2 TimingBySnippet      → Figures 6 & 7 (+ Welch's t)
+//	RQ3 AnalyzeOpinions      → Figure 8  (Wilcoxon rank-sum)
+//	RQ1 TrustAnalysis        → §IV-A in-text (trust vs correctness, themes)
+//	RQ4 PerceptionVsPerformance → §IV-D Spearman tests
+//	RQ5 MetricCorrelations   → Tables III & IV (+ expert panel)
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"decompstudy/internal/corpus"
+	"decompstudy/internal/embed"
+	"decompstudy/internal/metrics"
+	"decompstudy/internal/namerec"
+	"decompstudy/internal/qualcode"
+	"decompstudy/internal/survey"
+)
+
+// ErrAnalysis is returned when an analysis cannot run on the collected
+// data (e.g. an empty treatment cell).
+var ErrAnalysis = errors.New("core: analysis precondition failed")
+
+// Config controls a full study run.
+type Config struct {
+	// Seed drives the entire pipeline; the default 99 regenerates
+	// EXPERIMENTS.md exactly.
+	Seed int64
+	// Survey optionally overrides survey administration parameters; its
+	// Seed field is ignored in favor of Config.Seed.
+	Survey *survey.Config
+	// EmbedDim is the identifier-embedding dimensionality (0 = 24).
+	EmbedDim int
+}
+
+func (c *Config) defaults() Config {
+	out := Config{Seed: 99, EmbedDim: 24}
+	if c == nil {
+		return out
+	}
+	if c.Seed != 0 {
+		out.Seed = c.Seed
+	}
+	out.Survey = c.Survey
+	if c.EmbedDim > 0 {
+		out.EmbedDim = c.EmbedDim
+	}
+	return out
+}
+
+// Study holds everything a run produces.
+type Study struct {
+	Config Config
+	// Prepared holds the four snippets with both treatment arms.
+	Prepared []*corpus.Prepared
+	// Dataset is the collected survey data after quality filtering.
+	Dataset *survey.Dataset
+	// Embed is the identifier-embedding model behind BERTScore/VarCLR.
+	Embed *embed.Model
+	// Recovery is the trained DIRTY-analog model (available to callers who
+	// want model-based rather than paper-faithful annotations).
+	Recovery *namerec.Model
+	// MetricReports holds the intrinsic metric evaluation per snippet ID.
+	MetricReports map[string]metrics.Report
+	// Panel is the RQ5 expert similarity panel result.
+	Panel *qualcode.PanelResult
+}
+
+// New runs the full pipeline and returns a ready-to-analyze study.
+func New(cfg *Config) (*Study, error) {
+	c := cfg.defaults()
+	s := &Study{Config: c}
+
+	var err error
+	s.Prepared, err = corpus.PrepareAll()
+	if err != nil {
+		return nil, fmt.Errorf("core: preparing snippets: %w", err)
+	}
+
+	ctxs, err := corpus.EmbeddingContexts()
+	if err != nil {
+		return nil, fmt.Errorf("core: embedding contexts: %w", err)
+	}
+	s.Embed, err = embed.Train(ctxs, &embed.Config{Dim: c.EmbedDim})
+	if err != nil {
+		return nil, fmt.Errorf("core: training embeddings: %w", err)
+	}
+
+	training, err := corpus.TrainingFiles()
+	if err != nil {
+		return nil, fmt.Errorf("core: training corpus: %w", err)
+	}
+	s.Recovery, err = namerec.TrainModel(training)
+	if err != nil {
+		return nil, fmt.Errorf("core: training recovery model: %w", err)
+	}
+
+	svCfg := survey.Config{}
+	if c.Survey != nil {
+		svCfg = *c.Survey
+	}
+	svCfg.Seed = c.Seed
+	s.Dataset, err = survey.Run(&svCfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: administering survey: %w", err)
+	}
+
+	// Intrinsic metrics per snippet (RQ5 inputs).
+	s.MetricReports = map[string]metrics.Report{}
+	var sets []qualcode.PairSet
+	for _, p := range s.Prepared {
+		pairs := make([]metrics.Pair, 0, len(p.Dirty.Renames))
+		for _, r := range p.Dirty.Renames {
+			pairs = append(pairs, metrics.Pair{Candidate: r.NewName, Reference: r.OrigName})
+		}
+		rep, err := metrics.Evaluate(pairs, p.Dirty.Source(), p.OrigSource, s.Embed)
+		if err != nil {
+			return nil, fmt.Errorf("core: metrics for %s: %w", p.Snippet.ID, err)
+		}
+		s.MetricReports[p.Snippet.ID] = rep
+		sets = append(sets, qualcode.PairSet{
+			SnippetID: p.Snippet.ID,
+			NamePairs: p.Dirty.MetricPairs(),
+			TypePairs: p.Dirty.TypePairs(),
+		})
+	}
+	s.Panel, err = qualcode.RatePanel(sets, s.Embed, &qualcode.PanelConfig{Seed: c.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("core: expert panel: %w", err)
+	}
+	// Fold the panel's human-evaluation scores into the metric reports.
+	for id, rep := range s.MetricReports {
+		rep.HumanVariables = s.Panel.VariableScore[id]
+		rep.HumanTypes = s.Panel.TypeScore[id]
+		s.MetricReports[id] = rep
+	}
+	return s, nil
+}
+
+// PreparedByID returns the prepared snippet with the given ID.
+func (s *Study) PreparedByID(id string) (*corpus.Prepared, bool) {
+	for _, p := range s.Prepared {
+		if p.Snippet.ID == id {
+			return p, true
+		}
+	}
+	return nil, false
+}

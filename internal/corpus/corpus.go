@@ -1,0 +1,392 @@
+// Package corpus embeds the study materials: the four code snippets the
+// paper selected (array_extract_element_klen and buffer_append_path_len
+// from lighttpd, postorder from coreutils, twos_complement from openssl),
+// re-authored in the project's C subset so they flow through the
+// compile→decompile→annotate pipeline; the paper's DIRTY outputs for each,
+// encoded as annotation overrides (including the postorder argument-swap
+// failure); the eight comprehension questions; and a training corpus of
+// ordinary C functions for the recovery model and the identifier
+// embeddings.
+//
+// Per-question calibration constants encode the paper's observed outcome
+// structure (Figure 5 correctness bars, Figures 6-7 timing, the §IV
+// in-text statistics) so the simulated participant pool regenerates the
+// same shapes.
+package corpus
+
+import (
+	"fmt"
+
+	"decompstudy/internal/csrc"
+	"decompstudy/internal/namerec"
+)
+
+// QuestionKind classifies the four question styles of §III-C.
+type QuestionKind int
+
+// Question kinds, mirroring the paper's taxonomy.
+const (
+	KindValueAt  QuestionKind = iota + 1 // value of Y at line Z given args X
+	KindPurpose                          // purpose of lines X–Y
+	KindReturns                          // potential return values
+	KindArgMatch                         // which argument does X
+)
+
+func (k QuestionKind) String() string {
+	switch k {
+	case KindValueAt:
+		return "value-at-line"
+	case KindPurpose:
+		return "purpose-of-lines"
+	case KindReturns:
+		return "return-values"
+	case KindArgMatch:
+		return "argument-matching"
+	default:
+		return fmt.Sprintf("QuestionKind(%d)", int(k))
+	}
+}
+
+// Calibration encodes a question's outcome structure, taken from the
+// paper's reported results (see DESIGN.md §4).
+type Calibration struct {
+	// ControlLogit is the log-odds a participant of average skill answers
+	// correctly on the plain Hex-Rays version.
+	ControlLogit float64
+	// TreatDelta is the additive log-odds effect of DIRTY annotations.
+	TreatDelta float64
+	// Misleading marks questions where DIRTY's annotation actively
+	// misleads (postorder Q2's swap, AEEK Q2's `ret`); for these the
+	// effective treatment penalty scales with the participant's trust.
+	Misleading bool
+	// TimeMeanSec and TimeSDSec parameterize the control-condition
+	// completion time.
+	TimeMeanSec, TimeSDSec float64
+	// TreatTimeDelta is the mean additional seconds under DIRTY (negative
+	// when annotations speed participants up).
+	TreatTimeDelta float64
+}
+
+// Question is one comprehension question.
+type Question struct {
+	ID     string
+	Kind   QuestionKind
+	Text   string
+	Answer string
+	Calib  Calibration
+}
+
+// Snippet is one study function with everything needed to produce both
+// treatment arms.
+type Snippet struct {
+	// ID is the paper's abbreviation: AEEK, BAPL, POSTORDER, TC.
+	ID string
+	// FuncName is the function under study within Source.
+	FuncName string
+	// Project is the provenance the paper cites.
+	Project string
+	// Source is the original mini-C translation unit (structs + helpers +
+	// the function).
+	Source string
+	// ExtraTypes lists identifier-spelled types the parser must know.
+	ExtraTypes []string
+	// DirtyOverrides reproduces the paper's DIRTY output per original
+	// variable name.
+	DirtyOverrides map[string]namerec.Prediction
+	// SwapParams injects the postorder argument-swap failure (empty
+	// otherwise).
+	SwapParams [2]string
+	// Questions holds the two questions asked about this snippet.
+	Questions []Question
+	// TypeOpinionPenalty shifts simulated Likert ratings of DIRTY's types
+	// (the twos_complement outlier of §IV-C).
+	TypeOpinionPenalty float64
+}
+
+// Parse returns the parsed translation unit of the snippet.
+func (s *Snippet) Parse() (*csrc.File, error) {
+	f, err := csrc.Parse(s.Source, s.ExtraTypes)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: parsing snippet %s: %w", s.ID, err)
+	}
+	return f, nil
+}
+
+// Snippets returns the four study snippets in presentation order.
+func Snippets() []*Snippet {
+	return []*Snippet{aeek(), bapl(), postorder(), twosComplement()}
+}
+
+// SnippetByID returns the snippet with the given ID.
+func SnippetByID(id string) (*Snippet, bool) {
+	for _, s := range Snippets() {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+func aeek() *Snippet {
+	return &Snippet{
+		ID:         "AEEK",
+		FuncName:   "array_extract_element_klen",
+		Project:    "lighttpd",
+		ExtraTypes: []string{"data_unset"},
+		Source: `
+typedef struct array {
+  void *data;
+  data_unset **sorted;
+  uint32_t used;
+  uint32_t size;
+} array;
+
+int array_get_index(array *a, const char *k, uint32_t klen) {
+  uint32_t i = 0;
+  while (i < a->used) {
+    if (key_matches(a->sorted[i], k, klen)) {
+      return i;
+    }
+    i = i + 1;
+  }
+  return -1;
+}
+
+data_unset *array_extract_element_klen(array *a, const char *k, uint32_t klen) {
+  int index = array_get_index(a, k, klen);
+  if (index < 0) {
+    return 0;
+  }
+  data_unset *entry = a->sorted[index];
+  uint32_t last_ndx = a->used - 1;
+  if (index != last_ndx) {
+    memmove(a->sorted + index, a->sorted + index + 1, (last_ndx - index) * sizeof(data_unset *));
+  }
+  a->used = last_ndx;
+  return entry;
+}
+`,
+		// Paper Figs 1b and 7b: param klen becomes "index", the array
+		// keeps a layout-incompatible struct type, the extracted entry
+		// becomes char *next, and an unrelated local is named ret.
+		DirtyOverrides: map[string]namerec.Prediction{
+			"a":        {Name: "array", Type: "array_t_0 *"},
+			"k":        {Name: "key", Type: "void *"},
+			"klen":     {Name: "index", Type: "int"},
+			"index":    {Name: "index", Type: "int"}, // dedupes to indexa
+			"entry":    {Name: "next", Type: "char *"},
+			"last_ndx": {Name: "ret", Type: "int"},
+		},
+		Questions: []Question{
+			{
+				ID:     "AEEK-Q1",
+				Kind:   KindPurpose,
+				Text:   "If a1 + 8 points to an array and the array_get_index call returns an index, what is the purpose of the if and memmove that follow?",
+				Answer: "They close the gap left by the extracted element: the tail of the array is shifted down one slot so the array stays contiguous, and the element count is decremented.",
+				Calib: Calibration{
+					ControlLogit: 0.3, TreatDelta: -0.6,
+					TimeMeanSec: 220, TimeSDSec: 110, TreatTimeDelta: 15,
+				},
+			},
+			{
+				ID:     "AEEK-Q2",
+				Kind:   KindReturns,
+				Text:   "What are the potential return values of this function?",
+				Answer: "NULL (0) when the key is not found, otherwise a pointer to the extracted element.",
+				Calib: Calibration{
+					ControlLogit: 0.1, TreatDelta: -0.8, Misleading: true,
+					TimeMeanSec: 260, TimeSDSec: 130, TreatTimeDelta: 60,
+				},
+			},
+		},
+	}
+}
+
+func bapl() *Snippet {
+	return &Snippet{
+		ID:       "BAPL",
+		FuncName: "buffer_append_path_len",
+		Project:  "lighttpd",
+		Source: `
+typedef struct buffer {
+  char *ptr;
+  uint32_t used;
+  uint32_t size;
+} buffer;
+
+void buffer_append_path_len(buffer *b, const char *a, size_t alen) {
+  uint32_t off = b->used;
+  char *s = buffer_string_prepare_append(b, alen + 1);
+  if (off != 0 && s[off - 1] == '/') {
+    if (alen != 0 && a[0] == '/') {
+      a = a + 1;
+      alen = alen - 1;
+    }
+  } else {
+    if (alen == 0 || a[0] != '/') {
+      s[off] = '/';
+      off = off + 1;
+    }
+  }
+  memcpy(s + off, a, alen);
+  b->used = off + alen;
+}
+`,
+		// Paper Fig 6a: DIRTY recovers str and n but mislabels the buffer
+		// as an SSL session.
+		DirtyOverrides: map[string]namerec.Prediction{
+			"b":    {Name: "s", Type: "SSL *"},
+			"a":    {Name: "str", Type: "const char *"},
+			"alen": {Name: "n", Type: "size_t"},
+			"off":  {Name: "len", Type: "int"},
+			"s":    {Name: "buf", Type: "char *"},
+		},
+		Questions: []Question{
+			{
+				ID:     "BAPL-Q1",
+				Kind:   KindValueAt,
+				Text:   `If the function is called with the buffer holding "usr/" (4 bytes used) and the second argument "/bin" of length 4, how many bytes are used by the buffer when the function returns?`,
+				Answer: "7 — one of the two separators is dropped, yielding \"usr/bin\".",
+				Calib: Calibration{
+					ControlLogit: -0.3, TreatDelta: 0.7,
+					TimeMeanSec: 256, TimeSDSec: 145, TreatTimeDelta: -14,
+				},
+			},
+			{
+				ID:     "BAPL-Q2",
+				Kind:   KindPurpose,
+				Text:   "What is the purpose of the nested if statements before the copy call?",
+				Answer: "They guarantee exactly one path separator appears at the join point: a leading '/' on the appended string is skipped when the buffer already ends with '/', and a '/' is inserted when neither side provides one.",
+				Calib: Calibration{
+					ControlLogit: -0.1, TreatDelta: 0.6,
+					TimeMeanSec: 250, TimeSDSec: 140, TreatTimeDelta: -10,
+				},
+			},
+		},
+	}
+}
+
+func postorder() *Snippet {
+	return &Snippet{
+		ID:       "POSTORDER",
+		FuncName: "postorder",
+		Project:  "coreutils",
+		Source: `
+typedef struct tnode {
+  struct tnode *left;
+  struct tnode *right;
+} tnode;
+
+long postorder(tnode *t, long (*visit)(void *aux, void *node), void *aux) {
+  long ret;
+  if (t == 0) {
+    return 0;
+  }
+  if (t->left != 0) {
+    ret = postorder(t->left, visit, aux);
+    if (ret != 0) {
+      return ret;
+    }
+  }
+  if (t->right != 0) {
+    ret = postorder(t->right, visit, aux);
+    if (ret != 0) {
+      return ret;
+    }
+  }
+  ret = visit(aux, t);
+  return ret;
+}
+`,
+		// Paper Fig 4b: DIRTY's names are individually reasonable but the
+		// function pointer and auxiliary argument are swapped.
+		DirtyOverrides: map[string]namerec.Prediction{
+			"t":     {Name: "t", Type: "tree234 *"},
+			"visit": {Name: "cmp", Type: "cmpfn234"},
+			"aux":   {Name: "e", Type: "void *"},
+			"ret":   {Name: "ret", Type: "__int64"},
+		},
+		SwapParams: [2]string{"visit", "aux"},
+		Questions: []Question{
+			{
+				ID:     "POSTORDER-Q1",
+				Kind:   KindPurpose,
+				Text:   "In what order does this function process the nodes of the tree relative to calling the supplied function?",
+				Answer: "Postorder: both subtrees are fully processed (left, then right) before the function pointer is invoked on the current node; a nonzero status aborts the traversal.",
+				Calib: Calibration{
+					ControlLogit: 1.5, TreatDelta: 0.0,
+					TimeMeanSec: 265, TimeSDSec: 95, TreatTimeDelta: 15,
+				},
+			},
+			{
+				ID:     "POSTORDER-Q2",
+				Kind:   KindArgMatch,
+				Text:   "The three arguments are a pointer to a tree structure, a function pointer called on each node, and auxiliary information maintained during traversal. Match each argument to its description.",
+				Answer: "First argument: tree. Second argument: the function pointer (it is the only value invoked). Third argument: the auxiliary information (passed unchanged into every call).",
+				Calib: Calibration{
+					ControlLogit: 3.4, TreatDelta: -3.1, Misleading: true,
+					TimeMeanSec: 285, TimeSDSec: 105, TreatTimeDelta: 30,
+				},
+			},
+		},
+	}
+}
+
+func twosComplement() *Snippet {
+	return &Snippet{
+		ID:       "TC",
+		FuncName: "twos_complement",
+		Project:  "openssl",
+		Source: `
+void twos_complement(unsigned char *dst, const unsigned char *src, size_t len, unsigned char pad) {
+  unsigned int carry = pad & 1;
+  if (len == 0) {
+    return;
+  }
+  size_t i = len;
+  while (i > 0) {
+    i = i - 1;
+    unsigned int b = src[i] ^ pad;
+    b = b + carry;
+    dst[i] = b & 255;
+    carry = b >> 8;
+  }
+}
+`,
+		// DIRTY's TC types were rated poorly by participants (§IV-C) even
+		// though its names helped performance (§IV-D): wrong-domain BN
+		// types with serviceable names.
+		DirtyOverrides: map[string]namerec.Prediction{
+			"dst":   {Name: "to", Type: "BN_ULONG *"},
+			"src":   {Name: "from", Type: "const BN_ULONG *"},
+			"len":   {Name: "n", Type: "int"},
+			"pad":   {Name: "mask", Type: "BN_ULONG"},
+			"carry": {Name: "c", Type: "BN_ULONG"},
+			"i":     {Name: "idx", Type: "int"},
+			"b":     {Name: "w", Type: "BN_ULONG"},
+		},
+		TypeOpinionPenalty: 1.2,
+		Questions: []Question{
+			{
+				ID:     "TC-Q1",
+				Kind:   KindValueAt,
+				Text:   "If the function is called with src = {0x01, 0x00}, len = 2, and pad = 0xff, what bytes are written to dst?",
+				Answer: "dst = {0xff, 0x00}: the loop runs from the last byte, XORs each byte with 0xff, and propagates the +1 carry upward, producing the two's complement of 0x0100.",
+				Calib: Calibration{
+					ControlLogit: 0.0, TreatDelta: 0.4,
+					TimeMeanSec: 240, TimeSDSec: 120, TreatTimeDelta: -25,
+				},
+			},
+			{
+				ID:     "TC-Q2",
+				Kind:   KindArgMatch,
+				Text:   "Which argument controls whether the input buffer is converted to its two's complement form before copying?",
+				Answer: "The fourth argument (pad/mask): when it is 0xff every byte is inverted and an initial carry is added, producing the two's complement; when it is 0 the buffer is copied unchanged.",
+				Calib: Calibration{
+					ControlLogit: -0.5, TreatDelta: 0.4,
+					TimeMeanSec: 220, TimeSDSec: 115, TreatTimeDelta: -20,
+				},
+			},
+		},
+	}
+}

@@ -1,0 +1,78 @@
+package corpus
+
+import (
+	"fmt"
+
+	"decompstudy/internal/compile"
+	"decompstudy/internal/csrc"
+	"decompstudy/internal/decomp"
+	"decompstudy/internal/namerec"
+)
+
+// Prepared is a snippet run through the full pipeline: parsed, compiled,
+// decompiled, and annotated — both treatment arms ready to show.
+type Prepared struct {
+	Snippet *Snippet
+	// HexRays is the control arm (plain decompiler output).
+	HexRays *decomp.Decompiled
+	// Dirty is the treatment arm (decompiler output with recovered names).
+	Dirty *namerec.Annotated
+	// OrigSource is the original function's pretty-printed source.
+	OrigSource string
+}
+
+// Prepare runs one snippet through compile→decompile→annotate.
+func Prepare(s *Snippet) (*Prepared, error) {
+	file, err := s.Parse()
+	if err != nil {
+		return nil, err
+	}
+	obj, err := compile.Compile(file)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: compiling %s: %w", s.ID, err)
+	}
+	cf, ok := obj.Func0(s.FuncName)
+	if !ok {
+		return nil, fmt.Errorf("corpus: snippet %s does not define %s", s.ID, s.FuncName)
+	}
+	d, err := decomp.LiftFunc(cf)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: decompiling %s: %w", s.ID, err)
+	}
+	an := &namerec.Annotator{Opts: namerec.Options{
+		Overrides:  s.DirtyOverrides,
+		SwapParams: s.SwapParams,
+	}}
+	dirty, err := an.Annotate(d)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: annotating %s: %w", s.ID, err)
+	}
+	srcFn, ok := file.Function0(s.FuncName)
+	if !ok {
+		return nil, fmt.Errorf("corpus: snippet %s lost function %s after parse", s.ID, s.FuncName)
+	}
+	return &Prepared{
+		Snippet:    s,
+		HexRays:    d,
+		Dirty:      dirty,
+		OrigSource: printFunc(srcFn),
+	}, nil
+}
+
+// PrepareAll prepares every study snippet.
+func PrepareAll() ([]*Prepared, error) {
+	snippets := Snippets()
+	out := make([]*Prepared, 0, len(snippets))
+	for _, s := range snippets {
+		p, err := Prepare(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func printFunc(fn *csrc.Function) string {
+	return csrc.PrintFunction(fn, nil)
+}

@@ -1,0 +1,238 @@
+package corpus
+
+import (
+	"fmt"
+
+	"decompstudy/internal/csrc"
+)
+
+// trainingSources is the corpus of ordinary C functions (with their
+// original names) used to train the recovery model and the identifier
+// embeddings — the stand-in for the GitHub corpora DIRE/DIRTY train on.
+// The functions deliberately cover the domains the paper sampled from:
+// buffers and string handling, array/index manipulation, tree traversal,
+// byte copying, and error-status plumbing.
+var trainingSources = []string{
+	`
+int buffer_length(char *buf, int cap) {
+  int len = 0;
+  while (len < cap) {
+    if (buf[len] == 0) {
+      return len;
+    }
+    len = len + 1;
+  }
+  return cap;
+}
+`,
+	`
+long lookup_index(long *table, int index, int count) {
+  if (index < 0) {
+    return 0;
+  }
+  if (index >= count) {
+    return 0;
+  }
+  return table[index];
+}
+`,
+	`
+void copy_bytes(char *dest, const char *src, int n) {
+  for (int i = 0; i < n; i++) {
+    dest[i] = src[i];
+  }
+}
+`,
+	`
+typedef struct list_node {
+  struct list_node *next;
+  long value;
+} list_node;
+
+long list_sum(list_node *head) {
+  long total = 0;
+  list_node *node = head;
+  while (node != 0) {
+    total = total + node->value;
+    node = node->next;
+  }
+  return total;
+}
+`,
+	`
+int find_char(const char *str, int ch, int len) {
+  for (int pos = 0; pos < len; pos++) {
+    if (str[pos] == ch) {
+      return pos;
+    }
+  }
+  return -1;
+}
+`,
+	`
+typedef struct vec {
+  long *items;
+  int size;
+  int capacity;
+} vec;
+
+long vec_get(vec *v, int index) {
+  if (index < 0 || index >= v->size) {
+    return 0;
+  }
+  return v->items[index];
+}
+`,
+	`
+unsigned int checksum(const unsigned char *data, size_t size) {
+  unsigned int sum = 0;
+  for (size_t i = 0; i < size; i++) {
+    sum = sum + data[i];
+    sum = sum ^ sum >> 3;
+  }
+  return sum;
+}
+`,
+	`
+int apply_visitor(void *tree, int (*visit)(void *aux, void *node), void *aux) {
+  int status = visit(aux, tree);
+  if (status != 0) {
+    return status;
+  }
+  return 0;
+}
+`,
+	`
+typedef struct strbuf {
+  char *ptr;
+  int used;
+  int size;
+} strbuf;
+
+void strbuf_append_char(strbuf *sb, char ch) {
+  if (sb->used < sb->size) {
+    sb->ptr[sb->used] = ch;
+    sb->used = sb->used + 1;
+  }
+}
+`,
+	`
+int key_compare(const char *key, const char *other, int klen) {
+  for (int i = 0; i < klen; i++) {
+    if (key[i] != other[i]) {
+      return key[i] - other[i];
+    }
+  }
+  return 0;
+}
+`,
+	`
+long max_value(long *values, int count) {
+  long best = values[0];
+  for (int i = 1; i < count; i++) {
+    if (values[i] > best) {
+      best = values[i];
+    }
+  }
+  return best;
+}
+`,
+	`
+void zero_fill(unsigned char *buf, size_t len) {
+  for (size_t i = 0; i < len; i++) {
+    buf[i] = 0;
+  }
+}
+`,
+	`
+void move_block(unsigned char *to, const unsigned char *from, size_t count) {
+  for (size_t i = 0; i < count; i++) {
+    to[i] = from[i];
+  }
+}
+`,
+	`
+void transfer(char *to, char *from, char *dst, char *src, int n) {
+  for (int i = 0; i < n; i++) {
+    dst[i] = src[i];
+    to[i] = from[i];
+  }
+}
+`,
+}
+
+// TrainingFiles parses the training corpus.
+func TrainingFiles() ([]*csrc.File, error) {
+	out := make([]*csrc.File, 0, len(trainingSources))
+	for i, src := range trainingSources {
+		f, err := csrc.Parse(src, nil)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: training source %d: %w", i, err)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// EmbeddingContexts returns identifier co-occurrence contexts for the
+// embedding trainer: one context per training function plus the study
+// snippets' original identifiers, so the semantic metrics recognize both
+// candidate and reference vocabularies.
+func EmbeddingContexts() ([][]string, error) {
+	files, err := TrainingFiles()
+	if err != nil {
+		return nil, err
+	}
+	var contexts [][]string
+	collect := func(f *csrc.File) {
+		for _, fn := range f.Functions {
+			var ids []string
+			ids = append(ids, fn.Name)
+			for _, p := range fn.Params {
+				ids = append(ids, p.Name)
+			}
+			var walk func(s csrc.Stmt)
+			walk = func(s csrc.Stmt) {
+				switch st := s.(type) {
+				case *csrc.Block:
+					for _, inner := range st.Stmts {
+						walk(inner)
+					}
+				case *csrc.DeclStmt:
+					ids = append(ids, st.Name)
+				case *csrc.If:
+					walk(st.Then)
+					if st.Else != nil {
+						walk(st.Else)
+					}
+				case *csrc.While:
+					walk(st.Body)
+				case *csrc.For:
+					if st.Init != nil {
+						walk(st.Init)
+					}
+					walk(st.Body)
+				}
+			}
+			walk(fn.Body)
+			contexts = append(contexts, ids)
+		}
+	}
+	for _, f := range files {
+		collect(f)
+	}
+	for _, s := range Snippets() {
+		f, err := s.Parse()
+		if err != nil {
+			return nil, err
+		}
+		collect(f)
+		// Include the DIRTY vocabulary so candidate names embed too.
+		var dirty []string
+		for _, pred := range s.DirtyOverrides {
+			dirty = append(dirty, pred.Name, pred.Type)
+		}
+		contexts = append(contexts, dirty)
+	}
+	return contexts, nil
+}

@@ -1,0 +1,57 @@
+package corpus
+
+import "decompstudy/internal/namerec"
+
+// Clone returns a deep copy of the snippet that can be mutated without
+// affecting the canonical study materials.
+func (s *Snippet) Clone() *Snippet {
+	out := *s
+	out.DirtyOverrides = make(map[string]namerec.Prediction, len(s.DirtyOverrides))
+	for k, v := range s.DirtyOverrides {
+		out.DirtyOverrides[k] = v
+	}
+	out.Questions = append([]Question(nil), s.Questions...)
+	return &out
+}
+
+// VariantPerfectAnnotations returns the study snippets with every
+// documented annotation failure repaired: the postorder argument swap is
+// removed, misleading questions stop misleading, and their treatment
+// effects turn mildly positive. This is the "what if DIRTY never misled?"
+// ablation — the counterfactual the paper's Discussion reasons about.
+func VariantPerfectAnnotations() []*Snippet {
+	var out []*Snippet
+	for _, s := range Snippets() {
+		c := s.Clone()
+		c.SwapParams = [2]string{}
+		for i := range c.Questions {
+			if c.Questions[i].Calib.Misleading {
+				c.Questions[i].Calib.Misleading = false
+				c.Questions[i].Calib.TreatDelta = 0.5
+				c.Questions[i].Calib.TreatTimeDelta = -10
+			}
+		}
+		if c.ID == "AEEK" {
+			// Repair the misleading local names the paper's Fig 7 documents.
+			c.DirtyOverrides["last_ndx"] = namerec.Prediction{Name: "last", Type: "int"}
+			c.DirtyOverrides["entry"] = namerec.Prediction{Name: "entry", Type: "data_unset *"}
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// VariantHarderQuestions returns the snippets with every question one
+// logit harder — the §VI robustness check that the null treatment result
+// is not an artifact of question difficulty.
+func VariantHarderQuestions() []*Snippet {
+	var out []*Snippet
+	for _, s := range Snippets() {
+		c := s.Clone()
+		for i := range c.Questions {
+			c.Questions[i].Calib.ControlLogit -= 1
+		}
+		out = append(out, c)
+	}
+	return out
+}

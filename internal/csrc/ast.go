@@ -1,0 +1,345 @@
+package csrc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Type represents a C type in the subset: base scalar types, named
+// (typedef/struct) types, pointers, and function pointers.
+type Type struct {
+	// Kind discriminates the representation.
+	Kind TypeKind
+	// Name is the base or named type's spelling ("int", "buffer",
+	// "size_t"). Empty for pointer and function kinds.
+	Name string
+	// Elem is the pointee for TypePointer.
+	Elem *Type
+	// Ret and Params describe TypeFunc (function-pointer) types.
+	Ret    *Type
+	Params []*Type
+	// Const marks a const-qualified type (printed, not semantically
+	// enforced).
+	Const bool
+}
+
+// TypeKind discriminates Type representations.
+type TypeKind int
+
+// Type kinds.
+const (
+	TypeBase TypeKind = iota + 1 // void, char, int, long, unsigned long, ...
+	TypeNamed
+	TypePointer
+	TypeFunc
+)
+
+// BaseType returns a base scalar type.
+func BaseType(name string) *Type { return &Type{Kind: TypeBase, Name: name} }
+
+// NamedType returns a typedef/struct-named type.
+func NamedType(name string) *Type { return &Type{Kind: TypeNamed, Name: name} }
+
+// PointerTo returns a pointer type to elem.
+func PointerTo(elem *Type) *Type { return &Type{Kind: TypePointer, Elem: elem} }
+
+// FuncType returns a function-pointer type.
+func FuncType(ret *Type, params []*Type) *Type {
+	return &Type{Kind: TypeFunc, Ret: ret, Params: params}
+}
+
+// String renders the type in C syntax (without a declarator name).
+func (t *Type) String() string {
+	if t == nil {
+		return "<nil>"
+	}
+	switch t.Kind {
+	case TypeBase, TypeNamed:
+		if t.Const {
+			return "const " + t.Name
+		}
+		return t.Name
+	case TypePointer:
+		inner := t.Elem.String()
+		if strings.HasSuffix(inner, "*") {
+			return inner + "*"
+		}
+		return inner + " *"
+	case TypeFunc:
+		parts := make([]string, len(t.Params))
+		for i, p := range t.Params {
+			parts[i] = p.String()
+		}
+		return fmt.Sprintf("%s (*)(%s)", t.Ret.String(), strings.Join(parts, ", "))
+	default:
+		return fmt.Sprintf("Type(kind=%d)", int(t.Kind))
+	}
+}
+
+// Equal reports structural type equality (ignoring const).
+func (t *Type) Equal(o *Type) bool {
+	if t == nil || o == nil {
+		return t == o
+	}
+	if t.Kind != o.Kind || t.Name != o.Name {
+		return false
+	}
+	if !t.Elem.Equal(o.Elem) || !t.Ret.Equal(o.Ret) {
+		return false
+	}
+	if len(t.Params) != len(o.Params) {
+		return false
+	}
+	for i := range t.Params {
+		if !t.Params[i].Equal(o.Params[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Expr is implemented by all expression nodes.
+type Expr interface{ exprNode() }
+
+// Ident is a variable or function reference.
+type Ident struct{ Name string }
+
+// IntLit is an integer literal (original spelling preserved).
+type IntLit struct{ Text string }
+
+// StrLit is a string literal (contents without quotes).
+type StrLit struct{ Value string }
+
+// CharLit is a character literal (contents without quotes).
+type CharLit struct{ Value string }
+
+// Unary is a prefix unary expression: Op in ! ~ - * & ++ --.
+type Unary struct {
+	Op string
+	X  Expr
+}
+
+// Postfix is a postfix ++/--.
+type Postfix struct {
+	Op string
+	X  Expr
+}
+
+// Binary is an infix binary expression.
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+// Assign is an assignment, possibly compound (Op "=", "+=", ...).
+type Assign struct {
+	Op   string
+	L, R Expr
+}
+
+// Ternary is cond ? then : else.
+type Ternary struct {
+	Cond, Then, Else Expr
+}
+
+// Call is a function call; Fun is usually an Ident but may be any
+// expression (function pointers).
+type Call struct {
+	Fun  Expr
+	Args []Expr
+}
+
+// Index is an array subscript X[I].
+type Index struct {
+	X, I Expr
+}
+
+// Member is a member access X.Name or X->Name.
+type Member struct {
+	X     Expr
+	Name  string
+	Arrow bool
+}
+
+// Cast is (Type)X.
+type Cast struct {
+	To *Type
+	X  Expr
+}
+
+// SizeofType is sizeof(Type).
+type SizeofType struct{ T *Type }
+
+func (*Ident) exprNode()      {}
+func (*IntLit) exprNode()     {}
+func (*StrLit) exprNode()     {}
+func (*CharLit) exprNode()    {}
+func (*Unary) exprNode()      {}
+func (*Postfix) exprNode()    {}
+func (*Binary) exprNode()     {}
+func (*Assign) exprNode()     {}
+func (*Ternary) exprNode()    {}
+func (*Call) exprNode()       {}
+func (*Index) exprNode()      {}
+func (*Member) exprNode()     {}
+func (*Cast) exprNode()       {}
+func (*SizeofType) exprNode() {}
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface{ stmtNode() }
+
+// Block is a { ... } statement list.
+type Block struct{ Stmts []Stmt }
+
+// DeclStmt declares a local variable with an optional initializer.
+type DeclStmt struct {
+	Type *Type
+	Name string
+	Init Expr // may be nil
+	// Comment carries a trailing annotation (the decompiler uses this for
+	// stack-slot comments like "[rsp+28h] [rbp-18h]").
+	Comment string
+}
+
+// ExprStmt evaluates an expression for effect.
+type ExprStmt struct{ X Expr }
+
+// If is an if/else statement; Else may be nil.
+type If struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt
+}
+
+// While is a while loop.
+type While struct {
+	Cond Expr
+	Body Stmt
+}
+
+// For is a for loop; any of Init/Cond/Post may be nil. Init may be a
+// DeclStmt or ExprStmt.
+type For struct {
+	Init Stmt
+	Cond Expr
+	Post Expr
+	Body Stmt
+}
+
+// DoWhile is a do { ... } while (cond); loop.
+type DoWhile struct {
+	Body Stmt
+	Cond Expr
+}
+
+// SwitchCase is one arm of a switch statement; a nil Value marks default.
+type SwitchCase struct {
+	Value Expr // nil for default
+	Stmts []Stmt
+}
+
+// Switch is a switch statement over integer cases. Each case is treated
+// as implicitly breaking (the subset does not support fallthrough).
+type Switch struct {
+	Tag   Expr
+	Cases []SwitchCase
+}
+
+// LineComment is a standalone comment line. The parser never produces one
+// (comments are skipped by the lexer); tools that enrich code — the deGPT
+// analog's comment generator — insert them programmatically.
+type LineComment struct{ Text string }
+
+// Return returns from a function; X may be nil.
+type Return struct{ X Expr }
+
+// Break is a break statement.
+type Break struct{}
+
+// Continue is a continue statement.
+type Continue struct{}
+
+func (*Block) stmtNode()       {}
+func (*DeclStmt) stmtNode()    {}
+func (*ExprStmt) stmtNode()    {}
+func (*If) stmtNode()          {}
+func (*While) stmtNode()       {}
+func (*For) stmtNode()         {}
+func (*DoWhile) stmtNode()     {}
+func (*LineComment) stmtNode() {}
+func (*Switch) stmtNode()      {}
+func (*Return) stmtNode()      {}
+func (*Break) stmtNode()       {}
+func (*Continue) stmtNode()    {}
+
+// Param is one function parameter.
+type Param struct {
+	Type *Type
+	Name string
+}
+
+// Function is a function definition.
+type Function struct {
+	Ret    *Type
+	Name   string
+	Params []Param
+	Body   *Block
+	// CallConv carries a calling-convention annotation the decompiler adds
+	// ("__fastcall"); empty for source functions.
+	CallConv string
+}
+
+// StructField is one field of a struct definition.
+type StructField struct {
+	Type *Type
+	Name string
+}
+
+// StructDef is a struct type definition.
+type StructDef struct {
+	Name   string
+	Fields []StructField
+}
+
+// FieldOffset returns the byte offset of the named field under the
+// project's simple layout rule (every scalar/pointer field occupies 8
+// bytes), and whether the field exists.
+func (s *StructDef) FieldOffset(name string) (int, bool) {
+	for i, f := range s.Fields {
+		if f.Name == name {
+			return i * 8, true
+		}
+	}
+	return 0, false
+}
+
+// Size returns the struct size under the 8-bytes-per-field layout rule.
+func (s *StructDef) Size() int { return len(s.Fields) * 8 }
+
+// File is a parsed translation unit.
+type File struct {
+	Structs   []*StructDef
+	Functions []*Function
+	// Typedefs records typedef aliases to their underlying types.
+	Typedefs map[string]*Type
+}
+
+// Struct returns the struct definition with the given name.
+func (f *File) Struct(name string) (*StructDef, bool) {
+	for _, s := range f.Structs {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// Function0 returns the function with the given name.
+func (f *File) Function0(name string) (*Function, bool) {
+	for _, fn := range f.Functions {
+		if fn.Name == name {
+			return fn, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,479 @@
+package csrc
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const sampleSource = `
+typedef struct array {
+  void *data;
+  data_unset **sorted;
+  uint32_t used;
+  uint32_t size;
+} array;
+
+int array_get_index(const array *a, const char *k, uint32_t klen) {
+  int i = 0;
+  while (i < 10) {
+    if (a->used == klen) {
+      return i;
+    }
+    i = i + 1;
+  }
+  return -1;
+}
+
+data_unset *array_extract_element_klen(array *const a, const char *k, const uint32_t klen) {
+  const int ndx = array_get_index(a, k, klen);
+  if (ndx < 0) return 0;
+  data_unset *const entry = a->sorted[ndx];
+  a->used -= 1;
+  return entry;
+}
+`
+
+func parseSample(t *testing.T) *File {
+	t.Helper()
+	f, err := Parse(sampleSource, []string{"data_unset"})
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return f
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex(`if (x <= 0xFF) y += "s\"t"; // c
+/* block
+comment */ z--;`)
+	if err != nil {
+		t.Fatalf("Lex: %v", err)
+	}
+	var texts []string
+	for _, tok := range toks {
+		if tok.Kind != TokEOF {
+			texts = append(texts, tok.Text)
+		}
+	}
+	want := []string{"if", "(", "x", "<=", "0xFF", ")", "y", "+=", `s\"t`, ";", "z", "--", ";"}
+	if len(texts) != len(want) {
+		t.Fatalf("tokens = %v, want %v", texts, want)
+	}
+	for i := range want {
+		if texts[i] != want[i] {
+			t.Errorf("tok[%d] = %q, want %q", i, texts[i], want[i])
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	cases := []string{"\"unterminated", "/* unterminated", "'unterminated", "int x = @;"}
+	for _, src := range cases {
+		if _, err := Lex(src); !errors.Is(err, ErrLex) {
+			t.Errorf("Lex(%q): err = %v, want ErrLex", src, err)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("a\n  bb")
+	if err != nil {
+		t.Fatalf("Lex: %v", err)
+	}
+	if toks[0].Line != 1 || toks[0].Col != 1 {
+		t.Errorf("a at %d:%d, want 1:1", toks[0].Line, toks[0].Col)
+	}
+	if toks[1].Line != 2 || toks[1].Col != 3 {
+		t.Errorf("bb at %d:%d, want 2:3", toks[1].Line, toks[1].Col)
+	}
+}
+
+func TestParseSampleFile(t *testing.T) {
+	f := parseSample(t)
+	if len(f.Structs) != 1 {
+		t.Fatalf("structs = %d, want 1", len(f.Structs))
+	}
+	if len(f.Functions) != 2 {
+		t.Fatalf("functions = %d, want 2", len(f.Functions))
+	}
+	s := f.Structs[0]
+	if s.Name != "array" || len(s.Fields) != 4 {
+		t.Errorf("struct = %q with %d fields, want array with 4", s.Name, len(s.Fields))
+	}
+	if off, ok := s.FieldOffset("used"); !ok || off != 16 {
+		t.Errorf("offset(used) = %d,%v, want 16,true", off, ok)
+	}
+	if s.Size() != 32 {
+		t.Errorf("sizeof(array) = %d, want 32", s.Size())
+	}
+
+	fn, ok := f.Function0("array_extract_element_klen")
+	if !ok {
+		t.Fatal("array_extract_element_klen not found")
+	}
+	if len(fn.Params) != 3 {
+		t.Fatalf("params = %d, want 3", len(fn.Params))
+	}
+	if fn.Params[2].Name != "klen" {
+		t.Errorf("param[2] = %q, want klen", fn.Params[2].Name)
+	}
+	if fn.Ret.Kind != TypePointer {
+		t.Errorf("return type = %v, want pointer", fn.Ret)
+	}
+}
+
+func TestParseFunctionPointerParam(t *testing.T) {
+	src := `
+void postorder(void *t, int (*visit)(void *node, void *aux), void *aux) {
+  visit(t, aux);
+}
+`
+	f, err := Parse(src, nil)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	fn := f.Functions[0]
+	if fn.Params[1].Type.Kind != TypeFunc {
+		t.Fatalf("param[1] type = %v, want function pointer", fn.Params[1].Type)
+	}
+	if got := len(fn.Params[1].Type.Params); got != 2 {
+		t.Errorf("function pointer arity = %d, want 2", got)
+	}
+}
+
+func TestParseTypedefFunctionPointer(t *testing.T) {
+	src := `
+typedef int (*cmpfn234)(void *a, void *b);
+int use(cmpfn234 cmp, void *x) {
+  return cmp(x, x);
+}
+`
+	f, err := Parse(src, nil)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	td, ok := f.Typedefs["cmpfn234"]
+	if !ok || td.Kind != TypeFunc {
+		t.Fatalf("typedef cmpfn234 = %v, want function type", td)
+	}
+}
+
+func TestParseHexRaysStyle(t *testing.T) {
+	// The decompiler output idiom must itself be parseable (we feed it to
+	// codeBLEU and re-render it).
+	src := `
+__int64 __fastcall array_extract_element_klen(__int64 a1, __int64 a2, unsigned int a3) {
+  int v4;
+  __int64 v7;
+  v4 = array_get_index(a1, a2, a3);
+  if ( v4 < 0 )
+    return 0LL;
+  v7 = *(_QWORD *)(8LL * v4 + *(_QWORD *)(a1 + 8));
+  return v7;
+}
+`
+	f, err := Parse(src, nil)
+	if err != nil {
+		t.Fatalf("Parse hex-rays style: %v", err)
+	}
+	fn := f.Functions[0]
+	if fn.CallConv != "__fastcall" {
+		t.Errorf("call conv = %q, want __fastcall", fn.CallConv)
+	}
+	if len(fn.Params) != 3 {
+		t.Errorf("params = %d, want 3", len(fn.Params))
+	}
+}
+
+func TestParseControlFlow(t *testing.T) {
+	src := `
+int f(int n) {
+  int total = 0;
+  for (int i = 0; i < n; i++) {
+    if (i % 2 == 0) continue;
+    else total += i;
+  }
+  while (total > 100) {
+    total -= 10;
+    if (total == 50) break;
+  }
+  return total > 0 ? total : -total;
+}
+`
+	f, err := Parse(src, nil)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	body := f.Functions[0].Body.Stmts
+	if len(body) != 4 {
+		t.Fatalf("statements = %d, want 4", len(body))
+	}
+	if _, ok := body[1].(*For); !ok {
+		t.Errorf("stmt[1] = %T, want *For", body[1])
+	}
+	if _, ok := body[2].(*While); !ok {
+		t.Errorf("stmt[2] = %T, want *While", body[2])
+	}
+	ret := body[3].(*Return)
+	if _, ok := ret.X.(*Ternary); !ok {
+		t.Errorf("return expr = %T, want *Ternary", ret.X)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"int f( {",
+		"int f() { return }",
+		"int f() { x = ; }",
+		"struct S { int; };",
+		"int f() { if x) return 0; }",
+		"int f() {",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src, nil); !errors.Is(err, ErrParse) {
+			t.Errorf("Parse(%q): err = %v, want ErrParse", src, err)
+		}
+	}
+}
+
+func TestPrinterRoundTripFixpoint(t *testing.T) {
+	f := parseSample(t)
+	printed := PrintFile(f, nil)
+	f2, err := Parse(printed, []string{"data_unset"})
+	if err != nil {
+		t.Fatalf("reparse of printed output: %v\n%s", err, printed)
+	}
+	printed2 := PrintFile(f2, nil)
+	if printed != printed2 {
+		t.Errorf("printer is not a fixpoint after one round trip:\n--- first ---\n%s\n--- second ---\n%s", printed, printed2)
+	}
+}
+
+func TestPrinterPrecedence(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"int f(int a, int b) { return a * (b + 1); }", "a * (b + 1)"},
+		{"int f(int a, int b) { return a * b + 1; }", "a * b + 1"},
+		{"int f(int a) { return -(a + 1); }", "-(a + 1)"},
+		{"int f(int *a) { return *(a + 1); }", "*(a + 1)"},
+		{"int f(int a, int b) { return (a + b) * (a - b); }", "(a + b) * (a - b)"},
+		{"int f(int a) { return a << 2 | 1; }", "a << 2 | 1"},
+	}
+	for _, c := range cases {
+		f, err := Parse(c.src, nil)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.src, err)
+		}
+		out := PrintFile(f, nil)
+		if !strings.Contains(out, c.want) {
+			t.Errorf("printed %q does not contain %q:\n%s", c.src, c.want, out)
+		}
+	}
+}
+
+func TestPrintExprTernaryAndCast(t *testing.T) {
+	e := &Ternary{
+		Cond: &Binary{Op: ">", L: &Ident{Name: "x"}, R: &IntLit{Text: "0"}},
+		Then: &Cast{To: PointerTo(BaseType("char")), X: &Ident{Name: "p"}},
+		Else: &IntLit{Text: "0"},
+	}
+	got := PrintExpr(e)
+	want := "x > 0 ? (char *)p : 0"
+	if got != want {
+		t.Errorf("PrintExpr = %q, want %q", got, want)
+	}
+}
+
+func TestDeclComments(t *testing.T) {
+	d := &DeclStmt{Type: BaseType("int"), Name: "v4", Comment: "[rsp+28h] [rbp-18h]"}
+	out := PrintStmt(d, &PrintOptions{DeclComments: true})
+	if !strings.Contains(out, "// [rsp+28h] [rbp-18h]") {
+		t.Errorf("missing decl comment: %q", out)
+	}
+	plain := PrintStmt(d, nil)
+	if strings.Contains(plain, "rsp") {
+		t.Errorf("comment printed without DeclComments: %q", plain)
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	cases := []struct {
+		t    *Type
+		want string
+	}{
+		{BaseType("int"), "int"},
+		{PointerTo(BaseType("char")), "char *"},
+		{PointerTo(PointerTo(NamedType("data_unset"))), "data_unset **"},
+		{FuncType(BaseType("int"), []*Type{PointerTo(BaseType("void"))}), "int (*)(void *)"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("Type.String = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestTypeEqual(t *testing.T) {
+	a := PointerTo(BaseType("char"))
+	b := PointerTo(BaseType("char"))
+	if !a.Equal(b) {
+		t.Error("identical pointer types unequal")
+	}
+	if a.Equal(PointerTo(BaseType("int"))) {
+		t.Error("char* equal to int*")
+	}
+	if a.Equal(nil) {
+		t.Error("type equal to nil")
+	}
+}
+
+// Property: parse→print→parse→print is a fixpoint for a family of
+// generated expressions.
+func TestQuickPrintParseFixpoint(t *testing.T) {
+	ops := []string{"+", "-", "*", "/", "&", "|", "<<", "==", "<"}
+	vars := []string{"a", "b", "c"}
+	f := func(shape []uint8) bool {
+		// Build a random expression tree from the shape bytes.
+		var build func(depth int, idx *int) Expr
+		build = func(depth int, idx *int) Expr {
+			if *idx >= len(shape) || depth > 4 {
+				return &Ident{Name: vars[depth%len(vars)]}
+			}
+			b := shape[*idx]
+			*idx++
+			switch b % 4 {
+			case 0:
+				return &Ident{Name: vars[int(b)%len(vars)]}
+			case 1:
+				return &IntLit{Text: "7"}
+			case 2:
+				return &Unary{Op: "-", X: build(depth+1, idx)}
+			default:
+				return &Binary{Op: ops[int(b)%len(ops)], L: build(depth+1, idx), R: build(depth+1, idx)}
+			}
+		}
+		idx := 0
+		expr := build(0, &idx)
+		src := "int f(int a, int b, int c) { return " + PrintExpr(expr) + "; }"
+		file, err := Parse(src, nil)
+		if err != nil {
+			return false
+		}
+		ret := file.Functions[0].Body.Stmts[0].(*Return)
+		return PrintExpr(ret.X) == PrintExpr(expr)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseDoWhile(t *testing.T) {
+	f, err := Parse(`
+int f(int n) {
+  int total = 0;
+  do {
+    total += n;
+    n -= 1;
+  } while (n > 0);
+  return total;
+}
+`, nil)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	body := f.Functions[0].Body.Stmts
+	dw, ok := body[1].(*DoWhile)
+	if !ok {
+		t.Fatalf("stmt[1] = %T, want *DoWhile", body[1])
+	}
+	if dw.Cond == nil || dw.Body == nil {
+		t.Error("do-while missing parts")
+	}
+	// Round trip.
+	printed := PrintFile(f, nil)
+	if !strings.Contains(printed, "do {") || !strings.Contains(printed, "} while ( n > 0 );") {
+		t.Errorf("do-while printing:\n%s", printed)
+	}
+	if _, err := Parse(printed, nil); err != nil {
+		t.Errorf("reparse: %v\n%s", err, printed)
+	}
+}
+
+func TestParseSwitch(t *testing.T) {
+	f, err := Parse(`
+int f(int code) {
+  switch (code) {
+  case 1:
+    return 10;
+  case 2:
+    return 20;
+  default:
+    return -1;
+  }
+}
+`, nil)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	sw, ok := f.Functions[0].Body.Stmts[0].(*Switch)
+	if !ok {
+		t.Fatalf("stmt[0] = %T, want *Switch", f.Functions[0].Body.Stmts[0])
+	}
+	if len(sw.Cases) != 3 {
+		t.Fatalf("cases = %d, want 3", len(sw.Cases))
+	}
+	if sw.Cases[2].Value != nil {
+		t.Error("default case should have nil value")
+	}
+	printed := PrintFile(f, nil)
+	if !strings.Contains(printed, "switch ( code ) {") || !strings.Contains(printed, "default:") {
+		t.Errorf("switch printing:\n%s", printed)
+	}
+	if _, err := Parse(printed, nil); err != nil {
+		t.Errorf("reparse: %v\n%s", err, printed)
+	}
+}
+
+func TestParseSwitchWithExplicitBreaks(t *testing.T) {
+	f, err := Parse(`
+void f(int x, int *out) {
+  switch (x) {
+  case 0:
+    *out = 1;
+    break;
+  default:
+    *out = 2;
+    break;
+  }
+}
+`, nil)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	sw := f.Functions[0].Body.Stmts[0].(*Switch)
+	// Explicit breaks are absorbed, not kept as statements.
+	for i, c := range sw.Cases {
+		for _, st := range c.Stmts {
+			if _, isBreak := st.(*Break); isBreak {
+				t.Errorf("case %d kept an explicit break", i)
+			}
+		}
+	}
+}
+
+func TestParseSwitchErrors(t *testing.T) {
+	cases := []string{
+		"int f(int x) { switch (x) { } return 0; }",                             // no cases
+		"int f(int x) { switch (x) { default: return 0; default: return 1; } }", // dup default
+		"int f(int x) { switch (x) { int y; } return 0; }",                      // stmt before case
+	}
+	for _, src := range cases {
+		if _, err := Parse(src, nil); !errors.Is(err, ErrParse) {
+			t.Errorf("Parse(%q): err = %v, want ErrParse", src, err)
+		}
+	}
+}

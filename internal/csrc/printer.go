@@ -1,0 +1,365 @@
+package csrc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PrintOptions controls pretty-printing.
+type PrintOptions struct {
+	// Indent is the indentation unit. Empty means two spaces.
+	Indent string
+	// DeclComments renders DeclStmt.Comment trailers (the decompiler's
+	// stack-slot annotations).
+	DeclComments bool
+}
+
+func (o *PrintOptions) defaults() PrintOptions {
+	out := PrintOptions{Indent: "  "}
+	if o == nil {
+		return out
+	}
+	if o.Indent != "" {
+		out.Indent = o.Indent
+	}
+	out.DeclComments = o.DeclComments
+	return out
+}
+
+// printer accumulates formatted output.
+type printer struct {
+	sb    strings.Builder
+	opts  PrintOptions
+	depth int
+}
+
+// PrintFile renders a translation unit.
+func PrintFile(f *File, opts *PrintOptions) string {
+	p := &printer{opts: opts.defaults()}
+	for i, s := range f.Structs {
+		if i > 0 {
+			p.sb.WriteString("\n")
+		}
+		p.printStruct(s)
+	}
+	for i, fn := range f.Functions {
+		if i > 0 || len(f.Structs) > 0 {
+			p.sb.WriteString("\n")
+		}
+		p.printFunction(fn)
+	}
+	return p.sb.String()
+}
+
+// PrintFunction renders a single function definition.
+func PrintFunction(fn *Function, opts *PrintOptions) string {
+	p := &printer{opts: opts.defaults()}
+	p.printFunction(fn)
+	return p.sb.String()
+}
+
+// PrintStmt renders a statement at top level.
+func PrintStmt(s Stmt, opts *PrintOptions) string {
+	p := &printer{opts: opts.defaults()}
+	p.printStmt(s)
+	return p.sb.String()
+}
+
+// PrintExpr renders an expression.
+func PrintExpr(e Expr) string {
+	p := &printer{opts: (&PrintOptions{}).defaults()}
+	return p.expr(e, 0)
+}
+
+func (p *printer) indent() {
+	for i := 0; i < p.depth; i++ {
+		p.sb.WriteString(p.opts.Indent)
+	}
+}
+
+func (p *printer) line(format string, args ...any) {
+	p.indent()
+	fmt.Fprintf(&p.sb, format, args...)
+	p.sb.WriteString("\n")
+}
+
+func (p *printer) printStruct(s *StructDef) {
+	p.line("struct %s {", s.Name)
+	p.depth++
+	for _, f := range s.Fields {
+		p.line("%s;", declString(f.Type, f.Name))
+	}
+	p.depth--
+	p.line("};")
+}
+
+// declString renders "type name", handling function-pointer declarators.
+func declString(t *Type, name string) string {
+	if t != nil && t.Kind == TypeFunc {
+		parts := make([]string, len(t.Params))
+		for i, pt := range t.Params {
+			parts[i] = pt.String()
+		}
+		return fmt.Sprintf("%s (*%s)(%s)", t.Ret.String(), name, strings.Join(parts, ", "))
+	}
+	ts := t.String()
+	if strings.HasSuffix(ts, "*") {
+		return ts + name
+	}
+	return ts + " " + name
+}
+
+func (p *printer) printFunction(fn *Function) {
+	params := make([]string, len(fn.Params))
+	for i, pr := range fn.Params {
+		params[i] = declString(pr.Type, pr.Name)
+	}
+	ret := fn.Ret.String()
+	sig := ret
+	if !strings.HasSuffix(sig, "*") {
+		sig += " "
+	}
+	if fn.CallConv != "" {
+		sig += fn.CallConv + " "
+	}
+	sig += fn.Name
+	paramList := strings.Join(params, ", ")
+	if paramList == "" {
+		paramList = "void"
+	}
+	p.line("%s(%s) {", sig, paramList)
+	p.depth++
+	for _, s := range fn.Body.Stmts {
+		p.printStmt(s)
+	}
+	p.depth--
+	p.line("}")
+}
+
+func (p *printer) printStmt(s Stmt) {
+	switch st := s.(type) {
+	case *Block:
+		p.line("{")
+		p.depth++
+		for _, inner := range st.Stmts {
+			p.printStmt(inner)
+		}
+		p.depth--
+		p.line("}")
+	case *DeclStmt:
+		text := declString(st.Type, st.Name)
+		if st.Init != nil {
+			text += " = " + p.expr(st.Init, 1)
+		}
+		text += ";"
+		if p.opts.DeclComments && st.Comment != "" {
+			text += " // " + st.Comment
+		}
+		p.line("%s", text)
+	case *ExprStmt:
+		p.line("%s;", p.expr(st.X, 0))
+	case *If:
+		p.line("if ( %s ) {", p.expr(st.Cond, 0))
+		p.depth++
+		p.printStmtsOf(st.Then)
+		p.depth--
+		if st.Else != nil {
+			if elseIf, ok := st.Else.(*If); ok {
+				p.indent()
+				p.sb.WriteString("} else ")
+				p.printElseIfChain(elseIf)
+				return
+			}
+			p.line("} else {")
+			p.depth++
+			p.printStmtsOf(st.Else)
+			p.depth--
+		}
+		p.line("}")
+	case *While:
+		p.line("while ( %s ) {", p.expr(st.Cond, 0))
+		p.depth++
+		p.printStmtsOf(st.Body)
+		p.depth--
+		p.line("}")
+	case *For:
+		init, cond, post := "", "", ""
+		switch is := st.Init.(type) {
+		case *DeclStmt:
+			init = declString(is.Type, is.Name)
+			if is.Init != nil {
+				init += " = " + p.expr(is.Init, 1)
+			}
+		case *ExprStmt:
+			init = p.expr(is.X, 0)
+		}
+		if st.Cond != nil {
+			cond = p.expr(st.Cond, 0)
+		}
+		if st.Post != nil {
+			post = p.expr(st.Post, 0)
+		}
+		p.line("for ( %s; %s; %s ) {", init, cond, post)
+		p.depth++
+		p.printStmtsOf(st.Body)
+		p.depth--
+		p.line("}")
+	case *DoWhile:
+		p.line("do {")
+		p.depth++
+		p.printStmtsOf(st.Body)
+		p.depth--
+		p.line("} while ( %s );", p.expr(st.Cond, 0))
+	case *Switch:
+		p.line("switch ( %s ) {", p.expr(st.Tag, 0))
+		p.depth++
+		for _, c := range st.Cases {
+			if c.Value == nil {
+				p.line("default:")
+			} else {
+				p.line("case %s:", p.expr(c.Value, 0))
+			}
+			p.depth++
+			for _, inner := range c.Stmts {
+				p.printStmt(inner)
+			}
+			p.line("break;")
+			p.depth--
+		}
+		p.depth--
+		p.line("}")
+	case *LineComment:
+		p.line("// %s", st.Text)
+	case *Return:
+		if st.X == nil {
+			p.line("return;")
+		} else {
+			p.line("return %s;", p.expr(st.X, 0))
+		}
+	case *Break:
+		p.line("break;")
+	case *Continue:
+		p.line("continue;")
+	default:
+		p.line("/* unknown statement %T */", s)
+	}
+}
+
+// printElseIfChain continues an `} else if (...) {` chain without extra
+// nesting.
+func (p *printer) printElseIfChain(st *If) {
+	fmt.Fprintf(&p.sb, "if ( %s ) {\n", p.expr(st.Cond, 0))
+	p.depth++
+	p.printStmtsOf(st.Then)
+	p.depth--
+	if st.Else != nil {
+		if elseIf, ok := st.Else.(*If); ok {
+			p.indent()
+			p.sb.WriteString("} else ")
+			p.printElseIfChain(elseIf)
+			return
+		}
+		p.line("} else {")
+		p.depth++
+		p.printStmtsOf(st.Else)
+		p.depth--
+	}
+	p.line("}")
+}
+
+// printStmtsOf flattens a Block body one level (brace style), printing
+// other statements as-is.
+func (p *printer) printStmtsOf(s Stmt) {
+	if b, ok := s.(*Block); ok {
+		for _, inner := range b.Stmts {
+			p.printStmt(inner)
+		}
+		return
+	}
+	p.printStmt(s)
+}
+
+// Expression precedence levels for parenthesization decisions. Mirrors
+// binPrec with extra levels for assignment (lowest) and unary/postfix
+// (highest).
+func exprPrec(e Expr) int {
+	switch x := e.(type) {
+	case *Assign:
+		return 0
+	case *Ternary:
+		return 1
+	case *Binary:
+		return 1 + binPrec[x.Op]
+	case *Cast, *Unary, *SizeofType:
+		return 20
+	case *Postfix, *Call, *Index, *Member:
+		return 30
+	default:
+		return 40
+	}
+}
+
+// expr renders e, parenthesizing when its precedence is below min.
+func (p *printer) expr(e Expr, minPrec int) string {
+	prec := exprPrec(e)
+	s := p.exprRaw(e)
+	if prec < minPrec {
+		return "(" + s + ")"
+	}
+	return s
+}
+
+func (p *printer) exprRaw(e Expr) string {
+	switch x := e.(type) {
+	case *Ident:
+		return x.Name
+	case *IntLit:
+		return x.Text
+	case *StrLit:
+		return "\"" + x.Value + "\""
+	case *CharLit:
+		return "'" + x.Value + "'"
+	case *Unary:
+		operand := p.expr(x.X, 20)
+		if x.Op == "-" || x.Op == "--" {
+			// Avoid "--x" when negating a negative literal.
+			if strings.HasPrefix(operand, "-") {
+				operand = " " + operand
+			}
+		}
+		return x.Op + operand
+	case *Postfix:
+		return p.expr(x.X, 30) + x.Op
+	case *Binary:
+		prec := 1 + binPrec[x.Op]
+		return p.expr(x.L, prec) + " " + x.Op + " " + p.expr(x.R, prec+1)
+	case *Assign:
+		return p.expr(x.L, 1) + " " + x.Op + " " + p.expr(x.R, 0)
+	case *Ternary:
+		return p.expr(x.Cond, 2) + " ? " + p.expr(x.Then, 0) + " : " + p.expr(x.Else, 1)
+	case *Call:
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = p.expr(a, 1)
+		}
+		fun := p.expr(x.Fun, 30)
+		if _, isIdent := x.Fun.(*Ident); !isIdent {
+			fun = "(" + p.expr(x.Fun, 0) + ")"
+		}
+		return fun + "(" + strings.Join(args, ", ") + ")"
+	case *Index:
+		return p.expr(x.X, 30) + "[" + p.expr(x.I, 0) + "]"
+	case *Member:
+		op := "."
+		if x.Arrow {
+			op = "->"
+		}
+		return p.expr(x.X, 30) + op + x.Name
+	case *Cast:
+		return "(" + x.To.String() + ")" + p.expr(x.X, 20)
+	case *SizeofType:
+		return "sizeof(" + x.T.String() + ")"
+	default:
+		return fmt.Sprintf("/* unknown expr %T */", e)
+	}
+}

@@ -1,0 +1,214 @@
+// Package csrc implements a front end for the C subset used throughout
+// this project: a lexer, an abstract syntax tree, a recursive-descent
+// parser, and a configurable pretty-printer. It is the "source language"
+// substrate standing in for the real C projects (lighttpd, coreutils,
+// openssl) the paper draws its snippets from: the corpus functions are
+// re-authored in this subset, compiled to the project IR by
+// internal/compile, and lifted back to Hex-Rays-style pseudo-C by
+// internal/decomp.
+//
+// The subset covers what the four study snippets need: integer and pointer
+// types, structs, function pointers, the usual statements (if/else, for,
+// while, return, blocks, declarations), and the full C expression grammar
+// minus comma operators and varargs.
+package csrc
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// ErrLex is returned for unlexable input.
+var ErrLex = errors.New("csrc: lexical error")
+
+// TokenKind classifies a lexical token.
+type TokenKind int
+
+// Token kinds. Punctuation kinds use their literal spelling via the Text
+// field; these enum values classify the broad categories.
+const (
+	TokEOF TokenKind = iota + 1
+	TokIdent
+	TokNumber
+	TokString
+	TokChar
+	TokPunct
+	TokKeyword
+)
+
+func (k TokenKind) String() string {
+	switch k {
+	case TokEOF:
+		return "EOF"
+	case TokIdent:
+		return "identifier"
+	case TokNumber:
+		return "number"
+	case TokString:
+		return "string"
+	case TokChar:
+		return "char"
+	case TokPunct:
+		return "punctuation"
+	case TokKeyword:
+		return "keyword"
+	default:
+		return fmt.Sprintf("TokenKind(%d)", int(k))
+	}
+}
+
+// Token is one lexical token with its source position (1-based).
+type Token struct {
+	Kind TokenKind
+	Text string
+	Line int
+	Col  int
+}
+
+var keywords = map[string]bool{
+	"if": true, "else": true, "for": true, "while": true, "do": true,
+	"switch": true, "case": true, "default": true,
+	"return": true, "break": true, "continue": true, "struct": true,
+	"typedef": true, "sizeof": true, "const": true, "static": true,
+	"void": true, "char": true, "short": true, "int": true, "long": true,
+	"unsigned": true, "signed": true, "restrict": true,
+}
+
+// multi-character punctuation, longest first.
+var multiPunct = []string{
+	"<<=", ">>=", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=",
+	"&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+}
+
+// Lex tokenizes src, skipping // and /* */ comments.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line, col := 1, 1
+	i := 0
+	n := len(src)
+	advance := func(k int) {
+		for j := 0; j < k; j++ {
+			if src[i+j] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+		}
+		i += k
+	}
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			advance(1)
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				advance(1)
+			}
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			startLine := line
+			advance(2)
+			for i+1 < n && !(src[i] == '*' && src[i+1] == '/') {
+				advance(1)
+			}
+			if i+1 >= n {
+				return nil, fmt.Errorf("csrc: unterminated block comment at line %d: %w", startLine, ErrLex)
+			}
+			advance(2)
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := i
+			startCol := col
+			for i < n && (unicode.IsLetter(rune(src[i])) || unicode.IsDigit(rune(src[i])) || src[i] == '_') {
+				advance(1)
+			}
+			text := src[start:i]
+			kind := TokIdent
+			if keywords[text] {
+				kind = TokKeyword
+			}
+			toks = append(toks, Token{Kind: kind, Text: text, Line: line, Col: startCol})
+		case unicode.IsDigit(rune(c)):
+			start := i
+			startCol := col
+			// Hex, decimal, and integer suffixes (L, LL, U, u).
+			if c == '0' && i+1 < n && (src[i+1] == 'x' || src[i+1] == 'X') {
+				advance(2)
+				for i < n && isHexDigit(src[i]) {
+					advance(1)
+				}
+			} else {
+				for i < n && unicode.IsDigit(rune(src[i])) {
+					advance(1)
+				}
+			}
+			for i < n && (src[i] == 'L' || src[i] == 'l' || src[i] == 'U' || src[i] == 'u') {
+				advance(1)
+			}
+			toks = append(toks, Token{Kind: TokNumber, Text: src[start:i], Line: line, Col: startCol})
+		case c == '"':
+			startCol := col
+			startLine := line
+			advance(1)
+			var sb strings.Builder
+			for i < n && src[i] != '"' {
+				if src[i] == '\\' && i+1 < n {
+					sb.WriteByte(src[i])
+					advance(1)
+				}
+				sb.WriteByte(src[i])
+				advance(1)
+			}
+			if i >= n {
+				return nil, fmt.Errorf("csrc: unterminated string at line %d: %w", startLine, ErrLex)
+			}
+			advance(1)
+			toks = append(toks, Token{Kind: TokString, Text: sb.String(), Line: startLine, Col: startCol})
+		case c == '\'':
+			startCol := col
+			startLine := line
+			advance(1)
+			var sb strings.Builder
+			for i < n && src[i] != '\'' {
+				if src[i] == '\\' && i+1 < n {
+					sb.WriteByte(src[i])
+					advance(1)
+				}
+				sb.WriteByte(src[i])
+				advance(1)
+			}
+			if i >= n {
+				return nil, fmt.Errorf("csrc: unterminated char literal at line %d: %w", startLine, ErrLex)
+			}
+			advance(1)
+			toks = append(toks, Token{Kind: TokChar, Text: sb.String(), Line: startLine, Col: startCol})
+		default:
+			matched := false
+			for _, p := range multiPunct {
+				if strings.HasPrefix(src[i:], p) {
+					toks = append(toks, Token{Kind: TokPunct, Text: p, Line: line, Col: col})
+					advance(len(p))
+					matched = true
+					break
+				}
+			}
+			if matched {
+				continue
+			}
+			if strings.ContainsRune("+-*/%&|^~!<>=(){}[];,.?:", rune(c)) {
+				toks = append(toks, Token{Kind: TokPunct, Text: string(c), Line: line, Col: col})
+				advance(1)
+				continue
+			}
+			return nil, fmt.Errorf("csrc: unexpected character %q at line %d col %d: %w", c, line, col, ErrLex)
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Line: line, Col: col})
+	return toks, nil
+}
+
+func isHexDigit(c byte) bool {
+	return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}

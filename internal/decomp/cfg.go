@@ -1,0 +1,260 @@
+// Package decomp lifts the project IR back into Hex-Rays-style pseudo-C,
+// completing the lossy compile→decompile pipeline the paper's snippets went
+// through. The lifter performs the classic decompilation steps on the
+// reducible CFGs our compiler emits:
+//
+//   - control-flow structuring: natural-loop detection via back edges and
+//     if/else join recovery via immediate post-dominators,
+//   - expression reconstruction: forward substitution of single-use
+//     temporaries back into expression trees,
+//   - type recovery: widths and access patterns become the Hex-Rays type
+//     idiom (__int64, _QWORD casts, _BYTE * parameters),
+//   - renaming: parameters become a1..aN and locals v1..vN, with fabricated
+//     stack-slot comments, exactly the surface the study participants saw.
+//
+// The result carries a name map from stripped names back to the original
+// symbols, which internal/recover uses to emit DIRTY-style annotations and
+// which the metric harness uses as ground truth.
+package decomp
+
+import (
+	"errors"
+	"fmt"
+
+	"decompstudy/internal/compile"
+)
+
+// ErrStructure is returned when the CFG cannot be structured (irreducible
+// or malformed input).
+var ErrStructure = errors.New("decomp: cannot structure control flow")
+
+// cfg is the analyzed control-flow graph of one function.
+type cfg struct {
+	fn    *compile.Func
+	ids   []int         // block IDs in DFS preorder from entry
+	index map[int]int   // block ID → dense index
+	succs map[int][]int // block ID → successor IDs
+	preds map[int][]int
+	// loopHeaders maps a header block ID to its natural loop body set
+	// (including the header).
+	loopHeaders map[int]map[int]bool
+	// ipdom maps block ID → immediate post-dominator ID; the virtual exit
+	// is -1.
+	ipdom map[int]int
+}
+
+// analyze builds the CFG with loops and post-dominators.
+func analyze(fn *compile.Func) (*cfg, error) {
+	if len(fn.Blocks) == 0 {
+		return nil, fmt.Errorf("decomp: function %s has no blocks: %w", fn.Name, ErrStructure)
+	}
+	g := &cfg{
+		fn:          fn,
+		index:       map[int]int{},
+		succs:       map[int][]int{},
+		preds:       map[int][]int{},
+		loopHeaders: map[int]map[int]bool{},
+		ipdom:       map[int]int{},
+	}
+	for _, b := range fn.Blocks {
+		g.succs[b.ID] = b.Succs()
+	}
+	// DFS preorder, back-edge detection.
+	onStack := map[int]bool{}
+	visited := map[int]bool{}
+	var backEdges [][2]int
+	var dfs func(id int)
+	dfs = func(id int) {
+		visited[id] = true
+		onStack[id] = true
+		g.index[id] = len(g.ids)
+		g.ids = append(g.ids, id)
+		for _, s := range g.succs[id] {
+			g.preds[s] = append(g.preds[s], id)
+			if !visited[s] {
+				dfs(s)
+			} else if onStack[s] {
+				backEdges = append(backEdges, [2]int{id, s})
+			}
+		}
+		onStack[id] = false
+	}
+	dfs(fn.Blocks[0].ID)
+
+	// Natural loops from back edges u→h: body = {h} ∪ nodes reaching u
+	// without passing h.
+	for _, e := range backEdges {
+		u, h := e[0], e[1]
+		body := g.loopHeaders[h]
+		if body == nil {
+			body = map[int]bool{h: true}
+			g.loopHeaders[h] = body
+		}
+		stack := []int{u}
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if body[n] {
+				continue
+			}
+			body[n] = true
+			stack = append(stack, g.preds[n]...)
+		}
+	}
+
+	g.computePostDominators()
+	return g, nil
+}
+
+// computePostDominators runs the standard iterative dataflow on the
+// reversed CFG with a virtual exit node (-1) that every return block feeds.
+func (g *cfg) computePostDominators() {
+	const exit = -1
+	// pdom[b] = set of post-dominators, encoded as map.
+	all := map[int]bool{exit: true}
+	for _, id := range g.ids {
+		all[id] = true
+	}
+	pdom := map[int]map[int]bool{exit: {exit: true}}
+	for _, id := range g.ids {
+		s := map[int]bool{}
+		for n := range all {
+			s[n] = true
+		}
+		pdom[id] = s
+	}
+	succsOf := func(id int) []int {
+		ss := g.succs[id]
+		if len(ss) == 0 {
+			return []int{exit}
+		}
+		return ss
+	}
+	changed := true
+	for changed {
+		changed = false
+		// Iterate in reverse preorder for faster convergence.
+		for i := len(g.ids) - 1; i >= 0; i-- {
+			id := g.ids[i]
+			var inter map[int]bool
+			for _, s := range succsOf(id) {
+				sp, ok := pdom[s]
+				if !ok {
+					continue
+				}
+				if inter == nil {
+					inter = map[int]bool{}
+					for n := range sp {
+						inter[n] = true
+					}
+				} else {
+					for n := range inter {
+						if !sp[n] {
+							delete(inter, n)
+						}
+					}
+				}
+			}
+			if inter == nil {
+				inter = map[int]bool{}
+			}
+			inter[id] = true
+			if len(inter) != len(pdom[id]) {
+				pdom[id] = inter
+				changed = true
+				continue
+			}
+			for n := range inter {
+				if !pdom[id][n] {
+					pdom[id] = inter
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	// Immediate post-dominator: the strict post-dominator that is post-
+	// dominated by every other strict post-dominator.
+	for _, id := range g.ids {
+		strict := []int{}
+		for n := range pdom[id] {
+			if n != id {
+				strict = append(strict, n)
+			}
+		}
+		best := exit
+		for _, cand := range strict {
+			if cand == exit {
+				continue
+			}
+			// cand is immediate if every other strict post-dominator of id
+			// post-dominates cand.
+			ok := true
+			for _, other := range strict {
+				if other == cand || other == exit {
+					continue
+				}
+				if !pdom[cand][other] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				best = cand
+				break
+			}
+		}
+		g.ipdom[id] = best
+	}
+}
+
+// reachable reports whether `to` can be reached from `from` along CFG
+// edges without passing through `avoid`.
+func (g *cfg) reachable(from, to, avoid int) bool {
+	if from == avoid {
+		return false
+	}
+	seen := map[int]bool{avoid: true}
+	stack := []int{from}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == to {
+			return true
+		}
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		stack = append(stack, g.succs[n]...)
+	}
+	return false
+}
+
+// isLoopHeader reports whether id heads a natural loop.
+func (g *cfg) isLoopHeader(id int) bool {
+	_, ok := g.loopHeaders[id]
+	return ok
+}
+
+// loopExit returns the CondBr successor of a loop header that leaves the
+// loop, plus the successor that stays inside. ok is false for headers
+// without a conditional exit (while(1) shapes).
+func (g *cfg) loopExit(header int) (body, exit int, ok bool) {
+	blk := g.fn.Block0(header)
+	term := blk.Term()
+	if term.Op != compile.OpCondBr {
+		return 0, 0, false
+	}
+	set := g.loopHeaders[header]
+	inT := set[term.Target]
+	inE := set[term.Else]
+	switch {
+	case inT && !inE:
+		return term.Target, term.Else, true
+	case inE && !inT:
+		return term.Else, term.Target, true
+	default:
+		return 0, 0, false
+	}
+}

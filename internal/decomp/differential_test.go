@@ -1,0 +1,191 @@
+package decomp
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"decompstudy/internal/compile"
+	"decompstudy/internal/csrc"
+)
+
+// TestDifferentialRoundTrip is the decompiler's strongest correctness
+// check: generate random programs, execute the compiled IR, then
+// decompile → re-parse → re-compile → execute again, and require identical
+// results on every input. Any structuring or expression-reconstruction bug
+// that changes semantics fails this test.
+func TestDifferentialRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	const programs = 150
+	const inputsPerProgram = 16
+	for p := 0; p < programs; p++ {
+		src := genProgram(rng, p)
+		file, err := csrc.Parse(src, nil)
+		if err != nil {
+			t.Fatalf("program %d failed to parse: %v\n%s", p, err, src)
+		}
+		obj, err := compile.Compile(file)
+		if err != nil {
+			t.Fatalf("program %d failed to compile: %v\n%s", p, err, src)
+		}
+		fn := obj.Funcs[0]
+
+		lifted, err := LiftFunc(fn)
+		if err != nil {
+			t.Fatalf("program %d failed to decompile: %v\n%s", p, err, src)
+		}
+		pseudo := csrc.PrintFunction(lifted.Pseudo, nil)
+		file2, err := csrc.Parse(pseudo, nil)
+		if err != nil {
+			t.Fatalf("program %d decompiled output unparseable: %v\n--- source ---\n%s\n--- pseudo ---\n%s", p, err, src, pseudo)
+		}
+		obj2, err := compile.Compile(file2)
+		if err != nil {
+			t.Fatalf("program %d decompiled output uncompilable: %v\n%s", p, err, pseudo)
+		}
+
+		m1 := compile.NewMachine(obj, 1<<10)
+		m2 := compile.NewMachine(obj2, 1<<10)
+		m1.StepLimit, m2.StepLimit = 200_000, 200_000
+		for i := 0; i < inputsPerProgram; i++ {
+			a := int64(rng.Intn(41) - 20)
+			b := int64(rng.Intn(41) - 20)
+			c := int64(rng.Intn(41) - 20)
+			v1, err1 := m1.Call(fn.Name, a, b, c)
+			v2, err2 := m2.Call(fn.Name, a, b, c)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("program %d input (%d,%d,%d): fault divergence: %v vs %v\n--- source ---\n%s\n--- pseudo ---\n%s",
+					p, a, b, c, err1, err2, src, pseudo)
+			}
+			if err1 == nil && v1 != v2 {
+				t.Fatalf("program %d input (%d,%d,%d): %d != %d\n--- source ---\n%s\n--- pseudo ---\n%s",
+					p, a, b, c, v1, v2, src, pseudo)
+			}
+		}
+	}
+}
+
+// genProgram emits a random but always-terminating function over three int
+// parameters, exercising declarations, assignments, if/else chains,
+// bounded for/while/do-while loops, switch, break, and continue.
+func genProgram(rng *rand.Rand, id int) string {
+	g := &progGen{rng: rng, vars: []string{"a", "b", "c"}}
+	var b strings.Builder
+	fmt.Fprintf(&b, "long fuzz_%d(long a, long b, long c) {\n", id)
+	b.WriteString("  long r0 = 0;\n  long r1 = 1;\n")
+	g.vars = append(g.vars, "r0", "r1")
+	depth := 0
+	n := 2 + rng.Intn(5)
+	for i := 0; i < n; i++ {
+		b.WriteString(g.stmt(depth + 1))
+	}
+	b.WriteString("  return r0 + r1;\n}\n")
+	return b.String()
+}
+
+type progGen struct {
+	rng    *rand.Rand
+	vars   []string
+	loopID int
+	inLoop bool
+}
+
+func (g *progGen) indent(d int) string { return strings.Repeat("  ", d) }
+
+func (g *progGen) v() string { return g.vars[g.rng.Intn(len(g.vars))] }
+
+// expr generates a fault-free integer expression (no division, shifts
+// bounded by constants).
+func (g *progGen) expr(depth int) string {
+	if depth > 2 || g.rng.Intn(3) == 0 {
+		if g.rng.Intn(2) == 0 {
+			return g.v()
+		}
+		return fmt.Sprintf("%d", g.rng.Intn(19)-9)
+	}
+	ops := []string{"+", "-", "*", "&", "|", "^"}
+	op := ops[g.rng.Intn(len(ops))]
+	return fmt.Sprintf("(%s %s %s)", g.expr(depth+1), op, g.expr(depth+1))
+}
+
+func (g *progGen) cond() string {
+	cmps := []string{"<", "<=", ">", ">=", "==", "!="}
+	base := fmt.Sprintf("%s %s %s", g.v(), cmps[g.rng.Intn(len(cmps))], g.expr(2))
+	switch g.rng.Intn(4) {
+	case 0:
+		return fmt.Sprintf("%s && %s %s %s", base, g.v(), cmps[g.rng.Intn(len(cmps))], g.expr(2))
+	case 1:
+		return fmt.Sprintf("%s || %s %s %s", base, g.v(), cmps[g.rng.Intn(len(cmps))], g.expr(2))
+	default:
+		return base
+	}
+}
+
+func (g *progGen) stmt(d int) string {
+	if d > 3 {
+		return fmt.Sprintf("%s%s = %s;\n", g.indent(d), g.v(), g.expr(0))
+	}
+	switch g.rng.Intn(8) {
+	case 0, 1, 2:
+		return fmt.Sprintf("%s%s = %s;\n", g.indent(d), g.v(), g.expr(0))
+	case 3:
+		var b strings.Builder
+		fmt.Fprintf(&b, "%sif (%s) {\n", g.indent(d), g.cond())
+		b.WriteString(g.stmt(d + 1))
+		if g.rng.Intn(2) == 0 {
+			fmt.Fprintf(&b, "%s} else {\n", g.indent(d))
+			b.WriteString(g.stmt(d + 1))
+		}
+		fmt.Fprintf(&b, "%s}\n", g.indent(d))
+		return b.String()
+	case 4:
+		// Bounded for loop with a fresh counter.
+		g.loopID++
+		cnt := fmt.Sprintf("i%d", g.loopID)
+		var b strings.Builder
+		fmt.Fprintf(&b, "%sfor (long %s = 0; %s < %d; %s++) {\n",
+			g.indent(d), cnt, cnt, 2+g.rng.Intn(5), cnt)
+		wasInLoop := g.inLoop
+		g.inLoop = true
+		g.vars = append(g.vars, cnt)
+		b.WriteString(g.stmt(d + 1))
+		if g.rng.Intn(3) == 0 {
+			fmt.Fprintf(&b, "%s  if (%s) { break; }\n", g.indent(d), g.cond())
+		}
+		g.vars = g.vars[:len(g.vars)-1]
+		g.inLoop = wasInLoop
+		fmt.Fprintf(&b, "%s}\n", g.indent(d))
+		return b.String()
+	case 5:
+		// Bounded do-while with a fresh counter.
+		g.loopID++
+		cnt := fmt.Sprintf("j%d", g.loopID)
+		var b strings.Builder
+		fmt.Fprintf(&b, "%slong %s = %d;\n", g.indent(d), cnt, 1+g.rng.Intn(4))
+		fmt.Fprintf(&b, "%sdo {\n", g.indent(d))
+		g.vars = append(g.vars, cnt)
+		b.WriteString(g.stmt(d + 1))
+		fmt.Fprintf(&b, "%s  %s = %s - 1;\n", g.indent(d), cnt, cnt)
+		g.vars = g.vars[:len(g.vars)-1]
+		fmt.Fprintf(&b, "%s} while (%s > 0);\n", g.indent(d), cnt)
+		return b.String()
+	case 6:
+		var b strings.Builder
+		fmt.Fprintf(&b, "%sswitch (%s & 3) {\n", g.indent(d), g.v())
+		fmt.Fprintf(&b, "%scase 0:\n", g.indent(d))
+		b.WriteString(g.stmt(d + 1))
+		fmt.Fprintf(&b, "%s  break;\n", g.indent(d))
+		fmt.Fprintf(&b, "%scase 2:\n", g.indent(d))
+		b.WriteString(g.stmt(d + 1))
+		fmt.Fprintf(&b, "%s  break;\n", g.indent(d))
+		fmt.Fprintf(&b, "%sdefault:\n", g.indent(d))
+		b.WriteString(g.stmt(d + 1))
+		fmt.Fprintf(&b, "%s}\n", g.indent(d))
+		return b.String()
+	default:
+		// Ternary assignment.
+		return fmt.Sprintf("%s%s = %s ? %s : %s;\n",
+			g.indent(d), g.v(), g.cond(), g.expr(1), g.expr(1))
+	}
+}

@@ -1,0 +1,85 @@
+package decomp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLiftDoWhile(t *testing.T) {
+	ds := lift(t, `
+int drain(int n) {
+  int total = 0;
+  do {
+    total += n;
+    n -= 1;
+  } while (n > 0);
+  return total;
+}
+`, nil)
+	src := ds["drain"].Source()
+	// Our lifter renders do-while as the Hex-Rays while(1){...; if(!c) break;} shape
+	// or a while loop; either is structurally sound. It must round-trip.
+	if !strings.Contains(src, "while ( ") {
+		t.Errorf("do-while lost its loop:\n%s", src)
+	}
+	if _, err := parseBack(src); err != nil {
+		t.Errorf("unparseable output: %v\n%s", err, src)
+	}
+}
+
+func TestLiftSwitch(t *testing.T) {
+	ds := lift(t, `
+int classify(int code) {
+  int kind;
+  switch (code) {
+  case 1:
+    kind = 10;
+    break;
+  case 2:
+    kind = 20;
+    break;
+  default:
+    kind = -1;
+  }
+  return kind;
+}
+`, nil)
+	src := ds["classify"].Source()
+	// Switch lowers to an equality chain; the decompiler shows cascaded ifs.
+	if strings.Count(src, "if ( ") < 2 {
+		t.Errorf("switch should decompile to an if chain:\n%s", src)
+	}
+	for _, want := range []string{"== 1", "== 2"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("missing case comparison %q:\n%s", want, src)
+		}
+	}
+	if _, err := parseBack(src); err != nil {
+		t.Errorf("unparseable output: %v\n%s", err, src)
+	}
+}
+
+func TestLiftSwitchInsideLoop(t *testing.T) {
+	ds := lift(t, `
+int tally(int n) {
+  int total = 0;
+  for (int i = 0; i < n; i++) {
+    switch (i % 3) {
+    case 0:
+      total += 1;
+      break;
+    default:
+      total += 2;
+    }
+  }
+  return total;
+}
+`, nil)
+	src := ds["tally"].Source()
+	if !strings.Contains(src, "while ( ") {
+		t.Errorf("loop lost:\n%s", src)
+	}
+	if _, err := parseBack(src); err != nil {
+		t.Errorf("unparseable output: %v\n%s", err, src)
+	}
+}

@@ -1,0 +1,336 @@
+// Package degpt is this project's analog of deGPT (Hu et al., NDSS 2024),
+// the LLM-based decompiler-output optimizer the paper discusses as related
+// work and deliberately excluded from its experiment: besides renaming
+// variables, deGPT simplifies structure and generates comments — exactly
+// the confounds the paper's §VI says would prevent attributing
+// comprehension effects to names and types alone.
+//
+// The analog implements the same three augmentations with deterministic
+// machinery:
+//
+//   - renaming: reuses the namerec recovery model (the "operator" role),
+//   - structure simplification: semantics-preserving AST rewrites —
+//     nested-if fusion into &&, collapse of v = E; return v tails — checked
+//     by the project's differential interpreter in tests (the "referee"),
+//   - comment generation: heuristic per-construct purpose comments and a
+//     function summary derived from IR features (the "advisor").
+//
+// Having both tools in one harness lets the experiments show the confound
+// concretely: deGPT's output moves codeBLEU and structural metrics even
+// when its names are identical to DIRTY's.
+package degpt
+
+import (
+	"fmt"
+	"strings"
+
+	"decompstudy/internal/csrc"
+	"decompstudy/internal/decomp"
+	"decompstudy/internal/namerec"
+)
+
+// Result is an enriched decompilation.
+type Result struct {
+	// Pseudo is the simplified, renamed, commented function.
+	Pseudo *csrc.Function
+	// Renames echoes the name recovery provenance.
+	Renames []namerec.Rename
+	// Summary is the generated function-level comment.
+	Summary string
+}
+
+// Source renders the enriched pseudo-C.
+func (r *Result) Source() string {
+	var b strings.Builder
+	if r.Summary != "" {
+		fmt.Fprintf(&b, "// %s\n", r.Summary)
+	}
+	b.WriteString(csrc.PrintFunction(r.Pseudo, &csrc.PrintOptions{DeclComments: true}))
+	return b.String()
+}
+
+// Optimizer enriches decompiled functions.
+type Optimizer struct {
+	// Model drives renaming; nil keeps the decompiler names.
+	Model *namerec.Model
+	// DisableComments / DisableSimplify switch off individual augmentations
+	// (used by the confound experiment to isolate effects).
+	DisableComments bool
+	DisableSimplify bool
+}
+
+// Optimize runs the full deGPT-style enrichment pipeline.
+func (o *Optimizer) Optimize(d *decomp.Decompiled) (*Result, error) {
+	if d == nil || d.Pseudo == nil {
+		return nil, fmt.Errorf("degpt: nil decompiled input")
+	}
+	an := &namerec.Annotator{Model: o.Model}
+	annotated, err := an.Annotate(d)
+	if err != nil {
+		return nil, fmt.Errorf("degpt: renaming: %w", err)
+	}
+	fn := annotated.Pseudo
+	if !o.DisableSimplify {
+		fn = SimplifyFunction(fn)
+	}
+	if !o.DisableComments {
+		fn = CommentFunction(fn)
+	}
+	return &Result{
+		Pseudo:  fn,
+		Renames: annotated.Renames,
+		Summary: summarize(fn),
+	}, nil
+}
+
+// SimplifyFunction applies the semantics-preserving structural rewrites to
+// a copy of fn.
+func SimplifyFunction(fn *csrc.Function) *csrc.Function {
+	out := *fn
+	out.Body = simplifyBlock(fn.Body)
+	return &out
+}
+
+func simplifyBlock(b *csrc.Block) *csrc.Block {
+	if b == nil {
+		return nil
+	}
+	out := &csrc.Block{}
+	for i := 0; i < len(b.Stmts); i++ {
+		st := simplifyStmt(b.Stmts[i])
+		// Collapse `v = E; return v;` into `return E;` when v is a plain
+		// variable (its value cannot be observed after the return).
+		if i+1 < len(b.Stmts) {
+			if es, ok := st.(*csrc.ExprStmt); ok {
+				if asg, ok := es.X.(*csrc.Assign); ok && asg.Op == "=" {
+					if id, ok := asg.L.(*csrc.Ident); ok {
+						if ret, ok := b.Stmts[i+1].(*csrc.Return); ok {
+							if rid, ok := ret.X.(*csrc.Ident); ok && rid.Name == id.Name {
+								out.Stmts = append(out.Stmts, &csrc.Return{X: asg.R})
+								i++
+								continue
+							}
+						}
+					}
+				}
+			}
+		}
+		out.Stmts = append(out.Stmts, st)
+	}
+	return out
+}
+
+func simplifyStmt(s csrc.Stmt) csrc.Stmt {
+	switch st := s.(type) {
+	case *csrc.Block:
+		return simplifyBlock(st)
+	case *csrc.If:
+		inner := &csrc.If{
+			Cond: st.Cond,
+			Then: simplifyStmt(st.Then),
+			Else: simplifyStmt(st.Else),
+		}
+		// Fuse `if (c) { if (d) { S } }` (no elses) into `if (c && d) S`.
+		if inner.Else == nil {
+			if thenBlock, ok := inner.Then.(*csrc.Block); ok && len(thenBlock.Stmts) == 1 {
+				if nested, ok := thenBlock.Stmts[0].(*csrc.If); ok && nested.Else == nil {
+					return &csrc.If{
+						Cond: &csrc.Binary{Op: "&&", L: inner.Cond, R: nested.Cond},
+						Then: nested.Then,
+					}
+				}
+			}
+		}
+		return inner
+	case *csrc.While:
+		return &csrc.While{Cond: st.Cond, Body: simplifyStmt(st.Body)}
+	case *csrc.DoWhile:
+		return &csrc.DoWhile{Body: simplifyStmt(st.Body), Cond: st.Cond}
+	case *csrc.For:
+		out := &csrc.For{Cond: st.Cond, Post: st.Post, Body: simplifyStmt(st.Body)}
+		if st.Init != nil {
+			out.Init = simplifyStmt(st.Init)
+		}
+		return out
+	case nil:
+		return nil
+	default:
+		return s
+	}
+}
+
+// CommentFunction inserts heuristic purpose comments before the
+// interesting constructs of a copy of fn.
+func CommentFunction(fn *csrc.Function) *csrc.Function {
+	out := *fn
+	out.Body = commentBlock(fn.Body)
+	return &out
+}
+
+func commentBlock(b *csrc.Block) *csrc.Block {
+	if b == nil {
+		return nil
+	}
+	out := &csrc.Block{}
+	for _, s := range b.Stmts {
+		if c := commentFor(s); c != "" {
+			out.Stmts = append(out.Stmts, &csrc.LineComment{Text: c})
+		}
+		out.Stmts = append(out.Stmts, commentStmt(s))
+	}
+	return out
+}
+
+func commentStmt(s csrc.Stmt) csrc.Stmt {
+	switch st := s.(type) {
+	case *csrc.Block:
+		return commentBlock(st)
+	case *csrc.If:
+		return &csrc.If{Cond: st.Cond, Then: commentStmt(st.Then), Else: commentStmt(st.Else)}
+	case *csrc.While:
+		return &csrc.While{Cond: st.Cond, Body: commentStmt(st.Body)}
+	case *csrc.DoWhile:
+		return &csrc.DoWhile{Body: commentStmt(st.Body), Cond: st.Cond}
+	case *csrc.For:
+		out := &csrc.For{Init: st.Init, Cond: st.Cond, Post: st.Post, Body: commentStmt(st.Body)}
+		return out
+	case nil:
+		return nil
+	default:
+		return s
+	}
+}
+
+// commentFor produces the "advisor" annotation for one statement, or "".
+func commentFor(s csrc.Stmt) string {
+	switch st := s.(type) {
+	case *csrc.While, *csrc.For, *csrc.DoWhile:
+		return "loop: " + loopDescription(s)
+	case *csrc.If:
+		if isEarlyReturn(st) {
+			if isNullCheck(st.Cond) {
+				return "guard: bail out on null/zero input"
+			}
+			return "guard: early return"
+		}
+		return ""
+	case *csrc.Return:
+		return ""
+	default:
+		return ""
+	}
+}
+
+func loopDescription(s csrc.Stmt) string {
+	var cond csrc.Expr
+	switch st := s.(type) {
+	case *csrc.While:
+		cond = st.Cond
+	case *csrc.For:
+		cond = st.Cond
+	case *csrc.DoWhile:
+		cond = st.Cond
+	}
+	if cond == nil {
+		return "runs until an inner exit"
+	}
+	return "iterates while " + csrc.PrintExpr(cond)
+}
+
+func isEarlyReturn(st *csrc.If) bool {
+	if st.Else != nil {
+		return false
+	}
+	block, ok := st.Then.(*csrc.Block)
+	if !ok {
+		_, isRet := st.Then.(*csrc.Return)
+		return isRet
+	}
+	if len(block.Stmts) != 1 {
+		return false
+	}
+	_, isRet := block.Stmts[0].(*csrc.Return)
+	return isRet
+}
+
+func isNullCheck(cond csrc.Expr) bool {
+	b, ok := cond.(*csrc.Binary)
+	if !ok {
+		return false
+	}
+	isZero := func(e csrc.Expr) bool {
+		l, ok := e.(*csrc.IntLit)
+		return ok && (l.Text == "0" || l.Text == "0LL")
+	}
+	return (b.Op == "==" || b.Op == "<") && (isZero(b.L) || isZero(b.R))
+}
+
+// summarize produces the function-level comment from structural counts.
+func summarize(fn *csrc.Function) string {
+	var loops, branches, calls, returns int
+	var walkStmt func(s csrc.Stmt)
+	var walkExpr func(e csrc.Expr)
+	walkExpr = func(e csrc.Expr) {
+		switch x := e.(type) {
+		case *csrc.Call:
+			calls++
+			for _, a := range x.Args {
+				walkExpr(a)
+			}
+			walkExpr(x.Fun)
+		case *csrc.Binary:
+			walkExpr(x.L)
+			walkExpr(x.R)
+		case *csrc.Assign:
+			walkExpr(x.L)
+			walkExpr(x.R)
+		case *csrc.Unary:
+			walkExpr(x.X)
+		case *csrc.Ternary:
+			walkExpr(x.Cond)
+			walkExpr(x.Then)
+			walkExpr(x.Else)
+		case *csrc.Index:
+			walkExpr(x.X)
+			walkExpr(x.I)
+		case *csrc.Member:
+			walkExpr(x.X)
+		case *csrc.Cast:
+			walkExpr(x.X)
+		}
+	}
+	walkStmt = func(s csrc.Stmt) {
+		switch st := s.(type) {
+		case *csrc.Block:
+			for _, inner := range st.Stmts {
+				walkStmt(inner)
+			}
+		case *csrc.If:
+			branches++
+			walkExpr(st.Cond)
+			walkStmt(st.Then)
+			walkStmt(st.Else)
+		case *csrc.While:
+			loops++
+			walkExpr(st.Cond)
+			walkStmt(st.Body)
+		case *csrc.DoWhile:
+			loops++
+			walkExpr(st.Cond)
+			walkStmt(st.Body)
+		case *csrc.For:
+			loops++
+			walkStmt(st.Body)
+		case *csrc.Return:
+			returns++
+			walkExpr(st.X)
+		case *csrc.ExprStmt:
+			walkExpr(st.X)
+		case *csrc.DeclStmt:
+			walkExpr(st.Init)
+		}
+	}
+	walkStmt(fn.Body)
+	return fmt.Sprintf("%s: %d loop(s), %d branch(es), %d call(s), %d return path(s)",
+		fn.Name, loops, branches, calls, returns)
+}

@@ -1,0 +1,340 @@
+// Package embed trains small distributional embeddings for identifier
+// tokens, standing in for the BERT and VarCLR encoders used by the paper's
+// semantic similarity metrics (BERTScore F1 and VarCLR).
+//
+// The pipeline is classical: identifiers are split into subtokens
+// (snake_case, camelCase, digits), a token-token co-occurrence matrix is
+// accumulated over a corpus of identifier contexts, the matrix is
+// reweighted with positive pointwise mutual information (PPMI), and a
+// low-rank representation is extracted by truncated SVD via orthogonal
+// power iteration. Cosine similarity in the resulting space captures
+// semantic relatedness (e.g. "size" ≈ "length") that the paper's
+// surface-level metrics miss — exactly the contrast RQ5 investigates.
+package embed
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"unicode"
+
+	"decompstudy/internal/linalg"
+)
+
+// ErrEmptyCorpus is returned when training is attempted on an empty corpus.
+var ErrEmptyCorpus = errors.New("embed: empty corpus")
+
+// ErrUnknownToken is returned when a similarity query involves only
+// out-of-vocabulary tokens.
+var ErrUnknownToken = errors.New("embed: token not in vocabulary")
+
+// SplitIdentifier splits an identifier into lowercase subtokens on
+// underscores, camelCase boundaries, and digit group boundaries.
+// "bufAppendPathLen2" → ["buf", "append", "path", "len", "2"].
+func SplitIdentifier(id string) []string {
+	var tokens []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			tokens = append(tokens, strings.ToLower(cur.String()))
+			cur.Reset()
+		}
+	}
+	runes := []rune(id)
+	for i, r := range runes {
+		switch {
+		case r == '_' || r == ' ' || r == '-':
+			flush()
+		case unicode.IsUpper(r):
+			// Boundary before an upper rune that follows a lower rune, or
+			// that begins a new word after an acronym run (e.g. "SSLKey").
+			if i > 0 && (unicode.IsLower(runes[i-1]) || unicode.IsDigit(runes[i-1])) {
+				flush()
+			} else if i > 0 && unicode.IsUpper(runes[i-1]) && i+1 < len(runes) && unicode.IsLower(runes[i+1]) {
+				flush()
+			}
+			cur.WriteRune(r)
+		case unicode.IsDigit(r):
+			if i > 0 && !unicode.IsDigit(runes[i-1]) {
+				flush()
+			}
+			cur.WriteRune(r)
+		default:
+			if i > 0 && unicode.IsDigit(runes[i-1]) {
+				flush()
+			}
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return tokens
+}
+
+// Model is a trained embedding space over identifier subtokens.
+type Model struct {
+	vocab   map[string]int
+	tokens  []string
+	vectors *linalg.Matrix // |V| × dim
+	dim     int
+}
+
+// Config controls training.
+type Config struct {
+	// Dim is the embedding dimensionality. Zero means 32 (or |V| if the
+	// vocabulary is smaller).
+	Dim int
+	// Window is the co-occurrence window radius within a context. Zero
+	// means 4.
+	Window int
+	// Iterations is the power-iteration count per component. Zero means 40.
+	Iterations int
+}
+
+func (c *Config) defaults() Config {
+	out := Config{Dim: 32, Window: 4, Iterations: 40}
+	if c == nil {
+		return out
+	}
+	if c.Dim > 0 {
+		out.Dim = c.Dim
+	}
+	if c.Window > 0 {
+		out.Window = c.Window
+	}
+	if c.Iterations > 0 {
+		out.Iterations = c.Iterations
+	}
+	return out
+}
+
+// Train builds an embedding model from a corpus of contexts. Each context
+// is a sequence of identifiers that appear together (for this project: the
+// identifiers of one function, in source order). Identifiers are split into
+// subtokens before windowed co-occurrence counting.
+func Train(contexts [][]string, cfg *Config) (*Model, error) {
+	c := cfg.defaults()
+
+	// Tokenize contexts and build the vocabulary.
+	vocab := map[string]int{}
+	var tokens []string
+	tokenized := make([][]int, 0, len(contexts))
+	for _, ctx := range contexts {
+		var ids []int
+		for _, ident := range ctx {
+			for _, tok := range SplitIdentifier(ident) {
+				id, ok := vocab[tok]
+				if !ok {
+					id = len(tokens)
+					vocab[tok] = id
+					tokens = append(tokens, tok)
+				}
+				ids = append(ids, id)
+			}
+		}
+		if len(ids) > 0 {
+			tokenized = append(tokenized, ids)
+		}
+	}
+	v := len(tokens)
+	if v == 0 {
+		return nil, ErrEmptyCorpus
+	}
+
+	// Windowed co-occurrence counts (symmetric).
+	co := linalg.NewMatrix(v, v)
+	rowSum := make([]float64, v)
+	var total float64
+	for _, ids := range tokenized {
+		for i, a := range ids {
+			hi := i + c.Window
+			if hi >= len(ids) {
+				hi = len(ids) - 1
+			}
+			for j := i + 1; j <= hi; j++ {
+				b := ids[j]
+				co.Add(a, b, 1)
+				co.Add(b, a, 1)
+				rowSum[a]++
+				rowSum[b]++
+				total += 2
+			}
+			// Self-count keeps singleton contexts in-vocabulary.
+			co.Add(a, a, 1)
+			rowSum[a]++
+			total++
+		}
+	}
+
+	// PPMI reweighting: max(0, log(p(a,b) / (p(a)p(b)))).
+	ppmi := linalg.NewMatrix(v, v)
+	for a := 0; a < v; a++ {
+		for b := 0; b < v; b++ {
+			n := co.At(a, b)
+			if n == 0 {
+				continue
+			}
+			val := math.Log(n * total / (rowSum[a] * rowSum[b]))
+			if val > 0 {
+				ppmi.Set(a, b, val)
+			}
+		}
+	}
+
+	dim := c.Dim
+	if dim > v {
+		dim = v
+	}
+	vectors, err := truncatedEig(ppmi, dim, c.Iterations)
+	if err != nil {
+		return nil, fmt.Errorf("embed: factorizing PPMI matrix: %w", err)
+	}
+	return &Model{vocab: vocab, tokens: tokens, vectors: vectors, dim: dim}, nil
+}
+
+// truncatedEig extracts the top-k eigenpairs of a symmetric matrix by
+// orthogonalized power iteration and returns the |V|×k matrix of
+// eigenvector columns scaled by sqrt(|eigenvalue|) (the symmetric-SVD
+// embedding convention).
+func truncatedEig(m *linalg.Matrix, k, iters int) (*linalg.Matrix, error) {
+	v := m.Rows()
+	out := linalg.NewMatrix(v, k)
+	// Deterministic pseudo-random start vectors.
+	basis := make([][]float64, 0, k)
+	for comp := 0; comp < k; comp++ {
+		x := make([]float64, v)
+		seed := uint64(comp)*2654435761 + 12345
+		for i := range x {
+			seed = seed*6364136223846793005 + 1442695040888963407
+			x[i] = float64(int64(seed>>33))/float64(1<<30) - 1
+		}
+		var lambda float64
+		for it := 0; it < iters; it++ {
+			// Deflate against previously found eigenvectors.
+			for _, b := range basis {
+				linalg.AXPY(-linalg.Dot(b, x), b, x)
+			}
+			y, err := linalg.MulVec(m, x)
+			if err != nil {
+				return nil, err
+			}
+			for _, b := range basis {
+				linalg.AXPY(-linalg.Dot(b, y), b, y)
+			}
+			norm := linalg.Norm2(y)
+			if norm < 1e-12 {
+				// Matrix rank exhausted; remaining components are zero.
+				lambda = 0
+				break
+			}
+			lambda = linalg.Dot(x, y)
+			linalg.Scale(1/norm, y)
+			x = y
+		}
+		basis = append(basis, x)
+		scale := math.Sqrt(math.Abs(lambda))
+		for i := 0; i < v; i++ {
+			out.Set(i, comp, x[i]*scale)
+		}
+	}
+	return out, nil
+}
+
+// Dim returns the embedding dimensionality.
+func (m *Model) Dim() int { return m.dim }
+
+// VocabSize returns the number of subtokens in the vocabulary.
+func (m *Model) VocabSize() int { return len(m.tokens) }
+
+// Contains reports whether at least one subtoken of the identifier is in
+// the vocabulary.
+func (m *Model) Contains(identifier string) bool {
+	for _, tok := range SplitIdentifier(identifier) {
+		if _, ok := m.vocab[tok]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Vector returns the embedding of an identifier: the mean of its in-
+// vocabulary subtoken vectors. It returns ErrUnknownToken if no subtoken is
+// known.
+func (m *Model) Vector(identifier string) ([]float64, error) {
+	sum := make([]float64, m.dim)
+	n := 0
+	for _, tok := range SplitIdentifier(identifier) {
+		id, ok := m.vocab[tok]
+		if !ok {
+			continue
+		}
+		for j := 0; j < m.dim; j++ {
+			sum[j] += m.vectors.At(id, j)
+		}
+		n++
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("embed: %q: %w", identifier, ErrUnknownToken)
+	}
+	linalg.Scale(1/float64(n), sum)
+	return sum, nil
+}
+
+// Cosine returns the cosine similarity of two identifiers' embeddings in
+// [-1, 1]. Out-of-vocabulary identifiers fall back to exact-match
+// similarity (1 if equal, 0 otherwise), mirroring how the paper's
+// embedding metrics degrade on unseen names.
+func (m *Model) Cosine(a, b string) float64 {
+	va, errA := m.Vector(a)
+	vb, errB := m.Vector(b)
+	if errA != nil || errB != nil {
+		if strings.EqualFold(a, b) {
+			return 1
+		}
+		return 0
+	}
+	na, nb := linalg.Norm2(va), linalg.Norm2(vb)
+	if na == 0 || nb == 0 {
+		if strings.EqualFold(a, b) {
+			return 1
+		}
+		return 0
+	}
+	return linalg.Dot(va, vb) / (na * nb)
+}
+
+// Nearest returns the k nearest vocabulary subtokens to the identifier by
+// cosine similarity, most similar first.
+func (m *Model) Nearest(identifier string, k int) ([]string, error) {
+	q, err := m.Vector(identifier)
+	if err != nil {
+		return nil, err
+	}
+	nq := linalg.Norm2(q)
+	if nq == 0 {
+		return nil, fmt.Errorf("embed: %q has zero vector: %w", identifier, ErrUnknownToken)
+	}
+	type scored struct {
+		tok string
+		sim float64
+	}
+	scores := make([]scored, 0, len(m.tokens))
+	for id, tok := range m.tokens {
+		v := m.vectors.Row(id)
+		nv := linalg.Norm2(v)
+		if nv == 0 {
+			continue
+		}
+		scores = append(scores, scored{tok, linalg.Dot(q, v) / (nq * nv)})
+	}
+	sort.Slice(scores, func(i, j int) bool { return scores[i].sim > scores[j].sim })
+	if k > len(scores) {
+		k = len(scores)
+	}
+	out := make([]string, k)
+	for i := 0; i < k; i++ {
+		out[i] = scores[i].tok
+	}
+	return out, nil
+}

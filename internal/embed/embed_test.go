@@ -1,0 +1,200 @@
+package embed
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitIdentifier(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"buffer_append_path_len", []string{"buffer", "append", "path", "len"}},
+		{"bufAppendPathLen", []string{"buf", "append", "path", "len"}},
+		{"SSLKey", []string{"ssl", "key"}},
+		{"array_t_0", []string{"array", "t", "0"}},
+		{"v7", []string{"v", "7"}},
+		{"__int64", []string{"int", "64"}},
+		{"klen", []string{"klen"}},
+		{"", nil},
+		{"a1", []string{"a", "1"}},
+		{"twosComplement2Buf", []string{"twos", "complement", "2", "buf"}},
+	}
+	for _, c := range cases {
+		if got := SplitIdentifier(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("SplitIdentifier(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// trainingCorpus mimics identifier co-occurrence in C code: size/length
+// appear in the same contexts, as do src/dest/copy.
+func trainingCorpus() [][]string {
+	base := [][]string{
+		{"buf", "size", "len", "length", "alloc", "size"},
+		{"buffer", "length", "size", "capacity", "len"},
+		{"array", "size", "length", "count", "elems"},
+		{"str", "len", "length", "size", "strlen"},
+		{"src", "dest", "copy", "memcpy", "n"},
+		{"source", "destination", "copy", "bytes"},
+		{"src", "dst", "copy", "move", "len"},
+		{"key", "value", "map", "hash", "lookup"},
+		{"key", "index", "lookup", "table", "entry"},
+		{"tree", "node", "left", "right", "parent"},
+		{"node", "tree", "traverse", "visit", "postorder"},
+		{"fd", "file", "open", "read", "write"},
+		{"file", "path", "name", "open", "close"},
+		{"ret", "result", "return", "status", "code"},
+		{"err", "error", "status", "ret", "code"},
+	}
+	// Repeat to strengthen the counts.
+	var out [][]string
+	for i := 0; i < 6; i++ {
+		out = append(out, base...)
+	}
+	return out
+}
+
+func trainTestModel(t *testing.T) *Model {
+	t.Helper()
+	m, err := Train(trainingCorpus(), &Config{Dim: 16})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	return m
+}
+
+func TestTrainEmptyCorpus(t *testing.T) {
+	if _, err := Train(nil, nil); !errors.Is(err, ErrEmptyCorpus) {
+		t.Fatalf("err = %v, want ErrEmptyCorpus", err)
+	}
+	if _, err := Train([][]string{{}}, nil); !errors.Is(err, ErrEmptyCorpus) {
+		t.Fatalf("err = %v, want ErrEmptyCorpus", err)
+	}
+}
+
+func TestSemanticNeighborsBeatUnrelated(t *testing.T) {
+	m := trainTestModel(t)
+	// The motivating RQ5 example: size ~ length are semantically close
+	// despite maximal edit distance.
+	simSemantic := m.Cosine("size", "length")
+	simUnrelated := m.Cosine("size", "tree")
+	if simSemantic <= simUnrelated {
+		t.Errorf("cosine(size,length)=%v should exceed cosine(size,tree)=%v", simSemantic, simUnrelated)
+	}
+	if sim := m.Cosine("src", "dest"); sim <= m.Cosine("src", "parent") {
+		t.Errorf("cosine(src,dest)=%v should exceed cosine(src,parent)=%v", sim, m.Cosine("src", "parent"))
+	}
+}
+
+func TestCosineSelfSimilarity(t *testing.T) {
+	m := trainTestModel(t)
+	if sim := m.Cosine("size", "size"); math.Abs(sim-1) > 1e-9 {
+		t.Errorf("cosine(size,size) = %v, want 1", sim)
+	}
+}
+
+func TestCosineOOVFallback(t *testing.T) {
+	m := trainTestModel(t)
+	if sim := m.Cosine("zzzqqq", "zzzqqq"); sim != 1 {
+		t.Errorf("OOV self-similarity = %v, want 1", sim)
+	}
+	if sim := m.Cosine("zzzqqq", "wwwwpp"); sim != 0 {
+		t.Errorf("OOV cross-similarity = %v, want 0", sim)
+	}
+}
+
+func TestVectorUnknownToken(t *testing.T) {
+	m := trainTestModel(t)
+	if _, err := m.Vector("qqqzzz"); !errors.Is(err, ErrUnknownToken) {
+		t.Fatalf("err = %v, want ErrUnknownToken", err)
+	}
+}
+
+func TestCompoundIdentifierVector(t *testing.T) {
+	m := trainTestModel(t)
+	// A compound identifier embeds as the mean of its parts.
+	v, err := m.Vector("buffer_length")
+	if err != nil {
+		t.Fatalf("Vector: %v", err)
+	}
+	if len(v) != m.Dim() {
+		t.Fatalf("vector dim = %d, want %d", len(v), m.Dim())
+	}
+	if !m.Contains("bufferLength") {
+		t.Error("Contains should see camelCase variant subtokens")
+	}
+}
+
+func TestNearest(t *testing.T) {
+	m := trainTestModel(t)
+	near, err := m.Nearest("size", 5)
+	if err != nil {
+		t.Fatalf("Nearest: %v", err)
+	}
+	if len(near) != 5 {
+		t.Fatalf("got %d neighbors, want 5", len(near))
+	}
+	if near[0] != "size" {
+		t.Errorf("nearest to size = %v, want size itself first", near[0])
+	}
+	found := false
+	for _, tok := range near {
+		if tok == "length" || tok == "len" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("neighbors of size = %v, want length/len among them", near)
+	}
+}
+
+func TestNearestUnknown(t *testing.T) {
+	m := trainTestModel(t)
+	if _, err := m.Nearest("qqqzzz", 3); !errors.Is(err, ErrUnknownToken) {
+		t.Fatalf("err = %v, want ErrUnknownToken", err)
+	}
+}
+
+func TestModelDeterminism(t *testing.T) {
+	m1 := trainTestModel(t)
+	m2 := trainTestModel(t)
+	if s1, s2 := m1.Cosine("size", "length"), m2.Cosine("size", "length"); s1 != s2 {
+		t.Errorf("training is not deterministic: %v vs %v", s1, s2)
+	}
+}
+
+// Property: cosine similarity is symmetric and bounded.
+func TestQuickCosineSymmetricBounded(t *testing.T) {
+	m := trainTestModel(t)
+	words := []string{"size", "length", "tree", "node", "src", "dest", "key", "file", "ret", "err"}
+	f := func(ai, bi uint8) bool {
+		a := words[int(ai)%len(words)]
+		b := words[int(bi)%len(words)]
+		s1, s2 := m.Cosine(a, b), m.Cosine(b, a)
+		return math.Abs(s1-s2) < 1e-12 && s1 >= -1-1e-9 && s1 <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: splitting is idempotent — splitting a subtoken yields itself.
+func TestQuickSplitIdempotent(t *testing.T) {
+	f := func(raw string) bool {
+		for _, tok := range SplitIdentifier(raw) {
+			again := SplitIdentifier(tok)
+			if len(again) != 1 || again[0] != tok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

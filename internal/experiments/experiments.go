@@ -1,0 +1,421 @@
+// Package experiments provides one driver per table and figure in the
+// paper's evaluation section. Each driver runs against a core.Study and
+// renders the artifact as text; the same drivers back cmd/studysim, the
+// root benchmark suite, and EXPERIMENTS.md. The experiment-to-module index
+// lives in DESIGN.md §3.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"decompstudy/internal/core"
+	"decompstudy/internal/htest"
+	"decompstudy/internal/participants"
+	"decompstudy/internal/report"
+	"decompstudy/internal/survey"
+)
+
+// Runner executes the experiment drivers against one study run.
+type Runner struct {
+	Study *core.Study
+}
+
+// NewRunner builds a study with the given configuration (nil = shipped
+// defaults) and wraps it in a Runner.
+func NewRunner(cfg *core.Config) (*Runner, error) {
+	s, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{Study: s}, nil
+}
+
+// TableI renders the RQ1 correctness GLMM (paper Table I).
+func (r *Runner) TableI() (string, error) {
+	res, err := r.Study.AnalyzeCorrectness()
+	if err != nil {
+		return "", err
+	}
+	return renderModelTable("Table I: GLMER Correctness Performance Model", res.String()), nil
+}
+
+// TableII renders the RQ2 timing LMM (paper Table II).
+func (r *Runner) TableII() (string, error) {
+	res, err := r.Study.AnalyzeTiming()
+	if err != nil {
+		return "", err
+	}
+	return renderModelTable("Table II: LMER Timing Performance Model", res.String()), nil
+}
+
+func renderModelTable(title, body string) string {
+	return title + "\n" + strings.Repeat("=", len(title)) + "\n" + body
+}
+
+// TableIII renders the similarity-vs-time correlations (paper Table III).
+func (r *Runner) TableIII() (string, error) {
+	mcs, err := r.Study.MetricCorrelations()
+	if err != nil {
+		return "", err
+	}
+	tbl := &report.Table{
+		Title:   "Table III: Correlation Between Similarity Metrics and Participant Time Taken (DIRTY snippets)",
+		Columns: []string{"Similarity Metric", "Dir", "rho", "p-value"},
+	}
+	for _, m := range mcs {
+		tbl.Rows = append(tbl.Rows, []string{
+			m.Metric, report.Arrow(m.TimeRho),
+			fmt.Sprintf("%+.4f", m.TimeRho), fmt.Sprintf("%.4f%s", m.TimeP, report.Stars(m.TimeP)),
+		})
+	}
+	return tbl.String(), nil
+}
+
+// TableIV renders the similarity-vs-correctness correlations (paper Table IV).
+func (r *Runner) TableIV() (string, error) {
+	mcs, err := r.Study.MetricCorrelations()
+	if err != nil {
+		return "", err
+	}
+	tbl := &report.Table{
+		Title:   "Table IV: Correlation Between Similarity Metrics and Participant Correctness (DIRTY snippets)",
+		Columns: []string{"Similarity Metric", "Dir", "rho", "p-value"},
+	}
+	for _, m := range mcs {
+		tbl.Rows = append(tbl.Rows, []string{
+			m.Metric, report.Arrow(m.CorrRho),
+			fmt.Sprintf("%+.4f", m.CorrRho), fmt.Sprintf("%.4f%s", m.CorrP, report.Stars(m.CorrP)),
+		})
+	}
+	return tbl.String(), nil
+}
+
+// Figure1 renders the AEEK original source next to its DIRTY-annotated
+// decompilation (paper Figure 1).
+func (r *Runner) Figure1() (string, error) {
+	p, ok := r.Study.PreparedByID("AEEK")
+	if !ok {
+		return "", fmt.Errorf("experiments: AEEK not prepared: %w", core.ErrAnalysis)
+	}
+	var b strings.Builder
+	b.WriteString("Figure 1(a): Original Source Code\n\n")
+	b.WriteString(p.OrigSource)
+	b.WriteString("\nFigure 1(b): Decompiled Binary with Name Recovery (DIRTY)\n\n")
+	b.WriteString(p.Dirty.Source())
+	return b.String(), nil
+}
+
+// Figure2 renders an example survey page (paper Figure 2).
+func (r *Runner) Figure2() (string, error) {
+	p, ok := r.Study.PreparedByID("AEEK")
+	if !ok {
+		return "", fmt.Errorf("experiments: AEEK not prepared: %w", core.ErrAnalysis)
+	}
+	q := p.Snippet.Questions[0]
+	return "Figure 2: AEEK question 1 as shown to participants\n\n" +
+		survey.RenderQuestion(p.HexRays.Source(), q), nil
+}
+
+// Figure3 renders the participant demographics histograms (paper Figure 3).
+func (r *Runner) Figure3() (string, error) {
+	var ages, genders, education []string
+	for _, p := range r.Study.Dataset.Participants {
+		ages = append(ages, p.Demo.AgeGroup)
+		genders = append(genders, p.Demo.Gender)
+		education = append(education, p.Demo.Education)
+	}
+	if len(ages) == 0 {
+		return "", fmt.Errorf("experiments: no participants: %w", core.ErrAnalysis)
+	}
+	var b strings.Builder
+	b.WriteString("Figure 3: Participant demographics\n\n")
+	l, c := report.CountBy(ages)
+	b.WriteString(report.Histogram("Age Group", l, c, 30))
+	b.WriteString("\n")
+	l, c = report.CountBy(genders)
+	b.WriteString(report.Histogram("Gender", l, c, 30))
+	b.WriteString("\n")
+	l, c = report.CountBy(education)
+	b.WriteString(report.Histogram("Education Level", l, c, 30))
+	return b.String(), nil
+}
+
+// Figure4 renders the postorder argument-swap comparison (paper Figure 4).
+func (r *Runner) Figure4() (string, error) {
+	p, ok := r.Study.PreparedByID("POSTORDER")
+	if !ok {
+		return "", fmt.Errorf("experiments: POSTORDER not prepared: %w", core.ErrAnalysis)
+	}
+	var b strings.Builder
+	b.WriteString("Figure 4(a): Hex-Rays\n\n")
+	b.WriteString(p.HexRays.Source())
+	b.WriteString("\nFigure 4(b): DIRTY (note the swapped function pointer and auxiliary argument)\n\n")
+	b.WriteString(p.Dirty.Source())
+	return b.String(), nil
+}
+
+// Figure5 renders per-question correctness grouped by treatment (paper
+// Figure 5).
+func (r *Runner) Figure5() (string, error) {
+	qcs, err := r.Study.CorrectnessByQuestion()
+	if err != nil {
+		return "", err
+	}
+	var cats []string
+	var dirty, hex []float64
+	for _, q := range qcs {
+		cats = append(cats, q.QuestionID)
+		dirty = append(dirty, q.DirtyRate())
+		hex = append(hex, q.HexRate())
+	}
+	out := report.GroupedBars("Figure 5: Correct answers by treatment", cats, dirty, hex, "DIRTY", "Hex-Rays")
+	var b strings.Builder
+	b.WriteString(out)
+	b.WriteString("\nFisher exact (two-sided) per question:\n")
+	for _, q := range qcs {
+		fmt.Fprintf(&b, "  %-14s p = %.4f%s\n", q.QuestionID, q.FisherP, report.Stars(q.FisherP))
+	}
+	return b.String(), nil
+}
+
+// Figure6 renders the BAPL signature comparison and completion-time
+// boxplots with Welch's t-test (paper Figure 6).
+func (r *Runner) Figure6() (string, error) {
+	p, ok := r.Study.PreparedByID("BAPL")
+	if !ok {
+		return "", fmt.Errorf("experiments: BAPL not prepared: %w", core.ErrAnalysis)
+	}
+	hex, dirty, err := r.Study.TimingGroups("BAPL", "", false)
+	if err != nil {
+		return "", err
+	}
+	w, err := htest.WelchT(hex, dirty, htest.TwoSided)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Figure 6(a): buffer_append_path_len signatures\n\n")
+	fmt.Fprintf(&b, "  // Original\n  %s\n", firstLine(p.OrigSource))
+	fmt.Fprintf(&b, "  // Hex-Rays\n  %s\n", firstLine(p.HexRays.Source()))
+	fmt.Fprintf(&b, "  // DIRTY\n  %s\n", firstLine(p.Dirty.Source()))
+	b.WriteString("\nFigure 6(b): Completion time for BAPL (seconds)\n\n")
+	lo, hi := boundsOf(hex, dirty)
+	b.WriteString(report.Boxplot("Hex-Rays", hex, lo, hi, 50))
+	b.WriteString(report.Boxplot("DIRTY", dirty, lo, hi, 50))
+	fmt.Fprintf(&b, "\nWelch two-sample t-test: t = %.3f, df = %.1f, p = %.4f\n", w.T, w.DF, w.P)
+	return b.String(), nil
+}
+
+// Figure7 renders the AEEK comparison and the correct-answer completion
+// times (paper Figure 7).
+func (r *Runner) Figure7() (string, error) {
+	p, ok := r.Study.PreparedByID("AEEK")
+	if !ok {
+		return "", fmt.Errorf("experiments: AEEK not prepared: %w", core.ErrAnalysis)
+	}
+	hex, dirty, err := r.Study.TimingGroups("", "AEEK-Q2", true)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Figure 7(a): Hex-Rays output\n\n")
+	b.WriteString(p.HexRays.Source())
+	b.WriteString("\nFigure 7(b): DIRTY output\n\n")
+	b.WriteString(p.Dirty.Source())
+	b.WriteString("\nFigure 7(c): Completion time for correct answers, AEEK Q2 (seconds)\n\n")
+	lo, hi := boundsOf(hex, dirty)
+	b.WriteString(report.Boxplot("Hex-Rays", hex, lo, hi, 50))
+	b.WriteString(report.Boxplot("DIRTY", dirty, lo, hi, 50))
+	return b.String(), nil
+}
+
+// Figure8 renders the diverging Likert opinions with the Wilcoxon tests
+// (paper Figure 8).
+func (r *Runner) Figure8() (string, error) {
+	op, err := r.Study.AnalyzeOpinions()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Figure 8: Opinion of how names/types impacted understanding\n")
+	b.WriteString("(left of │: helped; right: hindered)\n\n")
+	b.WriteString("Type\n")
+	b.WriteString(report.DivergingLikert("Hex-Rays", report.LikertCounts(op.TypeHex), 30))
+	b.WriteString(report.DivergingLikert("DIRTY", report.LikertCounts(op.TypeDirty), 30))
+	fmt.Fprintf(&b, "  Wilcoxon rank-sum: p = %.4f%s\n\n", op.TypeTest.P, report.Stars(op.TypeTest.P))
+	b.WriteString("Name\n")
+	b.WriteString(report.DivergingLikert("Hex-Rays", report.LikertCounts(op.NameHex), 30))
+	b.WriteString(report.DivergingLikert("DIRTY", report.LikertCounts(op.NameDirty), 30))
+	fmt.Fprintf(&b, "  Wilcoxon rank-sum: p = %.3g%s\n", op.NameTest.P, report.Stars(op.NameTest.P))
+	return b.String(), nil
+}
+
+// InTextStats renders the §IV in-text statistics (experiments X1–X3 in
+// DESIGN.md).
+func (r *Runner) InTextStats() (string, error) {
+	tr, err := r.Study.AnalyzeTrust()
+	if err != nil {
+		return "", err
+	}
+	pp, err := r.Study.PerceptionVsPerformance()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("In-text statistics (§IV)\n\n")
+	fmt.Fprintf(&b, "X1  POSTORDER-Q2 Fisher exact:                p = %.5f%s  (paper: 0.01059)\n",
+		tr.PostorderFisher, report.Stars(tr.PostorderFisher))
+	fmt.Fprintf(&b, "X1  Trust vs correctness (Wilcoxon):          p = %.5f%s  (paper: 0.02477)\n",
+		tr.TrustTest.P, report.Stars(tr.TrustTest.P))
+	for _, th := range tr.Themes {
+		fmt.Fprintf(&b, "    theme %-28s %s, correct rate %.2f\n", th.Code, th.Label(), th.CorrectRate)
+	}
+	fmt.Fprintf(&b, "X2  Type rating vs correctness (Spearman):    rho = %+.4f, p = %.5f%s  (paper: 0.1035, 0.02459)\n",
+		pp.TypeCorr.R, pp.TypeCorr.P, report.Stars(pp.TypeCorr.P))
+	fmt.Fprintf(&b, "X2  Name rating vs correctness (Spearman):    rho = %+.4f, p = %.5f  (paper: n.s., 0.6467)\n",
+		pp.NameCorr.R, pp.NameCorr.P)
+	fmt.Fprintf(&b, "X3  Expert panel ordinal Krippendorff alpha:  %.3f over %d units  (paper: 0.872)\n",
+		r.Study.Panel.Alpha, r.Study.Panel.Units)
+	return b.String(), nil
+}
+
+// MetricReportTable summarizes the per-snippet intrinsic metric values the
+// RQ5 correlations are computed from (not a paper artifact, but needed to
+// interpret Tables III/IV).
+func (r *Runner) MetricReportTable() string {
+	tbl := &report.Table{
+		Title:   "Per-snippet intrinsic metric values (DIRTY vs original)",
+		Columns: []string{"Snippet", "BLEU", "codeBLEU", "Jaccard", "Lev", "BERTScore", "VarCLR", "Hum(V)", "Hum(T)"},
+	}
+	for _, p := range r.Study.Prepared {
+		rep := r.Study.MetricReports[p.Snippet.ID]
+		tbl.Rows = append(tbl.Rows, []string{
+			p.Snippet.ID,
+			fmt.Sprintf("%.3f", rep.BLEU),
+			fmt.Sprintf("%.3f", rep.CodeBLEU),
+			fmt.Sprintf("%.3f", rep.Jaccard),
+			fmt.Sprintf("%.1f", rep.Levenshtein),
+			fmt.Sprintf("%.3f", rep.BERTScoreF1),
+			fmt.Sprintf("%.3f", rep.VarCLR),
+			fmt.Sprintf("%.2f", rep.HumanVariables),
+			fmt.Sprintf("%.2f", rep.HumanTypes),
+		})
+	}
+	return tbl.String()
+}
+
+// All renders every table and figure in paper order.
+func (r *Runner) All() (string, error) {
+	var b strings.Builder
+	type section struct {
+		name string
+		fn   func() (string, error)
+	}
+	sections := []section{
+		{"Figure 1", r.Figure1},
+		{"Figure 2", r.Figure2},
+		{"Figure 3", r.Figure3},
+		{"Table I", r.TableI},
+		{"Figure 4", r.Figure4},
+		{"Figure 5", r.Figure5},
+		{"Table II", r.TableII},
+		{"Figure 6", r.Figure6},
+		{"Figure 7", r.Figure7},
+		{"Figure 8", r.Figure8},
+		{"Tables III/IV inputs", func() (string, error) { return r.MetricReportTable(), nil }},
+		{"Table III", r.TableIII},
+		{"Table IV", r.TableIV},
+		{"In-text", r.InTextStats},
+	}
+	for _, s := range sections {
+		out, err := s.fn()
+		if err != nil {
+			return "", fmt.Errorf("experiments: %s: %w", s.name, err)
+		}
+		b.WriteString(out)
+		b.WriteString("\n" + strings.Repeat("─", 72) + "\n\n")
+	}
+	return b.String(), nil
+}
+
+// PowerSweep estimates, by Monte-Carlo over seeds, how often the
+// POSTORDER-Q2 Fisher test reaches significance at a given pool size — the
+// §VI discussion of statistical power under recruitment constraints. It is
+// the basis of the surveydesign example.
+func PowerSweep(poolSizes []int, trials int, seed int64) (map[int]float64, error) {
+	if trials <= 0 {
+		trials = 10
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := map[int]float64{}
+	for _, n := range poolSizes {
+		hits := 0
+		ran := 0
+		for tr := 0; tr < trials; tr++ {
+			students := n * 3 / 4
+			pros := n - students
+			ds, err := survey.Run(&survey.Config{
+				Seed: rng.Int63(),
+				Pool: &participants.PoolConfig{Students: students, Professionals: pros, Rushers: -1},
+			})
+			if err != nil {
+				return nil, err
+			}
+			var a, bCell, c, d int
+			for _, r := range ds.CorrectnessRows() {
+				if r.QuestionID != "POSTORDER-Q2" {
+					continue
+				}
+				switch {
+				case r.UsesDirty && r.Correct:
+					a++
+				case r.UsesDirty:
+					bCell++
+				case r.Correct:
+					c++
+				default:
+					d++
+				}
+			}
+			fr, err := htest.FisherExact2x2(a, bCell, c, d, htest.TwoSided)
+			if err != nil {
+				continue
+			}
+			ran++
+			if fr.P < 0.05 {
+				hits++
+			}
+		}
+		if ran == 0 {
+			out[n] = 0
+			continue
+		}
+		out[n] = float64(hits) / float64(ran)
+	}
+	return out, nil
+}
+
+func firstLine(src string) string {
+	for _, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line != "" {
+			return strings.TrimSuffix(line, " {")
+		}
+	}
+	return ""
+}
+
+func boundsOf(a, b []float64) (lo, hi float64) {
+	lo, hi = a[0], a[0]
+	for _, v := range append(append([]float64{}, a...), b...) {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	runnerOnce sync.Once
+	runnerVal  *Runner
+	runnerErr  error
+)
+
+func sharedRunner(t *testing.T) *Runner {
+	t.Helper()
+	runnerOnce.Do(func() {
+		runnerVal, runnerErr = NewRunner(nil)
+	})
+	if runnerErr != nil {
+		t.Fatalf("NewRunner: %v", runnerErr)
+	}
+	return runnerVal
+}
+
+func TestAllSectionsRender(t *testing.T) {
+	r := sharedRunner(t)
+	out, err := r.All()
+	if err != nil {
+		t.Fatalf("All: %v", err)
+	}
+	for _, want := range []string{
+		"Figure 1(a)", "Figure 2", "Figure 3", "Table I:", "Figure 4(a)",
+		"Figure 5", "Table II:", "Figure 6(a)", "Figure 7(a)", "Figure 8",
+		"Table III:", "Table IV:", "In-text statistics",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("All() missing section %q", want)
+		}
+	}
+	if len(out) < 4000 {
+		t.Errorf("All() output suspiciously short: %d bytes", len(out))
+	}
+}
+
+func TestFigure1ShowsBothVersions(t *testing.T) {
+	r := sharedRunner(t)
+	out, err := r.Figure1()
+	if err != nil {
+		t.Fatalf("Figure1: %v", err)
+	}
+	if !strings.Contains(out, "data_unset *array_extract_element_klen") {
+		t.Errorf("Figure 1 missing original signature:\n%s", out)
+	}
+	if !strings.Contains(out, "array_t_0 *array") {
+		t.Errorf("Figure 1 missing DIRTY signature:\n%s", out)
+	}
+}
+
+func TestFigure2HasNumberedListing(t *testing.T) {
+	r := sharedRunner(t)
+	out, err := r.Figure2()
+	if err != nil {
+		t.Fatalf("Figure2: %v", err)
+	}
+	if !strings.Contains(out, "  1 | ") {
+		t.Errorf("Figure 2 not line-numbered:\n%s", out)
+	}
+	if !strings.Contains(out, "Please write your answer here") {
+		t.Errorf("Figure 2 missing answer prompt")
+	}
+}
+
+func TestFigure3CoversAllDemographics(t *testing.T) {
+	r := sharedRunner(t)
+	out, err := r.Figure3()
+	if err != nil {
+		t.Fatalf("Figure3: %v", err)
+	}
+	for _, want := range []string{"Age Group", "Gender", "Education Level"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure 3 missing %q", want)
+		}
+	}
+}
+
+func TestFigure4ShowsSwap(t *testing.T) {
+	r := sharedRunner(t)
+	out, err := r.Figure4()
+	if err != nil {
+		t.Fatalf("Figure4: %v", err)
+	}
+	if !strings.Contains(out, "a2(a3, a1)") {
+		t.Errorf("Figure 4(a) missing the Hex-Rays call shape")
+	}
+	if !strings.Contains(out, "e(cmp, t)") {
+		t.Errorf("Figure 4(b) missing the swapped DIRTY call shape")
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	r := sharedRunner(t)
+	t1, err := r.TableI()
+	if err != nil {
+		t.Fatalf("TableI: %v", err)
+	}
+	if !strings.Contains(t1, "uses_DIRTY") || !strings.Contains(t1, "R²m") {
+		t.Errorf("Table I malformed:\n%s", t1)
+	}
+	t3, err := r.TableIII()
+	if err != nil {
+		t.Fatalf("TableIII: %v", err)
+	}
+	for _, metric := range []string{"BLEU", "codeBLEU", "Jaccard Similarity", "BERTScore F1", "VarCLR", "Human Evaluation (Variables)"} {
+		if !strings.Contains(t3, metric) {
+			t.Errorf("Table III missing %q", metric)
+		}
+	}
+}
+
+func TestMetricReportTable(t *testing.T) {
+	r := sharedRunner(t)
+	out := r.MetricReportTable()
+	for _, id := range []string{"AEEK", "BAPL", "POSTORDER", "TC"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("metric table missing %s", id)
+		}
+	}
+}
+
+func TestPowerSweep(t *testing.T) {
+	power, err := PowerSweep([]int{12, 60}, 4, 7)
+	if err != nil {
+		t.Fatalf("PowerSweep: %v", err)
+	}
+	if len(power) != 2 {
+		t.Fatalf("power entries = %d, want 2", len(power))
+	}
+	for n, p := range power {
+		if p < 0 || p > 1 {
+			t.Errorf("power[%d] = %v outside [0,1]", n, p)
+		}
+	}
+	// Larger pools should not have materially lower power.
+	if power[60] < power[12]-0.25 {
+		t.Errorf("power decreased with pool size: %v", power)
+	}
+}

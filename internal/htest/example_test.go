@@ -1,0 +1,47 @@
+package htest_test
+
+import (
+	"fmt"
+
+	"decompstudy/internal/htest"
+)
+
+// The paper's §IV-A Fisher test shape: nearly-perfect control arm versus a
+// half-misled treatment arm on POSTORDER-Q2.
+func ExampleFisherExact2x2() {
+	res, err := htest.FisherExact2x2(10, 8, 17, 1, htest.TwoSided)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("significant: %t\n", res.P < 0.05)
+	// Output:
+	// significant: true
+}
+
+func ExampleWilcoxonRankSum() {
+	dirty := []float64{1, 2, 1, 2, 2, 1, 1, 2, 1, 2}
+	hexrays := []float64{3, 4, 3, 4, 3, 4, 4, 3, 3, 4}
+	res, err := htest.WilcoxonRankSum(dirty, hexrays, htest.TwoSided)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("dirty ratings better (lower): %t, significant: %t\n",
+		res.LocationShift < 0, res.P < 0.001)
+	// Output:
+	// dirty ratings better (lower): true, significant: true
+}
+
+func ExampleSpearman() {
+	likert := []float64{1, 2, 3, 4, 5, 1, 2, 3, 4, 5}
+	correct := []float64{0, 0, 1, 1, 1, 0, 1, 0, 1, 1}
+	res, err := htest.Spearman(likert, correct)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("rho positive: %t\n", res.R > 0)
+	// Output:
+	// rho positive: true
+}

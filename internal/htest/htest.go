@@ -1,0 +1,438 @@
+// Package htest implements the hypothesis tests used in the paper's
+// analysis: the Wilcoxon rank-sum test with continuity correction (R's
+// wilcox.test default), Fisher's exact test for 2×2 tables, Welch's
+// two-sample t-test, Pearson and Spearman correlation with p-values, and
+// Krippendorff's alpha for ordinal inter-rater agreement.
+//
+// Each test returns a result struct carrying the statistic, the p-value,
+// and test-specific extras; tests validate their inputs and return wrapped
+// sentinel errors on degenerate samples rather than panicking.
+package htest
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"decompstudy/internal/stats"
+)
+
+// ErrSample is returned when a test's sample-size or degeneracy
+// preconditions are not met.
+var ErrSample = errors.New("htest: sample does not meet test preconditions")
+
+// Alternative selects the tail(s) of a test.
+type Alternative int
+
+// Supported alternatives. TwoSided is the zero value and the default used
+// throughout the paper.
+const (
+	TwoSided Alternative = iota
+	Less
+	Greater
+)
+
+func (a Alternative) String() string {
+	switch a {
+	case TwoSided:
+		return "two.sided"
+	case Less:
+		return "less"
+	case Greater:
+		return "greater"
+	default:
+		return fmt.Sprintf("Alternative(%d)", int(a))
+	}
+}
+
+// WilcoxonResult reports a Wilcoxon rank-sum (Mann-Whitney) test.
+type WilcoxonResult struct {
+	// W is the rank-sum statistic of the first sample, in R's
+	// parameterization (U statistic of sample x).
+	W float64
+	// Z is the normal approximation z-score after tie and continuity
+	// corrections.
+	Z float64
+	// P is the p-value under the requested alternative.
+	P float64
+	// LocationShift is the Hodges-Lehmann estimate of the location
+	// difference (median of pairwise differences x_i - y_j).
+	LocationShift float64
+}
+
+// WilcoxonRankSum performs a two-sample Wilcoxon rank-sum test using the
+// normal approximation with tie correction and continuity correction,
+// matching R's wilcox.test(x, y, correct=TRUE, exact=FALSE).
+func WilcoxonRankSum(x, y []float64, alt Alternative) (WilcoxonResult, error) {
+	nx, ny := len(x), len(y)
+	if nx == 0 || ny == 0 {
+		return WilcoxonResult{}, fmt.Errorf("htest: wilcoxon with empty sample (nx=%d, ny=%d): %w", nx, ny, ErrSample)
+	}
+	combined := make([]float64, 0, nx+ny)
+	combined = append(combined, x...)
+	combined = append(combined, y...)
+	ranks := stats.Ranks(combined)
+	rx := 0.0
+	for i := 0; i < nx; i++ {
+		rx += ranks[i]
+	}
+	// U statistic for x (R's W).
+	w := rx - float64(nx*(nx+1))/2
+	n := float64(nx + ny)
+	mu := float64(nx) * float64(ny) / 2
+	ties := stats.TieCorrection(combined)
+	sigma2 := float64(nx) * float64(ny) / 12 * (n + 1 - ties/(n*(n-1)))
+	if sigma2 <= 0 {
+		return WilcoxonResult{}, fmt.Errorf("htest: wilcoxon variance is zero (all values tied): %w", ErrSample)
+	}
+	sigma := math.Sqrt(sigma2)
+
+	// Continuity correction in the direction of the alternative.
+	var z, p float64
+	switch alt {
+	case TwoSided:
+		d := w - mu
+		var cc float64
+		switch {
+		case d > 0:
+			cc = -0.5
+		case d < 0:
+			cc = 0.5
+		}
+		z = (d + cc) / sigma
+		p = 2 * stats.StdNormalCDF(-math.Abs(z))
+		if p > 1 {
+			p = 1
+		}
+	case Greater:
+		z = (w - mu - 0.5) / sigma
+		p = 1 - stats.StdNormalCDF(z)
+	case Less:
+		z = (w - mu + 0.5) / sigma
+		p = stats.StdNormalCDF(z)
+	default:
+		return WilcoxonResult{}, fmt.Errorf("htest: unknown alternative %v", alt)
+	}
+
+	return WilcoxonResult{W: w, Z: z, P: p, LocationShift: hodgesLehmann(x, y)}, nil
+}
+
+// hodgesLehmann returns the median of all pairwise differences x_i - y_j.
+func hodgesLehmann(x, y []float64) float64 {
+	diffs := make([]float64, 0, len(x)*len(y))
+	for _, xi := range x {
+		for _, yj := range y {
+			diffs = append(diffs, xi-yj)
+		}
+	}
+	return stats.Median(diffs)
+}
+
+// FisherResult reports Fisher's exact test on a 2×2 table.
+type FisherResult struct {
+	// P is the two-sided p-value (sum of all tables with probability no
+	// greater than the observed one, R's default method).
+	P float64
+	// OddsRatio is the sample odds ratio (a*d)/(b*c); it is +Inf when b*c
+	// is zero and a*d is not.
+	OddsRatio float64
+}
+
+// FisherExact2x2 performs Fisher's exact test on the table
+//
+//	a b
+//	c d
+//
+// with the two-sided p-value defined, as in R, as the total probability of
+// tables at least as extreme (no more probable) than the one observed.
+func FisherExact2x2(a, b, c, d int, alt Alternative) (FisherResult, error) {
+	if a < 0 || b < 0 || c < 0 || d < 0 {
+		return FisherResult{}, fmt.Errorf("htest: fisher with negative cell: %w", ErrSample)
+	}
+	n := a + b + c + d
+	if n == 0 {
+		return FisherResult{}, fmt.Errorf("htest: fisher with empty table: %w", ErrSample)
+	}
+	row1 := a + b
+	col1 := a + c
+	// Support of the first cell given the margins.
+	lo := max(0, row1+col1-n)
+	hi := min(row1, col1)
+
+	pObs, err := stats.HypergeomPMF(a, col1, row1, n)
+	if err != nil {
+		return FisherResult{}, err
+	}
+
+	var p float64
+	switch alt {
+	case TwoSided:
+		// Sum probabilities of all tables no more probable than observed
+		// (with a small relative tolerance, as in R).
+		const relTol = 1 + 1e-7
+		for k := lo; k <= hi; k++ {
+			pk, err := stats.HypergeomPMF(k, col1, row1, n)
+			if err != nil {
+				return FisherResult{}, err
+			}
+			if pk <= pObs*relTol {
+				p += pk
+			}
+		}
+	case Greater:
+		for k := a; k <= hi; k++ {
+			pk, _ := stats.HypergeomPMF(k, col1, row1, n)
+			p += pk
+		}
+	case Less:
+		for k := lo; k <= a; k++ {
+			pk, _ := stats.HypergeomPMF(k, col1, row1, n)
+			p += pk
+		}
+	default:
+		return FisherResult{}, fmt.Errorf("htest: unknown alternative %v", alt)
+	}
+	if p > 1 {
+		p = 1
+	}
+
+	var or float64
+	switch {
+	case b*c != 0:
+		or = float64(a*d) / float64(b*c)
+	case a*d != 0:
+		or = math.Inf(1)
+	default:
+		or = math.NaN()
+	}
+	return FisherResult{P: p, OddsRatio: or}, nil
+}
+
+// WelchResult reports Welch's two-sample t-test.
+type WelchResult struct {
+	// T is the t statistic.
+	T float64
+	// DF is the Welch-Satterthwaite degrees of freedom.
+	DF float64
+	// P is the p-value under the requested alternative.
+	P float64
+	// MeanX and MeanY are the two sample means.
+	MeanX, MeanY float64
+}
+
+// WelchT performs Welch's unequal-variances two-sample t-test.
+func WelchT(x, y []float64, alt Alternative) (WelchResult, error) {
+	if len(x) < 2 || len(y) < 2 {
+		return WelchResult{}, fmt.Errorf("htest: welch needs ≥2 observations per group (nx=%d, ny=%d): %w", len(x), len(y), ErrSample)
+	}
+	mx, my := stats.Mean(x), stats.Mean(y)
+	vx, vy := stats.Variance(x), stats.Variance(y)
+	nx, ny := float64(len(x)), float64(len(y))
+	se2 := vx/nx + vy/ny
+	if se2 == 0 {
+		return WelchResult{}, fmt.Errorf("htest: welch with zero variance in both samples: %w", ErrSample)
+	}
+	tStat := (mx - my) / math.Sqrt(se2)
+	df := se2 * se2 / ((vx*vx)/(nx*nx*(nx-1)) + (vy*vy)/(ny*ny*(ny-1)))
+	var p float64
+	var err error
+	switch alt {
+	case TwoSided:
+		p, err = stats.TTailP(tStat, df)
+	case Greater:
+		var cdf float64
+		cdf, err = stats.TCDF(tStat, df)
+		p = 1 - cdf
+	case Less:
+		p, err = stats.TCDF(tStat, df)
+	default:
+		return WelchResult{}, fmt.Errorf("htest: unknown alternative %v", alt)
+	}
+	if err != nil {
+		return WelchResult{}, err
+	}
+	return WelchResult{T: tStat, DF: df, P: p, MeanX: mx, MeanY: my}, nil
+}
+
+// CorrResult reports a correlation test.
+type CorrResult struct {
+	// R is the correlation coefficient (Pearson's r or Spearman's ρ).
+	R float64
+	// P is the two-sided p-value from the t approximation.
+	P float64
+	// N is the number of paired observations.
+	N int
+}
+
+// Pearson computes Pearson's product-moment correlation with a two-sided
+// t-test p-value.
+func Pearson(x, y []float64) (CorrResult, error) {
+	if len(x) != len(y) {
+		return CorrResult{}, fmt.Errorf("htest: pearson with unequal lengths %d and %d: %w", len(x), len(y), ErrSample)
+	}
+	n := len(x)
+	if n < 3 {
+		return CorrResult{}, fmt.Errorf("htest: pearson needs ≥3 pairs, got %d: %w", n, ErrSample)
+	}
+	mx, my := stats.Mean(x), stats.Mean(y)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return CorrResult{}, fmt.Errorf("htest: pearson with constant sample: %w", ErrSample)
+	}
+	r := sxy / math.Sqrt(sxx*syy)
+	// Guard against floating-point |r| slightly above 1.
+	r = math.Max(-1, math.Min(1, r))
+	var p float64
+	if math.Abs(r) == 1 {
+		p = 0
+	} else {
+		tStat := r * math.Sqrt(float64(n-2)/(1-r*r))
+		var err error
+		p, err = stats.TTailP(tStat, float64(n-2))
+		if err != nil {
+			return CorrResult{}, err
+		}
+	}
+	return CorrResult{R: r, P: p, N: n}, nil
+}
+
+// Spearman computes Spearman's rank correlation ρ with a two-sided t
+// approximation p-value (the method R uses for samples with ties).
+func Spearman(x, y []float64) (CorrResult, error) {
+	if len(x) != len(y) {
+		return CorrResult{}, fmt.Errorf("htest: spearman with unequal lengths %d and %d: %w", len(x), len(y), ErrSample)
+	}
+	res, err := Pearson(stats.Ranks(x), stats.Ranks(y))
+	if err != nil {
+		return CorrResult{}, fmt.Errorf("htest: spearman: %w", err)
+	}
+	return res, nil
+}
+
+// KrippendorffOrdinal computes Krippendorff's alpha for ordinal data.
+// ratings[u][r] is rater r's score for unit u; NaN marks a missing rating.
+// Scores must be small non-negative integers encoded as float64 (Likert
+// levels). Units with fewer than two ratings are ignored, as the
+// coefficient requires pairable values.
+func KrippendorffOrdinal(ratings [][]float64) (float64, error) {
+	// Collect the set of levels in use.
+	levelSet := map[int]bool{}
+	for _, unit := range ratings {
+		for _, v := range unit {
+			if !math.IsNaN(v) {
+				levelSet[int(v)] = true
+			}
+		}
+	}
+	if len(levelSet) == 0 {
+		return 0, fmt.Errorf("htest: krippendorff with no ratings: %w", ErrSample)
+	}
+	levels := make([]int, 0, len(levelSet))
+	for l := range levelSet {
+		levels = append(levels, l)
+	}
+	sort.Ints(levels)
+	index := make(map[int]int, len(levels))
+	for i, l := range levels {
+		index[l] = i
+	}
+	k := len(levels)
+
+	// Coincidence matrix.
+	co := make([][]float64, k)
+	for i := range co {
+		co[i] = make([]float64, k)
+	}
+	totalPairable := 0.0
+	for _, unit := range ratings {
+		var vals []int
+		for _, v := range unit {
+			if !math.IsNaN(v) {
+				vals = append(vals, index[int(v)])
+			}
+		}
+		m := len(vals)
+		if m < 2 {
+			continue
+		}
+		totalPairable += float64(m)
+		w := 1 / float64(m-1)
+		for i := 0; i < m; i++ {
+			for j := 0; j < m; j++ {
+				if i != j {
+					co[vals[i]][vals[j]] += w
+				}
+			}
+		}
+	}
+	if totalPairable == 0 {
+		return 0, fmt.Errorf("htest: krippendorff needs at least one unit with two ratings: %w", ErrSample)
+	}
+
+	// Marginals.
+	nc := make([]float64, k)
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			nc[i] += co[i][j]
+		}
+	}
+	n := 0.0
+	for _, v := range nc {
+		n += v
+	}
+
+	// Ordinal distance: δ(c,d)² = (Σ_{g=c..d} n_g − (n_c + n_d)/2)².
+	dist := func(c, d int) float64 {
+		if c == d {
+			return 0
+		}
+		if c > d {
+			c, d = d, c
+		}
+		s := 0.0
+		for g := c; g <= d; g++ {
+			s += nc[g]
+		}
+		s -= (nc[c] + nc[d]) / 2
+		return s * s
+	}
+
+	var dObs, dExp float64
+	for c := 0; c < k; c++ {
+		for d := 0; d < k; d++ {
+			if c == d {
+				continue
+			}
+			delta := dist(c, d)
+			dObs += co[c][d] * delta
+			dExp += nc[c] * nc[d] * delta
+		}
+	}
+	if dExp == 0 {
+		// Perfect agreement on a single level everywhere.
+		return 1, nil
+	}
+	dExp /= n - 1
+	return 1 - dObs/dExp, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,371 @@
+package htest
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %.10g, want %.10g (tol %g)", name, got, want, tol)
+	}
+}
+
+// The x/y fixtures and expected values below were computed independently
+// with exact enumeration (Fisher) and high-resolution numeric integration
+// of the t density (Welch, Spearman); they match R's wilcox.test,
+// fisher.test, t.test, and cor.test outputs.
+var (
+	fixtureX = []float64{1.83, 0.50, 1.62, 2.48, 1.68, 1.88, 1.55, 3.06, 1.30}
+	fixtureY = []float64{0.878, 0.647, 0.598, 2.05, 1.06, 1.29, 1.06, 3.14, 1.29}
+)
+
+func TestWilcoxonRankSum(t *testing.T) {
+	res, err := WilcoxonRankSum(fixtureX, fixtureY, TwoSided)
+	if err != nil {
+		t.Fatalf("WilcoxonRankSum: %v", err)
+	}
+	approx(t, "W", res.W, 58, 1e-12)
+	approx(t, "Z", res.Z, 1.5026882342, 1e-9)
+	approx(t, "P", res.P, 0.1329194582, 1e-9)
+}
+
+func TestWilcoxonRankSumWithTies(t *testing.T) {
+	x := []float64{1, 2, 2, 3, 3, 3, 4}
+	y := []float64{2, 3, 3, 4, 4, 5, 5}
+	res, err := WilcoxonRankSum(x, y, TwoSided)
+	if err != nil {
+		t.Fatalf("WilcoxonRankSum: %v", err)
+	}
+	approx(t, "W ties", res.W, 11, 1e-12)
+	approx(t, "P ties", res.P, 0.0860363144, 1e-9)
+}
+
+func TestWilcoxonOneSided(t *testing.T) {
+	resG, err := WilcoxonRankSum(fixtureX, fixtureY, Greater)
+	if err != nil {
+		t.Fatalf("greater: %v", err)
+	}
+	resL, err := WilcoxonRankSum(fixtureX, fixtureY, Less)
+	if err != nil {
+		t.Fatalf("less: %v", err)
+	}
+	if resG.P >= 0.5 || resL.P <= 0.5 {
+		t.Errorf("one-sided p-values: greater=%v, less=%v; x is stochastically larger", resG.P, resL.P)
+	}
+}
+
+func TestWilcoxonDegenerate(t *testing.T) {
+	if _, err := WilcoxonRankSum(nil, []float64{1}, TwoSided); !errors.Is(err, ErrSample) {
+		t.Errorf("empty sample: err = %v, want ErrSample", err)
+	}
+	if _, err := WilcoxonRankSum([]float64{1, 1}, []float64{1, 1}, TwoSided); !errors.Is(err, ErrSample) {
+		t.Errorf("all tied: err = %v, want ErrSample", err)
+	}
+}
+
+func TestFisherExactKnownTables(t *testing.T) {
+	cases := []struct {
+		a, b, c, d int
+		want       float64
+	}{
+		{1, 9, 11, 3, 0.0027594562}, // R's tea-tasting style example
+		{12, 5, 5, 12, 0.0380843431},
+		{3, 1, 1, 3, 0.4857142857},
+	}
+	for _, c := range cases {
+		res, err := FisherExact2x2(c.a, c.b, c.c, c.d, TwoSided)
+		if err != nil {
+			t.Fatalf("FisherExact2x2(%d,%d,%d,%d): %v", c.a, c.b, c.c, c.d, err)
+		}
+		approx(t, "fisher p", res.P, c.want, 1e-9)
+	}
+}
+
+func TestFisherExactOneSided(t *testing.T) {
+	// One-sided tails must sum to ≥ 1 (they share the observed table).
+	g, err := FisherExact2x2(12, 5, 5, 12, Greater)
+	if err != nil {
+		t.Fatalf("greater: %v", err)
+	}
+	l, err := FisherExact2x2(12, 5, 5, 12, Less)
+	if err != nil {
+		t.Fatalf("less: %v", err)
+	}
+	if g.P+l.P < 1 {
+		t.Errorf("one-sided tails sum to %v, want ≥ 1", g.P+l.P)
+	}
+	if g.P > 0.05 {
+		t.Errorf("greater-tail p = %v, want < 0.05 for this association", g.P)
+	}
+}
+
+func TestFisherExactErrors(t *testing.T) {
+	if _, err := FisherExact2x2(-1, 0, 0, 0, TwoSided); !errors.Is(err, ErrSample) {
+		t.Errorf("negative cell: err = %v, want ErrSample", err)
+	}
+	if _, err := FisherExact2x2(0, 0, 0, 0, TwoSided); !errors.Is(err, ErrSample) {
+		t.Errorf("empty table: err = %v, want ErrSample", err)
+	}
+}
+
+func TestFisherOddsRatio(t *testing.T) {
+	res, _ := FisherExact2x2(4, 2, 1, 3, TwoSided)
+	approx(t, "odds ratio", res.OddsRatio, 6, 1e-12)
+	res, _ = FisherExact2x2(4, 0, 1, 3, TwoSided)
+	if !math.IsInf(res.OddsRatio, 1) {
+		t.Errorf("odds ratio with zero cell = %v, want +Inf", res.OddsRatio)
+	}
+}
+
+func TestWelchT(t *testing.T) {
+	res, err := WelchT(fixtureX, fixtureY, TwoSided)
+	if err != nil {
+		t.Fatalf("WelchT: %v", err)
+	}
+	approx(t, "t", res.T, 1.2051727991, 1e-9)
+	approx(t, "df", res.DF, 15.7950355825, 1e-8)
+	approx(t, "p", res.P, 0.2458828385, 1e-7)
+}
+
+func TestWelchTDegenerate(t *testing.T) {
+	if _, err := WelchT([]float64{1}, []float64{1, 2}, TwoSided); !errors.Is(err, ErrSample) {
+		t.Errorf("tiny sample: err = %v, want ErrSample", err)
+	}
+	if _, err := WelchT([]float64{2, 2}, []float64{3, 3}, TwoSided); !errors.Is(err, ErrSample) {
+		t.Errorf("zero variance: err = %v, want ErrSample", err)
+	}
+}
+
+func TestSpearman(t *testing.T) {
+	res, err := Spearman(fixtureX, fixtureY)
+	if err != nil {
+		t.Fatalf("Spearman: %v", err)
+	}
+	approx(t, "rho", res.R, 0.6470816712, 1e-9)
+	approx(t, "p", res.P, 0.0595922135, 1e-7)
+}
+
+func TestSpearmanPerfectMonotone(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{10, 100, 1000, 10000, 100000}
+	res, err := Spearman(x, y)
+	if err != nil {
+		t.Fatalf("Spearman: %v", err)
+	}
+	approx(t, "rho", res.R, 1, 1e-12)
+	approx(t, "p", res.P, 0, 1e-12)
+}
+
+func TestPearsonDegenerate(t *testing.T) {
+	if _, err := Pearson([]float64{1, 2}, []float64{1, 2, 3}); !errors.Is(err, ErrSample) {
+		t.Errorf("length mismatch: err = %v, want ErrSample", err)
+	}
+	if _, err := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3}); !errors.Is(err, ErrSample) {
+		t.Errorf("constant x: err = %v, want ErrSample", err)
+	}
+}
+
+func TestKrippendorffBinaryHandComputed(t *testing.T) {
+	// Units: (0,0), (1,1), (0,1), (0,0); by hand α = 8/15 ≈ 0.5333.
+	ratings := [][]float64{{0, 0}, {1, 1}, {0, 1}, {0, 0}}
+	alpha, err := KrippendorffOrdinal(ratings)
+	if err != nil {
+		t.Fatalf("KrippendorffOrdinal: %v", err)
+	}
+	approx(t, "alpha", alpha, 8.0/15, 1e-12)
+}
+
+func TestKrippendorffPerfectAgreement(t *testing.T) {
+	ratings := [][]float64{{1, 1, 1}, {3, 3, 3}, {5, 5, 5}}
+	alpha, err := KrippendorffOrdinal(ratings)
+	if err != nil {
+		t.Fatalf("KrippendorffOrdinal: %v", err)
+	}
+	approx(t, "alpha perfect", alpha, 1, 1e-12)
+}
+
+func TestKrippendorffMissingData(t *testing.T) {
+	nan := math.NaN()
+	ratings := [][]float64{{1, 1, nan}, {2, nan, 2}, {3, 3, 3}, {nan, nan, 4}}
+	alpha, err := KrippendorffOrdinal(ratings)
+	if err != nil {
+		t.Fatalf("KrippendorffOrdinal with missing: %v", err)
+	}
+	approx(t, "alpha missing", alpha, 1, 1e-12) // all pairable values agree
+}
+
+func TestKrippendorffOrdinalSensitivity(t *testing.T) {
+	// Ordinal alpha must punish a 1-vs-5 disagreement more than 1-vs-2.
+	near := [][]float64{{1, 2}, {1, 1}, {5, 5}, {3, 3}, {2, 2}, {4, 4}}
+	far := [][]float64{{1, 5}, {1, 1}, {5, 5}, {3, 3}, {2, 2}, {4, 4}}
+	aNear, err := KrippendorffOrdinal(near)
+	if err != nil {
+		t.Fatalf("near: %v", err)
+	}
+	aFar, err := KrippendorffOrdinal(far)
+	if err != nil {
+		t.Fatalf("far: %v", err)
+	}
+	if aNear <= aFar {
+		t.Errorf("ordinal alpha: near-disagreement %v should exceed far-disagreement %v", aNear, aFar)
+	}
+}
+
+func TestKrippendorffErrors(t *testing.T) {
+	if _, err := KrippendorffOrdinal(nil); !errors.Is(err, ErrSample) {
+		t.Errorf("no ratings: err = %v, want ErrSample", err)
+	}
+	nan := math.NaN()
+	if _, err := KrippendorffOrdinal([][]float64{{1, nan}, {nan, 2}}); !errors.Is(err, ErrSample) {
+		t.Errorf("no pairable: err = %v, want ErrSample", err)
+	}
+}
+
+func TestAlternativeString(t *testing.T) {
+	if TwoSided.String() != "two.sided" || Less.String() != "less" || Greater.String() != "greater" {
+		t.Error("Alternative String() mismatch")
+	}
+}
+
+// Property: Fisher's two-sided p is symmetric under transposing the table
+// and under swapping both rows and columns.
+func TestQuickFisherSymmetry(t *testing.T) {
+	f := func(a, b, c, d uint8) bool {
+		ai, bi, ci, di := int(a%12), int(b%12), int(c%12), int(d%12)
+		if ai+bi+ci+di == 0 {
+			return true
+		}
+		p1, err1 := FisherExact2x2(ai, bi, ci, di, TwoSided)
+		p2, err2 := FisherExact2x2(ai, ci, bi, di, TwoSided) // transpose
+		p3, err3 := FisherExact2x2(di, ci, bi, ai, TwoSided) // rotate 180°
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		return math.Abs(p1.P-p2.P) < 1e-9 && math.Abs(p1.P-p3.P) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Spearman is invariant under strictly monotone transforms of
+// either variable.
+func TestQuickSpearmanMonotoneInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(20)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = x[i]*0.5 + rng.NormFloat64()
+		}
+		r1, err := Spearman(x, y)
+		if err != nil {
+			return true // constant sample by chance
+		}
+		// exp is strictly monotone.
+		xt := make([]float64, n)
+		for i := range x {
+			xt[i] = math.Exp(x[i])
+		}
+		r2, err := Spearman(xt, y)
+		if err != nil {
+			return false
+		}
+		return math.Abs(r1.R-r2.R) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Wilcoxon p-value is symmetric in its arguments.
+func TestQuickWilcoxonSymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nx, ny := 3+rng.Intn(10), 3+rng.Intn(10)
+		x := make([]float64, nx)
+		y := make([]float64, ny)
+		for i := range x {
+			x[i] = float64(rng.Intn(6))
+		}
+		for i := range y {
+			y[i] = float64(rng.Intn(6)) + 0.5
+		}
+		r1, err1 := WilcoxonRankSum(x, y, TwoSided)
+		r2, err2 := WilcoxonRankSum(y, x, TwoSided)
+		if err1 != nil || err2 != nil {
+			return err1 != nil && err2 != nil
+		}
+		return math.Abs(r1.P-r2.P) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWilcoxonSignedRank(t *testing.T) {
+	// Paired version of the fixture; V, Z, p verified independently
+	// (matches R's wilcox.test(x, y, paired=TRUE, exact=FALSE)).
+	res, err := WilcoxonSignedRank(fixtureX, fixtureY, TwoSided)
+	if err != nil {
+		t.Fatalf("WilcoxonSignedRank: %v", err)
+	}
+	approx(t, "V", res.V, 40, 1e-12)
+	approx(t, "Z", res.Z, 2.0139861844, 1e-9)
+	approx(t, "P", res.P, 0.0440109840, 1e-9)
+	if res.N != 9 {
+		t.Errorf("N = %d, want 9", res.N)
+	}
+}
+
+func TestWilcoxonSignedRankDropsZeroDiffs(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{1, 1, 3, 2}
+	res, err := WilcoxonSignedRank(x, y, TwoSided)
+	if err != nil {
+		t.Fatalf("WilcoxonSignedRank: %v", err)
+	}
+	if res.N != 2 {
+		t.Errorf("N = %d, want 2 after zero elimination", res.N)
+	}
+}
+
+func TestWilcoxonSignedRankErrors(t *testing.T) {
+	if _, err := WilcoxonSignedRank([]float64{1}, []float64{1, 2}, TwoSided); !errors.Is(err, ErrSample) {
+		t.Errorf("length mismatch: err = %v, want ErrSample", err)
+	}
+	if _, err := WilcoxonSignedRank([]float64{1, 2}, []float64{1, 2}, TwoSided); !errors.Is(err, ErrSample) {
+		t.Errorf("all zero diffs: err = %v, want ErrSample", err)
+	}
+}
+
+// Property: signed-rank is antisymmetric — swapping the samples flips the
+// one-sided tails and preserves the two-sided p.
+func TestQuickSignedRankAntisymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + rng.Intn(15)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = float64(rng.Intn(10))
+			y[i] = float64(rng.Intn(10))
+		}
+		r1, err1 := WilcoxonSignedRank(x, y, TwoSided)
+		r2, err2 := WilcoxonSignedRank(y, x, TwoSided)
+		if err1 != nil || err2 != nil {
+			return (err1 != nil) == (err2 != nil)
+		}
+		return math.Abs(r1.P-r2.P) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

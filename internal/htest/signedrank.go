@@ -1,0 +1,91 @@
+package htest
+
+import (
+	"fmt"
+	"math"
+
+	"decompstudy/internal/stats"
+)
+
+// SignedRankResult reports a Wilcoxon signed-rank test on paired samples.
+type SignedRankResult struct {
+	// V is the signed-rank statistic (sum of positive-difference ranks, R's
+	// parameterization).
+	V float64
+	// Z is the normal approximation z-score after tie and continuity
+	// corrections.
+	Z float64
+	// P is the p-value under the requested alternative.
+	P float64
+	// N is the number of non-zero differences used.
+	N int
+}
+
+// WilcoxonSignedRank performs the paired Wilcoxon signed-rank test between
+// x and y using the normal approximation with continuity correction,
+// matching R's wilcox.test(x, y, paired=TRUE, correct=TRUE, exact=FALSE).
+// Zero differences are dropped (the zero-elimination convention). The
+// paper's between-subjects design uses the rank-sum test; the signed-rank
+// variant serves within-subject follow-up designs where each participant
+// sees both arms of the same snippet.
+func WilcoxonSignedRank(x, y []float64, alt Alternative) (SignedRankResult, error) {
+	if len(x) != len(y) {
+		return SignedRankResult{}, fmt.Errorf("htest: signed-rank with unequal lengths %d and %d: %w", len(x), len(y), ErrSample)
+	}
+	var diffs []float64
+	for i := range x {
+		if d := x[i] - y[i]; d != 0 {
+			diffs = append(diffs, d)
+		}
+	}
+	n := len(diffs)
+	if n == 0 {
+		return SignedRankResult{}, fmt.Errorf("htest: signed-rank with all-zero differences: %w", ErrSample)
+	}
+	abs := make([]float64, n)
+	for i, d := range diffs {
+		abs[i] = math.Abs(d)
+	}
+	ranks := stats.Ranks(abs)
+	v := 0.0
+	for i, d := range diffs {
+		if d > 0 {
+			v += ranks[i]
+		}
+	}
+	nf := float64(n)
+	mu := nf * (nf + 1) / 4
+	ties := stats.TieCorrection(abs)
+	sigma2 := nf*(nf+1)*(2*nf+1)/24 - ties/48
+	if sigma2 <= 0 {
+		return SignedRankResult{}, fmt.Errorf("htest: signed-rank variance is zero: %w", ErrSample)
+	}
+	sigma := math.Sqrt(sigma2)
+
+	var z, p float64
+	switch alt {
+	case TwoSided:
+		d := v - mu
+		var cc float64
+		switch {
+		case d > 0:
+			cc = -0.5
+		case d < 0:
+			cc = 0.5
+		}
+		z = (d + cc) / sigma
+		p = 2 * stats.StdNormalCDF(-math.Abs(z))
+		if p > 1 {
+			p = 1
+		}
+	case Greater:
+		z = (v - mu - 0.5) / sigma
+		p = 1 - stats.StdNormalCDF(z)
+	case Less:
+		z = (v - mu + 0.5) / sigma
+		p = stats.StdNormalCDF(z)
+	default:
+		return SignedRankResult{}, fmt.Errorf("htest: unknown alternative %v", alt)
+	}
+	return SignedRankResult{V: v, Z: z, P: p, N: n}, nil
+}

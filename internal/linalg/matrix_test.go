@@ -1,0 +1,342 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestNewMatrixFromRows(t *testing.T) {
+	m, err := NewMatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatalf("NewMatrixFromRows: %v", err)
+	}
+	if m.Rows() != 2 || m.Cols() != 2 {
+		t.Fatalf("got %dx%d, want 2x2", m.Rows(), m.Cols())
+	}
+	if m.At(1, 0) != 3 {
+		t.Errorf("At(1,0) = %v, want 3", m.At(1, 0))
+	}
+}
+
+func TestNewMatrixFromRowsRagged(t *testing.T) {
+	_, err := NewMatrixFromRows([][]float64{{1, 2}, {3}})
+	if !errors.Is(err, ErrShape) {
+		t.Fatalf("ragged rows: err = %v, want ErrShape", err)
+	}
+}
+
+func TestMul(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := NewMatrixFromRows([][]float64{{5, 6}, {7, 8}})
+	c, err := Mul(a, b)
+	if err != nil {
+		t.Fatalf("Mul: %v", err)
+	}
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want[i][j] {
+				t.Errorf("c[%d][%d] = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMulShapeMismatch(t *testing.T) {
+	a := NewMatrix(2, 3)
+	b := NewMatrix(2, 3)
+	if _, err := Mul(a, b); !errors.Is(err, ErrShape) {
+		t.Fatalf("Mul mismatch: err = %v, want ErrShape", err)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	at := a.T()
+	if at.Rows() != 3 || at.Cols() != 2 {
+		t.Fatalf("transpose is %dx%d, want 3x2", at.Rows(), at.Cols())
+	}
+	if at.At(2, 1) != 6 {
+		t.Errorf("at[2][1] = %v, want 6", at.At(2, 1))
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	y, err := MulVec(a, []float64{1, -1})
+	if err != nil {
+		t.Fatalf("MulVec: %v", err)
+	}
+	want := []float64{-1, -1, -1}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Errorf("y[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+}
+
+// randomSPD builds a random symmetric positive definite matrix A = BᵀB + nI.
+func randomSPD(rng *rand.Rand, n int) *Matrix {
+	b := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			b.Set(i, j, rng.NormFloat64())
+		}
+	}
+	a, _ := Mul(b.T(), b)
+	for i := 0; i < n; i++ {
+		a.Add(i, i, float64(n))
+	}
+	return a
+}
+
+func TestCholeskySolveRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(12)
+		a := randomSPD(rng, n)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		b, _ := MulVec(a, x)
+		ch, err := NewCholesky(a)
+		if err != nil {
+			t.Fatalf("trial %d: NewCholesky: %v", trial, err)
+		}
+		got, err := ch.SolveVec(b)
+		if err != nil {
+			t.Fatalf("trial %d: SolveVec: %v", trial, err)
+		}
+		for i := range x {
+			if !almostEqual(got[i], x[i], 1e-8) {
+				t.Fatalf("trial %d: x[%d] = %v, want %v", trial, i, got[i], x[i])
+			}
+		}
+	}
+}
+
+func TestCholeskyFactorReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randomSPD(rng, 6)
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatalf("NewCholesky: %v", err)
+	}
+	l := ch.L()
+	llt, _ := Mul(l, l.T())
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			if !almostEqual(llt.At(i, j), a.At(i, j), 1e-10) {
+				t.Fatalf("LLᵀ[%d][%d] = %v, want %v", i, j, llt.At(i, j), a.At(i, j))
+			}
+		}
+	}
+}
+
+func TestCholeskyNotPD(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, -1
+	if _, err := NewCholesky(a); !errors.Is(err, ErrSingular) {
+		t.Fatalf("non-PD cholesky: err = %v, want ErrSingular", err)
+	}
+}
+
+func TestCholeskyLogDet(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{{4, 0}, {0, 9}})
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatalf("NewCholesky: %v", err)
+	}
+	if got, want := ch.LogDet(), math.Log(36); !almostEqual(got, want, 1e-12) {
+		t.Errorf("LogDet = %v, want %v", got, want)
+	}
+}
+
+func TestCholeskyInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomSPD(rng, 5)
+	ch, _ := NewCholesky(a)
+	inv, err := ch.Inverse()
+	if err != nil {
+		t.Fatalf("Inverse: %v", err)
+	}
+	prod, _ := Mul(a, inv)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(prod.At(i, j)-want) > 1e-9 {
+				t.Fatalf("A*A⁻¹[%d][%d] = %v, want %v", i, j, prod.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestLUSolve(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{{0, 2, 1}, {1, -2, -3}, {-1, 1, 2}})
+	x := []float64{1, 2, 3}
+	b, _ := MulVec(a, x)
+	f, err := NewLU(a)
+	if err != nil {
+		t.Fatalf("NewLU: %v", err)
+	}
+	got, err := f.SolveVec(b)
+	if err != nil {
+		t.Fatalf("SolveVec: %v", err)
+	}
+	for i := range x {
+		if !almostEqual(got[i], x[i], 1e-10) {
+			t.Errorf("x[%d] = %v, want %v", i, got[i], x[i])
+		}
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := NewLU(a); !errors.Is(err, ErrSingular) {
+		t.Fatalf("singular LU: err = %v, want ErrSingular", err)
+	}
+}
+
+func TestLULogDet(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{{0, 1}, {1, 0}}) // det = -1
+	f, err := NewLU(a)
+	if err != nil {
+		t.Fatalf("NewLU: %v", err)
+	}
+	logAbs, sign := f.LogDet()
+	if !almostEqual(logAbs, 0, 1e-12) || sign != -1 {
+		t.Errorf("LogDet = (%v, %v), want (0, -1)", logAbs, sign)
+	}
+}
+
+func TestXtX(t *testing.T) {
+	x, _ := NewMatrixFromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	got := XtX(x)
+	want, _ := Mul(x.T(), x)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if !almostEqual(got.At(i, j), want.At(i, j), 1e-12) {
+				t.Errorf("XtX[%d][%d] = %v, want %v", i, j, got.At(i, j), want.At(i, j))
+			}
+		}
+	}
+}
+
+func TestXtWXMatchesExplicit(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := NewMatrix(7, 3)
+	for i := 0; i < 7; i++ {
+		for j := 0; j < 3; j++ {
+			x.Set(i, j, rng.NormFloat64())
+		}
+	}
+	w := make([]float64, 7)
+	for i := range w {
+		w[i] = rng.Float64() + 0.1
+	}
+	got, err := XtWX(x, w)
+	if err != nil {
+		t.Fatalf("XtWX: %v", err)
+	}
+	// Explicit: Xᵀ diag(w) X.
+	wx := x.Clone()
+	for i := 0; i < 7; i++ {
+		for j := 0; j < 3; j++ {
+			wx.Set(i, j, wx.At(i, j)*w[i])
+		}
+	}
+	want, _ := Mul(x.T(), wx)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if !almostEqual(got.At(i, j), want.At(i, j), 1e-12) {
+				t.Errorf("XtWX[%d][%d] = %v, want %v", i, j, got.At(i, j), want.At(i, j))
+			}
+		}
+	}
+}
+
+func TestVectorHelpers(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Errorf("Dot = %v, want 32", got)
+	}
+	if got := Norm2([]float64{3, 4}); got != 5 {
+		t.Errorf("Norm2 = %v, want 5", got)
+	}
+	y := []float64{1, 1}
+	AXPY(2, []float64{1, 2}, y)
+	if y[0] != 3 || y[1] != 5 {
+		t.Errorf("AXPY = %v, want [3 5]", y)
+	}
+	v := []float64{2, 4}
+	Scale(0.5, v)
+	if v[0] != 1 || v[1] != 2 {
+		t.Errorf("Scale = %v, want [1 2]", v)
+	}
+}
+
+// Property: for random SPD systems, solving then multiplying recovers the RHS.
+func TestQuickCholeskyResidual(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		a := randomSPD(rng, n)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64() * 10
+		}
+		ch, err := NewCholesky(a)
+		if err != nil {
+			return false
+		}
+		x, err := ch.SolveVec(b)
+		if err != nil {
+			return false
+		}
+		ax, _ := MulVec(a, x)
+		for i := range b {
+			if !almostEqual(ax[i], b[i], 1e-8) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: transpose is an involution.
+func TestQuickTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, c := 1+rng.Intn(6), 1+rng.Intn(6)
+		m := NewMatrix(r, c)
+		for i := 0; i < r; i++ {
+			for j := 0; j < c; j++ {
+				m.Set(i, j, rng.NormFloat64())
+			}
+		}
+		tt := m.T().T()
+		for i := 0; i < r; i++ {
+			for j := 0; j < c; j++ {
+				if tt.At(i, j) != m.At(i, j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,255 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"unicode"
+
+	"decompstudy/internal/embed"
+)
+
+// BLEU computes the sentence-level BLEU score of a candidate token sequence
+// against a reference, with uniform weights over 1..maxN-grams, add-one
+// smoothing for higher-order precisions (Lin & Och smoothing method 1), and
+// the standard brevity penalty. maxN ≤ 0 defaults to 4. The score is in
+// [0, 1].
+func BLEU(candidate, reference []string, maxN int) float64 {
+	if maxN <= 0 {
+		maxN = 4
+	}
+	if len(candidate) == 0 || len(reference) == 0 {
+		if len(candidate) == len(reference) {
+			return 1
+		}
+		return 0
+	}
+	logSum := 0.0
+	for n := 1; n <= maxN; n++ {
+		matched, total := clippedNGramMatches(candidate, reference, n)
+		var p float64
+		if n == 1 {
+			if total == 0 {
+				return 0
+			}
+			p = float64(matched) / float64(total)
+			if p == 0 {
+				return 0
+			}
+		} else {
+			// Add-one smoothing keeps short sequences comparable.
+			p = (float64(matched) + 1) / (float64(total) + 1)
+		}
+		logSum += math.Log(p)
+	}
+	precision := math.Exp(logSum / float64(maxN))
+	bp := 1.0
+	if len(candidate) < len(reference) {
+		bp = math.Exp(1 - float64(len(reference))/float64(len(candidate)))
+	}
+	return bp * precision
+}
+
+// clippedNGramMatches counts candidate n-grams that appear in the
+// reference, clipped by reference multiplicity, plus the total candidate
+// n-gram count.
+func clippedNGramMatches(candidate, reference []string, n int) (matched, total int) {
+	if len(candidate) < n {
+		return 0, 0
+	}
+	refCounts := map[string]int{}
+	for i := 0; i+n <= len(reference); i++ {
+		refCounts[strings.Join(reference[i:i+n], "\x00")]++
+	}
+	for i := 0; i+n <= len(candidate); i++ {
+		total++
+		key := strings.Join(candidate[i:i+n], "\x00")
+		if refCounts[key] > 0 {
+			refCounts[key]--
+			matched++
+		}
+	}
+	return matched, total
+}
+
+// TokenizeNames splits a paired-names string (space-separated identifiers)
+// into the subtoken sequence BLEU-style metrics operate on.
+func TokenizeNames(paired string) []string {
+	var out []string
+	for _, ident := range strings.Fields(paired) {
+		out = append(out, embed.SplitIdentifier(ident)...)
+	}
+	return out
+}
+
+// cKeywords are weighted higher by codeBLEU's weighted n-gram component.
+var cKeywords = map[string]bool{
+	"if": true, "else": true, "for": true, "while": true, "do": true,
+	"return": true, "break": true, "continue": true, "switch": true,
+	"case": true, "default": true, "goto": true, "sizeof": true,
+	"struct": true, "union": true, "enum": true, "typedef": true,
+	"const": true, "static": true, "void": true, "int": true, "char": true,
+	"long": true, "short": true, "unsigned": true, "signed": true,
+	"float": true, "double": true,
+}
+
+// TokenizeCode lexes a line (or block) of C-like code into coarse tokens:
+// identifiers/keywords, numbers, and individual punctuation characters.
+func TokenizeCode(code string) []string {
+	var out []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range code {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_':
+			cur.WriteRune(r)
+		case unicode.IsSpace(r):
+			flush()
+		default:
+			flush()
+			out = append(out, string(r))
+		}
+	}
+	flush()
+	return out
+}
+
+// tokenClass maps a code token to a syntactic class, the skeleton that
+// codeBLEU's "AST" component compares when full parse trees are not
+// available for a fragment.
+func tokenClass(tok string) string {
+	switch {
+	case cKeywords[tok]:
+		return "KW:" + tok
+	case tok == "":
+		return ""
+	case unicode.IsDigit(rune(tok[0])):
+		return "NUM"
+	case unicode.IsLetter(rune(tok[0])) || tok[0] == '_':
+		return "ID"
+	default:
+		return tok // punctuation is its own class
+	}
+}
+
+// defUsePairs extracts a crude dataflow signature from C-like code: for
+// every assignment `lhs = ...rhs...`, one (def, use) pair per identifier on
+// the right-hand side. This approximates codeBLEU's dataflow-match
+// component on fragments.
+func defUsePairs(tokens []string) map[string]int {
+	pairs := map[string]int{}
+	for i, tok := range tokens {
+		if tok != "=" {
+			continue
+		}
+		// Skip comparison/compound operators.
+		if i > 0 && strings.ContainsAny(tokens[i-1], "=!<>+-*/&|^%") {
+			continue
+		}
+		if i+1 < len(tokens) && tokens[i+1] == "=" {
+			continue
+		}
+		if i == 0 || tokenClass(tokens[i-1]) != "ID" {
+			continue
+		}
+		def := tokens[i-1]
+		for j := i + 1; j < len(tokens) && tokens[j] != ";"; j++ {
+			if tokenClass(tokens[j]) == "ID" && !cKeywords[tokens[j]] {
+				pairs[def+"\x00"+tokens[j]]++
+			}
+		}
+	}
+	return pairs
+}
+
+// CodeBLEUWeights sets the component mixture for CodeBLEU. The zero value
+// is replaced by the canonical equal weighting (0.25 each).
+type CodeBLEUWeights struct {
+	NGram, WeightedNGram, Syntax, Dataflow float64
+}
+
+func (w CodeBLEUWeights) normalized() CodeBLEUWeights {
+	if w.NGram == 0 && w.WeightedNGram == 0 && w.Syntax == 0 && w.Dataflow == 0 {
+		return CodeBLEUWeights{0.25, 0.25, 0.25, 0.25}
+	}
+	s := w.NGram + w.WeightedNGram + w.Syntax + w.Dataflow
+	return CodeBLEUWeights{w.NGram / s, w.WeightedNGram / s, w.Syntax / s, w.Dataflow / s}
+}
+
+// CodeBLEU computes the codeBLEU score between a candidate and reference
+// code fragment: a weighted combination of token BLEU, keyword-weighted
+// BLEU, syntactic-skeleton BLEU, and dataflow match (Ren et al., 2020). The
+// score is in [0, 1].
+func CodeBLEU(candidate, reference string, w CodeBLEUWeights) float64 {
+	wt := w.normalized()
+	ct, rt := TokenizeCode(candidate), TokenizeCode(reference)
+
+	ngram := BLEU(ct, rt, 4)
+
+	// Weighted n-gram: duplicate keyword tokens so they carry 5× weight in
+	// the unigram precision, the spirit of codeBLEU's keyword weighting.
+	weight := func(toks []string) []string {
+		var out []string
+		for _, t := range toks {
+			out = append(out, t)
+			if cKeywords[t] {
+				for i := 0; i < 4; i++ {
+					out = append(out, t)
+				}
+			}
+		}
+		return out
+	}
+	weighted := BLEU(weight(ct), weight(rt), 4)
+
+	// Syntax skeleton: BLEU over token classes.
+	classes := func(toks []string) []string {
+		out := make([]string, len(toks))
+		for i, t := range toks {
+			out[i] = tokenClass(t)
+		}
+		return out
+	}
+	syntax := BLEU(classes(ct), classes(rt), 4)
+
+	// Dataflow: F1 over def-use pair multisets.
+	cp, rp := defUsePairs(ct), defUsePairs(rt)
+	dataflow := multisetF1(cp, rp)
+
+	return wt.NGram*ngram + wt.WeightedNGram*weighted + wt.Syntax*syntax + wt.Dataflow*dataflow
+}
+
+// multisetF1 returns the F1 overlap of two multisets; two empty multisets
+// score 1 (no dataflow to disagree about).
+func multisetF1(a, b map[string]int) float64 {
+	totalA, totalB, inter := 0, 0, 0
+	for _, n := range a {
+		totalA += n
+	}
+	for _, n := range b {
+		totalB += n
+	}
+	if totalA == 0 && totalB == 0 {
+		return 1
+	}
+	if totalA == 0 || totalB == 0 {
+		return 0
+	}
+	for k, n := range a {
+		if m := b[k]; m < n {
+			inter += m
+		} else {
+			inter += n
+		}
+	}
+	p := float64(inter) / float64(totalA)
+	r := float64(inter) / float64(totalB)
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}

@@ -1,0 +1,44 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"decompstudy/internal/metrics"
+)
+
+// The paper's motivating pair: "size" and "length" are semantically
+// interchangeable but maximally distant to surface metrics.
+func ExampleJaccardNGrams() {
+	fmt.Printf("%.2f\n", metrics.JaccardNGrams("size", "length", 2))
+	fmt.Printf("%.2f\n", metrics.JaccardNGrams("buffer", "buffer", 2))
+	// Output:
+	// 0.00
+	// 1.00
+}
+
+func ExampleLevenshtein() {
+	fmt.Println(metrics.Levenshtein("klen", "index"))
+	fmt.Println(metrics.Levenshtein("size", "length"))
+	// Output:
+	// 4
+	// 6
+}
+
+func ExampleBLEU() {
+	cand := metrics.TokenizeNames("array key index")
+	ref := metrics.TokenizeNames("array k klen")
+	fmt.Printf("%.3f\n", metrics.BLEU(cand, cand, 4))
+	fmt.Printf("identical > renamed: %t\n", metrics.BLEU(cand, cand, 4) > metrics.BLEU(cand, ref, 4))
+	// Output:
+	// 1.000
+	// identical > renamed: true
+}
+
+func ExampleCodeBLEU() {
+	ref := "v7 = *(_QWORD *)(8LL * v4 + *(_QWORD *)(a1 + 8));"
+	same := metrics.CodeBLEU(ref, ref, metrics.CodeBLEUWeights{})
+	different := metrics.CodeBLEU("return 0;", ref, metrics.CodeBLEUWeights{})
+	fmt.Printf("identical: %.2f, unrelated lower: %t\n", same, different < same)
+	// Output:
+	// identical: 1.00, unrelated lower: true
+}

@@ -1,0 +1,175 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestROUGELIdentity(t *testing.T) {
+	toks := strings.Fields("a b c d e")
+	if got := ROUGEL(toks, toks); math.Abs(got-1) > 1e-12 {
+		t.Errorf("ROUGE-L(x,x) = %v, want 1", got)
+	}
+}
+
+func TestROUGELKnownValue(t *testing.T) {
+	// cand: a b c d, ref: a c b d → LCS = 3 ("a b d" or "a c d").
+	cand := []string{"a", "b", "c", "d"}
+	ref := []string{"a", "c", "b", "d"}
+	got := ROUGEL(cand, ref)
+	want := 2.0 * (3.0 / 4) * (3.0 / 4) / ((3.0 / 4) + (3.0 / 4))
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("ROUGE-L = %v, want %v", got, want)
+	}
+}
+
+func TestROUGELDisjointAndEmpty(t *testing.T) {
+	if got := ROUGEL([]string{"a"}, []string{"b"}); got != 0 {
+		t.Errorf("disjoint = %v, want 0", got)
+	}
+	if got := ROUGEL(nil, nil); got != 1 {
+		t.Errorf("both empty = %v, want 1", got)
+	}
+	if got := ROUGEL(nil, []string{"a"}); got != 0 {
+		t.Errorf("empty cand = %v, want 0", got)
+	}
+}
+
+func TestChrFIdentity(t *testing.T) {
+	if got := ChrF("buffer_append", "buffer_append", 6); math.Abs(got-1) > 1e-9 {
+		t.Errorf("chrF(x,x) = %v, want 1", got)
+	}
+}
+
+func TestChrFOrdering(t *testing.T) {
+	// Shared stem should beat disjoint strings.
+	near := ChrF("buflen", "buffer", 4)
+	far := ChrF("tree", "buffer", 4)
+	if near <= far {
+		t.Errorf("chrF(buflen,buffer)=%v should exceed chrF(tree,buffer)=%v", near, far)
+	}
+}
+
+func TestChrFEmpty(t *testing.T) {
+	if got := ChrF("", "", 6); got != 1 {
+		t.Errorf("both empty = %v, want 1", got)
+	}
+	if got := ChrF("", "x", 6); got != 0 {
+		t.Errorf("empty cand = %v, want 0", got)
+	}
+}
+
+func TestContextWeightedSalience(t *testing.T) {
+	// The variable `count` is used five times; `tmp` once. Getting the
+	// high-salience name right must score better than getting the
+	// low-salience one right.
+	refCode := `
+int f(int count, int tmp) {
+  count = count + 1;
+  if (count > 10) { return count; }
+  return count + tmp;
+}
+`
+	cw := &ContextWeighted{}
+	goodOnSalient, err := cw.Score([]Pair{
+		{Candidate: "count", Reference: "count"},
+		{Candidate: "zzz", Reference: "tmp"},
+	}, refCode)
+	if err != nil {
+		t.Fatalf("Score: %v", err)
+	}
+	goodOnRare, err := cw.Score([]Pair{
+		{Candidate: "zzz", Reference: "count"},
+		{Candidate: "tmp", Reference: "tmp"},
+	}, refCode)
+	if err != nil {
+		t.Fatalf("Score: %v", err)
+	}
+	if goodOnSalient <= goodOnRare {
+		t.Errorf("salience weighting: matching the hot variable (%v) should beat matching the cold one (%v)",
+			goodOnSalient, goodOnRare)
+	}
+}
+
+func TestContextWeightedSemanticBlend(t *testing.T) {
+	m := semModel(t)
+	cw := &ContextWeighted{Model: m}
+	sem, err := cw.Score([]Pair{{Candidate: "size", Reference: "length"}}, "int f(int length) { return length; }")
+	if err != nil {
+		t.Fatalf("Score: %v", err)
+	}
+	unrelated, err := cw.Score([]Pair{{Candidate: "tree", Reference: "length"}}, "int f(int length) { return length; }")
+	if err != nil {
+		t.Fatalf("Score: %v", err)
+	}
+	if sem <= unrelated {
+		t.Errorf("semantic blend: size↔length (%v) should beat tree↔length (%v)", sem, unrelated)
+	}
+}
+
+func TestContextWeightedNoPairs(t *testing.T) {
+	cw := &ContextWeighted{}
+	if _, err := cw.Score(nil, "int f(void) { return 0; }"); err == nil {
+		t.Error("no pairs: want error")
+	}
+}
+
+func TestEvaluateExtended(t *testing.T) {
+	m := semModel(t)
+	pairs := []Pair{{Candidate: "index", Reference: "klen"}, {Candidate: "next", Reference: "entry"}}
+	rep, err := EvaluateExtended(pairs, "", "int f(int klen) { return klen; }", m)
+	if err != nil {
+		t.Fatalf("EvaluateExtended: %v", err)
+	}
+	for name, v := range map[string]float64{
+		"ROUGEL": rep.ROUGEL, "ChrF": rep.ChrF, "ContextWeighted": rep.ContextWeighted,
+	} {
+		if v < 0 || v > 1 {
+			t.Errorf("%s = %v outside [0,1]", name, v)
+		}
+	}
+	// Base report embedded and populated.
+	if rep.Levenshtein <= 0 {
+		t.Errorf("embedded base report missing: %+v", rep.Report)
+	}
+}
+
+// Property: ROUGE-L is symmetric in its F-measure form and bounded.
+func TestQuickROUGELBounds(t *testing.T) {
+	words := []string{"a", "b", "c"}
+	f := func(x, y []uint8) bool {
+		if len(x) > 15 || len(y) > 15 {
+			return true
+		}
+		a := make([]string, len(x))
+		for i, v := range x {
+			a[i] = words[int(v)%3]
+		}
+		b := make([]string, len(y))
+		for i, v := range y {
+			b[i] = words[int(v)%3]
+		}
+		s1 := ROUGEL(a, b)
+		s2 := ROUGEL(b, a)
+		return s1 >= 0 && s1 <= 1 && math.Abs(s1-s2) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: chrF stays in [0,1].
+func TestQuickChrFBounds(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 40 || len(b) > 40 {
+			return true
+		}
+		v := ChrF(a, b, 6)
+		return v >= 0 && v <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,368 @@
+package metrics
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"decompstudy/internal/embed"
+)
+
+func TestExactMatch(t *testing.T) {
+	if ExactMatch("klen", "klen") != 1 {
+		t.Error("identical names should score 1")
+	}
+	if ExactMatch("klen", "index") != 0 {
+		t.Error("different names should score 0")
+	}
+}
+
+func TestLevenshteinKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"kitten", "sitting", 3},
+		{"", "abc", 3},
+		{"abc", "", 3},
+		{"same", "same", 0},
+		{"klen", "index", 4},
+		{"size", "length", 6}, // the paper's motivating maximally-distant pair
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestNormalizedLevenshtein(t *testing.T) {
+	if got := NormalizedLevenshtein("abc", "abc"); got != 0 {
+		t.Errorf("identical: %v, want 0", got)
+	}
+	got := NormalizedLevenshtein("ab", "cd")
+	// d=2, len sum 4: 2*2/(4+2) = 2/3.
+	if math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("disjoint: %v, want 2/3", got)
+	}
+	if s := LevenshteinSimilarity("ab", "cd"); math.Abs(s-1.0/3) > 1e-12 {
+		t.Errorf("similarity: %v, want 1/3", s)
+	}
+}
+
+func TestJaccardNGrams(t *testing.T) {
+	if got := JaccardNGrams("abc", "abc", 2); got != 1 {
+		t.Errorf("identical: %v, want 1", got)
+	}
+	if got := JaccardNGrams("", "", 2); got != 1 {
+		t.Errorf("both empty: %v, want 1", got)
+	}
+	// "abcd" bigrams {ab,bc,cd}; "bcde" bigrams {bc,cd,de}: 2/4.
+	if got := JaccardNGrams("abcd", "bcde", 2); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("overlap: %v, want 0.5", got)
+	}
+	if got := JaccardNGrams("xy", "ab", 2); got != 0 {
+		t.Errorf("disjoint: %v, want 0", got)
+	}
+}
+
+func TestTokenJaccard(t *testing.T) {
+	if got := TokenJaccard("buffer_len", "lenBuffer"); got != 1 {
+		t.Errorf("token reordering: %v, want 1", got)
+	}
+	if got := TokenJaccard("size", "length"); got != 0 {
+		t.Errorf("disjoint tokens: %v, want 0", got)
+	}
+}
+
+func TestBLEUIdentity(t *testing.T) {
+	toks := strings.Fields("the quick brown fox jumps over the lazy dog")
+	if got := BLEU(toks, toks, 4); math.Abs(got-1) > 1e-12 {
+		t.Errorf("BLEU(x,x) = %v, want 1", got)
+	}
+}
+
+func TestBLEUDisjoint(t *testing.T) {
+	if got := BLEU([]string{"a", "b"}, []string{"c", "d"}, 4); got != 0 {
+		t.Errorf("disjoint BLEU = %v, want 0", got)
+	}
+}
+
+func TestBLEUBrevityPenalty(t *testing.T) {
+	ref := []string{"a", "b", "c", "d", "e", "f"}
+	short := []string{"a", "b", "c"}
+	long := []string{"a", "b", "c", "d", "e", "f"}
+	sShort := BLEU(short, ref, 2)
+	sLong := BLEU(long, ref, 2)
+	if sShort >= sLong {
+		t.Errorf("brevity penalty missing: short=%v ≥ long=%v", sShort, sLong)
+	}
+}
+
+func TestBLEUEmpty(t *testing.T) {
+	if got := BLEU(nil, nil, 4); got != 1 {
+		t.Errorf("both empty = %v, want 1", got)
+	}
+	if got := BLEU(nil, []string{"a"}, 4); got != 0 {
+		t.Errorf("empty candidate = %v, want 0", got)
+	}
+}
+
+func TestBLEUClipping(t *testing.T) {
+	// Candidate repeats a reference unigram; clipping must cap credit.
+	cand := []string{"the", "the", "the", "the"}
+	ref := []string{"the", "cat"}
+	got := BLEU(cand, ref, 1)
+	if math.Abs(got-0.25) > 1e-12 { // 1 clipped match / 4 candidate unigrams
+		t.Errorf("clipped BLEU-1 = %v, want 0.25", got)
+	}
+}
+
+func TestTokenizeCode(t *testing.T) {
+	toks := TokenizeCode("if (index < 0) return 0LL;")
+	want := []string{"if", "(", "index", "<", "0", ")", "return", "0LL", ";"}
+	if len(toks) != len(want) {
+		t.Fatalf("tokens = %v, want %v", toks, want)
+	}
+	for i := range want {
+		if toks[i] != want[i] {
+			t.Errorf("tok[%d] = %q, want %q", i, toks[i], want[i])
+		}
+	}
+}
+
+func TestCodeBLEUIdentity(t *testing.T) {
+	code := "v7 = *(_QWORD *)(8LL * index + *(_QWORD *)(a1 + 8));"
+	if got := CodeBLEU(code, code, CodeBLEUWeights{}); math.Abs(got-1) > 1e-9 {
+		t.Errorf("CodeBLEU(x,x) = %v, want 1", got)
+	}
+}
+
+func TestCodeBLEURanksStructuralSimilarity(t *testing.T) {
+	ref := "next = *(char *)(8LL * indexa + *(_QWORD *)&array->size);"
+	// Same structure, renamed identifiers.
+	renamed := "v7 = *(char *)(8LL * v3 + *(_QWORD *)&a1->size);"
+	// Different structure entirely.
+	different := "for (i = 0; i < n; i++) sum += data[i];"
+	sRenamed := CodeBLEU(renamed, ref, CodeBLEUWeights{})
+	sDifferent := CodeBLEU(different, ref, CodeBLEUWeights{})
+	if sRenamed <= sDifferent {
+		t.Errorf("structural match %v should beat different code %v", sRenamed, sDifferent)
+	}
+}
+
+func TestCodeBLEUDataflowComponent(t *testing.T) {
+	w := CodeBLEUWeights{Dataflow: 1}
+	same := CodeBLEU("x = a + b;", "x = a + b;", w)
+	if math.Abs(same-1) > 1e-12 {
+		t.Errorf("identical dataflow = %v, want 1", same)
+	}
+	none := CodeBLEU("x = a + b;", "y = c * d;", w)
+	if none != 0 {
+		t.Errorf("disjoint dataflow = %v, want 0", none)
+	}
+	empty := CodeBLEU("return 0;", "return 1;", w)
+	if empty != 1 {
+		t.Errorf("no assignments on either side = %v, want 1 (vacuous agreement)", empty)
+	}
+}
+
+func semModel(t *testing.T) *embed.Model {
+	t.Helper()
+	corpus := [][]string{
+		{"buf", "size", "len", "length", "alloc"},
+		{"buffer", "length", "size", "capacity", "len"},
+		{"array", "size", "length", "count"},
+		{"str", "len", "length", "size"},
+		{"tree", "node", "left", "right"},
+		{"node", "tree", "visit", "postorder"},
+		{"src", "dest", "copy", "len"},
+	}
+	var rep [][]string
+	for i := 0; i < 5; i++ {
+		rep = append(rep, corpus...)
+	}
+	m, err := embed.Train(rep, &embed.Config{Dim: 12})
+	if err != nil {
+		t.Fatalf("embed.Train: %v", err)
+	}
+	return m
+}
+
+func TestBERTScoreSemanticOverSurface(t *testing.T) {
+	m := semModel(t)
+	// size vs length: zero n-gram overlap but semantically close.
+	semantic, err := BERTScoreF1([]string{"size"}, []string{"length"}, m)
+	if err != nil {
+		t.Fatalf("BERTScoreF1: %v", err)
+	}
+	unrelated, err := BERTScoreF1([]string{"size"}, []string{"tree"}, m)
+	if err != nil {
+		t.Fatalf("BERTScoreF1: %v", err)
+	}
+	if semantic <= unrelated {
+		t.Errorf("BERTScore(size,length)=%v should exceed BERTScore(size,tree)=%v", semantic, unrelated)
+	}
+	// Surface metrics see them as maximally distant — the RQ5 disconnect.
+	if JaccardNGrams("size", "length", 2) != 0 {
+		t.Error("Jaccard(size,length) should be 0")
+	}
+}
+
+func TestBERTScoreIdentity(t *testing.T) {
+	m := semModel(t)
+	got, err := BERTScoreF1([]string{"size", "len"}, []string{"size", "len"}, m)
+	if err != nil {
+		t.Fatalf("BERTScoreF1: %v", err)
+	}
+	if math.Abs(got-1) > 1e-9 {
+		t.Errorf("identity BERTScore = %v, want 1", got)
+	}
+}
+
+func TestBERTScoreNilModel(t *testing.T) {
+	if _, err := BERTScoreF1([]string{"a"}, []string{"b"}, nil); !errors.Is(err, ErrNilModel) {
+		t.Fatalf("err = %v, want ErrNilModel", err)
+	}
+}
+
+func TestVarCLR(t *testing.T) {
+	m := semModel(t)
+	self, err := VarCLR("size", "size", m)
+	if err != nil {
+		t.Fatalf("VarCLR: %v", err)
+	}
+	if math.Abs(self-1) > 1e-9 {
+		t.Errorf("VarCLR(x,x) = %v, want 1", self)
+	}
+	sem, _ := VarCLR("size", "length", m)
+	unrel, _ := VarCLR("size", "tree", m)
+	if sem <= unrel {
+		t.Errorf("VarCLR(size,length)=%v should exceed VarCLR(size,tree)=%v", sem, unrel)
+	}
+}
+
+func TestVarCLRMean(t *testing.T) {
+	m := semModel(t)
+	got, err := VarCLRMean([][2]string{{"size", "size"}, {"len", "len"}}, m)
+	if err != nil {
+		t.Fatalf("VarCLRMean: %v", err)
+	}
+	if math.Abs(got-1) > 1e-9 {
+		t.Errorf("mean of identical pairs = %v, want 1", got)
+	}
+	if _, err := VarCLRMean(nil, m); err == nil {
+		t.Error("VarCLRMean(nil pairs): want error")
+	}
+}
+
+func TestEvaluateFullReport(t *testing.T) {
+	m := semModel(t)
+	pairs := []Pair{
+		{Candidate: "index", Reference: "klen"},
+		{Candidate: "array", Reference: "a"},
+		{Candidate: "ret", Reference: "entry"},
+	}
+	rep, err := Evaluate(pairs, "", "", m)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if rep.ExactMatch != 0 {
+		t.Errorf("exact = %v, want 0", rep.ExactMatch)
+	}
+	for name, v := range map[string]float64{
+		"Jaccard": rep.Jaccard, "BLEU": rep.BLEU, "CodeBLEU": rep.CodeBLEU,
+		"BERTScore": rep.BERTScoreF1, "VarCLR": rep.VarCLR,
+	} {
+		if v < 0 || v > 1 {
+			t.Errorf("%s = %v outside [0,1]", name, v)
+		}
+	}
+	if rep.Levenshtein <= 0 {
+		t.Errorf("mean Levenshtein = %v, want > 0", rep.Levenshtein)
+	}
+	// Identical pairs must dominate every similarity.
+	same := []Pair{{Candidate: "size", Reference: "size"}}
+	repSame, err := Evaluate(same, "", "", m)
+	if err != nil {
+		t.Fatalf("Evaluate(same): %v", err)
+	}
+	if repSame.ExactMatch != 1 || repSame.BLEU <= rep.BLEU {
+		t.Errorf("identical pairs should maximize similarity: %+v", repSame)
+	}
+	if _, err := Evaluate(nil, "", "", m); err == nil {
+		t.Error("Evaluate(no pairs): want error")
+	}
+}
+
+// Property: Levenshtein is a metric — symmetry, identity, triangle
+// inequality.
+func TestQuickLevenshteinMetricAxioms(t *testing.T) {
+	f := func(a, b, c string) bool {
+		if len(a) > 30 || len(b) > 30 || len(c) > 30 {
+			return true
+		}
+		dab := Levenshtein(a, b)
+		dba := Levenshtein(b, a)
+		if dab != dba {
+			return false
+		}
+		if Levenshtein(a, a) != 0 {
+			return false
+		}
+		dac := Levenshtein(a, c)
+		dcb := Levenshtein(c, b)
+		return dab <= dac+dcb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: all bounded similarities stay in [0, 1] and are symmetric.
+func TestQuickSimilarityBounds(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 40 || len(b) > 40 {
+			return true
+		}
+		j := JaccardNGrams(a, b, 2)
+		n := NormalizedLevenshtein(a, b)
+		if j < 0 || j > 1 || n < 0 || n > 1 {
+			return false
+		}
+		return math.Abs(j-JaccardNGrams(b, a, 2)) < 1e-12 &&
+			math.Abs(n-NormalizedLevenshtein(b, a)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: BLEU is bounded in [0, 1] and equals 1 on identical inputs.
+func TestQuickBLEUBounds(t *testing.T) {
+	words := []string{"a", "b", "c", "d"}
+	f := func(pattern []uint8) bool {
+		if len(pattern) == 0 || len(pattern) > 20 {
+			return true
+		}
+		toks := make([]string, len(pattern))
+		for i, p := range pattern {
+			toks[i] = words[int(p)%len(words)]
+		}
+		s := BLEU(toks, toks, 4)
+		if math.Abs(s-1) > 1e-9 {
+			return false
+		}
+		rev := make([]string, len(toks))
+		for i := range toks {
+			rev[i] = toks[len(toks)-1-i]
+		}
+		sr := BLEU(rev, toks, 4)
+		return sr >= 0 && sr <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,159 @@
+package metrics
+
+import (
+	"errors"
+	"fmt"
+
+	"decompstudy/internal/embed"
+)
+
+// ErrNilModel is returned when a semantic metric is called without a
+// trained embedding model.
+var ErrNilModel = errors.New("metrics: nil embedding model")
+
+// BERTScoreF1 computes a BERTScore-style F1 between candidate and reference
+// token sequences: precision is the mean over candidate tokens of the best
+// cosine similarity to any reference token, recall is the symmetric
+// quantity, and F1 their harmonic mean. Similarities are clamped to [0, 1]
+// (negative cosine contributes nothing, as in rescaled BERTScore).
+func BERTScoreF1(candidate, reference []string, m *embed.Model) (float64, error) {
+	if m == nil {
+		return 0, ErrNilModel
+	}
+	if len(candidate) == 0 || len(reference) == 0 {
+		if len(candidate) == len(reference) {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	best := func(tok string, others []string) float64 {
+		b := 0.0
+		for _, o := range others {
+			if s := m.Cosine(tok, o); s > b {
+				b = s
+			}
+		}
+		if b > 1 {
+			b = 1
+		}
+		return b
+	}
+	var p, r float64
+	for _, c := range candidate {
+		p += best(c, reference)
+	}
+	p /= float64(len(candidate))
+	for _, ref := range reference {
+		r += best(ref, candidate)
+	}
+	r /= float64(len(reference))
+	if p+r == 0 {
+		return 0, nil
+	}
+	return 2 * p * r / (p + r), nil
+}
+
+// VarCLR computes a VarCLR-style semantic similarity between two single
+// variable (or type) names: the cosine similarity of their identifier
+// embeddings, mapped from [-1, 1] to [0, 1].
+func VarCLR(a, b string, m *embed.Model) (float64, error) {
+	if m == nil {
+		return 0, ErrNilModel
+	}
+	return (m.Cosine(a, b) + 1) / 2, nil
+}
+
+// VarCLRMean averages VarCLR similarity over aligned name pairs — the
+// paper's per-function aggregation ("we compare matching variable names and
+// types in isolation and average the resulting scores over each function").
+func VarCLRMean(pairs [][2]string, m *embed.Model) (float64, error) {
+	if m == nil {
+		return 0, ErrNilModel
+	}
+	if len(pairs) == 0 {
+		return 0, fmt.Errorf("metrics: VarCLRMean with no pairs: %w", ErrNilModel)
+	}
+	sum := 0.0
+	for _, p := range pairs {
+		v, err := VarCLR(p[0], p[1], m)
+		if err != nil {
+			return 0, err
+		}
+		sum += v
+	}
+	return sum / float64(len(pairs)), nil
+}
+
+// Report bundles every intrinsic metric for one candidate/reference
+// renaming comparison, mirroring the rows of the paper's Tables III/IV.
+type Report struct {
+	ExactMatch     float64
+	Levenshtein    float64
+	NormalizedLev  float64
+	Jaccard        float64
+	BLEU           float64
+	CodeBLEU       float64
+	BERTScoreF1    float64
+	VarCLR         float64
+	HumanVariables float64 // filled by qualcode's expert panel when available
+	HumanTypes     float64
+}
+
+// Pair is one aligned (candidate, reference) identifier pair.
+type Pair struct {
+	Candidate, Reference string
+}
+
+// Evaluate computes the full metric report for a set of aligned name pairs
+// plus the code fragments they come from (for codeBLEU). candCode and
+// refCode may be empty, in which case CodeBLEU is computed over the joined
+// names.
+func Evaluate(pairs []Pair, candCode, refCode string, m *embed.Model) (Report, error) {
+	if len(pairs) == 0 {
+		return Report{}, fmt.Errorf("metrics: Evaluate with no pairs: %w", ErrNilModel)
+	}
+	candNames := make([]string, len(pairs))
+	refNames := make([]string, len(pairs))
+	varclrPairs := make([][2]string, len(pairs))
+	var exact float64
+	var lev, nlev, jac float64
+	for i, p := range pairs {
+		candNames[i] = p.Candidate
+		refNames[i] = p.Reference
+		varclrPairs[i] = [2]string{p.Candidate, p.Reference}
+		exact += ExactMatch(p.Candidate, p.Reference)
+		lev += float64(Levenshtein(p.Candidate, p.Reference))
+		nlev += NormalizedLevenshtein(p.Candidate, p.Reference)
+		jac += JaccardNGrams(p.Candidate, p.Reference, 2)
+	}
+	n := float64(len(pairs))
+	candJoined := JoinNames(candNames)
+	refJoined := JoinNames(refNames)
+	if candCode == "" {
+		candCode = candJoined
+	}
+	if refCode == "" {
+		refCode = refJoined
+	}
+
+	bleu := BLEU(TokenizeNames(candJoined), TokenizeNames(refJoined), 4)
+	cb := CodeBLEU(candCode, refCode, CodeBLEUWeights{})
+	bert, err := BERTScoreF1(TokenizeNames(candJoined), TokenizeNames(refJoined), m)
+	if err != nil {
+		return Report{}, err
+	}
+	vc, err := VarCLRMean(varclrPairs, m)
+	if err != nil {
+		return Report{}, err
+	}
+	return Report{
+		ExactMatch:    exact / n,
+		Levenshtein:   lev / n,
+		NormalizedLev: nlev / n,
+		Jaccard:       jac / n,
+		BLEU:          bleu,
+		CodeBLEU:      cb,
+		BERTScoreF1:   bert,
+		VarCLR:        vc,
+	}, nil
+}

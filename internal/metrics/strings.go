@@ -1,0 +1,161 @@
+// Package metrics implements the intrinsic similarity metrics the paper
+// correlates with human comprehension in RQ5: exact-match accuracy,
+// Levenshtein edit distance (raw and normalized), Jaccard n-gram
+// similarity, BLEU, codeBLEU, BERTScore F1, and VarCLR.
+//
+// Surface metrics operate on identifier strings or token sequences; the
+// semantic metrics (BERTScore, VarCLR) take a trained embed.Model. All
+// similarity scores lie in [0, 1] except raw Levenshtein distance, which is
+// a non-negative edit count.
+package metrics
+
+import (
+	"strings"
+
+	"decompstudy/internal/embed"
+)
+
+// ExactMatch returns 1 if the two identifiers are byte-identical and 0
+// otherwise — the "accuracy" metric used by DIRE, DIRECT, and DIRTY.
+func ExactMatch(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	return 0
+}
+
+// Levenshtein returns the edit distance between a and b (unit costs for
+// insert, delete, substitute), computed over runes.
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+// NormalizedLevenshtein returns the Yujian-Bo normalized edit distance in
+// [0, 1]: 2·GLD / (α·(|a|+|b|) + GLD) with α = 1, where GLD is the
+// generalized Levenshtein distance. Zero means identical strings.
+func NormalizedLevenshtein(a, b string) float64 {
+	if a == b {
+		return 0
+	}
+	d := float64(Levenshtein(a, b))
+	la, lb := float64(len([]rune(a))), float64(len([]rune(b)))
+	if la+lb == 0 {
+		return 0
+	}
+	return 2 * d / (la + lb + d)
+}
+
+// LevenshteinSimilarity returns 1 − NormalizedLevenshtein, a similarity in
+// [0, 1].
+func LevenshteinSimilarity(a, b string) float64 {
+	return 1 - NormalizedLevenshtein(a, b)
+}
+
+// CharNGrams returns the set of character n-grams of s (over runes). For
+// strings shorter than n the whole string is the single n-gram.
+func CharNGrams(s string, n int) map[string]bool {
+	out := map[string]bool{}
+	r := []rune(s)
+	if len(r) == 0 {
+		return out
+	}
+	if len(r) <= n {
+		out[string(r)] = true
+		return out
+	}
+	for i := 0; i+n <= len(r); i++ {
+		out[string(r[i:i+n])] = true
+	}
+	return out
+}
+
+// JaccardNGrams returns the Jaccard similarity |A∩B| / |A∪B| of the
+// character n-gram sets of a and b, the metric DIRECT reports. Two empty
+// strings are defined to have similarity 1.
+func JaccardNGrams(a, b string, n int) float64 {
+	if n < 1 {
+		n = 2
+	}
+	sa, sb := CharNGrams(a, n), CharNGrams(b, n)
+	if len(sa) == 0 && len(sb) == 0 {
+		return 1
+	}
+	inter := 0
+	for g := range sa {
+		if sb[g] {
+			inter++
+		}
+	}
+	union := len(sa) + len(sb) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// TokenJaccard returns the Jaccard similarity of the subtoken sets of two
+// identifiers ("buffer_len" vs "lenBuffer" → 1.0).
+func TokenJaccard(a, b string) float64 {
+	sa := map[string]bool{}
+	for _, t := range embed.SplitIdentifier(a) {
+		sa[t] = true
+	}
+	sb := map[string]bool{}
+	for _, t := range embed.SplitIdentifier(b) {
+		sb[t] = true
+	}
+	if len(sa) == 0 && len(sb) == 0 {
+		return 1
+	}
+	inter := 0
+	for t := range sa {
+		if sb[t] {
+			inter++
+		}
+	}
+	union := len(sa) + len(sb) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// JoinNames appends a list of names into the single paired string the paper
+// compares with sequence metrics ("we appended all the names into paired
+// strings").
+func JoinNames(names []string) string {
+	return strings.Join(names, " ")
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

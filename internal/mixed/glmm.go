@@ -1,0 +1,312 @@
+package mixed
+
+import (
+	"fmt"
+	"math"
+
+	"decompstudy/internal/linalg"
+	"decompstudy/internal/optimize"
+	"decompstudy/internal/stats"
+)
+
+// glmmState carries the working vectors of the Laplace/PIRLS fit so the
+// outer variance search can reuse the previous conditional modes as warm
+// starts.
+type glmmState struct {
+	d *design
+	u []float64 // joint (β, b) vector, length p+q
+
+	lastBeta    []float64
+	lastBLUP    []float64
+	lastCovBeta []float64 // diagonal of the β block of H⁻¹
+	lastBad     bool
+}
+
+// pirls runs penalized iteratively reweighted least squares at fixed
+// variance parameters, jointly maximizing over (β, b). dInv is the per-Z-
+// column prior precision 1/σ²_factor. It returns the Laplace deviance.
+func (g *glmmState) pirls(dInv []float64) float64 {
+	d := g.d
+	p, q := d.p, d.q
+	dim := p + q
+	y := d.spec.Response
+
+	eta := make([]float64, d.n)
+	mu := make([]float64, d.n)
+	w := make([]float64, d.n)
+
+	// penalized log-likelihood at the current u.
+	pll := func(u []float64) float64 {
+		ll := 0.0
+		for i := 0; i < d.n; i++ {
+			e := 0.0
+			for j := 0; j < p; j++ {
+				e += d.spec.Fixed.At(i, j) * u[j]
+			}
+			for _, c := range d.zCols(i) {
+				e += u[p+c]
+			}
+			// y·η − log(1+exp(η)), computed stably.
+			ll += y[i]*e - log1pExp(e)
+		}
+		for c := 0; c < q; c++ {
+			ll -= 0.5 * dInv[c] * u[p+c] * u[p+c]
+		}
+		return ll
+	}
+
+	u := g.u
+	cur := pll(u)
+	var lastChol *linalg.Cholesky
+	converged := false
+	for iter := 0; iter < 100; iter++ {
+		// Linear predictor, mean, weights.
+		for i := 0; i < d.n; i++ {
+			e := 0.0
+			for j := 0; j < p; j++ {
+				e += d.spec.Fixed.At(i, j) * u[j]
+			}
+			for _, c := range d.zCols(i) {
+				e += u[p+c]
+			}
+			eta[i] = e
+			mu[i] = stats.LogisticCDF(e)
+			w[i] = mu[i] * (1 - mu[i])
+			if w[i] < 1e-10 {
+				w[i] = 1e-10
+			}
+		}
+
+		// Gradient = [X Z]ᵀ(y−μ) − [0; D⁻¹ b].
+		grad := make([]float64, dim)
+		for i := 0; i < d.n; i++ {
+			r := y[i] - mu[i]
+			for j := 0; j < p; j++ {
+				grad[j] += d.spec.Fixed.At(i, j) * r
+			}
+			for _, c := range d.zCols(i) {
+				grad[p+c] += r
+			}
+		}
+		for c := 0; c < q; c++ {
+			grad[p+c] -= dInv[c] * u[p+c]
+		}
+
+		// Hessian = [X Z]ᵀW[X Z] + blkdiag(0, D⁻¹).
+		h := linalg.NewMatrix(dim, dim)
+		for i := 0; i < d.n; i++ {
+			wi := w[i]
+			cols := d.zCols(i)
+			for a := 0; a < p; a++ {
+				xa := d.spec.Fixed.At(i, a)
+				if xa == 0 {
+					continue
+				}
+				for b := a; b < p; b++ {
+					h.Add(a, b, wi*xa*d.spec.Fixed.At(i, b))
+				}
+				for _, c := range cols {
+					h.Add(a, p+c, wi*xa)
+				}
+			}
+			for ai, ca := range cols {
+				for _, cb := range cols[ai:] {
+					lo, hi := p+ca, p+cb
+					if lo > hi {
+						lo, hi = hi, lo
+					}
+					h.Add(lo, hi, wi)
+				}
+			}
+		}
+		for c := 0; c < q; c++ {
+			h.Add(p+c, p+c, dInv[c])
+		}
+		// Mirror the upper triangle.
+		for a := 0; a < dim; a++ {
+			for b := 0; b < a; b++ {
+				h.Set(a, b, h.At(b, a))
+			}
+		}
+
+		chol, err := linalg.NewCholesky(h)
+		if err != nil {
+			g.lastBad = true
+			return math.Inf(1)
+		}
+		lastChol = chol
+		step, err := chol.SolveVec(grad)
+		if err != nil {
+			g.lastBad = true
+			return math.Inf(1)
+		}
+
+		// Line search with step halving on the penalized log-likelihood.
+		improved := false
+		trial := make([]float64, dim)
+		for scale := 1.0; scale > 1e-4; scale /= 2 {
+			for j := range u {
+				trial[j] = u[j] + scale*step[j]
+			}
+			if cand := pll(trial); cand > cur-1e-12 {
+				stepNorm := linalg.Norm2(step) * scale
+				copy(u, trial)
+				improved = cand > cur
+				cur = cand
+				if stepNorm < 1e-9 {
+					converged = true
+				}
+				break
+			}
+		}
+		if converged || !improved {
+			break
+		}
+	}
+	if lastChol == nil {
+		g.lastBad = true
+		return math.Inf(1)
+	}
+
+	// Laplace deviance needs the b-block Hessian H_bb = ZᵀWZ + D⁻¹ at the
+	// optimum; recompute weights at the final u.
+	for i := 0; i < d.n; i++ {
+		e := 0.0
+		for j := 0; j < p; j++ {
+			e += d.spec.Fixed.At(i, j) * u[j]
+		}
+		for _, c := range d.zCols(i) {
+			e += u[p+c]
+		}
+		mu[i] = stats.LogisticCDF(e)
+		w[i] = mu[i] * (1 - mu[i])
+	}
+	hbb := linalg.NewMatrix(q, q)
+	for i := 0; i < d.n; i++ {
+		cols := d.zCols(i)
+		for _, a := range cols {
+			for _, b := range cols {
+				hbb.Add(a, b, w[i])
+			}
+		}
+	}
+	for c := 0; c < q; c++ {
+		hbb.Add(c, c, dInv[c])
+	}
+	hbbChol, err := linalg.NewCholesky(hbb)
+	if err != nil {
+		g.lastBad = true
+		return math.Inf(1)
+	}
+	logDetD := 0.0
+	for c := 0; c < q; c++ {
+		logDetD -= math.Log(dInv[c]) // log σ²_c
+	}
+	logLik := cur - 0.5*(hbbChol.LogDet()+logDetD)
+
+	// Stash β, BLUPs, and Wald covariance diagonal from the full Hessian.
+	g.lastBeta = append(g.lastBeta[:0], u[:p]...)
+	g.lastBLUP = append(g.lastBLUP[:0], u[p:]...)
+	g.lastCovBeta = g.lastCovBeta[:0]
+	hInv, err := lastChol.Inverse()
+	if err != nil {
+		g.lastBad = true
+		return math.Inf(1)
+	}
+	for j := 0; j < p; j++ {
+		g.lastCovBeta = append(g.lastCovBeta, hInv.At(j, j))
+	}
+	g.lastBad = false
+	return -2 * logLik
+}
+
+// log1pExp computes log(1+e^x) without overflow.
+func log1pExp(x float64) float64 {
+	if x > 35 {
+		return x
+	}
+	if x < -35 {
+		return math.Exp(x)
+	}
+	return math.Log1p(math.Exp(x))
+}
+
+// FitGLMMLogit fits a logistic mixed model with random intercepts using the
+// Laplace approximation, matching R's glmer(..., family=binomial) for the
+// models in the paper. spec.REML is ignored (GLMMs are always fit by ML).
+func FitGLMMLogit(spec *Spec) (*Result, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	for i, y := range spec.Response {
+		if y != 0 && y != 1 {
+			return nil, fmt.Errorf("mixed: logistic response[%d] = %v, want 0 or 1: %w", i, y, ErrSpec)
+		}
+	}
+	d := newDesign(spec)
+	st := &glmmState{d: d, u: make([]float64, d.p+d.q)}
+
+	obj := func(logSD []float64) float64 {
+		dInv := make([]float64, d.q)
+		for c := 0; c < d.q; c++ {
+			sd := math.Exp(logSD[d.colFac[c]])
+			if sd < 1e-6 {
+				sd = 1e-6
+			}
+			dInv[c] = 1 / (sd * sd)
+		}
+		return st.pirls(dInv)
+	}
+
+	start := make([]float64, len(spec.Random)) // σ = 1 per factor
+	res, err := optimize.NelderMead(obj, start, &optimize.NelderMeadConfig{
+		MaxIter: 800, TolF: 1e-8, TolX: 1e-5, Step: 0.7,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("mixed: GLMM variance search: %w", err)
+	}
+	dev := obj(res.X)
+	if st.lastBad || math.IsInf(dev, 1) {
+		return nil, fmt.Errorf("mixed: GLMM evaluation failed at optimum: %w", ErrFit)
+	}
+
+	randSD := make([]VarComp, len(spec.Random))
+	sumRandVar := 0.0
+	for k, rf := range spec.Random {
+		sd := math.Exp(res.X[k])
+		if sd < 1e-6 {
+			sd = 0
+		}
+		randSD[k] = VarComp{Name: rf.Name, StdDev: sd}
+		sumRandVar += sd * sd
+	}
+	blups := make([][]float64, len(spec.Random))
+	for k, rf := range spec.Random {
+		blups[k] = append([]float64(nil), st.lastBLUP[d.offsets[k]:d.offsets[k]+rf.NLevels]...)
+	}
+
+	varF := fixedEffectVariance(d, st.lastBeta)
+	const logitResidVar = math.Pi * math.Pi / 3
+	total := varF + sumRandVar + logitResidVar
+	df := float64(d.p + len(spec.Random))
+	n := float64(d.n)
+	nGroups := make([]int, len(spec.Random))
+	for k, rf := range spec.Random {
+		nGroups[k] = rf.NLevels
+	}
+	return &Result{
+		Kind:          "glmer (binomial)",
+		Fixed:         waldFixed(spec.FixedNames, st.lastBeta, st.lastCovBeta),
+		Random:        randSD,
+		LogLik:        -dev / 2,
+		Deviance:      dev,
+		AIC:           dev + 2*df,
+		BIC:           dev + math.Log(n)*df,
+		R2Marginal:    varF / total,
+		R2Conditional: (varF + sumRandVar) / total,
+		NObs:          d.n,
+		NGroups:       nGroups,
+		Converged:     res.Converged,
+		BLUPs:         blups,
+	}, nil
+}

@@ -1,0 +1,238 @@
+package mixed
+
+import (
+	"fmt"
+	"math"
+
+	"decompstudy/internal/linalg"
+	"decompstudy/internal/optimize"
+)
+
+// lmmProfile carries the precomputed cross-products used by every profiled
+// deviance evaluation. With only random intercepts, the Woodbury identity
+// reduces each evaluation to a q×q Cholesky factorization.
+type lmmProfile struct {
+	d          *design
+	xtx, ztx   *linalg.Matrix
+	ztz        *linalg.Matrix
+	xty, zty   []float64
+	yty        float64
+	reml       bool
+	lastBad    bool
+	lastResult lmmEval
+}
+
+// lmmEval is the by-product of one profiled deviance evaluation.
+type lmmEval struct {
+	deviance float64
+	beta     []float64
+	sigma2   float64
+	covBeta  *linalg.Matrix // (XᵀV0⁻¹X)⁻¹, multiply by σ² for cov(β̂)
+	aChol    *linalg.Cholesky
+	gamma    []float64 // per-factor variance ratios
+}
+
+func newLMMProfile(d *design, reml bool) (*lmmProfile, error) {
+	p := &lmmProfile{
+		d:    d,
+		xtx:  linalg.XtX(d.spec.Fixed),
+		ztx:  d.ztX(),
+		ztz:  d.ztZ(),
+		reml: reml,
+	}
+	var err error
+	p.xty, err = linalg.XtV(d.spec.Fixed, d.spec.Response)
+	if err != nil {
+		return nil, err
+	}
+	p.zty = d.ztVec(d.spec.Response)
+	for _, y := range d.spec.Response {
+		p.yty += y * y
+	}
+	return p, nil
+}
+
+// eval computes the profiled (RE)ML deviance at the given per-factor
+// log variance ratios.
+func (p *lmmProfile) eval(logGamma []float64) float64 {
+	d := p.d
+	gamma := make([]float64, len(logGamma))
+	for k, lg := range logGamma {
+		gamma[k] = math.Exp(lg)
+	}
+
+	// A = Γ⁻¹ + ZᵀZ, with Γ the per-column variance ratio.
+	a := p.ztz.Clone()
+	logDetGamma := 0.0
+	for j := 0; j < d.q; j++ {
+		g := gamma[d.colFac[j]]
+		a.Add(j, j, 1/g)
+		logDetGamma += math.Log(g)
+	}
+	aChol, err := linalg.NewCholesky(a)
+	if err != nil {
+		p.lastBad = true
+		return math.Inf(1)
+	}
+	logDetV0 := aChol.LogDet() + logDetGamma
+
+	// Woodbury: MᵀV0⁻¹N = MᵀN − (ZᵀM)ᵀ A⁻¹ (ZᵀN).
+	aInvZtx, err := aChol.Solve(p.ztx)
+	if err != nil {
+		p.lastBad = true
+		return math.Inf(1)
+	}
+	aInvZty, err := aChol.SolveVec(p.zty)
+	if err != nil {
+		p.lastBad = true
+		return math.Inf(1)
+	}
+
+	// XᵀV0⁻¹X and XᵀV0⁻¹y.
+	xtVx := p.xtx.Clone()
+	corr, _ := linalg.Mul(p.ztx.T(), aInvZtx)
+	if err := xtVx.AddInPlace(corr, -1); err != nil {
+		p.lastBad = true
+		return math.Inf(1)
+	}
+	xtVy := make([]float64, d.p)
+	copy(xtVy, p.xty)
+	ztxT := p.ztx.T()
+	tmp, _ := linalg.MulVec(ztxT, aInvZty)
+	linalg.AXPY(-1, tmp, xtVy)
+
+	// yᵀV0⁻¹y.
+	ytVy := p.yty - linalg.Dot(p.zty, aInvZty)
+
+	xChol, err := linalg.NewCholesky(xtVx)
+	if err != nil {
+		p.lastBad = true
+		return math.Inf(1)
+	}
+	beta, err := xChol.SolveVec(xtVy)
+	if err != nil {
+		p.lastBad = true
+		return math.Inf(1)
+	}
+	rss := ytVy - linalg.Dot(beta, xtVy) // rᵀV0⁻¹r via normal equations
+	if rss <= 0 {
+		p.lastBad = true
+		return math.Inf(1)
+	}
+
+	n := float64(d.n)
+	var dev float64
+	var sigma2 float64
+	if p.reml {
+		np := n - float64(d.p)
+		sigma2 = rss / np
+		dev = np*math.Log(2*math.Pi*sigma2) + logDetV0 + xChol.LogDet() + np
+	} else {
+		sigma2 = rss / n
+		dev = n*math.Log(2*math.Pi*sigma2) + logDetV0 + n
+	}
+
+	covBeta, err := xChol.Inverse()
+	if err != nil {
+		p.lastBad = true
+		return math.Inf(1)
+	}
+	p.lastBad = false
+	p.lastResult = lmmEval{
+		deviance: dev,
+		beta:     beta,
+		sigma2:   sigma2,
+		covBeta:  covBeta,
+		aChol:    aChol,
+		gamma:    gamma,
+	}
+	return dev
+}
+
+// FitLMM fits a linear mixed model with random intercepts by profiled
+// maximum likelihood (or REML when spec.REML is set).
+func FitLMM(spec *Spec) (*Result, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	d := newDesign(spec)
+	prof, err := newLMMProfile(d, spec.REML)
+	if err != nil {
+		return nil, fmt.Errorf("mixed: building LMM profile: %w", err)
+	}
+
+	start := make([]float64, len(spec.Random))
+	res, err := optimize.NelderMead(prof.eval, start, &optimize.NelderMeadConfig{
+		MaxIter: 2000, TolF: 1e-10, TolX: 1e-7, Step: 0.7,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("mixed: LMM variance search: %w", err)
+	}
+	if math.IsInf(res.F, 1) {
+		return nil, fmt.Errorf("mixed: LMM deviance is infinite at optimum (degenerate design): %w", ErrFit)
+	}
+	// Re-evaluate at the optimum so lastResult matches res.X.
+	dev := prof.eval(res.X)
+	if prof.lastBad {
+		return nil, fmt.Errorf("mixed: LMM evaluation failed at optimum: %w", ErrFit)
+	}
+	e := prof.lastResult
+
+	// Assemble the result.
+	sigma2 := e.sigma2
+	covDiag := make([]float64, d.p)
+	for j := 0; j < d.p; j++ {
+		covDiag[j] = sigma2 * e.covBeta.At(j, j)
+	}
+	randSD := make([]VarComp, len(spec.Random))
+	sumRandVar := 0.0
+	for k, rf := range spec.Random {
+		v := e.gamma[k] * sigma2
+		randSD[k] = VarComp{Name: rf.Name, StdDev: math.Sqrt(v)}
+		sumRandVar += v
+	}
+
+	// BLUPs: b̂ = A⁻¹ Zᵀ r.
+	resid := make([]float64, d.n)
+	for i := 0; i < d.n; i++ {
+		s := spec.Response[i]
+		for j := 0; j < d.p; j++ {
+			s -= spec.Fixed.At(i, j) * e.beta[j]
+		}
+		resid[i] = s
+	}
+	bhat, err := e.aChol.SolveVec(d.ztVec(resid))
+	if err != nil {
+		return nil, fmt.Errorf("mixed: computing BLUPs: %w", err)
+	}
+	blups := make([][]float64, len(spec.Random))
+	for k, rf := range spec.Random {
+		blups[k] = append([]float64(nil), bhat[d.offsets[k]:d.offsets[k]+rf.NLevels]...)
+	}
+
+	varF := fixedEffectVariance(d, e.beta)
+	total := varF + sumRandVar + sigma2
+	df := float64(d.p + len(spec.Random) + 1)
+	n := float64(d.n)
+	nGroups := make([]int, len(spec.Random))
+	for k, rf := range spec.Random {
+		nGroups[k] = rf.NLevels
+	}
+	return &Result{
+		Kind:          "lmer",
+		Fixed:         waldFixed(spec.FixedNames, e.beta, covDiag),
+		Random:        randSD,
+		ResidualSD:    math.Sqrt(sigma2),
+		LogLik:        -dev / 2,
+		Deviance:      dev,
+		AIC:           dev + 2*df,
+		BIC:           dev + math.Log(n)*df,
+		R2Marginal:    varF / total,
+		R2Conditional: (varF + sumRandVar) / total,
+		NObs:          d.n,
+		NGroups:       nGroups,
+		REML:          spec.REML,
+		Converged:     res.Converged,
+		BLUPs:         blups,
+	}, nil
+}

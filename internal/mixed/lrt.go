@@ -1,0 +1,108 @@
+package mixed
+
+import (
+	"fmt"
+
+	"decompstudy/internal/linalg"
+	"decompstudy/internal/stats"
+)
+
+// LRTResult reports a likelihood-ratio test between a full model and the
+// same model with one fixed-effect column dropped.
+type LRTResult struct {
+	// Dropped is the name of the tested fixed effect.
+	Dropped string
+	// Chi2 is the deviance difference (reduced − full).
+	Chi2 float64
+	// DF is the degrees of freedom of the test (1 for a single column).
+	DF float64
+	// P is the chi-square tail probability.
+	P float64
+	// Full and Reduced are the two fitted models.
+	Full, Reduced *Result
+}
+
+// DropColumn returns a copy of the spec with the named fixed-effect column
+// removed.
+func (s *Spec) DropColumn(name string) (*Spec, error) {
+	col := -1
+	for i, n := range s.FixedNames {
+		if n == name {
+			col = i
+			break
+		}
+	}
+	if col < 0 {
+		return nil, fmt.Errorf("mixed: no fixed effect %q to drop: %w", name, ErrSpec)
+	}
+	if s.Fixed.Cols() < 2 {
+		return nil, fmt.Errorf("mixed: cannot drop the only column: %w", ErrSpec)
+	}
+	reduced := linalg.NewMatrix(s.Fixed.Rows(), s.Fixed.Cols()-1)
+	names := make([]string, 0, len(s.FixedNames)-1)
+	for j, n := range s.FixedNames {
+		if j == col {
+			continue
+		}
+		names = append(names, n)
+	}
+	for i := 0; i < s.Fixed.Rows(); i++ {
+		k := 0
+		for j := 0; j < s.Fixed.Cols(); j++ {
+			if j == col {
+				continue
+			}
+			reduced.Set(i, k, s.Fixed.At(i, j))
+			k++
+		}
+	}
+	out := *s
+	out.Fixed = reduced
+	out.FixedNames = names
+	return &out, nil
+}
+
+// LikelihoodRatioTest fits the spec with and without the named fixed
+// effect and compares deviances against a χ²(1) reference. For linear
+// models the comparison uses ML fits (REML deviances are not comparable
+// across fixed-effect structures, the standard caveat), selected by
+// forcing spec.REML off; logistic models always use ML.
+func LikelihoodRatioTest(spec *Spec, drop string, logistic bool) (*LRTResult, error) {
+	mlSpec := *spec
+	mlSpec.REML = false
+	reducedSpec, err := mlSpec.DropColumn(drop)
+	if err != nil {
+		return nil, err
+	}
+	fit := func(sp *Spec) (*Result, error) {
+		if logistic {
+			return FitGLMMLogit(sp)
+		}
+		return FitLMM(sp)
+	}
+	full, err := fit(&mlSpec)
+	if err != nil {
+		return nil, fmt.Errorf("mixed: LRT full model: %w", err)
+	}
+	reduced, err := fit(reducedSpec)
+	if err != nil {
+		return nil, fmt.Errorf("mixed: LRT reduced model: %w", err)
+	}
+	chi2 := reduced.Deviance - full.Deviance
+	if chi2 < 0 {
+		// Optimizer noise on a truly null effect; clamp.
+		chi2 = 0
+	}
+	cdf, err := stats.ChiSquareCDF(chi2, 1)
+	if err != nil {
+		return nil, err
+	}
+	return &LRTResult{
+		Dropped: drop,
+		Chi2:    chi2,
+		DF:      1,
+		P:       1 - cdf,
+		Full:    full,
+		Reduced: reduced,
+	}, nil
+}

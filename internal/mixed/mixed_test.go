@@ -1,0 +1,496 @@
+package mixed
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"decompstudy/internal/linalg"
+	"decompstudy/internal/stats"
+)
+
+// balancedOneWay simulates y_ij = mu + u_i + e_ij for a balanced one-way
+// random-effects design.
+func balancedOneWay(rng *rand.Rand, k, m int, mu, sdU, sdE float64) ([]float64, []int) {
+	y := make([]float64, 0, k*m)
+	idx := make([]int, 0, k*m)
+	for g := 0; g < k; g++ {
+		u := rng.NormFloat64() * sdU
+		for j := 0; j < m; j++ {
+			y = append(y, mu+u+rng.NormFloat64()*sdE)
+			idx = append(idx, g)
+		}
+	}
+	return y, idx
+}
+
+func interceptOnly(n int) (*linalg.Matrix, []string) {
+	x := linalg.NewMatrix(n, 1)
+	for i := 0; i < n; i++ {
+		x.Set(i, 0, 1)
+	}
+	return x, []string{"(Intercept)"}
+}
+
+// TestLMMBalancedOneWayMatchesANOVA checks REML estimates against the exact
+// closed-form ANOVA estimators, which coincide with REML in the balanced
+// one-way design.
+func TestLMMBalancedOneWayMatchesANOVA(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const k, m = 12, 8
+	y, idx := balancedOneWay(rng, k, m, 5, 2, 1)
+	x, names := interceptOnly(len(y))
+
+	res, err := FitLMM(&Spec{
+		Response:   y,
+		Fixed:      x,
+		FixedNames: names,
+		Random:     []RandomFactor{{Name: "group", Index: idx, NLevels: k}},
+		REML:       true,
+	})
+	if err != nil {
+		t.Fatalf("FitLMM: %v", err)
+	}
+
+	// Closed-form ANOVA estimators.
+	grand := stats.Mean(y)
+	groupMeans := make([]float64, k)
+	counts := make([]int, k)
+	for i, g := range idx {
+		groupMeans[g] += y[i]
+		counts[g]++
+	}
+	for g := range groupMeans {
+		groupMeans[g] /= float64(counts[g])
+	}
+	var ssb, sse float64
+	for i, g := range idx {
+		d := y[i] - groupMeans[g]
+		sse += d * d
+	}
+	for g := range groupMeans {
+		d := groupMeans[g] - grand
+		ssb += float64(m) * d * d
+	}
+	msb := ssb / float64(k-1)
+	mse := sse / float64(k*(m-1))
+	wantSigmaE := math.Sqrt(mse)
+	wantSigmaU := math.Sqrt((msb - mse) / float64(m))
+
+	if math.Abs(res.ResidualSD-wantSigmaE) > 1e-3 {
+		t.Errorf("σ(resid) = %v, want %v", res.ResidualSD, wantSigmaE)
+	}
+	if math.Abs(res.Random[0].StdDev-wantSigmaU) > 1e-3 {
+		t.Errorf("σ(group) = %v, want %v", res.Random[0].StdDev, wantSigmaU)
+	}
+	if got := res.Fixed[0].Estimate; math.Abs(got-grand) > 1e-6 {
+		t.Errorf("intercept = %v, want grand mean %v", got, grand)
+	}
+	// SE of the grand mean in a balanced design is sqrt(MSB/(k*m)).
+	wantSE := math.Sqrt(msb / float64(k*m))
+	if got := res.Fixed[0].StdErr; math.Abs(got-wantSE) > 1e-3 {
+		t.Errorf("SE(intercept) = %v, want %v", got, wantSE)
+	}
+}
+
+// TestLMMRecoversSimulationTruth fits the paper's model shape (two crossed
+// random intercepts plus covariates) on data simulated from known
+// parameters.
+func TestLMMRecoversSimulationTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const nUser, nQ = 60, 8
+	trueBeta := []float64{200, 25, 4, -6} // intercept, treatment, covariate1, covariate2
+	sdUser, sdQ, sdE := 90.0, 120.0, 50.0
+
+	userEff := make([]float64, nUser)
+	for i := range userEff {
+		userEff[i] = rng.NormFloat64() * sdUser
+	}
+	qEff := make([]float64, nQ)
+	for i := range qEff {
+		qEff[i] = rng.NormFloat64() * sdQ
+	}
+
+	var y []float64
+	var userIdx, qIdx []int
+	var rows [][]float64
+	for u := 0; u < nUser; u++ {
+		coding := float64(rng.Intn(15))
+		re := float64(rng.Intn(8))
+		for q := 0; q < nQ; q++ {
+			treat := float64(rng.Intn(2))
+			eta := trueBeta[0] + trueBeta[1]*treat + trueBeta[2]*coding + trueBeta[3]*re +
+				userEff[u] + qEff[q] + rng.NormFloat64()*sdE
+			y = append(y, eta)
+			rows = append(rows, []float64{1, treat, coding, re})
+			userIdx = append(userIdx, u)
+			qIdx = append(qIdx, q)
+		}
+	}
+	x, err := linalg.NewMatrixFromRows(rows)
+	if err != nil {
+		t.Fatalf("design: %v", err)
+	}
+	res, err := FitLMM(&Spec{
+		Response:   y,
+		Fixed:      x,
+		FixedNames: []string{"(Intercept)", "treat", "coding", "re"},
+		Random: []RandomFactor{
+			{Name: "user", Index: userIdx, NLevels: nUser},
+			{Name: "question", Index: qIdx, NLevels: nQ},
+		},
+	})
+	if err != nil {
+		t.Fatalf("FitLMM: %v", err)
+	}
+	if !res.Converged {
+		t.Error("LMM did not converge")
+	}
+	// β recovery within ~3 SEs.
+	for j, want := range trueBeta {
+		f := res.Fixed[j]
+		if math.Abs(f.Estimate-want) > 3.5*f.StdErr+1e-9 {
+			t.Errorf("β[%s] = %v ± %v, truth %v", f.Name, f.Estimate, f.StdErr, want)
+		}
+	}
+	// Variance components within a factor of ~2 (8 question levels is a
+	// small sample for σ_q).
+	if sd := res.Random[0].StdDev; sd < sdUser/2 || sd > sdUser*2 {
+		t.Errorf("σ(user) = %v, truth %v", sd, sdUser)
+	}
+	if sd := res.Random[1].StdDev; sd < sdQ/3 || sd > sdQ*3 {
+		t.Errorf("σ(question) = %v, truth %v", sd, sdQ)
+	}
+	if sd := res.ResidualSD; sd < sdE*0.85 || sd > sdE*1.15 {
+		t.Errorf("σ(resid) = %v, truth %v", sd, sdE)
+	}
+	if res.R2Conditional <= res.R2Marginal {
+		t.Errorf("R²c (%v) should exceed R²m (%v)", res.R2Conditional, res.R2Marginal)
+	}
+	if res.R2Conditional < 0.5 {
+		t.Errorf("R²c = %v; random effects dominate this simulation, want > 0.5", res.R2Conditional)
+	}
+}
+
+// TestLMMNoRandomVarianceMatchesOLS checks that when the grouping factor
+// carries no variance, the LMM collapses to ordinary least squares.
+func TestLMMNoRandomVarianceMatchesOLS(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n = 400
+	var y []float64
+	var rows [][]float64
+	idx := make([]int, n)
+	for i := 0; i < n; i++ {
+		xv := rng.NormFloat64()
+		y = append(y, 1.5+2*xv+rng.NormFloat64()*0.5)
+		rows = append(rows, []float64{1, xv})
+		idx[i] = i % 10 // grouping unrelated to y
+	}
+	x, _ := linalg.NewMatrixFromRows(rows)
+	res, err := FitLMM(&Spec{
+		Response:   y,
+		Fixed:      x,
+		FixedNames: []string{"(Intercept)", "x"},
+		Random:     []RandomFactor{{Name: "g", Index: idx, NLevels: 10}},
+	})
+	if err != nil {
+		t.Fatalf("FitLMM: %v", err)
+	}
+	// OLS solution.
+	xtx := linalg.XtX(x)
+	xty, _ := linalg.XtV(x, y)
+	ch, _ := linalg.NewCholesky(xtx)
+	ols, _ := ch.SolveVec(xty)
+	for j := range ols {
+		if math.Abs(res.Fixed[j].Estimate-ols[j]) > 0.02 {
+			t.Errorf("β[%d] = %v, OLS %v", j, res.Fixed[j].Estimate, ols[j])
+		}
+	}
+	if res.Random[0].StdDev > 0.12 {
+		t.Errorf("σ(g) = %v, want ≈0 for uninformative grouping", res.Random[0].StdDev)
+	}
+}
+
+func TestLMMSpecValidation(t *testing.T) {
+	x, names := interceptOnly(4)
+	base := &Spec{
+		Response:   []float64{1, 2, 3, 4},
+		Fixed:      x,
+		FixedNames: names,
+		Random:     []RandomFactor{{Name: "g", Index: []int{0, 0, 1, 1}, NLevels: 2}},
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"nil fixed", func(s *Spec) { s.Fixed = nil }},
+		{"empty response", func(s *Spec) { s.Response = nil }},
+		{"row mismatch", func(s *Spec) { s.Response = []float64{1, 2} }},
+		{"name mismatch", func(s *Spec) { s.FixedNames = nil }},
+		{"no random", func(s *Spec) { s.Random = nil }},
+		{"bad index len", func(s *Spec) { s.Random = []RandomFactor{{Name: "g", Index: []int{0}, NLevels: 2}} }},
+		{"level out of range", func(s *Spec) {
+			s.Random = []RandomFactor{{Name: "g", Index: []int{0, 0, 1, 5}, NLevels: 2}}
+		}},
+		{"zero levels", func(s *Spec) {
+			s.Random = []RandomFactor{{Name: "g", Index: []int{0, 0, 0, 0}, NLevels: 0}}
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := *base
+			s.Random = append([]RandomFactor(nil), base.Random...)
+			c.mutate(&s)
+			if _, err := FitLMM(&s); !errors.Is(err, ErrSpec) {
+				t.Errorf("err = %v, want ErrSpec", err)
+			}
+		})
+	}
+}
+
+func TestGLMMRejectsNonBinaryResponse(t *testing.T) {
+	x, names := interceptOnly(3)
+	_, err := FitGLMMLogit(&Spec{
+		Response:   []float64{0, 1, 2},
+		Fixed:      x,
+		FixedNames: names,
+		Random:     []RandomFactor{{Name: "g", Index: []int{0, 1, 0}, NLevels: 2}},
+	})
+	if !errors.Is(err, ErrSpec) {
+		t.Fatalf("err = %v, want ErrSpec", err)
+	}
+}
+
+// TestGLMMRecoversSimulationTruth simulates the paper's correctness model
+// and checks coefficient recovery.
+func TestGLMMRecoversSimulationTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const nUser, nQ = 80, 8
+	trueBeta := []float64{0.4, -0.5, 0.08} // intercept, treatment, covariate
+	sdUser, sdQ := 0.8, 1.1
+
+	userEff := make([]float64, nUser)
+	for i := range userEff {
+		userEff[i] = rng.NormFloat64() * sdUser
+	}
+	qEff := make([]float64, nQ)
+	for i := range qEff {
+		qEff[i] = rng.NormFloat64() * sdQ
+	}
+	var y []float64
+	var rows [][]float64
+	var userIdx, qIdx []int
+	for u := 0; u < nUser; u++ {
+		cov := float64(rng.Intn(15))
+		for q := 0; q < nQ; q++ {
+			treat := float64(rng.Intn(2))
+			eta := trueBeta[0] + trueBeta[1]*treat + trueBeta[2]*cov + userEff[u] + qEff[q]
+			pr := stats.LogisticCDF(eta)
+			v := 0.0
+			if rng.Float64() < pr {
+				v = 1
+			}
+			y = append(y, v)
+			rows = append(rows, []float64{1, treat, cov})
+			userIdx = append(userIdx, u)
+			qIdx = append(qIdx, q)
+		}
+	}
+	x, _ := linalg.NewMatrixFromRows(rows)
+	res, err := FitGLMMLogit(&Spec{
+		Response:   y,
+		Fixed:      x,
+		FixedNames: []string{"(Intercept)", "treat", "cov"},
+		Random: []RandomFactor{
+			{Name: "user", Index: userIdx, NLevels: nUser},
+			{Name: "question", Index: qIdx, NLevels: nQ},
+		},
+	})
+	if err != nil {
+		t.Fatalf("FitGLMMLogit: %v", err)
+	}
+	for j, want := range trueBeta {
+		f := res.Fixed[j]
+		if math.Abs(f.Estimate-want) > 3.5*f.StdErr+0.05 {
+			t.Errorf("β[%s] = %v ± %v, truth %v", f.Name, f.Estimate, f.StdErr, want)
+		}
+	}
+	if sd := res.Random[0].StdDev; sd < 0.3 || sd > 1.6 {
+		t.Errorf("σ(user) = %v, truth %v", sd, sdUser)
+	}
+	if res.R2Conditional <= res.R2Marginal {
+		t.Errorf("R²c (%v) ≤ R²m (%v)", res.R2Conditional, res.R2Marginal)
+	}
+	if res.AIC <= res.Deviance {
+		t.Errorf("AIC %v should exceed deviance %v", res.AIC, res.Deviance)
+	}
+	if res.BIC <= res.AIC {
+		t.Errorf("BIC %v should exceed AIC %v for n > e²", res.BIC, res.AIC)
+	}
+}
+
+// TestGLMMNullTreatmentIsInsignificant verifies the no-effect case: with a
+// treatment that has no real effect, the Wald p-value should (almost
+// always) be insignificant — the paper's central RQ1 situation.
+func TestGLMMNullTreatmentIsInsignificant(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	const nUser, nQ = 38, 8
+	userEff := make([]float64, nUser)
+	for i := range userEff {
+		userEff[i] = rng.NormFloat64() * 0.85
+	}
+	qEff := make([]float64, nQ)
+	for i := range qEff {
+		qEff[i] = rng.NormFloat64() * 1.14
+	}
+	var y []float64
+	var rows [][]float64
+	var userIdx, qIdx []int
+	for u := 0; u < nUser; u++ {
+		for q := 0; q < nQ; q++ {
+			treat := float64(rng.Intn(2))
+			eta := 0.5 + userEff[u] + qEff[q] // treatment truly absent
+			v := 0.0
+			if rng.Float64() < stats.LogisticCDF(eta) {
+				v = 1
+			}
+			y = append(y, v)
+			rows = append(rows, []float64{1, treat})
+			userIdx = append(userIdx, u)
+			qIdx = append(qIdx, q)
+		}
+	}
+	x, _ := linalg.NewMatrixFromRows(rows)
+	res, err := FitGLMMLogit(&Spec{
+		Response:   y,
+		Fixed:      x,
+		FixedNames: []string{"(Intercept)", "uses_DIRTY"},
+		Random: []RandomFactor{
+			{Name: "user", Index: userIdx, NLevels: nUser},
+			{Name: "question", Index: qIdx, NLevels: nQ},
+		},
+	})
+	if err != nil {
+		t.Fatalf("FitGLMMLogit: %v", err)
+	}
+	f, ok := res.Coef("uses_DIRTY")
+	if !ok {
+		t.Fatal("uses_DIRTY coefficient missing")
+	}
+	if f.Significant() {
+		t.Errorf("null treatment flagged significant: %+v (seed-specific flake would indicate a calibration bug)", f)
+	}
+}
+
+func TestResultStringAndCoef(t *testing.T) {
+	r := &Result{
+		Kind:       "lmer",
+		Fixed:      []FixedEffect{{Name: "(Intercept)", Estimate: 1, StdErr: 0.1, P: 0.001}},
+		Random:     []VarComp{{Name: "user", StdDev: 2}},
+		ResidualSD: 3,
+		NObs:       10,
+		NGroups:    []int{5},
+	}
+	s := r.String()
+	if s == "" {
+		t.Fatal("empty summary")
+	}
+	if _, ok := r.Coef("(Intercept)"); !ok {
+		t.Error("Coef failed to find intercept")
+	}
+	if _, ok := r.Coef("nope"); ok {
+		t.Error("Coef found nonexistent effect")
+	}
+}
+
+func TestLikelihoodRatioTestNullEffect(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	const nUser, nQ = 40, 8
+	userEff := make([]float64, nUser)
+	for i := range userEff {
+		userEff[i] = rng.NormFloat64() * 0.7
+	}
+	var y []float64
+	var rows [][]float64
+	var userIdx, qIdx []int
+	for u := 0; u < nUser; u++ {
+		for q := 0; q < nQ; q++ {
+			treat := float64(rng.Intn(2))
+			eta := 0.3 + userEff[u] // no treatment effect
+			v := 0.0
+			if rng.Float64() < stats.LogisticCDF(eta) {
+				v = 1
+			}
+			y = append(y, v)
+			rows = append(rows, []float64{1, treat})
+			userIdx = append(userIdx, u)
+			qIdx = append(qIdx, q)
+		}
+	}
+	x, _ := linalg.NewMatrixFromRows(rows)
+	spec := &Spec{
+		Response:   y,
+		Fixed:      x,
+		FixedNames: []string{"(Intercept)", "treat"},
+		Random: []RandomFactor{
+			{Name: "user", Index: userIdx, NLevels: nUser},
+			{Name: "question", Index: qIdx, NLevels: nQ},
+		},
+	}
+	lrt, err := LikelihoodRatioTest(spec, "treat", true)
+	if err != nil {
+		t.Fatalf("LikelihoodRatioTest: %v", err)
+	}
+	if lrt.P < 0.05 {
+		t.Errorf("null effect flagged significant by LRT: chi2=%v p=%v", lrt.Chi2, lrt.P)
+	}
+	if lrt.Full.Deviance > lrt.Reduced.Deviance+1e-6 {
+		t.Errorf("full model deviance %v should not exceed reduced %v", lrt.Full.Deviance, lrt.Reduced.Deviance)
+	}
+}
+
+func TestLikelihoodRatioTestRealEffect(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	const n = 500
+	var y []float64
+	var rows [][]float64
+	idx := make([]int, n)
+	for i := 0; i < n; i++ {
+		xv := float64(rng.Intn(2))
+		mu := 1 + 3*xv + rng.NormFloat64()
+		y = append(y, mu)
+		rows = append(rows, []float64{1, xv})
+		idx[i] = i % 10
+	}
+	x, _ := linalg.NewMatrixFromRows(rows)
+	spec := &Spec{
+		Response:   y,
+		Fixed:      x,
+		FixedNames: []string{"(Intercept)", "x"},
+		Random:     []RandomFactor{{Name: "g", Index: idx, NLevels: 10}},
+	}
+	lrt, err := LikelihoodRatioTest(spec, "x", false)
+	if err != nil {
+		t.Fatalf("LikelihoodRatioTest: %v", err)
+	}
+	if lrt.P > 1e-6 {
+		t.Errorf("strong effect not detected: chi2=%v p=%v", lrt.Chi2, lrt.P)
+	}
+}
+
+func TestDropColumnErrors(t *testing.T) {
+	x, names := interceptOnly(4)
+	spec := &Spec{
+		Response:   []float64{1, 2, 3, 4},
+		Fixed:      x,
+		FixedNames: names,
+		Random:     []RandomFactor{{Name: "g", Index: []int{0, 0, 1, 1}, NLevels: 2}},
+	}
+	if _, err := spec.DropColumn("missing"); !errors.Is(err, ErrSpec) {
+		t.Errorf("missing column: err = %v, want ErrSpec", err)
+	}
+	if _, err := spec.DropColumn("(Intercept)"); !errors.Is(err, ErrSpec) {
+		t.Errorf("only column: err = %v, want ErrSpec", err)
+	}
+}

@@ -1,0 +1,141 @@
+package mixed
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"decompstudy/internal/stats"
+)
+
+// FixedEffect reports one estimated fixed-effect coefficient.
+type FixedEffect struct {
+	Name     string
+	Estimate float64
+	StdErr   float64
+	// Z is the Wald statistic Estimate/StdErr.
+	Z float64
+	// P is the two-sided Wald p-value (normal reference, as lme4 reports
+	// for GLMMs; we use the same reference for LMMs, which is what the
+	// paper's star notation reflects).
+	P float64
+}
+
+// Significant reports whether the Wald p-value is below 0.05, the paper's
+// significance threshold.
+func (f FixedEffect) Significant() bool { return f.P < 0.05 }
+
+// VarComp reports one random-effect variance component.
+type VarComp struct {
+	Name   string
+	StdDev float64
+}
+
+// Result is the common output of both mixed-model fitters.
+type Result struct {
+	// Kind is "lmer" or "glmer (binomial)".
+	Kind string
+	// Fixed holds fixed-effect estimates in design-matrix column order.
+	Fixed []FixedEffect
+	// Random holds the random-intercept standard deviations, one per
+	// grouping factor.
+	Random []VarComp
+	// ResidualSD is the residual standard deviation (linear models only;
+	// zero for logistic models).
+	ResidualSD float64
+	// LogLik is the maximized (approximate, for GLMMs) log-likelihood.
+	LogLik float64
+	// Deviance is -2·LogLik.
+	Deviance float64
+	// AIC and BIC are the usual information criteria.
+	AIC, BIC float64
+	// R2Marginal and R2Conditional are the Nakagawa-Schielzeth coefficients
+	// of determination (variance explained by fixed effects alone, and by
+	// fixed plus random effects).
+	R2Marginal, R2Conditional float64
+	// NObs is the number of observations; NGroups the level count per
+	// factor.
+	NObs    int
+	NGroups []int
+	// REML reports whether the linear model used REML.
+	REML bool
+	// Converged reports whether the outer variance-parameter search met its
+	// tolerance.
+	Converged bool
+	// BLUPs holds the conditional modes of the random effects, one slice
+	// per grouping factor.
+	BLUPs [][]float64
+}
+
+// Coef returns the fixed effect with the given name.
+func (r *Result) Coef(name string) (FixedEffect, bool) {
+	for _, f := range r.Fixed {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return FixedEffect{}, false
+}
+
+// String renders the fit as a compact summary table in the style of the
+// paper's Tables I and II.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s fit (%d obs", r.Kind, r.NObs)
+	for i, g := range r.NGroups {
+		fmt.Fprintf(&b, ", %d %s levels", g, r.Random[i].Name)
+	}
+	b.WriteString(")\n")
+	fmt.Fprintf(&b, "%-32s %12s %10s %8s\n", "Fixed effect", "Estimate", "Std.Err", "p")
+	for _, f := range r.Fixed {
+		star := ""
+		if f.Significant() {
+			star = " *"
+		}
+		fmt.Fprintf(&b, "%-32s %12.4f %10.4f %8.4f%s\n", f.Name, f.Estimate, f.StdErr, f.P, star)
+	}
+	for _, v := range r.Random {
+		fmt.Fprintf(&b, "σ(%s) = %.3f\n", v.Name, v.StdDev)
+	}
+	if r.ResidualSD > 0 {
+		fmt.Fprintf(&b, "σ(residual) = %.3f\n", r.ResidualSD)
+	}
+	fmt.Fprintf(&b, "R²m = %.3f  R²c = %.3f\n", r.R2Marginal, r.R2Conditional)
+	fmt.Fprintf(&b, "AIC = %.3f  BIC = %.3f  logLik = %.3f\n", r.AIC, r.BIC, r.LogLik)
+	return b.String()
+}
+
+// waldFixed assembles FixedEffect entries from estimates and a covariance
+// matrix diagonal.
+func waldFixed(names []string, beta, covDiag []float64) []FixedEffect {
+	out := make([]FixedEffect, len(beta))
+	for i := range beta {
+		se := math.Sqrt(math.Max(covDiag[i], 0))
+		z := 0.0
+		if se > 0 {
+			z = beta[i] / se
+		}
+		out[i] = FixedEffect{
+			Name:     names[i],
+			Estimate: beta[i],
+			StdErr:   se,
+			Z:        z,
+			P:        2 * stats.StdNormalCDF(-math.Abs(z)),
+		}
+	}
+	return out
+}
+
+// fixedEffectVariance returns the population variance of the linear
+// predictor Xβ, the numerator of Nakagawa's marginal R².
+func fixedEffectVariance(d *design, beta []float64) float64 {
+	eta := make([]float64, d.n)
+	for i := 0; i < d.n; i++ {
+		s := 0.0
+		for j := 0; j < d.p; j++ {
+			s += d.spec.Fixed.At(i, j) * beta[j]
+		}
+		eta[i] = s
+	}
+	return stats.PopVariance(eta)
+}

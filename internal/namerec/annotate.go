@@ -1,0 +1,318 @@
+package namerec
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"decompstudy/internal/compile"
+	"decompstudy/internal/csrc"
+	"decompstudy/internal/decomp"
+)
+
+// Rename records the full provenance of one variable through the pipeline:
+// the original symbol, the decompiler's stripped name, and the recovery
+// tool's prediction. The metric harness compares NewName/NewType against
+// OrigName/OrigType.
+type Rename struct {
+	Kind         compile.VarKind
+	OrigName     string
+	OrigType     string
+	StrippedName string
+	StrippedType string
+	NewName      string
+	NewType      string
+	Confidence   float64
+}
+
+// Annotated is a decompiled function with recovered names and types
+// applied — the treatment condition of the study.
+type Annotated struct {
+	Pseudo  *csrc.Function
+	Renames []Rename
+}
+
+// Source renders the annotated pseudo-C with declaration comments.
+func (a *Annotated) Source() string {
+	return csrc.PrintFunction(a.Pseudo, &csrc.PrintOptions{DeclComments: true})
+}
+
+// Options controls annotation behavior and failure injection.
+type Options struct {
+	// Overrides maps original variable names to fixed predictions,
+	// bypassing the model. Used to reproduce the paper's exact DIRTY
+	// outputs for the four study snippets.
+	Overrides map[string]Prediction
+	// SwapParams names two original parameters whose predictions are
+	// exchanged — the postorder failure mode (paper Fig. 4).
+	SwapParams [2]string
+	// MisleadProb is the per-local probability of replacing the predicted
+	// name with a plausible-but-wrong one (the AEEK `ret` failure mode).
+	MisleadProb float64
+	// Seed drives the failure-injection RNG; annotation is deterministic
+	// for a fixed seed.
+	Seed int64
+}
+
+// misleadingNames are the plausible-but-wrong names injected by the
+// MisleadProb failure mode, modeled on the paper's qualitative findings.
+var misleadingNames = []string{"ret", "i", "tmp", "len", "buf"}
+
+// Annotator applies a recovery model (plus optional overrides and failure
+// injection) to decompiled functions.
+type Annotator struct {
+	Model *Model
+	Opts  Options
+}
+
+// Annotate produces the DIRTY-style treatment version of a decompiled
+// function.
+func (an *Annotator) Annotate(d *decomp.Decompiled) (*Annotated, error) {
+	if d == nil || d.Pseudo == nil {
+		return nil, fmt.Errorf("namerec: nil decompiled input")
+	}
+	rng := rand.New(rand.NewSource(an.Opts.Seed))
+	features := ExtractFeatures(d.Pseudo)
+
+	renames := make([]Rename, 0, len(d.NameMap))
+	for _, nm := range d.NameMap {
+		r := Rename{
+			Kind:         nm.Symbol.Kind,
+			OrigName:     nm.Symbol.OrigName,
+			OrigType:     nm.Symbol.OrigType,
+			StrippedName: nm.NewName,
+			StrippedType: nm.NewType,
+			NewName:      nm.NewName, // default: leave decompiler output
+			NewType:      nm.NewType,
+		}
+		if pred, ok := an.Opts.Overrides[nm.Symbol.OrigName]; ok {
+			r.NewName, r.NewType, r.Confidence = pred.Name, pred.Type, pred.Confidence
+			if r.Confidence == 0 {
+				r.Confidence = 1
+			}
+		} else if an.Model != nil {
+			if pred, ok := an.Model.Predict(features[nm.NewName]); ok {
+				r.NewName, r.NewType, r.Confidence = pred.Name, pred.Type, pred.Confidence
+			}
+		}
+		renames = append(renames, r)
+	}
+
+	// Failure injection: parameter swap.
+	if a, b := an.Opts.SwapParams[0], an.Opts.SwapParams[1]; a != "" && b != "" {
+		ai, bi := -1, -1
+		for i, r := range renames {
+			if r.OrigName == a {
+				ai = i
+			}
+			if r.OrigName == b {
+				bi = i
+			}
+		}
+		if ai >= 0 && bi >= 0 {
+			renames[ai].NewName, renames[bi].NewName = renames[bi].NewName, renames[ai].NewName
+			renames[ai].NewType, renames[bi].NewType = renames[bi].NewType, renames[ai].NewType
+		}
+	}
+	// Failure injection: misleading local names.
+	if an.Opts.MisleadProb > 0 {
+		for i := range renames {
+			if renames[i].Kind == compile.VarLocal && rng.Float64() < an.Opts.MisleadProb {
+				renames[i].NewName = misleadingNames[rng.Intn(len(misleadingNames))]
+				renames[i].Confidence *= 0.9
+			}
+		}
+	}
+
+	dedupeNames(renames)
+
+	nameMap := map[string]string{}
+	typeMap := map[string]*csrc.Type{}
+	for _, r := range renames {
+		nameMap[r.StrippedName] = r.NewName
+		typeMap[r.StrippedName] = parseTypeSpec(r.NewType)
+	}
+	pseudo := renameFunction(d.Pseudo, nameMap, typeMap)
+	return &Annotated{Pseudo: pseudo, Renames: renames}, nil
+}
+
+// dedupeNames appends 'a' suffixes to colliding predictions, reproducing
+// the Hex-Rays/DIRTY convention the paper shows as `indexa`.
+func dedupeNames(renames []Rename) {
+	seen := map[string]bool{}
+	for i := range renames {
+		name := renames[i].NewName
+		for seen[name] {
+			name += "a"
+		}
+		seen[name] = true
+		renames[i].NewName = name
+	}
+}
+
+// parseTypeSpec parses a predicted type spelling ("char *", "array_t_0 *",
+// "SSL *", "int") into a csrc type. Unparseable specs degrade to a named
+// type with the raw spelling.
+func parseTypeSpec(spec string) *csrc.Type {
+	s := strings.TrimSpace(spec)
+	if s == "" {
+		return csrc.NamedType("__int64")
+	}
+	isConst := strings.HasPrefix(s, "const ")
+	s = strings.TrimPrefix(s, "const ")
+	stars := 0
+	for strings.HasSuffix(s, "*") {
+		s = strings.TrimSpace(strings.TrimSuffix(s, "*"))
+		stars++
+	}
+	var t *csrc.Type
+	switch strings.Fields(s + " x")[0] {
+	case "void", "char", "short", "int", "long", "unsigned", "signed":
+		t = csrc.BaseType(s)
+	default:
+		t = csrc.NamedType(s)
+	}
+	t.Const = isConst
+	for i := 0; i < stars; i++ {
+		t = csrc.PointerTo(t)
+	}
+	return t
+}
+
+// renameFunction deep-copies a function, applying the name map to every
+// identifier and the type map to parameter and local declarations.
+func renameFunction(fn *csrc.Function, names map[string]string, types map[string]*csrc.Type) *csrc.Function {
+	out := &csrc.Function{
+		Ret:      fn.Ret,
+		Name:     fn.Name,
+		CallConv: fn.CallConv,
+	}
+	for _, p := range fn.Params {
+		np := csrc.Param{Type: p.Type, Name: p.Name}
+		if nn, ok := names[p.Name]; ok {
+			np.Name = nn
+		}
+		if nt, ok := types[p.Name]; ok && nt != nil {
+			np.Type = nt
+		}
+		out.Params = append(out.Params, np)
+	}
+	out.Body = renameStmt(fn.Body, names, types).(*csrc.Block)
+	return out
+}
+
+func renameStmt(s csrc.Stmt, names map[string]string, types map[string]*csrc.Type) csrc.Stmt {
+	switch st := s.(type) {
+	case nil:
+		return nil
+	case *csrc.Block:
+		out := &csrc.Block{}
+		for _, inner := range st.Stmts {
+			out.Stmts = append(out.Stmts, renameStmt(inner, names, types))
+		}
+		return out
+	case *csrc.DeclStmt:
+		out := &csrc.DeclStmt{Type: st.Type, Name: st.Name, Comment: st.Comment}
+		if nn, ok := names[st.Name]; ok {
+			out.Name = nn
+		}
+		if nt, ok := types[st.Name]; ok && nt != nil {
+			out.Type = nt
+		}
+		if st.Init != nil {
+			out.Init = renameExpr(st.Init, names)
+		}
+		return out
+	case *csrc.ExprStmt:
+		return &csrc.ExprStmt{X: renameExpr(st.X, names)}
+	case *csrc.If:
+		return &csrc.If{
+			Cond: renameExpr(st.Cond, names),
+			Then: renameStmt(st.Then, names, types),
+			Else: renameStmt(st.Else, names, types),
+		}
+	case *csrc.While:
+		return &csrc.While{Cond: renameExpr(st.Cond, names), Body: renameStmt(st.Body, names, types)}
+	case *csrc.For:
+		out := &csrc.For{Body: renameStmt(st.Body, names, types)}
+		if st.Init != nil {
+			out.Init = renameStmt(st.Init, names, types)
+		}
+		if st.Cond != nil {
+			out.Cond = renameExpr(st.Cond, names)
+		}
+		if st.Post != nil {
+			out.Post = renameExpr(st.Post, names)
+		}
+		return out
+	case *csrc.Return:
+		if st.X == nil {
+			return &csrc.Return{}
+		}
+		return &csrc.Return{X: renameExpr(st.X, names)}
+	default:
+		return s // Break, Continue carry no names
+	}
+}
+
+func renameExpr(e csrc.Expr, names map[string]string) csrc.Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *csrc.Ident:
+		if nn, ok := names[x.Name]; ok {
+			return &csrc.Ident{Name: nn}
+		}
+		return &csrc.Ident{Name: x.Name}
+	case *csrc.IntLit, *csrc.StrLit, *csrc.CharLit, *csrc.SizeofType:
+		return e
+	case *csrc.Unary:
+		return &csrc.Unary{Op: x.Op, X: renameExpr(x.X, names)}
+	case *csrc.Postfix:
+		return &csrc.Postfix{Op: x.Op, X: renameExpr(x.X, names)}
+	case *csrc.Binary:
+		return &csrc.Binary{Op: x.Op, L: renameExpr(x.L, names), R: renameExpr(x.R, names)}
+	case *csrc.Assign:
+		return &csrc.Assign{Op: x.Op, L: renameExpr(x.L, names), R: renameExpr(x.R, names)}
+	case *csrc.Ternary:
+		return &csrc.Ternary{
+			Cond: renameExpr(x.Cond, names),
+			Then: renameExpr(x.Then, names),
+			Else: renameExpr(x.Else, names),
+		}
+	case *csrc.Call:
+		out := &csrc.Call{Fun: renameExpr(x.Fun, names)}
+		for _, a := range x.Args {
+			out.Args = append(out.Args, renameExpr(a, names))
+		}
+		return out
+	case *csrc.Index:
+		return &csrc.Index{X: renameExpr(x.X, names), I: renameExpr(x.I, names)}
+	case *csrc.Member:
+		return &csrc.Member{X: renameExpr(x.X, names), Name: x.Name, Arrow: x.Arrow}
+	case *csrc.Cast:
+		return &csrc.Cast{To: x.To, X: renameExpr(x.X, names)}
+	default:
+		return e
+	}
+}
+
+// MetricPairs extracts the aligned (candidate, reference) name pairs the
+// paper's intrinsic metrics are computed over: the recovered name against
+// the original for every renamed variable.
+func (a *Annotated) MetricPairs() [][2]string {
+	out := make([][2]string, 0, len(a.Renames))
+	for _, r := range a.Renames {
+		out = append(out, [2]string{r.NewName, r.OrigName})
+	}
+	return out
+}
+
+// TypePairs extracts aligned (recovered type, original type) pairs.
+func (a *Annotated) TypePairs() [][2]string {
+	out := make([][2]string, 0, len(a.Renames))
+	for _, r := range a.Renames {
+		out = append(out, [2]string{r.NewType, r.OrigType})
+	}
+	return out
+}

@@ -1,0 +1,197 @@
+// Package namerec is this project's stand-in for DIRTY (Chen et al., 2022):
+// a statistical variable-name and type recovery tool for decompiled code.
+//
+// Like DIRE/DIRTY it predicts names from *usage context* rather than
+// surface text: every variable is summarized as a bag of structural
+// features (which functions it is passed to and at which argument
+// position, which operators touch it, whether it is compared with zero,
+// returned, dereferenced, indexed), and prediction is nearest-neighbor
+// retrieval over a training corpus of real functions with their original
+// names. The package also supports deterministic injection of the failure
+// modes the paper documents — argument swaps (postorder, Fig. 4),
+// plausible-but-wrong names like `ret` (AEEK, Fig. 7), and wrong-domain
+// types like `SSL *` (BAPL, Fig. 6) — as well as explicit per-function
+// overrides used to reproduce the paper's exact DIRTY outputs.
+package namerec
+
+import (
+	"fmt"
+	"sort"
+
+	"decompstudy/internal/csrc"
+)
+
+// ExtractFeatures summarizes every variable of a function as a feature
+// bag. The same extractor runs on original source (training) and on
+// decompiled pseudo-C (prediction); features that depend on names the
+// decompiler erased simply don't fire on the stripped side.
+func ExtractFeatures(fn *csrc.Function) map[string][]string {
+	fx := &featureExtractor{features: map[string]map[string]bool{}}
+	for i, p := range fn.Params {
+		fx.add(p.Name, fmt.Sprintf("parampos:%d", i))
+		fx.add(p.Name, "kind:param")
+		fx.addTypeFeatures(p.Name, p.Type)
+	}
+	fx.stmt(fn.Body)
+	out := make(map[string][]string, len(fx.features))
+	for name, set := range fx.features {
+		feats := make([]string, 0, len(set))
+		for f := range set {
+			feats = append(feats, f)
+		}
+		sort.Strings(feats)
+		out[name] = feats
+	}
+	return out
+}
+
+type featureExtractor struct {
+	features map[string]map[string]bool
+}
+
+func (fx *featureExtractor) add(name, feature string) {
+	set := fx.features[name]
+	if set == nil {
+		set = map[string]bool{}
+		fx.features[name] = set
+	}
+	set[feature] = true
+}
+
+func (fx *featureExtractor) addTypeFeatures(name string, t *csrc.Type) {
+	if t == nil {
+		return
+	}
+	switch t.Kind {
+	case csrc.TypePointer:
+		fx.add(name, "type:pointer")
+	case csrc.TypeFunc:
+		fx.add(name, "type:funcptr")
+		fx.add(name, fmt.Sprintf("funcptr-arity:%d", len(t.Params)))
+	}
+}
+
+func (fx *featureExtractor) stmt(s csrc.Stmt) {
+	switch st := s.(type) {
+	case nil:
+	case *csrc.Block:
+		for _, inner := range st.Stmts {
+			fx.stmt(inner)
+		}
+	case *csrc.DeclStmt:
+		fx.add(st.Name, "kind:local")
+		fx.addTypeFeatures(st.Name, st.Type)
+		if st.Init != nil {
+			if call, ok := st.Init.(*csrc.Call); ok {
+				if id, ok := call.Fun.(*csrc.Ident); ok {
+					fx.add(st.Name, "init-call:"+id.Name)
+				}
+			}
+			fx.expr(st.Init, nil)
+		}
+	case *csrc.ExprStmt:
+		fx.expr(st.X, nil)
+	case *csrc.If:
+		fx.expr(st.Cond, []string{"in-cond"})
+		fx.stmt(st.Then)
+		fx.stmt(st.Else)
+	case *csrc.While:
+		fx.expr(st.Cond, []string{"in-loop-cond"})
+		fx.stmt(st.Body)
+	case *csrc.For:
+		fx.stmt(st.Init)
+		if st.Cond != nil {
+			fx.expr(st.Cond, []string{"in-loop-cond"})
+		}
+		if st.Post != nil {
+			fx.expr(st.Post, []string{"loop-post"})
+		}
+		fx.stmt(st.Body)
+	case *csrc.Return:
+		if st.X != nil {
+			fx.expr(st.X, []string{"returned"})
+		}
+	}
+}
+
+// expr walks an expression, tagging every identifier with the supplied
+// ambient tags plus structural context discovered along the way.
+func (fx *featureExtractor) expr(e csrc.Expr, tags []string) {
+	switch x := e.(type) {
+	case nil:
+	case *csrc.Ident:
+		for _, t := range tags {
+			fx.add(x.Name, t)
+		}
+	case *csrc.IntLit, *csrc.StrLit, *csrc.CharLit, *csrc.SizeofType:
+	case *csrc.Unary:
+		childTags := tags
+		if x.Op == "*" {
+			childTags = append(append([]string{}, tags...), "deref")
+		}
+		fx.expr(x.X, childTags)
+	case *csrc.Postfix:
+		fx.expr(x.X, append(append([]string{}, tags...), "incdec"))
+	case *csrc.Binary:
+		lt := append(append([]string{}, tags...), "binop:"+x.Op)
+		rt := append(append([]string{}, tags...), "binop:"+x.Op)
+		if isZero(x.R) && isComparison(x.Op) {
+			lt = append(lt, "cmp0")
+		}
+		if isZero(x.L) && isComparison(x.Op) {
+			rt = append(rt, "cmp0")
+		}
+		fx.expr(x.L, lt)
+		fx.expr(x.R, rt)
+	case *csrc.Assign:
+		lt := append(append([]string{}, tags...), "assigned")
+		if call, ok := x.R.(*csrc.Call); ok {
+			if id, ok := call.Fun.(*csrc.Ident); ok {
+				lt = append(lt, "init-call:"+id.Name)
+			}
+		}
+		fx.expr(x.L, lt)
+		fx.expr(x.R, append(append([]string{}, tags...), "rhs"))
+	case *csrc.Ternary:
+		fx.expr(x.Cond, append(append([]string{}, tags...), "in-cond"))
+		fx.expr(x.Then, tags)
+		fx.expr(x.Else, tags)
+	case *csrc.Call:
+		callee := ""
+		if id, ok := x.Fun.(*csrc.Ident); ok {
+			callee = id.Name
+			fx.add(id.Name, "callee")
+		} else {
+			fx.expr(x.Fun, append(append([]string{}, tags...), "callee"))
+		}
+		for i, arg := range x.Args {
+			at := append([]string{}, tags...)
+			if callee != "" {
+				at = append(at, fmt.Sprintf("call:%s:%d", callee, i))
+			}
+			at = append(at, fmt.Sprintf("argpos:%d", i))
+			fx.expr(arg, at)
+		}
+	case *csrc.Index:
+		fx.expr(x.X, append(append([]string{}, tags...), "index-base"))
+		fx.expr(x.I, append(append([]string{}, tags...), "index-sub"))
+	case *csrc.Member:
+		fx.expr(x.X, append(append([]string{}, tags...), "member:"+x.Name))
+	case *csrc.Cast:
+		fx.expr(x.X, tags)
+	}
+}
+
+func isZero(e csrc.Expr) bool {
+	lit, ok := e.(*csrc.IntLit)
+	return ok && (lit.Text == "0" || lit.Text == "0LL")
+}
+
+func isComparison(op string) bool {
+	switch op {
+	case "==", "!=", "<", "<=", ">", ">=":
+		return true
+	default:
+		return false
+	}
+}

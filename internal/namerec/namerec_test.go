@@ -1,0 +1,336 @@
+package namerec
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"decompstudy/internal/compile"
+	"decompstudy/internal/csrc"
+	"decompstudy/internal/decomp"
+)
+
+// trainingSource is a small corpus of idiomatic C with original names.
+const trainingSource = `
+int buffer_length(char *buf, int cap) {
+  int len = 0;
+  while (len < cap) {
+    if (buf[len] == 0) {
+      return len;
+    }
+    len = len + 1;
+  }
+  return cap;
+}
+
+long lookup_index(long *table, int index, int count) {
+  if (index < 0) {
+    return 0;
+  }
+  if (index >= count) {
+    return 0;
+  }
+  return table[index];
+}
+
+void copy_bytes(char *dest, const char *src, int n) {
+  for (int i = 0; i < n; i++) {
+    dest[i] = src[i];
+  }
+}
+`
+
+func trainedModel(t *testing.T) *Model {
+	t.Helper()
+	f, err := csrc.Parse(trainingSource, nil)
+	if err != nil {
+		t.Fatalf("Parse corpus: %v", err)
+	}
+	m, err := TrainModel([]*csrc.File{f})
+	if err != nil {
+		t.Fatalf("TrainModel: %v", err)
+	}
+	return m
+}
+
+func decompile(t *testing.T, src string, extra []string) *decomp.Decompiled {
+	t.Helper()
+	f, err := csrc.Parse(src, extra)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	obj, err := compile.Compile(f)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	d, err := decomp.LiftFunc(obj.Funcs[len(obj.Funcs)-1])
+	if err != nil {
+		t.Fatalf("Lift: %v", err)
+	}
+	return d
+}
+
+func TestExtractFeatures(t *testing.T) {
+	f, err := csrc.Parse(`
+int find(long *table, int index) {
+  if (index < 0) {
+    return 0;
+  }
+  return table[index];
+}
+`, nil)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	feats := ExtractFeatures(f.Functions[0])
+	idx := strings.Join(feats["index"], " ")
+	if !strings.Contains(idx, "cmp0") {
+		t.Errorf("index features missing cmp0: %v", feats["index"])
+	}
+	if !strings.Contains(idx, "index-sub") {
+		t.Errorf("index features missing index-sub: %v", feats["index"])
+	}
+	tbl := strings.Join(feats["table"], " ")
+	if !strings.Contains(tbl, "index-base") {
+		t.Errorf("table features missing index-base: %v", feats["table"])
+	}
+	if !strings.Contains(tbl, "parampos:0") {
+		t.Errorf("table features missing parampos: %v", feats["table"])
+	}
+}
+
+func TestTrainModelEmpty(t *testing.T) {
+	if _, err := TrainModel(nil); !errors.Is(err, ErrEmptyModel) {
+		t.Fatalf("err = %v, want ErrEmptyModel", err)
+	}
+}
+
+func TestModelPredictsContextually(t *testing.T) {
+	m := trainedModel(t)
+	// A variable compared to zero and used as a subscript should retrieve
+	// an index-like name from the corpus.
+	pred, ok := m.Predict([]string{"cmp0", "index-sub", "kind:param", "binop:<"})
+	if !ok {
+		t.Fatal("no prediction for index-like features")
+	}
+	if pred.Name != "index" && pred.Name != "len" && pred.Name != "i" && pred.Name != "count" {
+		t.Errorf("predicted %q, want an index-like name", pred.Name)
+	}
+	if pred.Confidence <= 0 || pred.Confidence > 1 {
+		t.Errorf("confidence %v outside (0, 1]", pred.Confidence)
+	}
+}
+
+func TestModelPredictNoOverlap(t *testing.T) {
+	m := trainedModel(t)
+	if _, ok := m.Predict([]string{"never-seen-feature"}); ok {
+		t.Error("prediction from zero overlap should report !ok")
+	}
+}
+
+func TestPredictAllRanked(t *testing.T) {
+	m := trainedModel(t)
+	preds := m.PredictAll([]string{"cmp0", "index-sub", "kind:param"}, 3)
+	if len(preds) == 0 {
+		t.Fatal("no ranked predictions")
+	}
+	for i := 1; i < len(preds); i++ {
+		if preds[i].Confidence > preds[i-1].Confidence {
+			t.Errorf("predictions not sorted: %v", preds)
+		}
+	}
+}
+
+func TestAnnotateWithModel(t *testing.T) {
+	m := trainedModel(t)
+	d := decompile(t, `
+long get_entry(long *table, int index, int count) {
+  if (index < 0) {
+    return 0;
+  }
+  if (index >= count) {
+    return 0;
+  }
+  return table[index];
+}
+`, nil)
+	an := &Annotator{Model: m}
+	res, err := an.Annotate(d)
+	if err != nil {
+		t.Fatalf("Annotate: %v", err)
+	}
+	src := res.Source()
+	// Stripped names should be (mostly) gone.
+	if strings.Contains(src, "a1") && strings.Contains(src, "a2") && strings.Contains(src, "a3") {
+		t.Errorf("annotation left all parameters stripped:\n%s", src)
+	}
+	if len(res.Renames) != 3 {
+		t.Fatalf("renames = %d, want 3", len(res.Renames))
+	}
+	for _, r := range res.Renames {
+		if r.OrigName == "" || r.NewName == "" {
+			t.Errorf("incomplete rename record: %+v", r)
+		}
+	}
+	// The annotated function must still be parseable.
+	plain := csrc.PrintFunction(res.Pseudo, nil)
+	extra := []string{}
+	for _, r := range res.Renames {
+		spec := strings.TrimSuffix(strings.TrimSpace(r.NewType), "*")
+		spec = strings.TrimSpace(spec)
+		extra = append(extra, strings.TrimPrefix(spec, "const "))
+	}
+	if _, err := csrc.Parse(plain, extra); err != nil {
+		t.Errorf("annotated output unparseable: %v\n%s", err, plain)
+	}
+}
+
+func TestAnnotateOverrides(t *testing.T) {
+	d := decompile(t, `
+long pick(long *items, int which) {
+  return items[which];
+}
+`, nil)
+	an := &Annotator{Opts: Options{Overrides: map[string]Prediction{
+		"items": {Name: "array", Type: "array_t_0 *"},
+		"which": {Name: "index", Type: "int"},
+	}}}
+	res, err := an.Annotate(d)
+	if err != nil {
+		t.Fatalf("Annotate: %v", err)
+	}
+	src := res.Source()
+	if !strings.Contains(src, "array_t_0 *array") {
+		t.Errorf("override type/name not applied:\n%s", src)
+	}
+	if !strings.Contains(src, "int index") {
+		t.Errorf("override not applied to second param:\n%s", src)
+	}
+}
+
+func TestAnnotateSwapFailureMode(t *testing.T) {
+	d := decompile(t, `
+long postorder(void *t, long (*visit)(void *node, void *aux), void *aux) {
+  long ret = visit(t, aux);
+  return ret;
+}
+`, nil)
+	an := &Annotator{Opts: Options{
+		Overrides: map[string]Prediction{
+			"t":     {Name: "t", Type: "tree234 *"},
+			"visit": {Name: "cmp", Type: "cmpfn234"},
+			"aux":   {Name: "e", Type: "void *"},
+		},
+		SwapParams: [2]string{"visit", "aux"},
+	}}
+	res, err := an.Annotate(d)
+	if err != nil {
+		t.Fatalf("Annotate: %v", err)
+	}
+	// After the swap the function pointer is named e and the aux is cmp —
+	// the paper's Figure 4 failure.
+	var visitNew, auxNew string
+	for _, r := range res.Renames {
+		switch r.OrigName {
+		case "visit":
+			visitNew = r.NewName
+		case "aux":
+			auxNew = r.NewName
+		}
+	}
+	if visitNew != "e" || auxNew != "cmp" {
+		t.Errorf("swap failed: visit→%q aux→%q, want e / cmp", visitNew, auxNew)
+	}
+	if !strings.Contains(res.Source(), "e(t, cmp)") {
+		t.Errorf("swapped call not rendered:\n%s", res.Source())
+	}
+}
+
+func TestAnnotateMisleadDeterministic(t *testing.T) {
+	src := `
+long run(long *table, int index) {
+  long found = table[index];
+  long other = table[0];
+  return found + other;
+}
+`
+	d1 := decompile(t, src, nil)
+	d2 := decompile(t, src, nil)
+	an := &Annotator{Opts: Options{MisleadProb: 1, Seed: 99}}
+	r1, err := an.Annotate(d1)
+	if err != nil {
+		t.Fatalf("Annotate: %v", err)
+	}
+	r2, err := an.Annotate(d2)
+	if err != nil {
+		t.Fatalf("Annotate: %v", err)
+	}
+	if r1.Source() != r2.Source() {
+		t.Error("annotation with fixed seed is not deterministic")
+	}
+	// With MisleadProb=1 every local gets a misleading name.
+	for _, r := range r1.Renames {
+		if r.Kind == compile.VarLocal {
+			found := false
+			for _, m := range misleadingNames {
+				if r.NewName == m || strings.TrimRight(r.NewName, "a") == m {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("local %q not misled: got %q", r.OrigName, r.NewName)
+			}
+		}
+	}
+}
+
+func TestDedupeNames(t *testing.T) {
+	renames := []Rename{
+		{NewName: "index"},
+		{NewName: "index"},
+		{NewName: "index"},
+	}
+	dedupeNames(renames)
+	if renames[0].NewName != "index" || renames[1].NewName != "indexa" || renames[2].NewName != "indexaa" {
+		t.Errorf("dedupe = %v, want index/indexa/indexaa", renames)
+	}
+}
+
+func TestParseTypeSpec(t *testing.T) {
+	cases := []struct {
+		spec, want string
+	}{
+		{"char *", "char *"},
+		{"array_t_0 *", "array_t_0 *"},
+		{"const char *", "const char *"},
+		{"int", "int"},
+		{"SSL *", "SSL *"},
+		{"", "__int64"},
+	}
+	for _, c := range cases {
+		if got := parseTypeSpec(c.spec).String(); got != c.want {
+			t.Errorf("parseTypeSpec(%q) = %q, want %q", c.spec, got, c.want)
+		}
+	}
+}
+
+func TestMetricPairs(t *testing.T) {
+	a := &Annotated{Renames: []Rename{
+		{OrigName: "klen", NewName: "index", OrigType: "const uint32_t", NewType: "int"},
+	}}
+	np := a.MetricPairs()
+	if len(np) != 1 || np[0][0] != "index" || np[0][1] != "klen" {
+		t.Errorf("MetricPairs = %v", np)
+	}
+	tp := a.TypePairs()
+	if len(tp) != 1 || tp[0][0] != "int" || tp[0][1] != "const uint32_t" {
+		t.Errorf("TypePairs = %v", tp)
+	}
+}
+
+func TestAnnotateNilInput(t *testing.T) {
+	an := &Annotator{}
+	if _, err := an.Annotate(nil); err == nil {
+		t.Error("Annotate(nil): want error")
+	}
+}

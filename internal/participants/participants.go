@@ -1,0 +1,330 @@
+// Package participants implements the synthetic participant pool that
+// substitutes for the paper's 40 human reverse engineers. Each participant
+// is a small cognitive model with interpretable parameters calibrated from
+// the paper's own analysis:
+//
+//   - a latent skill intercept (the GLMER's user random effect, σ≈0.85),
+//   - coding and reverse-engineering experience with the signs Table I/II
+//     report (coding helps correctness but correlates with slower answers;
+//     RE experience the reverse),
+//   - a trust propensity governing whether the participant accepts
+//     annotations at face value — the mechanism the paper's qualitative
+//     coding identified: trusting participants were misled by the
+//     postorder swap and AEEK's `ret`, skeptical participants answered
+//     from usage and were correct but slower (§IV-A, §IV-B),
+//   - a speed factor for completion-time heterogeneity.
+//
+// Demographics are sampled to match Figure 3's distributions.
+package participants
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"decompstudy/internal/corpus"
+	"decompstudy/internal/stats"
+)
+
+// Occupation mirrors the paper's recruitment categories.
+type Occupation int
+
+// Occupations.
+const (
+	Student Occupation = iota + 1
+	Professional
+	Unemployed
+)
+
+func (o Occupation) String() string {
+	switch o {
+	case Student:
+		return "Student"
+	case Professional:
+		return "Full-time Employee"
+	case Unemployed:
+		return "Unemployed"
+	default:
+		return fmt.Sprintf("Occupation(%d)", int(o))
+	}
+}
+
+// Demographics holds the Figure 3 attributes.
+type Demographics struct {
+	AgeGroup  string
+	Gender    string
+	Education string
+}
+
+// Participant is one synthetic reverse engineer.
+type Participant struct {
+	ID         int
+	Occupation Occupation
+	Demo       Demographics
+	// ExpCoding and ExpRE are years of general coding and reverse
+	// engineering experience.
+	ExpCoding float64
+	ExpRE     float64
+	// SkillLogit is the latent per-user ability intercept.
+	SkillLogit float64
+	// Trust in [0,1] is the propensity to accept annotations at face
+	// value.
+	Trust float64
+	// SpeedFactor multiplies completion times (1 = average).
+	SpeedFactor float64
+	// Rusher marks low-effort participants who fail the §III-E quality
+	// check and are excluded from analysis.
+	Rusher bool
+}
+
+// PoolConfig controls pool generation.
+type PoolConfig struct {
+	// Students, Professionals, Unemployed are the recruitment counts. The
+	// zero value uses the paper's 31/10/1.
+	Students, Professionals, Unemployed int
+	// Rushers is the number of low-effort participants (paper: one student
+	// and one professional were excluded). Zero keeps the paper's 2; pass
+	// a negative value for none.
+	Rushers int
+	// TrustAlpha and TrustBeta parameterize the Beta distribution of the
+	// trust propensity. Zero values keep the calibrated Beta(2,2); a
+	// skepticism-training intervention (§V) would shift mass toward zero,
+	// e.g. Beta(1.2, 3).
+	TrustAlpha, TrustBeta float64
+}
+
+func (c *PoolConfig) defaults() PoolConfig {
+	out := PoolConfig{Students: 31, Professionals: 10, Unemployed: 1, Rushers: 2}
+	if c == nil {
+		return out
+	}
+	if c.Students > 0 || c.Professionals > 0 || c.Unemployed > 0 {
+		out.Students, out.Professionals, out.Unemployed = c.Students, c.Professionals, c.Unemployed
+	}
+	switch {
+	case c.Rushers > 0:
+		out.Rushers = c.Rushers
+	case c.Rushers < 0:
+		out.Rushers = 0
+	}
+	out.TrustAlpha, out.TrustBeta = c.TrustAlpha, c.TrustBeta
+	return out
+}
+
+// SamplePool generates the recruited participant pool.
+func SamplePool(rng *rand.Rand, cfg *PoolConfig) []*Participant {
+	c := cfg.defaults()
+	trustA, trustB := c.TrustAlpha, c.TrustBeta
+	if trustA <= 0 {
+		trustA = 2
+	}
+	if trustB <= 0 {
+		trustB = 2
+	}
+	var pool []*Participant
+	add := func(occ Occupation, n int) {
+		for i := 0; i < n; i++ {
+			p := &Participant{
+				ID:          len(pool) + 1,
+				Occupation:  occ,
+				SkillLogit:  rng.NormFloat64() * 0.85,
+				Trust:       sampleBeta(rng, trustA, trustB),
+				SpeedFactor: math.Exp(rng.NormFloat64() * 0.35),
+			}
+			switch occ {
+			case Student:
+				p.ExpCoding = 2 + float64(rng.Intn(6))
+				p.ExpRE = 0.5 + float64(rng.Intn(3))
+				p.Demo = Demographics{
+					AgeGroup:  pick(rng, []string{"18-24", "18-24", "18-24", "25-34"}),
+					Gender:    pick(rng, []string{"Male", "Male", "Male", "Female", "N/A"}),
+					Education: pick(rng, []string{"No degree", "No degree", "Bachelor's"}),
+				}
+			case Professional:
+				p.ExpCoding = 5 + float64(rng.Intn(15))
+				p.ExpRE = 2 + float64(rng.Intn(10))
+				p.Demo = Demographics{
+					AgeGroup:  pick(rng, []string{"25-34", "25-34", "35-44", "45+"}),
+					Gender:    pick(rng, []string{"Male", "Male", "Male", "Female"}),
+					Education: pick(rng, []string{"Bachelor's", "Bachelor's", "Professional", "Doctorate"}),
+				}
+			case Unemployed:
+				p.ExpCoding = 3 + float64(rng.Intn(8))
+				p.ExpRE = 1 + float64(rng.Intn(4))
+				p.Demo = Demographics{AgeGroup: "25-34", Gender: "N/A", Education: "Bachelor's"}
+			}
+			pool = append(pool, p)
+		}
+	}
+	add(Student, c.Students)
+	add(Professional, c.Professionals)
+	add(Unemployed, c.Unemployed)
+
+	// Mark rushers: alternate occupations so the paper's "one student, one
+	// professional" exclusion reproduces.
+	marked := 0
+	for i := 0; i < len(pool) && marked < c.Rushers; i++ {
+		if (marked == 0 && pool[i].Occupation == Student) ||
+			(marked == 1 && pool[i].Occupation == Professional) ||
+			marked >= 2 {
+			pool[i].Rusher = true
+			marked++
+		}
+	}
+	return pool
+}
+
+func pick(rng *rand.Rand, options []string) string {
+	return options[rng.Intn(len(options))]
+}
+
+// sampleBeta draws from Beta(a, b) via two gamma draws (Jöhnk for small
+// shapes is unnecessary; a,b ≥ 1 here).
+func sampleBeta(rng *rand.Rand, a, b float64) float64 {
+	x := sampleGamma(rng, a)
+	y := sampleGamma(rng, b)
+	if x+y == 0 {
+		return 0.5
+	}
+	return x / (x + y)
+}
+
+// sampleGamma draws from Gamma(shape, 1) using Marsaglia-Tsang.
+func sampleGamma(rng *rand.Rand, shape float64) float64 {
+	if shape < 1 {
+		u := rng.Float64()
+		return sampleGamma(rng, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// Outcome is one participant's simulated interaction with one question.
+type Outcome struct {
+	Answered bool
+	// Gradable reports whether the free-text answer could be objectively
+	// graded (§III-C: some responses were too vague to grade).
+	Gradable bool
+	Correct  bool
+	TimeSec  float64
+	// RationaleCode is the grounded-theory open code the answer's
+	// justification maps to (§IV-A's two themes), set for misleading
+	// treatment questions.
+	RationaleCode string
+}
+
+// Rationale codes from the paper's qualitative analysis.
+const (
+	CodeUsageDemonstrates = "usage-demonstrates-purpose"
+	CodeNamesIndicate     = "names-indicate-usage"
+)
+
+// AnswerQuestion simulates one participant answering one question.
+func (p *Participant) AnswerQuestion(rng *rand.Rand, q corpus.Question, usesDirty bool) Outcome {
+	out := Outcome{Answered: true, Gradable: true}
+	// Optional questions: a small fraction go unanswered (§III-E), and a
+	// further fraction of answers are ungradable free text.
+	if rng.Float64() < 0.026 {
+		return Outcome{}
+	}
+	if rng.Float64() < 0.075 {
+		out.Gradable = false
+	}
+
+	// Correctness: mixed-effects data-generating process.
+	logit := q.Calib.ControlLogit +
+		0.06*(p.ExpCoding-6) -
+		0.025*(p.ExpRE-3) +
+		p.SkillLogit
+	if usesDirty {
+		if q.Calib.Misleading {
+			// Trust mediates: face-value readers are misled, skeptics
+			// answer from usage (paper §IV-A).
+			logit += q.Calib.TreatDelta * (0.35 + 1.3*p.Trust)
+			if p.Trust > 0.6 {
+				out.RationaleCode = CodeNamesIndicate
+			} else {
+				out.RationaleCode = CodeUsageDemonstrates
+			}
+		} else {
+			logit += q.Calib.TreatDelta
+		}
+		// Skeptics read the code rather than the labels and are slightly
+		// more accurate whenever annotations are present (§V: annotations
+		// should complement direct analysis).
+		logit += 1.5 * (0.5 - p.Trust)
+	}
+	out.Correct = rng.Float64() < stats.LogisticCDF(logit+rng.NormFloat64()*0.2)
+
+	// Timing: lognormal base with the Table II covariate signs.
+	mu := math.Log(q.Calib.TimeMeanSec)
+	sigma := q.Calib.TimeSDSec / q.Calib.TimeMeanSec * 0.8
+	t := math.Exp(mu+rng.NormFloat64()*sigma) * p.SpeedFactor
+	t += 2.8*(p.ExpCoding-6) - 3.4*(p.ExpRE-3)
+	if usesDirty {
+		t += q.Calib.TreatTimeDelta
+		if q.Calib.Misleading && out.Correct {
+			// Correct answers on misleading annotations required the slow,
+			// skeptical path (AEEK Q2, Fig. 7c).
+			t += (1 - p.Trust) * 180
+		}
+	}
+	if p.Rusher {
+		t = 1 + rng.Float64()*2 // seconds: fails the quality check
+	}
+	if t < 5 && !p.Rusher {
+		t = 5 + rng.Float64()*5
+	}
+	out.TimeSec = t
+	return out
+}
+
+// Opinion is one participant's Likert ratings for a snippet arm. Scale:
+// 1 = "Provided immediate", 2 = "Improved", 3 = "Did not affect",
+// 4 = "Hindered", 5 = "Prevented".
+type Opinion struct {
+	NameLikert int
+	TypeLikert int
+}
+
+// RateSnippet simulates the §III-D perception survey for one snippet.
+func (p *Participant) RateSnippet(rng *rand.Rand, snip *corpus.Snippet, usesDirty bool) Opinion {
+	clamp := func(v float64) int {
+		r := int(math.Round(v))
+		if r < 1 {
+			return 1
+		}
+		if r > 5 {
+			return 5
+		}
+		return r
+	}
+	if !usesDirty {
+		// Hex-Rays names rarely indicate purpose (§IV-C): centered between
+		// "did not affect" and "hindered".
+		return Opinion{
+			NameLikert: clamp(3.5 + rng.NormFloat64()*0.7),
+			TypeLikert: clamp(2.9 + rng.NormFloat64()*0.8),
+		}
+	}
+	// DIRTY names are universally preferred; trusting participants rate
+	// them even higher (the §IV-A trust/correctness link).
+	name := 2.1 - 0.9*p.Trust + rng.NormFloat64()*0.6
+	typ := 3.6 - 2.0*p.Trust + rng.NormFloat64()*0.35 + snip.TypeOpinionPenalty
+	return Opinion{NameLikert: clamp(name), TypeLikert: clamp(typ)}
+}

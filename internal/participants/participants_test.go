@@ -1,0 +1,214 @@
+package participants
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"decompstudy/internal/corpus"
+	"decompstudy/internal/stats"
+)
+
+func TestSamplePoolDefaultComposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pool := SamplePool(rng, nil)
+	if len(pool) != 42 {
+		t.Fatalf("pool = %d, want 42 recruited (31+10+1)", len(pool))
+	}
+	counts := map[Occupation]int{}
+	rushers := map[Occupation]int{}
+	for _, p := range pool {
+		counts[p.Occupation]++
+		if p.Rusher {
+			rushers[p.Occupation]++
+		}
+	}
+	if counts[Student] != 31 || counts[Professional] != 10 || counts[Unemployed] != 1 {
+		t.Errorf("composition = %v, want 31/10/1", counts)
+	}
+	// Paper §III-E: one student and one professional fail the quality check.
+	if rushers[Student] != 1 || rushers[Professional] != 1 {
+		t.Errorf("rushers = %v, want one student and one professional", rushers)
+	}
+}
+
+func TestSamplePoolCustomAndNoRushers(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pool := SamplePool(rng, &PoolConfig{Students: 5, Professionals: 3, Unemployed: 0, Rushers: -1})
+	if len(pool) != 8 {
+		t.Fatalf("pool = %d, want 8", len(pool))
+	}
+	for _, p := range pool {
+		if p.Rusher {
+			t.Error("Rushers: -1 should produce no rushers")
+		}
+	}
+}
+
+func TestParticipantParameterRanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pool := SamplePool(rng, nil)
+	for _, p := range pool {
+		if p.Trust < 0 || p.Trust > 1 {
+			t.Errorf("participant %d trust = %v outside [0,1]", p.ID, p.Trust)
+		}
+		if p.SpeedFactor <= 0 {
+			t.Errorf("participant %d speed = %v, want positive", p.ID, p.SpeedFactor)
+		}
+		if p.ExpCoding < 0 || p.ExpRE < 0 {
+			t.Errorf("participant %d negative experience", p.ID)
+		}
+		if p.Demo.AgeGroup == "" || p.Demo.Education == "" {
+			t.Errorf("participant %d missing demographics", p.ID)
+		}
+	}
+}
+
+func testQuestion(misleading bool) corpus.Question {
+	return corpus.Question{
+		ID: "T-Q", Kind: corpus.KindPurpose,
+		Calib: corpus.Calibration{
+			ControlLogit: 0.5, TreatDelta: -2.5, Misleading: misleading,
+			TimeMeanSec: 200, TimeSDSec: 100, TreatTimeDelta: 20,
+		},
+	}
+}
+
+func TestTrustMediatesMisleadingQuestions(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	q := testQuestion(true)
+	trusting := &Participant{Trust: 0.95, SpeedFactor: 1, ExpCoding: 6, ExpRE: 3}
+	skeptic := &Participant{Trust: 0.05, SpeedFactor: 1, ExpCoding: 6, ExpRE: 3}
+	const n = 600
+	var trustCorrect, skepticCorrect int
+	for i := 0; i < n; i++ {
+		if o := trusting.AnswerQuestion(rng, q, true); o.Answered && o.Gradable && o.Correct {
+			trustCorrect++
+		}
+		if o := skeptic.AnswerQuestion(rng, q, true); o.Answered && o.Gradable && o.Correct {
+			skepticCorrect++
+		}
+	}
+	if trustCorrect >= skepticCorrect {
+		t.Errorf("trusting participants should be misled more: trusting %d vs skeptic %d correct", trustCorrect, skepticCorrect)
+	}
+}
+
+func TestRationaleCodesMatchTrust(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	q := testQuestion(true)
+	trusting := &Participant{Trust: 0.9, SpeedFactor: 1, ExpCoding: 6, ExpRE: 3}
+	o := Outcome{}
+	for !o.Answered {
+		o = trusting.AnswerQuestion(rng, q, true)
+	}
+	if o.RationaleCode != CodeNamesIndicate {
+		t.Errorf("trusting rationale = %q, want %q", o.RationaleCode, CodeNamesIndicate)
+	}
+	skeptic := &Participant{Trust: 0.1, SpeedFactor: 1, ExpCoding: 6, ExpRE: 3}
+	o = Outcome{}
+	for !o.Answered {
+		o = skeptic.AnswerQuestion(rng, q, true)
+	}
+	if o.RationaleCode != CodeUsageDemonstrates {
+		t.Errorf("skeptic rationale = %q, want %q", o.RationaleCode, CodeUsageDemonstrates)
+	}
+}
+
+func TestSkepticsSlowerWhenCorrectOnMisleading(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	q := testQuestion(true)
+	skeptic := &Participant{Trust: 0.05, SpeedFactor: 1, ExpCoding: 6, ExpRE: 3}
+	var correctTimes, controlTimes []float64
+	for i := 0; i < 800; i++ {
+		if o := skeptic.AnswerQuestion(rng, q, true); o.Answered && o.Correct {
+			correctTimes = append(correctTimes, o.TimeSec)
+		}
+		if o := skeptic.AnswerQuestion(rng, q, false); o.Answered && o.Correct {
+			controlTimes = append(controlTimes, o.TimeSec)
+		}
+	}
+	if len(correctTimes) < 20 || len(controlTimes) < 20 {
+		t.Fatalf("not enough correct answers: %d / %d", len(correctTimes), len(controlTimes))
+	}
+	if stats.Mean(correctTimes) <= stats.Mean(controlTimes)+100 {
+		t.Errorf("skeptic correct-on-DIRTY mean %v should be ≫ control %v (AEEK Q2 shape)",
+			stats.Mean(correctTimes), stats.Mean(controlTimes))
+	}
+}
+
+func TestRusherFailsQualityCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	q := testQuestion(false)
+	r := &Participant{Rusher: true, SpeedFactor: 1, ExpCoding: 6, ExpRE: 3}
+	for i := 0; i < 50; i++ {
+		o := r.AnswerQuestion(rng, q, false)
+		if o.Answered && o.TimeSec > 10 {
+			t.Fatalf("rusher time %v, want < 10s", o.TimeSec)
+		}
+	}
+}
+
+func TestRateSnippetNamePreference(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	snip, _ := corpus.SnippetByID("AEEK")
+	p := &Participant{Trust: 0.5, SpeedFactor: 1}
+	var dirtySum, hexSum float64
+	const n = 400
+	for i := 0; i < n; i++ {
+		dirtySum += float64(p.RateSnippet(rng, snip, true).NameLikert)
+		hexSum += float64(p.RateSnippet(rng, snip, false).NameLikert)
+	}
+	// Lower is better; DIRTY names must be strongly preferred (§IV-C).
+	if dirtySum/n >= hexSum/n-0.8 {
+		t.Errorf("DIRTY name rating %v not clearly better than Hex-Rays %v", dirtySum/n, hexSum/n)
+	}
+}
+
+func TestRateSnippetTCTypePenalty(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tc, _ := corpus.SnippetByID("TC")
+	aeek, _ := corpus.SnippetByID("AEEK")
+	p := &Participant{Trust: 0.5, SpeedFactor: 1}
+	var tcSum, aeekSum float64
+	const n = 400
+	for i := 0; i < n; i++ {
+		tcSum += float64(p.RateSnippet(rng, tc, true).TypeLikert)
+		aeekSum += float64(p.RateSnippet(rng, aeek, true).TypeLikert)
+	}
+	if tcSum/n <= aeekSum/n {
+		t.Errorf("TC DIRTY types should rate worse (higher): TC %v vs AEEK %v", tcSum/n, aeekSum/n)
+	}
+}
+
+func TestOccupationString(t *testing.T) {
+	if Student.String() != "Student" || Professional.String() != "Full-time Employee" || Unemployed.String() != "Unemployed" {
+		t.Error("Occupation String mismatch")
+	}
+}
+
+// Property: outcomes are always well-formed — time positive when answered,
+// Likert ratings in 1..5.
+func TestQuickOutcomeWellFormed(t *testing.T) {
+	snip, _ := corpus.SnippetByID("BAPL")
+	q := snip.Questions[0]
+	f := func(seed int64, trustRaw uint8, dirty bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := &Participant{
+			Trust:       float64(trustRaw%100) / 100,
+			SpeedFactor: 0.5 + float64(trustRaw%10)/10,
+			ExpCoding:   float64(trustRaw % 20),
+			ExpRE:       float64(trustRaw % 8),
+		}
+		o := p.AnswerQuestion(rng, q, dirty)
+		if o.Answered && (o.TimeSec <= 0 || math.IsNaN(o.TimeSec)) {
+			return false
+		}
+		op := p.RateSnippet(rng, snip, dirty)
+		return op.NameLikert >= 1 && op.NameLikert <= 5 && op.TypeLikert >= 1 && op.TypeLikert <= 5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

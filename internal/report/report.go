@@ -1,0 +1,236 @@
+// Package report renders the paper's tables and figures as plain text:
+// fixed-width tables (Tables I–IV), horizontal bar histograms (Figure 3),
+// grouped correctness bars (Figure 5), boxplots (Figures 6–7), and
+// diverging Likert charts (Figure 8). Everything returns a string so the
+// same renderers serve the CLI, the benchmarks, and EXPERIMENTS.md.
+package report
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"decompstudy/internal/stats"
+)
+
+// Table renders rows as a fixed-width table with a header rule.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Note is printed under the table (the paper's "Note:" lines).
+	Note string
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len([]rune(c))
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len([]rune(cell)) > widths[i] {
+				widths[i] = len([]rune(cell))
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title + "\n")
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2) + "\n")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	if t.Note != "" {
+		b.WriteString("Note: " + t.Note + "\n")
+	}
+	return b.String()
+}
+
+// Histogram renders labeled counts as horizontal bars (Figure 3 style).
+func Histogram(title string, labels []string, counts []int, width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	maxCount := 1
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	labelWidth := 0
+	for _, l := range labels {
+		if len(l) > labelWidth {
+			labelWidth = len(l)
+		}
+	}
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	for i, l := range labels {
+		n := 0
+		if i < len(counts) {
+			n = counts[i]
+		}
+		bar := strings.Repeat("█", n*width/maxCount)
+		fmt.Fprintf(&b, "  %-*s | %-*s %d\n", labelWidth, l, width, bar, n)
+	}
+	return b.String()
+}
+
+// GroupedBars renders two-series percentage bars per category (Figure 5
+// style: DIRTY vs Hex-Rays correctness).
+func GroupedBars(title string, categories []string, seriesA, seriesB []float64, nameA, nameB string) string {
+	const width = 30
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	labelWidth := 0
+	for _, c := range categories {
+		if len(c) > labelWidth {
+			labelWidth = len(c)
+		}
+	}
+	for i, cat := range categories {
+		a, bb := seriesA[i], seriesB[i]
+		fmt.Fprintf(&b, "  %-*s %-9s |%-*s| %5.1f%%\n", labelWidth, cat, nameA,
+			width, strings.Repeat("█", int(a*width+0.5)), a*100)
+		fmt.Fprintf(&b, "  %-*s %-9s |%-*s| %5.1f%%\n", labelWidth, "", nameB,
+			width, strings.Repeat("░", int(bb*width+0.5)), bb*100)
+	}
+	return b.String()
+}
+
+// Boxplot renders a five-number summary as an ASCII box (Figures 6b/7c).
+func Boxplot(label string, xs []float64, lo, hi float64, width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	fn, err := stats.Summarize(xs)
+	if err != nil {
+		return fmt.Sprintf("%s: (no data)\n", label)
+	}
+	if hi <= lo {
+		lo, hi = fn.Min, fn.Max
+		if hi <= lo {
+			hi = lo + 1
+		}
+	}
+	pos := func(v float64) int {
+		p := int((v - lo) / (hi - lo) * float64(width-1))
+		if p < 0 {
+			p = 0
+		}
+		if p >= width {
+			p = width - 1
+		}
+		return p
+	}
+	row := []rune(strings.Repeat(" ", width))
+	for i := pos(fn.Min); i <= pos(fn.Max); i++ {
+		row[i] = '-'
+	}
+	for i := pos(fn.Q1); i <= pos(fn.Q3); i++ {
+		row[i] = '▒'
+	}
+	row[pos(fn.Median)] = '█'
+	row[pos(fn.Min)] = '|'
+	row[pos(fn.Max)] = '|'
+	return fmt.Sprintf("%-10s %s  (n=%d, median=%.1f, mean=%.1f)\n",
+		label, string(row), fn.N, fn.Median, fn.Mean)
+}
+
+// DivergingLikert renders a centered diverging bar for 5-point Likert
+// counts (Figure 8 style): levels 1-2 extend left (positive), level 3 is
+// the pivot, levels 4-5 extend right (negative).
+func DivergingLikert(label string, counts [5]int, width int) string {
+	if width <= 0 {
+		width = 30
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return fmt.Sprintf("%-10s (no ratings)\n", label)
+	}
+	frac := func(n int) int { return int(math.Round(float64(n) / float64(total) * float64(width))) }
+	left := strings.Repeat("█", frac(counts[0])) + strings.Repeat("▓", frac(counts[1]))
+	mid := strings.Repeat("─", frac(counts[2]))
+	right := strings.Repeat("░", frac(counts[3])) + strings.Repeat("×", frac(counts[4]))
+	posPct := float64(counts[0]+counts[1]) / float64(total) * 100
+	negPct := float64(counts[3]+counts[4]) / float64(total) * 100
+	return fmt.Sprintf("%-10s %*s│%s%-*s  +%.0f%% / -%.0f%%\n",
+		label, width, left+mid, right, width, "", posPct, negPct)
+}
+
+// LikertCounts tallies 1-5 ratings into the five buckets.
+func LikertCounts(ratings []float64) [5]int {
+	var out [5]int
+	for _, r := range ratings {
+		i := int(r) - 1
+		if i >= 0 && i < 5 {
+			out[i]++
+		}
+	}
+	return out
+}
+
+// CountBy tallies string keys in deterministic (sorted) order, returning
+// parallel label and count slices — a helper for demographic histograms.
+func CountBy(values []string) (labels []string, counts []int) {
+	m := map[string]int{}
+	for _, v := range values {
+		m[v]++
+	}
+	for k := range m {
+		labels = append(labels, k)
+	}
+	sort.Strings(labels)
+	counts = make([]int, len(labels))
+	for i, l := range labels {
+		counts[i] = m[l]
+	}
+	return labels, counts
+}
+
+// Stars renders the paper's significance notation for a p-value.
+func Stars(p float64) string {
+	switch {
+	case p < 0.001:
+		return "***"
+	case p < 0.01:
+		return "**"
+	case p < 0.05:
+		return "*"
+	default:
+		return ""
+	}
+}
+
+// Arrow renders the correlation-direction glyph used in Tables III/IV.
+func Arrow(rho float64) string {
+	switch {
+	case rho > 0.005:
+		return "↗"
+	case rho < -0.005:
+		return "↘"
+	default:
+		return "→"
+	}
+}

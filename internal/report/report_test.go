@@ -1,0 +1,136 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableString(t *testing.T) {
+	tbl := &Table{
+		Title:   "Table I",
+		Columns: []string{"Effect", "Estimate"},
+		Rows:    [][]string{{"uses_DIRTY", "-0.074"}, {"(Intercept)", "0.563"}},
+		Note:    "p > 0.05",
+	}
+	out := tbl.String()
+	for _, want := range []string{"Table I", "uses_DIRTY", "-0.074", "Note: p > 0.05", "----"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	// Alignment: estimate column starts at the same offset in both rows.
+	lines := strings.Split(out, "\n")
+	var dataLines []string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "uses_DIRTY") || strings.HasPrefix(l, "(Intercept)") {
+			dataLines = append(dataLines, l)
+		}
+	}
+	if len(dataLines) != 2 {
+		t.Fatalf("data lines = %d", len(dataLines))
+	}
+	if strings.Index(dataLines[0], "-0.074") != strings.Index(dataLines[1], "0.563") {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	out := Histogram("Age Group", []string{"18-24", "25-34"}, []int{20, 10}, 20)
+	if !strings.Contains(out, "18-24") || !strings.Contains(out, "20") {
+		t.Errorf("histogram malformed:\n%s", out)
+	}
+	// Longer bar for larger count.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if strings.Count(lines[1], "█") <= strings.Count(lines[2], "█") {
+		t.Errorf("bar lengths not proportional:\n%s", out)
+	}
+}
+
+func TestGroupedBars(t *testing.T) {
+	out := GroupedBars("Fig 5", []string{"AEEK Q1"}, []float64{0.75}, []float64{0.5}, "DIRTY", "Hex-Rays")
+	if !strings.Contains(out, "75.0%") || !strings.Contains(out, "50.0%") {
+		t.Errorf("grouped bars missing percentages:\n%s", out)
+	}
+}
+
+func TestBoxplot(t *testing.T) {
+	xs := []float64{100, 150, 200, 250, 300, 350, 400}
+	out := Boxplot("DIRTY", xs, 0, 500, 40)
+	if !strings.Contains(out, "median=250") {
+		t.Errorf("boxplot missing median:\n%s", out)
+	}
+	if !strings.Contains(out, "█") || !strings.Contains(out, "▒") {
+		t.Errorf("boxplot missing glyphs:\n%s", out)
+	}
+	if empty := Boxplot("X", nil, 0, 1, 10); !strings.Contains(empty, "no data") {
+		t.Errorf("empty boxplot = %q", empty)
+	}
+}
+
+func TestDivergingLikert(t *testing.T) {
+	out := DivergingLikert("DIRTY", [5]int{10, 20, 5, 3, 2}, 30)
+	if !strings.Contains(out, "+75%") {
+		t.Errorf("diverging bar missing positive share:\n%s", out)
+	}
+	if empty := DivergingLikert("X", [5]int{}, 10); !strings.Contains(empty, "no ratings") {
+		t.Errorf("empty likert = %q", empty)
+	}
+}
+
+func TestLikertCounts(t *testing.T) {
+	c := LikertCounts([]float64{1, 1, 3, 5, 2})
+	if c != [5]int{2, 1, 1, 0, 1} {
+		t.Errorf("counts = %v", c)
+	}
+	// Out-of-range ratings ignored.
+	c = LikertCounts([]float64{0, 6, 2})
+	if c != [5]int{0, 1, 0, 0, 0} {
+		t.Errorf("counts with junk = %v", c)
+	}
+}
+
+func TestCountBy(t *testing.T) {
+	labels, counts := CountBy([]string{"b", "a", "b"})
+	if len(labels) != 2 || labels[0] != "a" || counts[1] != 2 {
+		t.Errorf("CountBy = %v %v", labels, counts)
+	}
+}
+
+func TestStars(t *testing.T) {
+	cases := map[float64]string{0.0001: "***", 0.005: "**", 0.03: "*", 0.5: ""}
+	for p, want := range cases {
+		if got := Stars(p); got != want {
+			t.Errorf("Stars(%v) = %q, want %q", p, got, want)
+		}
+	}
+}
+
+func TestArrow(t *testing.T) {
+	if Arrow(0.3) != "↗" || Arrow(-0.3) != "↘" || Arrow(0) != "→" {
+		t.Error("Arrow glyph mismatch")
+	}
+}
+
+// Property: LikertCounts totals match the number of in-range inputs.
+func TestQuickLikertCountsTotal(t *testing.T) {
+	f := func(raw []uint8) bool {
+		ratings := make([]float64, len(raw))
+		inRange := 0
+		for i, r := range raw {
+			ratings[i] = float64(r%7) - 0.0 // 0..6
+			if ratings[i] >= 1 && ratings[i] <= 5 {
+				inRange++
+			}
+		}
+		c := LikertCounts(ratings)
+		total := 0
+		for _, n := range c {
+			total += n
+		}
+		return total == inRange
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,132 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// NormalCDF returns P(Z ≤ x) for Z ~ N(mu, sigma²).
+func NormalCDF(x, mu, sigma float64) float64 {
+	return 0.5 * (1 + math.Erf((x-mu)/(sigma*math.Sqrt2)))
+}
+
+// StdNormalCDF returns P(Z ≤ x) for a standard normal Z.
+func StdNormalCDF(x float64) float64 { return NormalCDF(x, 0, 1) }
+
+// StdNormalQuantile returns the x with P(Z ≤ x) = p for a standard normal Z,
+// using the Acklam rational approximation refined with one Halley step.
+func StdNormalQuantile(p float64) (float64, error) {
+	if p <= 0 || p >= 1 {
+		return 0, fmt.Errorf("stats: StdNormalQuantile(p=%g): %w", p, ErrDomain)
+	}
+	// Acklam's approximation coefficients.
+	a := []float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02, 1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := []float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02, 6.680131188771972e+01, -1.328068155288572e+01}
+	c := []float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00, -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := []float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00, 3.754408661907416e+00}
+	const plow, phigh = 0.02425, 1 - 0.02425
+	var x float64
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= phigh:
+		q := p - 0.5
+		r := q * q
+		x = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+	// One Halley refinement step.
+	e := StdNormalCDF(x) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	x -= u / (1 + x*u/2)
+	return x, nil
+}
+
+// TCDF returns P(T ≤ x) for Student's t with df degrees of freedom.
+func TCDF(x, df float64) (float64, error) {
+	if df <= 0 {
+		return 0, fmt.Errorf("stats: TCDF(df=%g): %w", df, ErrDomain)
+	}
+	if math.IsInf(x, 1) {
+		return 1, nil
+	}
+	if math.IsInf(x, -1) {
+		return 0, nil
+	}
+	ib, err := RegIncBeta(df/2, 0.5, df/(df+x*x))
+	if err != nil {
+		return 0, err
+	}
+	if x > 0 {
+		return 1 - ib/2, nil
+	}
+	return ib / 2, nil
+}
+
+// TTailP returns the two-sided p-value for an observed t statistic with df
+// degrees of freedom.
+func TTailP(t, df float64) (float64, error) {
+	cdf, err := TCDF(-math.Abs(t), df)
+	if err != nil {
+		return 0, err
+	}
+	return 2 * cdf, nil
+}
+
+// ChiSquareCDF returns P(X ≤ x) for a chi-square with df degrees of freedom.
+func ChiSquareCDF(x, df float64) (float64, error) {
+	if df <= 0 {
+		return 0, fmt.Errorf("stats: ChiSquareCDF(df=%g): %w", df, ErrDomain)
+	}
+	if x <= 0 {
+		return 0, nil
+	}
+	return RegIncGammaP(df/2, x/2)
+}
+
+// FCDF returns P(X ≤ x) for an F distribution with d1 and d2 degrees of
+// freedom.
+func FCDF(x, d1, d2 float64) (float64, error) {
+	if d1 <= 0 || d2 <= 0 {
+		return 0, fmt.Errorf("stats: FCDF(d1=%g, d2=%g): %w", d1, d2, ErrDomain)
+	}
+	if x <= 0 {
+		return 0, nil
+	}
+	return RegIncBeta(d1/2, d2/2, d1*x/(d1*x+d2))
+}
+
+// HypergeomPMF returns P(X = k) where X counts successes in a draw of n from
+// a population of size nn containing kk successes.
+func HypergeomPMF(k, kk, n, nn int) (float64, error) {
+	if nn < 0 || kk < 0 || kk > nn || n < 0 || n > nn {
+		return 0, fmt.Errorf("stats: HypergeomPMF population (k=%d in %d, draw %d of %d): %w", kk, nn, n, nn, ErrDomain)
+	}
+	if k < 0 || k > n || k > kk || n-k > nn-kk {
+		return 0, nil
+	}
+	a, err := LogChoose(kk, k)
+	if err != nil {
+		return 0, err
+	}
+	b, err := LogChoose(nn-kk, n-k)
+	if err != nil {
+		return 0, err
+	}
+	c, err := LogChoose(nn, n)
+	if err != nil {
+		return 0, err
+	}
+	return math.Exp(a + b - c), nil
+}
+
+// LogisticCDF returns the standard logistic CDF at x.
+func LogisticCDF(x float64) float64 {
+	return 1 / (1 + math.Exp(-x))
+}

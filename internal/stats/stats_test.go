@@ -1,0 +1,252 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %.10g, want %.10g (tol %g)", name, got, want, tol)
+	}
+}
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	approx(t, "Φ(0)", StdNormalCDF(0), 0.5, 1e-15)
+	approx(t, "Φ(1.96)", StdNormalCDF(1.96), 0.9750021049, 1e-9)
+	approx(t, "Φ(-1.6449)", StdNormalCDF(-1.6448536269514722), 0.05, 1e-9)
+	approx(t, "N(2,3) at 5", NormalCDF(5, 2, 3), StdNormalCDF(1), 1e-15)
+}
+
+func TestStdNormalQuantile(t *testing.T) {
+	for _, p := range []float64{0.001, 0.025, 0.1, 0.5, 0.9, 0.975, 0.999} {
+		x, err := StdNormalQuantile(p)
+		if err != nil {
+			t.Fatalf("quantile(%v): %v", p, err)
+		}
+		approx(t, "Φ(Φ⁻¹(p))", StdNormalCDF(x), p, 1e-10)
+	}
+	if _, err := StdNormalQuantile(0); !errors.Is(err, ErrDomain) {
+		t.Errorf("quantile(0): err = %v, want ErrDomain", err)
+	}
+	if _, err := StdNormalQuantile(1); !errors.Is(err, ErrDomain) {
+		t.Errorf("quantile(1): err = %v, want ErrDomain", err)
+	}
+}
+
+func TestTCDFAgainstR(t *testing.T) {
+	// Reference values from R's pt().
+	cases := []struct {
+		x, df, want float64
+	}{
+		{0, 5, 0.5},
+		{1, 1, 0.75},                 // pt(1, 1)
+		{2.0, 10, 0.9633059826},      // pt(2, 10)
+		{-2.5, 30, 0.009057825},      // pt(-2.5, 30)
+		{1.6448536, 1e6, 0.95000033}, // converges to normal
+	}
+	for _, c := range cases {
+		got, err := TCDF(c.x, c.df)
+		if err != nil {
+			t.Fatalf("TCDF(%v, %v): %v", c.x, c.df, err)
+		}
+		approx(t, "TCDF", got, c.want, 1e-6)
+	}
+}
+
+func TestTTailP(t *testing.T) {
+	// R: 2*pt(-2, 20) = 0.05926554
+	p, err := TTailP(2, 20)
+	if err != nil {
+		t.Fatalf("TTailP: %v", err)
+	}
+	approx(t, "TTailP(2,20)", p, 0.05926554, 1e-6)
+	// Symmetry.
+	pNeg, _ := TTailP(-2, 20)
+	approx(t, "TTailP symmetry", pNeg, p, 1e-14)
+}
+
+func TestChiSquareCDFAgainstR(t *testing.T) {
+	// R: pchisq(3.841459, 1) = 0.95; pchisq(5, 3) = 0.8282029.
+	got, err := ChiSquareCDF(3.841458820694124, 1)
+	if err != nil {
+		t.Fatalf("ChiSquareCDF: %v", err)
+	}
+	approx(t, "pchisq(3.84,1)", got, 0.95, 1e-8)
+	got, _ = ChiSquareCDF(5, 3)
+	approx(t, "pchisq(5,3)", got, 0.8282029, 1e-6)
+}
+
+func TestFCDFAgainstR(t *testing.T) {
+	// R: pf(1, 1, 1) = 0.5; pf(2.5, 3, 12) = 0.8908453.
+	got, err := FCDF(1, 1, 1)
+	if err != nil {
+		t.Fatalf("FCDF: %v", err)
+	}
+	approx(t, "pf(1,1,1)", got, 0.5, 1e-8)
+	got, _ = FCDF(2.5, 3, 12)
+	approx(t, "pf(2.5,3,12)", got, 0.8908453, 1e-6)
+}
+
+func TestHypergeomPMF(t *testing.T) {
+	// Drawing 5 from 20 with 8 successes: P(X=2).
+	// R: dhyper(2, 8, 12, 5) = 0.3973168
+	got, err := HypergeomPMF(2, 8, 5, 20)
+	if err != nil {
+		t.Fatalf("HypergeomPMF: %v", err)
+	}
+	approx(t, "dhyper(2,8,12,5)", got, 0.3973168, 1e-6)
+	// Out-of-support values are zero, not errors.
+	got, err = HypergeomPMF(7, 8, 5, 20)
+	if err != nil || got != 0 {
+		t.Errorf("out-of-support pmf = (%v, %v), want (0, nil)", got, err)
+	}
+}
+
+func TestHypergeomPMFSumsToOne(t *testing.T) {
+	sum := 0.0
+	for k := 0; k <= 5; k++ {
+		p, err := HypergeomPMF(k, 8, 5, 20)
+		if err != nil {
+			t.Fatalf("HypergeomPMF(%d): %v", k, err)
+		}
+		sum += p
+	}
+	approx(t, "Σ pmf", sum, 1, 1e-12)
+}
+
+func TestRegIncBetaEdges(t *testing.T) {
+	for _, c := range []struct{ a, b, x, want float64 }{
+		{2, 3, 0, 0},
+		{2, 3, 1, 1},
+		{1, 1, 0.3, 0.3}, // Beta(1,1) is uniform
+		{2, 2, 0.5, 0.5}, // symmetric
+	} {
+		got, err := RegIncBeta(c.a, c.b, c.x)
+		if err != nil {
+			t.Fatalf("RegIncBeta(%v,%v,%v): %v", c.a, c.b, c.x, err)
+		}
+		approx(t, "RegIncBeta", got, c.want, 1e-10)
+	}
+	if _, err := RegIncBeta(-1, 1, 0.5); !errors.Is(err, ErrDomain) {
+		t.Errorf("negative a: err = %v, want ErrDomain", err)
+	}
+	if _, err := RegIncBeta(1, 1, 2); !errors.Is(err, ErrDomain) {
+		t.Errorf("x>1: err = %v, want ErrDomain", err)
+	}
+}
+
+func TestDescriptive(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	approx(t, "mean", Mean(xs), 5, 1e-12)
+	approx(t, "pop variance", PopVariance(xs), 4, 1e-12)
+	approx(t, "sample variance", Variance(xs), 32.0/7, 1e-12)
+	approx(t, "median", Median(xs), 4.5, 1e-12)
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+	if !math.IsNaN(Variance([]float64{1})) {
+		t.Error("Variance of singleton should be NaN")
+	}
+}
+
+func TestQuantileMatchesRType7(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	// R: quantile(1:10, 0.25) = 3.25
+	approx(t, "q25", Quantile(xs, 0.25), 3.25, 1e-12)
+	approx(t, "q75", Quantile(xs, 0.75), 7.75, 1e-12)
+	approx(t, "q0", Quantile(xs, 0), 1, 1e-12)
+	approx(t, "q1", Quantile(xs, 1), 10, 1e-12)
+}
+
+func TestSummarize(t *testing.T) {
+	fn, err := Summarize([]float64{3, 1, 2})
+	if err != nil {
+		t.Fatalf("Summarize: %v", err)
+	}
+	if fn.Min != 1 || fn.Max != 3 || fn.Median != 2 || fn.N != 3 {
+		t.Errorf("Summarize = %+v", fn)
+	}
+	if _, err := Summarize(nil); err == nil {
+		t.Error("Summarize(nil): want error")
+	}
+}
+
+func TestRanksWithTies(t *testing.T) {
+	ranks := Ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if ranks[i] != want[i] {
+			t.Errorf("rank[%d] = %v, want %v", i, ranks[i], want[i])
+		}
+	}
+}
+
+func TestTieCorrection(t *testing.T) {
+	// One tie group of 3: 3³-3 = 24.
+	approx(t, "ties", TieCorrection([]float64{1, 2, 2, 2, 5}), 24, 1e-12)
+	approx(t, "no ties", TieCorrection([]float64{1, 2, 3}), 0, 1e-12)
+}
+
+// Property: ranks are a permutation-invariant bijection onto average ranks;
+// they always sum to n(n+1)/2.
+func TestQuickRanksSum(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(rng.Intn(10)) // force ties
+		}
+		sum := 0.0
+		for _, r := range Ranks(xs) {
+			sum += r
+		}
+		return math.Abs(sum-float64(n*(n+1))/2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CDFs are monotone non-decreasing in x.
+func TestQuickCDFMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		df := 1 + rng.Float64()*30
+		prev := -1.0
+		for x := -5.0; x <= 5; x += 0.5 {
+			v, err := TCDF(x, df)
+			if err != nil || v < prev-1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: quantile of the CDF is the identity on (0,1).
+func TestQuickNormalQuantileRoundTrip(t *testing.T) {
+	f := func(raw float64) bool {
+		p := math.Mod(math.Abs(raw), 1)
+		if p <= 1e-6 || p >= 1-1e-6 || math.IsNaN(p) {
+			return true
+		}
+		x, err := StdNormalQuantile(p)
+		if err != nil {
+			return false
+		}
+		return math.Abs(StdNormalCDF(x)-p) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

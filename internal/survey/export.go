@@ -1,0 +1,75 @@
+package survey
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// jsonResponse is the serialized form of one observation in the
+// replication package. Field names follow the CSV header.
+type jsonResponse struct {
+	User       int     `json:"user"`
+	Snippet    string  `json:"snippet"`
+	Question   string  `json:"question"`
+	UsesDirty  bool    `json:"uses_dirty"`
+	Answered   bool    `json:"answered"`
+	Gradable   bool    `json:"gradable"`
+	Correct    bool    `json:"correct"`
+	TimeSec    float64 `json:"time_sec"`
+	NameLikert int     `json:"name_likert"`
+	TypeLikert int     `json:"type_likert"`
+	Rationale  string  `json:"rationale,omitempty"`
+}
+
+// jsonDataset is the top-level replication-package document.
+type jsonDataset struct {
+	Retained  int                     `json:"retained_participants"`
+	Excluded  []int                   `json:"excluded_participants"`
+	Treatment map[int]map[string]bool `json:"treatment_assignments"`
+	Responses []jsonResponse          `json:"responses"`
+}
+
+// JSON renders the dataset as the replication-package JSON document.
+func (d *Dataset) JSON() ([]byte, error) {
+	doc := jsonDataset{
+		Retained:  len(d.Participants),
+		Excluded:  append([]int(nil), d.ExcludedIDs...),
+		Treatment: d.Assignments,
+	}
+	for _, r := range d.Responses {
+		doc.Responses = append(doc.Responses, jsonResponse{
+			User: r.UserID, Snippet: r.SnippetID, Question: r.QuestionID,
+			UsesDirty: r.UsesDirty, Answered: r.Answered, Gradable: r.Gradable,
+			Correct: r.Correct, TimeSec: r.TimeSec,
+			NameLikert: r.NameLikert, TypeLikert: r.TypeLikert,
+			Rationale: r.RationaleCode,
+		})
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("survey: marshaling dataset: %w", err)
+	}
+	return out, nil
+}
+
+// WriteReplicationPackage writes the anonymized study data to dir in both
+// CSV and JSON forms — the §VIII "Data Availability" artifact. The
+// directory is created if needed.
+func (d *Dataset) WriteReplicationPackage(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("survey: creating %s: %w", dir, err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "responses.csv"), []byte(d.CSV()), 0o644); err != nil {
+		return fmt.Errorf("survey: writing CSV: %w", err)
+	}
+	js, err := d.JSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "responses.json"), js, 0o644); err != nil {
+		return fmt.Errorf("survey: writing JSON: %w", err)
+	}
+	return nil
+}

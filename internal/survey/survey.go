@@ -1,0 +1,250 @@
+// Package survey administers the study: it implements the LimeSurvey-style
+// protocol of §III — between-subjects treatment randomized per snippet,
+// every participant sees all four snippets, two questions per snippet, a
+// per-snippet perception survey, and the §III-E quality filter that
+// excludes participants who answer faster than the minimum reading time.
+// The output is a flat, anonymized response dataset ready for the RQ1–RQ5
+// analyses.
+package survey
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"decompstudy/internal/corpus"
+	"decompstudy/internal/participants"
+)
+
+// ErrConfig is returned for invalid study configurations.
+var ErrConfig = errors.New("survey: invalid configuration")
+
+// Response is one participant × question observation.
+type Response struct {
+	UserID     int
+	SnippetID  string
+	QuestionID string
+	UsesDirty  bool
+	// Answered is false when the participant skipped the (optional)
+	// question.
+	Answered bool
+	// Gradable is false for answers too vague to grade objectively.
+	Gradable bool
+	Correct  bool
+	TimeSec  float64
+	// NameLikert and TypeLikert are the snippet-level perception ratings
+	// (1 = "Provided immediate" … 5 = "Prevented").
+	NameLikert, TypeLikert int
+	// Trust echoes the participant's latent trust, used by the RQ1
+	// trust-vs-correctness analysis the paper runs on Likert ratings.
+	Trust float64
+	// ExpCoding and ExpRE echo participant covariates for the regressions.
+	ExpCoding, ExpRE float64
+	// RationaleCode is the open code assigned to the participant's
+	// justification (misleading treatment questions only).
+	RationaleCode string
+}
+
+// Dataset is the collected study data after quality filtering.
+type Dataset struct {
+	Responses []Response
+	// Participants holds the retained pool (after exclusions).
+	Participants []*participants.Participant
+	// ExcludedIDs lists participants removed by the quality check.
+	ExcludedIDs []int
+	// Assignments records the treatment map userID → snippetID → usesDirty.
+	Assignments map[int]map[string]bool
+}
+
+// Config controls a study run.
+type Config struct {
+	// Seed drives every random choice; a fixed seed reproduces the study
+	// byte-for-byte.
+	Seed int64
+	// Pool overrides the recruited pool size (nil = the paper's 42).
+	Pool *participants.PoolConfig
+	// MinReadSec is the §III-E quality threshold: minimum seconds per
+	// snippet for a response to count. Zero means 12s (roughly the time an
+	// author needs to read a question).
+	MinReadSec float64
+	// Snippets overrides the study materials (nil = the four paper
+	// snippets). Used by the ablation experiments to administer modified
+	// variants.
+	Snippets []*corpus.Snippet
+	// DisableQualityFilter keeps rushers in the dataset — the
+	// no-exclusion ablation.
+	DisableQualityFilter bool
+}
+
+func (c *Config) defaults() Config {
+	out := Config{Seed: 1, MinReadSec: 12}
+	if c == nil {
+		return out
+	}
+	out.Seed = c.Seed
+	out.Pool = c.Pool
+	if c.MinReadSec > 0 {
+		out.MinReadSec = c.MinReadSec
+	}
+	out.Snippets = c.Snippets
+	out.DisableQualityFilter = c.DisableQualityFilter
+	return out
+}
+
+// Run administers the full study.
+func Run(cfg *Config) (*Dataset, error) {
+	c := cfg.defaults()
+	rng := rand.New(rand.NewSource(c.Seed))
+	pool := participants.SamplePool(rng, c.Pool)
+	snippets := c.Snippets
+	if snippets == nil {
+		snippets = corpus.Snippets()
+	}
+	if len(snippets) == 0 {
+		return nil, fmt.Errorf("survey: no snippets: %w", ErrConfig)
+	}
+
+	ds := &Dataset{Assignments: map[int]map[string]bool{}}
+	type userData struct {
+		p         *participants.Participant
+		responses []Response
+		minTime   float64
+	}
+	var users []userData
+
+	for _, p := range pool {
+		ud := userData{p: p, minTime: 1e18}
+		ds.Assignments[p.ID] = map[string]bool{}
+		for _, s := range snippets {
+			usesDirty := rng.Intn(2) == 1
+			ds.Assignments[p.ID][s.ID] = usesDirty
+			op := p.RateSnippet(rng, s, usesDirty)
+			snippetTime := 0.0
+			for _, q := range s.Questions {
+				o := p.AnswerQuestion(rng, q, usesDirty)
+				r := Response{
+					UserID:        p.ID,
+					SnippetID:     s.ID,
+					QuestionID:    q.ID,
+					UsesDirty:     usesDirty,
+					Answered:      o.Answered,
+					Gradable:      o.Answered && o.Gradable,
+					Correct:       o.Correct,
+					TimeSec:       o.TimeSec,
+					NameLikert:    op.NameLikert,
+					TypeLikert:    op.TypeLikert,
+					Trust:         p.Trust,
+					ExpCoding:     p.ExpCoding,
+					ExpRE:         p.ExpRE,
+					RationaleCode: o.RationaleCode,
+				}
+				ud.responses = append(ud.responses, r)
+				if o.Answered {
+					snippetTime += o.TimeSec
+				}
+			}
+			if snippetTime > 0 && snippetTime < ud.minTime {
+				ud.minTime = snippetTime
+			}
+		}
+		users = append(users, ud)
+	}
+
+	// Quality filter (§III-E): exclude participants whose fastest snippet
+	// is quicker than the minimum reading time.
+	for _, ud := range users {
+		if !c.DisableQualityFilter && ud.minTime < c.MinReadSec {
+			ds.ExcludedIDs = append(ds.ExcludedIDs, ud.p.ID)
+			continue
+		}
+		ds.Participants = append(ds.Participants, ud.p)
+		ds.Responses = append(ds.Responses, ud.responses...)
+	}
+	if len(ds.Participants) == 0 {
+		return nil, fmt.Errorf("survey: every participant excluded (MinReadSec=%v): %w", c.MinReadSec, ErrConfig)
+	}
+	return ds, nil
+}
+
+// CorrectnessRows returns the gradable observations for the RQ1 GLMER.
+func (d *Dataset) CorrectnessRows() []Response {
+	var out []Response
+	for _, r := range d.Responses {
+		if r.Answered && r.Gradable {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// TimingRows returns the answered observations for the RQ2 LMER.
+func (d *Dataset) TimingRows() []Response {
+	var out []Response
+	for _, r := range d.Responses {
+		if r.Answered {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ByQuestion groups gradable responses by question ID.
+func (d *Dataset) ByQuestion() map[string][]Response {
+	out := map[string][]Response{}
+	for _, r := range d.CorrectnessRows() {
+		out[r.QuestionID] = append(out[r.QuestionID], r)
+	}
+	return out
+}
+
+// UserIndex builds the dense user index for the mixed models.
+func (d *Dataset) UserIndex(rows []Response) (idx []int, n int) {
+	seen := map[int]int{}
+	for _, r := range rows {
+		if _, ok := seen[r.UserID]; !ok {
+			seen[r.UserID] = len(seen)
+		}
+		idx = append(idx, seen[r.UserID])
+	}
+	return idx, len(seen)
+}
+
+// QuestionIndex builds the dense question index for the mixed models.
+func (d *Dataset) QuestionIndex(rows []Response) (idx []int, n int) {
+	seen := map[string]int{}
+	for _, r := range rows {
+		if _, ok := seen[r.QuestionID]; !ok {
+			seen[r.QuestionID] = len(seen)
+		}
+		idx = append(idx, seen[r.QuestionID])
+	}
+	return idx, len(seen)
+}
+
+// CSV renders the dataset as an anonymized CSV export (the replication-
+// package format).
+func (d *Dataset) CSV() string {
+	var b strings.Builder
+	b.WriteString("user,snippet,question,uses_dirty,answered,gradable,correct,time_sec,name_likert,type_likert,rationale\n")
+	for _, r := range d.Responses {
+		fmt.Fprintf(&b, "%d,%s,%s,%t,%t,%t,%t,%.1f,%d,%d,%s\n",
+			r.UserID, r.SnippetID, r.QuestionID, r.UsesDirty, r.Answered,
+			r.Gradable, r.Correct, r.TimeSec, r.NameLikert, r.TypeLikert, r.RationaleCode)
+	}
+	return b.String()
+}
+
+// RenderQuestion formats a survey page the way Figure 2 shows: the snippet
+// in a numbered listing with the question below.
+func RenderQuestion(snippetSource string, q corpus.Question) string {
+	var b strings.Builder
+	lines := strings.Split(strings.TrimRight(snippetSource, "\n"), "\n")
+	for i, line := range lines {
+		fmt.Fprintf(&b, "%3d | %s\n", i+1, line)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "[%s] %s\n", q.ID, q.Text)
+	b.WriteString("\nPlease write your answer here: ____________________\n")
+	return b.String()
+}

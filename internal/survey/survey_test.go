@@ -1,0 +1,203 @@
+package survey
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"decompstudy/internal/corpus"
+)
+
+func runStudy(t *testing.T, seed int64) *Dataset {
+	t.Helper()
+	ds, err := Run(&Config{Seed: seed})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return ds
+}
+
+func TestRunExcludesRushers(t *testing.T) {
+	ds := runStudy(t, 7)
+	if len(ds.ExcludedIDs) != 2 {
+		t.Errorf("excluded = %v, want exactly the 2 rushers", ds.ExcludedIDs)
+	}
+	if len(ds.Participants) != 40 {
+		t.Errorf("retained participants = %d, want 40", len(ds.Participants))
+	}
+}
+
+func TestRunObservationCounts(t *testing.T) {
+	ds := runStudy(t, 7)
+	// 40 retained × 8 questions, minus optional skips: the paper reports
+	// 296 timing and 273 correctness observations from 38 analyzed users;
+	// we only require the same order of magnitude and ordering.
+	timing := len(ds.TimingRows())
+	correctness := len(ds.CorrectnessRows())
+	if timing < 280 || timing > 320 {
+		t.Errorf("timing rows = %d, want ≈296", timing)
+	}
+	if correctness >= timing {
+		t.Errorf("correctness rows (%d) should be fewer than timing rows (%d)", correctness, timing)
+	}
+	if correctness < 240 {
+		t.Errorf("correctness rows = %d, want ≈273", correctness)
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	a := runStudy(t, 42)
+	b := runStudy(t, 42)
+	if a.CSV() != b.CSV() {
+		t.Error("same seed should reproduce the dataset byte-for-byte")
+	}
+	c := runStudy(t, 43)
+	if a.CSV() == c.CSV() {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestTreatmentRandomizedPerSnippet(t *testing.T) {
+	ds := runStudy(t, 7)
+	// At least one participant must have a mixed assignment (the paper's
+	// per-snippet randomization, §III-D).
+	mixed := false
+	for _, m := range ds.Assignments {
+		var sawTrue, sawFalse bool
+		for _, v := range m {
+			if v {
+				sawTrue = true
+			} else {
+				sawFalse = true
+			}
+		}
+		if sawTrue && sawFalse {
+			mixed = true
+			break
+		}
+	}
+	if !mixed {
+		t.Error("no participant has a mixed treatment assignment")
+	}
+	// Both arms must be populated for every question.
+	byQ := ds.ByQuestion()
+	if len(byQ) != 8 {
+		t.Fatalf("questions with data = %d, want 8", len(byQ))
+	}
+	for q, rows := range byQ {
+		var dirty, hex int
+		for _, r := range rows {
+			if r.UsesDirty {
+				dirty++
+			} else {
+				hex++
+			}
+		}
+		if dirty == 0 || hex == 0 {
+			t.Errorf("question %s has an empty arm (dirty=%d, hex=%d)", q, dirty, hex)
+		}
+	}
+}
+
+func TestIndexBuilders(t *testing.T) {
+	ds := runStudy(t, 7)
+	rows := ds.CorrectnessRows()
+	uidx, nu := ds.UserIndex(rows)
+	qidx, nq := ds.QuestionIndex(rows)
+	if len(uidx) != len(rows) || len(qidx) != len(rows) {
+		t.Fatal("index length mismatch")
+	}
+	if nq != 8 {
+		t.Errorf("question levels = %d, want 8", nq)
+	}
+	if nu < 35 || nu > 40 {
+		t.Errorf("user levels = %d, want ≈38", nu)
+	}
+	for i, v := range uidx {
+		if v < 0 || v >= nu {
+			t.Fatalf("user index[%d] = %d outside [0,%d)", i, v, nu)
+		}
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	ds := runStudy(t, 7)
+	csv := ds.CSV()
+	if !strings.HasPrefix(csv, "user,snippet,question,") {
+		t.Error("missing CSV header")
+	}
+	if strings.Count(csv, "\n") != len(ds.Responses)+1 {
+		t.Errorf("CSV rows = %d, want %d", strings.Count(csv, "\n"), len(ds.Responses)+1)
+	}
+	// Anonymity: no demographics in the export.
+	for _, field := range []string{"Male", "Bachelor", "Student"} {
+		if strings.Contains(csv, field) {
+			t.Errorf("CSV leaks demographic field %q", field)
+		}
+	}
+}
+
+func TestRenderQuestion(t *testing.T) {
+	s, _ := corpus.SnippetByID("AEEK")
+	out := RenderQuestion("int f(void) {\n  return 0;\n}", s.Questions[0])
+	if !strings.Contains(out, "  1 | int f(void) {") {
+		t.Errorf("missing numbered listing:\n%s", out)
+	}
+	if !strings.Contains(out, "[AEEK-Q1]") {
+		t.Errorf("missing question id:\n%s", out)
+	}
+	if !strings.Contains(out, "Please write your answer here") {
+		t.Errorf("missing answer prompt (Fig 2 idiom):\n%s", out)
+	}
+}
+
+func TestQualityFilterThreshold(t *testing.T) {
+	// An absurdly high threshold excludes everyone → error.
+	if _, err := Run(&Config{Seed: 1, MinReadSec: 1e9}); err == nil {
+		t.Error("want error when every participant is excluded")
+	}
+}
+
+func TestMisleadingRationalesPresent(t *testing.T) {
+	ds := runStudy(t, 7)
+	codes := map[string]int{}
+	for _, r := range ds.Responses {
+		if r.RationaleCode != "" {
+			codes[r.RationaleCode]++
+		}
+	}
+	if len(codes) < 2 {
+		t.Errorf("rationale codes = %v, want both themes from §IV-A", codes)
+	}
+}
+
+func TestJSONExport(t *testing.T) {
+	ds := runStudy(t, 7)
+	js, err := ds.JSON()
+	if err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	for _, want := range []string{`"retained_participants": 40`, `"uses_dirty"`, `"time_sec"`} {
+		if !strings.Contains(string(js), want) {
+			t.Errorf("JSON missing %q", want)
+		}
+	}
+}
+
+func TestWriteReplicationPackage(t *testing.T) {
+	ds := runStudy(t, 7)
+	dir := t.TempDir()
+	if err := ds.WriteReplicationPackage(dir); err != nil {
+		t.Fatalf("WriteReplicationPackage: %v", err)
+	}
+	for _, name := range []string{"responses.csv", "responses.json"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("reading %s: %v", name, err)
+		}
+		if len(data) == 0 {
+			t.Errorf("%s is empty", name)
+		}
+	}
+}

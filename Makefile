@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: all build test race vet fmt-check check bench-smoke clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+check:
+	./scripts/check.sh
+
+# One iteration of every benchmark — catches bit-rot in the bench suite
+# without the cost of a real measurement run.
+bench-smoke:
+	$(GO) test -run NONE -bench . -benchtime 1x ./...
+
+clean:
+	$(GO) clean ./...

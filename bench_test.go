@@ -10,8 +10,10 @@
 package decompstudy
 
 import (
+	"context"
 	"sync"
 	"testing"
+	"time"
 
 	"decompstudy/internal/compile"
 	"decompstudy/internal/core"
@@ -21,6 +23,7 @@ import (
 	"decompstudy/internal/embed"
 	"decompstudy/internal/experiments"
 	"decompstudy/internal/metrics"
+	"decompstudy/internal/obs"
 	"decompstudy/internal/survey"
 )
 
@@ -110,6 +113,46 @@ func BenchmarkFullStudy(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkStudyStages measures one instrumented end-to-end run (pipeline
+// plus both mixed-model fits) and breaks the wall-clock into per-stage
+// custom metrics from the obs span collector: ns/prepare, ns/train,
+// ns/survey, ns/metrics, ns/panel, ns/fit.
+func BenchmarkStudyStages(b *testing.B) {
+	b.ReportAllocs()
+	stageTotals := map[string]time.Duration{}
+	for i := 0; i < b.N; i++ {
+		o := obs.New()
+		ctx := obs.With(context.Background(), o)
+		s, err := core.NewCtx(ctx, &core.Config{Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.AnalyzeCorrectnessCtx(ctx); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.AnalyzeTimingCtx(ctx); err != nil {
+			b.Fatal(err)
+		}
+		for name, d := range o.Trace.StageTotals() {
+			stageTotals[name] += d
+		}
+	}
+	n := float64(b.N)
+	report := func(metric string, stages ...string) {
+		var total time.Duration
+		for _, st := range stages {
+			total += stageTotals[st]
+		}
+		b.ReportMetric(float64(total.Nanoseconds())/n, metric)
+	}
+	report("ns/prepare", "corpus.PrepareAll")
+	report("ns/train", "embed.Train", "namerec.TrainModel")
+	report("ns/survey", "survey.Run")
+	report("ns/metrics", "metrics.Evaluate")
+	report("ns/panel", "qualcode.RatePanel")
+	report("ns/fit", "mixed.FitGLMMLogit", "mixed.FitLMM")
 }
 
 // BenchmarkSurveyAdministration measures survey data collection alone

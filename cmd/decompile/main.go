@@ -10,11 +10,19 @@
 // of a file. -ir prints the intermediate representation instead of
 // pseudo-C; -annotate applies the corpus-trained recovery model (or the
 // paper-faithful overrides for snippets).
+//
+// Observability flags: -stats prints the per-stage timing tree and a
+// metrics snapshot to stderr, -trace writes a Chrome trace-event JSON
+// file, -v / -log-level enable structured logging, and -cpuprofile /
+// -memprofile write pprof profiles.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 	"strings"
 
@@ -23,44 +31,68 @@ import (
 	"decompstudy/internal/csrc"
 	"decompstudy/internal/decomp"
 	"decompstudy/internal/namerec"
+	"decompstudy/internal/obs"
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
-	annotate := flag.Bool("annotate", false, "apply name/type recovery to the decompiled output")
-	showIR := flag.Bool("ir", false, "print the intermediate representation instead of pseudo-C")
-	funcName := flag.String("func", "", "only process the named function")
-	typeList := flag.String("types", "", "comma-separated extra type names for the parser")
-	snippet := flag.String("snippet", "", "operate on an embedded study snippet (AEEK, BAPL, POSTORDER, TC)")
-	flag.Parse()
-
-	if *snippet != "" {
-		return runSnippet(*snippet, *annotate, *showIR)
-	}
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: decompile [flags] FILE  (or -snippet ID)")
+func run(args []string, stdout, stderr io.Writer) (code int) {
+	fs := flag.NewFlagSet("decompile", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	annotate := fs.Bool("annotate", false, "apply name/type recovery to the decompiled output")
+	showIR := fs.Bool("ir", false, "print the intermediate representation instead of pseudo-C")
+	funcName := fs.String("func", "", "only process the named function")
+	typeList := fs.String("types", "", "comma-separated extra type names for the parser")
+	snippet := fs.String("snippet", "", "operate on an embedded study snippet (AEEK, BAPL, POSTORDER, TC)")
+	tracePath := fs.String("trace", "", "write a Chrome trace-event JSON file of the pipeline spans")
+	stats := fs.Bool("stats", false, "print the per-stage timing tree and metrics snapshot to stderr")
+	verbose := fs.Bool("v", false, "enable debug logging (shorthand for -log-level debug)")
+	logLevel := fs.String("log-level", "", "structured log level: debug, info, warn, error")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a pprof heap profile to this file")
+	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	src, err := os.ReadFile(flag.Arg(0))
+
+	ctx, finish, ecode := setupObs(obsOptions{
+		trace: *tracePath, stats: *stats, verbose: *verbose,
+		logLevel: *logLevel, cpuprofile: *cpuprofile, memprofile: *memprofile,
+	}, "decompile", stderr)
+	if ecode != 0 {
+		return ecode
+	}
+	defer func() {
+		if err := finish(); err != nil && code == 0 {
+			code = 1
+		}
+	}()
+
+	if *snippet != "" {
+		return runSnippet(ctx, *snippet, *annotate, *showIR, stdout, stderr)
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: decompile [flags] FILE  (or -snippet ID)")
+		return 2
+	}
+	src, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "decompile: %v\n", err)
+		fmt.Fprintf(stderr, "decompile: %v\n", err)
 		return 1
 	}
 	var extra []string
 	if *typeList != "" {
 		extra = strings.Split(*typeList, ",")
 	}
-	file, err := csrc.Parse(string(src), extra)
+	file, err := csrc.ParseCtx(ctx, string(src), extra)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "decompile: %v\n", err)
+		fmt.Fprintf(stderr, "decompile: %v\n", err)
 		return 1
 	}
-	obj, err := compile.Compile(file)
+	obj, err := compile.CompileCtx(ctx, file)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "decompile: %v\n", err)
+		fmt.Fprintf(stderr, "decompile: %v\n", err)
 		return 1
 	}
 
@@ -68,12 +100,12 @@ func run() int {
 	if *annotate {
 		training, err := corpus.TrainingFiles()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "decompile: %v\n", err)
+			fmt.Fprintf(stderr, "decompile: %v\n", err)
 			return 1
 		}
-		model, err := namerec.TrainModel(training)
+		model, err := namerec.TrainModelCtx(ctx, training)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "decompile: %v\n", err)
+			fmt.Fprintf(stderr, "decompile: %v\n", err)
 			return 1
 		}
 		annotator = &namerec.Annotator{Model: model}
@@ -84,62 +116,143 @@ func run() int {
 			continue
 		}
 		if *showIR {
-			fmt.Println(fn.String())
+			fmt.Fprintln(stdout, fn.String())
 			continue
 		}
-		d, err := decomp.LiftFunc(fn)
+		d, err := decomp.LiftFuncCtx(ctx, fn)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "decompile: %s: %v\n", fn.Name, err)
+			fmt.Fprintf(stderr, "decompile: %s: %v\n", fn.Name, err)
 			return 1
 		}
 		if annotator != nil {
-			a, err := annotator.Annotate(d)
+			a, err := annotator.AnnotateCtx(ctx, d)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "decompile: %s: %v\n", fn.Name, err)
+				fmt.Fprintf(stderr, "decompile: %s: %v\n", fn.Name, err)
 				return 1
 			}
-			fmt.Println(a.Source())
+			fmt.Fprintln(stdout, a.Source())
 			continue
 		}
-		fmt.Println(d.Source())
+		fmt.Fprintln(stdout, d.Source())
 	}
 	return 0
 }
 
-func runSnippet(id string, annotate, showIR bool) int {
+func runSnippet(ctx context.Context, id string, annotate, showIR bool, stdout, stderr io.Writer) int {
 	s, ok := corpus.SnippetByID(strings.ToUpper(id))
 	if !ok {
-		fmt.Fprintf(os.Stderr, "decompile: unknown snippet %q (want AEEK, BAPL, POSTORDER, TC)\n", id)
+		fmt.Fprintf(stderr, "decompile: unknown snippet %q (want AEEK, BAPL, POSTORDER, TC)\n", id)
 		return 2
 	}
 	if showIR {
 		file, err := s.Parse()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "decompile: %v\n", err)
+			fmt.Fprintf(stderr, "decompile: %v\n", err)
 			return 1
 		}
-		obj, err := compile.Compile(file)
+		obj, err := compile.CompileCtx(ctx, file)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "decompile: %v\n", err)
+			fmt.Fprintf(stderr, "decompile: %v\n", err)
 			return 1
 		}
 		cf, ok := obj.Func0(s.FuncName)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "decompile: %s missing %s\n", s.ID, s.FuncName)
+			fmt.Fprintf(stderr, "decompile: %s missing %s\n", s.ID, s.FuncName)
 			return 1
 		}
-		fmt.Println(cf.String())
+		fmt.Fprintln(stdout, cf.String())
 		return 0
 	}
-	p, err := corpus.Prepare(s)
+	p, err := corpus.PrepareCtx(ctx, s)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "decompile: %v\n", err)
+		fmt.Fprintf(stderr, "decompile: %v\n", err)
 		return 1
 	}
 	if annotate {
-		fmt.Println(p.Dirty.Source())
+		fmt.Fprintln(stdout, p.Dirty.Source())
 	} else {
-		fmt.Println(p.HexRays.Source())
+		fmt.Fprintln(stdout, p.HexRays.Source())
 	}
 	return 0
+}
+
+// obsOptions collects the shared observability flag values.
+type obsOptions struct {
+	trace, logLevel        string
+	stats, verbose         bool
+	cpuprofile, memprofile string
+}
+
+// setupObs builds the telemetry handle for a CLI run and returns the
+// context to thread through the pipeline plus a finish func that flushes
+// the trace file, stats report, and profiles. A non-zero code means a flag
+// was invalid and the caller should exit with it.
+func setupObs(opt obsOptions, prog string, stderr io.Writer) (context.Context, func() error, int) {
+	o := &obs.Obs{}
+	if opt.trace != "" || opt.stats {
+		o.Trace = obs.NewCollector()
+		o.Metrics = obs.NewRegistry()
+	}
+	if opt.verbose || opt.logLevel != "" {
+		level := slog.LevelDebug
+		if opt.logLevel != "" {
+			var err error
+			level, err = obs.ParseLevel(opt.logLevel)
+			if err != nil {
+				fmt.Fprintf(stderr, "%s: %v\n", prog, err)
+				return nil, nil, 2
+			}
+		}
+		o.Log = obs.NewLogger(stderr, level)
+	}
+	ctx := obs.With(context.Background(), o)
+
+	var stopCPU func() error
+	if opt.cpuprofile != "" {
+		stop, err := obs.StartCPUProfile(opt.cpuprofile)
+		if err != nil {
+			fmt.Fprintf(stderr, "%s: %v\n", prog, err)
+			return nil, nil, 1
+		}
+		stopCPU = stop
+	}
+	finish := func() error {
+		var firstErr error
+		fail := func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+		if stopCPU != nil {
+			if err := stopCPU(); err != nil {
+				fmt.Fprintf(stderr, "%s: cpu profile: %v\n", prog, err)
+				fail(err)
+			}
+		}
+		if opt.memprofile != "" {
+			if err := obs.WriteHeapProfile(opt.memprofile); err != nil {
+				fmt.Fprintf(stderr, "%s: heap profile: %v\n", prog, err)
+				fail(err)
+			}
+		}
+		if o.Trace != nil && opt.trace != "" {
+			f, err := os.Create(opt.trace)
+			if err == nil {
+				err = o.Trace.WriteChromeTrace(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(stderr, "%s: trace: %v\n", prog, err)
+				fail(err)
+			}
+		}
+		if opt.stats && o.Trace != nil {
+			fmt.Fprintf(stderr, "\nPer-stage timing tree:\n\n%s", o.Trace.TimingTree())
+			fmt.Fprintf(stderr, "\nMetrics snapshot:\n\n%s", o.Metrics.Snapshot().String())
+		}
+		return firstErr
+	}
+	return ctx, finish, 0
 }

@@ -3,13 +3,22 @@
 //
 // Usage:
 //
-//	nametool pair CANDIDATE REFERENCE     # metrics for one name pair
-//	nametool snippet ID                   # full metric report for a snippet
-//	nametool nearest NAME [K]             # nearest embedding neighbors
+//	nametool [flags] pair CANDIDATE REFERENCE     # metrics for one name pair
+//	nametool [flags] snippet ID                   # full metric report for a snippet
+//	nametool [flags] nearest NAME [K]             # nearest embedding neighbors
+//
+// Observability flags: -stats prints the per-stage timing tree and a
+// metrics snapshot to stderr, -trace writes a Chrome trace-event JSON
+// file, -v / -log-level enable structured logging, and -cpuprofile /
+// -memprofile write pprof profiles.
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 	"strconv"
 	"strings"
@@ -17,119 +26,223 @@ import (
 	"decompstudy/internal/corpus"
 	"decompstudy/internal/embed"
 	"decompstudy/internal/metrics"
+	"decompstudy/internal/obs"
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
-	if len(os.Args) < 2 {
-		usage()
+func run(args []string, stdout, stderr io.Writer) (code int) {
+	fs := flag.NewFlagSet("nametool", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	tracePath := fs.String("trace", "", "write a Chrome trace-event JSON file of the pipeline spans")
+	stats := fs.Bool("stats", false, "print the per-stage timing tree and metrics snapshot to stderr")
+	verbose := fs.Bool("v", false, "enable debug logging (shorthand for -log-level debug)")
+	logLevel := fs.String("log-level", "", "structured log level: debug, info, warn, error")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a pprof heap profile to this file")
+	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	model, err := trainModel()
+	rest := fs.Args()
+	if len(rest) < 1 {
+		usage(stderr)
+		return 2
+	}
+
+	ctx, finish, ecode := setupObs(obsOptions{
+		trace: *tracePath, stats: *stats, verbose: *verbose,
+		logLevel: *logLevel, cpuprofile: *cpuprofile, memprofile: *memprofile,
+	}, "nametool", stderr)
+	if ecode != 0 {
+		return ecode
+	}
+	defer func() {
+		if err := finish(); err != nil && code == 0 {
+			code = 1
+		}
+	}()
+
+	model, err := trainModel(ctx)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "nametool: %v\n", err)
+		fmt.Fprintf(stderr, "nametool: %v\n", err)
 		return 1
 	}
-	switch os.Args[1] {
+	switch rest[0] {
 	case "pair":
-		if len(os.Args) != 4 {
-			usage()
+		if len(rest) != 3 {
+			usage(stderr)
 			return 2
 		}
-		return pair(os.Args[2], os.Args[3], model)
+		return pair(rest[1], rest[2], model, stdout)
 	case "snippet":
-		if len(os.Args) != 3 {
-			usage()
+		if len(rest) != 2 {
+			usage(stderr)
 			return 2
 		}
-		return snippet(os.Args[2], model)
+		return snippet(ctx, rest[1], model, stdout, stderr)
 	case "nearest":
-		if len(os.Args) < 3 {
-			usage()
+		if len(rest) < 2 {
+			usage(stderr)
 			return 2
 		}
 		k := 8
-		if len(os.Args) > 3 {
-			if n, err := strconv.Atoi(os.Args[3]); err == nil {
+		if len(rest) > 2 {
+			if n, err := strconv.Atoi(rest[2]); err == nil {
 				k = n
 			}
 		}
-		return nearest(os.Args[2], k, model)
+		return nearest(rest[1], k, model, stdout, stderr)
 	default:
-		usage()
+		usage(stderr)
 		return 2
 	}
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, `usage:
-  nametool pair CANDIDATE REFERENCE
-  nametool snippet AEEK|BAPL|POSTORDER|TC
-  nametool nearest NAME [K]`)
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage:
+  nametool [flags] pair CANDIDATE REFERENCE
+  nametool [flags] snippet AEEK|BAPL|POSTORDER|TC
+  nametool [flags] nearest NAME [K]`)
 }
 
-func trainModel() (*embed.Model, error) {
+func trainModel(ctx context.Context) (*embed.Model, error) {
 	ctxs, err := corpus.EmbeddingContexts()
 	if err != nil {
 		return nil, err
 	}
-	return embed.Train(ctxs, &embed.Config{Dim: 24})
+	return embed.TrainCtx(ctx, ctxs, &embed.Config{Dim: 24})
 }
 
-func pair(cand, ref string, model *embed.Model) int {
-	fmt.Printf("candidate: %q   reference: %q\n\n", cand, ref)
-	fmt.Printf("  exact match:            %.0f\n", metrics.ExactMatch(cand, ref))
-	fmt.Printf("  Levenshtein distance:   %d\n", metrics.Levenshtein(cand, ref))
-	fmt.Printf("  normalized Levenshtein: %.4f\n", metrics.NormalizedLevenshtein(cand, ref))
-	fmt.Printf("  Jaccard (char bigrams): %.4f\n", metrics.JaccardNGrams(cand, ref, 2))
-	fmt.Printf("  token Jaccard:          %.4f\n", metrics.TokenJaccard(cand, ref))
+func pair(cand, ref string, model *embed.Model, stdout io.Writer) int {
+	fmt.Fprintf(stdout, "candidate: %q   reference: %q\n\n", cand, ref)
+	fmt.Fprintf(stdout, "  exact match:            %.0f\n", metrics.ExactMatch(cand, ref))
+	fmt.Fprintf(stdout, "  Levenshtein distance:   %d\n", metrics.Levenshtein(cand, ref))
+	fmt.Fprintf(stdout, "  normalized Levenshtein: %.4f\n", metrics.NormalizedLevenshtein(cand, ref))
+	fmt.Fprintf(stdout, "  Jaccard (char bigrams): %.4f\n", metrics.JaccardNGrams(cand, ref, 2))
+	fmt.Fprintf(stdout, "  token Jaccard:          %.4f\n", metrics.TokenJaccard(cand, ref))
 	bleu := metrics.BLEU(metrics.TokenizeNames(cand), metrics.TokenizeNames(ref), 4)
-	fmt.Printf("  BLEU (subtokens):       %.4f\n", bleu)
+	fmt.Fprintf(stdout, "  BLEU (subtokens):       %.4f\n", bleu)
 	if v, err := metrics.VarCLR(cand, ref, model); err == nil {
-		fmt.Printf("  VarCLR (embedding):     %.4f\n", v)
+		fmt.Fprintf(stdout, "  VarCLR (embedding):     %.4f\n", v)
 	}
 	if b, err := metrics.BERTScoreF1(metrics.TokenizeNames(cand), metrics.TokenizeNames(ref), model); err == nil {
-		fmt.Printf("  BERTScore F1:           %.4f\n", b)
+		fmt.Fprintf(stdout, "  BERTScore F1:           %.4f\n", b)
 	}
 	return 0
 }
 
-func snippet(id string, model *embed.Model) int {
+func snippet(ctx context.Context, id string, model *embed.Model, stdout, stderr io.Writer) int {
 	s, ok := corpus.SnippetByID(strings.ToUpper(id))
 	if !ok {
-		fmt.Fprintf(os.Stderr, "nametool: unknown snippet %q\n", id)
+		fmt.Fprintf(stderr, "nametool: unknown snippet %q\n", id)
 		return 2
 	}
-	p, err := corpus.Prepare(s)
+	p, err := corpus.PrepareCtx(ctx, s)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "nametool: %v\n", err)
+		fmt.Fprintf(stderr, "nametool: %v\n", err)
 		return 1
 	}
 	var pairs []metrics.Pair
-	fmt.Printf("%s (%s) renamings:\n", s.ID, s.FuncName)
+	fmt.Fprintf(stdout, "%s (%s) renamings:\n", s.ID, s.FuncName)
 	for _, r := range p.Dirty.Renames {
-		fmt.Printf("  %-10s -> %-10s (orig type %-18s -> %s)\n", r.OrigName, r.NewName, r.OrigType, r.NewType)
+		fmt.Fprintf(stdout, "  %-10s -> %-10s (orig type %-18s -> %s)\n", r.OrigName, r.NewName, r.OrigType, r.NewType)
 		pairs = append(pairs, metrics.Pair{Candidate: r.NewName, Reference: r.OrigName})
 	}
-	rep, err := metrics.Evaluate(pairs, p.Dirty.Source(), p.OrigSource, model)
+	rep, err := metrics.EvaluateCtx(ctx, pairs, p.Dirty.Source(), p.OrigSource, model)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "nametool: %v\n", err)
+		fmt.Fprintf(stderr, "nametool: %v\n", err)
 		return 1
 	}
-	fmt.Printf("\n  exact match:   %.3f\n  Levenshtein:   %.2f (mean)\n  Jaccard:       %.3f\n  BLEU:          %.3f\n  codeBLEU:      %.3f\n  BERTScore F1:  %.3f\n  VarCLR:        %.3f\n",
+	fmt.Fprintf(stdout, "\n  exact match:   %.3f\n  Levenshtein:   %.2f (mean)\n  Jaccard:       %.3f\n  BLEU:          %.3f\n  codeBLEU:      %.3f\n  BERTScore F1:  %.3f\n  VarCLR:        %.3f\n",
 		rep.ExactMatch, rep.Levenshtein, rep.Jaccard, rep.BLEU, rep.CodeBLEU, rep.BERTScoreF1, rep.VarCLR)
 	return 0
 }
 
-func nearest(name string, k int, model *embed.Model) int {
+func nearest(name string, k int, model *embed.Model, stdout, stderr io.Writer) int {
 	near, err := model.Nearest(name, k)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "nametool: %v\n", err)
+		fmt.Fprintf(stderr, "nametool: %v\n", err)
 		return 1
 	}
-	fmt.Printf("nearest subtokens to %q: %s\n", name, strings.Join(near, ", "))
+	fmt.Fprintf(stdout, "nearest subtokens to %q: %s\n", name, strings.Join(near, ", "))
 	return 0
+}
+
+// obsOptions and setupObs mirror cmd/decompile's observability wiring.
+type obsOptions struct {
+	trace, logLevel        string
+	stats, verbose         bool
+	cpuprofile, memprofile string
+}
+
+func setupObs(opt obsOptions, prog string, stderr io.Writer) (context.Context, func() error, int) {
+	o := &obs.Obs{}
+	if opt.trace != "" || opt.stats {
+		o.Trace = obs.NewCollector()
+		o.Metrics = obs.NewRegistry()
+	}
+	if opt.verbose || opt.logLevel != "" {
+		level := slog.LevelDebug
+		if opt.logLevel != "" {
+			var err error
+			level, err = obs.ParseLevel(opt.logLevel)
+			if err != nil {
+				fmt.Fprintf(stderr, "%s: %v\n", prog, err)
+				return nil, nil, 2
+			}
+		}
+		o.Log = obs.NewLogger(stderr, level)
+	}
+	ctx := obs.With(context.Background(), o)
+
+	var stopCPU func() error
+	if opt.cpuprofile != "" {
+		stop, err := obs.StartCPUProfile(opt.cpuprofile)
+		if err != nil {
+			fmt.Fprintf(stderr, "%s: %v\n", prog, err)
+			return nil, nil, 1
+		}
+		stopCPU = stop
+	}
+	finish := func() error {
+		var firstErr error
+		fail := func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+		if stopCPU != nil {
+			if err := stopCPU(); err != nil {
+				fmt.Fprintf(stderr, "%s: cpu profile: %v\n", prog, err)
+				fail(err)
+			}
+		}
+		if opt.memprofile != "" {
+			if err := obs.WriteHeapProfile(opt.memprofile); err != nil {
+				fmt.Fprintf(stderr, "%s: heap profile: %v\n", prog, err)
+				fail(err)
+			}
+		}
+		if o.Trace != nil && opt.trace != "" {
+			f, err := os.Create(opt.trace)
+			if err == nil {
+				err = o.Trace.WriteChromeTrace(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(stderr, "%s: trace: %v\n", prog, err)
+				fail(err)
+			}
+		}
+		if opt.stats && o.Trace != nil {
+			fmt.Fprintf(stderr, "\nPer-stage timing tree:\n\n%s", o.Trace.TimingTree())
+			fmt.Fprintf(stderr, "\nMetrics snapshot:\n\n%s", o.Metrics.Snapshot().String())
+		}
+		return firstErr
+	}
+	return ctx, finish, 0
 }

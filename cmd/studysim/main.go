@@ -4,96 +4,218 @@
 // Usage:
 //
 //	studysim [-seed N] [-artifact NAME] [-csv]
+//	studysim -stats -trace trace.json [-v] [-cpuprofile cpu.out]
 //
 // With no flags it prints every table and figure in paper order using the
 // shipped seed. -artifact selects a single artifact (table1, table2,
-// table3, table4, fig1..fig8, intext, metrics); -csv dumps the anonymized
-// response dataset instead.
+// table3, table4, fig1..fig8, intext, metrics, ablations, confound,
+// telemetry); -csv dumps the anonymized response dataset instead.
+//
+// Observability flags: -stats prints the per-stage timing tree and a
+// metrics snapshot to stderr after the run, -trace writes a Chrome
+// trace-event JSON file (load it at chrome://tracing or ui.perfetto.dev),
+// -v / -log-level enable structured logging, and -cpuprofile/-memprofile
+// write pprof profiles.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 	"strings"
 
 	"decompstudy/internal/core"
 	"decompstudy/internal/experiments"
+	"decompstudy/internal/obs"
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
-	seed := flag.Int64("seed", 0, "simulation seed (0 = shipped default)")
-	artifact := flag.String("artifact", "", "single artifact to render (table1..table4, fig1..fig8, intext, metrics, ablations, confound)")
-	csv := flag.Bool("csv", false, "dump the anonymized response dataset as CSV")
-	export := flag.String("export", "", "write the replication package (CSV + JSON) to this directory")
-	flag.Parse()
+// artifactEntry is one -artifact choice. Keeping the registry ordered means
+// the unknown-artifact error can list every valid name.
+type artifactEntry struct {
+	name string
+	fn   func(r *experiments.Runner, seed int64) (string, error)
+}
 
-	r, err := experiments.NewRunner(&core.Config{Seed: *seed})
+var artifactRegistry = []artifactEntry{
+	{"table1", func(r *experiments.Runner, _ int64) (string, error) { return r.TableI() }},
+	{"table2", func(r *experiments.Runner, _ int64) (string, error) { return r.TableII() }},
+	{"table3", func(r *experiments.Runner, _ int64) (string, error) { return r.TableIII() }},
+	{"table4", func(r *experiments.Runner, _ int64) (string, error) { return r.TableIV() }},
+	{"fig1", func(r *experiments.Runner, _ int64) (string, error) { return r.Figure1() }},
+	{"fig2", func(r *experiments.Runner, _ int64) (string, error) { return r.Figure2() }},
+	{"fig3", func(r *experiments.Runner, _ int64) (string, error) { return r.Figure3() }},
+	{"fig4", func(r *experiments.Runner, _ int64) (string, error) { return r.Figure4() }},
+	{"fig5", func(r *experiments.Runner, _ int64) (string, error) { return r.Figure5() }},
+	{"fig6", func(r *experiments.Runner, _ int64) (string, error) { return r.Figure6() }},
+	{"fig7", func(r *experiments.Runner, _ int64) (string, error) { return r.Figure7() }},
+	{"fig8", func(r *experiments.Runner, _ int64) (string, error) { return r.Figure8() }},
+	{"intext", func(r *experiments.Runner, _ int64) (string, error) { return r.InTextStats() }},
+	{"metrics", func(r *experiments.Runner, _ int64) (string, error) { return r.MetricReportTable(), nil }},
+	{"ablations", func(_ *experiments.Runner, seed int64) (string, error) {
+		out, _, err := experiments.Ablations(seed)
+		return out, err
+	}},
+	{"confound", func(_ *experiments.Runner, _ int64) (string, error) {
+		return experiments.ConfoundComparison()
+	}},
+	{"telemetry", func(r *experiments.Runner, _ int64) (string, error) { return r.TelemetryReport() }},
+}
+
+func artifactNames() string {
+	names := make([]string, len(artifactRegistry))
+	for i, e := range artifactRegistry {
+		names[i] = e.name
+	}
+	return strings.Join(names, ", ")
+}
+
+func lookupArtifact(name string) (artifactEntry, bool) {
+	for _, e := range artifactRegistry {
+		if e.name == name {
+			return e, true
+		}
+	}
+	return artifactEntry{}, false
+}
+
+func run(args []string, stdout, stderr io.Writer) (code int) {
+	fs := flag.NewFlagSet("studysim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seed := fs.Int64("seed", 0, "simulation seed (0 = shipped default)")
+	artifact := fs.String("artifact", "", "single artifact to render ("+artifactNames()+")")
+	csv := fs.Bool("csv", false, "dump the anonymized response dataset as CSV")
+	export := fs.String("export", "", "write the replication package (CSV + JSON) to this directory")
+	tracePath := fs.String("trace", "", "write a Chrome trace-event JSON file of the pipeline spans")
+	stats := fs.Bool("stats", false, "print the per-stage timing tree and metrics snapshot to stderr")
+	verbose := fs.Bool("v", false, "enable debug logging (shorthand for -log-level debug)")
+	logLevel := fs.String("log-level", "", "structured log level: debug, info, warn, error")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a pprof heap profile to this file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	// Validate -artifact before the (expensive) pipeline runs so typos fail
+	// fast with the full menu.
+	name := strings.ToLower(*artifact)
+	var entry artifactEntry
+	if name != "" {
+		var ok bool
+		entry, ok = lookupArtifact(name)
+		if !ok {
+			fmt.Fprintf(stderr, "studysim: unknown artifact %q\nvalid artifacts: %s\n", *artifact, artifactNames())
+			return 2
+		}
+	}
+
+	// Assemble the telemetry handle. -artifact telemetry implies tracing and
+	// metrics even without -stats/-trace, since the report renders them.
+	o := &obs.Obs{}
+	if *tracePath != "" || *stats || name == "telemetry" {
+		o.Trace = obs.NewCollector()
+		o.Metrics = obs.NewRegistry()
+	}
+	if *verbose || *logLevel != "" {
+		level := slog.LevelDebug
+		if *logLevel != "" {
+			var err error
+			level, err = obs.ParseLevel(*logLevel)
+			if err != nil {
+				fmt.Fprintf(stderr, "studysim: %v\n", err)
+				return 2
+			}
+		}
+		o.Log = obs.NewLogger(stderr, level)
+	}
+	ctx := obs.With(context.Background(), o)
+
+	if *cpuprofile != "" {
+		stop, err := obs.StartCPUProfile(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(stderr, "studysim: %v\n", err)
+			return 1
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintf(stderr, "studysim: cpu profile: %v\n", err)
+				if code == 0 {
+					code = 1
+				}
+			}
+		}()
+	}
+	defer func() {
+		if *memprofile != "" {
+			if err := obs.WriteHeapProfile(*memprofile); err != nil {
+				fmt.Fprintf(stderr, "studysim: heap profile: %v\n", err)
+				if code == 0 {
+					code = 1
+				}
+			}
+		}
+	}()
+	defer func() {
+		if o.Trace != nil && *tracePath != "" {
+			if err := writeTrace(o.Trace, *tracePath); err != nil {
+				fmt.Fprintf(stderr, "studysim: %v\n", err)
+				if code == 0 {
+					code = 1
+				}
+			}
+		}
+		if *stats && o.Trace != nil {
+			fmt.Fprintf(stderr, "\nPer-stage timing tree:\n\n%s", o.Trace.TimingTree())
+			fmt.Fprintf(stderr, "\nMetrics snapshot:\n\n%s", o.Metrics.Snapshot().String())
+		}
+	}()
+
+	r, err := experiments.NewRunnerCtx(ctx, &core.Config{Seed: *seed})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "studysim: %v\n", err)
+		fmt.Fprintf(stderr, "studysim: %v\n", err)
 		return 1
 	}
 	if *csv {
-		fmt.Print(r.Study.Dataset.CSV())
+		fmt.Fprint(stdout, r.Study.Dataset.CSV())
 		return 0
 	}
 	if *export != "" {
 		if err := r.Study.Dataset.WriteReplicationPackage(*export); err != nil {
-			fmt.Fprintf(os.Stderr, "studysim: %v\n", err)
+			fmt.Fprintf(stderr, "studysim: %v\n", err)
 			return 1
 		}
-		fmt.Printf("replication package written to %s\n", *export)
+		fmt.Fprintf(stdout, "replication package written to %s\n", *export)
 		return 0
 	}
 
 	var out string
-	switch strings.ToLower(*artifact) {
-	case "":
+	if name == "" {
 		out, err = r.All()
-	case "table1":
-		out, err = r.TableI()
-	case "table2":
-		out, err = r.TableII()
-	case "table3":
-		out, err = r.TableIII()
-	case "table4":
-		out, err = r.TableIV()
-	case "fig1":
-		out, err = r.Figure1()
-	case "fig2":
-		out, err = r.Figure2()
-	case "fig3":
-		out, err = r.Figure3()
-	case "fig4":
-		out, err = r.Figure4()
-	case "fig5":
-		out, err = r.Figure5()
-	case "fig6":
-		out, err = r.Figure6()
-	case "fig7":
-		out, err = r.Figure7()
-	case "fig8":
-		out, err = r.Figure8()
-	case "intext":
-		out, err = r.InTextStats()
-	case "metrics":
-		out = r.MetricReportTable()
-	case "ablations":
-		out, _, err = experiments.Ablations(*seed)
-	case "confound":
-		out, err = experiments.ConfoundComparison()
-	default:
-		fmt.Fprintf(os.Stderr, "studysim: unknown artifact %q\n", *artifact)
-		return 2
+	} else {
+		out, err = entry.fn(r, *seed)
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "studysim: %v\n", err)
+		fmt.Fprintf(stderr, "studysim: %v\n", err)
 		return 1
 	}
-	fmt.Print(out)
+	fmt.Fprint(stdout, out)
 	return 0
+}
+
+func writeTrace(c *obs.Collector, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	if err := c.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return fmt.Errorf("trace: %w", err)
+	}
+	return f.Close()
 }

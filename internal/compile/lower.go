@@ -1,15 +1,27 @@
 package compile
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
 
 	"decompstudy/internal/csrc"
+	"decompstudy/internal/obs"
 )
 
 // Compile lowers every function in the file to IR.
 func Compile(file *csrc.File) (*Object, error) {
+	return CompileCtx(context.Background(), file)
+}
+
+// CompileCtx is Compile with telemetry: a compile.Compile span plus
+// call/function counters when the context carries an obs handle.
+func CompileCtx(ctx context.Context, file *csrc.File) (*Object, error) {
+	_, sp := obs.StartSpan(ctx, "compile.Compile", obs.KV("functions", len(file.Functions)))
+	defer sp.End()
+	obs.AddCount(ctx, "compile.calls", 1)
+	obs.AddCount(ctx, "compile.functions", int64(len(file.Functions)))
 	obj := &Object{}
 	for _, fn := range file.Functions {
 		lf, err := lowerFunc(file, fn)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -47,6 +48,12 @@ func (s *Study) buildSpec(rows []survey.Response, response func(survey.Response)
 
 // AnalyzeCorrectness fits the RQ1 logistic mixed model (Table I).
 func (s *Study) AnalyzeCorrectness() (*mixed.Result, error) {
+	return s.AnalyzeCorrectnessCtx(s.obsCtx())
+}
+
+// AnalyzeCorrectnessCtx is AnalyzeCorrectness with the fit span parented to
+// the given context instead of the study's build context.
+func (s *Study) AnalyzeCorrectnessCtx(ctx context.Context) (*mixed.Result, error) {
 	rows := s.Dataset.CorrectnessRows()
 	spec, err := s.buildSpec(rows, func(r survey.Response) float64 {
 		if r.Correct {
@@ -57,17 +64,23 @@ func (s *Study) AnalyzeCorrectness() (*mixed.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return mixed.FitGLMMLogit(spec)
+	return mixed.FitGLMMLogitCtx(ctx, spec)
 }
 
 // AnalyzeTiming fits the RQ2 linear mixed model (Table II).
 func (s *Study) AnalyzeTiming() (*mixed.Result, error) {
+	return s.AnalyzeTimingCtx(s.obsCtx())
+}
+
+// AnalyzeTimingCtx is AnalyzeTiming with the fit span parented to the given
+// context instead of the study's build context.
+func (s *Study) AnalyzeTimingCtx(ctx context.Context) (*mixed.Result, error) {
 	rows := s.Dataset.TimingRows()
 	spec, err := s.buildSpec(rows, func(r survey.Response) float64 { return r.TimeSec })
 	if err != nil {
 		return nil, err
 	}
-	return mixed.FitLMM(spec)
+	return mixed.FitLMMCtx(ctx, spec)
 }
 
 // QuestionCorrectness summarizes one question's Figure 5 bars plus a

@@ -17,6 +17,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -24,6 +25,7 @@ import (
 	"decompstudy/internal/embed"
 	"decompstudy/internal/metrics"
 	"decompstudy/internal/namerec"
+	"decompstudy/internal/obs"
 	"decompstudy/internal/qualcode"
 	"decompstudy/internal/survey"
 )
@@ -62,6 +64,9 @@ func (c *Config) defaults() Config {
 // Study holds everything a run produces.
 type Study struct {
 	Config Config
+	// ctx carries the telemetry handle the study was built under, so the
+	// analysis methods parent their fit spans correctly.
+	ctx context.Context
 	// Prepared holds the four snippets with both treatment arms.
 	Prepared []*corpus.Prepared
 	// Dataset is the collected survey data after quality filtering.
@@ -79,20 +84,32 @@ type Study struct {
 
 // New runs the full pipeline and returns a ready-to-analyze study.
 func New(cfg *Config) (*Study, error) {
+	return NewCtx(context.Background(), cfg)
+}
+
+// NewCtx is New with telemetry: the whole pipeline runs under a core.New
+// span, and every stage (corpus preparation, embedding training, recovery-
+// model training, survey administration, metric evaluation, expert panel)
+// reports its own child span when the context carries an obs handle.
+func NewCtx(ctx context.Context, cfg *Config) (*Study, error) {
 	c := cfg.defaults()
-	s := &Study{Config: c}
+	ctx, sp := obs.StartSpan(ctx, "core.New", obs.KV("seed", c.Seed))
+	defer sp.End()
+	s := &Study{Config: c, ctx: ctx}
+	log := obs.Logger(ctx)
 
 	var err error
-	s.Prepared, err = corpus.PrepareAll()
+	s.Prepared, err = corpus.PrepareAllCtx(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("core: preparing snippets: %w", err)
 	}
+	log.Debug("corpus prepared", "snippets", len(s.Prepared))
 
 	ctxs, err := corpus.EmbeddingContexts()
 	if err != nil {
 		return nil, fmt.Errorf("core: embedding contexts: %w", err)
 	}
-	s.Embed, err = embed.Train(ctxs, &embed.Config{Dim: c.EmbedDim})
+	s.Embed, err = embed.TrainCtx(ctx, ctxs, &embed.Config{Dim: c.EmbedDim})
 	if err != nil {
 		return nil, fmt.Errorf("core: training embeddings: %w", err)
 	}
@@ -101,7 +118,7 @@ func New(cfg *Config) (*Study, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: training corpus: %w", err)
 	}
-	s.Recovery, err = namerec.TrainModel(training)
+	s.Recovery, err = namerec.TrainModelCtx(ctx, training)
 	if err != nil {
 		return nil, fmt.Errorf("core: training recovery model: %w", err)
 	}
@@ -111,7 +128,7 @@ func New(cfg *Config) (*Study, error) {
 		svCfg = *c.Survey
 	}
 	svCfg.Seed = c.Seed
-	s.Dataset, err = survey.Run(&svCfg)
+	s.Dataset, err = survey.RunCtx(ctx, &svCfg)
 	if err != nil {
 		return nil, fmt.Errorf("core: administering survey: %w", err)
 	}
@@ -124,7 +141,7 @@ func New(cfg *Config) (*Study, error) {
 		for _, r := range p.Dirty.Renames {
 			pairs = append(pairs, metrics.Pair{Candidate: r.NewName, Reference: r.OrigName})
 		}
-		rep, err := metrics.Evaluate(pairs, p.Dirty.Source(), p.OrigSource, s.Embed)
+		rep, err := metrics.EvaluateCtx(ctx, pairs, p.Dirty.Source(), p.OrigSource, s.Embed)
 		if err != nil {
 			return nil, fmt.Errorf("core: metrics for %s: %w", p.Snippet.ID, err)
 		}
@@ -135,7 +152,7 @@ func New(cfg *Config) (*Study, error) {
 			TypePairs: p.Dirty.TypePairs(),
 		})
 	}
-	s.Panel, err = qualcode.RatePanel(sets, s.Embed, &qualcode.PanelConfig{Seed: c.Seed})
+	s.Panel, err = qualcode.RatePanelCtx(ctx, sets, s.Embed, &qualcode.PanelConfig{Seed: c.Seed})
 	if err != nil {
 		return nil, fmt.Errorf("core: expert panel: %w", err)
 	}
@@ -146,6 +163,15 @@ func New(cfg *Config) (*Study, error) {
 		s.MetricReports[id] = rep
 	}
 	return s, nil
+}
+
+// obsCtx returns the context the study was built under, so analyses parent
+// their telemetry to the run that produced the data.
+func (s *Study) obsCtx() context.Context {
+	if s.ctx != nil {
+		return s.ctx
+	}
+	return context.Background()
 }
 
 // PreparedByID returns the prepared snippet with the given ID.

@@ -1,12 +1,15 @@
 package corpus
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"decompstudy/internal/compile"
 	"decompstudy/internal/csrc"
 	"decompstudy/internal/decomp"
 	"decompstudy/internal/namerec"
+	"decompstudy/internal/obs"
 )
 
 // Prepared is a snippet run through the full pipeline: parsed, compiled,
@@ -23,11 +26,21 @@ type Prepared struct {
 
 // Prepare runs one snippet through compile→decompile→annotate.
 func Prepare(s *Snippet) (*Prepared, error) {
-	file, err := s.Parse()
+	return PrepareCtx(context.Background(), s)
+}
+
+// PrepareCtx is Prepare with telemetry: one corpus.Prepare span per snippet
+// with the parse/compile/lift/annotate stages as children.
+func PrepareCtx(ctx context.Context, s *Snippet) (*Prepared, error) {
+	ctx, sp := obs.StartSpan(ctx, "corpus.Prepare", obs.KV("snippet", s.ID))
+	defer sp.End()
+	obs.Logger(ctx).Debug("preparing snippet", "snippet", s.ID, "func", s.FuncName)
+
+	file, err := csrc.ParseCtx(ctx, s.Source, s.ExtraTypes)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("corpus: parsing snippet %s: %w", s.ID, err)
 	}
-	obj, err := compile.Compile(file)
+	obj, err := compile.CompileCtx(ctx, file)
 	if err != nil {
 		return nil, fmt.Errorf("corpus: compiling %s: %w", s.ID, err)
 	}
@@ -35,7 +48,7 @@ func Prepare(s *Snippet) (*Prepared, error) {
 	if !ok {
 		return nil, fmt.Errorf("corpus: snippet %s does not define %s", s.ID, s.FuncName)
 	}
-	d, err := decomp.LiftFunc(cf)
+	d, err := decomp.LiftFuncCtx(ctx, cf)
 	if err != nil {
 		return nil, fmt.Errorf("corpus: decompiling %s: %w", s.ID, err)
 	}
@@ -43,7 +56,7 @@ func Prepare(s *Snippet) (*Prepared, error) {
 		Overrides:  s.DirtyOverrides,
 		SwapParams: s.SwapParams,
 	}}
-	dirty, err := an.Annotate(d)
+	dirty, err := an.AnnotateCtx(ctx, d)
 	if err != nil {
 		return nil, fmt.Errorf("corpus: annotating %s: %w", s.ID, err)
 	}
@@ -61,14 +74,37 @@ func Prepare(s *Snippet) (*Prepared, error) {
 
 // PrepareAll prepares every study snippet.
 func PrepareAll() ([]*Prepared, error) {
-	snippets := Snippets()
+	return PrepareAllCtx(context.Background())
+}
+
+// PrepareAllCtx prepares every study snippet under a corpus.PrepareAll span.
+func PrepareAllCtx(ctx context.Context) ([]*Prepared, error) {
+	return PrepareSnippets(ctx, Snippets())
+}
+
+// PrepareSnippets prepares the given snippets, continuing past per-snippet
+// failures. On error it returns the successfully prepared snippets together
+// with every failure joined via errors.Join, so telemetry can report partial
+// pipeline outcomes instead of only the first fault.
+func PrepareSnippets(ctx context.Context, snippets []*Snippet) ([]*Prepared, error) {
+	ctx, sp := obs.StartSpan(ctx, "corpus.PrepareAll", obs.KV("snippets", len(snippets)))
+	defer sp.End()
 	out := make([]*Prepared, 0, len(snippets))
+	var errs []error
 	for _, s := range snippets {
-		p, err := Prepare(s)
+		p, err := PrepareCtx(ctx, s)
 		if err != nil {
-			return nil, err
+			obs.AddCount(ctx, "corpus.prepare.failed", 1)
+			obs.Logger(ctx).Error("snippet preparation failed", "snippet", s.ID, "err", err)
+			errs = append(errs, err)
+			continue
 		}
+		obs.AddCount(ctx, "corpus.prepare.ok", 1)
 		out = append(out, p)
+	}
+	if len(errs) > 0 {
+		sp.SetAttr("failed", len(errs))
+		return out, errors.Join(errs...)
 	}
 	return out, nil
 }

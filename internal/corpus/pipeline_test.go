@@ -1,0 +1,51 @@
+package corpus
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"decompstudy/internal/obs"
+)
+
+func TestPrepareSnippetsJoinsAllErrors(t *testing.T) {
+	good, ok := SnippetByID("AEEK")
+	if !ok {
+		t.Fatal("AEEK snippet missing")
+	}
+	// bad1 fails at parse; bad2 parses but lacks the named function, so the
+	// two failures come from different pipeline stages.
+	bad1 := &Snippet{ID: "BAD1", FuncName: "f", Source: "int f( {"}
+	bad2 := &Snippet{ID: "BAD2", FuncName: "not_defined", Source: "void g(void) {}"}
+
+	prepared, err := PrepareSnippets(context.Background(), []*Snippet{bad1, good, bad2})
+	if err == nil {
+		t.Fatal("want joined error, got nil")
+	}
+	if len(prepared) != 1 || prepared[0].Snippet.ID != "AEEK" {
+		t.Fatalf("want the one good snippet prepared, got %d", len(prepared))
+	}
+	msg := err.Error()
+	// errors.Join must carry BOTH failures, not just the first.
+	if !strings.Contains(msg, "BAD1") {
+		t.Errorf("joined error missing BAD1: %v", err)
+	}
+	if !strings.Contains(msg, "BAD2") {
+		t.Errorf("joined error missing BAD2: %v", err)
+	}
+}
+
+func TestPrepareSnippetsCountsOutcomes(t *testing.T) {
+	o := obs.New()
+	ctx := obs.With(context.Background(), o)
+	bad := &Snippet{ID: "BROKEN", FuncName: "f", Source: "int f( {"}
+	if _, err := PrepareSnippets(ctx, append([]*Snippet{bad}, Snippets()...)); err == nil {
+		t.Fatal("want error from broken snippet")
+	}
+	if got := o.Metrics.Counter("corpus.prepare.failed").Value(); got != 1 {
+		t.Errorf("corpus.prepare.failed = %d, want 1", got)
+	}
+	if got := o.Metrics.Counter("corpus.prepare.ok").Value(); got != int64(len(Snippets())) {
+		t.Errorf("corpus.prepare.ok = %d, want %d", got, len(Snippets()))
+	}
+}

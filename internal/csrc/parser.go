@@ -1,8 +1,11 @@
 package csrc
 
 import (
+	"context"
 	"errors"
 	"fmt"
+
+	"decompstudy/internal/obs"
 )
 
 // ErrParse is returned for syntactically invalid input.
@@ -55,11 +58,28 @@ func NewParser(src string, extraTypes []string) (*Parser, error) {
 
 // Parse parses the whole translation unit.
 func Parse(src string, extraTypes []string) (*File, error) {
+	return ParseCtx(context.Background(), src, extraTypes)
+}
+
+// ParseCtx is Parse with telemetry: it opens a csrc.Parse span and records
+// call/byte/function counters when the context carries an obs handle.
+func ParseCtx(ctx context.Context, src string, extraTypes []string) (*File, error) {
+	_, sp := obs.StartSpan(ctx, "csrc.Parse", obs.KV("bytes", len(src)))
+	defer sp.End()
+	obs.AddCount(ctx, "csrc.parse.calls", 1)
+	obs.AddCount(ctx, "csrc.parse.bytes", int64(len(src)))
 	p, err := NewParser(src, extraTypes)
 	if err != nil {
 		return nil, err
 	}
-	return p.ParseFile()
+	file, err := p.ParseFile()
+	if err != nil {
+		obs.AddCount(ctx, "csrc.parse.errors", 1)
+		return nil, err
+	}
+	sp.SetAttr("functions", len(file.Functions))
+	obs.AddCount(ctx, "csrc.parse.functions", int64(len(file.Functions)))
+	return file, nil
 }
 
 // ParseFile consumes top-level declarations until EOF.

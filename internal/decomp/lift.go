@@ -1,11 +1,13 @@
 package decomp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"decompstudy/internal/compile"
 	"decompstudy/internal/csrc"
+	"decompstudy/internal/obs"
 )
 
 // Renamed records the decompiler's renaming of one original symbol — the
@@ -44,6 +46,16 @@ func Lift(obj *compile.Object) ([]*Decompiled, error) {
 
 // LiftFunc decompiles one function.
 func LiftFunc(fn *compile.Func) (*Decompiled, error) {
+	return LiftFuncCtx(context.Background(), fn)
+}
+
+// LiftFuncCtx is LiftFunc with telemetry: a decomp.LiftFunc span plus lift
+// counters when the context carries an obs handle.
+func LiftFuncCtx(ctx context.Context, fn *compile.Func) (*Decompiled, error) {
+	_, sp := obs.StartSpan(ctx, "decomp.LiftFunc", obs.KV("func", fn.Name))
+	defer sp.End()
+	obs.AddCount(ctx, "decomp.lift.calls", 1)
+	obs.AddCount(ctx, "decomp.lift.blocks", int64(len(fn.Blocks)))
 	g, err := analyze(fn)
 	if err != nil {
 		return nil, err

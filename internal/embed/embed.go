@@ -13,6 +13,7 @@
 package embed
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -21,6 +22,7 @@ import (
 	"unicode"
 
 	"decompstudy/internal/linalg"
+	"decompstudy/internal/obs"
 )
 
 // ErrEmptyCorpus is returned when training is attempted on an empty corpus.
@@ -114,6 +116,15 @@ func (c *Config) defaults() Config {
 // identifiers of one function, in source order). Identifiers are split into
 // subtokens before windowed co-occurrence counting.
 func Train(contexts [][]string, cfg *Config) (*Model, error) {
+	return TrainCtx(context.Background(), contexts, cfg)
+}
+
+// TrainCtx is Train with telemetry: an embed.Train span plus corpus-size
+// counters when the context carries an obs handle.
+func TrainCtx(octx context.Context, contexts [][]string, cfg *Config) (*Model, error) {
+	_, sp := obs.StartSpan(octx, "embed.Train", obs.KV("contexts", len(contexts)))
+	defer sp.End()
+	obs.AddCount(octx, "embed.train.calls", 1)
 	c := cfg.defaults()
 
 	// Tokenize contexts and build the vocabulary.
@@ -141,6 +152,7 @@ func Train(contexts [][]string, cfg *Config) (*Model, error) {
 	if v == 0 {
 		return nil, ErrEmptyCorpus
 	}
+	sp.SetAttr("vocab", v)
 
 	// Windowed co-occurrence counts (symmetric).
 	co := linalg.NewMatrix(v, v)

@@ -6,12 +6,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
 
 	"decompstudy/internal/core"
 	"decompstudy/internal/htest"
+	"decompstudy/internal/obs"
 	"decompstudy/internal/participants"
 	"decompstudy/internal/report"
 	"decompstudy/internal/survey"
@@ -20,21 +22,47 @@ import (
 // Runner executes the experiment drivers against one study run.
 type Runner struct {
 	Study *core.Study
+	// ctx carries the telemetry handle the runner was built under; every
+	// artifact renders inside its own artifact.* span parented here.
+	ctx context.Context
 }
 
 // NewRunner builds a study with the given configuration (nil = shipped
 // defaults) and wraps it in a Runner.
 func NewRunner(cfg *core.Config) (*Runner, error) {
-	s, err := core.New(cfg)
+	return NewRunnerCtx(context.Background(), cfg)
+}
+
+// NewRunnerCtx is NewRunner with telemetry: the study build and every
+// artifact render report spans when the context carries an obs handle.
+func NewRunnerCtx(ctx context.Context, cfg *core.Config) (*Runner, error) {
+	s, err := core.NewCtx(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Runner{Study: s}, nil
+	return &Runner{Study: s, ctx: ctx}, nil
+}
+
+func (r *Runner) obsCtx() context.Context {
+	if r.ctx != nil {
+		return r.ctx
+	}
+	return context.Background()
+}
+
+// artifact opens the span every driver renders under and bumps the render
+// counter. Nil-safe: a no-op pair when telemetry is disabled.
+func (r *Runner) artifact(name string) (context.Context, *obs.Span) {
+	ctx, sp := obs.StartSpan(r.obsCtx(), "artifact."+name)
+	obs.AddCount(ctx, "experiments.artifacts.rendered", 1)
+	return ctx, sp
 }
 
 // TableI renders the RQ1 correctness GLMM (paper Table I).
 func (r *Runner) TableI() (string, error) {
-	res, err := r.Study.AnalyzeCorrectness()
+	ctx, sp := r.artifact("table1")
+	defer sp.End()
+	res, err := r.Study.AnalyzeCorrectnessCtx(ctx)
 	if err != nil {
 		return "", err
 	}
@@ -43,7 +71,9 @@ func (r *Runner) TableI() (string, error) {
 
 // TableII renders the RQ2 timing LMM (paper Table II).
 func (r *Runner) TableII() (string, error) {
-	res, err := r.Study.AnalyzeTiming()
+	ctx, sp := r.artifact("table2")
+	defer sp.End()
+	res, err := r.Study.AnalyzeTimingCtx(ctx)
 	if err != nil {
 		return "", err
 	}
@@ -54,8 +84,44 @@ func renderModelTable(title, body string) string {
 	return title + "\n" + strings.Repeat("=", len(title)) + "\n" + body
 }
 
+// TelemetryReport renders the pipeline's own observability data: it first
+// exercises the two mixed-model fits (so the report covers the full
+// prepare→survey→fit path), then prints the per-stage timing tree, the
+// aggregated stage summary, and the metrics snapshot. It requires a runner
+// built with NewRunnerCtx under a context carrying an enabled obs handle.
+func (r *Runner) TelemetryReport() (string, error) {
+	o := obs.From(r.obsCtx())
+	if !o.Enabled() {
+		return "", fmt.Errorf("experiments: telemetry disabled (build the runner with NewRunnerCtx and an obs handle): %w", core.ErrAnalysis)
+	}
+	if _, err := r.TableI(); err != nil {
+		return "", err
+	}
+	if _, err := r.TableII(); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Pipeline telemetry report\n")
+	b.WriteString("=========================\n")
+	if o.Trace != nil {
+		b.WriteString("\nSpan timing tree:\n\n")
+		b.WriteString(o.Trace.TimingTree())
+		b.WriteString("\nPer-stage totals:\n\n")
+		for _, st := range o.Trace.StageSummary() {
+			fmt.Fprintf(&b, "  %-28s %4d call(s)  total %v\n", st.Name, st.Count, st.Total)
+		}
+	}
+	if o.Metrics != nil {
+		b.WriteString("\nMetrics snapshot:\n\n")
+		b.WriteString(o.Metrics.Snapshot().String())
+	}
+	return b.String(), nil
+}
+
 // TableIII renders the similarity-vs-time correlations (paper Table III).
 func (r *Runner) TableIII() (string, error) {
+	_, sp := r.artifact("table3")
+	defer sp.End()
 	mcs, err := r.Study.MetricCorrelations()
 	if err != nil {
 		return "", err
@@ -75,6 +141,8 @@ func (r *Runner) TableIII() (string, error) {
 
 // TableIV renders the similarity-vs-correctness correlations (paper Table IV).
 func (r *Runner) TableIV() (string, error) {
+	_, sp := r.artifact("table4")
+	defer sp.End()
 	mcs, err := r.Study.MetricCorrelations()
 	if err != nil {
 		return "", err
@@ -95,6 +163,8 @@ func (r *Runner) TableIV() (string, error) {
 // Figure1 renders the AEEK original source next to its DIRTY-annotated
 // decompilation (paper Figure 1).
 func (r *Runner) Figure1() (string, error) {
+	_, sp := r.artifact("fig1")
+	defer sp.End()
 	p, ok := r.Study.PreparedByID("AEEK")
 	if !ok {
 		return "", fmt.Errorf("experiments: AEEK not prepared: %w", core.ErrAnalysis)
@@ -109,6 +179,8 @@ func (r *Runner) Figure1() (string, error) {
 
 // Figure2 renders an example survey page (paper Figure 2).
 func (r *Runner) Figure2() (string, error) {
+	_, sp := r.artifact("fig2")
+	defer sp.End()
 	p, ok := r.Study.PreparedByID("AEEK")
 	if !ok {
 		return "", fmt.Errorf("experiments: AEEK not prepared: %w", core.ErrAnalysis)
@@ -120,6 +192,8 @@ func (r *Runner) Figure2() (string, error) {
 
 // Figure3 renders the participant demographics histograms (paper Figure 3).
 func (r *Runner) Figure3() (string, error) {
+	_, sp := r.artifact("fig3")
+	defer sp.End()
 	var ages, genders, education []string
 	for _, p := range r.Study.Dataset.Participants {
 		ages = append(ages, p.Demo.AgeGroup)
@@ -144,6 +218,8 @@ func (r *Runner) Figure3() (string, error) {
 
 // Figure4 renders the postorder argument-swap comparison (paper Figure 4).
 func (r *Runner) Figure4() (string, error) {
+	_, sp := r.artifact("fig4")
+	defer sp.End()
 	p, ok := r.Study.PreparedByID("POSTORDER")
 	if !ok {
 		return "", fmt.Errorf("experiments: POSTORDER not prepared: %w", core.ErrAnalysis)
@@ -159,6 +235,8 @@ func (r *Runner) Figure4() (string, error) {
 // Figure5 renders per-question correctness grouped by treatment (paper
 // Figure 5).
 func (r *Runner) Figure5() (string, error) {
+	_, sp := r.artifact("fig5")
+	defer sp.End()
 	qcs, err := r.Study.CorrectnessByQuestion()
 	if err != nil {
 		return "", err
@@ -183,6 +261,8 @@ func (r *Runner) Figure5() (string, error) {
 // Figure6 renders the BAPL signature comparison and completion-time
 // boxplots with Welch's t-test (paper Figure 6).
 func (r *Runner) Figure6() (string, error) {
+	_, sp := r.artifact("fig6")
+	defer sp.End()
 	p, ok := r.Study.PreparedByID("BAPL")
 	if !ok {
 		return "", fmt.Errorf("experiments: BAPL not prepared: %w", core.ErrAnalysis)
@@ -211,6 +291,8 @@ func (r *Runner) Figure6() (string, error) {
 // Figure7 renders the AEEK comparison and the correct-answer completion
 // times (paper Figure 7).
 func (r *Runner) Figure7() (string, error) {
+	_, sp := r.artifact("fig7")
+	defer sp.End()
 	p, ok := r.Study.PreparedByID("AEEK")
 	if !ok {
 		return "", fmt.Errorf("experiments: AEEK not prepared: %w", core.ErrAnalysis)
@@ -234,6 +316,8 @@ func (r *Runner) Figure7() (string, error) {
 // Figure8 renders the diverging Likert opinions with the Wilcoxon tests
 // (paper Figure 8).
 func (r *Runner) Figure8() (string, error) {
+	_, sp := r.artifact("fig8")
+	defer sp.End()
 	op, err := r.Study.AnalyzeOpinions()
 	if err != nil {
 		return "", err
@@ -255,6 +339,8 @@ func (r *Runner) Figure8() (string, error) {
 // InTextStats renders the §IV in-text statistics (experiments X1–X3 in
 // DESIGN.md).
 func (r *Runner) InTextStats() (string, error) {
+	_, sp := r.artifact("intext")
+	defer sp.End()
 	tr, err := r.Study.AnalyzeTrust()
 	if err != nil {
 		return "", err
@@ -285,6 +371,8 @@ func (r *Runner) InTextStats() (string, error) {
 // RQ5 correlations are computed from (not a paper artifact, but needed to
 // interpret Tables III/IV).
 func (r *Runner) MetricReportTable() string {
+	_, sp := r.artifact("metrics")
+	defer sp.End()
 	tbl := &report.Table{
 		Title:   "Per-snippet intrinsic metric values (DIRTY vs original)",
 		Columns: []string{"Snippet", "BLEU", "codeBLEU", "Jaccard", "Lev", "BERTScore", "VarCLR", "Hum(V)", "Hum(T)"},
@@ -308,6 +396,8 @@ func (r *Runner) MetricReportTable() string {
 
 // All renders every table and figure in paper order.
 func (r *Runner) All() (string, error) {
+	_, sp := r.artifact("all")
+	defer sp.End()
 	var b strings.Builder
 	type section struct {
 		name string

@@ -1,10 +1,12 @@
 package metrics
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"decompstudy/internal/embed"
+	"decompstudy/internal/obs"
 )
 
 // ErrNilModel is returned when a semantic metric is called without a
@@ -109,6 +111,16 @@ type Pair struct {
 // refCode may be empty, in which case CodeBLEU is computed over the joined
 // names.
 func Evaluate(pairs []Pair, candCode, refCode string, m *embed.Model) (Report, error) {
+	return EvaluateCtx(context.Background(), pairs, candCode, refCode, m)
+}
+
+// EvaluateCtx is Evaluate with telemetry: a metrics.Evaluate span plus pair
+// counters when the context carries an obs handle.
+func EvaluateCtx(ctx context.Context, pairs []Pair, candCode, refCode string, m *embed.Model) (Report, error) {
+	_, sp := obs.StartSpan(ctx, "metrics.Evaluate", obs.KV("pairs", len(pairs)))
+	defer sp.End()
+	obs.AddCount(ctx, "metrics.evaluate.calls", 1)
+	obs.AddCount(ctx, "metrics.evaluate.pairs", int64(len(pairs)))
 	if len(pairs) == 0 {
 		return Report{}, fmt.Errorf("metrics: Evaluate with no pairs: %w", ErrNilModel)
 	}

@@ -1,10 +1,12 @@
 package mixed
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"decompstudy/internal/linalg"
+	"decompstudy/internal/obs"
 	"decompstudy/internal/optimize"
 	"decompstudy/internal/stats"
 )
@@ -15,6 +17,9 @@ import (
 type glmmState struct {
 	d *design
 	u []float64 // joint (β, b) vector, length p+q
+	// ctx carries the obs handle so the inner PIRLS loop can report
+	// iteration telemetry (nil-safe; zero cost when telemetry is off).
+	ctx context.Context
 
 	lastBeta    []float64
 	lastBLUP    []float64
@@ -59,7 +64,13 @@ func (g *glmmState) pirls(dInv []float64) float64 {
 	cur := pll(u)
 	var lastChol *linalg.Cholesky
 	converged := false
+	iters := 0
+	defer func() {
+		obs.AddCount(g.ctx, "mixed.glmm.pirls_evals", 1)
+		obs.AddCount(g.ctx, "mixed.glmm.pirls_iterations", int64(iters))
+	}()
 	for iter := 0; iter < 100; iter++ {
+		iters = iter + 1
 		// Linear predictor, mean, weights.
 		for i := 0; i < d.n; i++ {
 			e := 0.0
@@ -235,6 +246,15 @@ func log1pExp(x float64) float64 {
 // Laplace approximation, matching R's glmer(..., family=binomial) for the
 // models in the paper. spec.REML is ignored (GLMMs are always fit by ML).
 func FitGLMMLogit(spec *Spec) (*Result, error) {
+	return FitGLMMLogitCtx(context.Background(), spec)
+}
+
+// FitGLMMLogitCtx is FitGLMMLogit with telemetry: a mixed.FitGLMMLogit span
+// plus outer-search iteration counts, inner PIRLS iteration counts, and a
+// convergence gauge.
+func FitGLMMLogitCtx(ctx context.Context, spec *Spec) (*Result, error) {
+	_, sp := obs.StartSpan(ctx, "mixed.FitGLMMLogit")
+	defer sp.End()
 	if err := spec.validate(); err != nil {
 		return nil, err
 	}
@@ -243,8 +263,9 @@ func FitGLMMLogit(spec *Spec) (*Result, error) {
 			return nil, fmt.Errorf("mixed: logistic response[%d] = %v, want 0 or 1: %w", i, y, ErrSpec)
 		}
 	}
+	sp.SetAttr("n", len(spec.Response))
 	d := newDesign(spec)
-	st := &glmmState{d: d, u: make([]float64, d.p+d.q)}
+	st := &glmmState{d: d, u: make([]float64, d.p+d.q), ctx: ctx}
 
 	obj := func(logSD []float64) float64 {
 		dInv := make([]float64, d.q)
@@ -265,6 +286,7 @@ func FitGLMMLogit(spec *Spec) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("mixed: GLMM variance search: %w", err)
 	}
+	recordFitTelemetry(ctx, sp, "mixed.glmm", res)
 	dev := obj(res.X)
 	if st.lastBad || math.IsInf(dev, 1) {
 		return nil, fmt.Errorf("mixed: GLMM evaluation failed at optimum: %w", ErrFit)

@@ -1,10 +1,12 @@
 package mixed
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"decompstudy/internal/linalg"
+	"decompstudy/internal/obs"
 	"decompstudy/internal/optimize"
 )
 
@@ -152,9 +154,18 @@ func (p *lmmProfile) eval(logGamma []float64) float64 {
 // FitLMM fits a linear mixed model with random intercepts by profiled
 // maximum likelihood (or REML when spec.REML is set).
 func FitLMM(spec *Spec) (*Result, error) {
+	return FitLMMCtx(context.Background(), spec)
+}
+
+// FitLMMCtx is FitLMM with telemetry: a mixed.FitLMM span plus
+// iteration-count and convergence metrics for the outer variance search.
+func FitLMMCtx(ctx context.Context, spec *Spec) (*Result, error) {
+	_, sp := obs.StartSpan(ctx, "mixed.FitLMM")
+	defer sp.End()
 	if err := spec.validate(); err != nil {
 		return nil, err
 	}
+	sp.SetAttr("n", len(spec.Response))
 	d := newDesign(spec)
 	prof, err := newLMMProfile(d, spec.REML)
 	if err != nil {
@@ -168,6 +179,7 @@ func FitLMM(spec *Spec) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("mixed: LMM variance search: %w", err)
 	}
+	recordFitTelemetry(ctx, sp, "mixed.lmm", res)
 	if math.IsInf(res.F, 1) {
 		return nil, fmt.Errorf("mixed: LMM deviance is infinite at optimum (degenerate design): %w", ErrFit)
 	}

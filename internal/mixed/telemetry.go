@@ -1,0 +1,25 @@
+package mixed
+
+import (
+	"context"
+
+	"decompstudy/internal/obs"
+	"decompstudy/internal/optimize"
+)
+
+// recordFitTelemetry attaches the outer variance-search outcome to the fit
+// span and the metrics registry. prefix namespaces the metrics per model
+// family ("mixed.lmm" / "mixed.glmm"). Nil-safe: a no-op when the context
+// carries no obs handle.
+func recordFitTelemetry(ctx context.Context, sp *obs.Span, prefix string, res optimize.Result) {
+	sp.SetAttr("iterations", res.Iterations)
+	sp.SetAttr("converged", res.Converged)
+	obs.AddCount(ctx, prefix+".fits", 1)
+	obs.AddCount(ctx, prefix+".iterations_total", int64(res.Iterations))
+	obs.SetGauge(ctx, prefix+".last_iterations", float64(res.Iterations))
+	conv := 0.0
+	if res.Converged {
+		conv = 1
+	}
+	obs.SetGauge(ctx, prefix+".converged", conv)
+}

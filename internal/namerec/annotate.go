@@ -1,6 +1,7 @@
 package namerec
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -8,6 +9,7 @@ import (
 	"decompstudy/internal/compile"
 	"decompstudy/internal/csrc"
 	"decompstudy/internal/decomp"
+	"decompstudy/internal/obs"
 )
 
 // Rename records the full provenance of one variable through the pipeline:
@@ -68,9 +70,20 @@ type Annotator struct {
 // Annotate produces the DIRTY-style treatment version of a decompiled
 // function.
 func (an *Annotator) Annotate(d *decomp.Decompiled) (*Annotated, error) {
+	return an.AnnotateCtx(context.Background(), d)
+}
+
+// AnnotateCtx is Annotate with telemetry: a namerec.Annotate span plus
+// rename counters when the context carries an obs handle.
+func (an *Annotator) AnnotateCtx(ctx context.Context, d *decomp.Decompiled) (*Annotated, error) {
+	_, sp := obs.StartSpan(ctx, "namerec.Annotate")
+	defer sp.End()
+	obs.AddCount(ctx, "namerec.annotate.calls", 1)
 	if d == nil || d.Pseudo == nil {
 		return nil, fmt.Errorf("namerec: nil decompiled input")
 	}
+	sp.SetAttr("symbols", len(d.NameMap))
+	obs.AddCount(ctx, "namerec.annotate.symbols", int64(len(d.NameMap)))
 	rng := rand.New(rand.NewSource(an.Opts.Seed))
 	features := ExtractFeatures(d.Pseudo)
 

@@ -1,11 +1,13 @@
 package namerec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 
 	"decompstudy/internal/csrc"
+	"decompstudy/internal/obs"
 )
 
 // ErrEmptyModel is returned when training sees no variables.
@@ -35,6 +37,14 @@ type Model struct {
 // TrainModel builds a recovery model from parsed source files with their
 // original names intact.
 func TrainModel(files []*csrc.File) (*Model, error) {
+	return TrainModelCtx(context.Background(), files)
+}
+
+// TrainModelCtx is TrainModel with telemetry: a namerec.TrainModel span plus
+// training-size counters when the context carries an obs handle.
+func TrainModelCtx(ctx context.Context, files []*csrc.File) (*Model, error) {
+	_, sp := obs.StartSpan(ctx, "namerec.TrainModel", obs.KV("files", len(files)))
+	defer sp.End()
 	m := &Model{}
 	for _, f := range files {
 		for _, fn := range f.Functions {
@@ -59,6 +69,8 @@ func TrainModel(files []*csrc.File) (*Model, error) {
 	if len(m.examples) == 0 {
 		return nil, ErrEmptyModel
 	}
+	sp.SetAttr("examples", len(m.examples))
+	obs.AddCount(ctx, "namerec.train.examples", int64(len(m.examples)))
 	return m, nil
 }
 

@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// chromeEvent is one complete ("ph":"X") event in the Chrome trace-event
+// format, loadable by chrome://tracing and Perfetto.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`  // microseconds since trace start
+	Dur  float64           `json:"dur"` // microseconds
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace exports every recorded span as Chrome trace-event JSON.
+// Events are emitted in span start order with timestamps in microseconds
+// relative to the collector epoch.
+func (c *Collector) WriteChromeTrace(w io.Writer) error {
+	trace := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	for _, sp := range c.Spans() {
+		ev := chromeEvent{
+			Name: sp.Name,
+			Cat:  "pipeline",
+			Ph:   "X",
+			TS:   float64(sp.Start.Nanoseconds()) / 1e3,
+			Dur:  float64((sp.Finish - sp.Start).Nanoseconds()) / 1e3,
+			PID:  1,
+			TID:  1,
+		}
+		if len(sp.Attrs) > 0 {
+			ev.Args = map[string]string{}
+			for _, a := range sp.Attrs {
+				ev.Args[a.Key] = a.Value
+			}
+		}
+		trace.TraceEvents = append(trace.TraceEvents, ev)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(trace)
+}

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files")
+
+// buildGoldenTrace records a small deterministic span tree using the fake
+// clock (every clock read advances exactly 1ms).
+func buildGoldenTrace() *Collector {
+	c := newTestCollector(time.Millisecond)
+	o := &Obs{Trace: c}
+	ctx := With(context.Background(), o)
+
+	ctx1, run := StartSpan(ctx, "core.New", KV("seed", 99))
+	ctx2, prep := StartSpan(ctx1, "corpus.PrepareAll")
+	_, parse := StartSpan(ctx2, "csrc.Parse", KV("snippet", "AEEK"))
+	parse.End()
+	_, comp := StartSpan(ctx2, "compile.Compile")
+	comp.End()
+	prep.End()
+	_, sv := StartSpan(ctx1, "survey.Run", KV("participants", 42))
+	sv.End()
+	run.End()
+	return c
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildGoldenTrace().WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	goldenPath := filepath.Join("testdata", "chrometrace_golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatalf("writing golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("chrome trace differs from golden.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestChromeTraceFormat checks the structural invariants chrome://tracing
+// needs: a traceEvents array of complete events with name/ph/ts/dur/pid/tid
+// and non-negative monotone timestamps.
+func TestChromeTraceFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildGoldenTrace().WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			PID  int     `json:"pid"`
+			TID  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(parsed.TraceEvents) != 5 {
+		t.Fatalf("got %d events, want 5", len(parsed.TraceEvents))
+	}
+	lastTS := -1.0
+	for _, ev := range parsed.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("event %s: ph = %q, want X", ev.Name, ev.Ph)
+		}
+		if ev.Name == "" || ev.PID == 0 || ev.TID == 0 {
+			t.Errorf("event missing required fields: %+v", ev)
+		}
+		if ev.TS < lastTS {
+			t.Errorf("timestamps not in start order: %g after %g", ev.TS, lastTS)
+		}
+		lastTS = ev.TS
+		if ev.Dur <= 0 {
+			t.Errorf("event %s: dur = %g, want > 0", ev.Name, ev.Dur)
+		}
+	}
+}
+
+// TestChromeTraceEmpty ensures an empty collector still writes valid JSON
+// with an empty (not null) traceEvents array.
+func TestChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewCollector().WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var parsed map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("empty trace is not valid JSON: %v", err)
+	}
+	if string(bytes.TrimSpace(parsed["traceEvents"])) == "null" {
+		t.Error("traceEvents is null, want []")
+	}
+}

@@ -1,0 +1,269 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DefBuckets is the default histogram bucket layout: upper bounds in
+// seconds, tuned for the pipeline's sub-second stages.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float metric that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed buckets. An observation lands in
+// the first bucket whose upper bound is >= the value (bounds are
+// inclusive); values above every bound land in the implicit +Inf bucket.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Int64 // len(bounds)+1, last is +Inf
+	total   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	bounds = append([]float64(nil), bounds...)
+	sort.Float64s(bounds)
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.total.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Registry holds named metrics. All methods are safe for concurrent use;
+// lookups get-or-create, so instrumentation sites never need registration
+// boilerplate.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// upper bounds on first use (nil = DefBuckets). Later calls ignore the
+// bounds argument and return the existing histogram.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// BucketCount is one histogram bucket in a snapshot: the cumulative count
+// of observations <= the upper bound.
+type BucketCount struct {
+	UpperBound float64 `json:"le"`
+	Count      int64   `json:"count"`
+}
+
+// HistSnapshot is a point-in-time histogram reading.
+type HistSnapshot struct {
+	Count   int64         `json:"count"`
+	Sum     float64       `json:"sum"`
+	Buckets []BucketCount `json:"buckets"`
+}
+
+// Snapshot is a point-in-time reading of the whole registry. It marshals
+// directly to JSON and renders as text via String.
+type Snapshot struct {
+	Counters   map[string]int64        `json:"counters,omitempty"`
+	Gauges     map[string]float64      `json:"gauges,omitempty"`
+	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures every metric's current value.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistSnapshot{},
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		hs := HistSnapshot{Count: h.Count(), Sum: h.Sum()}
+		cum := int64(0)
+		for i, ub := range h.bounds {
+			cum += h.counts[i].Load()
+			hs.Buckets = append(hs.Buckets, BucketCount{UpperBound: ub, Count: cum})
+		}
+		cum += h.counts[len(h.bounds)].Load()
+		hs.Buckets = append(hs.Buckets, BucketCount{UpperBound: math.Inf(1), Count: cum})
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// JSON renders the snapshot as indented JSON. Histogram +Inf bounds are
+// emitted as the string "+Inf" to stay valid JSON.
+func (s Snapshot) JSON() ([]byte, error) {
+	type jsonBucket struct {
+		UpperBound string `json:"le"`
+		Count      int64  `json:"count"`
+	}
+	type jsonHist struct {
+		Count   int64        `json:"count"`
+		Sum     float64      `json:"sum"`
+		Buckets []jsonBucket `json:"buckets"`
+	}
+	out := struct {
+		Counters   map[string]int64    `json:"counters,omitempty"`
+		Gauges     map[string]float64  `json:"gauges,omitempty"`
+		Histograms map[string]jsonHist `json:"histograms,omitempty"`
+	}{Counters: s.Counters, Gauges: s.Gauges, Histograms: map[string]jsonHist{}}
+	for name, h := range s.Histograms {
+		jh := jsonHist{Count: h.Count, Sum: h.Sum}
+		for _, b := range h.Buckets {
+			ub := "+Inf"
+			if !math.IsInf(b.UpperBound, 1) {
+				ub = formatFloat(b.UpperBound)
+			}
+			jh.Buckets = append(jh.Buckets, jsonBucket{UpperBound: ub, Count: b.Count})
+		}
+		out.Histograms[name] = jh
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// String renders the snapshot as sorted, aligned text.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	for _, name := range sortedKeys(s.Counters) {
+		fmt.Fprintf(&b, "counter  %-44s %d\n", name, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		fmt.Fprintf(&b, "gauge    %-44s %g\n", name, s.Gauges[name])
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		mean := 0.0
+		if h.Count > 0 {
+			mean = h.Sum / float64(h.Count)
+		}
+		fmt.Fprintf(&b, "hist     %-44s count=%d sum=%.6g mean=%.6g\n", name, h.Count, h.Sum, mean)
+		for _, bk := range h.Buckets {
+			if bk.Count == 0 {
+				continue
+			}
+			ub := "+Inf"
+			if !math.IsInf(bk.UpperBound, 1) {
+				ub = formatFloat(bk.UpperBound)
+			}
+			fmt.Fprintf(&b, "           ≤%-10s %d\n", ub, bk.Count)
+		}
+	}
+	return b.String()
+}
+
+func formatFloat(v float64) string { return fmt.Sprintf("%g", v) }
+
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(3)
+	r.Counter("c").Inc()
+	if got := r.Counter("c").Value(); got != 4 {
+		t.Errorf("counter = %d, want 4", got)
+	}
+	r.Gauge("g").Set(2.5)
+	r.Gauge("g").Add(-1)
+	if got := r.Gauge("g").Value(); got != 1.5 {
+		t.Errorf("gauge = %g, want 1.5", got)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{1, 2, 5})
+	// Boundary semantics: a value equal to an upper bound lands in that
+	// bucket (cumulative "le" counts, Prometheus-style).
+	for _, v := range []float64{0.5, 1.0, 1.5, 2.0, 5.0, 7.0} {
+		h.Observe(v)
+	}
+	s := r.Snapshot().Histograms["h"]
+	if s.Count != 6 {
+		t.Fatalf("count = %d, want 6", s.Count)
+	}
+	if math.Abs(s.Sum-17.0) > 1e-12 {
+		t.Errorf("sum = %g, want 17", s.Sum)
+	}
+	wantCum := []int64{2, 4, 5, 6} // ≤1, ≤2, ≤5, +Inf
+	if len(s.Buckets) != 4 {
+		t.Fatalf("buckets = %+v, want 4 entries", s.Buckets)
+	}
+	for i, want := range wantCum {
+		if s.Buckets[i].Count != want {
+			t.Errorf("bucket[%d] (le=%g) = %d, want %d", i, s.Buckets[i].UpperBound, s.Buckets[i].Count, want)
+		}
+	}
+	if !math.IsInf(s.Buckets[3].UpperBound, 1) {
+		t.Errorf("last bucket bound = %g, want +Inf", s.Buckets[3].UpperBound)
+	}
+	// Re-requesting with different bounds returns the existing histogram.
+	if got := r.Histogram("h", []float64{99}); got != r.Histogram("h", nil) {
+		t.Error("Histogram returned a new instance for an existing name")
+	}
+}
+
+func TestSnapshotTextAndJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pipeline.calls").Add(7)
+	r.Gauge("fit.converged").Set(1)
+	r.Histogram("fit.seconds", []float64{0.1, 1}).Observe(0.05)
+	s := r.Snapshot()
+
+	text := s.String()
+	for _, want := range []string{"counter", "pipeline.calls", "7", "gauge", "fit.converged", "hist", "fit.seconds", "count=1"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("snapshot text missing %q:\n%s", want, text)
+		}
+	}
+
+	raw, err := s.JSON()
+	if err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal(raw, &parsed); err != nil {
+		t.Fatalf("snapshot JSON does not parse: %v\n%s", err, raw)
+	}
+	if _, ok := parsed["histograms"]; !ok {
+		t.Errorf("snapshot JSON missing histograms: %s", raw)
+	}
+}
+
+// TestRegistryConcurrency exercises get-or-create plus updates from many
+// goroutines; run with -race to verify the registry is data-race free.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	o := &Obs{Metrics: r, Trace: NewCollector()}
+	ctx := With(context.Background(), o)
+
+	const workers = 8
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				AddCount(ctx, "shared.counter", 1)
+				SetGauge(ctx, "shared.gauge", float64(i))
+				Observe(ctx, "shared.hist", float64(i%10))
+				_, sp := StartSpan(ctx, "shared.span")
+				sp.SetAttr("i", i)
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := r.Counter("shared.counter").Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Histogram("shared.hist", nil).Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	if got := len(o.Trace.Spans()); got != workers*perWorker {
+		t.Errorf("span count = %d, want %d", got, workers*perWorker)
+	}
+}

@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock yields a deterministic, strictly increasing time source.
+type fakeClock struct {
+	t    time.Time
+	step time.Duration
+}
+
+func (f *fakeClock) now() time.Time {
+	f.t = f.t.Add(f.step)
+	return f.t
+}
+
+func newTestCollector(step time.Duration) *Collector {
+	base := time.Unix(1000, 0)
+	fc := &fakeClock{t: base, step: step}
+	return &Collector{epoch: base, now: fc.now}
+}
+
+func TestSpanNestingAndOrdering(t *testing.T) {
+	c := newTestCollector(time.Millisecond)
+	o := &Obs{Trace: c}
+	ctx := With(context.Background(), o)
+
+	ctx1, root := StartSpan(ctx, "root")
+	ctx2, child := StartSpan(ctx1, "child", KV("k", "v"))
+	_, grand := StartSpan(ctx2, "grandchild")
+	grand.End()
+	child.End()
+	_, sib := StartSpan(ctx1, "sibling")
+	sib.End()
+	root.End()
+
+	spans := c.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(spans))
+	}
+	wantNames := []string{"root", "child", "grandchild", "sibling"}
+	for i, w := range wantNames {
+		if spans[i].Name != w {
+			t.Errorf("span[%d] = %q, want %q (start order)", i, spans[i].Name, w)
+		}
+	}
+	if spans[0].Parent != 0 {
+		t.Errorf("root parent = %d, want 0", spans[0].Parent)
+	}
+	if spans[1].Parent != spans[0].ID {
+		t.Errorf("child parent = %d, want root ID %d", spans[1].Parent, spans[0].ID)
+	}
+	if spans[2].Parent != spans[1].ID {
+		t.Errorf("grandchild parent = %d, want child ID %d", spans[2].Parent, spans[1].ID)
+	}
+	if spans[3].Parent != spans[0].ID {
+		t.Errorf("sibling parent = %d, want root ID %d", spans[3].Parent, spans[0].ID)
+	}
+	for _, sp := range spans {
+		if sp.Finish <= sp.Start {
+			t.Errorf("span %s: Finish %v <= Start %v", sp.Name, sp.Finish, sp.Start)
+		}
+	}
+	// The root must cover all of its descendants.
+	if spans[0].Finish < spans[2].Finish || spans[0].Start > spans[2].Start {
+		t.Errorf("root [%v,%v] does not cover grandchild [%v,%v]",
+			spans[0].Start, spans[0].Finish, spans[2].Start, spans[2].Finish)
+	}
+}
+
+func TestTimingTree(t *testing.T) {
+	c := newTestCollector(time.Millisecond)
+	o := &Obs{Trace: c}
+	ctx := With(context.Background(), o)
+
+	ctx1, root := StartSpan(ctx, "core.New")
+	_, prep := StartSpan(ctx1, "corpus.PrepareAll", KV("snippets", 4))
+	prep.End()
+	_, sv := StartSpan(ctx1, "survey.Run")
+	sv.End()
+	root.End()
+
+	tree := c.TimingTree()
+	for _, want := range []string{"core.New", "├─ corpus.PrepareAll snippets=4", "└─ survey.Run"} {
+		if !strings.Contains(tree, want) {
+			t.Errorf("timing tree missing %q:\n%s", want, tree)
+		}
+	}
+}
+
+func TestStageSummaryAndTotals(t *testing.T) {
+	c := newTestCollector(time.Millisecond)
+	o := &Obs{Trace: c}
+	ctx := With(context.Background(), o)
+	for i := 0; i < 3; i++ {
+		_, sp := StartSpan(ctx, "stage.a")
+		sp.End()
+	}
+	_, sp := StartSpan(ctx, "stage.b")
+	sp.End()
+
+	totals := c.StageTotals()
+	// Each span takes exactly 1 fake tick (start and end each advance 1ms,
+	// so duration per span is 1ms).
+	if got := totals["stage.a"]; got != 3*time.Millisecond {
+		t.Errorf("stage.a total = %v, want 3ms", got)
+	}
+	sum := c.StageSummary()
+	if len(sum) != 2 || sum[0].Name != "stage.a" || sum[0].Count != 3 {
+		t.Errorf("summary = %+v, want stage.a first with count 3", sum)
+	}
+}
+
+func TestDisabledFastPathsAreNoOps(t *testing.T) {
+	ctx := context.Background()
+	ctx2, sp := StartSpan(ctx, "nothing", KV("a", 1))
+	if sp != nil {
+		t.Fatal("disabled StartSpan returned a span")
+	}
+	if ctx2 != ctx {
+		t.Fatal("disabled StartSpan rebound the context")
+	}
+	sp.End()
+	sp.SetAttr("k", "v")
+	Start(ctx, "nothing").End()
+	AddCount(ctx, "c", 1)
+	SetGauge(ctx, "g", 1)
+	Observe(ctx, "h", 1)
+	ObserveDuration(ctx, "h", time.Second)
+	if Logger(ctx) == nil {
+		t.Fatal("Logger returned nil")
+	}
+	Logger(ctx).Info("discarded")
+
+	var zero Obs
+	if zero.Enabled() {
+		t.Fatal("zero-value Obs reports enabled")
+	}
+	if got := With(ctx, &zero); got != ctx {
+		t.Fatal("With(zero) rebound the context")
+	}
+	if got := With(ctx, nil); got != ctx {
+		t.Fatal("With(nil) rebound the context")
+	}
+}
+
+func TestLoggerCarriesSpanID(t *testing.T) {
+	var buf bytes.Buffer
+	c := newTestCollector(time.Millisecond)
+	o := &Obs{Trace: c, Log: NewLogger(&buf, slog.LevelDebug)}
+	ctx := With(context.Background(), o)
+	ctx, sp := StartSpan(ctx, "corpus.Prepare")
+	Logger(ctx).Info("hello")
+	sp.End()
+	out := buf.String()
+	if !strings.Contains(out, "span=1") || !strings.Contains(out, "stage=corpus.Prepare") {
+		t.Errorf("log line missing span tags: %q", out)
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo,
+		"WARN": slog.LevelWarn, "error": slog.LevelError, "": slog.LevelInfo,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel(loud) succeeded, want error")
+	}
+}
+
+func TestCollectorReset(t *testing.T) {
+	c := newTestCollector(time.Millisecond)
+	o := &Obs{Trace: c}
+	ctx := With(context.Background(), o)
+	_, sp := StartSpan(ctx, "a")
+	sp.End()
+	c.Reset()
+	if n := len(c.Spans()); n != 0 {
+		t.Fatalf("after Reset: %d spans, want 0", n)
+	}
+	_, sp = StartSpan(ctx, "b")
+	sp.End()
+	if spans := c.Spans(); len(spans) != 1 || spans[0].ID != 1 {
+		t.Fatalf("after Reset: spans = %+v, want one span with ID 1", spans)
+	}
+}

@@ -1,0 +1,230 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Attr is a key/value annotation attached to a span.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// KV builds an Attr, formatting non-string values with fmt.Sprint.
+func KV(key string, value any) Attr {
+	if s, ok := value.(string); ok {
+		return Attr{Key: key, Value: s}
+	}
+	return Attr{Key: key, Value: fmt.Sprint(value)}
+}
+
+// Span is one timed stage of a pipeline run. Spans form a tree via parent
+// IDs; IDs are assigned in start order, starting at 1.
+type Span struct {
+	c *Collector
+
+	ID     uint64
+	Parent uint64 // 0 for root spans
+	Name   string
+	Attrs  []Attr
+	// Start and Finish are offsets from the collector epoch. Finish <
+	// Start means the span has not ended yet.
+	Start, Finish time.Duration
+}
+
+// End closes the span. Safe on a nil span and safe to call once from a
+// different goroutine than the one that started it.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.c.mu.Lock()
+	if s.Finish < s.Start {
+		s.Finish = s.c.since()
+	}
+	s.c.mu.Unlock()
+}
+
+// SetAttr attaches an annotation to the span. Safe on a nil span.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.c.mu.Lock()
+	s.Attrs = append(s.Attrs, KV(key, value))
+	s.c.mu.Unlock()
+}
+
+// Duration returns the span's elapsed time (zero while still open).
+func (s *Span) Duration() time.Duration {
+	if s == nil || s.Finish < s.Start {
+		return 0
+	}
+	return s.Finish - s.Start
+}
+
+// Collector accumulates spans in memory. The zero value is not usable; call
+// NewCollector. All methods are safe for concurrent use.
+type Collector struct {
+	mu     sync.Mutex
+	epoch  time.Time
+	now    func() time.Time // test hook; nil = time.Now
+	nextID uint64
+	spans  []*Span
+}
+
+// NewCollector returns an empty collector whose epoch is now.
+func NewCollector() *Collector {
+	return &Collector{epoch: time.Now()}
+}
+
+func (c *Collector) since() time.Duration {
+	if c.now != nil {
+		return c.now().Sub(c.epoch)
+	}
+	return time.Since(c.epoch)
+}
+
+func (c *Collector) start(name string, parent *Span, attrs []Attr) *Span {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	sp := &Span{
+		c:      c,
+		ID:     c.nextID,
+		Name:   name,
+		Attrs:  attrs,
+		Start:  c.since(),
+		Finish: -1,
+	}
+	if parent != nil {
+		sp.Parent = parent.ID
+	}
+	c.spans = append(c.spans, sp)
+	return sp
+}
+
+// Spans returns a snapshot of all spans in start order. Open spans are
+// reported with Finish clamped to now so renderers see a monotone duration.
+func (c *Collector) Spans() []*Span {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.since()
+	out := make([]*Span, len(c.spans))
+	for i, sp := range c.spans {
+		cp := *sp
+		if cp.Finish < cp.Start {
+			cp.Finish = now
+		}
+		cp.Attrs = append([]Attr(nil), sp.Attrs...)
+		out[i] = &cp
+	}
+	return out
+}
+
+// Reset drops all recorded spans and restarts the epoch.
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.spans = nil
+	c.nextID = 0
+	if c.now != nil {
+		c.epoch = c.now()
+	} else {
+		c.epoch = time.Now()
+	}
+}
+
+// StageStat aggregates every span sharing one name.
+type StageStat struct {
+	Name  string
+	Count int
+	Total time.Duration
+}
+
+// StageTotals sums span durations by name — the per-stage breakdown used by
+// the benchmarks' b.ReportMetric integration.
+func (c *Collector) StageTotals() map[string]time.Duration {
+	out := map[string]time.Duration{}
+	for _, sp := range c.Spans() {
+		out[sp.Name] += sp.Finish - sp.Start
+	}
+	return out
+}
+
+// StageSummary returns per-stage aggregates sorted by total descending.
+func (c *Collector) StageSummary() []StageStat {
+	byName := map[string]*StageStat{}
+	var order []string
+	for _, sp := range c.Spans() {
+		st, ok := byName[sp.Name]
+		if !ok {
+			st = &StageStat{Name: sp.Name}
+			byName[sp.Name] = st
+			order = append(order, sp.Name)
+		}
+		st.Count++
+		st.Total += sp.Finish - sp.Start
+	}
+	out := make([]StageStat, 0, len(order))
+	for _, n := range order {
+		out = append(out, *byName[n])
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Total > out[j].Total })
+	return out
+}
+
+// TimingTree renders the span hierarchy as a human-readable tree with one
+// line per span: name, attributes, and duration.
+func (c *Collector) TimingTree() string {
+	spans := c.Spans()
+	if len(spans) == 0 {
+		return "(no spans recorded)\n"
+	}
+	children := map[uint64][]*Span{}
+	for _, sp := range spans {
+		children[sp.Parent] = append(children[sp.Parent], sp)
+	}
+	var b strings.Builder
+	var walk func(parent uint64, prefix string)
+	walk = func(parent uint64, prefix string) {
+		kids := children[parent]
+		for i, sp := range kids {
+			last := i == len(kids)-1
+			branch, cont := "├─ ", "│  "
+			if last {
+				branch, cont = "└─ ", "   "
+			}
+			if parent == 0 {
+				branch, cont = "", ""
+			}
+			label := sp.Name
+			for _, a := range sp.Attrs {
+				label += fmt.Sprintf(" %s=%s", a.Key, a.Value)
+			}
+			line := prefix + branch + label
+			fmt.Fprintf(&b, "%-58s %12s\n", line, formatDuration(sp.Finish-sp.Start))
+			walk(sp.ID, prefix+cont)
+		}
+	}
+	walk(0, "")
+	return b.String()
+}
+
+// formatDuration renders d with a stable, compact precision for the tree.
+func formatDuration(d time.Duration) string {
+	switch {
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	}
+}

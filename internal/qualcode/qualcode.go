@@ -10,6 +10,7 @@
 package qualcode
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -20,6 +21,7 @@ import (
 	"decompstudy/internal/embed"
 	"decompstudy/internal/htest"
 	"decompstudy/internal/metrics"
+	"decompstudy/internal/obs"
 )
 
 // ErrNoData is returned when an analysis receives no input.
@@ -138,6 +140,15 @@ type PairSet struct {
 // discretized ratings exhibit the high-but-imperfect agreement the paper
 // reports.
 func RatePanel(sets []PairSet, model *embed.Model, cfg *PanelConfig) (*PanelResult, error) {
+	return RatePanelCtx(context.Background(), sets, model, cfg)
+}
+
+// RatePanelCtx is RatePanel with telemetry: a qualcode.RatePanel span plus
+// unit counters when the context carries an obs handle.
+func RatePanelCtx(ctx context.Context, sets []PairSet, model *embed.Model, cfg *PanelConfig) (*PanelResult, error) {
+	_, sp := obs.StartSpan(ctx, "qualcode.RatePanel", obs.KV("sets", len(sets)))
+	defer sp.End()
+	obs.AddCount(ctx, "qualcode.panel.sets", int64(len(sets)))
 	if len(sets) == 0 {
 		return nil, ErrNoData
 	}

@@ -8,12 +8,14 @@
 package survey
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 	"strings"
 
 	"decompstudy/internal/corpus"
+	"decompstudy/internal/obs"
 	"decompstudy/internal/participants"
 )
 
@@ -94,7 +96,15 @@ func (c *Config) defaults() Config {
 
 // Run administers the full study.
 func Run(cfg *Config) (*Dataset, error) {
+	return RunCtx(context.Background(), cfg)
+}
+
+// RunCtx is Run with telemetry: a survey.Run span with the participant-
+// simulation loop as a child span, plus recruitment/response counters.
+func RunCtx(ctx context.Context, cfg *Config) (*Dataset, error) {
 	c := cfg.defaults()
+	ctx, sp := obs.StartSpan(ctx, "survey.Run", obs.KV("seed", c.Seed))
+	defer sp.End()
 	rng := rand.New(rand.NewSource(c.Seed))
 	pool := participants.SamplePool(rng, c.Pool)
 	snippets := c.Snippets
@@ -104,6 +114,7 @@ func Run(cfg *Config) (*Dataset, error) {
 	if len(snippets) == 0 {
 		return nil, fmt.Errorf("survey: no snippets: %w", ErrConfig)
 	}
+	obs.AddCount(ctx, "survey.participants.recruited", int64(len(pool)))
 
 	ds := &Dataset{Assignments: map[int]map[string]bool{}}
 	type userData struct {
@@ -113,6 +124,7 @@ func Run(cfg *Config) (*Dataset, error) {
 	}
 	var users []userData
 
+	simCtx, simSpan := obs.StartSpan(ctx, "participants.Simulate", obs.KV("pool", len(pool)))
 	for _, p := range pool {
 		ud := userData{p: p, minTime: 1e18}
 		ds.Assignments[p.ID] = map[string]bool{}
@@ -149,7 +161,9 @@ func Run(cfg *Config) (*Dataset, error) {
 			}
 		}
 		users = append(users, ud)
+		obs.AddCount(simCtx, "survey.responses.collected", int64(len(ud.responses)))
 	}
+	simSpan.End()
 
 	// Quality filter (§III-E): exclude participants whose fastest snippet
 	// is quicker than the minimum reading time.
@@ -161,6 +175,12 @@ func Run(cfg *Config) (*Dataset, error) {
 		ds.Participants = append(ds.Participants, ud.p)
 		ds.Responses = append(ds.Responses, ud.responses...)
 	}
+	obs.AddCount(ctx, "survey.participants.excluded", int64(len(ds.ExcludedIDs)))
+	obs.SetGauge(ctx, "survey.participants.retained", float64(len(ds.Participants)))
+	sp.SetAttr("retained", len(ds.Participants))
+	sp.SetAttr("excluded", len(ds.ExcludedIDs))
+	obs.Logger(ctx).Debug("survey administered",
+		"recruited", len(pool), "retained", len(ds.Participants), "responses", len(ds.Responses))
 	if len(ds.Participants) == 0 {
 		return nil, fmt.Errorf("survey: every participant excluded (MinReadSec=%v): %w", c.MinReadSec, ErrConfig)
 	}

@@ -1,0 +1,25 @@
+#!/bin/sh
+# check.sh — the repo's pre-merge gate: formatting, static analysis, build,
+# and the full test suite. Run from the repository root (or via `make check`).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:"
+	echo "$unformatted"
+	exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test"
+go test ./...
+
+echo "OK"

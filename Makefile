@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check check bench-smoke clean
+.PHONY: all build test race vet lint fmt-check check bench-smoke clean
 
 all: build test
 
@@ -15,6 +15,17 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis over the corpus and example programs: go vet plus the
+# project's own IR linter. The corpus and clean.c must come back clean;
+# dirty.c deliberately seeds one finding per checker and must NOT.
+lint: vet
+	$(GO) run ./cmd/irlint -corpus examples/lintdemo/clean.c
+	@if $(GO) run ./cmd/irlint examples/lintdemo/dirty.c >/dev/null 2>&1; then \
+		echo "irlint: examples/lintdemo/dirty.c should have findings"; exit 1; \
+	else \
+		echo "irlint: dirty.c findings detected (expected)"; \
+	fi
 
 fmt-check:
 	@out="$$(gofmt -l .)"; \

@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"decompstudy/internal/analysis"
 	"decompstudy/internal/compile"
 	"decompstudy/internal/core"
 	"decompstudy/internal/corpus"
@@ -317,4 +318,47 @@ func BenchmarkInterpreter(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkAnalysis measures one static-analysis sweep over every study
+// snippet (verifier, lint checkers, complexity covariates) and splits
+// the wall-clock into ns/verify and ns/liveness custom metrics from the
+// obs span collector, mirroring BenchmarkStudyStages.
+func BenchmarkAnalysis(b *testing.B) {
+	var funcs []*compile.Func
+	for _, s := range corpus.Snippets() {
+		f, err := s.Parse()
+		if err != nil {
+			b.Fatal(err)
+		}
+		obj, err := compile.Compile(f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		funcs = append(funcs, obj.Funcs...)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	stageTotals := map[string]time.Duration{}
+	for i := 0; i < b.N; i++ {
+		o := obs.New()
+		ctx := obs.With(context.Background(), o)
+		for _, fn := range funcs {
+			if diags := analysis.VerifyCtx(ctx, fn); analysis.CountSev(diags, analysis.SevError) != 0 {
+				b.Fatalf("%s: %v", fn.Name, diags)
+			}
+			func() {
+				_, sp := obs.StartSpan(ctx, "analysis.Liveness", obs.KV("func", fn.Name))
+				defer sp.End()
+				analysis.Liveness(analysis.NewGraph(fn))
+			}()
+			analysis.MeasureCtx(ctx, fn)
+		}
+		for name, d := range o.Trace.StageTotals() {
+			stageTotals[name] += d
+		}
+	}
+	n := float64(b.N)
+	b.ReportMetric(float64(stageTotals["analysis.Verify"].Nanoseconds())/n, "ns/verify")
+	b.ReportMetric(float64(stageTotals["analysis.Liveness"].Nanoseconds())/n, "ns/liveness")
 }

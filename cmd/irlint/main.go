@@ -1,0 +1,312 @@
+// Command irlint compiles mini-C sources to IR and runs the
+// internal/analysis verifier and lint checkers over every function,
+// reporting structural errors (malformed CFGs, bad operand kinds,
+// use-before-def) and readability findings (dead stores, unreachable
+// code, constant conditions, unused parameters, maybe-uninitialized
+// reads).
+//
+// Usage:
+//
+//	irlint [flags] FILE.c ...
+//	irlint -corpus
+//
+// -corpus lints the embedded study snippets and the training corpus
+// instead of (or in addition to) the listed files. -json emits the
+// findings as a JSON document; -complexity appends the per-function
+// structural-complexity covariates used as RQ5 predictors. The exit code
+// is 0 when every function is clean, 1 when there are findings or a
+// pipeline failure, and 2 on usage errors.
+//
+// Observability flags: -stats prints the per-stage timing tree and a
+// metrics snapshot to stderr, -trace writes a Chrome trace-event JSON
+// file, -v / -log-level enable structured logging, and -cpuprofile /
+// -memprofile write pprof profiles.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"sort"
+	"strings"
+
+	"decompstudy/internal/analysis"
+	"decompstudy/internal/compile"
+	"decompstudy/internal/corpus"
+	"decompstudy/internal/csrc"
+	"decompstudy/internal/obs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// finding is one diagnostic tagged with the compilation unit it came from.
+type finding struct {
+	Source string `json:"source"`
+	analysis.Diag
+}
+
+// funcCov is one function's complexity covariates, tagged like finding.
+type funcCov struct {
+	Source string `json:"source"`
+	Func   string `json:"func"`
+	analysis.Covariates
+}
+
+// report accumulates results across every linted unit.
+type report struct {
+	Findings   []finding `json:"findings"`
+	Complexity []funcCov `json:"complexity,omitempty"`
+}
+
+// runner carries the per-invocation state through every linted unit.
+type runner struct {
+	ctx        context.Context
+	rep        report
+	complexity bool
+}
+
+// lintSrc parses and compiles one mini-C translation unit and lints
+// every function in it.
+func (r *runner) lintSrc(source, src string, types []string) error {
+	file, err := csrc.ParseCtx(r.ctx, src, types)
+	if err != nil {
+		return err
+	}
+	obj, err := compile.CompileCtx(r.ctx, file)
+	if err != nil {
+		return err
+	}
+	r.lintObject(source, obj)
+	return nil
+}
+
+// lintObject lints every function of an already-compiled object.
+func (r *runner) lintObject(source string, obj *compile.Object) {
+	for _, fn := range obj.Funcs {
+		for _, d := range analysis.Check(r.ctx, fn) {
+			r.rep.Findings = append(r.rep.Findings, finding{Source: source, Diag: d})
+		}
+		if r.complexity {
+			r.rep.Complexity = append(r.rep.Complexity, funcCov{
+				Source: source, Func: fn.Name,
+				Covariates: analysis.MeasureCtx(r.ctx, fn),
+			})
+		}
+	}
+}
+
+// lintCorpus feeds the embedded study snippets and the training corpus
+// through the same lint path as file arguments.
+func (r *runner) lintCorpus() error {
+	for _, s := range corpus.Snippets() {
+		if err := r.lintSrc("snippet:"+s.ID, s.Source, s.ExtraTypes); err != nil {
+			return fmt.Errorf("snippet %s: %w", s.ID, err)
+		}
+	}
+	files, err := corpus.TrainingFiles()
+	if err != nil {
+		return err
+	}
+	for i, f := range files {
+		obj, err := compile.CompileCtx(r.ctx, f)
+		if err != nil {
+			return fmt.Errorf("training[%d]: %w", i, err)
+		}
+		r.lintObject(fmt.Sprintf("training[%d]", i), obj)
+	}
+	return nil
+}
+
+func run(args []string, stdout, stderr io.Writer) (code int) {
+	fs := flag.NewFlagSet("irlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	useCorpus := fs.Bool("corpus", false, "lint the embedded study snippets and training corpus")
+	jsonOut := fs.Bool("json", false, "emit findings as JSON instead of text")
+	complexity := fs.Bool("complexity", false, "also report per-function complexity covariates")
+	typeList := fs.String("types", "", "comma-separated extra type names for the parser")
+	tracePath := fs.String("trace", "", "write a Chrome trace-event JSON file of the pipeline spans")
+	stats := fs.Bool("stats", false, "print the per-stage timing tree and metrics snapshot to stderr")
+	verbose := fs.Bool("v", false, "enable debug logging (shorthand for -log-level debug)")
+	logLevel := fs.String("log-level", "", "structured log level: debug, info, warn, error")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a pprof heap profile to this file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if !*useCorpus && fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "usage: irlint [flags] FILE.c ...  (or -corpus)")
+		return 2
+	}
+
+	ctx, finish, ecode := setupObs(obsOptions{
+		trace: *tracePath, stats: *stats, verbose: *verbose,
+		logLevel: *logLevel, cpuprofile: *cpuprofile, memprofile: *memprofile,
+	}, "irlint", stderr)
+	if ecode != 0 {
+		return ecode
+	}
+	defer func() {
+		if err := finish(); err != nil && code == 0 {
+			code = 1
+		}
+	}()
+
+	var extra []string
+	if *typeList != "" {
+		extra = strings.Split(*typeList, ",")
+	}
+
+	r := &runner{ctx: ctx, complexity: *complexity}
+	for _, path := range fs.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "irlint: %v\n", err)
+			return 1
+		}
+		if err := r.lintSrc(path, string(src), extra); err != nil {
+			fmt.Fprintf(stderr, "irlint: %s: %v\n", path, err)
+			return 1
+		}
+	}
+	if *useCorpus {
+		if err := r.lintCorpus(); err != nil {
+			fmt.Fprintf(stderr, "irlint: %v\n", err)
+			return 1
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(r.rep); err != nil {
+			fmt.Fprintf(stderr, "irlint: %v\n", err)
+			return 1
+		}
+	} else {
+		renderText(stdout, &r.rep)
+	}
+	if len(r.rep.Findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func renderText(w io.Writer, rep *report) {
+	for _, f := range rep.Findings {
+		fmt.Fprintf(w, "%s: %s\n", f.Source, f.Diag.String())
+	}
+	if rep.Complexity != nil {
+		if len(rep.Findings) > 0 {
+			fmt.Fprintln(w)
+		}
+		for _, c := range rep.Complexity {
+			fmt.Fprintf(w, "%s: %s: %s\n", c.Source, c.Func, c.Covariates.String())
+		}
+	}
+	if len(rep.Findings) == 0 && rep.Complexity == nil {
+		fmt.Fprintln(w, "irlint: no findings")
+	}
+	if len(rep.Findings) > 0 {
+		counts := map[string]int{}
+		for _, f := range rep.Findings {
+			counts[f.Check]++
+		}
+		keys := make([]string, 0, len(counts))
+		for k := range counts {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, len(keys))
+		for i, k := range keys {
+			parts[i] = fmt.Sprintf("%s×%d", k, counts[k])
+		}
+		fmt.Fprintf(w, "\n%d finding(s): %s\n", len(rep.Findings), strings.Join(parts, ", "))
+	}
+}
+
+// obsOptions collects the shared observability flag values.
+type obsOptions struct {
+	trace, logLevel        string
+	stats, verbose         bool
+	cpuprofile, memprofile string
+}
+
+// setupObs builds the telemetry handle for a CLI run and returns the
+// context to thread through the pipeline plus a finish func that flushes
+// the trace file, stats report, and profiles. A non-zero code means a flag
+// was invalid and the caller should exit with it.
+func setupObs(opt obsOptions, prog string, stderr io.Writer) (context.Context, func() error, int) {
+	o := &obs.Obs{}
+	if opt.trace != "" || opt.stats {
+		o.Trace = obs.NewCollector()
+		o.Metrics = obs.NewRegistry()
+	}
+	if opt.verbose || opt.logLevel != "" {
+		level := slog.LevelDebug
+		if opt.logLevel != "" {
+			var err error
+			level, err = obs.ParseLevel(opt.logLevel)
+			if err != nil {
+				fmt.Fprintf(stderr, "%s: %v\n", prog, err)
+				return nil, nil, 2
+			}
+		}
+		o.Log = obs.NewLogger(stderr, level)
+	}
+	ctx := obs.With(context.Background(), o)
+
+	var stopCPU func() error
+	if opt.cpuprofile != "" {
+		stop, err := obs.StartCPUProfile(opt.cpuprofile)
+		if err != nil {
+			fmt.Fprintf(stderr, "%s: %v\n", prog, err)
+			return nil, nil, 1
+		}
+		stopCPU = stop
+	}
+	finish := func() error {
+		var firstErr error
+		fail := func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+		if stopCPU != nil {
+			if err := stopCPU(); err != nil {
+				fmt.Fprintf(stderr, "%s: cpu profile: %v\n", prog, err)
+				fail(err)
+			}
+		}
+		if opt.memprofile != "" {
+			if err := obs.WriteHeapProfile(opt.memprofile); err != nil {
+				fmt.Fprintf(stderr, "%s: heap profile: %v\n", prog, err)
+				fail(err)
+			}
+		}
+		if o.Trace != nil && opt.trace != "" {
+			f, err := os.Create(opt.trace)
+			if err == nil {
+				err = o.Trace.WriteChromeTrace(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(stderr, "%s: trace: %v\n", prog, err)
+				fail(err)
+			}
+		}
+		if opt.stats && o.Trace != nil {
+			fmt.Fprintf(stderr, "\nPer-stage timing tree:\n\n%s", o.Trace.TimingTree())
+			fmt.Fprintf(stderr, "\nMetrics snapshot:\n\n%s", o.Metrics.Snapshot().String())
+		}
+		return firstErr
+	}
+	return ctx, finish, 0
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const (
+	cleanDemo = "../../examples/lintdemo/clean.c"
+	dirtyDemo = "../../examples/lintdemo/dirty.c"
+)
+
+func TestCleanFileExitsZero(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{cleanDemo}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "no findings") {
+		t.Errorf("stdout = %q, want the no-findings notice", stdout.String())
+	}
+}
+
+func TestDirtyFileReportsEverySeededFinding(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{dirtyDemo}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"lint.dead-store", "lint.const-cond", "lint.unused-param",
+		"lint.uninit-read", "verify.def-before-use",
+		// The position and variable naming must survive to the CLI.
+		"dead_store", "(acc)", "(extra)", "(total)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "5 finding(s)") {
+		t.Errorf("output missing the summary line:\n%s", out)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", "-complexity", dirtyDemo}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	var rep report
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, stdout.String())
+	}
+	if len(rep.Findings) != 5 {
+		t.Errorf("findings = %d, want 5", len(rep.Findings))
+	}
+	if len(rep.Complexity) != 4 {
+		t.Errorf("complexity rows = %d, want one per function", len(rep.Complexity))
+	}
+	f := rep.Findings[0]
+	if f.Source == "" || f.Check == "" || f.Func == "" {
+		t.Errorf("finding missing fields: %+v", f)
+	}
+}
+
+func TestCorpusIsClean(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-corpus"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-corpus exit = %d, want 0; stdout: %s stderr: %s",
+			code, stdout.String(), stderr.String())
+	}
+}
+
+func TestComplexityText(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-complexity", cleanDemo}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	out := stdout.String()
+	for _, want := range []string{"clamp", "sum_range", "cyclomatic="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("complexity output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Errorf("no-args exit = %d, want 2", code)
+	}
+	if code := run([]string{"-no-such-flag"}, &stdout, &stderr); code != 2 {
+		t.Errorf("bad-flag exit = %d, want 2", code)
+	}
+}
+
+func TestMissingAndUnparsableFiles(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"definitely/not/there.c"}, &stdout, &stderr); code != 1 {
+		t.Errorf("missing-file exit = %d, want 1", code)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.c")
+	if err := os.WriteFile(bad, []byte("int f( {"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stderr.Reset()
+	if code := run([]string{bad}, &stdout, &stderr); code != 1 {
+		t.Errorf("parse-error exit = %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "bad.c") {
+		t.Errorf("stderr %q should name the failing file", stderr.String())
+	}
+}

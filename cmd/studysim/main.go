@@ -8,8 +8,9 @@
 //
 // With no flags it prints every table and figure in paper order using the
 // shipped seed. -artifact selects a single artifact (table1, table2,
-// table3, table4, fig1..fig8, intext, metrics, ablations, confound,
-// telemetry); -csv dumps the anonymized response dataset instead.
+// table3, table4, fig1..fig8, intext, metrics, complexity, ablations,
+// confound, telemetry); -csv dumps the anonymized response dataset
+// instead.
 //
 // Observability flags: -stats prints the per-stage timing tree and a
 // metrics snapshot to stderr after the run, -trace writes a Chrome
@@ -58,6 +59,7 @@ var artifactRegistry = []artifactEntry{
 	{"fig8", func(r *experiments.Runner, _ int64) (string, error) { return r.Figure8() }},
 	{"intext", func(r *experiments.Runner, _ int64) (string, error) { return r.InTextStats() }},
 	{"metrics", func(r *experiments.Runner, _ int64) (string, error) { return r.MetricReportTable(), nil }},
+	{"complexity", func(r *experiments.Runner, _ int64) (string, error) { return r.ComplexityReport() }},
 	{"ablations", func(_ *experiments.Runner, seed int64) (string, error) {
 		out, _, err := experiments.Ablations(seed)
 		return out, err

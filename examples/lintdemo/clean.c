@@ -1,0 +1,23 @@
+/*
+ * clean.c — mini-C that compiles to verifier- and lint-clean IR. The
+ * `make lint` target and cmd/irlint's golden tests require irlint to
+ * exit 0 on this file.
+ */
+
+int clamp(int value, int lo, int hi) {
+  if (value < lo) {
+    return lo;
+  }
+  if (value > hi) {
+    return hi;
+  }
+  return value;
+}
+
+long sum_range(long *values, int count) {
+  long total = 0;
+  for (int i = 0; i < count; i++) {
+    total = total + values[i];
+  }
+  return total;
+}

@@ -1,0 +1,35 @@
+/*
+ * dirty.c — deliberately flawed mini-C used by cmd/irlint's golden tests
+ * and the `make lint` negative check. Every function seeds exactly the
+ * finding its name says; irlint must exit 1 on this file.
+ */
+
+/* lint.dead-store: the first value of acc is overwritten unread. */
+int dead_store(int a, int b) {
+  int acc = a + b;
+  acc = a * b;
+  return acc;
+}
+
+/* lint.const-cond: the guard is a constant, so one arm never runs. */
+int const_cond(int x) {
+  int flag = 1;
+  if (flag) {
+    return x + 1;
+  }
+  return x - 1;
+}
+
+/* lint.unused-param: `extra` never appears in the body. */
+int unused_param(int keep, int extra) {
+  return keep * 2;
+}
+
+/* lint.uninit-read: `total` is only assigned in one branch. */
+int uninit_read(int n) {
+  int total;
+  if (n > 0) {
+    total = n;
+  }
+  return total;
+}

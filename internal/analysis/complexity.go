@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"context"
+	"fmt"
+
+	"decompstudy/internal/compile"
+	"decompstudy/internal/obs"
+)
+
+// Covariates are the structural-complexity measures of one function,
+// computed from the dataflow analyses. They are the RQ5 structural
+// predictors the DIRE line of work argues should sit beside surface
+// similarity when modeling comprehension.
+type Covariates struct {
+	// Blocks and Edges count the reachable CFG.
+	Blocks int `json:"blocks"`
+	Edges  int `json:"edges"`
+	// Instrs counts instructions in reachable blocks.
+	Instrs int `json:"instrs"`
+	// Temps is the function's register count (variable pressure proxy).
+	Temps int `json:"temps"`
+	// Cyclomatic is McCabe's E − N + 2 over the reachable CFG augmented
+	// with a virtual exit node every ret branches to, so multi-return
+	// functions are not undercounted.
+	Cyclomatic int `json:"cyclomatic"`
+	// MaxLoopDepth is the deepest natural-loop nesting.
+	MaxLoopDepth int `json:"max_loop_depth"`
+	// MaxLivePressure is the largest number of simultaneously live temps
+	// at any instruction boundary.
+	MaxLivePressure int `json:"max_live_pressure"`
+	// Calls counts call instructions in reachable blocks.
+	Calls int `json:"calls"`
+}
+
+func (c Covariates) String() string {
+	return fmt.Sprintf("blocks=%d edges=%d instrs=%d temps=%d cyclomatic=%d loopdepth=%d livepressure=%d calls=%d",
+		c.Blocks, c.Edges, c.Instrs, c.Temps, c.Cyclomatic, c.MaxLoopDepth, c.MaxLivePressure, c.Calls)
+}
+
+// Measure computes the structural covariates of one function. The
+// function should be verifier-clean; on malformed IR Measure still
+// returns without panicking but the numbers describe only the salvaged
+// graph.
+func Measure(fn *compile.Func) Covariates {
+	return MeasureCtx(context.Background(), fn)
+}
+
+// MeasureCtx is Measure with telemetry: an analysis.Measure span when
+// the context carries an obs handle.
+func MeasureCtx(ctx context.Context, fn *compile.Func) Covariates {
+	_, sp := obs.StartSpan(ctx, "analysis.Measure", obs.KV("func", fn.Name))
+	defer sp.End()
+	obs.AddCount(ctx, "analysis.measure.funcs", 1)
+
+	g := NewGraph(fn)
+	cov := Covariates{Temps: fn.NTemps}
+	rets := 0
+	for i, b := range g.Blocks {
+		if !g.Reach.Has(i) {
+			continue
+		}
+		cov.Blocks++
+		cov.Instrs += len(b.Instrs)
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case compile.OpCall:
+				cov.Calls++
+			case compile.OpRet:
+				rets++
+			}
+		}
+	}
+	cov.Edges = g.NumEdges()
+	if cov.Blocks > 0 {
+		// Virtual-exit form of E − N + 2: each ret adds an edge to a
+		// shared exit node ((E+rets) − (N+1) + 2).
+		cov.Cyclomatic = cov.Edges + rets - cov.Blocks + 1
+	}
+	cov.MaxLoopDepth = Dominators(g).MaxDepth()
+	cov.MaxLivePressure = Liveness(g).MaxPressure()
+	sp.SetAttr("cyclomatic", cov.Cyclomatic)
+	return cov
+}
+
+// MeasureObject computes covariates for every function in an object,
+// keyed by function name.
+func MeasureObject(ctx context.Context, obj *compile.Object) map[string]Covariates {
+	out := make(map[string]Covariates, len(obj.Funcs))
+	for _, fn := range obj.Funcs {
+		out[fn.Name] = MeasureCtx(ctx, fn)
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"decompstudy/internal/compile"
+)
+
+func TestMeasureBranchy(t *testing.T) {
+	cov := Measure(compileSrc(t, `
+int clamp(int value, int lo, int hi) {
+  if (value < lo) {
+    return lo;
+  }
+  if (value > hi) {
+    return hi;
+  }
+  return value;
+}
+`))
+	// Two decisions → McCabe 3, even with three returns (the virtual-exit
+	// form must not undercount multi-return functions).
+	if cov.Cyclomatic != 3 {
+		t.Errorf("Cyclomatic = %d, want 3", cov.Cyclomatic)
+	}
+	if cov.MaxLoopDepth != 0 {
+		t.Errorf("MaxLoopDepth = %d, want 0", cov.MaxLoopDepth)
+	}
+	if cov.Blocks != 5 || cov.Edges != 4 {
+		t.Errorf("Blocks/Edges = %d/%d, want 5/4", cov.Blocks, cov.Edges)
+	}
+}
+
+func TestMeasureLoop(t *testing.T) {
+	cov := Measure(compileSrc(t, `
+long sum(long *v, int n) {
+  long total = 0;
+  for (int i = 0; i < n; i++) {
+    total = total + v[i];
+  }
+  return total;
+}
+`))
+	if cov.Cyclomatic != 2 {
+		t.Errorf("Cyclomatic = %d, want 2", cov.Cyclomatic)
+	}
+	if cov.MaxLoopDepth != 1 {
+		t.Errorf("MaxLoopDepth = %d, want 1", cov.MaxLoopDepth)
+	}
+	if cov.MaxLivePressure < 3 {
+		t.Errorf("MaxLivePressure = %d, want at least v, n, total, i live together", cov.MaxLivePressure)
+	}
+}
+
+func TestMeasureCountsCallsAndNesting(t *testing.T) {
+	fn := nestedLoops()
+	fn.Blocks[2].Instrs = append([]compile.Instr{
+		{Op: compile.OpCall, Dst: -1, Callee: compile.Sym("g")},
+	}, fn.Blocks[2].Instrs...)
+	cov := Measure(fn)
+	if cov.Calls != 1 {
+		t.Errorf("Calls = %d, want 1", cov.Calls)
+	}
+	if cov.MaxLoopDepth != 2 {
+		t.Errorf("MaxLoopDepth = %d, want 2", cov.MaxLoopDepth)
+	}
+}
+
+func TestMeasureIgnoresUnreachable(t *testing.T) {
+	fn := tfn(0, 0,
+		tb(0, ret(compile.Const(0))),
+		tb(1, compile.Instr{Op: compile.OpCall, Dst: -1, Callee: compile.Sym("g")}, ret(compile.Const(0))),
+	)
+	cov := Measure(fn)
+	if cov.Blocks != 1 || cov.Calls != 0 {
+		t.Errorf("Blocks/Calls = %d/%d, want 1/0 (unreachable excluded)", cov.Blocks, cov.Calls)
+	}
+}
+
+func TestMeasureEmptyFunc(t *testing.T) {
+	cov := Measure(&compile.Func{Name: "empty"})
+	if cov.Cyclomatic != 0 || cov.Blocks != 0 {
+		t.Errorf("empty func covariates = %+v, want zeros", cov)
+	}
+}
+
+func TestCovariatesString(t *testing.T) {
+	s := Covariates{Blocks: 2, Cyclomatic: 3}.String()
+	for _, want := range []string{"blocks=2", "cyclomatic=3", "loopdepth=0"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}

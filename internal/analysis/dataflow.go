@@ -1,0 +1,156 @@
+package analysis
+
+import "decompstudy/internal/compile"
+
+// Direction selects how facts propagate through the CFG.
+type Direction int
+
+// Dataflow directions.
+const (
+	Forward Direction = iota + 1
+	Backward
+)
+
+// Lattice defines the fact domain of one dataflow problem. Facts are an
+// arbitrary type F; the shipped passes all use Bits but the framework
+// does not care.
+type Lattice[F any] struct {
+	// Bottom returns the optimistic initial fact for non-boundary blocks
+	// (empty set for may-analyses, universal set for must-analyses).
+	Bottom func() F
+	// Boundary returns the fact entering the entry block (Forward) or
+	// leaving every exit block (Backward).
+	Boundary func() F
+	// Join merges src into dst in place and reports whether dst changed;
+	// it implements the confluence operator (union or intersection).
+	Join func(dst, src F) bool
+	// Clone copies a fact so Transfer may mutate its input freely.
+	Clone func(F) F
+}
+
+// Transfer computes a block's out fact (Forward) or in fact (Backward)
+// from the fact flowing into it. It may mutate and return its argument —
+// the solver always passes a clone.
+type Transfer[F any] func(b *compile.Block, fact F) F
+
+// Solution holds the fixpoint facts at each block boundary, indexed like
+// Graph.Blocks. For Forward problems In is the fact before the block and
+// Out after; for Backward problems Out is the fact after the block
+// (flowing in from successors) and In the fact before it.
+type Solution[F any] struct {
+	In, Out []F
+}
+
+// Solve runs the worklist algorithm to fixpoint. Blocks are seeded in
+// reverse postorder (postorder for backward problems) so reducible CFGs
+// converge in few passes; the worklist handles the rest. Unreachable
+// blocks keep their Bottom facts.
+func Solve[F any](g *Graph, dir Direction, lat Lattice[F], transfer Transfer[F]) *Solution[F] {
+	n := g.NumBlocks()
+	sol := &Solution[F]{In: make([]F, n), Out: make([]F, n)}
+	for i := 0; i < n; i++ {
+		sol.In[i] = lat.Bottom()
+		sol.Out[i] = lat.Bottom()
+	}
+	if n == 0 {
+		return sol
+	}
+
+	// order is the seed iteration order; flow/depend pick the edge
+	// direction so one loop body serves both problem directions.
+	order := g.RPO
+	if dir == Backward {
+		order = make([]int, len(g.RPO))
+		for i, b := range g.RPO {
+			order[len(g.RPO)-1-i] = b
+		}
+	}
+
+	inQueue := NewBits(n)
+	queue := make([]int, 0, len(order))
+	for _, b := range order {
+		queue = append(queue, b)
+		inQueue.Set(b)
+	}
+
+	boundary := func(i int) bool {
+		if dir == Forward {
+			return i == 0
+		}
+		return len(g.Succs[i]) == 0
+	}
+
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		inQueue.Clear(b)
+
+		// Gather the fact flowing into the transfer function.
+		gather := lat.Bottom()
+		if boundary(b) {
+			lat.Join(gather, lat.Boundary())
+		}
+		preds := g.Preds[b]
+		if dir == Backward {
+			preds = g.Succs[b]
+		}
+		for _, p := range preds {
+			src := sol.Out[p]
+			if dir == Backward {
+				src = sol.In[p]
+			}
+			lat.Join(gather, src)
+		}
+
+		result := transfer(g.Blocks[b], lat.Clone(gather))
+		if dir == Forward {
+			sol.In[b] = gather
+			if lat.Join(sol.Out[b], result) {
+				for _, s := range g.Succs[b] {
+					if !inQueue.Has(s) {
+						inQueue.Set(s)
+						queue = append(queue, s)
+					}
+				}
+			}
+		} else {
+			sol.Out[b] = gather
+			if lat.Join(sol.In[b], result) {
+				for _, p := range g.Preds[b] {
+					if !inQueue.Has(p) {
+						inQueue.Set(p)
+						queue = append(queue, p)
+					}
+				}
+			}
+		}
+	}
+	return sol
+}
+
+// BitsLattice builds the standard bitset lattice over n elements.
+// must=false gives the may-analysis lattice (⊥ = ∅, join = ∪);
+// must=true gives the must-analysis lattice (⊥ = universe, join = ∩).
+func BitsLattice(n int, must bool, boundary Bits) Lattice[Bits] {
+	lat := Lattice[Bits]{
+		Clone: func(b Bits) Bits { return b.Clone() },
+		Boundary: func() Bits {
+			if boundary == nil {
+				return NewBits(n)
+			}
+			return boundary.Clone()
+		},
+	}
+	if must {
+		lat.Bottom = func() Bits {
+			b := NewBits(n)
+			b.Fill(n)
+			return b
+		}
+		lat.Join = func(dst, src Bits) bool { return dst.Intersect(src) }
+	} else {
+		lat.Bottom = func() Bits { return NewBits(n) }
+		lat.Join = func(dst, src Bits) bool { return dst.Union(src) }
+	}
+	return lat
+}

@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"testing"
+
+	"decompstudy/internal/compile"
+)
+
+// blockBitTransfer marks each block's own dense index in the fact — the
+// simplest transfer that distinguishes paths, used to probe the solver.
+func blockBitTransfer(g *Graph) Transfer[Bits] {
+	return func(b *compile.Block, fact Bits) Bits {
+		fact.Set(g.Index[b.ID])
+		return fact
+	}
+}
+
+func TestSolveForwardMay(t *testing.T) {
+	// Forward may-analysis with "blocks seen on some path": at the join
+	// the fact is the union over both arms.
+	g := NewGraph(diamond())
+	sol := Solve(g, Forward, BitsLattice(4, false, NewBits(4)), blockBitTransfer(g))
+	for i, want := range [][]int{{0}, {0, 1}, {0, 2}, {0, 1, 2, 3}} {
+		got := sol.Out[i]
+		if got.Count() != len(want) {
+			t.Errorf("Out[%d].Count = %d, want %d", i, got.Count(), len(want))
+		}
+		for _, w := range want {
+			if !got.Has(w) {
+				t.Errorf("Out[%d] missing %d", i, w)
+			}
+		}
+	}
+	// In[3] is the union of both predecessors' outs, before b3's own bit.
+	if in := sol.In[3]; !in.Has(1) || !in.Has(2) || in.Has(3) {
+		t.Errorf("In[3] = %v, want {0,1,2} without 3", in)
+	}
+}
+
+func TestSolveForwardMust(t *testing.T) {
+	// Must-analysis on the same graph: at the join only blocks on EVERY
+	// path survive — b1 and b2 drop out.
+	g := NewGraph(diamond())
+	sol := Solve(g, Forward, BitsLattice(4, true, NewBits(4)), blockBitTransfer(g))
+	got := sol.Out[3]
+	if !got.Has(0) || !got.Has(3) || got.Has(1) || got.Has(2) {
+		t.Errorf("must Out[3] = %v, want exactly {0,3}", got)
+	}
+}
+
+func TestSolveBackwardMay(t *testing.T) {
+	// Backward: the entry's In accumulates every block reachable from it.
+	g := NewGraph(diamond())
+	sol := Solve(g, Backward, BitsLattice(4, false, NewBits(4)), blockBitTransfer(g))
+	if got := sol.In[0]; got.Count() != 4 {
+		t.Errorf("backward In[0].Count = %d, want 4", got.Count())
+	}
+	// b3 has no successors, so its Out is the (empty) boundary fact.
+	if got := sol.Out[3]; got.Count() != 0 {
+		t.Errorf("backward Out[3].Count = %d, want 0", got.Count())
+	}
+}
+
+func TestSolveLoopReachesFixpoint(t *testing.T) {
+	// b0 → b1 ⇄ b2, b1 → b3. The loop must not prevent termination, and
+	// facts from inside the loop must flow around the back edge.
+	fn := tfn(1, 2,
+		tb(0, mov(1, compile.Const(0)), br(1)),
+		tb(1, condbr(compile.Temp(0), 2, 3)),
+		tb(2, add(1, compile.Temp(1), compile.Const(1)), br(1)),
+		tb(3, ret(compile.Temp(1))),
+	)
+	g := NewGraph(fn)
+	sol := Solve(g, Forward, BitsLattice(4, false, NewBits(4)), blockBitTransfer(g))
+	// After the fixpoint the loop header has seen the latch's bit.
+	if !sol.In[1].Has(2) {
+		t.Errorf("In[header] = %v, want the back-edge fact included", sol.In[1])
+	}
+}
+
+func TestSolveUnreachableKeepsBottom(t *testing.T) {
+	fn := tfn(0, 1,
+		tb(0, mov(0, compile.Const(1)), ret(compile.Temp(0))),
+		tb(1, br(0)), // unreachable
+	)
+	g := NewGraph(fn)
+	sol := Solve(g, Forward, BitsLattice(2, false, NewBits(2)), blockBitTransfer(g))
+	if sol.Out[1].Count() != 0 {
+		t.Errorf("unreachable block Out = %v, want bottom (empty)", sol.Out[1])
+	}
+}
+
+func TestSolveEmptyFunc(t *testing.T) {
+	g := NewGraph(&compile.Func{Name: "empty"})
+	sol := Solve(g, Forward, BitsLattice(0, false, nil), func(b *compile.Block, f Bits) Bits { return f })
+	if len(sol.In) != 0 || len(sol.Out) != 0 {
+		t.Errorf("empty solve = %d/%d facts, want none", len(sol.In), len(sol.Out))
+	}
+}

@@ -1,0 +1,225 @@
+package analysis
+
+import "decompstudy/internal/compile"
+
+// DefSite is one temp-defining instruction, addressed by dense block
+// index and instruction index.
+type DefSite struct {
+	Block, Instr int // dense block index, instruction index
+	Temp         int
+}
+
+// Use is one temp read, addressed like DefSite.
+type Use struct {
+	Block, Instr int
+	Temp         int
+}
+
+// ReachInfo is the reaching-definitions solution plus the use-def chains
+// derived from it.
+type ReachInfo struct {
+	g *Graph
+	// Sites lists every definition site; bit i in the In/Out sets refers
+	// to Sites[i].
+	Sites []DefSite
+	// In and Out are the reaching-definition sets at block boundaries.
+	In, Out []Bits
+	// byTemp maps a temp to the indices of its definition sites.
+	byTemp map[int][]int
+}
+
+// ReachingDefs runs the classic forward may-analysis: a definition
+// reaches a point if some path from it arrives without an intervening
+// redefinition of the same temp. Function parameters are modeled as
+// definition sites at (entry, -1).
+func ReachingDefs(g *Graph) *ReachInfo {
+	r := &ReachInfo{g: g, byTemp: map[int][]int{}}
+	addSite := func(s DefSite) int {
+		idx := len(r.Sites)
+		r.Sites = append(r.Sites, s)
+		r.byTemp[s.Temp] = append(r.byTemp[s.Temp], idx)
+		return idx
+	}
+	for p := 0; p < g.Fn.NParams; p++ {
+		addSite(DefSite{Block: 0, Instr: -1, Temp: p})
+	}
+	for bi, b := range g.Blocks {
+		for ii, in := range b.Instrs {
+			if t := defTemp(in); t >= 0 {
+				addSite(DefSite{Block: bi, Instr: ii, Temp: t})
+			}
+		}
+	}
+	ns := len(r.Sites)
+
+	// Per-block gen (downward-exposed defs) and kill (every other site of
+	// a temp the block redefines).
+	n := g.NumBlocks()
+	gen := make([]Bits, n)
+	kill := make([]Bits, n)
+	siteAt := map[[2]int]int{}
+	for i, s := range r.Sites {
+		if s.Instr >= 0 {
+			siteAt[[2]int{s.Block, s.Instr}] = i
+		}
+	}
+	for bi, b := range g.Blocks {
+		gen[bi] = NewBits(ns)
+		kill[bi] = NewBits(ns)
+		lastDef := map[int]int{} // temp → site index of last def in block
+		for ii, in := range b.Instrs {
+			if t := defTemp(in); t >= 0 {
+				lastDef[t] = siteAt[[2]int{bi, ii}]
+			}
+		}
+		for t, site := range lastDef {
+			gen[bi].Set(site)
+			for _, other := range r.byTemp[t] {
+				if other != site {
+					kill[bi].Set(other)
+				}
+			}
+		}
+	}
+
+	boundary := NewBits(ns)
+	for i := 0; i < g.Fn.NParams && i < ns; i++ {
+		boundary.Set(i) // parameter pseudo-sites reach the entry
+	}
+	sol := Solve(g, Forward, BitsLattice(ns, false, boundary), func(b *compile.Block, in Bits) Bits {
+		bi := g.Index[b.ID]
+		in.AndNot(kill[bi])
+		in.Union(gen[bi])
+		return in
+	})
+	r.In, r.Out = sol.In, sol.Out
+	return r
+}
+
+// SitesOf returns the definition-site indices of a temp.
+func (r *ReachInfo) SitesOf(temp int) []int { return r.byTemp[temp] }
+
+// UseDefs computes the use-def chains: for every temp read it returns
+// the definition sites that reach it, walking each block's prefix to
+// refine the block-entry set to the exact instruction.
+func (r *ReachInfo) UseDefs() map[Use][]int {
+	out := map[Use][]int{}
+	for bi, b := range r.g.Blocks {
+		// cur maps temp → current reaching sites within the block walk;
+		// temps not in cur fall back to the block-in set filtered by temp.
+		cur := map[int][]int{}
+		reachingNow := func(t int) []int {
+			if sites, ok := cur[t]; ok {
+				return sites
+			}
+			var sites []int
+			for _, si := range r.byTemp[t] {
+				if r.In[bi].Has(si) {
+					sites = append(sites, si)
+				}
+			}
+			return sites
+		}
+		var scratch []int
+		for ii, in := range b.Instrs {
+			scratch = usedTemps(in, scratch[:0])
+			for _, t := range scratch {
+				u := Use{Block: bi, Instr: ii, Temp: t}
+				if _, seen := out[u]; !seen {
+					out[u] = append([]int(nil), reachingNow(t)...)
+				}
+			}
+			if t := defTemp(in); t >= 0 {
+				for _, si := range r.byTemp[t] {
+					if s := r.Sites[si]; s.Block == bi && s.Instr == ii {
+						cur[t] = []int{si}
+						break
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// LiveInfo is the liveness solution: which temps are still needed at
+// each block boundary.
+type LiveInfo struct {
+	g *Graph
+	// In and Out are live-temp sets at block boundaries.
+	In, Out []Bits
+}
+
+// Liveness runs the classic backward may-analysis over temps.
+func Liveness(g *Graph) *LiveInfo {
+	nt := g.Fn.NTemps
+	sol := Solve(g, Backward, BitsLattice(nt, false, NewBits(nt)), func(b *compile.Block, live Bits) Bits {
+		return liveThroughBlock(b, live, nil)
+	})
+	return &LiveInfo{g: g, In: sol.In, Out: sol.Out}
+}
+
+// liveThroughBlock transfers a live-out set backward through a block's
+// instructions. When visit is non-nil it is called before each
+// instruction's effect with (instr index, live-after set) — the hook the
+// dead-store lint and pressure covariate use.
+func liveThroughBlock(b *compile.Block, live Bits, visit func(ii int, liveAfter Bits)) Bits {
+	var scratch []int
+	for ii := len(b.Instrs) - 1; ii >= 0; ii-- {
+		in := b.Instrs[ii]
+		if visit != nil {
+			visit(ii, live)
+		}
+		if t := defTemp(in); t >= 0 && t < len(live)*64 {
+			live.Clear(t)
+		}
+		scratch = usedTemps(in, scratch[:0])
+		for _, t := range scratch {
+			if t >= 0 && t < len(live)*64 {
+				live.Set(t)
+			}
+		}
+	}
+	return live
+}
+
+// MaxPressure returns the maximum number of simultaneously live temps at
+// any instruction boundary — the register-pressure covariate.
+func (l *LiveInfo) MaxPressure() int {
+	max := 0
+	note := func(n int) {
+		if n > max {
+			max = n
+		}
+	}
+	for bi, b := range l.g.Blocks {
+		if !l.g.Reach.Has(bi) {
+			continue
+		}
+		note(l.In[bi].Count())
+		liveThroughBlock(b, l.Out[bi].Clone(), func(_ int, after Bits) {
+			note(after.Count())
+		})
+	}
+	return max
+}
+
+// DefiniteAssignment runs the forward must-analysis "definitely assigned
+// along every path": a temp is in the set when all paths from entry
+// assign it. Parameters are assigned on entry. The result feeds the
+// verifier's use-before-def check and the uninitialized-read lint.
+func DefiniteAssignment(g *Graph) *Solution[Bits] {
+	nt := g.Fn.NTemps
+	boundary := NewBits(nt)
+	for p := 0; p < g.Fn.NParams && p < nt; p++ {
+		boundary.Set(p)
+	}
+	return Solve(g, Forward, BitsLattice(nt, true, boundary), func(b *compile.Block, in Bits) Bits {
+		for _, instr := range b.Instrs {
+			if t := defTemp(instr); t >= 0 && t < nt {
+				in.Set(t)
+			}
+		}
+		return in
+	})
+}

@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"testing"
+
+	"decompstudy/internal/compile"
+)
+
+// reachFixture builds
+//
+//	b0: t2 = 1          ; condbr t0 → b1, b2
+//	b1: t2 = 5          ; br b3
+//	b2: t3 = t2         ; br b3        (sees only b0's def of t2)
+//	b3: t3 = t2 + t1    ; ret t3      (sees b0's and b1's defs of t2)
+func reachFixture() *compile.Func {
+	return tfn(2, 4,
+		tb(0, mov(2, compile.Const(1)), condbr(compile.Temp(0), 1, 2)),
+		tb(1, mov(2, compile.Const(5)), br(3)),
+		tb(2, mov(3, compile.Temp(2)), br(3)),
+		tb(3, add(3, compile.Temp(2), compile.Temp(1)), ret(compile.Temp(3))),
+	)
+}
+
+func TestReachingDefsSites(t *testing.T) {
+	g := NewGraph(reachFixture())
+	r := ReachingDefs(g)
+
+	// Two param pseudo-sites plus four real defs.
+	if len(r.Sites) != 6 {
+		t.Fatalf("len(Sites) = %d, want 6", len(r.Sites))
+	}
+	if s := r.Sites[0]; s.Temp != 0 || s.Instr != -1 {
+		t.Errorf("Sites[0] = %+v, want param pseudo-site for t0", s)
+	}
+	if got := len(r.SitesOf(2)); got != 2 {
+		t.Errorf("t2 has %d def sites, want 2", got)
+	}
+}
+
+func TestUseDefChains(t *testing.T) {
+	g := NewGraph(reachFixture())
+	r := ReachingDefs(g)
+	chains := r.UseDefs()
+
+	siteBlocks := func(u Use) map[int]bool {
+		out := map[int]bool{}
+		for _, si := range chains[u] {
+			out[r.Sites[si].Block] = true
+		}
+		return out
+	}
+
+	// The read of t2 in b2 sees only b0's def.
+	got := siteBlocks(Use{Block: 2, Instr: 0, Temp: 2})
+	if len(got) != 1 || !got[0] {
+		t.Errorf("b2 read of t2 reaches blocks %v, want {0}", got)
+	}
+	// The read of t2 at the join sees both defs.
+	got = siteBlocks(Use{Block: 3, Instr: 0, Temp: 2})
+	if len(got) != 2 || !got[0] || !got[1] {
+		t.Errorf("b3 read of t2 reaches blocks %v, want {0,1}", got)
+	}
+	// The read of the parameter resolves to its pseudo-site.
+	sites := chains[Use{Block: 3, Instr: 0, Temp: 1}]
+	if len(sites) != 1 || r.Sites[sites[0]].Instr != -1 {
+		t.Errorf("param read chain = %v, want the single pseudo-site", sites)
+	}
+}
+
+func TestReachingDefsKill(t *testing.T) {
+	// Same-block redefinition: only the last def escapes the block.
+	fn := tfn(0, 1,
+		tb(0, mov(0, compile.Const(1)), mov(0, compile.Const(2)), ret(compile.Temp(0))),
+	)
+	r := ReachingDefs(NewGraph(fn))
+	if !r.Out[0].Has(1) || r.Out[0].Has(0) {
+		t.Errorf("Out[0] = %v, want only the second def (site 1)", r.Out[0])
+	}
+}
+
+func TestLiveness(t *testing.T) {
+	g := NewGraph(reachFixture())
+	l := Liveness(g)
+
+	// Both params are live into the entry: t0 feeds the branch, t1 the join.
+	if !l.In[0].Has(0) || !l.In[0].Has(1) {
+		t.Errorf("live-in entry = %v, want t0 and t1", l.In[0])
+	}
+	// t2 and t1 are live into the join; t0 is dead by then.
+	if !l.In[3].Has(2) || !l.In[3].Has(1) || l.In[3].Has(0) {
+		t.Errorf("live-in b3 = %v, want {1,2}", l.In[3])
+	}
+	// Nothing is live out of the exit block.
+	if l.Out[3].Count() != 0 {
+		t.Errorf("live-out exit = %v, want empty", l.Out[3])
+	}
+}
+
+func TestMaxPressure(t *testing.T) {
+	// Straight line holding three values at once before consuming them.
+	fn := tfn(0, 4,
+		tb(0,
+			mov(0, compile.Const(1)),
+			mov(1, compile.Const(2)),
+			mov(2, compile.Const(3)),
+			add(3, compile.Temp(0), compile.Temp(1)),
+			add(3, compile.Temp(3), compile.Temp(2)),
+			ret(compile.Temp(3)),
+		),
+	)
+	if got := Liveness(NewGraph(fn)).MaxPressure(); got != 3 {
+		t.Errorf("MaxPressure = %d, want 3", got)
+	}
+}
+
+func TestDefiniteAssignment(t *testing.T) {
+	// t1 is assigned on only one arm of the branch.
+	fn := tfn(1, 2,
+		tb(0, condbr(compile.Temp(0), 1, 2)),
+		tb(1, mov(1, compile.Const(1)), br(3)),
+		tb(2, br(3)),
+		tb(3, ret(compile.Temp(1))),
+	)
+	sol := DefiniteAssignment(NewGraph(fn))
+	if sol.In[3].Has(1) {
+		t.Error("t1 must not be definitely assigned at the join")
+	}
+	if !sol.In[3].Has(0) {
+		t.Error("the parameter must be definitely assigned everywhere")
+	}
+	if !sol.Out[1].Has(1) {
+		t.Error("t1 must be assigned at the end of the defining arm")
+	}
+}

@@ -1,0 +1,98 @@
+package analysis
+
+import "decompstudy/internal/compile"
+
+// DomInfo holds the dominator analysis of one function: dominator sets
+// per block (dense indices), the back edges, and the natural loops they
+// induce.
+type DomInfo struct {
+	g *Graph
+	// Dom[i] is the set of block indices dominating block i (including i
+	// itself). Unreachable blocks carry the universal set.
+	Dom []Bits
+	// BackEdges lists the (tail, head) index pairs where head dominates
+	// tail.
+	BackEdges [][2]int
+	// Loops maps a loop-header index to the body set (header included).
+	Loops map[int]Bits
+	// Depth[i] is the loop-nesting depth of block i (0 = not in a loop).
+	Depth []int
+}
+
+// Dominators computes dominator sets via the forward must-dataflow
+// (in = ∩ preds, out = in ∪ {self}) on the shared solver, then derives
+// back edges, natural loops, and per-block loop depth.
+func Dominators(g *Graph) *DomInfo {
+	n := g.NumBlocks()
+	d := &DomInfo{g: g, Loops: map[int]Bits{}, Depth: make([]int, n)}
+	if n == 0 {
+		return d
+	}
+	lat := BitsLattice(n, true, NewBits(n))
+	sol := Solve(g, Forward, lat, func(b *compile.Block, in Bits) Bits {
+		in.Set(g.Index[b.ID])
+		return in
+	})
+	d.Dom = make([]Bits, n)
+	for i := 0; i < n; i++ {
+		d.Dom[i] = sol.Out[i]
+	}
+
+	// Back edges: u→h with h ∈ Dom(u), both reachable.
+	for u := 0; u < n; u++ {
+		if !g.Reach.Has(u) {
+			continue
+		}
+		for _, h := range g.Succs[u] {
+			if d.Dom[u].Has(h) {
+				d.BackEdges = append(d.BackEdges, [2]int{u, h})
+			}
+		}
+	}
+
+	// Natural loop of u→h: {h} plus everything reaching u without
+	// passing h, found by a reverse flood from u.
+	for _, e := range d.BackEdges {
+		u, h := e[0], e[1]
+		body := d.Loops[h]
+		if body == nil {
+			body = NewBits(n)
+			body.Set(h)
+			d.Loops[h] = body
+		}
+		stack := []int{u}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if body.Has(v) {
+				continue
+			}
+			body.Set(v)
+			stack = append(stack, g.Preds[v]...)
+		}
+	}
+
+	for _, body := range d.Loops {
+		body.ForEach(func(i int) { d.Depth[i]++ })
+	}
+	return d
+}
+
+// MaxDepth returns the deepest loop nesting in the function.
+func (d *DomInfo) MaxDepth() int {
+	max := 0
+	for _, v := range d.Depth {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Dominates reports whether block index a dominates block index b.
+func (d *DomInfo) Dominates(a, b int) bool {
+	if b < 0 || b >= len(d.Dom) {
+		return false
+	}
+	return d.Dom[b].Has(a)
+}

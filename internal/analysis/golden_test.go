@@ -1,0 +1,102 @@
+package analysis_test
+
+// Golden-file tests live in the external test package: internal/corpus
+// imports internal/analysis for IR verification, so importing corpus
+// from an in-package test would be an import cycle.
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"decompstudy/internal/analysis"
+	"decompstudy/internal/compile"
+	"decompstudy/internal/corpus"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+func TestCorpusIRIsVerifierClean(t *testing.T) {
+	ctx := context.Background()
+	for _, s := range corpus.Snippets() {
+		file, err := s.Parse()
+		if err != nil {
+			t.Fatalf("%s: %v", s.ID, err)
+		}
+		obj, err := compile.CompileCtx(ctx, file)
+		if err != nil {
+			t.Fatalf("%s: %v", s.ID, err)
+		}
+		for _, fn := range obj.Funcs {
+			diags := analysis.Check(ctx, fn)
+			if len(diags) != 0 {
+				t.Errorf("%s/%s: want clean, got %v", s.ID, fn.Name, diags)
+			}
+		}
+	}
+	files, err := corpus.TrainingFiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range files {
+		obj, err := compile.CompileCtx(ctx, f)
+		if err != nil {
+			t.Fatalf("training[%d]: %v", i, err)
+		}
+		for _, fn := range obj.Funcs {
+			if diags := analysis.Check(ctx, fn); len(diags) != 0 {
+				t.Errorf("training[%d]/%s: want clean, got %v", i, fn.Name, diags)
+			}
+		}
+	}
+}
+
+// TestCorpusComplexityGolden pins the structural covariates of every
+// study function: a change here means the lowering or an analysis
+// changed shape, which shifts the RQ5 predictors. Refresh deliberately
+// with: go test ./internal/analysis/ -run Golden -update
+func TestCorpusComplexityGolden(t *testing.T) {
+	ctx := context.Background()
+	var sb strings.Builder
+	for _, s := range corpus.Snippets() {
+		file, err := s.Parse()
+		if err != nil {
+			t.Fatalf("%s: %v", s.ID, err)
+		}
+		obj, err := compile.CompileCtx(ctx, file)
+		if err != nil {
+			t.Fatalf("%s: %v", s.ID, err)
+		}
+		fn, ok := obj.Func0(s.FuncName)
+		if !ok {
+			t.Fatalf("%s: missing %s", s.ID, s.FuncName)
+		}
+		fmt.Fprintf(&sb, "%s %s: %s\n", s.ID, fn.Name, analysis.MeasureCtx(ctx, fn))
+	}
+	compareGolden(t, "complexity.golden", sb.String())
+}
+
+func compareGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("golden mismatch for %s\n-- got --\n%s-- want --\n%s", name, got, want)
+	}
+}

@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"testing"
+
+	"decompstudy/internal/compile"
+)
+
+// Hand-built IR helpers. They mirror the lowering conventions of
+// internal/compile: Dst is -1 on non-defining instructions, params
+// occupy temps 0..NParams-1.
+
+func tb(id int, instrs ...compile.Instr) *compile.Block {
+	return &compile.Block{ID: id, Instrs: instrs}
+}
+
+func tfn(nparams, ntemps int, blocks ...*compile.Block) *compile.Func {
+	return &compile.Func{
+		Name: "f", NParams: nparams, NTemps: ntemps,
+		Blocks: blocks, RetWidth: 8,
+	}
+}
+
+func mov(dst int, a compile.Operand) compile.Instr {
+	return compile.Instr{Op: compile.OpMov, Dst: dst, A: a}
+}
+
+func add(dst int, a, b compile.Operand) compile.Instr {
+	return compile.Instr{Op: compile.OpAdd, Dst: dst, A: a, B: b}
+}
+
+func load(dst int, addr compile.Operand, width int) compile.Instr {
+	return compile.Instr{Op: compile.OpLoad, Dst: dst, A: addr, Width: width}
+}
+
+func store(addr, val compile.Operand, width int) compile.Instr {
+	return compile.Instr{Op: compile.OpStore, Dst: -1, A: addr, B: val, Width: width}
+}
+
+func ret(a compile.Operand) compile.Instr {
+	return compile.Instr{Op: compile.OpRet, Dst: -1, A: a}
+}
+
+func br(target int) compile.Instr {
+	return compile.Instr{Op: compile.OpBr, Dst: -1, Target: target}
+}
+
+func condbr(cond compile.Operand, target, els int) compile.Instr {
+	return compile.Instr{Op: compile.OpCondBr, Dst: -1, A: cond, Target: target, Else: els}
+}
+
+// diamond builds the canonical four-block CFG
+//
+//	b0 → {b1, b2} → b3
+//
+// used across the dataflow tests. t0 is the branch condition parameter.
+func diamond() *compile.Func {
+	return tfn(1, 3,
+		tb(0, mov(1, compile.Const(1)), condbr(compile.Temp(0), 1, 2)),
+		tb(1, mov(2, compile.Const(10)), br(3)),
+		tb(2, mov(2, compile.Const(20)), br(3)),
+		tb(3, ret(compile.Temp(2))),
+	)
+}
+
+// checkIDs collects the distinct check identifiers in a diagnostic list.
+func checkIDs(diags []Diag) map[string]bool {
+	out := map[string]bool{}
+	for _, d := range diags {
+		out[d.Check] = true
+	}
+	return out
+}
+
+// wantCheck fails the test unless a diagnostic with the given check ID
+// and severity is present, and returns the first match.
+func wantCheck(t *testing.T, diags []Diag, check string, sev Severity) Diag {
+	t.Helper()
+	for _, d := range diags {
+		if d.Check == check && d.Sev == sev {
+			return d
+		}
+	}
+	t.Fatalf("no %s diagnostic at severity %s in %v", check, sev, diags)
+	return Diag{}
+}
+
+// wantNoErrors fails the test when any error-severity diagnostic is
+// present.
+func wantNoErrors(t *testing.T, diags []Diag) {
+	t.Helper()
+	if n := CountSev(diags, SevError); n > 0 {
+		t.Fatalf("want no error diagnostics, got %d: %v", n, diags)
+	}
+}

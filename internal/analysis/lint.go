@@ -1,0 +1,245 @@
+package analysis
+
+import (
+	"context"
+	"fmt"
+
+	"decompstudy/internal/compile"
+	"decompstudy/internal/obs"
+)
+
+// Lint runs the readability checkers over one function and returns the
+// findings (all SevWarn — lints never make IR unusable):
+//
+//   - lint.dead-store        a temp is written and never read afterwards
+//   - lint.unreachable-code  a block cannot execute
+//   - lint.const-cond        a conditional branch always goes one way
+//   - lint.unused-param      a parameter is never read
+//   - lint.uninit-read       a named local may be read before assignment
+//
+// Lint assumes well-formed IR: when Verify reports error-severity
+// findings those are returned instead, so callers can always show the
+// result without crashing on malformed input.
+func Lint(fn *compile.Func) []Diag {
+	return LintCtx(context.Background(), fn)
+}
+
+// LintCtx is Lint with telemetry: an analysis.Lint span plus finding
+// counters when the context carries an obs handle.
+func LintCtx(ctx context.Context, fn *compile.Func) []Diag {
+	_, sp := obs.StartSpan(ctx, "analysis.Lint", obs.KV("func", fn.Name))
+	defer sp.End()
+	if verr := VerifyCtx(ctx, fn); AsError(verr, SevError) != nil {
+		sp.SetAttr("malformed", true)
+		return verr
+	}
+	diags := runLints(fn)
+	obs.AddCount(ctx, "analysis.lint.funcs", 1)
+	obs.AddCount(ctx, "analysis.lint.findings", int64(len(diags)))
+	sp.SetAttr("diags", len(diags))
+	return diags
+}
+
+// LintObject lints every function in a compiled object.
+func LintObject(ctx context.Context, obj *compile.Object) []Diag {
+	var out []Diag
+	for _, fn := range obj.Funcs {
+		out = append(out, LintCtx(ctx, fn)...)
+	}
+	return out
+}
+
+// Check runs the verifier and — when the IR is structurally sound — the
+// lint checkers, returning both diagnostic sets. This is the cmd/irlint
+// entry point: verifier warnings (unreachable blocks, maybe-uninit
+// temps, ret-value mismatches) and lint findings appear together.
+func Check(ctx context.Context, fn *compile.Func) []Diag {
+	diags := VerifyCtx(ctx, fn)
+	if AsError(diags, SevError) != nil {
+		return diags
+	}
+	return append(diags, runLints(fn)...)
+}
+
+// CheckObject runs Check over every function in a compiled object.
+func CheckObject(ctx context.Context, obj *compile.Object) []Diag {
+	var out []Diag
+	for _, fn := range obj.Funcs {
+		out = append(out, Check(ctx, fn)...)
+	}
+	return out
+}
+
+// runLints executes every checker over verifier-clean IR.
+func runLints(fn *compile.Func) []Diag {
+	l := &linter{fn: fn, g: NewGraph(fn)}
+	l.deadStores()
+	l.unreachableCode()
+	l.constConditions()
+	l.unusedParams()
+	l.uninitReads()
+	return l.diags
+}
+
+type linter struct {
+	fn    *compile.Func
+	g     *Graph
+	diags []Diag
+}
+
+func (l *linter) add(check string, block, instr int, format string, args ...any) {
+	l.diags = append(l.diags, Diag{
+		Check: check, Sev: SevWarn, Func: l.fn.Name,
+		Block: block, Instr: instr, Msg: fmt.Sprintf(format, args...),
+	})
+}
+
+// tempName renders a temp with its original name when the symbol table
+// has one, so lint output speaks the source vocabulary.
+func (l *linter) tempName(t int) string {
+	if sym, ok := l.fn.SymbolForTemp(t); ok {
+		return fmt.Sprintf("t%d (%s)", t, sym.OrigName)
+	}
+	return fmt.Sprintf("t%d", t)
+}
+
+// deadStores flags writes to named variables whose value no later
+// instruction can read. Only symbol-carrying temps are considered:
+// expression lowering routinely leaves dead scratch temps (the discarded
+// old value of a statement-position i++, say) that no reader of the
+// decompiled output ever sees. Calls are exempt (the write is incidental
+// to the side effect); memory stores have no Dst and are never flagged.
+func (l *linter) deadStores() {
+	live := Liveness(l.g)
+	for bi, b := range l.g.Blocks {
+		if !l.g.Reach.Has(bi) {
+			continue
+		}
+		liveThroughBlock(b, live.Out[bi].Clone(), func(ii int, after Bits) {
+			in := b.Instrs[ii]
+			t := defTemp(in)
+			if t < 0 || t >= l.fn.NTemps || in.Op == compile.OpCall {
+				return
+			}
+			if _, named := l.fn.SymbolForTemp(t); !named {
+				return
+			}
+			if !after.Has(t) {
+				l.add("lint.dead-store", b.ID, ii, "value stored in %s is never read", l.tempName(t))
+			}
+		})
+	}
+}
+
+// unreachableCode flags whole blocks the entry cannot reach.
+func (l *linter) unreachableCode() {
+	for bi, b := range l.g.Blocks {
+		if !l.g.Reach.Has(bi) {
+			l.add("lint.unreachable-code", b.ID, -1,
+				"block is unreachable (%d instruction(s) can never execute)", len(b.Instrs))
+		}
+	}
+}
+
+// constConditions flags condbr conditions that are constants, either
+// literally or through a single reaching definition that moves a
+// constant (one step of sparse constant propagation along the use-def
+// chain).
+func (l *linter) constConditions() {
+	var reach *ReachInfo
+	var chains map[Use][]int
+	for bi, b := range l.g.Blocks {
+		if !l.g.Reach.Has(bi) {
+			continue
+		}
+		for ii, in := range b.Instrs {
+			if in.Op != compile.OpCondBr {
+				continue
+			}
+			switch in.A.Kind {
+			case compile.OperandConst:
+				l.add("lint.const-cond", b.ID, ii,
+					"branch condition is the constant %d: always takes b%d", in.A.Const, constTarget(in, in.A.Const))
+			case compile.OperandTemp:
+				if chains == nil {
+					reach = ReachingDefs(l.g)
+					chains = reach.UseDefs()
+				}
+				sites := chains[Use{Block: bi, Instr: ii, Temp: in.A.Temp}]
+				if len(sites) != 1 {
+					continue
+				}
+				s := reach.Sites[sites[0]]
+				if s.Instr < 0 {
+					continue // parameter pseudo-definition
+				}
+				def := l.g.Blocks[s.Block].Instrs[s.Instr]
+				if def.Op == compile.OpMov && def.A.Kind == compile.OperandConst {
+					l.add("lint.const-cond", b.ID, ii,
+						"branch condition %s is always %d (set in b%d): always takes b%d",
+						l.tempName(in.A.Temp), def.A.Const, l.g.Blocks[s.Block].ID, constTarget(in, def.A.Const))
+				}
+			}
+		}
+	}
+}
+
+func constTarget(in compile.Instr, v int64) int {
+	if v != 0 {
+		return in.Target
+	}
+	return in.Else
+}
+
+// unusedParams flags parameters no reachable instruction reads.
+func (l *linter) unusedParams() {
+	used := NewBits(l.fn.NTemps)
+	var scratch []int
+	for bi, b := range l.g.Blocks {
+		if !l.g.Reach.Has(bi) {
+			continue
+		}
+		for _, in := range b.Instrs {
+			scratch = usedTemps(in, scratch[:0])
+			for _, t := range scratch {
+				if t >= 0 && t < l.fn.NTemps {
+					used.Set(t)
+				}
+			}
+		}
+	}
+	for p := 0; p < l.fn.NParams && p < l.fn.NTemps; p++ {
+		if !used.Has(p) {
+			l.add("lint.unused-param", -1, -1, "parameter %s is never used", l.tempName(p))
+		}
+	}
+}
+
+// uninitReads flags reads of named locals that some path reaches without
+// an assignment — the construct decompiled output renders as an
+// uninitialized variable read.
+func (l *linter) uninitReads() {
+	assigned := DefiniteAssignment(l.g)
+	var scratch []int
+	for bi, b := range l.g.Blocks {
+		if !l.g.Reach.Has(bi) {
+			continue
+		}
+		cur := assigned.In[bi].Clone()
+		for ii, in := range b.Instrs {
+			scratch = usedTemps(in, scratch[:0])
+			for _, t := range scratch {
+				if t < 0 || t >= l.fn.NTemps || t < l.fn.NParams || cur.Has(t) {
+					continue
+				}
+				if sym, ok := l.fn.SymbolForTemp(t); ok && sym.Kind == compile.VarLocal {
+					l.add("lint.uninit-read", b.ID, ii,
+						"local %s may be read before it is assigned", l.tempName(t))
+				}
+			}
+			if t := defTemp(in); t >= 0 && t < l.fn.NTemps {
+				cur.Set(t)
+			}
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package analysis
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"decompstudy/internal/compile"
+	"decompstudy/internal/csrc"
+)
+
+// compileSrc lowers a mini-C translation unit and returns the single
+// function compiled from it.
+func compileSrc(t *testing.T, src string) *compile.Func {
+	t.Helper()
+	file, err := csrc.Parse(src, nil)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	obj, err := compile.Compile(file)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if len(obj.Funcs) != 1 {
+		t.Fatalf("compiled %d functions, want 1", len(obj.Funcs))
+	}
+	return obj.Funcs[0]
+}
+
+func TestLintDeadStore(t *testing.T) {
+	fn := compileSrc(t, `
+int f(int a) {
+  int x = a + 1;
+  x = a * 2;
+  return x;
+}
+`)
+	d := wantCheck(t, Lint(fn), "lint.dead-store", SevWarn)
+	if !strings.Contains(d.Msg, "(x)") {
+		t.Errorf("dead-store message %q should name the variable x", d.Msg)
+	}
+}
+
+func TestLintDeadStoreIgnoresScratchTemps(t *testing.T) {
+	// The statement-position i++ leaves a dead scratch copy of the old
+	// value in the IR; that lowering artifact must not be reported.
+	fn := compileSrc(t, `
+long sum(long *v, int n) {
+  long total = 0;
+  for (int i = 0; i < n; i++) {
+    total = total + v[i];
+  }
+  return total;
+}
+`)
+	if diags := Lint(fn); len(diags) != 0 {
+		t.Errorf("Lint(sum) = %v, want clean", diags)
+	}
+}
+
+func TestLintConstCondViaReachingDef(t *testing.T) {
+	fn := compileSrc(t, `
+int f(int x) {
+  int flag = 1;
+  if (flag) {
+    return x + 1;
+  }
+  return x - 1;
+}
+`)
+	d := wantCheck(t, Lint(fn), "lint.const-cond", SevWarn)
+	if !strings.Contains(d.Msg, "always") {
+		t.Errorf("const-cond message %q should state the branch is decided", d.Msg)
+	}
+}
+
+func TestLintConstCondLiteral(t *testing.T) {
+	// A literal constant condition: taken edge depends on the value.
+	mk := func(v int64) *compile.Func {
+		return tfn(0, 0,
+			tb(0, condbr(compile.Const(v), 1, 2)),
+			tb(1, ret(compile.Const(1))),
+			tb(2, ret(compile.Const(2))),
+		)
+	}
+	d := wantCheck(t, Lint(mk(1)), "lint.const-cond", SevWarn)
+	if !strings.Contains(d.Msg, "takes b1") {
+		t.Errorf("true-const message %q should pick the true edge", d.Msg)
+	}
+	d = wantCheck(t, Lint(mk(0)), "lint.const-cond", SevWarn)
+	if !strings.Contains(d.Msg, "takes b2") {
+		t.Errorf("zero-const message %q should pick the false edge", d.Msg)
+	}
+}
+
+func TestLintUnusedParam(t *testing.T) {
+	fn := compileSrc(t, `
+int f(int keep, int extra) {
+  return keep * 2;
+}
+`)
+	d := wantCheck(t, Lint(fn), "lint.unused-param", SevWarn)
+	if !strings.Contains(d.Msg, "(extra)") {
+		t.Errorf("unused-param message %q should name extra", d.Msg)
+	}
+	if strings.Contains(d.Msg, "(keep)") {
+		t.Errorf("unused-param must not flag the used parameter: %q", d.Msg)
+	}
+}
+
+func TestLintUninitRead(t *testing.T) {
+	fn := compileSrc(t, `
+int f(int n) {
+  int total;
+  if (n > 0) {
+    total = n;
+  }
+  return total;
+}
+`)
+	d := wantCheck(t, Lint(fn), "lint.uninit-read", SevWarn)
+	if !strings.Contains(d.Msg, "(total)") {
+		t.Errorf("uninit-read message %q should name total", d.Msg)
+	}
+}
+
+func TestLintUnreachableCode(t *testing.T) {
+	fn := tfn(0, 0,
+		tb(0, ret(compile.Const(0))),
+		tb(1, ret(compile.Const(1))),
+	)
+	d := wantCheck(t, Lint(fn), "lint.unreachable-code", SevWarn)
+	if d.Block != 1 {
+		t.Errorf("unreachable diag at b%d, want b1", d.Block)
+	}
+}
+
+func TestLintCallResultNotDeadStore(t *testing.T) {
+	// A discarded call result is a side-effecting statement, not a dead
+	// store — even when the destination carries a name.
+	fn := tfn(0, 1,
+		tb(0,
+			compile.Instr{Op: compile.OpCall, Dst: 0, Callee: compile.Sym("g")},
+			ret(compile.Const(0)),
+		),
+	)
+	fn.Symbols = []compile.Symbol{{Kind: compile.VarLocal, OrigName: "r", Temp: 0, Width: 8}}
+	for _, d := range Lint(fn) {
+		if d.Check == "lint.dead-store" {
+			t.Errorf("call result flagged as dead store: %v", d)
+		}
+	}
+}
+
+func TestLintMalformedReturnsVerifierDiags(t *testing.T) {
+	fn := tfn(0, 0, tb(0, br(1)), tb(1))
+	diags := Lint(fn)
+	if !checkIDs(diags)["verify.empty-block"] {
+		t.Errorf("Lint on malformed IR = %v, want the verifier errors", diags)
+	}
+	for _, d := range diags {
+		if strings.HasPrefix(d.Check, "lint.") {
+			t.Errorf("lint checker ran on malformed IR: %v", d)
+		}
+	}
+}
+
+func TestCheckCombinesVerifyWarningsAndLints(t *testing.T) {
+	// One function holding both a verifier warning (maybe-uninit read of a
+	// named local) and a lint finding for the same hazard.
+	fn := tfn(1, 2,
+		tb(0, condbr(compile.Temp(0), 1, 2)),
+		tb(1, mov(1, compile.Const(1)), br(3)),
+		tb(2, br(3)),
+		tb(3, ret(compile.Temp(1))),
+	)
+	fn.Symbols = []compile.Symbol{
+		{Kind: compile.VarParam, OrigName: "c", Temp: 0, Width: 8},
+		{Kind: compile.VarLocal, OrigName: "x", Temp: 1, Width: 8},
+	}
+	ids := checkIDs(Check(context.Background(), fn))
+	if !ids["verify.def-before-use"] || !ids["lint.uninit-read"] {
+		t.Errorf("Check = %v, want both the verifier warning and the lint finding", ids)
+	}
+}

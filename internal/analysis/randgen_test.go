@@ -1,0 +1,234 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+
+	"decompstudy/internal/compile"
+)
+
+// genFunc builds a random well-formed function: the entry block defines
+// every non-parameter temp before any branching, so definite assignment
+// holds on every path; every other block ends in a branch to an existing
+// block or a return. The result must be verifier-clean apart from
+// possible unreachable-block warnings.
+func genFunc(r *rand.Rand) *compile.Func {
+	nparams := r.Intn(3)
+	nlocals := 1 + r.Intn(5)
+	ntemps := nparams + nlocals
+	nblocks := 1 + r.Intn(7)
+
+	anyTemp := func() compile.Operand { return compile.Temp(r.Intn(ntemps)) }
+	value := func() compile.Operand {
+		if r.Intn(2) == 0 {
+			return compile.Const(int64(r.Intn(100)))
+		}
+		return anyTemp()
+	}
+	widths := []int{1, 2, 4, 8}
+	binops := []compile.Opcode{
+		compile.OpAdd, compile.OpSub, compile.OpMul, compile.OpAnd,
+		compile.OpOr, compile.OpXor, compile.OpCmpEQ, compile.OpCmpLT,
+	}
+
+	fn := &compile.Func{Name: "rand", NParams: nparams, NTemps: ntemps, RetWidth: 8}
+	for id := 0; id < nblocks; id++ {
+		b := &compile.Block{ID: id}
+		if id == 0 {
+			for t := nparams; t < ntemps; t++ {
+				b.Instrs = append(b.Instrs, mov(t, compile.Const(int64(t))))
+			}
+		}
+		for k := r.Intn(4); k > 0; k-- {
+			switch r.Intn(4) {
+			case 0:
+				b.Instrs = append(b.Instrs, mov(r.Intn(ntemps), value()))
+			case 1:
+				b.Instrs = append(b.Instrs, compile.Instr{
+					Op: binops[r.Intn(len(binops))], Dst: r.Intn(ntemps), A: value(), B: value(),
+				})
+			case 2:
+				b.Instrs = append(b.Instrs, store(anyTemp(), value(), widths[r.Intn(len(widths))]))
+			case 3:
+				b.Instrs = append(b.Instrs, load(r.Intn(ntemps), anyTemp(), widths[r.Intn(len(widths))]))
+			}
+		}
+		switch {
+		case id == nblocks-1 || r.Intn(3) == 0:
+			b.Instrs = append(b.Instrs, ret(value()))
+		case r.Intn(2) == 0:
+			b.Instrs = append(b.Instrs, br(r.Intn(nblocks)))
+		default:
+			b.Instrs = append(b.Instrs, condbr(anyTemp(), r.Intn(nblocks), r.Intn(nblocks)))
+		}
+		fn.Blocks = append(fn.Blocks, b)
+	}
+	return fn
+}
+
+func TestVerifyRandomWellFormed(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		fn := genFunc(r)
+		for _, d := range Verify(fn) {
+			if d.Sev == SevError {
+				t.Fatalf("seed %d: generated IR flagged: %v\n%s", seed, d, fn)
+			}
+		}
+	}
+}
+
+// mutation breaks one invariant of a well-formed function and names the
+// check that must fire. ok reports whether the function offered a
+// mutation site.
+type mutation struct {
+	name  string
+	check string
+	apply func(fn *compile.Func, r *rand.Rand) bool
+}
+
+var mutations = []mutation{
+	{
+		name: "broken branch target", check: "verify.branch-target",
+		apply: func(fn *compile.Func, r *rand.Rand) bool {
+			for _, b := range fn.Blocks {
+				for i := range b.Instrs {
+					switch b.Instrs[i].Op {
+					case compile.OpBr, compile.OpCondBr:
+						b.Instrs[i].Target = len(fn.Blocks) + 17
+						return true
+					}
+				}
+			}
+			return false
+		},
+	},
+	{
+		name: "use before def", check: "verify.def-before-use",
+		apply: func(fn *compile.Func, r *rand.Rand) bool {
+			// A brand-new temp with no definition anywhere, read by a
+			// fresh instruction at the front of the entry block.
+			t := fn.NTemps
+			fn.NTemps++
+			b := fn.Blocks[0]
+			b.Instrs = append([]compile.Instr{mov(0, compile.Temp(t))}, b.Instrs...)
+			return true
+		},
+	},
+	{
+		name: "bad width", check: "verify.width",
+		apply: func(fn *compile.Func, r *rand.Rand) bool {
+			for _, b := range fn.Blocks {
+				for i := range b.Instrs {
+					switch b.Instrs[i].Op {
+					case compile.OpLoad, compile.OpStore:
+						b.Instrs[i].Width = 3
+						return true
+					}
+				}
+			}
+			return false
+		},
+	},
+	{
+		name: "empty block", check: "verify.empty-block",
+		apply: func(fn *compile.Func, r *rand.Rand) bool {
+			fn.Blocks[r.Intn(len(fn.Blocks))].Instrs = nil
+			return true
+		},
+	},
+	{
+		name: "stray terminator", check: "verify.stray-terminator",
+		apply: func(fn *compile.Func, r *rand.Rand) bool {
+			b := fn.Blocks[0]
+			b.Instrs = append([]compile.Instr{ret(compile.Const(0))}, b.Instrs...)
+			return len(b.Instrs) > 1
+		},
+	},
+	{
+		name: "operand temp out of range", check: "verify.temp-range",
+		apply: func(fn *compile.Func, r *rand.Rand) bool {
+			for _, b := range fn.Blocks {
+				for i := range b.Instrs {
+					if b.Instrs[i].A.Kind == compile.OperandTemp {
+						b.Instrs[i].A.Temp = fn.NTemps + 9
+						return true
+					}
+				}
+			}
+			return false
+		},
+	},
+}
+
+func TestVerifyFlagsMutatedInvariants(t *testing.T) {
+	for _, m := range mutations {
+		m := m
+		t.Run(m.name, func(t *testing.T) {
+			applied := 0
+			for seed := int64(0); seed < 30; seed++ {
+				r := rand.New(rand.NewSource(seed))
+				fn := genFunc(r)
+				if !m.apply(fn, r) {
+					continue
+				}
+				applied++
+				if !checkIDs(Verify(fn))[m.check] {
+					t.Fatalf("seed %d: mutation %q not flagged as %s\n%s", seed, m.name, m.check, fn)
+				}
+			}
+			if applied == 0 {
+				t.Fatalf("mutation %q never found a site in 30 seeds", m.name)
+			}
+		})
+	}
+}
+
+func TestAnalysesNeverPanicOnCorruptIR(t *testing.T) {
+	// Scramble random fields of random instructions and run every entry
+	// point. Any panic fails the test; the diagnostics themselves are
+	// unconstrained.
+	for seed := int64(0); seed < 80; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		fn := genFunc(r)
+		for k := 1 + r.Intn(6); k > 0; k-- {
+			b := fn.Blocks[r.Intn(len(fn.Blocks))]
+			if len(b.Instrs) == 0 {
+				continue
+			}
+			in := &b.Instrs[r.Intn(len(b.Instrs))]
+			switch r.Intn(6) {
+			case 0:
+				in.Op = compile.Opcode(r.Intn(40))
+			case 1:
+				in.Dst = r.Intn(20) - 10
+			case 2:
+				in.A = compile.Operand{Kind: compile.OperandKind(r.Intn(6)), Temp: r.Intn(30) - 5}
+			case 3:
+				in.Target = r.Intn(20) - 5
+			case 4:
+				in.Width = r.Intn(20) - 3
+			case 5:
+				b.Instrs = b.Instrs[:r.Intn(len(b.Instrs))]
+			}
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("seed %d: panic on corrupt IR: %v\n%s", seed, p, fn)
+				}
+			}()
+			Verify(fn)
+			Lint(fn)
+			Measure(fn)
+		}()
+	}
+}
+
+func TestGenFuncIsDeterministic(t *testing.T) {
+	a := genFunc(rand.New(rand.NewSource(7)))
+	b := genFunc(rand.New(rand.NewSource(7)))
+	if a.String() != b.String() {
+		t.Error("genFunc must be deterministic per seed")
+	}
+}

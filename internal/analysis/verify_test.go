@@ -1,0 +1,223 @@
+package analysis
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"decompstudy/internal/compile"
+)
+
+func TestVerifyCleanFunc(t *testing.T) {
+	for name, fn := range map[string]*compile.Func{
+		"diamond": diamond(),
+		"loops":   nestedLoops(),
+		"reach":   reachFixture(),
+	} {
+		if diags := Verify(fn); len(diags) != 0 {
+			t.Errorf("%s: Verify = %v, want clean", name, diags)
+		}
+	}
+}
+
+func TestVerifySeededViolations(t *testing.T) {
+	cases := []struct {
+		name  string
+		fn    *compile.Func
+		check string
+		sev   Severity
+	}{
+		{
+			name:  "no blocks",
+			fn:    tfn(0, 0),
+			check: "verify.no-blocks", sev: SevError,
+		},
+		{
+			name: "duplicate block ID",
+			fn: tfn(0, 0,
+				tb(0, br(1)),
+				tb(1, ret(compile.Const(0))),
+				tb(1, ret(compile.Const(0)))),
+			check: "verify.duplicate-block", sev: SevError,
+		},
+		{
+			name:  "empty block",
+			fn:    tfn(0, 0, tb(0, br(1)), tb(1)),
+			check: "verify.empty-block", sev: SevError,
+		},
+		{
+			name:  "missing terminator",
+			fn:    tfn(0, 1, tb(0, mov(0, compile.Const(1)))),
+			check: "verify.terminator", sev: SevError,
+		},
+		{
+			name:  "stray terminator",
+			fn:    tfn(0, 1, tb(0, ret(compile.Const(0)), mov(0, compile.Const(1)), ret(compile.Const(0)))),
+			check: "verify.stray-terminator", sev: SevError,
+		},
+		{
+			name:  "branch target missing",
+			fn:    tfn(0, 0, tb(0, br(7))),
+			check: "verify.branch-target", sev: SevError,
+		},
+		{
+			name: "condbr false target missing",
+			fn: tfn(1, 1,
+				tb(0, condbr(compile.Temp(0), 1, 9)),
+				tb(1, ret(compile.Const(0)))),
+			check: "verify.branch-target", sev: SevError,
+		},
+		{
+			name:  "param count exceeds temps",
+			fn:    tfn(3, 1, tb(0, ret(compile.Temp(0)))),
+			check: "verify.param-count", sev: SevError,
+		},
+		{
+			name:  "operand temp out of range",
+			fn:    tfn(0, 1, tb(0, ret(compile.Temp(5)))),
+			check: "verify.temp-range", sev: SevError,
+		},
+		{
+			name:  "destination out of range",
+			fn:    tfn(0, 1, tb(0, mov(9, compile.Const(1)), ret(compile.Const(0)))),
+			check: "verify.temp-range", sev: SevError,
+		},
+		{
+			name:  "mov missing source",
+			fn:    tfn(0, 1, tb(0, mov(0, compile.None), ret(compile.Const(0)))),
+			check: "verify.operand", sev: SevError,
+		},
+		{
+			name: "add with stray B on mov",
+			fn: tfn(0, 2, tb(0,
+				compile.Instr{Op: compile.OpMov, Dst: 0, A: compile.Const(1), B: compile.Const(2)},
+				ret(compile.Const(0)))),
+			check: "verify.operand", sev: SevError,
+		},
+		{
+			name:  "condbr without condition",
+			fn:    tfn(0, 0, tb(0, condbr(compile.None, 0, 0))),
+			check: "verify.operand", sev: SevError,
+		},
+		{
+			name: "call callee is a constant",
+			fn: tfn(0, 1, tb(0,
+				compile.Instr{Op: compile.OpCall, Dst: 0, Callee: compile.Const(4)},
+				ret(compile.Const(0)))),
+			check: "verify.operand", sev: SevError,
+		},
+		{
+			name:  "bad load width",
+			fn:    tfn(1, 2, tb(0, load(1, compile.Temp(0), 3), ret(compile.Temp(1)))),
+			check: "verify.width", sev: SevError,
+		},
+		{
+			name:  "bad store width",
+			fn:    tfn(2, 2, tb(0, store(compile.Temp(0), compile.Temp(1), 16), ret(compile.Const(0)))),
+			check: "verify.width", sev: SevError,
+		},
+		{
+			name: "defining op without Dst",
+			fn: tfn(0, 1, tb(0,
+				compile.Instr{Op: compile.OpAdd, Dst: -1, A: compile.Const(1), B: compile.Const(2)},
+				ret(compile.Const(0)))),
+			check: "verify.dst", sev: SevError,
+		},
+		{
+			name:  "unknown opcode",
+			fn:    tfn(0, 0, tb(0, compile.Instr{Op: compile.Opcode(99)}, ret(compile.Const(0)))),
+			check: "verify.operand", sev: SevError,
+		},
+		{
+			name:  "temp read but never defined",
+			fn:    tfn(0, 1, tb(0, ret(compile.Temp(0)))),
+			check: "verify.def-before-use", sev: SevError,
+		},
+		{
+			name: "temp not assigned on every path",
+			fn: tfn(1, 2,
+				tb(0, condbr(compile.Temp(0), 1, 2)),
+				tb(1, mov(1, compile.Const(1)), br(3)),
+				tb(2, br(3)),
+				tb(3, ret(compile.Temp(1)))),
+			check: "verify.def-before-use", sev: SevWarn,
+		},
+		{
+			name: "void function returns value",
+			fn: &compile.Func{Name: "f", NTemps: 0,
+				Blocks: []*compile.Block{tb(0, ret(compile.Const(1)))}},
+			check: "verify.ret-value", sev: SevWarn,
+		},
+		{
+			name: "valued function returns nothing",
+			fn: &compile.Func{Name: "f", NTemps: 0, RetWidth: 4,
+				Blocks: []*compile.Block{tb(0, ret(compile.None))}},
+			check: "verify.ret-value", sev: SevWarn,
+		},
+		{
+			name: "unreachable block",
+			fn: tfn(0, 0,
+				tb(0, ret(compile.Const(0))),
+				tb(1, ret(compile.Const(0)))),
+			check: "verify.unreachable", sev: SevWarn,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantCheck(t, Verify(tc.fn), tc.check, tc.sev)
+		})
+	}
+}
+
+func TestVerifyDiagPositions(t *testing.T) {
+	// The diagnostic must name the offending block and instruction.
+	fn := tfn(0, 1,
+		tb(4, br(5)),
+		tb(5, mov(0, compile.Const(1)), load(0, compile.Temp(0), 3), ret(compile.Temp(0))),
+	)
+	d := wantCheck(t, Verify(fn), "verify.width", SevError)
+	if d.Block != 5 || d.Instr != 1 {
+		t.Errorf("width diag at b%d/i%d, want b5/i1", d.Block, d.Instr)
+	}
+	if got := d.Pos(); got != "f/b5/i1" {
+		t.Errorf("Pos() = %q, want f/b5/i1", got)
+	}
+	if !strings.Contains(d.String(), "[verify.width]") {
+		t.Errorf("String() = %q, missing check ID", d.String())
+	}
+}
+
+func TestVerifySkipsDataflowOnBrokenStructure(t *testing.T) {
+	// An empty block breaks the CFG; the def-before-use pass must not run
+	// (and must not panic) — only the structural findings appear.
+	fn := tfn(0, 1,
+		tb(0, condbr(compile.Temp(0), 1, 1)),
+		tb(1),
+	)
+	ids := checkIDs(Verify(fn))
+	if !ids["verify.empty-block"] {
+		t.Fatal("missing verify.empty-block")
+	}
+	if ids["verify.def-before-use"] {
+		t.Error("def-before-use should be suppressed on structurally broken IR")
+	}
+}
+
+func TestAsError(t *testing.T) {
+	fn := tfn(0, 0, tb(0, br(7)))
+	diags := Verify(fn)
+	err := AsError(diags, SevError)
+	if err == nil {
+		t.Fatal("AsError = nil for broken IR")
+	}
+	if !errors.Is(err, ErrMalformed) {
+		t.Error("joined error must wrap ErrMalformed")
+	}
+	if !strings.Contains(err.Error(), "verify.branch-target") {
+		t.Errorf("error text %q must carry the diagnostic", err.Error())
+	}
+	// A clean function yields nil at any threshold.
+	if err := AsError(Verify(diamond()), SevWarn); err != nil {
+		t.Errorf("AsError(clean) = %v, want nil", err)
+	}
+}

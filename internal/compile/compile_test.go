@@ -529,3 +529,37 @@ int count(int n) {
 		t.Fatal("count not compiled")
 	}
 }
+
+func TestTerminatorEmptyBlock(t *testing.T) {
+	b := &Block{ID: 3}
+	if _, ok := b.Terminator(); ok {
+		t.Error("Terminator() ok = true for an empty block")
+	}
+	// Term keeps its legacy zero-Instr contract for empty blocks; callers
+	// that may see unverified IR must use Terminator instead.
+	if got := b.Term(); got.Op != 0 {
+		t.Errorf("Term() on empty block = %v, want the zero Instr", got)
+	}
+	if succs := b.Succs(); succs != nil {
+		t.Errorf("Succs() on empty block = %v, want nil", succs)
+	}
+}
+
+func TestTerminatorNonEmptyBlock(t *testing.T) {
+	b := &Block{ID: 0, Instrs: []Instr{
+		{Op: OpMov, Dst: 0, A: Const(1)},
+		{Op: OpCondBr, Dst: -1, A: Temp(0), Target: 1, Else: 2},
+	}}
+	term, ok := b.Terminator()
+	if !ok || term.Op != OpCondBr {
+		t.Fatalf("Terminator() = %v, %v; want the condbr", term, ok)
+	}
+	if got := b.Term(); got.Op != term.Op || got.Target != term.Target {
+		t.Error("Term() must agree with Terminator() on non-empty blocks")
+	}
+	want := []int{1, 2}
+	got := b.Succs()
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("Succs() = %v, want %v", got, want)
+	}
+}

@@ -177,12 +177,22 @@ type Block struct {
 	Instrs []Instr
 }
 
-// Term returns the block terminator.
+// Term returns the block terminator. For an empty block it returns the
+// zero Instr (Op 0), which no opcode switch matches — callers that can
+// meet unverified IR should use Terminator and check ok instead.
 func (b *Block) Term() Instr {
+	t, _ := b.Terminator()
+	return t
+}
+
+// Terminator returns the block's last instruction and whether the block
+// has one at all. ok is false for empty blocks; analysis.Verify flags
+// those as verify.empty-block.
+func (b *Block) Terminator() (Instr, bool) {
 	if len(b.Instrs) == 0 {
-		return Instr{}
+		return Instr{}, false
 	}
-	return b.Instrs[len(b.Instrs)-1]
+	return b.Instrs[len(b.Instrs)-1], true
 }
 
 // Succs returns the successor block IDs.

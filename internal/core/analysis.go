@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 	"sort"
 
 	"decompstudy/internal/htest"
@@ -81,6 +82,84 @@ func (s *Study) AnalyzeTimingCtx(ctx context.Context) (*mixed.Result, error) {
 		return nil, err
 	}
 	return mixed.FitLMMCtx(ctx, spec)
+}
+
+// AnalyzeTimingStructural fits the RQ2 timing LMM extended with
+// standardized structural-complexity covariates of the snippet being
+// answered (cyclomatic complexity and live-variable pressure) — the
+// structural predictors the RQ5 discussion argues the similarity
+// metrics are missing.
+func (s *Study) AnalyzeTimingStructural() (*mixed.Result, error) {
+	return s.AnalyzeTimingStructuralCtx(s.obsCtx())
+}
+
+// AnalyzeTimingStructuralCtx is AnalyzeTimingStructural with the fit
+// span parented to the given context.
+func (s *Study) AnalyzeTimingStructuralCtx(ctx context.Context) (*mixed.Result, error) {
+	rows := s.Dataset.TimingRows()
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("core: no observations: %w", ErrAnalysis)
+	}
+	cyc := make([]float64, len(rows))
+	liv := make([]float64, len(rows))
+	y := make([]float64, len(rows))
+	for i, r := range rows {
+		cov, ok := s.Complexity[r.SnippetID]
+		if !ok {
+			return nil, fmt.Errorf("core: no complexity covariates for snippet %s: %w", r.SnippetID, ErrAnalysis)
+		}
+		cyc[i] = float64(cov.Cyclomatic)
+		liv[i] = float64(cov.MaxLivePressure)
+		y[i] = r.TimeSec
+	}
+	standardize(cyc)
+	standardize(liv)
+	design := make([][]float64, len(rows))
+	for i, r := range rows {
+		dirty := 0.0
+		if r.UsesDirty {
+			dirty = 1
+		}
+		design[i] = []float64{1, dirty, r.ExpCoding, r.ExpRE, cyc[i], liv[i]}
+	}
+	x, err := linalg.NewMatrixFromRows(design)
+	if err != nil {
+		return nil, err
+	}
+	uidx, nu := s.Dataset.UserIndex(rows)
+	qidx, nq := s.Dataset.QuestionIndex(rows)
+	return mixed.FitLMMCtx(ctx, &mixed.Spec{
+		Response:   y,
+		Fixed:      x,
+		FixedNames: []string{"(Intercept)", "uses_DIRTY", "Exp_Coding", "Exp_RE", "Cyclomatic", "LivePressure"},
+		Random: []mixed.RandomFactor{
+			{Name: "user", Index: uidx, NLevels: nu},
+			{Name: "question", Index: qidx, NLevels: nq},
+		},
+	})
+}
+
+// standardize z-scores xs in place (no-op for zero variance).
+func standardize(xs []float64) {
+	if len(xs) == 0 {
+		return
+	}
+	var mean float64
+	for _, v := range xs {
+		mean += v
+	}
+	mean /= float64(len(xs))
+	var ss float64
+	for _, v := range xs {
+		ss += (v - mean) * (v - mean)
+	}
+	sd := math.Sqrt(ss / float64(len(xs)))
+	if sd == 0 {
+		return
+	}
+	for i := range xs {
+		xs[i] = (xs[i] - mean) / sd
+	}
 }
 
 // QuestionCorrectness summarizes one question's Figure 5 bars plus a
@@ -322,6 +401,22 @@ type MetricCorrelation struct {
 	CorrP   float64
 }
 
+// SimilarityMetricNames lists the intrinsic similarity rows of Tables
+// III/IV in paper order.
+var SimilarityMetricNames = []string{
+	"BLEU", "codeBLEU", "Jaccard Similarity", "Levenshtein",
+	"BERTScore F1", "VarCLR",
+	"Human Evaluation (Variables)", "Human Evaluation (Types)",
+}
+
+// StructuralMetricNames lists the structural-complexity covariate rows
+// appended to the RQ5 correlation table — the predictors the DIRE line
+// of related work argues the similarity metrics are missing.
+var StructuralMetricNames = []string{
+	"Cyclomatic Complexity", "CFG Edges", "Max Loop Depth",
+	"Live-Var Pressure", "Call Count",
+}
+
 // MetricCorrelations computes the RQ5 Spearman correlations between each
 // intrinsic similarity metric (per snippet) and per-response time and
 // correctness on DIRTY-annotated snippets.
@@ -361,13 +456,14 @@ func (s *Study) MetricCorrelations() ([]MetricCorrelation, error) {
 			"VarCLR":                       rep.VarCLR,
 			"Human Evaluation (Variables)": rep.HumanVariables,
 			"Human Evaluation (Types)":     rep.HumanTypes,
+			"Cyclomatic Complexity":        rep.Cyclomatic,
+			"CFG Edges":                    rep.CFGEdges,
+			"Max Loop Depth":               rep.MaxLoopDepth,
+			"Live-Var Pressure":            rep.LivePressure,
+			"Call Count":                   rep.CallCount,
 		}
 	}
-	order := []string{
-		"BLEU", "codeBLEU", "Jaccard Similarity", "Levenshtein",
-		"BERTScore F1", "VarCLR",
-		"Human Evaluation (Variables)", "Human Evaluation (Types)",
-	}
+	order := append(append([]string{}, SimilarityMetricNames...), StructuralMetricNames...)
 
 	var out []MetricCorrelation
 	for _, name := range order {

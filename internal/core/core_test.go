@@ -256,12 +256,28 @@ func TestRQ5MetricCorrelations(t *testing.T) {
 	if err != nil {
 		t.Fatalf("MetricCorrelations: %v", err)
 	}
-	if len(mcs) != 8 {
-		t.Fatalf("metric rows = %d, want 8 (Tables III/IV)", len(mcs))
+	want := len(SimilarityMetricNames) + len(StructuralMetricNames)
+	if len(mcs) != want {
+		t.Fatalf("metric rows = %d, want %d (Tables III/IV similarity rows + structural covariates)", len(mcs), want)
 	}
 	byName := map[string]MetricCorrelation{}
 	for _, m := range mcs {
 		byName[m.Metric] = m
+	}
+	// RQ5 extension: the correlation table carries the structural
+	// covariates computed from the verified IR, and they vary across
+	// snippets (a constant column would make the Spearman rows vacuous).
+	for _, name := range StructuralMetricNames {
+		if _, ok := byName[name]; !ok {
+			t.Errorf("structural covariate %q missing from correlation rows", name)
+		}
+	}
+	seenCyc := map[float64]bool{}
+	for _, rep := range s.MetricReports {
+		seenCyc[rep.Cyclomatic] = true
+	}
+	if len(seenCyc) < 2 {
+		t.Errorf("cyclomatic complexity constant across snippets: %v", seenCyc)
 	}
 	// Table III: Jaccard, BLEU, and human variable evaluation all
 	// positively and significantly correlated with time.

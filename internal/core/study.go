@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 
+	"decompstudy/internal/analysis"
 	"decompstudy/internal/corpus"
 	"decompstudy/internal/embed"
 	"decompstudy/internal/metrics"
@@ -78,6 +79,9 @@ type Study struct {
 	Recovery *namerec.Model
 	// MetricReports holds the intrinsic metric evaluation per snippet ID.
 	MetricReports map[string]metrics.Report
+	// Complexity holds the structural-complexity covariates of each study
+	// function's IR per snippet ID — the RQ5 structural predictors.
+	Complexity map[string]analysis.Covariates
 	// Panel is the RQ5 expert similarity panel result.
 	Panel *qualcode.PanelResult
 }
@@ -133,8 +137,10 @@ func NewCtx(ctx context.Context, cfg *Config) (*Study, error) {
 		return nil, fmt.Errorf("core: administering survey: %w", err)
 	}
 
-	// Intrinsic metrics per snippet (RQ5 inputs).
+	// Intrinsic metrics plus structural-complexity covariates per snippet
+	// (RQ5 inputs).
 	s.MetricReports = map[string]metrics.Report{}
+	s.Complexity = map[string]analysis.Covariates{}
 	var sets []qualcode.PairSet
 	for _, p := range s.Prepared {
 		pairs := make([]metrics.Pair, 0, len(p.Dirty.Renames))
@@ -145,6 +151,13 @@ func NewCtx(ctx context.Context, cfg *Config) (*Study, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: metrics for %s: %w", p.Snippet.ID, err)
 		}
+		cov := analysis.MeasureCtx(ctx, p.IR)
+		s.Complexity[p.Snippet.ID] = cov
+		rep.Cyclomatic = float64(cov.Cyclomatic)
+		rep.CFGEdges = float64(cov.Edges)
+		rep.MaxLoopDepth = float64(cov.MaxLoopDepth)
+		rep.LivePressure = float64(cov.MaxLivePressure)
+		rep.CallCount = float64(cov.Calls)
 		s.MetricReports[p.Snippet.ID] = rep
 		sets = append(sets, qualcode.PairSet{
 			SnippetID: p.Snippet.ID,

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"decompstudy/internal/analysis"
 	"decompstudy/internal/compile"
 	"decompstudy/internal/csrc"
 	"decompstudy/internal/decomp"
@@ -13,9 +14,14 @@ import (
 )
 
 // Prepared is a snippet run through the full pipeline: parsed, compiled,
-// decompiled, and annotated — both treatment arms ready to show.
+// verified, decompiled, and annotated — both treatment arms ready to
+// show.
 type Prepared struct {
 	Snippet *Snippet
+	// IR is the verified intermediate representation of the study
+	// function; the structural-complexity covariates (RQ5) are computed
+	// from it.
+	IR *compile.Func
 	// HexRays is the control arm (plain decompiler output).
 	HexRays *decomp.Decompiled
 	// Dirty is the treatment arm (decompiler output with recovered names).
@@ -44,6 +50,9 @@ func PrepareCtx(ctx context.Context, s *Snippet) (*Prepared, error) {
 	if err != nil {
 		return nil, fmt.Errorf("corpus: compiling %s: %w", s.ID, err)
 	}
+	if err := verifyIR(ctx, s.ID, obj); err != nil {
+		return nil, err
+	}
 	cf, ok := obj.Func0(s.FuncName)
 	if !ok {
 		return nil, fmt.Errorf("corpus: snippet %s does not define %s", s.ID, s.FuncName)
@@ -66,10 +75,24 @@ func PrepareCtx(ctx context.Context, s *Snippet) (*Prepared, error) {
 	}
 	return &Prepared{
 		Snippet:    s,
+		IR:         cf,
 		HexRays:    d,
 		Dirty:      dirty,
 		OrigSource: printFunc(srcFn),
 	}, nil
+}
+
+// verifyIR rejects malformed compiled IR with structured diagnostics
+// naming the offending block/instruction instead of letting
+// decomp.LiftFunc fail opaquely; the diagnostics ride the per-snippet
+// error that PrepareSnippets joins, and errors.Is(err,
+// analysis.ErrMalformed) identifies the rejection.
+func verifyIR(ctx context.Context, id string, obj *compile.Object) error {
+	if verr := analysis.AsError(analysis.VerifyObject(ctx, obj), analysis.SevError); verr != nil {
+		obs.AddCount(ctx, "corpus.verify.rejected", 1)
+		return fmt.Errorf("corpus: verifying IR of %s: %w", id, verr)
+	}
+	return nil
 }
 
 // PrepareAll prepares every study snippet.

@@ -2,9 +2,13 @@ package corpus
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"strings"
 	"testing"
 
+	"decompstudy/internal/analysis"
+	"decompstudy/internal/compile"
 	"decompstudy/internal/obs"
 )
 
@@ -47,5 +51,61 @@ func TestPrepareSnippetsCountsOutcomes(t *testing.T) {
 	}
 	if got := o.Metrics.Counter("corpus.prepare.ok").Value(); got != int64(len(Snippets())) {
 		t.Errorf("corpus.prepare.ok = %d, want %d", got, len(Snippets()))
+	}
+}
+
+func TestVerifyIRRejectsMalformedWithDiagnostics(t *testing.T) {
+	// compile never emits malformed IR, so break a compiled object by hand
+	// to exercise the rejection path: the error must identify the snippet,
+	// satisfy errors.Is(err, analysis.ErrMalformed), and name the offending
+	// block via the verifier diagnostics it joins.
+	s, ok := SnippetByID("AEEK")
+	if !ok {
+		t.Fatal("AEEK snippet missing")
+	}
+	file, err := s.Parse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := compile.Compile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, ok := obj.Func0(s.FuncName)
+	if !ok {
+		t.Fatalf("missing %s", s.FuncName)
+	}
+	emptied := fn.Blocks[1].ID
+	fn.Blocks[1].Instrs = nil
+
+	err = verifyIR(context.Background(), s.ID, obj)
+	if err == nil {
+		t.Fatal("verifyIR accepted IR with an empty block")
+	}
+	if !errors.Is(err, analysis.ErrMalformed) {
+		t.Errorf("error = %v, want analysis.ErrMalformed in the chain", err)
+	}
+	msg := err.Error()
+	for _, want := range []string{"AEEK", "verify.empty-block", fmt.Sprintf("b%d", emptied)} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
+	}
+}
+
+func TestPrepareExposesVerifiedIR(t *testing.T) {
+	s, ok := SnippetByID("TC")
+	if !ok {
+		t.Fatal("TC snippet missing")
+	}
+	p, err := Prepare(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.IR == nil || p.IR.Name != s.FuncName {
+		t.Fatalf("Prepared.IR = %v, want the compiled %s", p.IR, s.FuncName)
+	}
+	if diags := analysis.Verify(p.IR); analysis.CountSev(diags, analysis.SevError) != 0 {
+		t.Errorf("Prepared.IR not verifier-clean: %v", diags)
 	}
 }

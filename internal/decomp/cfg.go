@@ -57,6 +57,13 @@ func analyze(fn *compile.Func) (*cfg, error) {
 		ipdom:       map[int]int{},
 	}
 	for _, b := range fn.Blocks {
+		// An empty block has no terminator: Block.Term() returns a zero
+		// Instr and Succs() nil, which would silently treat the block as
+		// a return block. Reject it up front instead.
+		if _, ok := b.Terminator(); !ok {
+			return nil, fmt.Errorf("decomp: function %s: block b%d is empty (no terminator): %w",
+				fn.Name, b.ID, ErrStructure)
+		}
 		g.succs[b.ID] = b.Succs()
 	}
 	// DFS preorder, back-edge detection.

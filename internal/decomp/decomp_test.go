@@ -1,6 +1,7 @@
 package decomp
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -307,4 +308,27 @@ func TestStackCommentProgression(t *testing.T) {
 // parseBack re-parses decompiled output (shared by the extension tests).
 func parseBack(src string) (interface{}, error) {
 	return csrc.Parse(src, nil)
+}
+
+func TestLiftEmptyBlockIsStructureError(t *testing.T) {
+	// Hand-built IR with a block that has no terminator: the lifter must
+	// reject it with ErrStructure naming the block, not panic or misread
+	// the zero Instr Block.Term returns.
+	fn := &compile.Func{
+		Name: "broken", NTemps: 0, RetWidth: 0,
+		Blocks: []*compile.Block{
+			{ID: 0, Instrs: []compile.Instr{{Op: compile.OpBr, Dst: -1, Target: 1}}},
+			{ID: 1},
+		},
+	}
+	_, err := LiftFunc(fn)
+	if err == nil {
+		t.Fatal("LiftFunc on empty-block IR succeeded, want error")
+	}
+	if !errors.Is(err, ErrStructure) {
+		t.Errorf("error = %v, want ErrStructure", err)
+	}
+	if !strings.Contains(err.Error(), "b1") {
+		t.Errorf("error %q should name the empty block b1", err)
+	}
 }

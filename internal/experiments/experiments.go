@@ -394,6 +394,70 @@ func (r *Runner) MetricReportTable() string {
 	return tbl.String()
 }
 
+// ComplexityReport renders the RQ5 structural-covariate artifact: the
+// per-function complexity measures computed by internal/analysis from
+// the verified IR, their Spearman correlations with participant time and
+// correctness (the structural rows of Tables III/IV), and the timing LMM
+// refit with standardized structural predictors.
+func (r *Runner) ComplexityReport() (string, error) {
+	ctx, sp := r.artifact("complexity")
+	defer sp.End()
+
+	covTbl := &report.Table{
+		Title:   "Structural-complexity covariates per study function (from verified IR)",
+		Columns: []string{"Snippet", "Function", "Blocks", "Edges", "Instrs", "Cyclomatic", "LoopDepth", "LivePressure", "Calls"},
+	}
+	for _, p := range r.Study.Prepared {
+		cov, ok := r.Study.Complexity[p.Snippet.ID]
+		if !ok {
+			return "", fmt.Errorf("experiments: no covariates for %s: %w", p.Snippet.ID, core.ErrAnalysis)
+		}
+		covTbl.Rows = append(covTbl.Rows, []string{
+			p.Snippet.ID, p.Snippet.FuncName,
+			fmt.Sprintf("%d", cov.Blocks), fmt.Sprintf("%d", cov.Edges),
+			fmt.Sprintf("%d", cov.Instrs), fmt.Sprintf("%d", cov.Cyclomatic),
+			fmt.Sprintf("%d", cov.MaxLoopDepth), fmt.Sprintf("%d", cov.MaxLivePressure),
+			fmt.Sprintf("%d", cov.Calls),
+		})
+	}
+
+	mcs, err := r.Study.MetricCorrelations()
+	if err != nil {
+		return "", err
+	}
+	structural := map[string]bool{}
+	for _, name := range core.StructuralMetricNames {
+		structural[name] = true
+	}
+	corrTbl := &report.Table{
+		Title:   "Structural covariates vs participant time and correctness (DIRTY snippets)",
+		Columns: []string{"Covariate", "Dir", "time rho", "time p", "corr rho", "corr p"},
+	}
+	for _, m := range mcs {
+		if !structural[m.Metric] {
+			continue
+		}
+		corrTbl.Rows = append(corrTbl.Rows, []string{
+			m.Metric, report.Arrow(m.TimeRho),
+			fmt.Sprintf("%+.4f", m.TimeRho), fmt.Sprintf("%.4f%s", m.TimeP, report.Stars(m.TimeP)),
+			fmt.Sprintf("%+.4f", m.CorrRho), fmt.Sprintf("%.4f%s", m.CorrP, report.Stars(m.CorrP)),
+		})
+	}
+
+	lmm, err := r.Study.AnalyzeTimingStructuralCtx(ctx)
+	if err != nil {
+		return "", err
+	}
+
+	var b strings.Builder
+	b.WriteString(covTbl.String())
+	b.WriteString("\n")
+	b.WriteString(corrTbl.String())
+	b.WriteString("\n")
+	b.WriteString(renderModelTable("Timing LMM with structural predictors (RQ5 extension)", lmm.String()))
+	return b.String(), nil
+}
+
 // All renders every table and figure in paper order.
 func (r *Runner) All() (string, error) {
 	_, sp := r.artifact("all")

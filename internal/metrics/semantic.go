@@ -99,6 +99,16 @@ type Report struct {
 	VarCLR         float64
 	HumanVariables float64 // filled by qualcode's expert panel when available
 	HumanTypes     float64
+
+	// Structural-complexity covariates, computed by internal/analysis
+	// over the snippet's IR and filled in by core alongside the human
+	// scores — the RQ5 structural predictors that sit next to the
+	// similarity metrics in Tables III/IV.
+	Cyclomatic   float64
+	CFGEdges     float64
+	MaxLoopDepth float64
+	LivePressure float64
+	CallCount    float64
 }
 
 // Pair is one aligned (candidate, reference) identifier pair.

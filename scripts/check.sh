@@ -16,6 +16,15 @@ fi
 echo "== go vet"
 go vet ./...
 
+echo "== irlint"
+# The project's own IR linter: corpus and the clean example must be
+# finding-free; the deliberately flawed example must trip it.
+go run ./cmd/irlint -corpus examples/lintdemo/clean.c
+if go run ./cmd/irlint examples/lintdemo/dirty.c >/dev/null 2>&1; then
+	echo "irlint: examples/lintdemo/dirty.c should have findings"
+	exit 1
+fi
+
 echo "== go build"
 go build ./...
 

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint fmt-check check bench-smoke clean
+.PHONY: all build test race vet lint fmt-check check bench bench-smoke clean
 
 all: build test
 
@@ -35,6 +35,11 @@ fmt-check:
 
 check:
 	./scripts/check.sh
+
+# Measure the parallel pipeline at jobs=1,2,4,8 and record ns/op plus the
+# speedup over the sequential baseline in BENCH_pipeline.json.
+bench:
+	./scripts/bench.sh
 
 # One iteration of every benchmark — catches bit-rot in the bench suite
 # without the cost of a real measurement run.

@@ -11,6 +11,7 @@ package decompstudy
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -25,6 +26,7 @@ import (
 	"decompstudy/internal/experiments"
 	"decompstudy/internal/metrics"
 	"decompstudy/internal/obs"
+	"decompstudy/internal/par"
 	"decompstudy/internal/survey"
 )
 
@@ -154,6 +156,36 @@ func BenchmarkStudyStages(b *testing.B) {
 	report("ns/metrics", "metrics.Evaluate")
 	report("ns/panel", "qualcode.RatePanel")
 	report("ns/fit", "mixed.FitGLMMLogit", "mixed.FitLMM")
+}
+
+// BenchmarkPipelineParallel measures one complete pipeline run at fixed
+// worker counts and reports each count's speedup over the jobs=1 baseline
+// as an x/speedup custom metric. Every sub-benchmark produces the same
+// study bytes — the fan-outs are deterministic — so the comparison is
+// pure scheduling. On a single-core host the speedups hover around 1.0;
+// scripts/bench.sh records the numbers either way in BENCH_pipeline.json.
+func BenchmarkPipelineParallel(b *testing.B) {
+	var baseline float64 // ns/op at jobs=1
+	for _, jobs := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			ctx := par.WithJobs(context.Background(), jobs)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.NewCtx(ctx, &core.Config{Seed: int64(i + 1), Jobs: jobs}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			if jobs == 1 {
+				baseline = perOp
+			}
+			if baseline > 0 && perOp > 0 {
+				b.ReportMetric(baseline/perOp, "x/speedup")
+			}
+		})
+	}
 }
 
 // BenchmarkSurveyAdministration measures survey data collection alone

@@ -24,6 +24,7 @@ import (
 	"io"
 	"log/slog"
 	"os"
+	"runtime"
 	"strings"
 
 	"decompstudy/internal/compile"
@@ -32,6 +33,7 @@ import (
 	"decompstudy/internal/decomp"
 	"decompstudy/internal/namerec"
 	"decompstudy/internal/obs"
+	"decompstudy/internal/par"
 )
 
 func main() {
@@ -42,6 +44,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("decompile", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	annotate := fs.Bool("annotate", false, "apply name/type recovery to the decompiled output")
+	jobs := fs.Int("jobs", runtime.GOMAXPROCS(0), "worker count for pipeline fan-outs (results are identical at any value)")
 	showIR := fs.Bool("ir", false, "print the intermediate representation instead of pseudo-C")
 	funcName := fs.String("func", "", "only process the named function")
 	typeList := fs.String("types", "", "comma-separated extra type names for the parser")
@@ -63,6 +66,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	if ecode != 0 {
 		return ecode
 	}
+	ctx = par.WithJobs(ctx, *jobs)
 	defer func() {
 		if err := finish(); err != nil && code == 0 {
 			code = 1

@@ -8,7 +8,7 @@
 // Usage:
 //
 //	irlint [flags] FILE.c ...
-//	irlint -corpus
+//	irlint -corpus [-jobs N]
 //
 // -corpus lints the embedded study snippets and the training corpus
 // instead of (or in addition to) the listed files. -json emits the
@@ -26,11 +26,13 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log/slog"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -39,6 +41,7 @@ import (
 	"decompstudy/internal/corpus"
 	"decompstudy/internal/csrc"
 	"decompstudy/internal/obs"
+	"decompstudy/internal/par"
 )
 
 func main() {
@@ -71,62 +74,98 @@ type runner struct {
 	complexity bool
 }
 
-// lintSrc parses and compiles one mini-C translation unit and lints
-// every function in it.
-func (r *runner) lintSrc(source, src string, types []string) error {
-	file, err := csrc.ParseCtx(r.ctx, src, types)
+// lintSrc parses and compiles one mini-C translation unit, lints every
+// function in it, and appends the results to rep (r.rep by default). The
+// fragment indirection lets lintCorpus lint units concurrently into
+// private fragments and merge them in input order.
+func (r *runner) lintSrc(ctx context.Context, source, src string, types []string, rep *report) error {
+	file, err := csrc.ParseCtx(ctx, src, types)
 	if err != nil {
 		return err
 	}
-	obj, err := compile.CompileCtx(r.ctx, file)
+	obj, err := compile.CompileCtx(ctx, file)
 	if err != nil {
 		return err
 	}
-	r.lintObject(source, obj)
+	r.lintObject(ctx, source, obj, rep)
 	return nil
 }
 
-// lintObject lints every function of an already-compiled object.
-func (r *runner) lintObject(source string, obj *compile.Object) {
+// lintObject lints every function of an already-compiled object into rep.
+func (r *runner) lintObject(ctx context.Context, source string, obj *compile.Object, rep *report) {
 	for _, fn := range obj.Funcs {
-		for _, d := range analysis.Check(r.ctx, fn) {
-			r.rep.Findings = append(r.rep.Findings, finding{Source: source, Diag: d})
+		for _, d := range analysis.Check(ctx, fn) {
+			rep.Findings = append(rep.Findings, finding{Source: source, Diag: d})
 		}
 		if r.complexity {
-			r.rep.Complexity = append(r.rep.Complexity, funcCov{
+			rep.Complexity = append(rep.Complexity, funcCov{
 				Source: source, Func: fn.Name,
-				Covariates: analysis.MeasureCtx(r.ctx, fn),
+				Covariates: analysis.MeasureCtx(ctx, fn),
 			})
 		}
 	}
 }
 
 // lintCorpus feeds the embedded study snippets and the training corpus
-// through the same lint path as file arguments.
+// through the same lint path as file arguments. Units lint concurrently on
+// par.JobsFrom workers; each unit writes a private report fragment and the
+// fragments merge in input order, so the output is identical at any worker
+// count. Unit failures are joined in input order rather than aborting the
+// sweep at the first fault.
 func (r *runner) lintCorpus() error {
+	type unit struct {
+		lint func(ctx context.Context, rep *report) error
+	}
+	var units []unit
 	for _, s := range corpus.Snippets() {
-		if err := r.lintSrc("snippet:"+s.ID, s.Source, s.ExtraTypes); err != nil {
-			return fmt.Errorf("snippet %s: %w", s.ID, err)
-		}
+		units = append(units, unit{lint: func(ctx context.Context, rep *report) error {
+			if err := r.lintSrc(ctx, "snippet:"+s.ID, s.Source, s.ExtraTypes, rep); err != nil {
+				return fmt.Errorf("snippet %s: %w", s.ID, err)
+			}
+			return nil
+		}})
 	}
 	files, err := corpus.TrainingFiles()
 	if err != nil {
 		return err
 	}
 	for i, f := range files {
-		obj, err := compile.CompileCtx(r.ctx, f)
-		if err != nil {
-			return fmt.Errorf("training[%d]: %w", i, err)
-		}
-		r.lintObject(fmt.Sprintf("training[%d]", i), obj)
+		units = append(units, unit{lint: func(ctx context.Context, rep *report) error {
+			obj, err := compile.CompileCtx(ctx, f)
+			if err != nil {
+				return fmt.Errorf("training[%d]: %w", i, err)
+			}
+			r.lintObject(ctx, fmt.Sprintf("training[%d]", i), obj, rep)
+			return nil
+		}})
 	}
-	return nil
+
+	jobs := par.JobsFrom(r.ctx)
+	obs.SetGauge(r.ctx, "irlint.jobs", float64(jobs))
+	frags, errs := par.MapAll(r.ctx, jobs, units, func(ctx context.Context, _ int, u unit) (*report, error) {
+		rep := &report{}
+		if err := u.lint(ctx, rep); err != nil {
+			return nil, err
+		}
+		return rep, nil
+	})
+	var failed []error
+	for i := range units {
+		if errs[i] != nil {
+			failed = append(failed, errs[i])
+			continue
+		}
+		r.rep.Findings = append(r.rep.Findings, frags[i].Findings...)
+		r.rep.Complexity = append(r.rep.Complexity, frags[i].Complexity...)
+	}
+	return errors.Join(failed...)
 }
 
 func run(args []string, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("irlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	useCorpus := fs.Bool("corpus", false, "lint the embedded study snippets and training corpus")
+	jobs := fs.Int("jobs", runtime.GOMAXPROCS(0), "worker count for the corpus lint sweep (results are identical at any value)")
 	jsonOut := fs.Bool("json", false, "emit findings as JSON instead of text")
 	complexity := fs.Bool("complexity", false, "also report per-function complexity covariates")
 	typeList := fs.String("types", "", "comma-separated extra type names for the parser")
@@ -162,14 +201,14 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		extra = strings.Split(*typeList, ",")
 	}
 
-	r := &runner{ctx: ctx, complexity: *complexity}
+	r := &runner{ctx: par.WithJobs(ctx, *jobs), complexity: *complexity}
 	for _, path := range fs.Args() {
 		src, err := os.ReadFile(path)
 		if err != nil {
 			fmt.Fprintf(stderr, "irlint: %v\n", err)
 			return 1
 		}
-		if err := r.lintSrc(path, string(src), extra); err != nil {
+		if err := r.lintSrc(r.ctx, path, string(src), extra, &r.rep); err != nil {
 			fmt.Fprintf(stderr, "irlint: %s: %v\n", path, err)
 			return 1
 		}

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	studysim [-seed N] [-artifact NAME] [-csv]
+//	studysim [-seed N] [-jobs N] [-artifact NAME] [-csv]
 //	studysim -stats -trace trace.json [-v] [-cpuprofile cpu.out]
 //
 // With no flags it prints every table and figure in paper order using the
@@ -26,11 +26,13 @@ import (
 	"io"
 	"log/slog"
 	"os"
+	"runtime"
 	"strings"
 
 	"decompstudy/internal/core"
 	"decompstudy/internal/experiments"
 	"decompstudy/internal/obs"
+	"decompstudy/internal/par"
 )
 
 func main() {
@@ -91,6 +93,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("studysim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	seed := fs.Int64("seed", 0, "simulation seed (0 = shipped default)")
+	jobs := fs.Int("jobs", runtime.GOMAXPROCS(0), "worker count for pipeline fan-outs (results are identical at any value)")
 	artifact := fs.String("artifact", "", "single artifact to render ("+artifactNames()+")")
 	csv := fs.Bool("csv", false, "dump the anonymized response dataset as CSV")
 	export := fs.String("export", "", "write the replication package (CSV + JSON) to this directory")
@@ -136,7 +139,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		}
 		o.Log = obs.NewLogger(stderr, level)
 	}
-	ctx := obs.With(context.Background(), o)
+	ctx := par.WithJobs(obs.With(context.Background(), o), *jobs)
 
 	if *cpuprofile != "" {
 		stop, err := obs.StartCPUProfile(*cpuprofile)
@@ -178,7 +181,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		}
 	}()
 
-	r, err := experiments.NewRunnerCtx(ctx, &core.Config{Seed: *seed})
+	r, err := experiments.NewRunnerCtx(ctx, &core.Config{Seed: *seed, Jobs: *jobs})
 	if err != nil {
 		fmt.Fprintf(stderr, "studysim: %v\n", err)
 		return 1

@@ -1,6 +1,7 @@
 package corpus
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -204,6 +205,27 @@ func TestEmbeddingContexts(t *testing.T) {
 	for _, word := range []string{"klen", "index", "buffer", "tree", "aux"} {
 		if !m.Contains(word) {
 			t.Errorf("embedding vocabulary missing %q", word)
+		}
+	}
+}
+
+// TestEmbeddingContextsStableOrder guards against map-iteration order
+// leaking into the training input: context order decides embedding
+// vocabulary IDs and co-occurrence windows, so any run-to-run shuffle here
+// (the DirtyOverrides maps are the tempting source) makes the trained
+// model — and every downstream metric — nondeterministic.
+func TestEmbeddingContextsStableOrder(t *testing.T) {
+	a, err := EmbeddingContexts()
+	if err != nil {
+		t.Fatalf("EmbeddingContexts: %v", err)
+	}
+	for trial := 0; trial < 5; trial++ {
+		b, err := EmbeddingContexts()
+		if err != nil {
+			t.Fatalf("EmbeddingContexts: %v", err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("trial %d: context order changed between calls", trial)
 		}
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"decompstudy/internal/decomp"
 	"decompstudy/internal/namerec"
 	"decompstudy/internal/obs"
+	"decompstudy/internal/par"
 )
 
 // Prepared is a snippet run through the full pipeline: parsed, compiled,
@@ -109,25 +110,41 @@ func PrepareAllCtx(ctx context.Context) ([]*Prepared, error) {
 // failures. On error it returns the successfully prepared snippets together
 // with every failure joined via errors.Join, so telemetry can report partial
 // pipeline outcomes instead of only the first fault.
+//
+// Snippets fan out across the context's worker count (par.JobsFrom).
+// Successes and failures are both assembled in input order regardless of
+// completion order, so the returned slice and the joined error message are
+// identical at any worker count.
 func PrepareSnippets(ctx context.Context, snippets []*Snippet) ([]*Prepared, error) {
-	ctx, sp := obs.StartSpan(ctx, "corpus.PrepareAll", obs.KV("snippets", len(snippets)))
+	jobs := par.JobsFrom(ctx)
+	ctx, sp := obs.StartSpan(ctx, "corpus.PrepareAll",
+		obs.KV("snippets", len(snippets)), obs.KV("jobs", jobs))
 	defer sp.End()
-	out := make([]*Prepared, 0, len(snippets))
-	var errs []error
-	for _, s := range snippets {
+	obs.SetGauge(ctx, "corpus.prepare.jobs", float64(jobs))
+
+	prepared, errs := par.MapAll(ctx, jobs, snippets, func(ctx context.Context, _ int, s *Snippet) (*Prepared, error) {
 		p, err := PrepareCtx(ctx, s)
 		if err != nil {
 			obs.AddCount(ctx, "corpus.prepare.failed", 1)
 			obs.Logger(ctx).Error("snippet preparation failed", "snippet", s.ID, "err", err)
-			errs = append(errs, err)
-			continue
+			return nil, err
 		}
 		obs.AddCount(ctx, "corpus.prepare.ok", 1)
-		out = append(out, p)
+		return p, nil
+	})
+
+	out := make([]*Prepared, 0, len(snippets))
+	var failed []error
+	for i := range snippets {
+		if errs[i] != nil {
+			failed = append(failed, errs[i])
+			continue
+		}
+		out = append(out, prepared[i])
 	}
-	if len(errs) > 0 {
-		sp.SetAttr("failed", len(errs))
-		return out, errors.Join(errs...)
+	if len(failed) > 0 {
+		sp.SetAttr("failed", len(failed))
+		return out, errors.Join(failed...)
 	}
 	return out, nil
 }

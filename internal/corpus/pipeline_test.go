@@ -4,12 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"slices"
 	"strings"
 	"testing"
 
 	"decompstudy/internal/analysis"
 	"decompstudy/internal/compile"
 	"decompstudy/internal/obs"
+	"decompstudy/internal/par"
 )
 
 func TestPrepareSnippetsJoinsAllErrors(t *testing.T) {
@@ -36,6 +38,55 @@ func TestPrepareSnippetsJoinsAllErrors(t *testing.T) {
 	}
 	if !strings.Contains(msg, "BAD2") {
 		t.Errorf("joined error missing BAD2: %v", err)
+	}
+}
+
+// TestPrepareSnippetsDeterministicUnderFanOut scrambles completion order —
+// a deliberately slow (large but valid) snippet goes first, instant
+// failures after it — and asserts that fan-out still reports successes and
+// joined failures in input order, identically at every worker count.
+func TestPrepareSnippetsDeterministicUnderFanOut(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("int slow_fn(int x) {\n")
+	for i := 0; i < 400; i++ {
+		fmt.Fprintf(&b, "  x = x + %d;\n  x = x - %d;\n", i+1, i)
+	}
+	b.WriteString("  return x;\n}\n")
+	slow := &Snippet{ID: "SLOW", FuncName: "slow_fn", Source: b.String()}
+	badA := &Snippet{ID: "BAD_A", FuncName: "f", Source: "int f( {"}
+	badB := &Snippet{ID: "BAD_B", FuncName: "missing_fn", Source: "void g(void) {}"}
+	input := []*Snippet{slow, badA, badB}
+
+	var wantPrepared []string
+	var wantErr string
+	for i, jobs := range []int{1, 4, 8} {
+		prepared, err := PrepareSnippets(par.WithJobs(context.Background(), jobs), input)
+		if err == nil {
+			t.Fatalf("jobs=%d: want joined error", jobs)
+		}
+		var ids []string
+		for _, p := range prepared {
+			ids = append(ids, p.Snippet.ID)
+		}
+		if i == 0 {
+			wantPrepared, wantErr = ids, err.Error()
+			// The slow snippet completes last under fan-out but must stay first.
+			if len(ids) != 1 || ids[0] != "SLOW" {
+				t.Fatalf("prepared = %v, want [SLOW]", ids)
+			}
+			// Failures joined in input order: BAD_A before BAD_B.
+			ia, ib := strings.Index(wantErr, "BAD_A"), strings.Index(wantErr, "BAD_B")
+			if ia < 0 || ib < 0 || ia > ib {
+				t.Fatalf("joined error not in input order: %v", err)
+			}
+			continue
+		}
+		if !slices.Equal(ids, wantPrepared) {
+			t.Errorf("jobs=%d: prepared %v, want %v", jobs, ids, wantPrepared)
+		}
+		if err.Error() != wantErr {
+			t.Errorf("jobs=%d: joined error differs from sequential:\n%v\nvs\n%v", jobs, err, wantErr)
+		}
 	}
 }
 

@@ -2,6 +2,7 @@ package corpus
 
 import (
 	"fmt"
+	"sort"
 
 	"decompstudy/internal/csrc"
 )
@@ -227,9 +228,19 @@ func EmbeddingContexts() ([][]string, error) {
 			return nil, err
 		}
 		collect(f)
-		// Include the DIRTY vocabulary so candidate names embed too.
+		// Include the DIRTY vocabulary so candidate names embed too. The
+		// overrides live in a map, so iterate in sorted key order: context
+		// order decides vocabulary IDs and co-occurrence windows, and a
+		// randomized order here would make the trained model differ from run
+		// to run.
+		keys := make([]string, 0, len(s.DirtyOverrides))
+		for k := range s.DirtyOverrides {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
 		var dirty []string
-		for _, pred := range s.DirtyOverrides {
+		for _, k := range keys {
+			pred := s.DirtyOverrides[k]
 			dirty = append(dirty, pred.Name, pred.Type)
 		}
 		contexts = append(contexts, dirty)

@@ -1,0 +1,123 @@
+package embed
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// simShards is the shard count of the similarity memo-cache. A power of
+// two so the shard index is a mask of the pair hash; 64 shards keep lock
+// contention negligible even with every pipeline stage scoring pairs
+// concurrently.
+const simShards = 64
+
+// simCache memoizes pairwise cosine similarities keyed by a content hash
+// of the identifier pair. BERTScore and VarCLR revisit the same name pairs
+// thousands of times per study run (precision and recall sweeps, the
+// expert panel, the per-snippet metric reports), so a hit avoids the
+// subtoken split, vector mean, and dot product each time.
+//
+// The cache is sharded: each shard guards its own map with a RWMutex, and
+// the hit/miss counters are atomics, so concurrent scorers never serialize
+// on a single lock.
+type simCache struct {
+	shards [simShards]simShard
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type simShard struct {
+	mu sync.RWMutex
+	m  map[uint64]float64
+}
+
+func newSimCache() *simCache {
+	c := &simCache{}
+	for i := range c.shards {
+		c.shards[i].m = map[uint64]float64{}
+	}
+	return c
+}
+
+// pairKey content-hashes an unordered identifier pair with FNV-1a,
+// separating the two names with a byte that cannot appear in either (0xFF
+// is not valid in identifiers), so ("ab","c") and ("a","bc") never
+// collide. Cosine is symmetric, so the pair is canonicalized before
+// hashing and (a,b) and (b,a) share one entry — which alone makes the
+// recall sweep of a BERTScore call hit on the precision sweep's work.
+func pairKey(a, b string) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(a); i++ {
+		h ^= uint64(a[i])
+		h *= 1099511628211
+	}
+	h ^= 0xFF
+	h *= 1099511628211
+	for i := 0; i < len(b); i++ {
+		h ^= uint64(b[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func (c *simCache) get(k uint64) (float64, bool) {
+	s := &c.shards[k&(simShards-1)]
+	s.mu.RLock()
+	v, ok := s.m[k]
+	s.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return v, ok
+}
+
+func (c *simCache) put(k uint64, v float64) {
+	s := &c.shards[k&(simShards-1)]
+	s.mu.Lock()
+	s.m[k] = v
+	s.mu.Unlock()
+}
+
+// CacheStats is a point-in-time reading of the similarity memo-cache.
+type CacheStats struct {
+	Hits    int64
+	Misses  int64
+	Entries int
+}
+
+// HitRate returns hits / (hits + misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// CacheStats reports the model's memo-cache counters. All zeros before the
+// first Cosine call (the cache is created lazily).
+func (m *Model) CacheStats() CacheStats {
+	c := m.simCache()
+	st := CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		st.Entries += len(s.m)
+		s.mu.RUnlock()
+	}
+	return st
+}
+
+// simCache returns the model's memo-cache, creating it on first use. The
+// lazy init goes through sync.Once: Cosine is called concurrently from the
+// metric and panel fan-outs, and a bare nil-check-then-assign here is
+// exactly the data race `go test -race` flags.
+func (m *Model) simCache() *simCache {
+	m.cacheOnce.Do(func() { m.cache = newSimCache() })
+	return m.cache
+}

@@ -19,10 +19,12 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 	"unicode"
 
 	"decompstudy/internal/linalg"
 	"decompstudy/internal/obs"
+	"decompstudy/internal/par"
 )
 
 // ErrEmptyCorpus is returned when training is attempted on an empty corpus.
@@ -74,12 +76,20 @@ func SplitIdentifier(id string) []string {
 	return tokens
 }
 
-// Model is a trained embedding space over identifier subtokens.
+// Model is a trained embedding space over identifier subtokens. The
+// query methods are safe for concurrent use: the trained state is
+// immutable, and the similarity memo-cache (see cache.go) synchronizes
+// internally.
 type Model struct {
 	vocab   map[string]int
 	tokens  []string
 	vectors *linalg.Matrix // |V| × dim
 	dim     int
+
+	// cache memoizes pairwise cosine similarities; created lazily on the
+	// first Cosine call via cacheOnce (see simCache).
+	cacheOnce sync.Once
+	cache     *simCache
 }
 
 // Config controls training.
@@ -179,26 +189,36 @@ func TrainCtx(octx context.Context, contexts [][]string, cfg *Config) (*Model, e
 		}
 	}
 
-	// PPMI reweighting: max(0, log(p(a,b) / (p(a)p(b)))).
+	// PPMI reweighting: max(0, log(p(a,b) / (p(a)p(b)))). Rows are
+	// independent, so the O(|V|²) sweep fans out across row chunks; every
+	// chunk writes a disjoint row range, and per-cell arithmetic is
+	// unchanged, so the matrix is byte-identical at any worker count.
+	jobs := par.JobsFrom(octx)
+	sp.SetAttr("jobs", jobs)
 	ppmi := linalg.NewMatrix(v, v)
-	for a := 0; a < v; a++ {
-		for b := 0; b < v; b++ {
-			n := co.At(a, b)
-			if n == 0 {
-				continue
-			}
-			val := math.Log(n * total / (rowSum[a] * rowSum[b]))
-			if val > 0 {
-				ppmi.Set(a, b, val)
+	if _, err := par.Map(octx, jobs, par.Chunks(v, jobs), func(_ context.Context, _ int, ch [2]int) (struct{}, error) {
+		for a := ch[0]; a < ch[1]; a++ {
+			for b := 0; b < v; b++ {
+				n := co.At(a, b)
+				if n == 0 {
+					continue
+				}
+				val := math.Log(n * total / (rowSum[a] * rowSum[b]))
+				if val > 0 {
+					ppmi.Set(a, b, val)
+				}
 			}
 		}
+		return struct{}{}, nil
+	}); err != nil {
+		return nil, fmt.Errorf("embed: reweighting PPMI matrix: %w", err)
 	}
 
 	dim := c.Dim
 	if dim > v {
 		dim = v
 	}
-	vectors, err := truncatedEig(ppmi, dim, c.Iterations)
+	vectors, err := truncatedEig(ppmi, dim, c.Iterations, jobs)
 	if err != nil {
 		return nil, fmt.Errorf("embed: factorizing PPMI matrix: %w", err)
 	}
@@ -208,8 +228,11 @@ func TrainCtx(octx context.Context, contexts [][]string, cfg *Config) (*Model, e
 // truncatedEig extracts the top-k eigenpairs of a symmetric matrix by
 // orthogonalized power iteration and returns the |V|×k matrix of
 // eigenvector columns scaled by sqrt(|eigenvalue|) (the symmetric-SVD
-// embedding convention).
-func truncatedEig(m *linalg.Matrix, k, iters int) (*linalg.Matrix, error) {
+// embedding convention). The matrix-vector products — the O(|V|²) inner
+// loop the iteration spends its time in — are row-parallel across jobs
+// workers; each row's dot product keeps its sequential arithmetic order,
+// so the factorization is bit-identical at any worker count.
+func truncatedEig(m *linalg.Matrix, k, iters, jobs int) (*linalg.Matrix, error) {
 	v := m.Rows()
 	out := linalg.NewMatrix(v, k)
 	// Deterministic pseudo-random start vectors.
@@ -227,7 +250,7 @@ func truncatedEig(m *linalg.Matrix, k, iters int) (*linalg.Matrix, error) {
 			for _, b := range basis {
 				linalg.AXPY(-linalg.Dot(b, x), b, x)
 			}
-			y, err := linalg.MulVec(m, x)
+			y, err := mulVecPar(m, x, jobs)
 			if err != nil {
 				return nil, err
 			}
@@ -251,6 +274,33 @@ func truncatedEig(m *linalg.Matrix, k, iters int) (*linalg.Matrix, error) {
 		}
 	}
 	return out, nil
+}
+
+// mulVecPar is a row-parallel matrix-vector product. Below the size
+// threshold (or single-worker) it is exactly linalg.MulVec; above it,
+// row chunks fan out and each worker writes a disjoint slice of y.
+func mulVecPar(m *linalg.Matrix, x []float64, jobs int) ([]float64, error) {
+	const minRowsPerWorker = 64
+	rows := m.Rows()
+	if maxJobs := rows / minRowsPerWorker; jobs > maxJobs {
+		jobs = maxJobs
+	}
+	if jobs <= 1 {
+		return linalg.MulVec(m, x)
+	}
+	if m.Cols() != len(x) {
+		return nil, fmt.Errorf("embed: mulVec dimension mismatch: %d cols vs %d", m.Cols(), len(x))
+	}
+	y := make([]float64, rows)
+	if _, err := par.Map(context.Background(), jobs, par.Chunks(rows, jobs), func(_ context.Context, _ int, ch [2]int) (struct{}, error) {
+		for i := ch[0]; i < ch[1]; i++ {
+			y[i] = linalg.Dot(m.Row(i), x)
+		}
+		return struct{}{}, nil
+	}); err != nil {
+		return nil, err
+	}
+	return y, nil
 }
 
 // Dim returns the embedding dimensionality.
@@ -296,8 +346,22 @@ func (m *Model) Vector(identifier string) ([]float64, error) {
 // Cosine returns the cosine similarity of two identifiers' embeddings in
 // [-1, 1]. Out-of-vocabulary identifiers fall back to exact-match
 // similarity (1 if equal, 0 otherwise), mirroring how the paper's
-// embedding metrics degrade on unseen names.
+// embedding metrics degrade on unseen names. Results are memoized in the
+// model's sharded content-hash cache, so repeated pairs — the common case
+// in BERTScore's bidirectional token sweeps — cost one map lookup.
 func (m *Model) Cosine(a, b string) float64 {
+	c := m.simCache()
+	k := pairKey(a, b)
+	if v, ok := c.get(k); ok {
+		return v
+	}
+	v := m.cosineUncached(a, b)
+	c.put(k, v)
+	return v
+}
+
+// cosineUncached is the raw similarity computation behind Cosine.
+func (m *Model) cosineUncached(a, b string) float64 {
 	va, errA := m.Vector(a)
 	vb, errB := m.Vector(b)
 	if errA != nil || errB != nil {

@@ -1,11 +1,16 @@
 package embed
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"math"
 	"reflect"
+	"sync"
 	"testing"
 	"testing/quick"
+
+	"decompstudy/internal/par"
 )
 
 func TestSplitIdentifier(t *testing.T) {
@@ -196,5 +201,124 @@ func TestQuickSplitIdempotent(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestCosineCacheHitsAndSymmetry(t *testing.T) {
+	m := trainTestModel(t)
+	a := m.Cosine("size", "length")
+	st := m.CacheStats()
+	if st.Misses == 0 || st.Entries == 0 {
+		t.Fatalf("first lookup should miss and populate: %+v", st)
+	}
+	// Repeat and reversed lookups must hit the same entry: the key is a
+	// content hash of the canonicalized (unordered) pair.
+	b := m.Cosine("size", "length")
+	c := m.Cosine("length", "size")
+	if a != b || a != c {
+		t.Fatalf("cached values diverge: %v %v %v", a, b, c)
+	}
+	st2 := m.CacheStats()
+	if st2.Hits < st.Hits+2 {
+		t.Errorf("hits = %d, want ≥ %d (repeat + reversed lookup)", st2.Hits, st.Hits+2)
+	}
+	if st2.Entries != st.Entries {
+		t.Errorf("reversed lookup added an entry: %d → %d", st.Entries, st2.Entries)
+	}
+	if st2.HitRate() <= 0 {
+		t.Errorf("hit rate = %v, want > 0", st2.HitRate())
+	}
+}
+
+func TestCosineCacheMatchesUncached(t *testing.T) {
+	m := trainTestModel(t)
+	pairs := [][2]string{
+		{"size", "length"}, {"buf", "buffer"}, {"zzzqqq", "zzzqqq"},
+		{"node", "tree"}, {"src", "dest"}, {"pathLen", "path_len"},
+	}
+	for _, p := range pairs {
+		cached := m.Cosine(p[0], p[1])
+		again := m.Cosine(p[0], p[1])
+		raw := m.cosineUncached(p[0], p[1])
+		if cached != raw || again != raw {
+			t.Errorf("Cosine(%q,%q): cached %v vs raw %v", p[0], p[1], cached, raw)
+		}
+	}
+}
+
+// TestCosineConcurrent drives the lazily-initialized memo-cache from many
+// goroutines; under -race this pins down the sync.Once init and the
+// sharded map locking.
+func TestCosineConcurrent(t *testing.T) {
+	m := trainTestModel(t)
+	words := []string{"size", "length", "buf", "tree", "node", "src", "dest", "path"}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				a := words[(i+w)%len(words)]
+				b := words[(i*3+w)%len(words)]
+				if v := m.Cosine(a, b); math.IsNaN(v) {
+					t.Errorf("Cosine(%q,%q) = NaN", a, b)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := m.CacheStats()
+	if st.HitRate() < 0.5 {
+		t.Errorf("hit rate %v after 1600 lookups of %d pairs, want > 0.5", st.HitRate(), st.Entries)
+	}
+}
+
+func TestPairKeySeparatorPreventsConcatCollision(t *testing.T) {
+	if pairKey("ab", "c") == pairKey("a", "bc") {
+		t.Error("pair key must separate the two names")
+	}
+	if pairKey("x", "y") != pairKey("y", "x") {
+		t.Error("pair key must canonicalize the unordered pair")
+	}
+}
+
+// TestTrainParallelDeterminism: training is bit-identical at any worker
+// count (row-parallel PPMI and matvec chunks keep per-row arithmetic
+// order). The synthetic corpus pushes the vocabulary past mulVecPar's
+// 64-rows-per-worker threshold so the chunked matvec path actually runs —
+// the small trainingCorpus alone would silently fall back to the
+// sequential product and test nothing.
+func TestTrainParallelDeterminism(t *testing.T) {
+	contexts := trainingCorpus()
+	for i := 0; i < 200; i++ {
+		contexts = append(contexts, []string{
+			fmt.Sprintf("tok%dAlpha", i), fmt.Sprintf("tok%dBeta", i), "size", "buf",
+		})
+	}
+	seq, err := TrainCtx(par.WithJobs(context.Background(), 1), contexts, &Config{Dim: 16})
+	if err != nil {
+		t.Fatalf("jobs=1: %v", err)
+	}
+	if v := seq.VocabSize(); v < 2*64 {
+		t.Fatalf("vocab = %d, too small to exercise the parallel matvec path", v)
+	}
+	for _, jobs := range []int{2, 8} {
+		m, err := TrainCtx(par.WithJobs(context.Background(), jobs), contexts, &Config{Dim: 16})
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		for i := 0; i < seq.VocabSize(); i++ {
+			for j := 0; j < seq.Dim(); j++ {
+				if a, b := seq.vectors.At(i, j), m.vectors.At(i, j); a != b {
+					t.Fatalf("jobs=%d: vectors[%d,%d] (%s) = %v, sequential %v", jobs, i, j, seq.tokens[i], b, a)
+				}
+			}
+		}
+		for _, pair := range [][2]string{{"size", "length"}, {"src", "dest"}, {"buf", "tree"}} {
+			if a, b := seq.Cosine(pair[0], pair[1]), m.Cosine(pair[0], pair[1]); a != b {
+				t.Errorf("jobs=%d: Cosine(%q,%q) = %v, sequential %v", jobs, pair[0], pair[1], b, a)
+			}
+		}
 	}
 }

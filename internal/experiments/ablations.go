@@ -76,7 +76,7 @@ func runAblation(name string, seed int64, svCfg *survey.Config) (AblationResult,
 //   - harder-questions: §VI robustness of the null to question difficulty.
 func Ablations(seed int64) (string, []AblationResult, error) {
 	if seed == 0 {
-		seed = 99
+		seed = 26 // the library-default study seed (core.Config)
 	}
 	configs := []struct {
 		name string

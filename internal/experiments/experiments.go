@@ -14,6 +14,7 @@ import (
 	"decompstudy/internal/core"
 	"decompstudy/internal/htest"
 	"decompstudy/internal/obs"
+	"decompstudy/internal/par"
 	"decompstudy/internal/participants"
 	"decompstudy/internal/report"
 	"decompstudy/internal/survey"
@@ -458,11 +459,13 @@ func (r *Runner) ComplexityReport() (string, error) {
 	return b.String(), nil
 }
 
-// All renders every table and figure in paper order.
+// All renders every table and figure in paper order. The sections are
+// independent reads of the immutable study, so they render concurrently
+// (par.JobsFrom workers) and are concatenated in paper order afterwards —
+// the output is byte-identical at any worker count.
 func (r *Runner) All() (string, error) {
-	_, sp := r.artifact("all")
+	ctx, sp := r.artifact("all")
 	defer sp.End()
-	var b strings.Builder
 	type section struct {
 		name string
 		fn   func() (string, error)
@@ -483,11 +486,21 @@ func (r *Runner) All() (string, error) {
 		{"Table IV", r.TableIV},
 		{"In-text", r.InTextStats},
 	}
-	for _, s := range sections {
+	jobs := par.JobsFrom(ctx)
+	sp.SetAttr("jobs", jobs)
+	obs.SetGauge(ctx, "experiments.jobs", float64(jobs))
+	rendered, err := par.Map(ctx, jobs, sections, func(_ context.Context, _ int, s section) (string, error) {
 		out, err := s.fn()
 		if err != nil {
 			return "", fmt.Errorf("experiments: %s: %w", s.name, err)
 		}
+		return out, nil
+	})
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for _, out := range rendered {
 		b.WriteString(out)
 		b.WriteString("\n" + strings.Repeat("─", 72) + "\n\n")
 	}

@@ -1,9 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
+
+	"decompstudy/internal/core"
+	"decompstudy/internal/par"
 )
 
 var (
@@ -144,5 +148,29 @@ func TestPowerSweep(t *testing.T) {
 	// Larger pools should not have materially lower power.
 	if power[60] < power[12]-0.25 {
 		t.Errorf("power decreased with pool size: %v", power)
+	}
+}
+
+// TestArtifactsDeterministicAcrossWorkerCounts is the parallel-determinism
+// golden check for the rendering layer: the full study build plus every
+// artifact Runner.All renders must be byte-identical between a sequential
+// run (jobs=1) and a wide fan-out (jobs=8).
+func TestArtifactsDeterministicAcrossWorkerCounts(t *testing.T) {
+	render := func(jobs int) string {
+		t.Helper()
+		r, err := NewRunnerCtx(par.WithJobs(context.Background(), jobs), &core.Config{Seed: 11})
+		if err != nil {
+			t.Fatalf("jobs=%d: NewRunnerCtx: %v", jobs, err)
+		}
+		out, err := r.All()
+		if err != nil {
+			t.Fatalf("jobs=%d: All: %v", jobs, err)
+		}
+		return out
+	}
+	seq := render(1)
+	wide := render(8)
+	if seq != wide {
+		t.Error("Runner.All output differs between jobs=1 and jobs=8")
 	}
 }

@@ -1,11 +1,13 @@
 package metrics
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
 
 	"decompstudy/internal/embed"
+	"decompstudy/internal/par"
 )
 
 // ROUGEL computes the ROUGE-L F-measure between candidate and reference
@@ -134,6 +136,13 @@ type ContextWeighted struct {
 // the reference code. pairs[i] is (candidate, reference); refCode is the
 // original function the reference names come from.
 func (cw *ContextWeighted) Score(pairs []Pair, refCode string) (float64, error) {
+	return cw.ScoreCtx(context.Background(), pairs, refCode)
+}
+
+// ScoreCtx is Score with per-pair fan-out on par.JobsFrom(ctx) workers.
+// The weighted terms reduce in input order, so the score is bit-identical
+// at any worker count; cosine lookups go through the model's memo-cache.
+func (cw *ContextWeighted) ScoreCtx(ctx context.Context, pairs []Pair, refCode string) (float64, error) {
 	if len(pairs) == 0 {
 		return 0, fmt.Errorf("metrics: ContextWeighted with no pairs: %w", ErrNilModel)
 	}
@@ -142,16 +151,23 @@ func (cw *ContextWeighted) Score(pairs []Pair, refCode string) (float64, error) 
 		sw = 0.5
 	}
 	usage := identifierUsage(refCode)
-	var num, den float64
-	for _, p := range pairs {
+	type term struct{ num, den float64 }
+	terms, err := par.Map(ctx, par.JobsFrom(ctx), pairs, func(_ context.Context, _ int, p Pair) (term, error) {
 		w := 1 + math.Log1p(float64(usage[p.Reference]))
 		sim := TokenJaccard(p.Candidate, p.Reference)
 		if cw.Model != nil {
 			sem := (cw.Model.Cosine(p.Candidate, p.Reference) + 1) / 2
 			sim = (1-sw)*sim + sw*sem
 		}
-		num += w * sim
-		den += w
+		return term{num: w * sim, den: w}, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	var num, den float64
+	for _, t := range terms {
+		num += t.num
+		den += t.den
 	}
 	return num / den, nil
 }
@@ -183,7 +199,13 @@ type ExtendedReport struct {
 
 // EvaluateExtended computes the base report plus the extension metrics.
 func EvaluateExtended(pairs []Pair, candCode, refCode string, m *embed.Model) (ExtendedReport, error) {
-	base, err := Evaluate(pairs, candCode, refCode, m)
+	return EvaluateExtendedCtx(context.Background(), pairs, candCode, refCode, m)
+}
+
+// EvaluateExtendedCtx is EvaluateExtended with the base report's per-pair
+// fan-out and a fanned-out context-weighted score.
+func EvaluateExtendedCtx(ctx context.Context, pairs []Pair, candCode, refCode string, m *embed.Model) (ExtendedReport, error) {
+	base, err := EvaluateCtx(ctx, pairs, candCode, refCode, m)
 	if err != nil {
 		return ExtendedReport{}, err
 	}
@@ -194,7 +216,7 @@ func EvaluateExtended(pairs []Pair, candCode, refCode string, m *embed.Model) (E
 		refNames[i] = p.Reference
 	}
 	cw := &ContextWeighted{Model: m}
-	ctxScore, err := cw.Score(pairs, refCode)
+	ctxScore, err := cw.ScoreCtx(ctx, pairs, refCode)
 	if err != nil {
 		return ExtendedReport{}, err
 	}

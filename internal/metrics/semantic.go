@@ -7,6 +7,7 @@ import (
 
 	"decompstudy/internal/embed"
 	"decompstudy/internal/obs"
+	"decompstudy/internal/par"
 )
 
 // ErrNilModel is returned when a semantic metric is called without a
@@ -19,6 +20,16 @@ var ErrNilModel = errors.New("metrics: nil embedding model")
 // quantity, and F1 their harmonic mean. Similarities are clamped to [0, 1]
 // (negative cosine contributes nothing, as in rescaled BERTScore).
 func BERTScoreF1(candidate, reference []string, m *embed.Model) (float64, error) {
+	return BERTScoreF1Ctx(context.Background(), candidate, reference, m)
+}
+
+// BERTScoreF1Ctx is BERTScoreF1 with per-token fan-out: the best-match
+// search for each token runs on par.JobsFrom(ctx) workers. Every token's
+// score is independent and the precision/recall sums reduce in token
+// order, so the result is bit-identical at any worker count. Each cosine
+// goes through the model's memo-cache; the symmetric recall sweep re-reads
+// the pairs the precision sweep populated.
+func BERTScoreF1Ctx(ctx context.Context, candidate, reference []string, m *embed.Model) (float64, error) {
 	if m == nil {
 		return 0, ErrNilModel
 	}
@@ -40,15 +51,28 @@ func BERTScoreF1(candidate, reference []string, m *embed.Model) (float64, error)
 		}
 		return b
 	}
-	var p, r float64
-	for _, c := range candidate {
-		p += best(c, reference)
+	jobs := par.JobsFrom(ctx)
+	bestAgainst := func(toks, others []string) (float64, error) {
+		scores, err := par.Map(ctx, jobs, toks, func(_ context.Context, _ int, tok string) (float64, error) {
+			return best(tok, others), nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		sum := 0.0
+		for _, s := range scores {
+			sum += s
+		}
+		return sum / float64(len(toks)), nil
 	}
-	p /= float64(len(candidate))
-	for _, ref := range reference {
-		r += best(ref, candidate)
+	p, err := bestAgainst(candidate, reference)
+	if err != nil {
+		return 0, err
 	}
-	r /= float64(len(reference))
+	r, err := bestAgainst(reference, candidate)
+	if err != nil {
+		return 0, err
+	}
 	if p+r == 0 {
 		return 0, nil
 	}
@@ -124,29 +148,58 @@ func Evaluate(pairs []Pair, candCode, refCode string, m *embed.Model) (Report, e
 	return EvaluateCtx(context.Background(), pairs, candCode, refCode, m)
 }
 
-// EvaluateCtx is Evaluate with telemetry: a metrics.Evaluate span plus pair
-// counters when the context carries an obs handle.
+// EvaluateCtx is Evaluate with telemetry and fan-out: the per-pair surface
+// metrics (exact match, Levenshtein, Jaccard, VarCLR) run on
+// par.JobsFrom(ctx) workers and reduce in input order, so the report is
+// bit-identical at any worker count. The semantic scores go through the
+// model's similarity memo-cache.
 func EvaluateCtx(ctx context.Context, pairs []Pair, candCode, refCode string, m *embed.Model) (Report, error) {
-	_, sp := obs.StartSpan(ctx, "metrics.Evaluate", obs.KV("pairs", len(pairs)))
+	jobs := par.JobsFrom(ctx)
+	ctx, sp := obs.StartSpan(ctx, "metrics.Evaluate",
+		obs.KV("pairs", len(pairs)), obs.KV("jobs", jobs))
 	defer sp.End()
 	obs.AddCount(ctx, "metrics.evaluate.calls", 1)
 	obs.AddCount(ctx, "metrics.evaluate.pairs", int64(len(pairs)))
 	if len(pairs) == 0 {
 		return Report{}, fmt.Errorf("metrics: Evaluate with no pairs: %w", ErrNilModel)
 	}
+	if m == nil {
+		return Report{}, ErrNilModel
+	}
 	candNames := make([]string, len(pairs))
 	refNames := make([]string, len(pairs))
-	varclrPairs := make([][2]string, len(pairs))
-	var exact float64
-	var lev, nlev, jac float64
 	for i, p := range pairs {
 		candNames[i] = p.Candidate
 		refNames[i] = p.Reference
-		varclrPairs[i] = [2]string{p.Candidate, p.Reference}
-		exact += ExactMatch(p.Candidate, p.Reference)
-		lev += float64(Levenshtein(p.Candidate, p.Reference))
-		nlev += NormalizedLevenshtein(p.Candidate, p.Reference)
-		jac += JaccardNGrams(p.Candidate, p.Reference, 2)
+	}
+
+	// Per-pair surface + VarCLR scores, one work item per aligned pair.
+	type pairScores struct {
+		exact, lev, nlev, jac, varclr float64
+	}
+	perPair, err := par.Map(ctx, jobs, pairs, func(_ context.Context, _ int, p Pair) (pairScores, error) {
+		vc, err := VarCLR(p.Candidate, p.Reference, m)
+		if err != nil {
+			return pairScores{}, err
+		}
+		return pairScores{
+			exact:  ExactMatch(p.Candidate, p.Reference),
+			lev:    float64(Levenshtein(p.Candidate, p.Reference)),
+			nlev:   NormalizedLevenshtein(p.Candidate, p.Reference),
+			jac:    JaccardNGrams(p.Candidate, p.Reference, 2),
+			varclr: vc,
+		}, nil
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	var exact, lev, nlev, jac, vc float64
+	for _, s := range perPair {
+		exact += s.exact
+		lev += s.lev
+		nlev += s.nlev
+		jac += s.jac
+		vc += s.varclr
 	}
 	n := float64(len(pairs))
 	candJoined := JoinNames(candNames)
@@ -160,11 +213,7 @@ func EvaluateCtx(ctx context.Context, pairs []Pair, candCode, refCode string, m 
 
 	bleu := BLEU(TokenizeNames(candJoined), TokenizeNames(refJoined), 4)
 	cb := CodeBLEU(candCode, refCode, CodeBLEUWeights{})
-	bert, err := BERTScoreF1(TokenizeNames(candJoined), TokenizeNames(refJoined), m)
-	if err != nil {
-		return Report{}, err
-	}
-	vc, err := VarCLRMean(varclrPairs, m)
+	bert, err := BERTScoreF1Ctx(ctx, TokenizeNames(candJoined), TokenizeNames(refJoined), m)
 	if err != nil {
 		return Report{}, err
 	}
@@ -176,6 +225,6 @@ func EvaluateCtx(ctx context.Context, pairs []Pair, candCode, refCode string, m 
 		BLEU:          bleu,
 		CodeBLEU:      cb,
 		BERTScoreF1:   bert,
-		VarCLR:        vc,
+		VarCLR:        vc / n,
 	}, nil
 }

@@ -1,0 +1,349 @@
+// Package par is the pipeline's parallel-execution substrate: a bounded
+// worker pool with context cancellation and first-error-or-join semantics,
+// an order-preserving generic Map, and a deterministic RNG-splitting scheme
+// that derives an independent random stream per work item from the study
+// seed and the item's key.
+//
+// Every fan-out in the study pipeline (corpus preparation, survey
+// administration, metric evaluation, artifact rendering) goes through this
+// package, so results are byte-identical at any worker count: work items
+// never share mutable state or a random stream, and outputs are assembled
+// in input order regardless of completion order.
+//
+// The worker count travels in the context via WithJobs/JobsFrom, so CLIs
+// set it once (-jobs) and every stage below picks it up without threading
+// an extra parameter through the pipeline.
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+type ctxKey int
+
+const jobsKey ctxKey = iota
+
+// WithJobs returns a context carrying the worker count for the pipeline
+// fan-outs below it. Non-positive n leaves the context unchanged.
+func WithJobs(ctx context.Context, n int) context.Context {
+	if n <= 0 {
+		return ctx
+	}
+	return context.WithValue(ctx, jobsKey, n)
+}
+
+// JobsFrom returns the context's worker count, defaulting to
+// runtime.GOMAXPROCS(0) when none was set.
+func JobsFrom(ctx context.Context) int {
+	if n, ok := ctx.Value(jobsKey).(int); ok && n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// clampJobs bounds the worker count to [1, n] for n work items.
+func clampJobs(jobs, n int) int {
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > n {
+		jobs = n
+	}
+	if jobs < 1 {
+		jobs = 1
+	}
+	return jobs
+}
+
+// guard converts a worker panic into an error carrying the stack, so a
+// panicking work item surfaces as a pipeline failure instead of tearing
+// down the process from a goroutine.
+func guard(f func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("par: worker panic: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return f()
+}
+
+// Pool is a bounded worker pool. Tasks submitted with Go run on at most
+// `jobs` goroutines; Wait blocks until all submitted tasks finish and
+// returns the pool error. Two error modes:
+//
+//   - first-error (NewPool): the first failing task cancels the pool
+//     context — tasks not yet started are skipped, and Wait returns the
+//     failure with the lowest submit index (deterministic under races).
+//   - join (NewJoinPool): every task runs to completion and Wait joins
+//     all failures in submit order via errors.Join.
+type Pool struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	sem    chan struct{}
+	wg     sync.WaitGroup
+	join   bool
+
+	mu   sync.Mutex
+	errs []error // indexed by submit order
+	next int
+}
+
+// NewPool returns a first-error pool running at most jobs tasks at once.
+func NewPool(ctx context.Context, jobs int) *Pool {
+	return newPool(ctx, jobs, false)
+}
+
+// NewJoinPool returns a pool that runs every task to completion and joins
+// all failures in submit order.
+func NewJoinPool(ctx context.Context, jobs int) *Pool {
+	return newPool(ctx, jobs, true)
+}
+
+func newPool(ctx context.Context, jobs int, join bool) *Pool {
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	pctx, cancel := context.WithCancel(ctx)
+	return &Pool{ctx: pctx, cancel: cancel, sem: make(chan struct{}, jobs), join: join}
+}
+
+// Go submits one task. It blocks while the pool is saturated, which bounds
+// both concurrency and the backlog of pending goroutines.
+func (p *Pool) Go(f func(ctx context.Context) error) {
+	p.mu.Lock()
+	idx := p.next
+	p.next++
+	p.errs = append(p.errs, nil)
+	p.mu.Unlock()
+
+	p.sem <- struct{}{}
+	p.wg.Add(1)
+	go func() {
+		defer func() {
+			<-p.sem
+			p.wg.Done()
+		}()
+		if err := p.ctx.Err(); err != nil {
+			p.record(idx, err)
+			return
+		}
+		if err := guard(func() error { return f(p.ctx) }); err != nil {
+			p.record(idx, err)
+			if !p.join {
+				p.cancel()
+			}
+		}
+	}()
+}
+
+func (p *Pool) record(idx int, err error) {
+	p.mu.Lock()
+	p.errs[idx] = err
+	p.mu.Unlock()
+}
+
+// Wait blocks until every submitted task has finished and returns the pool
+// error: the lowest-submit-index failure in first-error mode, or every
+// failure joined in submit order in join mode. It releases the pool's
+// context; the pool must not be reused after Wait.
+func (p *Pool) Wait() error {
+	p.wg.Wait()
+	p.cancel()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.join {
+		return joinNonNil(p.errs)
+	}
+	for _, err := range p.errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Map runs f over every item on at most jobs workers and returns the
+// results in input order. The first failure cancels outstanding work
+// (items not yet started are skipped) and Map returns the failure with the
+// lowest input index, so the reported error does not depend on completion
+// order. A jobs value ≤ 0 uses runtime.GOMAXPROCS(0); jobs == 1 is the
+// exact sequential loop.
+func Map[T, R any](ctx context.Context, jobs int, items []T, f func(ctx context.Context, idx int, item T) (R, error)) ([]R, error) {
+	results := make([]R, len(items))
+	if len(items) == 0 {
+		return results, ctx.Err()
+	}
+	jobs = clampJobs(jobs, len(items))
+	if jobs == 1 {
+		for i := range items {
+			if err := ctx.Err(); err != nil {
+				return results, err
+			}
+			r, err := guard2(ctx, i, items[i], f)
+			if err != nil {
+				return results, err
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+
+	errs := runWorkers(ctx, jobs, items, func(ctx context.Context, i int, item T) error {
+		r, err := guard2(ctx, i, item, f)
+		if err != nil {
+			return err
+		}
+		results[i] = r
+		return nil
+	}, true)
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, ctx.Err()
+}
+
+// MapAll runs f over every item on at most jobs workers, never cancelling
+// on item failure, and returns the results alongside the per-item errors
+// (both in input order). Items skipped because the surrounding context was
+// cancelled report the context error. Callers that want one error join
+// the non-nil entries — errors.Join preserves the input order.
+func MapAll[T, R any](ctx context.Context, jobs int, items []T, f func(ctx context.Context, idx int, item T) (R, error)) ([]R, []error) {
+	results := make([]R, len(items))
+	errs := make([]error, len(items))
+	if len(items) == 0 {
+		return results, errs
+	}
+	jobs = clampJobs(jobs, len(items))
+	if jobs == 1 {
+		for i := range items {
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				continue
+			}
+			results[i], errs[i] = guard2(ctx, i, items[i], f)
+		}
+		return results, errs
+	}
+	got := runWorkers(ctx, jobs, items, func(ctx context.Context, i int, item T) error {
+		r, err := guard2(ctx, i, item, f)
+		results[i] = r
+		return err
+	}, false)
+	copy(errs, got)
+	return results, errs
+}
+
+// guard2 is guard specialized for Map's (result, error) workers.
+func guard2[T, R any](ctx context.Context, i int, item T, f func(ctx context.Context, idx int, item T) (R, error)) (r R, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("par: worker panic on item %d: %v\n%s", i, p, debug.Stack())
+		}
+	}()
+	return f(ctx, i, item)
+}
+
+// runWorkers fans items out to jobs goroutines pulling indices from a
+// shared channel and returns the per-item errors in input order. With
+// cancelOnError, the first failure stops the index feed so remaining items
+// are skipped (their error stays nil); without it, cancellation only
+// follows the caller's context, whose error is recorded for skipped items.
+func runWorkers[T any](ctx context.Context, jobs int, items []T, f func(ctx context.Context, i int, item T) error, cancelOnError bool) []error {
+	errs := make([]error, len(items))
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	idxCh := make(chan int)
+	var feed sync.WaitGroup
+	feed.Add(1)
+	go func() {
+		defer feed.Done()
+		defer close(idxCh)
+		for i := range items {
+			select {
+			case idxCh <- i:
+			case <-wctx.Done():
+				return
+			}
+		}
+	}()
+
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				if err := ctx.Err(); err != nil {
+					mu.Lock()
+					errs[i] = err
+					mu.Unlock()
+					continue
+				}
+				if err := f(wctx, i, items[i]); err != nil {
+					mu.Lock()
+					errs[i] = err
+					mu.Unlock()
+					if cancelOnError {
+						cancel()
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	feed.Wait()
+	return errs
+}
+
+// Chunks splits [0, n) into at most k contiguous [lo, hi) ranges of
+// near-equal size — the work units for data-parallel loops (matrix rows,
+// token ranges) where spawning one goroutine per element would drown the
+// useful work in scheduling overhead.
+func Chunks(n, k int) [][2]int {
+	if n <= 0 {
+		return nil
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	out := make([][2]int, 0, k)
+	size, rem := n/k, n%k
+	lo := 0
+	for i := 0; i < k; i++ {
+		hi := lo + size
+		if i < rem {
+			hi++
+		}
+		out = append(out, [2]int{lo, hi})
+		lo = hi
+	}
+	return out
+}
+
+// joinNonNil joins the non-nil errors of errs in slice order. Unlike
+// errors.Join it is explicit about preserving input order, which keeps
+// fan-out failure reports deterministic at any worker count.
+func joinNonNil(errs []error) error {
+	var nonNil []error
+	for _, err := range errs {
+		if err != nil {
+			nonNil = append(nonNil, err)
+		}
+	}
+	if len(nonNil) == 0 {
+		return nil
+	}
+	return errors.Join(nonNil...)
+}

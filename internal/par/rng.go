@@ -1,0 +1,43 @@
+package par
+
+import "math/rand"
+
+// SplitSeed derives an independent seed for one work item from the study
+// seed and the item's key. The derivation hashes the key with FNV-1a and
+// pushes the combination through two splitmix64 finalizer rounds, so
+//
+//   - the same (base, key) always yields the same seed — survey results
+//     are byte-identical at any worker count, because each participant's
+//     stream depends only on the study seed and their own key, never on
+//     how work was scheduled;
+//   - distinct keys yield statistically independent streams — splitmix64's
+//     finalizer is a bijection with full avalanche, so even adjacent keys
+//     ("participant:7" vs "participant:8") land far apart;
+//   - distinct bases (study seeds) relocate every item's stream.
+func SplitSeed(base int64, key string) int64 {
+	// FNV-1a over the key bytes.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	// Mix base and key hash through the splitmix64 finalizer, twice.
+	z := uint64(base) + 0x9e3779b97f4a7c15
+	z ^= h
+	for i := 0; i < 2; i++ {
+		z ^= z >> 30
+		z *= 0xbf58476d1ce4e5b9
+		z ^= z >> 27
+		z *= 0x94d049bb133111eb
+		z ^= z >> 31
+	}
+	return int64(z)
+}
+
+// Stream returns a private *rand.Rand for one work item, seeded by
+// SplitSeed(base, key). Each stream is independent of every other item's
+// stream and of the master stream that consumed the base seed, so a
+// fan-out can hand one to each worker without any cross-item coupling.
+func Stream(base int64, key string) *rand.Rand {
+	return rand.New(rand.NewSource(SplitSeed(base, key)))
+}

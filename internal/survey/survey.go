@@ -12,10 +12,12 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"strings"
 
 	"decompstudy/internal/corpus"
 	"decompstudy/internal/obs"
+	"decompstudy/internal/par"
 	"decompstudy/internal/participants"
 )
 
@@ -100,11 +102,20 @@ func Run(cfg *Config) (*Dataset, error) {
 }
 
 // RunCtx is Run with telemetry: a survey.Run span with the participant-
-// simulation loop as a child span, plus recruitment/response counters.
+// simulation fan-out as a child span, plus recruitment/response counters.
+//
+// Recruitment (participants.SamplePool) runs sequentially on the master
+// RNG, exactly as before. Each recruited participant is then simulated on
+// their own RNG stream derived from the study seed and their ID
+// (par.SplitSeed), so the fan-out is byte-identical at any worker count:
+// no participant's draws depend on scheduling or on any other
+// participant's draws.
 func RunCtx(ctx context.Context, cfg *Config) (*Dataset, error) {
 	c := cfg.defaults()
-	ctx, sp := obs.StartSpan(ctx, "survey.Run", obs.KV("seed", c.Seed))
+	jobs := par.JobsFrom(ctx)
+	ctx, sp := obs.StartSpan(ctx, "survey.Run", obs.KV("seed", c.Seed), obs.KV("jobs", jobs))
 	defer sp.End()
+	obs.SetGauge(ctx, "survey.jobs", float64(jobs))
 	rng := rand.New(rand.NewSource(c.Seed))
 	pool := participants.SamplePool(rng, c.Pool)
 	snippets := c.Snippets
@@ -119,22 +130,23 @@ func RunCtx(ctx context.Context, cfg *Config) (*Dataset, error) {
 	ds := &Dataset{Assignments: map[int]map[string]bool{}}
 	type userData struct {
 		p         *participants.Participant
+		assign    map[string]bool
 		responses []Response
 		minTime   float64
 	}
-	var users []userData
 
-	simCtx, simSpan := obs.StartSpan(ctx, "participants.Simulate", obs.KV("pool", len(pool)))
-	for _, p := range pool {
-		ud := userData{p: p, minTime: 1e18}
-		ds.Assignments[p.ID] = map[string]bool{}
+	simCtx, simSpan := obs.StartSpan(ctx, "participants.Simulate",
+		obs.KV("pool", len(pool)), obs.KV("jobs", jobs))
+	users, err := par.Map(simCtx, jobs, pool, func(ctx context.Context, _ int, p *participants.Participant) (userData, error) {
+		prng := par.Stream(c.Seed, "participant:"+strconv.Itoa(p.ID))
+		ud := userData{p: p, assign: map[string]bool{}, minTime: 1e18}
 		for _, s := range snippets {
-			usesDirty := rng.Intn(2) == 1
-			ds.Assignments[p.ID][s.ID] = usesDirty
-			op := p.RateSnippet(rng, s, usesDirty)
+			usesDirty := prng.Intn(2) == 1
+			ud.assign[s.ID] = usesDirty
+			op := p.RateSnippet(prng, s, usesDirty)
 			snippetTime := 0.0
 			for _, q := range s.Questions {
-				o := p.AnswerQuestion(rng, q, usesDirty)
+				o := p.AnswerQuestion(prng, q, usesDirty)
 				r := Response{
 					UserID:        p.ID,
 					SnippetID:     s.ID,
@@ -160,10 +172,16 @@ func RunCtx(ctx context.Context, cfg *Config) (*Dataset, error) {
 				ud.minTime = snippetTime
 			}
 		}
-		users = append(users, ud)
-		obs.AddCount(simCtx, "survey.responses.collected", int64(len(ud.responses)))
-	}
+		obs.AddCount(ctx, "survey.responses.collected", int64(len(ud.responses)))
+		return ud, nil
+	})
 	simSpan.End()
+	if err != nil {
+		return nil, fmt.Errorf("survey: simulating participants: %w", err)
+	}
+	for _, ud := range users {
+		ds.Assignments[ud.p.ID] = ud.assign
+	}
 
 	// Quality filter (§III-E): exclude participants whose fastest snippet
 	// is quicker than the minimum reading time.

@@ -1,12 +1,15 @@
 package survey
 
 import (
+	"context"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
 	"decompstudy/internal/corpus"
+	"decompstudy/internal/par"
 )
 
 func runStudy(t *testing.T, seed int64) *Dataset {
@@ -55,6 +58,34 @@ func TestRunDeterminism(t *testing.T) {
 	c := runStudy(t, 43)
 	if a.CSV() == c.CSV() {
 		t.Error("different seeds should differ")
+	}
+}
+
+// TestRunDeterministicAcrossWorkerCounts is the parallel-determinism
+// golden check: every participant simulates on an RNG stream derived from
+// (seed, participant ID), so the administered dataset must be
+// byte-identical no matter how many workers the fan-out uses.
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	for _, seed := range []int64{7, 42, 101} {
+		base, err := RunCtx(par.WithJobs(context.Background(), 1), &Config{Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d jobs=1: %v", seed, err)
+		}
+		for _, jobs := range []int{2, 8} {
+			ds, err := RunCtx(par.WithJobs(context.Background(), jobs), &Config{Seed: seed})
+			if err != nil {
+				t.Fatalf("seed %d jobs=%d: %v", seed, jobs, err)
+			}
+			if ds.CSV() != base.CSV() {
+				t.Errorf("seed %d: CSV bytes differ between jobs=1 and jobs=%d", seed, jobs)
+			}
+			if !reflect.DeepEqual(ds.ExcludedIDs, base.ExcludedIDs) {
+				t.Errorf("seed %d jobs=%d: exclusions differ: %v vs %v", seed, jobs, ds.ExcludedIDs, base.ExcludedIDs)
+			}
+			if !reflect.DeepEqual(ds.Assignments, base.Assignments) {
+				t.Errorf("seed %d jobs=%d: treatment assignments differ", seed, jobs)
+			}
+		}
 	}
 }
 

@@ -1,0 +1,54 @@
+#!/bin/sh
+# bench.sh — run the parallel-pipeline benchmark and record the results as
+# BENCH_pipeline.json in the repository root (or $BENCH_OUT if set).
+#
+# Usage:
+#
+#	./scripts/bench.sh            # default: -benchtime 10x
+#	BENCH_TIME=50x ./scripts/bench.sh
+#
+# The JSON holds one entry per worker count with ns/op and the speedup
+# over the jobs=1 baseline, plus enough host metadata to interpret the
+# numbers (a single-core host legitimately reports speedup ≈ 1.0).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT="${BENCH_OUT:-BENCH_pipeline.json}"
+TIME="${BENCH_TIME:-10x}"
+
+RAW="$(go test -run NONE -bench 'BenchmarkPipelineParallel' -benchtime "$TIME" .)"
+echo "$RAW"
+
+echo "$RAW" | awk -v out="$OUT" -v benchtime="$TIME" '
+BEGIN     { n = 0 }
+/^cpu:/   { sub(/^cpu: */, ""); cpu = $0 }
+/^goos:/  { goos = $2 }
+/^goarch:/{ goarch = $2 }
+/^BenchmarkPipelineParallel\/jobs=/ {
+	split($1, parts, "=")
+	split(parts[2], tail, "-")
+	jobs[n] = tail[1]
+	nsop[n] = $3
+	for (i = 4; i <= NF; i++) {
+		if ($(i+1) == "x/speedup") speedup[n] = $i
+	}
+	n++
+}
+END {
+	if (n == 0) { print "bench.sh: no benchmark results parsed" > "/dev/stderr"; exit 1 }
+	printf "{\n" > out
+	printf "  \"benchmark\": \"BenchmarkPipelineParallel\",\n" >> out
+	printf "  \"benchtime\": \"%s\",\n", benchtime >> out
+	printf "  \"goos\": \"%s\",\n", goos >> out
+	printf "  \"goarch\": \"%s\",\n", goarch >> out
+	printf "  \"cpu\": \"%s\",\n", cpu >> out
+	printf "  \"results\": [\n" >> out
+	for (i = 0; i < n; i++) {
+		comma = (i < n-1) ? "," : ""
+		printf "    {\"jobs\": %s, \"ns_per_op\": %s, \"speedup\": %s}%s\n", jobs[i], nsop[i], speedup[i], comma >> out
+	}
+	printf "  ]\n}\n" >> out
+}
+'
+echo "bench.sh: wrote $OUT"

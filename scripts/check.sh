@@ -31,4 +31,17 @@ go build ./...
 echo "== go test"
 go test ./...
 
+echo "== go test -race"
+# The pipeline fans out across worker pools everywhere (corpus, survey,
+# metrics, experiments); the race detector is part of the gate so a lazy
+# init or shared-slice write can't land.
+go test -race ./...
+
+# Opt-in benchmark run: RUN_BENCH=1 ./scripts/check.sh additionally
+# records the parallel-pipeline measurements in BENCH_pipeline.json.
+if [ "${RUN_BENCH:-0}" = "1" ]; then
+	echo "== bench"
+	./scripts/bench.sh
+fi
+
 echo "OK"

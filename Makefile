@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint fmt-check check bench bench-smoke clean
+.PHONY: all build test race vet lint fmt-check check bench bench-kernels bench-smoke clean
 
 all: build test
 
@@ -37,9 +37,17 @@ check:
 	./scripts/check.sh
 
 # Measure the parallel pipeline at jobs=1,2,4,8 and record ns/op plus the
-# speedup over the sequential baseline in BENCH_pipeline.json.
+# speedup over the sequential baseline, the per-stage breakdown, and the
+# Amdahl serial-fraction estimate in BENCH_pipeline.json.
 bench:
 	./scripts/bench.sh
+
+# Measure the serial hot kernels (embedding training, cosine cache paths,
+# Levenshtein, metric battery, mixed-model fits) with -benchmem and record
+# ns/op + allocs/op against the pre-optimization baseline in
+# BENCH_kernels.json, warning on >10% regressions vs the committed file.
+bench-kernels:
+	./scripts/bench.sh kernels
 
 # One iteration of every benchmark — catches bit-rot in the bench suite
 # without the cost of a real measurement run.

@@ -160,29 +160,58 @@ func BenchmarkStudyStages(b *testing.B) {
 
 // BenchmarkPipelineParallel measures one complete pipeline run at fixed
 // worker counts and reports each count's speedup over the jobs=1 baseline
-// as an x/speedup custom metric. Every sub-benchmark produces the same
-// study bytes — the fan-outs are deterministic — so the comparison is
-// pure scheduling. On a single-core host the speedups hover around 1.0;
+// as an x/speedup custom metric, plus the per-stage wall-clock breakdown
+// (from the obs span collector, mirroring BenchmarkStudyStages) and an
+// Amdahl serial-fraction estimate: from measured speedup S at N workers,
+// f = (1/S − 1/N) / (1 − 1/N) is the fraction of the run that did not
+// parallelize. Every sub-benchmark produces the same study bytes — the
+// fan-outs are deterministic — so the comparison is pure scheduling. On a
+// single-core host the speedups hover around 1.0 and f near 1;
 // scripts/bench.sh records the numbers either way in BENCH_pipeline.json.
 func BenchmarkPipelineParallel(b *testing.B) {
 	var baseline float64 // ns/op at jobs=1
 	for _, jobs := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
 			ctx := par.WithJobs(context.Background(), jobs)
+			stageTotals := map[string]time.Duration{}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := core.NewCtx(ctx, &core.Config{Seed: int64(i + 1), Jobs: jobs}); err != nil {
+				o := obs.New()
+				runCtx := obs.With(ctx, o)
+				if _, err := core.NewCtx(runCtx, &core.Config{Seed: int64(i + 1), Jobs: jobs}); err != nil {
 					b.Fatal(err)
+				}
+				for name, d := range o.Trace.StageTotals() {
+					stageTotals[name] += d
 				}
 			}
 			b.StopTimer()
+			n := float64(b.N)
+			report := func(metric string, stages ...string) {
+				var total time.Duration
+				for _, st := range stages {
+					total += stageTotals[st]
+				}
+				b.ReportMetric(float64(total.Nanoseconds())/n, metric)
+			}
+			report("ns/prepare", "corpus.PrepareAll")
+			report("ns/train", "embed.Train", "namerec.TrainModel")
+			report("ns/survey", "survey.Run")
+			report("ns/metrics", "metrics.Evaluate")
+			report("ns/panel", "qualcode.RatePanel")
 			perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
 			if jobs == 1 {
 				baseline = perOp
 			}
 			if baseline > 0 && perOp > 0 {
-				b.ReportMetric(baseline/perOp, "x/speedup")
+				s := baseline / perOp
+				b.ReportMetric(s, "x/speedup")
+				if jobs > 1 {
+					invN := 1 / float64(jobs)
+					f := (1/s - invN) / (1 - invN)
+					b.ReportMetric(f, "serial/fraction")
+				}
 			}
 		})
 	}

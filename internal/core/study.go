@@ -197,8 +197,11 @@ func NewCtx(ctx context.Context, cfg *Config) (*Study, error) {
 	obs.AddCount(ctx, "embed.cache.hits", st.Hits)
 	obs.AddCount(ctx, "embed.cache.misses", st.Misses)
 	obs.SetGauge(ctx, "embed.cache.hit_rate", st.HitRate())
+	obs.SetGauge(ctx, "embed.cache.miss_ns", st.MissCostNs())
+	obs.SetGauge(ctx, "embed.cache.ident_entries", float64(st.IdentEntries))
 	sp.SetAttr("cache_hit_rate", fmt.Sprintf("%.3f", st.HitRate()))
-	log.Debug("embedding cache", "hits", st.Hits, "misses", st.Misses, "hit_rate", st.HitRate())
+	log.Debug("embedding cache", "hits", st.Hits, "misses", st.Misses,
+		"hit_rate", st.HitRate(), "miss_ns", st.MissCostNs(), "ident_entries", st.IdentEntries)
 	return s, nil
 }
 

@@ -5,6 +5,81 @@ import (
 	"sync/atomic"
 )
 
+// vecShards is the shard count of the identifier-vector cache; a power of
+// two so the shard index is a mask of the identifier hash.
+const vecShards = 16
+
+// vecEntry is one memoized identifier embedding: the mean of the
+// identifier's in-vocabulary subtoken vectors, its L2 norm, and whether
+// any subtoken was known. The entry is immutable once published.
+type vecEntry struct {
+	vec   []float64
+	norm  float64
+	known bool
+}
+
+// vecCache memoizes per-identifier mean vectors and norms so the cosine
+// miss path never re-tokenizes an identifier or recomputes its norm: both
+// are computed once, at the identifier's first appearance anywhere in the
+// metric battery, the panel, or BERTScore's sweeps.
+type vecCache struct {
+	shards [vecShards]vecShard
+}
+
+type vecShard struct {
+	mu sync.RWMutex
+	m  map[string]vecEntry
+}
+
+func newVecCache() *vecCache {
+	c := &vecCache{}
+	for i := range c.shards {
+		c.shards[i].m = map[string]vecEntry{}
+	}
+	return c
+}
+
+// identHash is FNV-1a over the identifier, used only for shard selection.
+func identHash(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// identVec returns the memoized mean vector for an identifier, computing
+// and publishing it on first use. Concurrent first lookups may both
+// compute the entry; the arithmetic is deterministic, so the duplicates
+// are identical and either may win the publish race.
+func (m *Model) identVec(identifier string) vecEntry {
+	s := &m.idvecs.shards[identHash(identifier)&(vecShards-1)]
+	s.mu.RLock()
+	e, ok := s.m[identifier]
+	s.mu.RUnlock()
+	if ok {
+		return e
+	}
+	e = m.identVecUncached(identifier)
+	s.mu.Lock()
+	s.m[identifier] = e
+	s.mu.Unlock()
+	return e
+}
+
+// identEntries counts the memoized identifier vectors.
+func (c *vecCache) entries() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
 // simShards is the shard count of the similarity memo-cache. A power of
 // two so the shard index is a mask of the pair hash; 64 shards keep lock
 // contention negligible even with every pipeline stage scoring pairs
@@ -21,9 +96,10 @@ const simShards = 64
 // the hit/miss counters are atomics, so concurrent scorers never serialize
 // on a single lock.
 type simCache struct {
-	shards [simShards]simShard
-	hits   atomic.Int64
-	misses atomic.Int64
+	shards    [simShards]simShard
+	hits      atomic.Int64
+	misses    atomic.Int64
+	missNanos atomic.Int64 // wall-clock spent computing misses
 }
 
 type simShard struct {
@@ -88,6 +164,13 @@ type CacheStats struct {
 	Hits    int64
 	Misses  int64
 	Entries int
+	// MissNanos is the cumulative wall-clock spent computing cache
+	// misses; MissNanos/Misses is the average miss cost the obs layer
+	// reports as embed.cache.miss_ns.
+	MissNanos int64
+	// IdentEntries counts the memoized per-identifier mean vectors (the
+	// vecCache behind the miss path's plain-dot-product form).
+	IdentEntries int
 }
 
 // HitRate returns hits / (hits + misses), or 0 before any lookup.
@@ -99,11 +182,25 @@ func (s CacheStats) HitRate() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
+// MissCostNs returns the average wall-clock nanoseconds per cache miss,
+// or 0 before any miss.
+func (s CacheStats) MissCostNs() float64 {
+	if s.Misses == 0 {
+		return 0
+	}
+	return float64(s.MissNanos) / float64(s.Misses)
+}
+
 // CacheStats reports the model's memo-cache counters. All zeros before the
 // first Cosine call (the cache is created lazily).
 func (m *Model) CacheStats() CacheStats {
 	c := m.simCache()
-	st := CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+	st := CacheStats{
+		Hits:         c.hits.Load(),
+		Misses:       c.misses.Load(),
+		MissNanos:    c.missNanos.Load(),
+		IdentEntries: m.idvecs.entries(),
+	}
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.RLock()

@@ -20,6 +20,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 	"unicode"
 
 	"decompstudy/internal/linalg"
@@ -85,6 +86,18 @@ type Model struct {
 	tokens  []string
 	vectors *linalg.Matrix // |V| × dim
 	dim     int
+
+	// Normalization state computed once at train time so query-path
+	// cosines reduce to dot products: rowNorm[i] is the L2 norm of row i
+	// of vectors, and unit holds the L2-normalized rows (zero rows stay
+	// zero). See DESIGN.md's cosine-normalization row for why the
+	// identifier-level Cosine keeps the dot/(na·nb) form instead.
+	rowNorm []float64
+	unit    *linalg.Matrix
+
+	// idvecs caches per-identifier mean vectors and their norms so the
+	// similarity miss path is a single dot product (see cache.go).
+	idvecs *vecCache
 
 	// cache memoizes pairwise cosine similarities; created lazily on the
 	// first Cosine call via cacheOnce (see simCache).
@@ -164,8 +177,19 @@ func TrainCtx(octx context.Context, contexts [][]string, cfg *Config) (*Model, e
 	}
 	sp.SetAttr("vocab", v)
 
-	// Windowed co-occurrence counts (symmetric).
-	co := linalg.NewMatrix(v, v)
+	// Windowed co-occurrence counts (symmetric), accumulated sparsely:
+	// within-window pairs touch a vanishing fraction of the |V|×|V| cells,
+	// so per-row hash maps replace the dense count matrix. The counts are
+	// small integers, so float accumulation is exact and order-free.
+	cooc := make([]map[int]float64, v)
+	inc := func(a, b int) {
+		row := cooc[a]
+		if row == nil {
+			row = make(map[int]float64, 8)
+			cooc[a] = row
+		}
+		row[b]++
+	}
 	rowSum := make([]float64, v)
 	var total float64
 	for _, ids := range tokenized {
@@ -176,43 +200,69 @@ func TrainCtx(octx context.Context, contexts [][]string, cfg *Config) (*Model, e
 			}
 			for j := i + 1; j <= hi; j++ {
 				b := ids[j]
-				co.Add(a, b, 1)
-				co.Add(b, a, 1)
+				inc(a, b)
+				inc(b, a)
 				rowSum[a]++
 				rowSum[b]++
 				total += 2
 			}
 			// Self-count keeps singleton contexts in-vocabulary.
-			co.Add(a, a, 1)
+			inc(a, a)
 			rowSum[a]++
 			total++
 		}
 	}
 
-	// PPMI reweighting: max(0, log(p(a,b) / (p(a)p(b)))). Rows are
-	// independent, so the O(|V|²) sweep fans out across row chunks; every
-	// chunk writes a disjoint row range, and per-cell arithmetic is
-	// unchanged, so the matrix is byte-identical at any worker count.
+	// PPMI reweighting: max(0, log(p(a,b) / (p(a)p(b)))), built directly
+	// in CSR form. Rows are independent, so the sweep fans out across row
+	// chunks; each chunk writes disjoint per-row slices, columns are
+	// visited in ascending order, and the per-cell arithmetic matches the
+	// dense formulation, so the matrix is byte-identical at any worker
+	// count (and to the dense build it replaced).
 	jobs := par.JobsFrom(octx)
 	sp.SetAttr("jobs", jobs)
-	ppmi := linalg.NewMatrix(v, v)
+	rowCols := make([][]int, v)
+	rowVals := make([][]float64, v)
 	if _, err := par.Map(octx, jobs, par.Chunks(v, jobs), func(_ context.Context, _ int, ch [2]int) (struct{}, error) {
 		for a := ch[0]; a < ch[1]; a++ {
-			for b := 0; b < v; b++ {
-				n := co.At(a, b)
-				if n == 0 {
-					continue
-				}
-				val := math.Log(n * total / (rowSum[a] * rowSum[b]))
+			counts := cooc[a]
+			cols := make([]int, 0, len(counts))
+			for b := range counts {
+				cols = append(cols, b)
+			}
+			sort.Ints(cols)
+			vals := make([]float64, 0, len(cols))
+			keep := cols[:0]
+			for _, b := range cols {
+				val := math.Log(counts[b] * total / (rowSum[a] * rowSum[b]))
 				if val > 0 {
-					ppmi.Set(a, b, val)
+					keep = append(keep, b)
+					vals = append(vals, val)
 				}
 			}
+			rowCols[a], rowVals[a] = keep, vals
 		}
 		return struct{}{}, nil
 	}); err != nil {
 		return nil, fmt.Errorf("embed: reweighting PPMI matrix: %w", err)
 	}
+	rowPtr := make([]int, v+1)
+	nnz := 0
+	for a, cols := range rowCols {
+		nnz += len(cols)
+		rowPtr[a+1] = nnz
+	}
+	colIdx := make([]int, 0, nnz)
+	vals := make([]float64, 0, nnz)
+	for a := range rowCols {
+		colIdx = append(colIdx, rowCols[a]...)
+		vals = append(vals, rowVals[a]...)
+	}
+	ppmi, err := linalg.NewCSR(v, v, rowPtr, colIdx, vals)
+	if err != nil {
+		return nil, fmt.Errorf("embed: assembling PPMI matrix: %w", err)
+	}
+	sp.SetAttr("nnz", ppmi.NNZ())
 
 	dim := c.Dim
 	if dim > v {
@@ -222,41 +272,83 @@ func TrainCtx(octx context.Context, contexts [][]string, cfg *Config) (*Model, e
 	if err != nil {
 		return nil, fmt.Errorf("embed: factorizing PPMI matrix: %w", err)
 	}
-	return &Model{vocab: vocab, tokens: tokens, vectors: vectors, dim: dim}, nil
+	m := &Model{vocab: vocab, tokens: tokens, vectors: vectors, dim: dim, idvecs: newVecCache()}
+	m.normalize()
+	return m, nil
 }
 
-// truncatedEig extracts the top-k eigenpairs of a symmetric matrix by
-// orthogonalized power iteration and returns the |V|×k matrix of
+// normalize computes the train-time normalization state: per-row L2 norms
+// and unit rows. Zero rows (rank-exhausted components or out-of-support
+// tokens) keep zero units so similarity against them degrades to the
+// exact-match fallback, exactly as before.
+func (m *Model) normalize() {
+	v := m.vectors.Rows()
+	m.rowNorm = make([]float64, v)
+	m.unit = linalg.NewMatrix(v, m.dim)
+	for i := 0; i < v; i++ {
+		row := m.vectors.RowView(i)
+		s := 0.0
+		for _, x := range row {
+			s += x * x
+		}
+		n := math.Sqrt(s)
+		m.rowNorm[i] = n
+		if n == 0 {
+			continue
+		}
+		u := m.unit.RowView(i)
+		for j, x := range row {
+			u[j] = x / n
+		}
+	}
+}
+
+// truncatedEig extracts the top-k eigenpairs of a symmetric sparse matrix
+// by orthogonalized power iteration and returns the |V|×k matrix of
 // eigenvector columns scaled by sqrt(|eigenvalue|) (the symmetric-SVD
-// embedding convention). The matrix-vector products — the O(|V|²) inner
+// embedding convention). The matrix-vector products — the O(nnz) inner
 // loop the iteration spends its time in — are row-parallel across jobs
-// workers; each row's dot product keeps its sequential arithmetic order,
-// so the factorization is bit-identical at any worker count.
-func truncatedEig(m *linalg.Matrix, k, iters, jobs int) (*linalg.Matrix, error) {
+// workers and write into a ping-pong scratch buffer, so the whole
+// factorization allocates one vector per component instead of one per
+// iteration; each row's dot product keeps its sequential left-to-right
+// arithmetic order, so the result is bit-identical at any worker count
+// (and to the dense formulation it replaced).
+func truncatedEig(m *linalg.CSR, k, iters, jobs int) (*linalg.Matrix, error) {
 	v := m.Rows()
 	out := linalg.NewMatrix(v, k)
-	// Deterministic pseudo-random start vectors.
 	basis := make([][]float64, 0, k)
+	y := make([]float64, v) // matvec scratch, recycled via buffer swap
 	for comp := 0; comp < k; comp++ {
+		// Deterministic pseudo-random start vector.
 		x := make([]float64, v)
 		seed := uint64(comp)*2654435761 + 12345
 		for i := range x {
 			seed = seed*6364136223846793005 + 1442695040888963407
 			x[i] = float64(int64(seed>>33))/float64(1<<30) - 1
 		}
+		// deflate removes the projections onto previously found
+		// eigenvectors (modified Gram-Schmidt). Each update is fused with
+		// the projection against the next basis vector via AXPYDot — one
+		// memory pass instead of two, with the exact arithmetic of the
+		// AXPY(-Dot(b, v), b, v) sweep it replaces.
+		deflate := func(v []float64) {
+			last := len(basis) - 1
+			if last < 0 {
+				return
+			}
+			d := linalg.Dot(basis[0], v)
+			for i := 0; i < last; i++ {
+				d = linalg.AXPYDot(-d, basis[i], v, basis[i+1])
+			}
+			linalg.AXPY(-d, basis[last], v)
+		}
 		var lambda float64
 		for it := 0; it < iters; it++ {
-			// Deflate against previously found eigenvectors.
-			for _, b := range basis {
-				linalg.AXPY(-linalg.Dot(b, x), b, x)
-			}
-			y, err := mulVecPar(m, x, jobs)
-			if err != nil {
+			deflate(x)
+			if err := mulVecTo(y, m, x, jobs); err != nil {
 				return nil, err
 			}
-			for _, b := range basis {
-				linalg.AXPY(-linalg.Dot(b, y), b, y)
-			}
+			deflate(y)
 			norm := linalg.Norm2(y)
 			if norm < 1e-12 {
 				// Matrix rank exhausted; remaining components are zero.
@@ -265,7 +357,9 @@ func truncatedEig(m *linalg.Matrix, k, iters, jobs int) (*linalg.Matrix, error) 
 			}
 			lambda = linalg.Dot(x, y)
 			linalg.Scale(1/norm, y)
-			x = y
+			// The normalized product becomes the new iterate; the old
+			// iterate's storage becomes the next matvec destination.
+			x, y = y, x
 		}
 		basis = append(basis, x)
 		scale := math.Sqrt(math.Abs(lambda))
@@ -276,31 +370,31 @@ func truncatedEig(m *linalg.Matrix, k, iters, jobs int) (*linalg.Matrix, error) 
 	return out, nil
 }
 
-// mulVecPar is a row-parallel matrix-vector product. Below the size
-// threshold (or single-worker) it is exactly linalg.MulVec; above it,
-// row chunks fan out and each worker writes a disjoint slice of y.
-func mulVecPar(m *linalg.Matrix, x []float64, jobs int) ([]float64, error) {
+// mulVecTo is a row-parallel sparse matrix-vector product into a caller-
+// supplied destination. Below the size threshold (or single-worker) it is
+// exactly CSR.MulVecTo; above it, row chunks fan out and each worker
+// writes a disjoint slice of dst.
+func mulVecTo(dst []float64, m *linalg.CSR, x []float64, jobs int) error {
 	const minRowsPerWorker = 64
 	rows := m.Rows()
 	if maxJobs := rows / minRowsPerWorker; jobs > maxJobs {
 		jobs = maxJobs
 	}
 	if jobs <= 1 {
-		return linalg.MulVec(m, x)
+		return m.MulVecTo(dst, x)
 	}
 	if m.Cols() != len(x) {
-		return nil, fmt.Errorf("embed: mulVec dimension mismatch: %d cols vs %d", m.Cols(), len(x))
+		return fmt.Errorf("embed: mulVec dimension mismatch: %d cols vs %d", m.Cols(), len(x))
 	}
-	y := make([]float64, rows)
 	if _, err := par.Map(context.Background(), jobs, par.Chunks(rows, jobs), func(_ context.Context, _ int, ch [2]int) (struct{}, error) {
 		for i := ch[0]; i < ch[1]; i++ {
-			y[i] = linalg.Dot(m.Row(i), x)
+			dst[i] = m.RowDot(i, x)
 		}
 		return struct{}{}, nil
 	}); err != nil {
-		return nil, err
+		return err
 	}
-	return y, nil
+	return nil
 }
 
 // Dim returns the embedding dimensionality.
@@ -322,8 +416,23 @@ func (m *Model) Contains(identifier string) bool {
 
 // Vector returns the embedding of an identifier: the mean of its in-
 // vocabulary subtoken vectors. It returns ErrUnknownToken if no subtoken is
-// known.
+// known. The mean is computed once per identifier and memoized (see
+// identVec); the returned slice is a private copy.
 func (m *Model) Vector(identifier string) ([]float64, error) {
+	e := m.identVec(identifier)
+	if !e.known {
+		return nil, fmt.Errorf("embed: %q: %w", identifier, ErrUnknownToken)
+	}
+	out := make([]float64, m.dim)
+	copy(out, e.vec)
+	return out, nil
+}
+
+// identVecUncached computes an identifier's mean subtoken vector and its
+// norm — the arithmetic behind Vector, split out so the vecCache can
+// memoize it. The accumulation order matches the historical Vector
+// implementation element-for-element, keeping cosines byte-identical.
+func (m *Model) identVecUncached(identifier string) vecEntry {
 	sum := make([]float64, m.dim)
 	n := 0
 	for _, tok := range SplitIdentifier(identifier) {
@@ -331,16 +440,17 @@ func (m *Model) Vector(identifier string) ([]float64, error) {
 		if !ok {
 			continue
 		}
-		for j := 0; j < m.dim; j++ {
-			sum[j] += m.vectors.At(id, j)
+		row := m.vectors.RowView(id)
+		for j, x := range row {
+			sum[j] += x
 		}
 		n++
 	}
 	if n == 0 {
-		return nil, fmt.Errorf("embed: %q: %w", identifier, ErrUnknownToken)
+		return vecEntry{}
 	}
 	linalg.Scale(1/float64(n), sum)
-	return sum, nil
+	return vecEntry{vec: sum, norm: linalg.Norm2(sum), known: true}
 }
 
 // Cosine returns the cosine similarity of two identifiers' embeddings in
@@ -348,36 +458,36 @@ func (m *Model) Vector(identifier string) ([]float64, error) {
 // similarity (1 if equal, 0 otherwise), mirroring how the paper's
 // embedding metrics degrade on unseen names. Results are memoized in the
 // model's sharded content-hash cache, so repeated pairs — the common case
-// in BERTScore's bidirectional token sweeps — cost one map lookup.
+// in BERTScore's bidirectional token sweeps — cost one map lookup; a miss
+// costs one dot product plus two cached identifier-vector lookups, with
+// the wall-clock spent on misses tracked for the obs miss-cost gauge.
 func (m *Model) Cosine(a, b string) float64 {
 	c := m.simCache()
 	k := pairKey(a, b)
 	if v, ok := c.get(k); ok {
 		return v
 	}
+	t0 := time.Now()
 	v := m.cosineUncached(a, b)
+	c.missNanos.Add(time.Since(t0).Nanoseconds())
 	c.put(k, v)
 	return v
 }
 
-// cosineUncached is the raw similarity computation behind Cosine.
+// cosineUncached is the raw similarity computation behind Cosine. The
+// identifier mean vectors and their norms come precomputed from the
+// vecCache, so the steady-state miss path is a single dot product and a
+// divide — no tokenization, no norm recomputation.
 func (m *Model) cosineUncached(a, b string) float64 {
-	va, errA := m.Vector(a)
-	vb, errB := m.Vector(b)
-	if errA != nil || errB != nil {
+	ea := m.identVec(a)
+	eb := m.identVec(b)
+	if !ea.known || !eb.known || ea.norm == 0 || eb.norm == 0 {
 		if strings.EqualFold(a, b) {
 			return 1
 		}
 		return 0
 	}
-	na, nb := linalg.Norm2(va), linalg.Norm2(vb)
-	if na == 0 || nb == 0 {
-		if strings.EqualFold(a, b) {
-			return 1
-		}
-		return 0
-	}
-	return linalg.Dot(va, vb) / (na * nb)
+	return linalg.Dot(ea.vec, eb.vec) / (ea.norm * eb.norm)
 }
 
 // Nearest returns the k nearest vocabulary subtokens to the identifier by
@@ -395,14 +505,14 @@ func (m *Model) Nearest(identifier string, k int) ([]string, error) {
 		tok string
 		sim float64
 	}
+	// The unit rows are precomputed at train time, so each candidate costs
+	// one dot product instead of a norm plus a dot.
 	scores := make([]scored, 0, len(m.tokens))
 	for id, tok := range m.tokens {
-		v := m.vectors.Row(id)
-		nv := linalg.Norm2(v)
-		if nv == 0 {
+		if m.rowNorm[id] == 0 {
 			continue
 		}
-		scores = append(scores, scored{tok, linalg.Dot(q, v) / (nq * nv)})
+		scores = append(scores, scored{tok, linalg.Dot(q, m.unit.RowView(id)) / nq})
 	}
 	sort.Slice(scores, func(i, j int) bool { return scores[i].sim > scores[j].sim })
 	if k > len(scores) {

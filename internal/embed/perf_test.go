@@ -1,0 +1,126 @@
+package embed
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"decompstudy/internal/linalg"
+)
+
+// TestIdentVecMatchesUncached checks the memoized identifier-vector path
+// returns exactly what the direct computation does, including the norm.
+func TestIdentVecMatchesUncached(t *testing.T) {
+	m := trainTestModel(t)
+	for _, id := range []string{"size", "buffer_len", "treeNode", "zzzqqq", ""} {
+		want := m.identVecUncached(id)
+		got := m.identVec(id)
+		if got.known != want.known {
+			t.Fatalf("identVec(%q).known = %v, want %v", id, got.known, want.known)
+		}
+		if math.Float64bits(got.norm) != math.Float64bits(want.norm) {
+			t.Fatalf("identVec(%q).norm = %v, want %v", id, got.norm, want.norm)
+		}
+		if len(got.vec) != len(want.vec) {
+			t.Fatalf("identVec(%q) length %d, want %d", id, len(got.vec), len(want.vec))
+		}
+		for i := range got.vec {
+			if math.Float64bits(got.vec[i]) != math.Float64bits(want.vec[i]) {
+				t.Fatalf("identVec(%q)[%d] = %v, want %v", id, i, got.vec[i], want.vec[i])
+			}
+		}
+	}
+}
+
+// TestUnitRowsMatchNormalizedVectors checks the train-time normalization:
+// unit rows are the subtoken vectors scaled by 1/norm, zero rows stay zero.
+func TestUnitRowsMatchNormalizedVectors(t *testing.T) {
+	m := trainTestModel(t)
+	for id := 0; id < m.vectors.Rows(); id++ {
+		row := m.vectors.RowView(id)
+		norm := math.Sqrt(linalg.Dot(row, row))
+		if math.Float64bits(norm) != math.Float64bits(m.rowNorm[id]) {
+			t.Fatalf("rowNorm[%d] = %v, want %v", id, m.rowNorm[id], norm)
+		}
+		unit := m.unit.RowView(id)
+		if norm == 0 {
+			for j, v := range unit {
+				if v != 0 {
+					t.Fatalf("unit row %d entry %d = %v for zero vector", id, j, v)
+				}
+			}
+			continue
+		}
+		for j, v := range row {
+			if math.Float64bits(unit[j]) != math.Float64bits(v/norm) {
+				t.Fatalf("unit[%d][%d] = %v, want %v", id, j, unit[j], v/norm)
+			}
+		}
+	}
+}
+
+// TestCacheStatsMissCost checks the miss-cost and identifier-entry counters
+// the obs layer reports as embed.cache.miss_ns / ident_entries.
+func TestCacheStatsMissCost(t *testing.T) {
+	m := trainTestModel(t)
+	m.Cosine("size", "length")
+	m.Cosine("size", "tree")
+	st := m.CacheStats()
+	if st.Misses == 0 {
+		t.Fatal("expected cache misses")
+	}
+	if st.MissNanos <= 0 {
+		t.Errorf("MissNanos = %d, want > 0", st.MissNanos)
+	}
+	if st.MissCostNs() <= 0 {
+		t.Errorf("MissCostNs = %v, want > 0", st.MissCostNs())
+	}
+	if st.IdentEntries < 3 {
+		t.Errorf("IdentEntries = %d, want >= 3 (size, length, tree)", st.IdentEntries)
+	}
+	if (CacheStats{}).MissCostNs() != 0 {
+		t.Error("zero-value MissCostNs should be 0")
+	}
+}
+
+// TestCosineMissAllocs pins the allocation budget of the cache-miss path
+// once the identifier vectors are warm: a miss is then one sharded map
+// insert (key + value boxing), not a re-tokenization.
+func TestCosineMissAllocs(t *testing.T) {
+	m := trainTestModel(t)
+	// Warm the identifier-vector cache with a pool of names, then measure
+	// misses over fresh *pairs* of warm identifiers.
+	pool := make([]string, 256)
+	for i := range pool {
+		pool[i] = fmt.Sprintf("size%d", i)
+		m.identVec(pool[i])
+	}
+	i, j := 0, 1
+	avg := testing.AllocsPerRun(200, func() {
+		m.Cosine(pool[i], pool[j])
+		j++
+		if j == len(pool) {
+			i++
+			j = i + 1
+		}
+	})
+	// One map insert per miss: the similarity value boxes into the shard
+	// map and the map occasionally grows. Pre-rewrite this path cost ~20
+	// allocations (SplitIdentifier, mean vector, norm recomputation).
+	if avg > 3 {
+		t.Errorf("cosine miss path allocates %.1f per call, want <= 3", avg)
+	}
+}
+
+// TestCosineHitAllocs pins the hit path at zero allocations.
+func TestCosineHitAllocs(t *testing.T) {
+	m := trainTestModel(t)
+	m.Cosine("size", "length") // populate
+	avg := testing.AllocsPerRun(200, func() {
+		m.Cosine("size", "length")
+		m.Cosine("length", "size")
+	})
+	if avg != 0 {
+		t.Errorf("cosine hit path allocates %.1f per call, want 0", avg)
+	}
+}

@@ -1,0 +1,353 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+)
+
+// lcg is a tiny deterministic generator so the randomized equivalence
+// checks reproduce exactly across runs without touching math/rand.
+type lcg struct{ s uint64 }
+
+func (r *lcg) next() uint64 {
+	r.s = r.s*6364136223846793005 + 1442695040888963407
+	return r.s
+}
+
+// float returns a value in [-1, 1).
+func (r *lcg) float() float64 {
+	return float64(int64(r.next()>>11))/float64(1<<52) - 1
+}
+
+func randMatrix(r *lcg, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			m.Set(i, j, r.float())
+		}
+	}
+	return m
+}
+
+// randSparseMatrix fills roughly the given fraction of entries, leaving the
+// rest exactly zero — the structure CSRFromDense prunes.
+func randSparseMatrix(r *lcg, rows, cols int, density float64) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if float64(r.next()%1000)/1000 < density {
+				m.Set(i, j, r.float())
+			}
+		}
+	}
+	return m
+}
+
+func randVec(r *lcg, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = r.float()
+	}
+	return v
+}
+
+// randSPD builds a well-conditioned symmetric positive definite matrix as
+// BᵀB + n·I.
+func randSPD(r *lcg, n int) *Matrix {
+	b := randMatrix(r, n, n)
+	m := XtX(b)
+	for i := 0; i < n; i++ {
+		m.Add(i, i, float64(n))
+	}
+	return m
+}
+
+func bitEqualVec(t *testing.T, name string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d, want %d", name, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s: entry %d = %v (bits %x), want %v (bits %x)",
+				name, i, got[i], math.Float64bits(got[i]), want[i], math.Float64bits(want[i]))
+		}
+	}
+}
+
+func bitEqualMat(t *testing.T, name string, got, want *Matrix) {
+	t.Helper()
+	if got.Rows() != want.Rows() || got.Cols() != want.Cols() {
+		t.Fatalf("%s: shape %dx%d, want %dx%d", name, got.Rows(), got.Cols(), want.Rows(), want.Cols())
+	}
+	for i := 0; i < got.Rows(); i++ {
+		bitEqualVec(t, name, got.RowView(i), want.RowView(i))
+	}
+}
+
+// TestCSRMulVecBitIdentical proves the sparse matvec reproduces the dense
+// result bit-for-bit: skipping exact-zero entries only removes ±0 terms
+// from each row's left-to-right accumulation, which cannot change an IEEE
+// round-to-nearest sum.
+func TestCSRMulVecBitIdentical(t *testing.T) {
+	r := &lcg{s: 1}
+	for _, dims := range [][2]int{{1, 1}, {3, 5}, {17, 9}, {40, 40}} {
+		for _, density := range []float64{0, 0.05, 0.3, 1} {
+			m := randSparseMatrix(r, dims[0], dims[1], density)
+			sp := CSRFromDense(m)
+			x := randVec(r, dims[1])
+			want, err := MulVec(m, x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := make([]float64, dims[0])
+			if err := sp.MulVecTo(got, x); err != nil {
+				t.Fatal(err)
+			}
+			bitEqualVec(t, "csr mulvec", got, want)
+			for i := 0; i < dims[0]; i++ {
+				if math.Float64bits(sp.RowDot(i, x)) != math.Float64bits(want[i]) {
+					t.Fatalf("RowDot(%d) = %v, want %v", i, sp.RowDot(i, x), want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestCSRDenseRoundTrip(t *testing.T) {
+	r := &lcg{s: 2}
+	m := randSparseMatrix(r, 12, 7, 0.25)
+	sp := CSRFromDense(m)
+	bitEqualMat(t, "csr dense round-trip", sp.Dense(), m)
+	for i := 0; i < m.Rows(); i++ {
+		for j := 0; j < m.Cols(); j++ {
+			if math.Float64bits(sp.At(i, j)) != math.Float64bits(m.At(i, j)) {
+				t.Fatalf("At(%d,%d) = %v, want %v", i, j, sp.At(i, j), m.At(i, j))
+			}
+		}
+	}
+}
+
+// TestMulToBitIdentical checks the in-place dense kernels against their
+// allocating counterparts on randomized inputs.
+func TestMulToBitIdentical(t *testing.T) {
+	r := &lcg{s: 3}
+	a := randSparseMatrix(r, 9, 13, 0.6) // zeros exercise the skip branch
+	b := randMatrix(r, 13, 5)
+	want, err := Mul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := NewMatrix(9, 5)
+	got.Set(0, 0, 42) // MulTo must overwrite stale contents
+	if err := MulTo(got, a, b); err != nil {
+		t.Fatal(err)
+	}
+	bitEqualMat(t, "MulTo", got, want)
+}
+
+func TestMulVecToBitIdentical(t *testing.T) {
+	r := &lcg{s: 4}
+	a := randMatrix(r, 11, 6)
+	x := randVec(r, 6)
+	want, err := MulVec(a, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float64, 11)
+	if err := MulVecTo(got, a, x); err != nil {
+		t.Fatal(err)
+	}
+	bitEqualVec(t, "MulVecTo", got, want)
+}
+
+func TestTransposeToBitIdentical(t *testing.T) {
+	r := &lcg{s: 5}
+	a := randMatrix(r, 8, 3)
+	dst := NewMatrix(3, 8)
+	if err := a.TransposeTo(dst); err != nil {
+		t.Fatal(err)
+	}
+	bitEqualMat(t, "TransposeTo", dst, a.T())
+}
+
+func TestAddScaledTo(t *testing.T) {
+	r := &lcg{s: 6}
+	y := randVec(r, 10)
+	x := randVec(r, 10)
+	want := make([]float64, 10)
+	copy(want, y)
+	AXPY(-0.5, x, want)
+	got := make([]float64, 10)
+	AddScaledTo(got, y, -0.5, x)
+	bitEqualVec(t, "AddScaledTo", got, want)
+	// Aliased destination.
+	aliased := make([]float64, 10)
+	copy(aliased, y)
+	AddScaledTo(aliased, aliased, -0.5, x)
+	bitEqualVec(t, "AddScaledTo aliased", aliased, want)
+}
+
+// TestRefactorBitIdentical proves a reused Cholesky workspace reproduces a
+// fresh factorization bit-for-bit, including after factoring a different
+// matrix first (stale lower-triangle contents are fully overwritten).
+func TestRefactorBitIdentical(t *testing.T) {
+	r := &lcg{s: 7}
+	for _, n := range []int{1, 4, 12} {
+		first := randSPD(r, n)
+		second := randSPD(r, n)
+		ws := NewCholeskyWorkspace(n)
+		if err := ws.Refactor(first); err != nil {
+			t.Fatal(err)
+		}
+		if err := ws.Refactor(second); err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := NewCholesky(second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bitEqualMat(t, "Refactor L", ws.L(), fresh.L())
+		if math.Float64bits(ws.LogDet()) != math.Float64bits(fresh.LogDet()) {
+			t.Fatalf("LogDet = %v, want %v", ws.LogDet(), fresh.LogDet())
+		}
+
+		b := randVec(r, n)
+		want, err := fresh.SolveVec(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]float64, n)
+		if err := ws.SolveVecTo(got, b); err != nil {
+			t.Fatal(err)
+		}
+		bitEqualVec(t, "SolveVecTo", got, want)
+		// Aliased solve: dst == b.
+		aliased := make([]float64, n)
+		copy(aliased, b)
+		if err := ws.SolveVecTo(aliased, aliased); err != nil {
+			t.Fatal(err)
+		}
+		bitEqualVec(t, "SolveVecTo aliased", aliased, want)
+
+		rhs := randMatrix(r, n, 3)
+		wantM, err := fresh.Solve(rhs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotM := NewMatrix(n, 3)
+		colBuf := make([]float64, n)
+		if err := ws.SolveTo(gotM, rhs, colBuf); err != nil {
+			t.Fatal(err)
+		}
+		bitEqualMat(t, "SolveTo", gotM, wantM)
+
+		wantInv, err := fresh.Inverse()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotInv := NewMatrix(n, n)
+		if err := ws.InverseTo(gotInv, colBuf); err != nil {
+			t.Fatal(err)
+		}
+		bitEqualMat(t, "InverseTo", gotInv, wantInv)
+	}
+}
+
+func TestRefactorRejectsNonSPD(t *testing.T) {
+	ws := NewCholeskyWorkspace(2)
+	bad := NewMatrix(2, 2) // all zeros: first leading minor not positive
+	if err := ws.Refactor(bad); err == nil {
+		t.Fatal("Refactor accepted a singular matrix")
+	}
+	// The workspace must recover on the next SPD refactor.
+	r := &lcg{s: 8}
+	good := randSPD(r, 2)
+	if err := ws.Refactor(good); err != nil {
+		t.Fatalf("Refactor after failure: %v", err)
+	}
+	fresh, err := NewCholesky(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitEqualMat(t, "Refactor after failure", ws.L(), fresh.L())
+}
+
+func TestCopyFromZero(t *testing.T) {
+	r := &lcg{s: 9}
+	a := randMatrix(r, 4, 6)
+	b := NewMatrix(4, 6)
+	if err := b.CopyFrom(a); err != nil {
+		t.Fatal(err)
+	}
+	bitEqualMat(t, "CopyFrom", b, a)
+	b.Zero()
+	for i := 0; i < 4; i++ {
+		for _, v := range b.RowView(i) {
+			if v != 0 {
+				t.Fatal("Zero left a nonzero entry")
+			}
+		}
+	}
+	if err := b.CopyFrom(NewMatrix(3, 6)); err == nil {
+		t.Fatal("CopyFrom accepted a shape mismatch")
+	}
+}
+
+func TestNewCSRValidation(t *testing.T) {
+	if _, err := NewCSR(2, 2, []int{0, 1, 2}, []int{0, 0}, []float64{1, 1}); err != nil {
+		t.Fatalf("valid CSR rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		rowPtr []int
+		colIdx []int
+		val    []float64
+	}{
+		{"short rowPtr", []int{0, 2}, []int{0, 1}, []float64{1, 1}},
+		{"descending columns", []int{0, 2, 2}, []int{1, 0}, []float64{1, 1}},
+		{"duplicate columns", []int{0, 2, 2}, []int{0, 0}, []float64{1, 1}},
+		{"column out of range", []int{0, 1, 2}, []int{0, 2}, []float64{1, 1}},
+		{"rowPtr not monotone", []int{0, 2, 1}, []int{0, 1}, []float64{1, 1}},
+		{"val length mismatch", []int{0, 1, 2}, []int{0, 1}, []float64{1}},
+	}
+	for _, c := range cases {
+		if _, err := NewCSR(2, 2, c.rowPtr, c.colIdx, c.val); err == nil {
+			t.Fatalf("%s: invalid CSR accepted", c.name)
+		}
+	}
+}
+
+// TestInPlaceKernelAllocs pins the allocation-free contract of the hot
+// kernels the mixed-model and embedding loops rely on.
+func TestInPlaceKernelAllocs(t *testing.T) {
+	r := &lcg{s: 10}
+	n := 8
+	spd := randSPD(r, n)
+	ws := NewCholeskyWorkspace(n)
+	a := randMatrix(r, n, n)
+	b := randMatrix(r, n, n)
+	dstM := NewMatrix(n, n)
+	x := randVec(r, n)
+	dstV := make([]float64, n)
+	colBuf := make([]float64, n)
+	sp := CSRFromDense(randSparseMatrix(r, n, n, 0.3))
+
+	checks := []struct {
+		name string
+		fn   func()
+	}{
+		{"MulTo", func() { MulTo(dstM, a, b) }},
+		{"MulVecTo", func() { MulVecTo(dstV, a, x) }},
+		{"AddScaledTo", func() { AddScaledTo(dstV, x, 2, x) }},
+		{"Refactor", func() { ws.Refactor(spd) }},
+		{"SolveVecTo", func() { ws.SolveVecTo(dstV, x) }},
+		{"InverseTo", func() { ws.InverseTo(dstM, colBuf) }},
+		{"CSR.MulVecTo", func() { sp.MulVecTo(dstV, x) }},
+	}
+	for _, c := range checks {
+		if avg := testing.AllocsPerRun(100, c.fn); avg != 0 {
+			t.Errorf("%s allocates %.1f per call, want 0", c.name, avg)
+		}
+	}
+}

@@ -106,6 +106,13 @@ func (m *Matrix) Row(i int) []float64 {
 	return out
 }
 
+// RowView returns row i as a slice aliasing the matrix storage — the
+// allocation-free counterpart of Row for hot read paths. Writing through
+// the view mutates the matrix; callers that need isolation use Row.
+func (m *Matrix) RowView(i int) []float64 {
+	return m.data[i*m.cols : (i+1)*m.cols]
+}
+
 // T returns the transpose of m as a new matrix.
 func (m *Matrix) T() *Matrix {
 	out := NewMatrix(m.cols, m.rows)
@@ -373,14 +380,17 @@ func (f *LU) LogDet() (logAbs, sign float64) {
 	return logAbs, sign
 }
 
-// Dot returns the inner product of two equal-length vectors.
+// Dot returns the inner product of two equal-length vectors, accumulating
+// left to right. The reslice of b lets the compiler drop the per-element
+// bounds checks — the summation order is unchanged.
 func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("linalg: dot of lengths %d and %d", len(a), len(b)))
 	}
+	b = b[:len(a)]
 	s := 0.0
-	for i := range a {
-		s += a[i] * b[i]
+	for i, av := range a {
+		s += av * b[i]
 	}
 	return s
 }
@@ -399,9 +409,31 @@ func AXPY(a float64, x, y []float64) {
 	if len(x) != len(y) {
 		panic(fmt.Sprintf("linalg: axpy of lengths %d and %d", len(x), len(y)))
 	}
-	for i := range x {
-		y[i] += a * x[i]
+	y = y[:len(x)]
+	for i, xv := range x {
+		y[i] += a * xv
 	}
+}
+
+// AXPYDot computes y += a*x in place and returns Dot(z, y) over the updated
+// y, all in one pass. Each y[i] is final before the dot term z[i]*y[i] is
+// accumulated and the accumulation runs left to right, so the result is
+// bit-identical to AXPY(a, x, y) followed by Dot(z, y) — the fusion exists
+// for the orthogonalized power iteration, where every Gram-Schmidt update
+// is immediately followed by the projection against the next basis vector.
+func AXPYDot(a float64, x, y, z []float64) float64 {
+	if len(x) != len(y) || len(z) != len(y) {
+		panic(fmt.Sprintf("linalg: axpydot of lengths %d, %d, %d", len(x), len(y), len(z)))
+	}
+	x = x[:len(y)]
+	z = z[:len(y)]
+	s := 0.0
+	for i := range y {
+		v := y[i] + a*x[i]
+		y[i] = v
+		s += z[i] * v
+	}
+	return s
 }
 
 // Scale multiplies v by a in place.

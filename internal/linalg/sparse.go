@@ -1,0 +1,131 @@
+package linalg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CSR is a compressed-sparse-row matrix of float64 values. Row i's nonzero
+// entries live in colIdx[rowPtr[i]:rowPtr[i+1]] / val[rowPtr[i]:rowPtr[i+1]]
+// with column indices strictly ascending, so a row scan visits entries in
+// the same left-to-right order a dense row scan does — which is what makes
+// CSR·v bit-identical to dense·v: the skipped entries are exact zeros, and
+// adding ±0 to a partial sum that starts at +0 never changes it under
+// round-to-nearest.
+type CSR struct {
+	rows, cols int
+	rowPtr     []int
+	colIdx     []int
+	val        []float64
+}
+
+// NewCSR wraps pre-built CSR storage. rowPtr must have rows+1 entries with
+// rowPtr[0] == 0 and rowPtr[rows] == len(val); each row's column indices
+// must be strictly ascending and in range. The slices are retained, not
+// copied.
+func NewCSR(rows, cols int, rowPtr, colIdx []int, val []float64) (*CSR, error) {
+	if rows < 0 || cols < 0 {
+		return nil, fmt.Errorf("linalg: negative CSR dimensions %dx%d: %w", rows, cols, ErrShape)
+	}
+	if len(rowPtr) != rows+1 {
+		return nil, fmt.Errorf("linalg: CSR rowPtr has %d entries for %d rows: %w", len(rowPtr), rows, ErrShape)
+	}
+	if rowPtr[0] != 0 || rowPtr[rows] != len(val) || len(colIdx) != len(val) {
+		return nil, fmt.Errorf("linalg: CSR storage lengths inconsistent (rowPtr end %d, %d cols, %d vals): %w",
+			rowPtr[rows], len(colIdx), len(val), ErrShape)
+	}
+	for i := 0; i < rows; i++ {
+		lo, hi := rowPtr[i], rowPtr[i+1]
+		if lo > hi {
+			return nil, fmt.Errorf("linalg: CSR row %d has negative extent: %w", i, ErrShape)
+		}
+		for k := lo; k < hi; k++ {
+			if c := colIdx[k]; c < 0 || c >= cols {
+				return nil, fmt.Errorf("linalg: CSR row %d column %d out of range [0,%d): %w", i, c, cols, ErrShape)
+			}
+			if k > lo && colIdx[k] <= colIdx[k-1] {
+				return nil, fmt.Errorf("linalg: CSR row %d columns not strictly ascending at %d: %w", i, k, ErrShape)
+			}
+		}
+	}
+	return &CSR{rows: rows, cols: cols, rowPtr: rowPtr, colIdx: colIdx, val: val}, nil
+}
+
+// CSRFromDense converts a dense matrix to CSR, dropping exact zeros.
+func CSRFromDense(m *Matrix) *CSR {
+	rowPtr := make([]int, m.rows+1)
+	var colIdx []int
+	var val []float64
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j, v := range row {
+			if v != 0 {
+				colIdx = append(colIdx, j)
+				val = append(val, v)
+			}
+		}
+		rowPtr[i+1] = len(val)
+	}
+	return &CSR{rows: m.rows, cols: m.cols, rowPtr: rowPtr, colIdx: colIdx, val: val}
+}
+
+// Rows returns the number of rows.
+func (s *CSR) Rows() int { return s.rows }
+
+// Cols returns the number of columns.
+func (s *CSR) Cols() int { return s.cols }
+
+// NNZ returns the number of stored (nonzero) entries.
+func (s *CSR) NNZ() int { return len(s.val) }
+
+// At returns the element at row i, column j (zero when not stored).
+func (s *CSR) At(i, j int) float64 {
+	if i < 0 || i >= s.rows || j < 0 || j >= s.cols {
+		panic(fmt.Sprintf("linalg: index (%d,%d) out of range for %dx%d CSR", i, j, s.rows, s.cols))
+	}
+	lo, hi := s.rowPtr[i], s.rowPtr[i+1]
+	cols := s.colIdx[lo:hi]
+	k := sort.SearchInts(cols, j)
+	if k < len(cols) && cols[k] == j {
+		return s.val[lo+k]
+	}
+	return 0
+}
+
+// Dense materializes the sparse matrix as a dense Matrix.
+func (s *CSR) Dense() *Matrix {
+	m := NewMatrix(s.rows, s.cols)
+	for i := 0; i < s.rows; i++ {
+		for k := s.rowPtr[i]; k < s.rowPtr[i+1]; k++ {
+			m.data[i*s.cols+s.colIdx[k]] = s.val[k]
+		}
+	}
+	return m
+}
+
+// RowDot returns the inner product of row i with x, accumulating over the
+// stored entries in ascending column order.
+func (s *CSR) RowDot(i int, x []float64) float64 {
+	b, e := s.rowPtr[i], s.rowPtr[i+1]
+	vals := s.val[b:e]
+	cols := s.colIdx[b:e]
+	acc := 0.0
+	for k, v := range vals {
+		acc += v * x[cols[k]]
+	}
+	return acc
+}
+
+// MulVecTo computes dst = S·x without allocating. dst must not alias x.
+func (s *CSR) MulVecTo(dst, x []float64) error {
+	if s.cols != len(x) {
+		return fmt.Errorf("linalg: CSR mulvec %dx%d by vector of %d: %w", s.rows, s.cols, len(x), ErrShape)
+	}
+	if len(dst) != s.rows {
+		return fmt.Errorf("linalg: CSR mulvec destination of %d for %d rows: %w", len(dst), s.rows, ErrShape)
+	}
+	for i := 0; i < s.rows; i++ {
+		dst[i] = s.RowDot(i, x)
+	}
+	return nil
+}

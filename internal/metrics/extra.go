@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"strings"
 
 	"decompstudy/internal/embed"
 	"decompstudy/internal/par"
@@ -203,17 +202,13 @@ func EvaluateExtended(pairs []Pair, candCode, refCode string, m *embed.Model) (E
 }
 
 // EvaluateExtendedCtx is EvaluateExtended with the base report's per-pair
-// fan-out and a fanned-out context-weighted score.
+// fan-out and a fanned-out context-weighted score. The base evaluation's
+// joined strings and token sequences are reused for ROUGE-L and chrF
+// instead of re-joining and re-tokenizing the name lists.
 func EvaluateExtendedCtx(ctx context.Context, pairs []Pair, candCode, refCode string, m *embed.Model) (ExtendedReport, error) {
-	base, err := EvaluateCtx(ctx, pairs, candCode, refCode, m)
+	base, toks, err := evaluateCtx(ctx, pairs, candCode, refCode, m)
 	if err != nil {
 		return ExtendedReport{}, err
-	}
-	candNames := make([]string, len(pairs))
-	refNames := make([]string, len(pairs))
-	for i, p := range pairs {
-		candNames[i] = p.Candidate
-		refNames[i] = p.Reference
 	}
 	cw := &ContextWeighted{Model: m}
 	ctxScore, err := cw.ScoreCtx(ctx, pairs, refCode)
@@ -222,8 +217,8 @@ func EvaluateExtendedCtx(ctx context.Context, pairs []Pair, candCode, refCode st
 	}
 	return ExtendedReport{
 		Report:          base,
-		ROUGEL:          ROUGEL(TokenizeNames(strings.Join(candNames, " ")), TokenizeNames(strings.Join(refNames, " "))),
-		ChrF:            ChrF(strings.Join(candNames, " "), strings.Join(refNames, " "), 6),
+		ROUGEL:          ROUGEL(toks.candToks, toks.refToks),
+		ChrF:            ChrF(toks.candJoined, toks.refJoined, 6),
 		ContextWeighted: ctxScore,
 	}, nil
 }

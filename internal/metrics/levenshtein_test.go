@@ -1,0 +1,134 @@
+package metrics
+
+import (
+	"testing"
+	"unicode/utf8"
+)
+
+// levReference is the textbook full-matrix DP, kept deliberately naive so
+// the optimized kernel (prefix/suffix trimming, ASCII byte path, rolling
+// stack rows) is checked against an independent implementation.
+func levReference(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	dp := make([][]int, len(ra)+1)
+	for i := range dp {
+		dp[i] = make([]int, len(rb)+1)
+		dp[i][0] = i
+	}
+	for j := 0; j <= len(rb); j++ {
+		dp[0][j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			dp[i][j] = min3(dp[i-1][j]+1, dp[i][j-1]+1, dp[i-1][j-1]+cost)
+		}
+	}
+	return dp[len(ra)][len(rb)]
+}
+
+func TestLevenshteinMatchesReference(t *testing.T) {
+	cases := [][2]string{
+		{"", ""},
+		{"", "abc"},
+		{"abc", ""},
+		{"abc", "abc"},
+		{"kitten", "sitting"},
+		{"flaw", "lawn"},
+		{"buffer_len", "lenBuffer"},
+		{"recursive_descent_parser", "recursiveDescentParse"},
+		{"aa", "a"},
+		{"aba", "a"},
+		{"abcdef", "abzdef"},   // shared prefix and suffix
+		{"prefix_x", "prefix"}, // suffix of one is prefix of other
+		{"héllo", "hello"},     // non-ASCII forces the rune path
+		{"日本語", "日本"},
+		{"naïve", "naive"},
+		{"αβγδ", "αγδ"},
+	}
+	for _, c := range cases {
+		want := levReference(c[0], c[1])
+		if got := Levenshtein(c[0], c[1]); got != want {
+			t.Errorf("Levenshtein(%q, %q) = %d, want %d", c[0], c[1], got, want)
+		}
+		if got := Levenshtein(c[1], c[0]); got != want {
+			t.Errorf("Levenshtein(%q, %q) = %d, want %d (symmetry)", c[1], c[0], got, want)
+		}
+	}
+}
+
+// TestLevenshteinRandomized fuzzes the kernel against the reference over
+// identifier-like strings, including lengths past the stack-row cutoff and
+// a sprinkle of multi-byte runes.
+func TestLevenshteinRandomized(t *testing.T) {
+	alphabet := []rune("abcXYZ_09éλ")
+	seed := uint64(26)
+	next := func(n int) int {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return int((seed >> 33) % uint64(n))
+	}
+	randStr := func(maxLen int) string {
+		n := next(maxLen + 1)
+		r := make([]rune, n)
+		for i := range r {
+			r[i] = alphabet[next(len(alphabet))]
+		}
+		return string(r)
+	}
+	for _, maxLen := range []int{6, 30, levStackRow + 20} {
+		for i := 0; i < 300; i++ {
+			a, b := randStr(maxLen), randStr(maxLen)
+			want := levReference(a, b)
+			if got := Levenshtein(a, b); got != want {
+				t.Fatalf("Levenshtein(%q, %q) = %d, want %d", a, b, got, want)
+			}
+			wantN := normalizedLevFromDistance(want, a, b)
+			if gotN := NormalizedLevenshtein(a, b); gotN != wantN {
+				t.Fatalf("NormalizedLevenshtein(%q, %q) = %v, want %v", a, b, gotN, wantN)
+			}
+		}
+	}
+}
+
+func TestNormalizedLevFromDistance(t *testing.T) {
+	a, b := "buffer_len", "lenBuffer"
+	d := Levenshtein(a, b)
+	want := NormalizedLevenshtein(a, b)
+	if got := normalizedLevFromDistance(d, a, b); got != want {
+		t.Errorf("normalizedLevFromDistance = %v, want %v", got, want)
+	}
+	if got := normalizedLevFromDistance(0, "x", "x"); got != 0 {
+		t.Errorf("identical strings: got %v, want 0", got)
+	}
+	// Rune counting, not byte counting, in the normalization.
+	u := "héé"
+	if utf8.RuneCountInString(u) == len(u) {
+		t.Fatal("test string must be multi-byte")
+	}
+	if got := NormalizedLevenshtein(u, "h"); got <= 0 || got > 1 {
+		t.Errorf("unicode normalization out of range: %v", got)
+	}
+}
+
+// TestLevenshteinAllocFree pins the zero-allocation contract for
+// identifier-scale operands — the regression the two-row stack rewrite
+// exists to protect.
+func TestLevenshteinAllocFree(t *testing.T) {
+	pairs := [][2]string{
+		{"recursive_descent_parser", "recursiveDescentParse"},
+		{"buffer_len", "lenBuffer"},
+		{"x", "yz"},
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		for _, p := range pairs {
+			Levenshtein(p[0], p[1])
+			NormalizedLevenshtein(p[0], p[1])
+		}
+	})
+	if avg != 0 {
+		t.Errorf("Levenshtein battery allocates %.1f per run, want 0", avg)
+	}
+}

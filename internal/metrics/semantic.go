@@ -154,6 +154,23 @@ func Evaluate(pairs []Pair, candCode, refCode string, m *embed.Model) (Report, e
 // bit-identical at any worker count. The semantic scores go through the
 // model's similarity memo-cache.
 func EvaluateCtx(ctx context.Context, pairs []Pair, candCode, refCode string, m *embed.Model) (Report, error) {
+	rep, _, err := evaluateCtx(ctx, pairs, candCode, refCode, m)
+	return rep, err
+}
+
+// evalTokens carries the joined-name strings and their subtoken sequences,
+// computed once per evaluation and shared by every sequence metric (BLEU,
+// BERTScore, and the extended report's ROUGE-L/chrF) instead of
+// re-tokenizing per metric.
+type evalTokens struct {
+	candJoined, refJoined string
+	candToks, refToks     []string
+}
+
+// evaluateCtx is the shared implementation behind EvaluateCtx and
+// EvaluateExtendedCtx; it returns the tokenization alongside the report so
+// the extended metrics reuse it.
+func evaluateCtx(ctx context.Context, pairs []Pair, candCode, refCode string, m *embed.Model) (Report, evalTokens, error) {
 	jobs := par.JobsFrom(ctx)
 	ctx, sp := obs.StartSpan(ctx, "metrics.Evaluate",
 		obs.KV("pairs", len(pairs)), obs.KV("jobs", jobs))
@@ -161,10 +178,10 @@ func EvaluateCtx(ctx context.Context, pairs []Pair, candCode, refCode string, m 
 	obs.AddCount(ctx, "metrics.evaluate.calls", 1)
 	obs.AddCount(ctx, "metrics.evaluate.pairs", int64(len(pairs)))
 	if len(pairs) == 0 {
-		return Report{}, fmt.Errorf("metrics: Evaluate with no pairs: %w", ErrNilModel)
+		return Report{}, evalTokens{}, fmt.Errorf("metrics: Evaluate with no pairs: %w", ErrNilModel)
 	}
 	if m == nil {
-		return Report{}, ErrNilModel
+		return Report{}, evalTokens{}, ErrNilModel
 	}
 	candNames := make([]string, len(pairs))
 	refNames := make([]string, len(pairs))
@@ -182,16 +199,18 @@ func EvaluateCtx(ctx context.Context, pairs []Pair, candCode, refCode string, m 
 		if err != nil {
 			return pairScores{}, err
 		}
+		// One DP run serves both the raw and normalized Levenshtein views.
+		d := Levenshtein(p.Candidate, p.Reference)
 		return pairScores{
 			exact:  ExactMatch(p.Candidate, p.Reference),
-			lev:    float64(Levenshtein(p.Candidate, p.Reference)),
-			nlev:   NormalizedLevenshtein(p.Candidate, p.Reference),
+			lev:    float64(d),
+			nlev:   normalizedLevFromDistance(d, p.Candidate, p.Reference),
 			jac:    JaccardNGrams(p.Candidate, p.Reference, 2),
 			varclr: vc,
 		}, nil
 	})
 	if err != nil {
-		return Report{}, err
+		return Report{}, evalTokens{}, err
 	}
 	var exact, lev, nlev, jac, vc float64
 	for _, s := range perPair {
@@ -211,11 +230,19 @@ func EvaluateCtx(ctx context.Context, pairs []Pair, candCode, refCode string, m 
 		refCode = refJoined
 	}
 
-	bleu := BLEU(TokenizeNames(candJoined), TokenizeNames(refJoined), 4)
+	// Tokenize the joined names once; BLEU, BERTScore, and the extended
+	// metrics all consume the same sequences.
+	toks := evalTokens{
+		candJoined: candJoined,
+		refJoined:  refJoined,
+		candToks:   TokenizeNames(candJoined),
+		refToks:    TokenizeNames(refJoined),
+	}
+	bleu := BLEU(toks.candToks, toks.refToks, 4)
 	cb := CodeBLEU(candCode, refCode, CodeBLEUWeights{})
-	bert, err := BERTScoreF1Ctx(ctx, TokenizeNames(candJoined), TokenizeNames(refJoined), m)
+	bert, err := BERTScoreF1Ctx(ctx, toks.candToks, toks.refToks, m)
 	if err != nil {
-		return Report{}, err
+		return Report{}, evalTokens{}, err
 	}
 	return Report{
 		ExactMatch:    exact / n,
@@ -226,5 +253,5 @@ func EvaluateCtx(ctx context.Context, pairs []Pair, candCode, refCode string, m 
 		CodeBLEU:      cb,
 		BERTScoreF1:   bert,
 		VarCLR:        vc / n,
-	}, nil
+	}, toks, nil
 }

@@ -11,6 +11,7 @@ package metrics
 
 import (
 	"strings"
+	"unicode/utf8"
 
 	"decompstudy/internal/embed"
 )
@@ -24,26 +25,100 @@ func ExactMatch(a, b string) float64 {
 	return 0
 }
 
+// levStackRow bounds the DP row length served from the stack; identifier
+// pairs are far shorter, so the common case runs allocation-free.
+const levStackRow = 64
+
 // Levenshtein returns the edit distance between a and b (unit costs for
 // insert, delete, substitute), computed over runes.
+//
+// The kernel is a two-row rolling DP with three fast paths: common prefix
+// and suffix trimming (edits never touch shared ends, so the distance is
+// unchanged), a byte-wise path when both operands are pure ASCII (bytes
+// and runes coincide), and stack-served DP rows for operands up to
+// levStackRow runes — which covers every identifier pair in the study, so
+// the hot path performs zero heap allocations.
 func Levenshtein(a, b string) int {
-	ra, rb := []rune(a), []rune(b)
+	if isASCII(a) && isASCII(b) {
+		// Trim common prefix and suffix byte-wise.
+		for len(a) > 0 && len(b) > 0 && a[0] == b[0] {
+			a, b = a[1:], b[1:]
+		}
+		for len(a) > 0 && len(b) > 0 && a[len(a)-1] == b[len(b)-1] {
+			a, b = a[:len(a)-1], b[:len(b)-1]
+		}
+		if len(a) == 0 {
+			return len(b)
+		}
+		if len(b) == 0 {
+			return len(a)
+		}
+		// Roll over the shorter operand to minimize the DP rows.
+		if len(b) > len(a) {
+			a, b = b, a
+		}
+		var stack [2 * (levStackRow + 1)]int
+		var prev, cur []int
+		if len(b) < levStackRow {
+			prev, cur = stack[:len(b)+1], stack[levStackRow+1:levStackRow+len(b)+2]
+		} else {
+			heap := make([]int, 2*(len(b)+1))
+			prev, cur = heap[:len(b)+1], heap[len(b)+1:]
+		}
+		for j := range prev {
+			prev[j] = j
+		}
+		for i := 1; i <= len(a); i++ {
+			cur[0] = i
+			ai := a[i-1]
+			for j := 1; j <= len(b); j++ {
+				cost := 1
+				if ai == b[j-1] {
+					cost = 0
+				}
+				cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+			}
+			prev, cur = cur, prev
+		}
+		return prev[len(b)]
+	}
+	return levRunes([]rune(a), []rune(b))
+}
+
+// levRunes is the rune-path DP behind Levenshtein, with the same trimming.
+func levRunes(ra, rb []rune) int {
+	for len(ra) > 0 && len(rb) > 0 && ra[0] == rb[0] {
+		ra, rb = ra[1:], rb[1:]
+	}
+	for len(ra) > 0 && len(rb) > 0 && ra[len(ra)-1] == rb[len(rb)-1] {
+		ra, rb = ra[:len(ra)-1], rb[:len(rb)-1]
+	}
 	if len(ra) == 0 {
 		return len(rb)
 	}
 	if len(rb) == 0 {
 		return len(ra)
 	}
-	prev := make([]int, len(rb)+1)
-	cur := make([]int, len(rb)+1)
+	if len(rb) > len(ra) {
+		ra, rb = rb, ra
+	}
+	var stack [2 * (levStackRow + 1)]int
+	var prev, cur []int
+	if len(rb) < levStackRow {
+		prev, cur = stack[:len(rb)+1], stack[levStackRow+1:levStackRow+len(rb)+2]
+	} else {
+		heap := make([]int, 2*(len(rb)+1))
+		prev, cur = heap[:len(rb)+1], heap[len(rb)+1:]
+	}
 	for j := range prev {
 		prev[j] = j
 	}
 	for i := 1; i <= len(ra); i++ {
 		cur[0] = i
+		ai := ra[i-1]
 		for j := 1; j <= len(rb); j++ {
 			cost := 1
-			if ra[i-1] == rb[j-1] {
+			if ai == rb[j-1] {
 				cost = 0
 			}
 			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
@@ -53,6 +128,16 @@ func Levenshtein(a, b string) int {
 	return prev[len(rb)]
 }
 
+// isASCII reports whether s contains only single-byte runes.
+func isASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= utf8.RuneSelf {
+			return false
+		}
+	}
+	return true
+}
+
 // NormalizedLevenshtein returns the Yujian-Bo normalized edit distance in
 // [0, 1]: 2·GLD / (α·(|a|+|b|) + GLD) with α = 1, where GLD is the
 // generalized Levenshtein distance. Zero means identical strings.
@@ -60,12 +145,22 @@ func NormalizedLevenshtein(a, b string) float64 {
 	if a == b {
 		return 0
 	}
-	d := float64(Levenshtein(a, b))
-	la, lb := float64(len([]rune(a))), float64(len([]rune(b)))
+	return normalizedLevFromDistance(Levenshtein(a, b), a, b)
+}
+
+// normalizedLevFromDistance finishes the Yujian-Bo normalization for a
+// precomputed distance, letting the per-pair battery compute the DP once
+// for both the raw and normalized views.
+func normalizedLevFromDistance(d int, a, b string) float64 {
+	if a == b {
+		return 0
+	}
+	la, lb := float64(utf8.RuneCountInString(a)), float64(utf8.RuneCountInString(b))
 	if la+lb == 0 {
 		return 0
 	}
-	return 2 * d / (la + lb + d)
+	df := float64(d)
+	return 2 * df / (la + lb + df)
 }
 
 // LevenshteinSimilarity returns 1 − NormalizedLevenshtein, a similarity in

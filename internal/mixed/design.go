@@ -96,8 +96,9 @@ func (s *Spec) validate() error {
 type design struct {
 	spec    *Spec
 	n, p, q int
-	offsets []int // per factor, column offset in Z
-	colFac  []int // per Z column, owning factor
+	offsets []int   // per factor, column offset in Z
+	colFac  []int   // per Z column, owning factor
+	zcols   [][]int // per observation, the Z columns that are 1 (one per factor)
 }
 
 func newDesign(s *Spec) *design {
@@ -113,17 +114,28 @@ func newDesign(s *Spec) *design {
 			d.colFac[d.offsets[k]+j] = k
 		}
 	}
+	// Precompute the per-observation indicator columns into one flat
+	// backing array; zCols is called for every observation on every
+	// cross-product and PIRLS sweep, so this trades O(n·factors) ints once
+	// for an allocation per call.
+	nf := len(s.Random)
+	flat := make([]int, d.n*nf)
+	d.zcols = make([][]int, d.n)
+	for i := 0; i < d.n; i++ {
+		row := flat[i*nf : (i+1)*nf : (i+1)*nf]
+		for k, rf := range s.Random {
+			row[k] = d.offsets[k] + rf.Index[i]
+		}
+		d.zcols[i] = row
+	}
 	return d
 }
 
 // zCols returns, for observation i, the Z columns that are 1 (one per
-// factor).
+// factor). The returned slice is a view into precomputed storage; callers
+// must not modify it.
 func (d *design) zCols(i int) []int {
-	cols := make([]int, len(d.spec.Random))
-	for k, rf := range d.spec.Random {
-		cols[k] = d.offsets[k] + rf.Index[i]
-	}
-	return cols
+	return d.zcols[i]
 }
 
 // ztZ returns ZᵀZ (q×q) built from the indicator structure.

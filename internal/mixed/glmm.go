@@ -13,7 +13,10 @@ import (
 
 // glmmState carries the working vectors of the Laplace/PIRLS fit so the
 // outer variance search can reuse the previous conditional modes as warm
-// starts.
+// starts, plus a workspace of per-iteration buffers: the variance search
+// calls pirls hundreds of times and each call used to allocate a fresh
+// (p+q)×(p+q) Hessian, Cholesky factor, gradient, and trial vector per
+// Newton step.
 type glmmState struct {
 	d *design
 	u []float64 // joint (β, b) vector, length p+q
@@ -25,6 +28,36 @@ type glmmState struct {
 	lastBLUP    []float64
 	lastCovBeta []float64 // diagonal of the β block of H⁻¹
 	lastBad     bool
+
+	// PIRLS scratch, sized once in newGLMMState.
+	eta, mu, w        []float64 // length n
+	grad, step, trial []float64 // length p+q
+	dInv              []float64 // length q, filled by the objective closure
+	h, hbb, hInv      *linalg.Matrix
+	chol, hbbChol     *linalg.Cholesky
+	colBuf            []float64 // length p+q
+}
+
+func newGLMMState(ctx context.Context, d *design) *glmmState {
+	dim := d.p + d.q
+	return &glmmState{
+		d:       d,
+		u:       make([]float64, dim),
+		ctx:     ctx,
+		eta:     make([]float64, d.n),
+		mu:      make([]float64, d.n),
+		w:       make([]float64, d.n),
+		grad:    make([]float64, dim),
+		step:    make([]float64, dim),
+		trial:   make([]float64, dim),
+		dInv:    make([]float64, d.q),
+		h:       linalg.NewMatrix(dim, dim),
+		hbb:     linalg.NewMatrix(d.q, d.q),
+		hInv:    linalg.NewMatrix(dim, dim),
+		chol:    linalg.NewCholeskyWorkspace(dim),
+		hbbChol: linalg.NewCholeskyWorkspace(d.q),
+		colBuf:  make([]float64, dim),
+	}
 }
 
 // pirls runs penalized iteratively reweighted least squares at fixed
@@ -36,9 +69,7 @@ func (g *glmmState) pirls(dInv []float64) float64 {
 	dim := p + q
 	y := d.spec.Response
 
-	eta := make([]float64, d.n)
-	mu := make([]float64, d.n)
-	w := make([]float64, d.n)
+	eta, mu, w := g.eta, g.mu, g.w
 
 	// penalized log-likelihood at the current u.
 	pll := func(u []float64) float64 {
@@ -62,7 +93,7 @@ func (g *glmmState) pirls(dInv []float64) float64 {
 
 	u := g.u
 	cur := pll(u)
-	var lastChol *linalg.Cholesky
+	haveChol := false
 	converged := false
 	iters := 0
 	defer func() {
@@ -89,7 +120,10 @@ func (g *glmmState) pirls(dInv []float64) float64 {
 		}
 
 		// Gradient = [X Z]ᵀ(y−μ) − [0; D⁻¹ b].
-		grad := make([]float64, dim)
+		grad := g.grad
+		for j := range grad {
+			grad[j] = 0
+		}
 		for i := 0; i < d.n; i++ {
 			r := y[i] - mu[i]
 			for j := 0; j < p; j++ {
@@ -104,7 +138,8 @@ func (g *glmmState) pirls(dInv []float64) float64 {
 		}
 
 		// Hessian = [X Z]ᵀW[X Z] + blkdiag(0, D⁻¹).
-		h := linalg.NewMatrix(dim, dim)
+		h := g.h
+		h.Zero()
 		for i := 0; i < d.n; i++ {
 			wi := w[i]
 			cols := d.zCols(i)
@@ -140,21 +175,20 @@ func (g *glmmState) pirls(dInv []float64) float64 {
 			}
 		}
 
-		chol, err := linalg.NewCholesky(h)
-		if err != nil {
+		if err := g.chol.Refactor(h); err != nil {
 			g.lastBad = true
 			return math.Inf(1)
 		}
-		lastChol = chol
-		step, err := chol.SolveVec(grad)
-		if err != nil {
+		haveChol = true
+		step := g.step
+		if err := g.chol.SolveVecTo(step, grad); err != nil {
 			g.lastBad = true
 			return math.Inf(1)
 		}
 
 		// Line search with step halving on the penalized log-likelihood.
 		improved := false
-		trial := make([]float64, dim)
+		trial := g.trial
 		for scale := 1.0; scale > 1e-4; scale /= 2 {
 			for j := range u {
 				trial[j] = u[j] + scale*step[j]
@@ -174,7 +208,7 @@ func (g *glmmState) pirls(dInv []float64) float64 {
 			break
 		}
 	}
-	if lastChol == nil {
+	if !haveChol {
 		g.lastBad = true
 		return math.Inf(1)
 	}
@@ -192,7 +226,8 @@ func (g *glmmState) pirls(dInv []float64) float64 {
 		mu[i] = stats.LogisticCDF(e)
 		w[i] = mu[i] * (1 - mu[i])
 	}
-	hbb := linalg.NewMatrix(q, q)
+	hbb := g.hbb
+	hbb.Zero()
 	for i := 0; i < d.n; i++ {
 		cols := d.zCols(i)
 		for _, a := range cols {
@@ -204,8 +239,7 @@ func (g *glmmState) pirls(dInv []float64) float64 {
 	for c := 0; c < q; c++ {
 		hbb.Add(c, c, dInv[c])
 	}
-	hbbChol, err := linalg.NewCholesky(hbb)
-	if err != nil {
+	if err := g.hbbChol.Refactor(hbb); err != nil {
 		g.lastBad = true
 		return math.Inf(1)
 	}
@@ -213,14 +247,14 @@ func (g *glmmState) pirls(dInv []float64) float64 {
 	for c := 0; c < q; c++ {
 		logDetD -= math.Log(dInv[c]) // log σ²_c
 	}
-	logLik := cur - 0.5*(hbbChol.LogDet()+logDetD)
+	logLik := cur - 0.5*(g.hbbChol.LogDet()+logDetD)
 
 	// Stash β, BLUPs, and Wald covariance diagonal from the full Hessian.
 	g.lastBeta = append(g.lastBeta[:0], u[:p]...)
 	g.lastBLUP = append(g.lastBLUP[:0], u[p:]...)
 	g.lastCovBeta = g.lastCovBeta[:0]
-	hInv, err := lastChol.Inverse()
-	if err != nil {
+	hInv := g.hInv
+	if err := g.chol.InverseTo(hInv, g.colBuf); err != nil {
 		g.lastBad = true
 		return math.Inf(1)
 	}
@@ -265,10 +299,10 @@ func FitGLMMLogitCtx(ctx context.Context, spec *Spec) (*Result, error) {
 	}
 	sp.SetAttr("n", len(spec.Response))
 	d := newDesign(spec)
-	st := &glmmState{d: d, u: make([]float64, d.p+d.q), ctx: ctx}
+	st := newGLMMState(ctx, d)
 
 	obj := func(logSD []float64) float64 {
-		dInv := make([]float64, d.q)
+		dInv := st.dInv
 		for c := 0; c < d.q; c++ {
 			sd := math.Exp(logSD[d.colFac[c]])
 			if sd < 1e-6 {

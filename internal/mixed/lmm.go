@@ -11,17 +11,29 @@ import (
 )
 
 // lmmProfile carries the precomputed cross-products used by every profiled
-// deviance evaluation. With only random intercepts, the Woodbury identity
-// reduces each evaluation to a q×q Cholesky factorization.
+// deviance evaluation, plus a reusable workspace so the Nelder-Mead search
+// (hundreds of evaluations) allocates nothing per step. With only random
+// intercepts, the Woodbury identity reduces each evaluation to a q×q
+// Cholesky factorization.
 type lmmProfile struct {
 	d          *design
 	xtx, ztx   *linalg.Matrix
+	ztxT       *linalg.Matrix // (ZᵀX)ᵀ, hoisted: eval used to rebuild it twice per call
 	ztz        *linalg.Matrix
 	xty, zty   []float64
 	yty        float64
 	reml       bool
 	lastBad    bool
 	lastResult lmmEval
+
+	// Per-evaluation scratch. lastResult points into this storage, which is
+	// safe because FitLMMCtx re-evaluates at the optimum before reading it.
+	gamma, xtVy, tmp, beta []float64
+	a, xtVx, corr, covBeta *linalg.Matrix
+	aInvZtx                *linalg.Matrix
+	aInvZty                []float64
+	aChol, xChol           *linalg.Cholesky
+	qColBuf, pColBuf       []float64
 }
 
 // lmmEval is the by-product of one profiled deviance evaluation.
@@ -51,6 +63,23 @@ func newLMMProfile(d *design, reml bool) (*lmmProfile, error) {
 	for _, y := range d.spec.Response {
 		p.yty += y * y
 	}
+	p.ztxT = p.ztx.T()
+
+	nf := len(d.spec.Random)
+	p.gamma = make([]float64, nf)
+	p.a = linalg.NewMatrix(d.q, d.q)
+	p.aChol = linalg.NewCholeskyWorkspace(d.q)
+	p.aInvZtx = linalg.NewMatrix(d.q, d.p)
+	p.aInvZty = make([]float64, d.q)
+	p.xtVx = linalg.NewMatrix(d.p, d.p)
+	p.corr = linalg.NewMatrix(d.p, d.p)
+	p.xtVy = make([]float64, d.p)
+	p.tmp = make([]float64, d.p)
+	p.xChol = linalg.NewCholeskyWorkspace(d.p)
+	p.beta = make([]float64, d.p)
+	p.covBeta = linalg.NewMatrix(d.p, d.p)
+	p.qColBuf = make([]float64, d.q)
+	p.pColBuf = make([]float64, d.p)
 	return p, nil
 }
 
@@ -58,61 +87,62 @@ func newLMMProfile(d *design, reml bool) (*lmmProfile, error) {
 // log variance ratios.
 func (p *lmmProfile) eval(logGamma []float64) float64 {
 	d := p.d
-	gamma := make([]float64, len(logGamma))
+	gamma := p.gamma
 	for k, lg := range logGamma {
 		gamma[k] = math.Exp(lg)
 	}
 
 	// A = Γ⁻¹ + ZᵀZ, with Γ the per-column variance ratio.
-	a := p.ztz.Clone()
+	a := p.a
+	a.CopyFrom(p.ztz)
 	logDetGamma := 0.0
 	for j := 0; j < d.q; j++ {
 		g := gamma[d.colFac[j]]
 		a.Add(j, j, 1/g)
 		logDetGamma += math.Log(g)
 	}
-	aChol, err := linalg.NewCholesky(a)
-	if err != nil {
+	aChol := p.aChol
+	if err := aChol.Refactor(a); err != nil {
 		p.lastBad = true
 		return math.Inf(1)
 	}
 	logDetV0 := aChol.LogDet() + logDetGamma
 
 	// Woodbury: MᵀV0⁻¹N = MᵀN − (ZᵀM)ᵀ A⁻¹ (ZᵀN).
-	aInvZtx, err := aChol.Solve(p.ztx)
-	if err != nil {
+	aInvZtx := p.aInvZtx
+	if err := aChol.SolveTo(aInvZtx, p.ztx, p.qColBuf); err != nil {
 		p.lastBad = true
 		return math.Inf(1)
 	}
-	aInvZty, err := aChol.SolveVec(p.zty)
-	if err != nil {
+	aInvZty := p.aInvZty
+	if err := aChol.SolveVecTo(aInvZty, p.zty); err != nil {
 		p.lastBad = true
 		return math.Inf(1)
 	}
 
 	// XᵀV0⁻¹X and XᵀV0⁻¹y.
-	xtVx := p.xtx.Clone()
-	corr, _ := linalg.Mul(p.ztx.T(), aInvZtx)
-	if err := xtVx.AddInPlace(corr, -1); err != nil {
+	xtVx := p.xtVx
+	xtVx.CopyFrom(p.xtx)
+	linalg.MulTo(p.corr, p.ztxT, aInvZtx)
+	if err := xtVx.AddInPlace(p.corr, -1); err != nil {
 		p.lastBad = true
 		return math.Inf(1)
 	}
-	xtVy := make([]float64, d.p)
+	xtVy := p.xtVy
 	copy(xtVy, p.xty)
-	ztxT := p.ztx.T()
-	tmp, _ := linalg.MulVec(ztxT, aInvZty)
-	linalg.AXPY(-1, tmp, xtVy)
+	linalg.MulVecTo(p.tmp, p.ztxT, aInvZty)
+	linalg.AXPY(-1, p.tmp, xtVy)
 
 	// yᵀV0⁻¹y.
 	ytVy := p.yty - linalg.Dot(p.zty, aInvZty)
 
-	xChol, err := linalg.NewCholesky(xtVx)
-	if err != nil {
+	xChol := p.xChol
+	if err := xChol.Refactor(xtVx); err != nil {
 		p.lastBad = true
 		return math.Inf(1)
 	}
-	beta, err := xChol.SolveVec(xtVy)
-	if err != nil {
+	beta := p.beta
+	if err := xChol.SolveVecTo(beta, xtVy); err != nil {
 		p.lastBad = true
 		return math.Inf(1)
 	}
@@ -134,8 +164,7 @@ func (p *lmmProfile) eval(logGamma []float64) float64 {
 		dev = n*math.Log(2*math.Pi*sigma2) + logDetV0 + n
 	}
 
-	covBeta, err := xChol.Inverse()
-	if err != nil {
+	if err := xChol.InverseTo(p.covBeta, p.pColBuf); err != nil {
 		p.lastBad = true
 		return math.Inf(1)
 	}
@@ -144,7 +173,7 @@ func (p *lmmProfile) eval(logGamma []float64) float64 {
 		deviance: dev,
 		beta:     beta,
 		sigma2:   sigma2,
-		covBeta:  covBeta,
+		covBeta:  p.covBeta,
 		aChol:    aChol,
 		gamma:    gamma,
 	}

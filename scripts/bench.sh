@@ -1,54 +1,176 @@
 #!/bin/sh
-# bench.sh — run the parallel-pipeline benchmark and record the results as
-# BENCH_pipeline.json in the repository root (or $BENCH_OUT if set).
+# bench.sh — run the performance benchmarks and record the results as JSON
+# in the repository root.
 #
 # Usage:
 #
-#	./scripts/bench.sh            # default: -benchtime 10x
+#	./scripts/bench.sh            # pipeline benchmark -> BENCH_pipeline.json
+#	./scripts/bench.sh kernels    # kernel benchmarks  -> BENCH_kernels.json
+#	./scripts/bench.sh all        # both
 #	BENCH_TIME=50x ./scripts/bench.sh
 #
-# The JSON holds one entry per worker count with ns/op and the speedup
-# over the jobs=1 baseline, plus enough host metadata to interpret the
-# numbers (a single-core host legitimately reports speedup ≈ 1.0).
+# The pipeline JSON holds one entry per worker count with ns/op, the speedup
+# over the jobs=1 baseline, the per-stage wall-clock breakdown from the obs
+# span collector, and the Amdahl serial-fraction estimate, plus enough host
+# metadata to interpret the numbers (a single-core host legitimately reports
+# speedup ≈ 1.0 and serial fraction ≈ 1).
+#
+# The kernels JSON holds one entry per hot kernel with ns/op and allocs/op
+# alongside the pre-optimization baseline measured on the same host class,
+# so the speedup and allocation ratios travel with the numbers. When a
+# committed BENCH_kernels.json exists, fresh results are compared against it
+# and any kernel more than 10% slower prints a warning — a warning, not a
+# failure, because wall-clock on shared CI hosts is noisy.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-OUT="${BENCH_OUT:-BENCH_pipeline.json}"
+MODE="${1:-pipeline}"
 TIME="${BENCH_TIME:-10x}"
 
-RAW="$(go test -run NONE -bench 'BenchmarkPipelineParallel' -benchtime "$TIME" .)"
-echo "$RAW"
+run_pipeline() {
+	OUT="${BENCH_OUT:-BENCH_pipeline.json}"
+	RAW="$(go test -run NONE -bench 'BenchmarkPipelineParallel' -benchtime "$TIME" .)"
+	echo "$RAW"
 
-echo "$RAW" | awk -v out="$OUT" -v benchtime="$TIME" '
-BEGIN     { n = 0 }
-/^cpu:/   { sub(/^cpu: */, ""); cpu = $0 }
-/^goos:/  { goos = $2 }
-/^goarch:/{ goarch = $2 }
-/^BenchmarkPipelineParallel\/jobs=/ {
-	split($1, parts, "=")
-	split(parts[2], tail, "-")
-	jobs[n] = tail[1]
-	nsop[n] = $3
-	for (i = 4; i <= NF; i++) {
-		if ($(i+1) == "x/speedup") speedup[n] = $i
+	echo "$RAW" | awk -v out="$OUT" -v benchtime="$TIME" '
+	BEGIN     { n = 0 }
+	/^cpu:/   { sub(/^cpu: */, ""); cpu = $0 }
+	/^goos:/  { goos = $2 }
+	/^goarch:/{ goarch = $2 }
+	/^BenchmarkPipelineParallel\/jobs=/ {
+		split($1, parts, "=")
+		split(parts[2], tail, "-")
+		jobs[n] = tail[1]
+		nsop[n] = $3
+		speedup[n] = "1.0"; serial[n] = ""
+		prep[n] = train[n] = surv[n] = metr[n] = panel[n] = 0
+		for (i = 4; i < NF; i++) {
+			if ($(i+1) == "x/speedup")       speedup[n] = $i
+			if ($(i+1) == "serial/fraction") serial[n] = $i
+			if ($(i+1) == "ns/prepare")      prep[n] = $i
+			if ($(i+1) == "ns/train")        train[n] = $i
+			if ($(i+1) == "ns/survey")       surv[n] = $i
+			if ($(i+1) == "ns/metrics")      metr[n] = $i
+			if ($(i+1) == "ns/panel")        panel[n] = $i
+		}
+		n++
 	}
-	n++
-}
-END {
-	if (n == 0) { print "bench.sh: no benchmark results parsed" > "/dev/stderr"; exit 1 }
-	printf "{\n" > out
-	printf "  \"benchmark\": \"BenchmarkPipelineParallel\",\n" >> out
-	printf "  \"benchtime\": \"%s\",\n", benchtime >> out
-	printf "  \"goos\": \"%s\",\n", goos >> out
-	printf "  \"goarch\": \"%s\",\n", goarch >> out
-	printf "  \"cpu\": \"%s\",\n", cpu >> out
-	printf "  \"results\": [\n" >> out
-	for (i = 0; i < n; i++) {
-		comma = (i < n-1) ? "," : ""
-		printf "    {\"jobs\": %s, \"ns_per_op\": %s, \"speedup\": %s}%s\n", jobs[i], nsop[i], speedup[i], comma >> out
+	END {
+		if (n == 0) { print "bench.sh: no benchmark results parsed" > "/dev/stderr"; exit 1 }
+		printf "{\n" > out
+		printf "  \"benchmark\": \"BenchmarkPipelineParallel\",\n" >> out
+		printf "  \"benchtime\": \"%s\",\n", benchtime >> out
+		printf "  \"goos\": \"%s\",\n", goos >> out
+		printf "  \"goarch\": \"%s\",\n", goarch >> out
+		printf "  \"cpu\": \"%s\",\n", cpu >> out
+		printf "  \"results\": [\n" >> out
+		for (i = 0; i < n; i++) {
+			comma = (i < n-1) ? "," : ""
+			sf = (serial[i] == "") ? "null" : serial[i]
+			printf "    {\"jobs\": %s, \"ns_per_op\": %s, \"speedup\": %s, \"serial_fraction\": %s, \"per_stage_ns\": {\"prepare\": %s, \"train\": %s, \"survey\": %s, \"metrics\": %s, \"panel\": %s}}%s\n", \
+				jobs[i], nsop[i], speedup[i], sf, prep[i], train[i], surv[i], metr[i], panel[i], comma >> out
+		}
+		printf "  ]\n}\n" >> out
 	}
-	printf "  ]\n}\n" >> out
+	'
+	echo "bench.sh: wrote $OUT"
 }
-'
-echo "bench.sh: wrote $OUT"
+
+run_kernels() {
+	OUT="${BENCH_KERNELS_OUT:-BENCH_kernels.json}"
+	PREV=""
+	if [ -f "$OUT" ]; then
+		PREV="$(cat "$OUT")"
+	fi
+	RAW="$(go test -run NONE -bench 'BenchmarkKernels' -benchmem -benchtime "$TIME" .)"
+	echo "$RAW"
+
+	# Pre-optimization baseline (serial kernels, same benchmark harness and
+	# host, -benchtime 50x/100x, interleaved with post-rewrite runs to
+	# control for host noise), recorded before the CSR/scratch/rolling-DP
+	# rewrites landed. The JSON carries it so speedup claims are checkable
+	# from the file alone. Fields: name, ns/op, allocs/op.
+	BASELINE='embed_train 10456277 1496
+cosine_miss 3048 20
+cosine_hit 37 0
+levenshtein 1316 2
+metrics_evaluate 517488 3686
+lmm_fit 21495637 8106
+glmm_fit 277865317 866578'
+
+	printf '%s\n===PREV===\n%s\n===RAW===\n%s\n' "$BASELINE" "$PREV" "$RAW" | awk -v out="$OUT" -v benchtime="$TIME" '
+	BEGIN { section = "baseline"; n = 0 }
+	/^===PREV===$/ { section = "prev"; next }
+	/^===RAW===$/  { section = "raw"; next }
+	section == "baseline" { base_ns[$1] = $2; base_allocs[$1] = $3; next }
+	section == "prev" {
+		# Pull "name"/"ns_per_op" pairs out of the committed JSON (one
+		# kernel per line by construction below).
+		if (match($0, /"name": "[^"]*"/)) {
+			pname = substr($0, RSTART+9, RLENGTH-10)
+			if (match($0, /"ns_per_op": [0-9.]+/))
+				prev_ns[pname] = substr($0, RSTART+13, RLENGTH-13)
+		}
+		next
+	}
+	/^cpu:/   { sub(/^cpu: */, ""); cpu = $0 }
+	/^goos:/  { goos = $2 }
+	/^goarch:/{ goarch = $2 }
+	/^BenchmarkKernels\// {
+		split($1, parts, "/")
+		split(parts[2], tail, "-")
+		name[n] = tail[1]
+		nsop[n] = $3
+		bop[n] = 0; allocs[n] = 0
+		for (i = 4; i < NF; i++) {
+			if ($(i+1) == "B/op")      bop[n] = $i
+			if ($(i+1) == "allocs/op") allocs[n] = $i
+		}
+		n++
+	}
+	END {
+		if (n == 0) { print "bench.sh: no kernel results parsed" > "/dev/stderr"; exit 1 }
+		printf "{\n" > out
+		printf "  \"benchmark\": \"BenchmarkKernels\",\n" >> out
+		printf "  \"benchtime\": \"%s\",\n", benchtime >> out
+		printf "  \"goos\": \"%s\",\n", goos >> out
+		printf "  \"goarch\": \"%s\",\n", goarch >> out
+		printf "  \"cpu\": \"%s\",\n", cpu >> out
+		printf "  \"baseline_note\": \"pre-optimization serial kernels, same harness and host class\",\n" >> out
+		printf "  \"kernels\": [\n" >> out
+		for (i = 0; i < n; i++) {
+			comma = (i < n-1) ? "," : ""
+			k = name[i]
+			line = sprintf("    {\"name\": \"%s\", \"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s", k, nsop[i], bop[i], allocs[i])
+			if (k in base_ns) {
+				line = line sprintf(", \"baseline_ns_per_op\": %s, \"baseline_allocs_per_op\": %s, \"speedup\": %.2f", base_ns[k], base_allocs[k], base_ns[k] / nsop[i])
+			}
+			print line "}" comma >> out
+			# Delta report against the committed file; warn, do not fail,
+			# on >10% regression.
+			if (k in prev_ns) {
+				delta = (nsop[i] - prev_ns[k]) / prev_ns[k] * 100
+				printf "bench.sh: %-18s %12s ns/op (committed %12s, %+.1f%%)\n", k, nsop[i], prev_ns[k], delta
+				if (delta > 10)
+					printf "bench.sh: WARNING: %s regressed %.1f%% vs committed results\n", k, delta
+			}
+		}
+		printf "  ]\n}\n" >> out
+	}
+	'
+	echo "bench.sh: wrote $OUT"
+}
+
+case "$MODE" in
+pipeline) run_pipeline ;;
+kernels) run_kernels ;;
+all)
+	run_pipeline
+	run_kernels
+	;;
+*)
+	echo "usage: $0 [pipeline|kernels|all]" >&2
+	exit 2
+	;;
+esac

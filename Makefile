@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint fmt-check check bench bench-kernels bench-smoke clean
+.PHONY: all build test race vet lint fmt-check check chaos bench bench-kernels bench-smoke clean
 
 all: build test
 
@@ -35,6 +35,12 @@ fmt-check:
 
 check:
 	./scripts/check.sh
+
+# The fault-injection chaos suite: sweep fault plans across every injection
+# point of the full pipeline under -race, plus the error-path contract tests
+# and the internal/par masking regression tests.
+chaos:
+	./scripts/check.sh chaos
 
 # Measure the parallel pipeline at jobs=1,2,4,8 and record ns/op plus the
 # speedup over the sequential baseline, the per-stage breakdown, and the

@@ -31,6 +31,7 @@ import (
 	"decompstudy/internal/corpus"
 	"decompstudy/internal/csrc"
 	"decompstudy/internal/decomp"
+	"decompstudy/internal/fault"
 	"decompstudy/internal/namerec"
 	"decompstudy/internal/obs"
 	"decompstudy/internal/par"
@@ -55,6 +56,8 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	logLevel := fs.String("log-level", "", "structured log level: debug, info, warn, error")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a pprof heap profile to this file")
+	faults := fs.String("faults", "", "fault-injection plan, e.g. 'seed=1; csrc.parse:error' (see internal/fault)")
+	retryBudget := fs.Int("retry-budget", fault.DefaultRetryBudget, "per-run retry budget for transient injected faults")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -67,6 +70,10 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		return ecode
 	}
 	ctx = par.WithJobs(ctx, *jobs)
+	ctx, ecode = setupFaults(ctx, *faults, *retryBudget, "decompile", stderr)
+	if ecode != 0 {
+		return ecode
+	}
 	defer func() {
 		if err := finish(); err != nil && code == 0 {
 			code = 1
@@ -178,6 +185,21 @@ func runSnippet(ctx context.Context, id string, annotate, showIR bool, stdout, s
 		fmt.Fprintln(stdout, p.HexRays.Source())
 	}
 	return 0
+}
+
+// setupFaults arms deterministic fault injection from a -faults plan spec
+// and attaches a run manifest. A non-zero code means the spec was invalid.
+func setupFaults(ctx context.Context, spec string, retryBudget int, prog string, stderr io.Writer) (context.Context, int) {
+	ctx = fault.WithManifest(ctx, fault.NewManifest())
+	if spec == "" {
+		return ctx, 0
+	}
+	plan, err := fault.ParsePlan(spec)
+	if err != nil {
+		fmt.Fprintf(stderr, "%s: %v\n", prog, err)
+		return ctx, 2
+	}
+	return fault.With(ctx, fault.NewInjector(plan, retryBudget)), 0
 }
 
 // obsOptions collects the shared observability flag values.

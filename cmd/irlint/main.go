@@ -40,6 +40,7 @@ import (
 	"decompstudy/internal/compile"
 	"decompstudy/internal/corpus"
 	"decompstudy/internal/csrc"
+	"decompstudy/internal/fault"
 	"decompstudy/internal/obs"
 	"decompstudy/internal/par"
 )
@@ -79,6 +80,9 @@ type runner struct {
 // fragment indirection lets lintCorpus lint units concurrently into
 // private fragments and merge them in input order.
 func (r *runner) lintSrc(ctx context.Context, source, src string, types []string, rep *report) error {
+	// The unit label is the fault-injection item key, so a plan can target
+	// one snippet or training file of the sweep.
+	ctx = fault.WithKey(ctx, source)
 	file, err := csrc.ParseCtx(ctx, src, types)
 	if err != nil {
 		return err
@@ -175,6 +179,8 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	logLevel := fs.String("log-level", "", "structured log level: debug, info, warn, error")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a pprof heap profile to this file")
+	faults := fs.String("faults", "", "fault-injection plan, e.g. 'seed=1; csrc.parse:error,key=snippet:AEEK' (see internal/fault)")
+	retryBudget := fs.Int("retry-budget", fault.DefaultRetryBudget, "per-run retry budget for transient injected faults")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -189,6 +195,15 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	}, "irlint", stderr)
 	if ecode != 0 {
 		return ecode
+	}
+	ctx = fault.WithManifest(ctx, fault.NewManifest())
+	if *faults != "" {
+		plan, perr := fault.ParsePlan(*faults)
+		if perr != nil {
+			fmt.Fprintf(stderr, "irlint: %v\n", perr)
+			return 2
+		}
+		ctx = fault.With(ctx, fault.NewInjector(plan, *retryBudget))
 	}
 	defer func() {
 		if err := finish(); err != nil && code == 0 {

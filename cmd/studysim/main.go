@@ -17,6 +17,11 @@
 // trace-event JSON file (load it at chrome://tracing or ui.perfetto.dev),
 // -v / -log-level enable structured logging, and -cpuprofile/-memprofile
 // write pprof profiles.
+//
+// Robustness flags: -faults arms deterministic fault injection from a plan
+// spec (see internal/fault), -retry-budget bounds transient-fault retries.
+// When injection is armed (or anything was excluded) the run manifest —
+// exclusions and retry counts — is printed to stderr after the run.
 package main
 
 import (
@@ -31,6 +36,7 @@ import (
 
 	"decompstudy/internal/core"
 	"decompstudy/internal/experiments"
+	"decompstudy/internal/fault"
 	"decompstudy/internal/obs"
 	"decompstudy/internal/par"
 )
@@ -103,6 +109,8 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	logLevel := fs.String("log-level", "", "structured log level: debug, info, warn, error")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a pprof heap profile to this file")
+	faults := fs.String("faults", "", "fault-injection plan, e.g. 'seed=1; csrc.parse:error,key=AEEK' (see internal/fault)")
+	retryBudget := fs.Int("retry-budget", fault.DefaultRetryBudget, "per-run retry budget for transient injected faults")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -140,6 +148,24 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		o.Log = obs.NewLogger(stderr, level)
 	}
 	ctx := par.WithJobs(obs.With(context.Background(), o), *jobs)
+
+	// Arm fault injection and attach a run manifest so exclusions and
+	// retries can be reported after the run.
+	manifest := fault.NewManifest()
+	ctx = fault.WithManifest(ctx, manifest)
+	if *faults != "" {
+		plan, err := fault.ParsePlan(*faults)
+		if err != nil {
+			fmt.Fprintf(stderr, "studysim: %v\n", err)
+			return 2
+		}
+		ctx = fault.With(ctx, fault.NewInjector(plan, *retryBudget))
+	}
+	defer func() {
+		if *faults != "" || !manifest.Empty() {
+			fmt.Fprintf(stderr, "\n%s", manifest.Report())
+		}
+	}()
 
 	if *cpuprofile != "" {
 		stop, err := obs.StartCPUProfile(*cpuprofile)

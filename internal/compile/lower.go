@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"decompstudy/internal/csrc"
+	"decompstudy/internal/fault"
 	"decompstudy/internal/obs"
 )
 
@@ -20,6 +21,9 @@ func Compile(file *csrc.File) (*Object, error) {
 func CompileCtx(ctx context.Context, file *csrc.File) (*Object, error) {
 	_, sp := obs.StartSpan(ctx, "compile.Compile", obs.KV("functions", len(file.Functions)))
 	defer sp.End()
+	if err := fault.Check(ctx, fault.CompileLower); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrExec, err)
+	}
 	obs.AddCount(ctx, "compile.calls", 1)
 	obs.AddCount(ctx, "compile.functions", int64(len(file.Functions)))
 	obj := &Object{}

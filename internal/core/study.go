@@ -24,6 +24,7 @@ import (
 	"decompstudy/internal/analysis"
 	"decompstudy/internal/corpus"
 	"decompstudy/internal/embed"
+	"decompstudy/internal/fault"
 	"decompstudy/internal/metrics"
 	"decompstudy/internal/namerec"
 	"decompstudy/internal/obs"
@@ -35,6 +36,14 @@ import (
 // ErrAnalysis is returned when an analysis cannot run on the collected
 // data (e.g. an empty treatment cell).
 var ErrAnalysis = errors.New("core: analysis precondition failed")
+
+// ErrPipeline is returned when the study pipeline cannot produce a usable
+// dataset: a shared stage failed (embedding or recovery-model training,
+// survey administration, the expert panel) or every snippet was lost.
+// Per-item failures degrade gracefully instead — the item is excluded and
+// recorded in the run manifest, the way the paper excludes individual
+// participants and responses rather than discarding the study.
+var ErrPipeline = errors.New("core: pipeline stage failed")
 
 // Config controls a full study run.
 type Config struct {
@@ -95,6 +104,10 @@ type Study struct {
 	Complexity map[string]analysis.Covariates
 	// Panel is the RQ5 expert similarity panel result.
 	Panel *qualcode.PanelResult
+	// Manifest records exclusions and fault retries accumulated over the
+	// run. It is always non-nil after NewCtx; Manifest.Empty() reports a
+	// clean run.
+	Manifest *fault.Manifest
 }
 
 // New runs the full pipeline and returns a ready-to-analyze study.
@@ -115,32 +128,47 @@ func NewCtx(ctx context.Context, cfg *Config) (*Study, error) {
 	ctx, sp := obs.StartSpan(ctx, "core.New", obs.KV("seed", c.Seed), obs.KV("jobs", jobs))
 	defer sp.End()
 	obs.SetGauge(ctx, "pipeline.jobs", float64(jobs))
-	s := &Study{Config: c, ctx: ctx}
+	// Every run keeps a manifest of exclusions and fault retries. Reuse one
+	// the caller attached (a CLI that wants to print it) or create our own.
+	man := fault.ManifestFrom(ctx)
+	if man == nil {
+		man = fault.NewManifest()
+		ctx = fault.WithManifest(ctx, man)
+	}
+	s := &Study{Config: c, ctx: ctx, Manifest: man}
 	log := obs.Logger(ctx)
 
+	// Per-snippet preparation failures degrade gracefully: the snippet is
+	// excluded (PrepareSnippets already recorded it in the manifest) and the
+	// study continues on the survivors, like the paper dropping a defective
+	// study material rather than the whole experiment. Losing every snippet
+	// is fatal.
 	var err error
 	s.Prepared, err = corpus.PrepareAllCtx(ctx)
+	if err != nil && len(s.Prepared) == 0 {
+		return nil, fmt.Errorf("%w: preparing snippets: %w", ErrPipeline, err)
+	}
 	if err != nil {
-		return nil, fmt.Errorf("core: preparing snippets: %w", err)
+		log.Error("continuing with partial corpus", "prepared", len(s.Prepared), "err", err)
 	}
 	log.Debug("corpus prepared", "snippets", len(s.Prepared))
 
 	ctxs, err := corpus.EmbeddingContexts()
 	if err != nil {
-		return nil, fmt.Errorf("core: embedding contexts: %w", err)
+		return nil, fmt.Errorf("%w: embedding contexts: %w", ErrPipeline, err)
 	}
 	s.Embed, err = embed.TrainCtx(ctx, ctxs, &embed.Config{Dim: c.EmbedDim})
 	if err != nil {
-		return nil, fmt.Errorf("core: training embeddings: %w", err)
+		return nil, fmt.Errorf("%w: training embeddings: %w", ErrPipeline, err)
 	}
 
 	training, err := corpus.TrainingFiles()
 	if err != nil {
-		return nil, fmt.Errorf("core: training corpus: %w", err)
+		return nil, fmt.Errorf("%w: training corpus: %w", ErrPipeline, err)
 	}
 	s.Recovery, err = namerec.TrainModelCtx(ctx, training)
 	if err != nil {
-		return nil, fmt.Errorf("core: training recovery model: %w", err)
+		return nil, fmt.Errorf("%w: training recovery model: %w", ErrPipeline, err)
 	}
 
 	svCfg := survey.Config{}
@@ -150,11 +178,13 @@ func NewCtx(ctx context.Context, cfg *Config) (*Study, error) {
 	svCfg.Seed = c.Seed
 	s.Dataset, err = survey.RunCtx(ctx, &svCfg)
 	if err != nil {
-		return nil, fmt.Errorf("core: administering survey: %w", err)
+		return nil, fmt.Errorf("%w: administering survey: %w", ErrPipeline, err)
 	}
 
 	// Intrinsic metrics plus structural-complexity covariates per snippet
-	// (RQ5 inputs).
+	// (RQ5 inputs). A snippet whose evaluation fails is excluded from the
+	// metric tables (and recorded in the manifest) instead of killing the
+	// run — the behavioral analyses don't depend on it.
 	s.MetricReports = map[string]metrics.Report{}
 	s.Complexity = map[string]analysis.Covariates{}
 	var sets []qualcode.PairSet
@@ -163,9 +193,16 @@ func NewCtx(ctx context.Context, cfg *Config) (*Study, error) {
 		for _, r := range p.Dirty.Renames {
 			pairs = append(pairs, metrics.Pair{Candidate: r.NewName, Reference: r.OrigName})
 		}
-		rep, err := metrics.EvaluateCtx(ctx, pairs, p.Dirty.Source(), p.OrigSource, s.Embed)
+		mctx := fault.WithKey(ctx, p.Snippet.ID)
+		rep, err := metrics.EvaluateCtx(mctx, pairs, p.Dirty.Source(), p.OrigSource, s.Embed)
 		if err != nil {
-			return nil, fmt.Errorf("core: metrics for %s: %w", p.Snippet.ID, err)
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return nil, fmt.Errorf("%w: metrics for %s: %w", ErrPipeline, p.Snippet.ID, err)
+			}
+			man.Exclude("metrics", p.Snippet.ID, err)
+			obs.AddCount(ctx, "metrics.evaluate.excluded", 1)
+			log.Error("metric evaluation excluded", "snippet", p.Snippet.ID, "err", err)
+			continue
 		}
 		cov := analysis.MeasureCtx(ctx, p.IR)
 		s.Complexity[p.Snippet.ID] = cov
@@ -183,7 +220,7 @@ func NewCtx(ctx context.Context, cfg *Config) (*Study, error) {
 	}
 	s.Panel, err = qualcode.RatePanelCtx(ctx, sets, s.Embed, &qualcode.PanelConfig{Seed: c.Seed})
 	if err != nil {
-		return nil, fmt.Errorf("core: expert panel: %w", err)
+		return nil, fmt.Errorf("%w: expert panel: %w", ErrPipeline, err)
 	}
 	// Fold the panel's human-evaluation scores into the metric reports.
 	for id, rep := range s.MetricReports {
@@ -202,6 +239,17 @@ func NewCtx(ctx context.Context, cfg *Config) (*Study, error) {
 	sp.SetAttr("cache_hit_rate", fmt.Sprintf("%.3f", st.HitRate()))
 	log.Debug("embedding cache", "hits", st.Hits, "misses", st.Misses,
 		"hit_rate", st.HitRate(), "miss_ns", st.MissCostNs(), "ident_entries", st.IdentEntries)
+	// Surface the run's robustness ledger. Gauges are only emitted for
+	// non-clean runs so a clean run's telemetry is unchanged.
+	if exs := man.Exclusions(); len(exs) > 0 {
+		obs.SetGauge(ctx, "pipeline.exclusions", float64(len(exs)))
+		sp.SetAttr("exclusions", len(exs))
+		log.Error("run completed with exclusions", "count", len(exs))
+	}
+	if n := man.Retries(); n > 0 {
+		obs.SetGauge(ctx, "pipeline.fault_retries", float64(n))
+		sp.SetAttr("fault_retries", n)
+	}
 	return s, nil
 }
 

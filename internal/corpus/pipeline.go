@@ -9,10 +9,17 @@ import (
 	"decompstudy/internal/compile"
 	"decompstudy/internal/csrc"
 	"decompstudy/internal/decomp"
+	"decompstudy/internal/fault"
 	"decompstudy/internal/namerec"
 	"decompstudy/internal/obs"
 	"decompstudy/internal/par"
 )
+
+// ErrPrepare is returned when a snippet cannot be run through the
+// compile→decompile→annotate pipeline. It always wraps the stage error, so
+// errors.Is also matches the underlying cause (csrc.ErrParse,
+// decomp.ErrStructure, …).
+var ErrPrepare = errors.New("corpus: snippet preparation failed")
 
 // Prepared is a snippet run through the full pipeline: parsed, compiled,
 // verified, decompiled, and annotated — both treatment arms ready to
@@ -39,28 +46,31 @@ func Prepare(s *Snippet) (*Prepared, error) {
 // PrepareCtx is Prepare with telemetry: one corpus.Prepare span per snippet
 // with the parse/compile/lift/annotate stages as children.
 func PrepareCtx(ctx context.Context, s *Snippet) (*Prepared, error) {
+	// The snippet ID is the fault-injection item key for every stage this
+	// snippet flows through (key-matched rules fire only on this snippet).
+	ctx = fault.WithKey(ctx, s.ID)
 	ctx, sp := obs.StartSpan(ctx, "corpus.Prepare", obs.KV("snippet", s.ID))
 	defer sp.End()
 	obs.Logger(ctx).Debug("preparing snippet", "snippet", s.ID, "func", s.FuncName)
 
 	file, err := csrc.ParseCtx(ctx, s.Source, s.ExtraTypes)
 	if err != nil {
-		return nil, fmt.Errorf("corpus: parsing snippet %s: %w", s.ID, err)
+		return nil, fmt.Errorf("%w: parsing snippet %s: %w", ErrPrepare, s.ID, err)
 	}
 	obj, err := compile.CompileCtx(ctx, file)
 	if err != nil {
-		return nil, fmt.Errorf("corpus: compiling %s: %w", s.ID, err)
+		return nil, fmt.Errorf("%w: compiling %s: %w", ErrPrepare, s.ID, err)
 	}
 	if err := verifyIR(ctx, s.ID, obj); err != nil {
 		return nil, err
 	}
 	cf, ok := obj.Func0(s.FuncName)
 	if !ok {
-		return nil, fmt.Errorf("corpus: snippet %s does not define %s", s.ID, s.FuncName)
+		return nil, fmt.Errorf("%w: snippet %s does not define %s", ErrPrepare, s.ID, s.FuncName)
 	}
 	d, err := decomp.LiftFuncCtx(ctx, cf)
 	if err != nil {
-		return nil, fmt.Errorf("corpus: decompiling %s: %w", s.ID, err)
+		return nil, fmt.Errorf("%w: decompiling %s: %w", ErrPrepare, s.ID, err)
 	}
 	an := &namerec.Annotator{Opts: namerec.Options{
 		Overrides:  s.DirtyOverrides,
@@ -68,11 +78,11 @@ func PrepareCtx(ctx context.Context, s *Snippet) (*Prepared, error) {
 	}}
 	dirty, err := an.AnnotateCtx(ctx, d)
 	if err != nil {
-		return nil, fmt.Errorf("corpus: annotating %s: %w", s.ID, err)
+		return nil, fmt.Errorf("%w: annotating %s: %w", ErrPrepare, s.ID, err)
 	}
 	srcFn, ok := file.Function0(s.FuncName)
 	if !ok {
-		return nil, fmt.Errorf("corpus: snippet %s lost function %s after parse", s.ID, s.FuncName)
+		return nil, fmt.Errorf("%w: snippet %s lost function %s after parse", ErrPrepare, s.ID, s.FuncName)
 	}
 	return &Prepared{
 		Snippet:    s,
@@ -91,7 +101,7 @@ func PrepareCtx(ctx context.Context, s *Snippet) (*Prepared, error) {
 func verifyIR(ctx context.Context, id string, obj *compile.Object) error {
 	if verr := analysis.AsError(analysis.VerifyObject(ctx, obj), analysis.SevError); verr != nil {
 		obs.AddCount(ctx, "corpus.verify.rejected", 1)
-		return fmt.Errorf("corpus: verifying IR of %s: %w", id, verr)
+		return fmt.Errorf("%w: verifying IR of %s: %w", ErrPrepare, id, verr)
 	}
 	return nil
 }
@@ -134,10 +144,16 @@ func PrepareSnippets(ctx context.Context, snippets []*Snippet) ([]*Prepared, err
 	})
 
 	out := make([]*Prepared, 0, len(snippets))
+	man := fault.ManifestFrom(ctx)
 	var failed []error
 	for i := range snippets {
 		if errs[i] != nil {
 			failed = append(failed, errs[i])
+			// Cancellation fallout is the run dying, not this snippet being
+			// bad — only genuine failures become manifest exclusions.
+			if !errors.Is(errs[i], context.Canceled) && !errors.Is(errs[i], context.DeadlineExceeded) {
+				man.Exclude("corpus", snippets[i].ID, errs[i])
+			}
 			continue
 		}
 		out = append(out, prepared[i])

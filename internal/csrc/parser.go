@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"decompstudy/internal/fault"
 	"decompstudy/internal/obs"
 )
 
@@ -66,6 +67,9 @@ func Parse(src string, extraTypes []string) (*File, error) {
 func ParseCtx(ctx context.Context, src string, extraTypes []string) (*File, error) {
 	_, sp := obs.StartSpan(ctx, "csrc.Parse", obs.KV("bytes", len(src)))
 	defer sp.End()
+	if err := fault.Check(ctx, fault.CsrcParse); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrParse, err)
+	}
 	obs.AddCount(ctx, "csrc.parse.calls", 1)
 	obs.AddCount(ctx, "csrc.parse.bytes", int64(len(src)))
 	p, err := NewParser(src, extraTypes)

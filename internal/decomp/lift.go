@@ -7,6 +7,7 @@ import (
 
 	"decompstudy/internal/compile"
 	"decompstudy/internal/csrc"
+	"decompstudy/internal/fault"
 	"decompstudy/internal/obs"
 )
 
@@ -54,6 +55,9 @@ func LiftFunc(fn *compile.Func) (*Decompiled, error) {
 func LiftFuncCtx(ctx context.Context, fn *compile.Func) (*Decompiled, error) {
 	_, sp := obs.StartSpan(ctx, "decomp.LiftFunc", obs.KV("func", fn.Name))
 	defer sp.End()
+	if err := fault.Check(ctx, fault.DecompLift); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrStructure, err)
+	}
 	obs.AddCount(ctx, "decomp.lift.calls", 1)
 	obs.AddCount(ctx, "decomp.lift.blocks", int64(len(fn.Blocks)))
 	g, err := analyze(fn)

@@ -23,6 +23,7 @@ import (
 	"time"
 	"unicode"
 
+	"decompstudy/internal/fault"
 	"decompstudy/internal/linalg"
 	"decompstudy/internal/obs"
 	"decompstudy/internal/par"
@@ -30,6 +31,9 @@ import (
 
 // ErrEmptyCorpus is returned when training is attempted on an empty corpus.
 var ErrEmptyCorpus = errors.New("embed: empty corpus")
+
+// ErrTrain is returned when embedding training fails.
+var ErrTrain = errors.New("embed: training failed")
 
 // ErrUnknownToken is returned when a similarity query involves only
 // out-of-vocabulary tokens.
@@ -147,6 +151,9 @@ func Train(contexts [][]string, cfg *Config) (*Model, error) {
 func TrainCtx(octx context.Context, contexts [][]string, cfg *Config) (*Model, error) {
 	_, sp := obs.StartSpan(octx, "embed.Train", obs.KV("contexts", len(contexts)))
 	defer sp.End()
+	if err := fault.Check(octx, fault.EmbedTrain); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrTrain, err)
+	}
 	obs.AddCount(octx, "embed.train.calls", 1)
 	c := cfg.defaults()
 

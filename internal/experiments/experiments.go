@@ -7,6 +7,7 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -115,6 +116,10 @@ func (r *Runner) TelemetryReport() (string, error) {
 	if o.Metrics != nil {
 		b.WriteString("\nMetrics snapshot:\n\n")
 		b.WriteString(o.Metrics.Snapshot().String())
+	}
+	if m := r.Study.Manifest; !m.Empty() {
+		b.WriteString("\n")
+		b.WriteString(m.Report())
 	}
 	return b.String(), nil
 }
@@ -489,18 +494,29 @@ func (r *Runner) All() (string, error) {
 	jobs := par.JobsFrom(ctx)
 	sp.SetAttr("jobs", jobs)
 	obs.SetGauge(ctx, "experiments.jobs", float64(jobs))
-	rendered, err := par.Map(ctx, jobs, sections, func(_ context.Context, _ int, s section) (string, error) {
+	// MapAll, not Map: one artifact failing to render (e.g. its snippet was
+	// excluded upstream) must not suppress the rest of the report. The
+	// failed section degrades to a placeholder and lands in the manifest;
+	// only the caller's own cancellation aborts.
+	rendered, errs := par.MapAll(ctx, jobs, sections, func(_ context.Context, _ int, s section) (string, error) {
 		out, err := s.fn()
 		if err != nil {
 			return "", fmt.Errorf("experiments: %s: %w", s.name, err)
 		}
 		return out, nil
 	})
-	if err != nil {
-		return "", err
-	}
 	var b strings.Builder
-	for _, out := range rendered {
+	for i, out := range rendered {
+		if err := errs[i]; err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return "", err
+			}
+			r.Study.Manifest.Exclude("artifact", sections[i].name, err)
+			obs.AddCount(ctx, "experiments.artifacts.failed", 1)
+			title := sections[i].name + " unavailable"
+			out = title + "\n" + strings.Repeat("=", len(title)) + "\n" +
+				"This artifact could not be rendered: " + err.Error() + "\n"
+		}
 		b.WriteString(out)
 		b.WriteString("\n" + strings.Repeat("─", 72) + "\n\n")
 	}

@@ -1,0 +1,324 @@
+// Chaos suite: sweeps fault plans across every injection point of the full
+// study pipeline and asserts the failure-path contracts — an empty plan
+// changes nothing, injected faults surface through the error taxonomy
+// (never masked behind context.Canceled), per-item faults degrade into
+// recorded exclusions, transient faults recover within the retry budget,
+// and nothing leaks goroutines. Run with -race; scripts/check.sh chaos and
+// `make chaos` do.
+package fault_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"decompstudy/internal/core"
+	"decompstudy/internal/embed"
+	"decompstudy/internal/experiments"
+	"decompstudy/internal/fault"
+	"decompstudy/internal/namerec"
+	"decompstudy/internal/par"
+	"decompstudy/internal/survey"
+)
+
+// leakCheck fails the test if more goroutines are alive at cleanup (after a
+// grace period) than at the start — a hand-rolled stand-in for goleak.
+func leakCheck(t *testing.T) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			if runtime.NumGoroutine() <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<16)
+				n := runtime.Stack(buf, true)
+				t.Errorf("goroutine leak: %d before, %d after\n%s",
+					before, runtime.NumGoroutine(), buf[:n])
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	})
+}
+
+// chaosRun builds a study under the given plan (nil = injection off) and
+// renders every artifact. It returns the runner, the run's manifest, the
+// rendered output, and the pipeline error (output is "" on error).
+func chaosRun(t *testing.T, plan *fault.Plan, jobs int) (*experiments.Runner, *fault.Manifest, string, error) {
+	t.Helper()
+	man := fault.NewManifest()
+	ctx := fault.WithManifest(context.Background(), man)
+	ctx = fault.With(ctx, fault.NewInjector(plan, 0))
+	r, err := experiments.NewRunnerCtx(ctx, &core.Config{Jobs: jobs})
+	if err != nil {
+		return nil, man, "", err
+	}
+	out, err := r.All()
+	if err != nil {
+		return r, man, "", err
+	}
+	return r, man, out + "\n===CSV===\n" + r.Study.Dataset.CSV(), nil
+}
+
+// TestChaosEmptyPlanByteIdentity: arming the injector with an empty plan
+// must not change a single output byte relative to no injector at all, at
+// any worker count, and the manifest must stay empty.
+func TestChaosEmptyPlanByteIdentity(t *testing.T) {
+	leakCheck(t)
+	_, _, baseline, err := chaosRun(t, nil, 1)
+	if err != nil {
+		t.Fatalf("baseline run: %v", err)
+	}
+	for _, jobs := range []int{1, 4} {
+		_, man, out, err := chaosRun(t, &fault.Plan{Seed: 26}, jobs)
+		if err != nil {
+			t.Fatalf("jobs=%d: empty-plan run failed: %v", jobs, err)
+		}
+		if out != baseline {
+			t.Errorf("jobs=%d: empty-plan output differs from baseline (len %d vs %d)",
+				jobs, len(out), len(baseline))
+		}
+		if !man.Empty() {
+			t.Errorf("jobs=%d: empty plan produced a non-empty manifest:\n%s", jobs, man.Report())
+		}
+	}
+}
+
+// TestChaosPointSweep injects an error at every registered point and checks
+// the expected outcome: per-item faults degrade to recorded exclusions,
+// shared-stage faults fail the pipeline through the error taxonomy, and no
+// injected fault is ever reported as context.Canceled.
+func TestChaosPointSweep(t *testing.T) {
+	leakCheck(t)
+	type expectation struct {
+		key string // rule key ("" = every item)
+		// fatal: NewRunnerCtx must fail wrapping these sentinels.
+		fatal     bool
+		sentinels []error
+		// stage/exclKey: on a degraded run, the manifest must hold this
+		// exclusion and the study must still be analyzable.
+		stage, exclKey string
+	}
+	cases := map[fault.Point]expectation{
+		fault.CsrcParse:         {key: "AEEK", stage: "corpus", exclKey: "AEEK"},
+		fault.CompileLower:      {key: "AEEK", stage: "corpus", exclKey: "AEEK"},
+		fault.DecompLift:        {key: "AEEK", stage: "corpus", exclKey: "AEEK"},
+		fault.NamerecAnnotate:   {key: "AEEK", stage: "corpus", exclKey: "AEEK"},
+		fault.NamerecTrain:      {fatal: true, sentinels: []error{core.ErrPipeline, namerec.ErrTrain}},
+		fault.EmbedTrain:        {fatal: true, sentinels: []error{core.ErrPipeline, embed.ErrTrain}},
+		fault.EmbedCosine:       {key: "AEEK", stage: "metrics", exclKey: "AEEK"},
+		fault.MetricsEvaluate:   {key: "AEEK", stage: "metrics", exclKey: "AEEK"},
+		fault.SurveyParticipant: {key: "participant:7", stage: "survey", exclKey: "participant:7"},
+	}
+	for _, pt := range fault.Points() {
+		exp, ok := cases[pt]
+		if !ok {
+			t.Fatalf("no expectation for point %s — update the sweep", pt)
+		}
+		t.Run(string(pt), func(t *testing.T) {
+			plan := &fault.Plan{Rules: []fault.Rule{
+				{Point: pt, Mode: fault.ModeError, Key: exp.key},
+			}}
+			r, man, _, err := chaosRun(t, plan, 4)
+			if err != nil && errors.Is(err, context.Canceled) {
+				t.Fatalf("injected fault surfaced as context.Canceled: %v", err)
+			}
+			if exp.fatal {
+				if err == nil {
+					t.Fatal("shared-stage fault did not fail the pipeline")
+				}
+				if !errors.Is(err, fault.ErrInjected) {
+					t.Errorf("errors.Is(err, fault.ErrInjected) = false for %v", err)
+				}
+				for _, s := range exp.sentinels {
+					if !errors.Is(err, s) {
+						t.Errorf("errors.Is(err, %v) = false for %v", s, err)
+					}
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("per-item fault killed the run: %v", err)
+			}
+			found := false
+			for _, ex := range man.Exclusions() {
+				if ex.Stage == exp.stage && ex.Key == exp.exclKey {
+					found = true
+					if !strings.Contains(ex.Reason, "injected") {
+						t.Errorf("exclusion reason does not name the injected fault: %s", ex.Reason)
+					}
+				}
+			}
+			if !found {
+				t.Fatalf("no (%s, %s) exclusion in manifest:\n%s", exp.stage, exp.exclKey, man.Report())
+			}
+			// The degraded study still answers the research questions.
+			if _, aerr := r.Study.AnalyzeCorrectnessCtx(context.Background()); aerr != nil {
+				t.Errorf("degraded study cannot run RQ1: %v", aerr)
+			}
+			switch exp.stage {
+			case "corpus":
+				if _, ok := r.Study.PreparedByID(exp.exclKey); ok {
+					t.Error("excluded snippet still in Prepared")
+				}
+			case "metrics":
+				if _, ok := r.Study.MetricReports[exp.exclKey]; ok {
+					t.Error("excluded snippet still has a metric report")
+				}
+			case "survey":
+				if got := fmt.Sprint(r.Study.Dataset.DroppedIDs); got != "[7]" {
+					t.Errorf("DroppedIDs = %s, want [7]", got)
+				}
+			}
+		})
+	}
+}
+
+// TestChaosPanicRecovered: a panic-mode fault inside the corpus fan-out is
+// recovered by par's worker guards and degrades into an exclusion like any
+// other per-item failure.
+func TestChaosPanicRecovered(t *testing.T) {
+	leakCheck(t)
+	plan := &fault.Plan{Rules: []fault.Rule{
+		{Point: fault.CsrcParse, Mode: fault.ModePanic, Key: "AEEK"},
+	}}
+	r, man, _, err := chaosRun(t, plan, 4)
+	if err != nil {
+		t.Fatalf("injected panic killed the run: %v", err)
+	}
+	if _, ok := r.Study.PreparedByID("AEEK"); ok {
+		t.Error("panicked snippet still in Prepared")
+	}
+	// Besides the (corpus, AEEK) exclusion, All() records one artifact
+	// exclusion per AEEK-dependent figure — that's the degradation working,
+	// not noise.
+	var corpusExcl *fault.Exclusion
+	for _, ex := range man.Exclusions() {
+		ex := ex
+		if ex.Stage == "corpus" && ex.Key == "AEEK" {
+			corpusExcl = &ex
+		} else if ex.Stage != "artifact" {
+			t.Errorf("unexpected exclusion %+v", ex)
+		}
+	}
+	if corpusExcl == nil {
+		t.Fatalf("no (corpus, AEEK) exclusion in manifest:\n%s", man.Report())
+	}
+	if !strings.Contains(corpusExcl.Reason, "panic") {
+		t.Errorf("exclusion reason does not mention the panic: %s", corpusExcl.Reason)
+	}
+}
+
+// TestChaosTransientRecoversByteIdentical: a MaxHits-bounded transient
+// fault is retried within the budget and the run recovers to the exact
+// baseline bytes, with the retries ledgered and nothing excluded.
+func TestChaosTransientRecoversByteIdentical(t *testing.T) {
+	leakCheck(t)
+	_, _, baseline, err := chaosRun(t, nil, 1)
+	if err != nil {
+		t.Fatalf("baseline run: %v", err)
+	}
+	plan := &fault.Plan{Rules: []fault.Rule{
+		{Point: fault.MetricsEvaluate, Mode: fault.ModeError, Transient: true, MaxHits: 1},
+	}}
+	_, man, out, err := chaosRun(t, plan, 2)
+	if err != nil {
+		t.Fatalf("transient run failed: %v", err)
+	}
+	if out != baseline {
+		t.Error("transient-recovered output differs from baseline")
+	}
+	if len(man.Exclusions()) != 0 {
+		t.Errorf("transient recovery still excluded items:\n%s", man.Report())
+	}
+	if man.Retries() == 0 {
+		t.Error("no retries ledgered for a transient fault")
+	}
+}
+
+// TestChaosDelayByteIdentical: delay injection perturbs completion order
+// but must not change a byte of output — the determinism contract of the
+// parallel fan-outs under scheduling skew.
+func TestChaosDelayByteIdentical(t *testing.T) {
+	leakCheck(t)
+	_, _, baseline, err := chaosRun(t, nil, 1)
+	if err != nil {
+		t.Fatalf("baseline run: %v", err)
+	}
+	plan := &fault.Plan{Rules: []fault.Rule{
+		{Point: fault.DecompLift, Mode: fault.ModeDelay, Delay: 2 * time.Millisecond},
+		{Point: fault.MetricsEvaluate, Mode: fault.ModeDelay, Delay: time.Millisecond},
+	}}
+	_, man, out, err := chaosRun(t, plan, 4)
+	if err != nil {
+		t.Fatalf("delay run failed: %v", err)
+	}
+	if out != baseline {
+		t.Error("delay-perturbed output differs from baseline")
+	}
+	if !man.Empty() {
+		t.Errorf("delay injection dirtied the manifest:\n%s", man.Report())
+	}
+}
+
+// TestChaosSurveyTotalLossIsFatal: when every participant fails, graceful
+// degradation correctly gives up — the error names the participant stage
+// and the injected fault, not a cancellation.
+func TestChaosSurveyTotalLossIsFatal(t *testing.T) {
+	leakCheck(t)
+	man := fault.NewManifest()
+	ctx := fault.WithManifest(context.Background(), man)
+	ctx = fault.With(ctx, fault.NewInjector(&fault.Plan{Rules: []fault.Rule{
+		{Point: fault.SurveyParticipant, Mode: fault.ModeError},
+	}}, 0))
+	_, err := survey.RunCtx(par.WithJobs(ctx, 4), &survey.Config{Seed: 26})
+	if err == nil {
+		t.Fatal("total participant loss did not fail the run")
+	}
+	for _, s := range []error{survey.ErrParticipant, fault.ErrInjected} {
+		if !errors.Is(err, s) {
+			t.Errorf("errors.Is(err, %v) = false for %v", s, err)
+		}
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Errorf("total loss reported as cancellation: %v", err)
+	}
+}
+
+// TestChaosProbabilisticSweepReplays: a derived-probability participant
+// plan drops the identical set of participants at every worker count — the
+// decisions are a pure function of the plan, not of scheduling.
+func TestChaosProbabilisticSweepReplays(t *testing.T) {
+	leakCheck(t)
+	drops := func(jobs int) string {
+		man := fault.NewManifest()
+		ctx := fault.WithManifest(context.Background(), man)
+		ctx = fault.With(ctx, fault.NewInjector(&fault.Plan{Seed: 3, Rules: []fault.Rule{
+			{Point: fault.SurveyParticipant, Mode: fault.ModeError, Prob: 0.1},
+		}}, 0))
+		ds, err := survey.RunCtx(par.WithJobs(ctx, jobs), &survey.Config{Seed: 26})
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		ids := append([]int(nil), ds.DroppedIDs...)
+		sort.Ints(ids)
+		return fmt.Sprint(ids)
+	}
+	base := drops(1)
+	if base == "[]" {
+		t.Fatal("p=0.1 dropped nobody — plan seed needs adjusting")
+	}
+	for _, jobs := range []int{2, 8} {
+		if got := drops(jobs); got != base {
+			t.Errorf("jobs=%d: dropped %s, want %s", jobs, got, base)
+		}
+	}
+}

@@ -1,0 +1,342 @@
+// Package fault is the pipeline's deterministic fault-injection layer.
+// Every stage boundary in the study pipeline (mini-C parsing, IR lowering,
+// decompiler lifting, name recovery, embedding training and cosine scoring,
+// survey administration, metric evaluation) carries a named injection point;
+// a seeded fault plan decides — as a pure function of (plan seed, point,
+// item key) — whether that point errors, panics, or delays for a given work
+// item. Because no decision ever consults wall-clock time, scheduling, or a
+// shared random stream, any run can be replayed fault-for-fault with the
+// same plan, at any worker count.
+//
+// The layer exists to make failure paths first-class tested code: the chaos
+// suite sweeps plans across every point and asserts that injected faults
+// surface through the error taxonomy (never masked behind context.Canceled),
+// that transient faults are retried within the per-run budget, and that
+// items which genuinely fail degrade into recorded exclusions — mirroring
+// how the paper's study handles participant dropout and excluded responses
+// instead of aborting the analysis.
+//
+// With no Injector in the context, Check is a single context lookup and
+// returns nil, so the instrumented hot paths cost nothing in normal runs.
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"decompstudy/internal/par"
+)
+
+// Point names one fault-injection seam at a pipeline stage boundary.
+type Point string
+
+// The pipeline's injection points. Every stage entry checks its point
+// before doing any work; the item key (snippet ID, participant ID) travels
+// in the context via WithKey so per-item rules can target one work item.
+const (
+	CsrcParse         Point = "csrc.parse"
+	CompileLower      Point = "compile.lower"
+	DecompLift        Point = "decomp.lift"
+	NamerecAnnotate   Point = "namerec.annotate"
+	NamerecTrain      Point = "namerec.train"
+	EmbedTrain        Point = "embed.train"
+	EmbedCosine       Point = "embed.cosine"
+	SurveyParticipant Point = "survey.participant"
+	MetricsEvaluate   Point = "metrics.evaluate"
+)
+
+// Points returns every registered injection point in pipeline order — the
+// sweep axis for the chaos suite.
+func Points() []Point {
+	return []Point{
+		CsrcParse, CompileLower, DecompLift, NamerecAnnotate, NamerecTrain,
+		EmbedTrain, EmbedCosine, SurveyParticipant, MetricsEvaluate,
+	}
+}
+
+// Mode is what an injected fault does at its point.
+type Mode int
+
+const (
+	// ModeError makes Check return an *Error wrapping ErrInjected.
+	ModeError Mode = iota
+	// ModePanic makes Check panic — exercising the pipeline's panic
+	// guards (par converts worker panics into errors).
+	ModePanic
+	// ModeDelay makes Check sleep before returning nil — exercising the
+	// pipeline's order-independence under skewed completion times.
+	ModeDelay
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModePanic:
+		return "panic"
+	case ModeDelay:
+		return "delay"
+	default:
+		return "error"
+	}
+}
+
+// Rule arms one injection point. A rule fires when its Point matches and
+// its Key (if set) equals the work item's key and its probability draw (if
+// Prob > 0) hits. The draw is derived by hashing (plan seed, rule index,
+// point, key) — the same item faults in every replay of the plan.
+type Rule struct {
+	Point Point
+	Mode  Mode
+	// Key restricts the rule to one work item ("" = every item).
+	Key string
+	// Prob injects with this derived probability per item key (0 = always).
+	Prob float64
+	// Delay is the ModeDelay sleep (default 1ms).
+	Delay time.Duration
+	// Transient classifies the fault as retryable: Check retries the
+	// injection decision with backoff while the per-run budget allows,
+	// so a rule bounded by MaxHits recovers instead of excluding the item.
+	Transient bool
+	// MaxHits bounds how many times the rule fires per item key
+	// (0 = unlimited).
+	MaxHits int
+}
+
+// Plan is a replayable fault schedule: a seed plus the armed rules.
+type Plan struct {
+	Seed  int64
+	Rules []Rule
+}
+
+// ErrInjected is the root of every injected fault's error chain;
+// errors.Is(err, ErrInjected) identifies synthetic failures from the CLIs
+// down to the stage that faulted.
+var ErrInjected = errors.New("fault: injected fault")
+
+// ErrTransient marks injected faults classified as retryable.
+var ErrTransient = errors.New("fault: transient fault")
+
+// Error is one injected fault, naming the point and item it fired at.
+type Error struct {
+	Point     Point
+	Key       string
+	Transient bool
+}
+
+func (e *Error) Error() string {
+	kind := "injected fault"
+	if e.Transient {
+		kind = "injected transient fault"
+	}
+	if e.Key == "" {
+		return fmt.Sprintf("fault: %s at %s", kind, e.Point)
+	}
+	return fmt.Sprintf("fault: %s at %s (key %q)", kind, e.Point, e.Key)
+}
+
+// Is makes errors.Is(err, ErrInjected) — and, for transient faults,
+// errors.Is(err, ErrTransient) — hold across the wrapped chain.
+func (e *Error) Is(target error) bool {
+	return target == ErrInjected || (e.Transient && target == ErrTransient)
+}
+
+// IsTransient reports whether err is (or wraps) a transient-classed fault.
+func IsTransient(err error) bool {
+	return errors.Is(err, ErrTransient)
+}
+
+// Injector evaluates a Plan. It is safe for concurrent use: hit counters
+// are per (rule, key), so which items fault is a pure function of the plan
+// regardless of scheduling, and the retry budget is one shared atomic.
+type Injector struct {
+	plan   Plan
+	budget atomic.Int64 // remaining per-run retries
+
+	mu   sync.Mutex
+	hits map[string]int // (rule index, key) → times fired
+}
+
+// DefaultRetryBudget is the per-run cap on transient-fault retries when the
+// caller does not set one.
+const DefaultRetryBudget = 64
+
+// NewInjector arms a plan. retryBudget caps transient retries for the whole
+// run (<= 0 = DefaultRetryBudget). A nil plan yields a nil injector, which
+// every entry point treats as injection-off.
+func NewInjector(plan *Plan, retryBudget int) *Injector {
+	if plan == nil {
+		return nil
+	}
+	inj := &Injector{plan: *plan, hits: map[string]int{}}
+	if retryBudget <= 0 {
+		retryBudget = DefaultRetryBudget
+	}
+	inj.budget.Store(int64(retryBudget))
+	return inj
+}
+
+type ctxKey int
+
+const (
+	injectorKey ctxKey = iota
+	itemKey
+	manifestKey
+)
+
+// With attaches the injector to the context. A nil injector returns the
+// context unchanged, keeping the injection-off fast path a single Value call.
+func With(ctx context.Context, inj *Injector) context.Context {
+	if inj == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, injectorKey, inj)
+}
+
+// From returns the context's injector, or nil.
+func From(ctx context.Context) *Injector {
+	inj, _ := ctx.Value(injectorKey).(*Injector)
+	return inj
+}
+
+// WithKey tags the context with the current work item's key (snippet ID,
+// participant ID), so rules with a Key match only that item. Stage entries
+// below the tag inherit it.
+func WithKey(ctx context.Context, key string) context.Context {
+	if From(ctx) == nil {
+		return ctx // no injector — the key would never be read
+	}
+	return context.WithValue(ctx, itemKey, key)
+}
+
+// KeyFrom returns the context's work-item key, or "".
+func KeyFrom(ctx context.Context) string {
+	k, _ := ctx.Value(itemKey).(string)
+	return k
+}
+
+// Check evaluates the context's fault plan at the given point for the
+// context's work-item key. It returns nil with no injector attached.
+func Check(ctx context.Context, pt Point) error {
+	inj := From(ctx)
+	if inj == nil {
+		return nil
+	}
+	return inj.check(ctx, pt, KeyFrom(ctx))
+}
+
+// CheckKey is Check with an explicit item key, for call sites where the key
+// is at hand and not in the context (e.g. the survey's participant fan-out).
+func CheckKey(ctx context.Context, pt Point, key string) error {
+	inj := From(ctx)
+	if inj == nil {
+		return nil
+	}
+	return inj.check(ctx, pt, key)
+}
+
+// check runs one injection decision, retrying transient faults with
+// backoff while the per-run budget allows. Because a transient rule is
+// normally bounded by MaxHits, the re-evaluation after backoff finds the
+// rule exhausted and recovers — modeling a fault that clears on retry.
+func (inj *Injector) check(ctx context.Context, pt Point, key string) error {
+	err := inj.eval(pt, key)
+	if err == nil || !IsTransient(err) {
+		return err
+	}
+	for attempt := 1; ; attempt++ {
+		if inj.budget.Add(-1) < 0 {
+			inj.budget.Add(1) // keep the budget at a floor of zero
+			return err        // budget exhausted — the transient fault sticks
+		}
+		ManifestFrom(ctx).recordRetry(pt, key)
+		backoff(ctx, attempt)
+		err = inj.eval(pt, key)
+		if err == nil || !IsTransient(err) {
+			return err
+		}
+	}
+}
+
+// eval runs a single pass over the plan's rules for (pt, key): delays are
+// applied inline, and the first matching error/panic rule decides the
+// outcome.
+func (inj *Injector) eval(pt Point, key string) error {
+	for ri := range inj.plan.Rules {
+		r := &inj.plan.Rules[ri]
+		if r.Point != pt {
+			continue
+		}
+		if r.Key != "" && r.Key != key {
+			continue
+		}
+		if r.Prob > 0 && r.Prob < 1 && !derivedHit(inj.plan.Seed, ri, pt, key, r.Prob) {
+			continue
+		}
+		if !inj.takeHit(ri, key, r.MaxHits) {
+			continue
+		}
+		switch r.Mode {
+		case ModePanic:
+			panic(fmt.Sprintf("fault: injected panic at %s (key %q)", pt, key))
+		case ModeDelay:
+			d := r.Delay
+			if d <= 0 {
+				d = time.Millisecond
+			}
+			time.Sleep(d)
+			// A delay perturbs timing, not outcome: keep scanning.
+		default:
+			return &Error{Point: pt, Key: key, Transient: r.Transient}
+		}
+	}
+	return nil
+}
+
+// takeHit consumes one firing of rule ri for the given key, honoring the
+// rule's per-key MaxHits bound.
+func (inj *Injector) takeHit(ri int, key string, max int) bool {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	k := fmt.Sprintf("%d|%s", ri, key)
+	if max > 0 && inj.hits[k] >= max {
+		return false
+	}
+	inj.hits[k]++
+	return true
+}
+
+// RetriesLeft returns the remaining per-run transient-retry budget.
+func (inj *Injector) RetriesLeft() int {
+	if inj == nil {
+		return 0
+	}
+	if n := inj.budget.Load(); n > 0 {
+		return int(n)
+	}
+	return 0
+}
+
+// derivedHit is the deterministic probability draw: a uniform in [0, 1)
+// derived from (seed, rule index, point, key) through par.SplitSeed, so the
+// same item hits in every replay and distinct items draw independently.
+func derivedHit(seed int64, ri int, pt Point, key string, p float64) bool {
+	h := par.SplitSeed(seed, fmt.Sprintf("%d|%s|%s", ri, pt, key))
+	u := float64(uint64(h)>>11) / float64(1<<53)
+	return u < p
+}
+
+// backoff sleeps exponentially (1, 2, 4, 8 ms, capped) between transient
+// retries, returning early if the context is cancelled.
+func backoff(ctx context.Context, attempt int) {
+	if attempt > 3 {
+		attempt = 3
+	}
+	d := time.Millisecond << attempt >> 1
+	select {
+	case <-time.After(d):
+	case <-ctx.Done():
+	}
+}

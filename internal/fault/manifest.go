@@ -1,0 +1,155 @@
+package fault
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Exclusion records one work item that failed and was removed from the run
+// instead of killing it — the pipeline's analog of the paper's participant
+// dropout and response-exclusion handling.
+type Exclusion struct {
+	// Stage is the pipeline stage that excluded the item ("corpus",
+	// "survey", "metrics", "artifact").
+	Stage string
+	// Key identifies the item (snippet ID, participant ID, artifact name).
+	Key string
+	// Reason is the failure's error text.
+	Reason string
+}
+
+// Manifest is the run's failure ledger: which items were excluded and why,
+// plus how many transient-fault retries the run spent. One manifest travels
+// in the context for the whole run; every method is safe for concurrent use
+// and nil-safe, so stages record unconditionally.
+type Manifest struct {
+	mu         sync.Mutex
+	exclusions []Exclusion
+	retries    map[string]int // "point|key" → retry count
+}
+
+// NewManifest returns an empty run manifest.
+func NewManifest() *Manifest {
+	return &Manifest{retries: map[string]int{}}
+}
+
+// WithManifest attaches the manifest to the context (nil leaves the context
+// unchanged).
+func WithManifest(ctx context.Context, m *Manifest) context.Context {
+	if m == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, manifestKey, m)
+}
+
+// ManifestFrom returns the context's manifest, or nil (whose methods are
+// no-ops).
+func ManifestFrom(ctx context.Context) *Manifest {
+	m, _ := ctx.Value(manifestKey).(*Manifest)
+	return m
+}
+
+// Exclude records one excluded work item.
+func (m *Manifest) Exclude(stage, key string, err error) {
+	if m == nil {
+		return
+	}
+	reason := ""
+	if err != nil {
+		reason = err.Error()
+	}
+	m.mu.Lock()
+	m.exclusions = append(m.exclusions, Exclusion{Stage: stage, Key: key, Reason: reason})
+	m.mu.Unlock()
+}
+
+func (m *Manifest) recordRetry(pt Point, key string) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	if m.retries == nil {
+		m.retries = map[string]int{}
+	}
+	m.retries[string(pt)+"|"+key]++
+	m.mu.Unlock()
+}
+
+// Exclusions returns the recorded exclusions sorted by (stage, key) — a
+// deterministic view at any worker count.
+func (m *Manifest) Exclusions() []Exclusion {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	out := append([]Exclusion(nil), m.exclusions...)
+	m.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Stage != out[j].Stage {
+			return out[i].Stage < out[j].Stage
+		}
+		if out[i].Key != out[j].Key {
+			return out[i].Key < out[j].Key
+		}
+		return out[i].Reason < out[j].Reason
+	})
+	return out
+}
+
+// Retries returns the total transient-fault retries the run spent.
+func (m *Manifest) Retries() int {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, c := range m.retries {
+		n += c
+	}
+	return n
+}
+
+// Empty reports whether the run recorded no exclusions and no retries.
+func (m *Manifest) Empty() bool {
+	if m == nil {
+		return true
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.exclusions) == 0 && len(m.retries) == 0
+}
+
+// Report renders the manifest as text: the exclusion table (sorted by
+// stage, key) followed by the retry ledger.
+func (m *Manifest) Report() string {
+	var b strings.Builder
+	b.WriteString("Run manifest\n")
+	b.WriteString("============\n")
+	ex := m.Exclusions()
+	if len(ex) == 0 {
+		b.WriteString("exclusions: none\n")
+	} else {
+		fmt.Fprintf(&b, "exclusions: %d\n", len(ex))
+		for _, e := range ex {
+			fmt.Fprintf(&b, "  %-8s %-16s %s\n", e.Stage, e.Key, e.Reason)
+		}
+	}
+	if n := m.Retries(); n > 0 {
+		fmt.Fprintf(&b, "transient retries: %d\n", n)
+		m.mu.Lock()
+		keys := make([]string, 0, len(m.retries))
+		for k := range m.retries {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "  %-32s %d\n", k, m.retries[k])
+		}
+		m.mu.Unlock()
+	}
+	return b.String()
+}

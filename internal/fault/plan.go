@@ -1,0 +1,116 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParsePlan parses the CLI fault-plan DSL into a Plan. The grammar is a
+// semicolon-separated rule list; each rule is POINT:MODE followed by
+// comma-separated options, and a bare "seed=N" entry sets the plan seed:
+//
+//	seed=26; csrc.parse:error,key=AEEK; survey.participant:error,p=0.1,transient,max=1
+//
+// Modes: error, panic, delay. Options: key=K (exact item-key match),
+// p=F (derived probability in (0,1]), delay=DUR (ModeDelay sleep),
+// transient (retry-classed), max=N (per-key firing bound).
+// An empty spec yields an empty plan (injection armed, nothing fires).
+func ParsePlan(spec string) (*Plan, error) {
+	plan := &Plan{}
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if v, ok := strings.CutPrefix(part, "seed="); ok {
+			seed, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad plan seed %q: %w", v, ErrPlan)
+			}
+			plan.Seed = seed
+			continue
+		}
+		r, err := parseRule(part)
+		if err != nil {
+			return nil, err
+		}
+		plan.Rules = append(plan.Rules, r)
+	}
+	return plan, nil
+}
+
+// ErrPlan is returned for malformed fault-plan specs.
+var ErrPlan = fmt.Errorf("fault: invalid plan")
+
+func parseRule(part string) (Rule, error) {
+	fields := strings.Split(part, ",")
+	head := strings.SplitN(strings.TrimSpace(fields[0]), ":", 2)
+	if len(head) != 2 {
+		return Rule{}, fmt.Errorf("fault: rule %q is not POINT:MODE: %w", part, ErrPlan)
+	}
+	pt := Point(strings.TrimSpace(head[0]))
+	if !validPoint(pt) {
+		return Rule{}, fmt.Errorf("fault: unknown point %q (valid: %s): %w", head[0], pointNames(), ErrPlan)
+	}
+	r := Rule{Point: pt}
+	switch mode := strings.TrimSpace(head[1]); mode {
+	case "error":
+		r.Mode = ModeError
+	case "panic":
+		r.Mode = ModePanic
+	case "delay":
+		r.Mode = ModeDelay
+	default:
+		return Rule{}, fmt.Errorf("fault: unknown mode %q (valid: error, panic, delay): %w", mode, ErrPlan)
+	}
+	for _, f := range fields[1:] {
+		f = strings.TrimSpace(f)
+		switch {
+		case f == "transient":
+			r.Transient = true
+		case strings.HasPrefix(f, "key="):
+			r.Key = strings.TrimPrefix(f, "key=")
+		case strings.HasPrefix(f, "p="):
+			p, err := strconv.ParseFloat(strings.TrimPrefix(f, "p="), 64)
+			if err != nil || p <= 0 || p > 1 {
+				return Rule{}, fmt.Errorf("fault: bad probability %q (want (0,1]): %w", f, ErrPlan)
+			}
+			r.Prob = p
+		case strings.HasPrefix(f, "delay="):
+			d, err := time.ParseDuration(strings.TrimPrefix(f, "delay="))
+			if err != nil || d < 0 {
+				return Rule{}, fmt.Errorf("fault: bad delay %q: %w", f, ErrPlan)
+			}
+			r.Delay = d
+		case strings.HasPrefix(f, "max="):
+			n, err := strconv.Atoi(strings.TrimPrefix(f, "max="))
+			if err != nil || n < 0 {
+				return Rule{}, fmt.Errorf("fault: bad max %q: %w", f, ErrPlan)
+			}
+			r.MaxHits = n
+		default:
+			return Rule{}, fmt.Errorf("fault: unknown option %q in rule %q: %w", f, part, ErrPlan)
+		}
+	}
+	return r, nil
+}
+
+func validPoint(pt Point) bool {
+	for _, p := range Points() {
+		if p == pt {
+			return true
+		}
+	}
+	return false
+}
+
+func pointNames() string {
+	pts := Points()
+	names := make([]string, len(pts))
+	for i, p := range pts {
+		names[i] = string(p)
+	}
+	return strings.Join(names, ", ")
+}

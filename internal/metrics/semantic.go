@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"decompstudy/internal/embed"
+	"decompstudy/internal/fault"
 	"decompstudy/internal/obs"
 	"decompstudy/internal/par"
 )
@@ -13,6 +14,9 @@ import (
 // ErrNilModel is returned when a semantic metric is called without a
 // trained embedding model.
 var ErrNilModel = errors.New("metrics: nil embedding model")
+
+// ErrEvaluate is returned when a metric evaluation fails.
+var ErrEvaluate = errors.New("metrics: evaluation failed")
 
 // BERTScoreF1 computes a BERTScore-style F1 between candidate and reference
 // token sequences: precision is the mean over candidate tokens of the best
@@ -32,6 +36,9 @@ func BERTScoreF1(candidate, reference []string, m *embed.Model) (float64, error)
 func BERTScoreF1Ctx(ctx context.Context, candidate, reference []string, m *embed.Model) (float64, error) {
 	if m == nil {
 		return 0, ErrNilModel
+	}
+	if err := fault.Check(ctx, fault.EmbedCosine); err != nil {
+		return 0, fmt.Errorf("%w: %w", ErrEvaluate, err)
 	}
 	if len(candidate) == 0 || len(reference) == 0 {
 		if len(candidate) == len(reference) {
@@ -175,6 +182,9 @@ func evaluateCtx(ctx context.Context, pairs []Pair, candCode, refCode string, m 
 	ctx, sp := obs.StartSpan(ctx, "metrics.Evaluate",
 		obs.KV("pairs", len(pairs)), obs.KV("jobs", jobs))
 	defer sp.End()
+	if err := fault.Check(ctx, fault.MetricsEvaluate); err != nil {
+		return Report{}, evalTokens{}, fmt.Errorf("%w: %w", ErrEvaluate, err)
+	}
 	obs.AddCount(ctx, "metrics.evaluate.calls", 1)
 	obs.AddCount(ctx, "metrics.evaluate.pairs", int64(len(pairs)))
 	if len(pairs) == 0 {

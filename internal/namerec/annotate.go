@@ -2,6 +2,7 @@ package namerec
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -9,8 +10,12 @@ import (
 	"decompstudy/internal/compile"
 	"decompstudy/internal/csrc"
 	"decompstudy/internal/decomp"
+	"decompstudy/internal/fault"
 	"decompstudy/internal/obs"
 )
+
+// ErrAnnotate is returned when annotation of a decompiled function fails.
+var ErrAnnotate = errors.New("namerec: annotation failed")
 
 // Rename records the full provenance of one variable through the pipeline:
 // the original symbol, the decompiler's stripped name, and the recovery
@@ -78,9 +83,12 @@ func (an *Annotator) Annotate(d *decomp.Decompiled) (*Annotated, error) {
 func (an *Annotator) AnnotateCtx(ctx context.Context, d *decomp.Decompiled) (*Annotated, error) {
 	_, sp := obs.StartSpan(ctx, "namerec.Annotate")
 	defer sp.End()
+	if err := fault.Check(ctx, fault.NamerecAnnotate); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrAnnotate, err)
+	}
 	obs.AddCount(ctx, "namerec.annotate.calls", 1)
 	if d == nil || d.Pseudo == nil {
-		return nil, fmt.Errorf("namerec: nil decompiled input")
+		return nil, fmt.Errorf("%w: nil decompiled input", ErrAnnotate)
 	}
 	sp.SetAttr("symbols", len(d.NameMap))
 	obs.AddCount(ctx, "namerec.annotate.symbols", int64(len(d.NameMap)))

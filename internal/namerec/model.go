@@ -7,11 +7,15 @@ import (
 	"sort"
 
 	"decompstudy/internal/csrc"
+	"decompstudy/internal/fault"
 	"decompstudy/internal/obs"
 )
 
 // ErrEmptyModel is returned when training sees no variables.
 var ErrEmptyModel = errors.New("namerec: training corpus contains no variables")
+
+// ErrTrain is returned when recovery-model training fails.
+var ErrTrain = errors.New("namerec: training failed")
 
 // Prediction is one recovered (name, type) suggestion.
 type Prediction struct {
@@ -45,6 +49,9 @@ func TrainModel(files []*csrc.File) (*Model, error) {
 func TrainModelCtx(ctx context.Context, files []*csrc.File) (*Model, error) {
 	_, sp := obs.StartSpan(ctx, "namerec.TrainModel", obs.KV("files", len(files)))
 	defer sp.End()
+	if err := fault.Check(ctx, fault.NamerecTrain); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrTrain, err)
+	}
 	m := &Model{}
 	for _, f := range files {
 		for _, fn := range f.Functions {

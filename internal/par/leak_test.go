@@ -1,0 +1,33 @@
+package par
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// leakCheck snapshots the goroutine count at test start and fails the test
+// if, after a grace period at cleanup, more goroutines are alive than when
+// it started — a hand-rolled stand-in for goleak that catches workers or
+// feeders left blocked by a cancellation path. Every test in this package
+// calls it first.
+func leakCheck(t *testing.T) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			now := runtime.NumGoroutine()
+			if now <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<16)
+				n := runtime.Stack(buf, true)
+				t.Errorf("goroutine leak: %d before, %d after\n%s", before, now, buf[:n])
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	})
+}

@@ -1,0 +1,207 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMapDoesNotMaskGenuineError is the regression test for the
+// cancellation-masking class: after a genuine failure cancels the worker
+// context, an item at a LOWER input index that observes the cancellation
+// and returns ctx.Err() must not win the lowest-index scan.
+func TestMapDoesNotMaskGenuineError(t *testing.T) {
+	leakCheck(t)
+	for _, jobs := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("jobs=%d", jobs), func(t *testing.T) {
+			items := make([]int, 12)
+			genuine := errors.New("item 7 exploded")
+			_, err := Map(context.Background(), jobs, items, func(ctx context.Context, i, _ int) (int, error) {
+				if i == 7 {
+					return 0, genuine
+				}
+				// Lower-index items park until the post-failure cancellation
+				// reaches them (with a timeout so jobs=1, where no
+				// cancellation ever happens, still completes).
+				select {
+				case <-ctx.Done():
+					return 0, ctx.Err()
+				case <-time.After(100 * time.Millisecond):
+					return 0, nil
+				}
+			})
+			if !errors.Is(err, genuine) {
+				t.Fatalf("Map = %v, want the genuine item-7 failure", err)
+			}
+			if errors.Is(err, context.Canceled) {
+				t.Fatalf("Map returned cancellation fallout in place of the failure: %v", err)
+			}
+		})
+	}
+}
+
+// TestMapForcedLowIndexCancellation pins the exact interleaving from the
+// bug report: a blocker at index 1 waits for the worker context to die,
+// while index 7 fails genuinely — so index 1 records context.Canceled
+// below the failing index.
+func TestMapForcedLowIndexCancellation(t *testing.T) {
+	leakCheck(t)
+	for _, jobs := range []int{2, 8} {
+		t.Run(fmt.Sprintf("jobs=%d", jobs), func(t *testing.T) {
+			items := make([]int, 10)
+			genuine := errors.New("genuine failure at 7")
+			var sawCancel atomic.Bool
+			_, err := Map(context.Background(), jobs, items, func(ctx context.Context, i, _ int) (int, error) {
+				if i == 1 {
+					<-ctx.Done() // unblocked only by the index-7 failure
+					sawCancel.Store(true)
+					return 0, ctx.Err()
+				}
+				if i == 7 {
+					time.Sleep(5 * time.Millisecond) // let the blocker park first
+					return 0, genuine
+				}
+				return 0, nil
+			})
+			if !errors.Is(err, genuine) {
+				t.Fatalf("Map = %v, want genuine failure (blocker cancelled: %v)", err, sawCancel.Load())
+			}
+			if !sawCancel.Load() {
+				t.Fatal("blocker never observed cancellation — scenario did not exercise the masking path")
+			}
+		})
+	}
+}
+
+// TestMapCallerCancellationStillReported: when the only errors are the
+// caller's own cancellation, Map must still report it — the genuine-error
+// preference must not swallow real cancellations.
+func TestMapCallerCancellationStillReported(t *testing.T) {
+	leakCheck(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, jobs := range []int{1, 4} {
+		_, err := Map(ctx, jobs, make([]int, 8), func(ctx context.Context, i, _ int) (int, error) {
+			return 0, ctx.Err()
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("jobs=%d: Map = %v, want context.Canceled", jobs, err)
+		}
+	}
+}
+
+// TestMapAllSkippedItemsReportCallerCtxError is the MapAll contract: items
+// skipped because the surrounding context ended report the caller's context
+// error, and completed items keep their own results/errors.
+func TestMapAllSkippedItemsReportCallerCtxError(t *testing.T) {
+	leakCheck(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, jobs := range []int{1, 4} {
+		results, errs := MapAll(ctx, jobs, make([]int, 6), func(context.Context, int, int) (int, error) {
+			return 42, nil
+		})
+		for i := range errs {
+			if !errors.Is(errs[i], context.Canceled) {
+				t.Fatalf("jobs=%d: errs[%d] = %v, want the caller's context.Canceled", jobs, i, errs[i])
+			}
+			if results[i] != 0 {
+				t.Errorf("jobs=%d: skipped item %d has result %d", jobs, i, results[i])
+			}
+		}
+	}
+}
+
+// TestPoolWaitPrefersGenuineOverCancellation: a task at submit index 0
+// parks until the pool's first-error cancellation (triggered by index 1's
+// genuine failure) and returns ctx.Err(); Wait must still report index 1.
+func TestPoolWaitPrefersGenuineOverCancellation(t *testing.T) {
+	leakCheck(t)
+	p := NewPool(context.Background(), 2)
+	genuine := errors.New("task 1 exploded")
+	p.Go(func(ctx context.Context) error {
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	p.Go(func(context.Context) error {
+		time.Sleep(5 * time.Millisecond)
+		return genuine
+	})
+	if err := p.Wait(); !errors.Is(err, genuine) || errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait = %v, want the genuine task-1 failure", err)
+	}
+}
+
+// TestPoolSkipRecordDoesNotMask exercises the skip bookkeeping directly: a
+// skip recorded below a genuine failure loses to it; with only skips, the
+// cancellation surfaces.
+func TestPoolSkipRecordDoesNotMask(t *testing.T) {
+	leakCheck(t)
+	p := newPool(context.Background(), 2, false)
+	p.errs = []error{context.Canceled, errors.New("real"), context.Canceled}
+	p.skipped = []bool{true, false, true}
+	p.next = 3
+	if err := p.Wait(); err == nil || err.Error() != "real" {
+		t.Fatalf("Wait = %v, want the genuine error despite a lower-index skip", err)
+	}
+	p2 := newPool(context.Background(), 2, false)
+	p2.errs = []error{context.Canceled, context.Canceled}
+	p2.skipped = []bool{true, true}
+	p2.next = 2
+	if err := p2.Wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("all-skip Wait = %v, want context.Canceled", err)
+	}
+}
+
+// TestPoolGoFastFailWhenCancelled: Go on a saturated pool whose context is
+// already dead must return promptly (recording a skip) instead of blocking
+// on the semaphore.
+func TestPoolGoFastFailWhenCancelled(t *testing.T) {
+	leakCheck(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	p := NewPool(ctx, 1)
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	p.Go(func(context.Context) error { close(started); <-gate; return nil }) // holds the only slot
+	<-started                                                                // the slot is held before the context dies
+	cancel()                                                                 // pool context dies while saturated
+
+	done := make(chan struct{})
+	go func() {
+		p.Go(func(context.Context) error { return errors.New("should never run") })
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Go blocked on a saturated semaphore after pool cancellation")
+	}
+	close(gate)
+	if err := p.Wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait = %v, want the cancellation (no task genuinely failed)", err)
+	}
+}
+
+// TestPoolJoinModeUnchanged: join pools still run everything and join every
+// failure in submit order, including after the masking fixes.
+func TestPoolJoinModeUnchanged(t *testing.T) {
+	leakCheck(t)
+	p := NewJoinPool(context.Background(), 2)
+	for i := 0; i < 4; i++ {
+		i := i
+		p.Go(func(context.Context) error {
+			if i%2 == 1 {
+				return fmt.Errorf("j%d", i)
+			}
+			return nil
+		})
+	}
+	err := p.Wait()
+	if err == nil || !strings.Contains(err.Error(), "j1") || !strings.Contains(err.Error(), "j3") {
+		t.Fatalf("join Wait = %v", err)
+	}
+}

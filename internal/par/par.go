@@ -88,9 +88,10 @@ type Pool struct {
 	wg     sync.WaitGroup
 	join   bool
 
-	mu   sync.Mutex
-	errs []error // indexed by submit order
-	next int
+	mu      sync.Mutex
+	errs    []error // indexed by submit order
+	skipped []bool  // true when errs[i] records a cancellation skip, not a task result
+	next    int
 }
 
 // NewPool returns a first-error pool running at most jobs tasks at once.
@@ -113,15 +114,25 @@ func newPool(ctx context.Context, jobs int, join bool) *Pool {
 }
 
 // Go submits one task. It blocks while the pool is saturated, which bounds
-// both concurrency and the backlog of pending goroutines.
+// both concurrency and the backlog of pending goroutines — but never past
+// cancellation: once the pool context is done (a first-error pool saw a
+// failure, or the caller's context was cancelled), submission fast-fails
+// and the task is recorded as skipped instead of stalling the submitter on
+// a semaphore no one will release promptly.
 func (p *Pool) Go(f func(ctx context.Context) error) {
 	p.mu.Lock()
 	idx := p.next
 	p.next++
 	p.errs = append(p.errs, nil)
+	p.skipped = append(p.skipped, false)
 	p.mu.Unlock()
 
-	p.sem <- struct{}{}
+	select {
+	case p.sem <- struct{}{}:
+	case <-p.ctx.Done():
+		p.record(idx, p.ctx.Err(), true)
+		return
+	}
 	p.wg.Add(1)
 	go func() {
 		defer func() {
@@ -129,11 +140,11 @@ func (p *Pool) Go(f func(ctx context.Context) error) {
 			p.wg.Done()
 		}()
 		if err := p.ctx.Err(); err != nil {
-			p.record(idx, err)
+			p.record(idx, err, true)
 			return
 		}
 		if err := guard(func() error { return f(p.ctx) }); err != nil {
-			p.record(idx, err)
+			p.record(idx, err, false)
 			if !p.join {
 				p.cancel()
 			}
@@ -141,9 +152,10 @@ func (p *Pool) Go(f func(ctx context.Context) error) {
 	}()
 }
 
-func (p *Pool) record(idx int, err error) {
+func (p *Pool) record(idx int, err error, skip bool) {
 	p.mu.Lock()
 	p.errs[idx] = err
+	p.skipped[idx] = skip
 	p.mu.Unlock()
 }
 
@@ -151,6 +163,15 @@ func (p *Pool) record(idx int, err error) {
 // error: the lowest-submit-index failure in first-error mode, or every
 // failure joined in submit order in join mode. It releases the pool's
 // context; the pool must not be reused after Wait.
+//
+// In first-error mode, genuine task failures take precedence over
+// cancellation fallout. When a failing task cancels the pool, tasks that
+// were skipped — or that returned the pool context's error on their way out
+// — record context.Canceled, possibly at a lower submit index than the
+// failure that caused the cancellation; returning that would mask the real
+// error. Wait therefore returns the lowest-index non-cancellation task
+// error when one exists, and falls back to the lowest-index recorded error
+// (the caller's own cancellation) only when no genuine failure was seen.
 func (p *Pool) Wait() error {
 	p.wg.Wait()
 	p.cancel()
@@ -159,20 +180,42 @@ func (p *Pool) Wait() error {
 	if p.join {
 		return joinNonNil(p.errs)
 	}
-	for _, err := range p.errs {
-		if err != nil {
-			return err
+	var genuine, fallback error
+	for i, err := range p.errs {
+		if err == nil {
+			continue
+		}
+		if fallback == nil {
+			fallback = err
+		}
+		if genuine == nil && !p.skipped[i] && !isCancellation(err) {
+			genuine = err
+			break
 		}
 	}
-	return nil
+	if genuine != nil {
+		return genuine
+	}
+	return fallback
+}
+
+// isCancellation reports whether err is context-cancellation fallout rather
+// than a failure in its own right. This is a heuristic — a task error that
+// wraps context.Canceled for unrelated reasons is classified as fallout —
+// but it only changes which error wins when a genuine failure exists
+// elsewhere, which is exactly the masking case being prevented.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // Map runs f over every item on at most jobs workers and returns the
 // results in input order. The first failure cancels outstanding work
-// (items not yet started are skipped) and Map returns the failure with the
-// lowest input index, so the reported error does not depend on completion
-// order. A jobs value ≤ 0 uses runtime.GOMAXPROCS(0); jobs == 1 is the
-// exact sequential loop.
+// (items not yet started are skipped) and Map returns the genuine failure
+// with the lowest input index, so the reported error depends neither on
+// completion order nor on cancellation fallout: an item that observed the
+// post-failure cancellation and returned context.Canceled never outranks
+// the failure that caused it. A jobs value ≤ 0 uses runtime.GOMAXPROCS(0);
+// jobs == 1 is the exact sequential loop.
 func Map[T, R any](ctx context.Context, jobs int, items []T, f func(ctx context.Context, idx int, item T) (R, error)) ([]R, error) {
 	results := make([]R, len(items))
 	if len(items) == 0 {
@@ -201,12 +244,33 @@ func Map[T, R any](ctx context.Context, jobs int, items []T, f func(ctx context.
 		results[i] = r
 		return nil
 	}, true)
-	for _, err := range errs {
-		if err != nil {
-			return results, err
-		}
+	if err := firstMapError(errs); err != nil {
+		return results, err
 	}
 	return results, ctx.Err()
+}
+
+// firstMapError picks Map's reported error from the per-item errors. A
+// genuine failure cancels the worker context, so items already in flight
+// can come back with that context's Canceled at a lower input index than
+// the failure itself; preferring the lowest-index non-cancellation error
+// keeps the real failure from being masked by its own fallout. Only when
+// every recorded error is cancellation-class (the caller's own context was
+// cancelled) does the lowest-index cancellation win.
+func firstMapError(errs []error) error {
+	var fallback error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if !isCancellation(err) {
+			return err
+		}
+		if fallback == nil {
+			fallback = err
+		}
+	}
+	return fallback
 }
 
 // MapAll runs f over every item on at most jobs workers, never cancelling
@@ -254,9 +318,17 @@ func guard2[T, R any](ctx context.Context, i int, item T, f func(ctx context.Con
 // shared channel and returns the per-item errors in input order. With
 // cancelOnError, the first failure stops the index feed so remaining items
 // are skipped (their error stays nil); without it, cancellation only
-// follows the caller's context, whose error is recorded for skipped items.
+// follows the caller's context. Either way, items skipped because the
+// CALLER's context ended — whether their index was handed to a worker or
+// never left the feed — report the caller's context error, never the
+// internal worker context's.
 func runWorkers[T any](ctx context.Context, jobs int, items []T, f func(ctx context.Context, i int, item T) error, cancelOnError bool) []error {
 	errs := make([]error, len(items))
+	// done marks indices a worker fully handled (ran f or recorded a skip);
+	// indices the feed never delivered stay false and are back-filled with
+	// the caller's context error below. Each index is touched by exactly
+	// one worker, and wg.Wait orders those writes before the back-fill.
+	done := make([]bool, len(items))
 	wctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -283,12 +355,25 @@ func runWorkers[T any](ctx context.Context, jobs int, items []T, f func(ctx cont
 			defer wg.Done()
 			for i := range idxCh {
 				if err := ctx.Err(); err != nil {
+					// The caller's own context ended: record its error, so
+					// skipped items report the cancellation that skipped
+					// them (never the internal wctx's).
 					mu.Lock()
 					errs[i] = err
 					mu.Unlock()
+					done[i] = true
 					continue
 				}
-				if err := f(wctx, i, items[i]); err != nil {
+				if cancelOnError && wctx.Err() != nil {
+					// Internal cancellation after another item's failure:
+					// skip silently (error stays nil) so the genuine
+					// failure is the only error the caller sees.
+					done[i] = true
+					continue
+				}
+				err := f(wctx, i, items[i])
+				done[i] = true
+				if err != nil {
 					mu.Lock()
 					errs[i] = err
 					mu.Unlock()
@@ -301,6 +386,16 @@ func runWorkers[T any](ctx context.Context, jobs int, items []T, f func(ctx cont
 	}
 	wg.Wait()
 	feed.Wait()
+	// Back-fill items the feed never delivered: if the caller's context
+	// ended they were skipped by that cancellation and report it; after an
+	// internal first-error stop they stay nil, like every other skip.
+	if err := ctx.Err(); err != nil {
+		for i := range errs {
+			if !done[i] && errs[i] == nil {
+				errs[i] = err
+			}
+		}
+	}
 	return errs
 }
 

@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"decompstudy/internal/corpus"
+	"decompstudy/internal/fault"
 	"decompstudy/internal/obs"
 	"decompstudy/internal/par"
 	"decompstudy/internal/participants"
@@ -23,6 +24,12 @@ import (
 
 // ErrConfig is returned for invalid study configurations.
 var ErrConfig = errors.New("survey: invalid configuration")
+
+// ErrParticipant is returned when administering the survey to a
+// participant fails. A run only surfaces it when every participant fails;
+// isolated failures become dropouts (Dataset.DroppedIDs) the way the paper
+// handles participants who abandon the survey mid-way.
+var ErrParticipant = errors.New("survey: participant administration failed")
 
 // Response is one participant × question observation.
 type Response struct {
@@ -57,6 +64,10 @@ type Dataset struct {
 	Participants []*participants.Participant
 	// ExcludedIDs lists participants removed by the quality check.
 	ExcludedIDs []int
+	// DroppedIDs lists participants whose administration failed mid-run
+	// (the fault-injection analog of the paper's survey dropouts). They
+	// contribute no responses and are excluded before the quality filter.
+	DroppedIDs []int
 	// Assignments records the treatment map userID → snippetID → usesDirty.
 	Assignments map[int]map[string]bool
 }
@@ -137,8 +148,15 @@ func RunCtx(ctx context.Context, cfg *Config) (*Dataset, error) {
 
 	simCtx, simSpan := obs.StartSpan(ctx, "participants.Simulate",
 		obs.KV("pool", len(pool)), obs.KV("jobs", jobs))
-	users, err := par.Map(simCtx, jobs, pool, func(ctx context.Context, _ int, p *participants.Participant) (userData, error) {
-		prng := par.Stream(c.Seed, "participant:"+strconv.Itoa(p.ID))
+	// MapAll rather than Map: one participant failing (e.g. an injected
+	// administration fault) must not abort the study — the failure becomes a
+	// dropout below, mirroring the paper's handling of abandoned surveys.
+	users, uerrs := par.MapAll(simCtx, jobs, pool, func(ctx context.Context, _ int, p *participants.Participant) (userData, error) {
+		key := "participant:" + strconv.Itoa(p.ID)
+		if err := fault.CheckKey(ctx, fault.SurveyParticipant, key); err != nil {
+			return userData{}, fmt.Errorf("%w: %s: %w", ErrParticipant, key, err)
+		}
+		prng := par.Stream(c.Seed, key)
 		ud := userData{p: p, assign: map[string]bool{}, minTime: 1e18}
 		for _, s := range snippets {
 			usesDirty := prng.Intn(2) == 1
@@ -176,9 +194,34 @@ func RunCtx(ctx context.Context, cfg *Config) (*Dataset, error) {
 		return ud, nil
 	})
 	simSpan.End()
-	if err != nil {
-		return nil, fmt.Errorf("survey: simulating participants: %w", err)
+	// Partition outcomes: failed participants drop out of the dataset (and
+	// into the run manifest); a caller cancellation or a total wipe-out is
+	// still fatal.
+	man := fault.ManifestFrom(ctx)
+	var firstErr error
+	kept := users[:0]
+	for i, ud := range users {
+		if err := uerrs[i]; err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return nil, fmt.Errorf("survey: simulating participants: %w", err)
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+			id := pool[i].ID
+			ds.DroppedIDs = append(ds.DroppedIDs, id)
+			man.Exclude("survey", "participant:"+strconv.Itoa(id), err)
+			obs.AddCount(ctx, "survey.participants.dropped", 1)
+			obs.Logger(ctx).Error("participant dropped", "participant", id, "err", err)
+			continue
+		}
+		kept = append(kept, ud)
 	}
+	users = kept
+	if len(users) == 0 {
+		return nil, fmt.Errorf("survey: simulating participants: every participant failed: %w", firstErr)
+	}
+	sp.SetAttr("dropped", len(ds.DroppedIDs))
 	for _, ud := range users {
 		ds.Assignments[ud.p.ID] = ud.assign
 	}

@@ -1,9 +1,21 @@
 #!/bin/sh
 # check.sh — the repo's pre-merge gate: formatting, static analysis, build,
 # and the full test suite. Run from the repository root (or via `make check`).
+#
+# `check.sh chaos` instead runs only the fault-injection chaos suite (the
+# full-pipeline fault-plan sweep plus the error-path contract and par
+# masking tests) under the race detector.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "chaos" ]; then
+	echo "== chaos (fault-plan sweep + error-path contracts, -race)"
+	go test -race -count=1 -run 'Chaos|ErrorChain|Mask|MaskGenuine|Fault|Plan|Manifest' \
+		./internal/fault/ ./internal/par/ ./internal/core/
+	echo "OK"
+	exit 0
+fi
 
 echo "== gofmt"
 unformatted="$(gofmt -l .)"

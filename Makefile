@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint fmt-check check chaos bench bench-kernels bench-smoke clean
+.PHONY: all build test race vet lint fmt-check check chaos debug-smoke bench bench-kernels bench-smoke clean
 
 all: build test
 
@@ -41,6 +41,13 @@ check:
 # and the internal/par masking regression tests.
 chaos:
 	./scripts/check.sh chaos
+
+# Drive the live /debug HTTP surface: a race-instrumented studysim run is
+# stretched with a delay-only fault plan, every /debug endpoint is scraped
+# mid-run (must answer 200 with a parseable payload), and stdout must stay
+# byte-identical to a clean run.
+debug-smoke:
+	./scripts/check.sh debug-smoke
 
 # Measure the parallel pipeline at jobs=1,2,4,8 and record ns/op plus the
 # speedup over the sequential baseline, the per-stage breakdown, and the

@@ -19,8 +19,9 @@
 //
 // Observability flags: -stats prints the per-stage timing tree and a
 // metrics snapshot to stderr, -trace writes a Chrome trace-event JSON
-// file, -v / -log-level enable structured logging, and -cpuprofile /
-// -memprofile write pprof profiles.
+// file, -v / -log-level enable structured logging, -cpuprofile /
+// -memprofile write pprof profiles, and -debug-addr serves the live
+// /debug HTTP surface for the duration of the run.
 package main
 
 import (
@@ -35,6 +36,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"time"
 
 	"decompstudy/internal/analysis"
 	"decompstudy/internal/compile"
@@ -181,6 +183,8 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	memprofile := fs.String("memprofile", "", "write a pprof heap profile to this file")
 	faults := fs.String("faults", "", "fault-injection plan, e.g. 'seed=1; csrc.parse:error,key=snippet:AEEK' (see internal/fault)")
 	retryBudget := fs.Int("retry-budget", fault.DefaultRetryBudget, "per-run retry budget for transient injected faults")
+	debugAddr := fs.String("debug-addr", "", "serve live /debug endpoints (metrics, spans, stage, pprof) on this address; port 0 picks a free port")
+	debugSample := fs.Duration("debug-sample", obs.DefaultSampleInterval, "runtime sampling interval for the /debug metrics gauges")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -192,6 +196,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	ctx, finish, ecode := setupObs(obsOptions{
 		trace: *tracePath, stats: *stats, verbose: *verbose,
 		logLevel: *logLevel, cpuprofile: *cpuprofile, memprofile: *memprofile,
+		debugAddr: *debugAddr, debugSample: *debugSample,
 	}, "irlint", stderr)
 	if ecode != 0 {
 		return ecode
@@ -289,15 +294,19 @@ type obsOptions struct {
 	trace, logLevel        string
 	stats, verbose         bool
 	cpuprofile, memprofile string
+	debugAddr              string
+	debugSample            time.Duration
 }
 
 // setupObs builds the telemetry handle for a CLI run and returns the
 // context to thread through the pipeline plus a finish func that flushes
 // the trace file, stats report, and profiles. A non-zero code means a flag
-// was invalid and the caller should exit with it.
+// was invalid and the caller should exit with it. With debugAddr set the
+// run also gets a live /debug HTTP surface plus a runtime sampler, both
+// shut down by finish.
 func setupObs(opt obsOptions, prog string, stderr io.Writer) (context.Context, func() error, int) {
 	o := &obs.Obs{}
-	if opt.trace != "" || opt.stats {
+	if opt.trace != "" || opt.stats || opt.debugAddr != "" {
 		o.Trace = obs.NewCollector()
 		o.Metrics = obs.NewRegistry()
 	}
@@ -315,6 +324,21 @@ func setupObs(opt obsOptions, prog string, stderr io.Writer) (context.Context, f
 	}
 	ctx := obs.With(context.Background(), o)
 
+	var sampler *obs.Sampler
+	var debug *obs.DebugListener
+	if opt.debugAddr != "" {
+		sampler = obs.NewSampler(o.Metrics, opt.debugSample)
+		sampler.Start()
+		d, err := obs.ServeDebug(opt.debugAddr, o)
+		if err != nil {
+			sampler.Stop()
+			fmt.Fprintf(stderr, "%s: %v\n", prog, err)
+			return nil, nil, 1
+		}
+		debug = d
+		fmt.Fprintf(stderr, "%s: debug server listening on http://%s/debug/\n", prog, d.Addr())
+	}
+
 	var stopCPU func() error
 	if opt.cpuprofile != "" {
 		stop, err := obs.StartCPUProfile(opt.cpuprofile)
@@ -331,6 +355,13 @@ func setupObs(opt obsOptions, prog string, stderr io.Writer) (context.Context, f
 				firstErr = err
 			}
 		}
+		if debug != nil {
+			if err := debug.Close(); err != nil {
+				fmt.Fprintf(stderr, "%s: debug server: %v\n", prog, err)
+				fail(err)
+			}
+		}
+		sampler.Stop()
 		if stopCPU != nil {
 			if err := stopCPU(); err != nil {
 				fmt.Fprintf(stderr, "%s: cpu profile: %v\n", prog, err)

@@ -9,8 +9,9 @@
 //
 // Observability flags: -stats prints the per-stage timing tree and a
 // metrics snapshot to stderr, -trace writes a Chrome trace-event JSON
-// file, -v / -log-level enable structured logging, and -cpuprofile /
-// -memprofile write pprof profiles.
+// file, -v / -log-level enable structured logging, -cpuprofile /
+// -memprofile write pprof profiles, and -debug-addr serves the live
+// /debug HTTP surface for the duration of the run.
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"decompstudy/internal/corpus"
 	"decompstudy/internal/embed"
@@ -42,6 +44,8 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	logLevel := fs.String("log-level", "", "structured log level: debug, info, warn, error")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a pprof heap profile to this file")
+	debugAddr := fs.String("debug-addr", "", "serve live /debug endpoints (metrics, spans, stage, pprof) on this address; port 0 picks a free port")
+	debugSample := fs.Duration("debug-sample", obs.DefaultSampleInterval, "runtime sampling interval for the /debug metrics gauges")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -54,6 +58,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	ctx, finish, ecode := setupObs(obsOptions{
 		trace: *tracePath, stats: *stats, verbose: *verbose,
 		logLevel: *logLevel, cpuprofile: *cpuprofile, memprofile: *memprofile,
+		debugAddr: *debugAddr, debugSample: *debugSample,
 	}, "nametool", stderr)
 	if ecode != 0 {
 		return ecode
@@ -175,11 +180,13 @@ type obsOptions struct {
 	trace, logLevel        string
 	stats, verbose         bool
 	cpuprofile, memprofile string
+	debugAddr              string
+	debugSample            time.Duration
 }
 
 func setupObs(opt obsOptions, prog string, stderr io.Writer) (context.Context, func() error, int) {
 	o := &obs.Obs{}
-	if opt.trace != "" || opt.stats {
+	if opt.trace != "" || opt.stats || opt.debugAddr != "" {
 		o.Trace = obs.NewCollector()
 		o.Metrics = obs.NewRegistry()
 	}
@@ -197,6 +204,21 @@ func setupObs(opt obsOptions, prog string, stderr io.Writer) (context.Context, f
 	}
 	ctx := obs.With(context.Background(), o)
 
+	var sampler *obs.Sampler
+	var debug *obs.DebugListener
+	if opt.debugAddr != "" {
+		sampler = obs.NewSampler(o.Metrics, opt.debugSample)
+		sampler.Start()
+		d, err := obs.ServeDebug(opt.debugAddr, o)
+		if err != nil {
+			sampler.Stop()
+			fmt.Fprintf(stderr, "%s: %v\n", prog, err)
+			return nil, nil, 1
+		}
+		debug = d
+		fmt.Fprintf(stderr, "%s: debug server listening on http://%s/debug/\n", prog, d.Addr())
+	}
+
 	var stopCPU func() error
 	if opt.cpuprofile != "" {
 		stop, err := obs.StartCPUProfile(opt.cpuprofile)
@@ -213,6 +235,13 @@ func setupObs(opt obsOptions, prog string, stderr io.Writer) (context.Context, f
 				firstErr = err
 			}
 		}
+		if debug != nil {
+			if err := debug.Close(); err != nil {
+				fmt.Fprintf(stderr, "%s: debug server: %v\n", prog, err)
+				fail(err)
+			}
+		}
+		sampler.Stop()
 		if stopCPU != nil {
 			if err := stopCPU(); err != nil {
 				fmt.Fprintf(stderr, "%s: cpu profile: %v\n", prog, err)

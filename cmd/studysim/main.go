@@ -16,7 +16,9 @@
 // metrics snapshot to stderr after the run, -trace writes a Chrome
 // trace-event JSON file (load it at chrome://tracing or ui.perfetto.dev),
 // -v / -log-level enable structured logging, and -cpuprofile/-memprofile
-// write pprof profiles.
+// write pprof profiles. -debug-addr serves the live /debug HTTP surface
+// (Prometheus metrics, span ring, stage aggregates, pprof) for the
+// duration of the run, with runtime gauges refreshed every -debug-sample.
 //
 // Robustness flags: -faults arms deterministic fault injection from a plan
 // spec (see internal/fault), -retry-budget bounds transient-fault retries.
@@ -111,6 +113,8 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	memprofile := fs.String("memprofile", "", "write a pprof heap profile to this file")
 	faults := fs.String("faults", "", "fault-injection plan, e.g. 'seed=1; csrc.parse:error,key=AEEK' (see internal/fault)")
 	retryBudget := fs.Int("retry-budget", fault.DefaultRetryBudget, "per-run retry budget for transient injected faults")
+	debugAddr := fs.String("debug-addr", "", "serve live /debug endpoints (metrics, spans, stage, pprof) on this address; port 0 picks a free port")
+	debugSample := fs.Duration("debug-sample", obs.DefaultSampleInterval, "runtime sampling interval for the /debug metrics gauges")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -129,9 +133,10 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	}
 
 	// Assemble the telemetry handle. -artifact telemetry implies tracing and
-	// metrics even without -stats/-trace, since the report renders them.
+	// metrics even without -stats/-trace, since the report renders them;
+	// -debug-addr implies both, since the /debug surface serves them live.
 	o := &obs.Obs{}
-	if *tracePath != "" || *stats || name == "telemetry" {
+	if *tracePath != "" || *stats || name == "telemetry" || *debugAddr != "" {
 		o.Trace = obs.NewCollector()
 		o.Metrics = obs.NewRegistry()
 	}
@@ -148,6 +153,30 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		o.Log = obs.NewLogger(stderr, level)
 	}
 	ctx := par.WithJobs(obs.With(context.Background(), o), *jobs)
+
+	// Start the live debug surface before the pipeline so a scrape observes
+	// the run from its first span. The sampler keeps the runtime gauges
+	// fresh between scrapes; both shut down when the run ends.
+	if *debugAddr != "" {
+		sampler := obs.NewSampler(o.Metrics, *debugSample)
+		sampler.Start()
+		debug, err := obs.ServeDebug(*debugAddr, o)
+		if err != nil {
+			sampler.Stop()
+			fmt.Fprintf(stderr, "studysim: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "studysim: debug server listening on http://%s/debug/\n", debug.Addr())
+		defer func() {
+			if err := debug.Close(); err != nil {
+				fmt.Fprintf(stderr, "studysim: debug server: %v\n", err)
+				if code == 0 {
+					code = 1
+				}
+			}
+			sampler.Stop()
+		}()
+	}
 
 	// Arm fault injection and attach a run manifest so exclusions and
 	// retries can be reported after the run.

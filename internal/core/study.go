@@ -199,7 +199,7 @@ func NewCtx(ctx context.Context, cfg *Config) (*Study, error) {
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 				return nil, fmt.Errorf("%w: metrics for %s: %w", ErrPipeline, p.Snippet.ID, err)
 			}
-			man.Exclude("metrics", p.Snippet.ID, err)
+			fault.Exclude(ctx, "metrics", p.Snippet.ID, err)
 			obs.AddCount(ctx, "metrics.evaluate.excluded", 1)
 			log.Error("metric evaluation excluded", "snippet", p.Snippet.ID, "err", err)
 			continue

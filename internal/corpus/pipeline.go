@@ -144,7 +144,6 @@ func PrepareSnippets(ctx context.Context, snippets []*Snippet) ([]*Prepared, err
 	})
 
 	out := make([]*Prepared, 0, len(snippets))
-	man := fault.ManifestFrom(ctx)
 	var failed []error
 	for i := range snippets {
 		if errs[i] != nil {
@@ -152,7 +151,7 @@ func PrepareSnippets(ctx context.Context, snippets []*Snippet) ([]*Prepared, err
 			// Cancellation fallout is the run dying, not this snippet being
 			// bad — only genuine failures become manifest exclusions.
 			if !errors.Is(errs[i], context.Canceled) && !errors.Is(errs[i], context.DeadlineExceeded) {
-				man.Exclude("corpus", snippets[i].ID, errs[i])
+				fault.Exclude(ctx, "corpus", snippets[i].ID, errs[i])
 			}
 			continue
 		}

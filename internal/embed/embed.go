@@ -107,6 +107,12 @@ type Model struct {
 	// first Cosine call via cacheOnce (see simCache).
 	cacheOnce sync.Once
 	cache     *simCache
+
+	// obsHits/obsMisses are live registry counters bumped per Cosine
+	// lookup when the model was trained under an obs handle, so a
+	// /debug/metrics scrape mid-run shows cache traffic without waiting
+	// for the end-of-run CacheStats export. Nil without telemetry.
+	obsHits, obsMisses *obs.Counter
 }
 
 // Config controls training.
@@ -281,6 +287,10 @@ func TrainCtx(octx context.Context, contexts [][]string, cfg *Config) (*Model, e
 	}
 	m := &Model{vocab: vocab, tokens: tokens, vectors: vectors, dim: dim, idvecs: newVecCache()}
 	m.normalize()
+	if o := obs.From(octx); o != nil && o.Metrics != nil {
+		m.obsHits = o.Metrics.CounterL("embed.cache.lookups", obs.L("result", "hit"))
+		m.obsMisses = o.Metrics.CounterL("embed.cache.lookups", obs.L("result", "miss"))
+	}
 	return m, nil
 }
 
@@ -472,7 +482,13 @@ func (m *Model) Cosine(a, b string) float64 {
 	c := m.simCache()
 	k := pairKey(a, b)
 	if v, ok := c.get(k); ok {
+		if m.obsHits != nil {
+			m.obsHits.Inc()
+		}
 		return v
+	}
+	if m.obsMisses != nil {
+		m.obsMisses.Inc()
 	}
 	t0 := time.Now()
 	v := m.cosineUncached(a, b)

@@ -511,7 +511,11 @@ func (r *Runner) All() (string, error) {
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 				return "", err
 			}
+			// The runner's ctx may not carry the manifest (it is built
+			// post-run), so record into the study's ledger directly and bump
+			// the live counter alongside.
 			r.Study.Manifest.Exclude("artifact", sections[i].name, err)
+			obs.AddCountL(ctx, "fault.excluded", 1, obs.L("stage", "artifact"))
 			obs.AddCount(ctx, "experiments.artifacts.failed", 1)
 			title := sections[i].name + " unavailable"
 			out = title + "\n" + strings.Repeat("=", len(title)) + "\n" +

@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"decompstudy/internal/obs"
 	"decompstudy/internal/par"
 )
 
@@ -243,6 +244,9 @@ func CheckKey(ctx context.Context, pt Point, key string) error {
 // rule exhausted and recovers — modeling a fault that clears on retry.
 func (inj *Injector) check(ctx context.Context, pt Point, key string) error {
 	err := inj.eval(pt, key)
+	if err != nil {
+		obs.AddCountL(ctx, "fault.injected", 1, obs.L("point", string(pt)))
+	}
 	if err == nil || !IsTransient(err) {
 		return err
 	}
@@ -252,6 +256,7 @@ func (inj *Injector) check(ctx context.Context, pt Point, key string) error {
 			return err        // budget exhausted — the transient fault sticks
 		}
 		ManifestFrom(ctx).recordRetry(pt, key)
+		obs.AddCountL(ctx, "fault.retried", 1, obs.L("point", string(pt)))
 		backoff(ctx, attempt)
 		err = inj.eval(pt, key)
 		if err == nil || !IsTransient(err) {

@@ -6,6 +6,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"decompstudy/internal/obs"
 )
 
 // Exclusion records one work item that failed and was removed from the run
@@ -50,6 +52,15 @@ func WithManifest(ctx context.Context, m *Manifest) context.Context {
 func ManifestFrom(ctx context.Context) *Manifest {
 	m, _ := ctx.Value(manifestKey).(*Manifest)
 	return m
+}
+
+// Exclude records one excluded work item into the context's manifest and
+// bumps the live fault.excluded counter for the stage, so a /debug/metrics
+// scrape shows exclusions as they happen rather than only in the end-of-run
+// report.
+func Exclude(ctx context.Context, stage, key string, err error) {
+	ManifestFrom(ctx).Exclude(stage, key, err)
+	obs.AddCountL(ctx, "fault.excluded", 1, obs.L("stage", stage))
 }
 
 // Exclude records one excluded work item.

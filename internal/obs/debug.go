@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strconv"
+	"time"
+)
+
+// DebugServer is the live telemetry surface of a long-running process: an
+// http.Handler mounting, under /debug/,
+//
+//	/debug/health       liveness + uptime JSON
+//	/debug/metrics      Prometheus text exposition (?format=json for the
+//	                    registry snapshot)
+//	/debug/spans        the span ring as JSON, most recent last (?n=K
+//	                    limits to the last K)
+//	/debug/spans/trace  Chrome trace-event JSON download
+//	/debug/stage        per-stage aggregates (?format=json)
+//	/debug/pprof/       the stdlib pprof index, profile, symbol, trace
+//
+// Every handler reads the live collector and registry, so scraping
+// mid-run observes the pipeline as it executes. The handler is mountable
+// as a mux root (the CLIs' -debug-addr does exactly that) or inside a
+// larger server's mux.
+type DebugServer struct {
+	o       *Obs
+	started time.Time
+	mux     *http.ServeMux
+}
+
+// NewDebugServer builds the /debug surface over a telemetry handle. Nil
+// handles (or handles missing a facility) degrade to empty-but-valid
+// responses rather than errors, so mounting is unconditional.
+func NewDebugServer(o *Obs) *DebugServer {
+	if o == nil {
+		o = &Obs{}
+	}
+	s := &DebugServer{o: o, started: time.Now(), mux: http.NewServeMux()}
+	s.mux.HandleFunc("/debug/health", s.handleHealth)
+	s.mux.HandleFunc("/debug/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/spans", s.handleSpans)
+	s.mux.HandleFunc("/debug/spans/trace", s.handleSpansTrace)
+	s.mux.HandleFunc("/debug/stage", s.handleStage)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+func (s *DebugServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *DebugServer) handleHealth(w http.ResponseWriter, r *http.Request) {
+	health := struct {
+		Status        string  `json:"status"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+		Goroutines    int     `json:"goroutines"`
+		Spans         int     `json:"spans"`
+		DroppedSpans  uint64  `json:"dropped_spans"`
+	}{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Goroutines:    runtime.NumGoroutine(),
+	}
+	if c := s.o.Trace; c != nil {
+		health.Spans = len(c.Spans())
+		health.DroppedSpans = c.Dropped()
+	}
+	writeJSON(w, health)
+}
+
+func (s *DebugServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	reg := s.o.Metrics
+	if r.URL.Query().Get("format") == "json" {
+		if reg == nil {
+			writeJSON(w, Snapshot{})
+			return
+		}
+		raw, err := reg.Snapshot().JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(raw)
+		w.Write([]byte("\n"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if reg == nil {
+		return
+	}
+	if err := reg.WritePrometheus(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// spanJSON is one span in the /debug/spans payload, timestamps in
+// microseconds since the collector epoch like the Chrome trace export.
+type spanJSON struct {
+	ID       uint64            `json:"id"`
+	Parent   uint64            `json:"parent,omitempty"`
+	Name     string            `json:"name"`
+	StartUS  float64           `json:"start_us"`
+	DurUS    float64           `json:"dur_us"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Finished bool              `json:"finished"`
+}
+
+func (s *DebugServer) handleSpans(w http.ResponseWriter, r *http.Request) {
+	out := struct {
+		Capacity int        `json:"capacity"`
+		Count    int        `json:"count"`
+		Dropped  uint64     `json:"dropped"`
+		Spans    []spanJSON `json:"spans"`
+	}{Spans: []spanJSON{}}
+	if c := s.o.Trace; c != nil {
+		spans := c.Spans()
+		out.Capacity = c.Cap()
+		out.Dropped = c.Dropped()
+		out.Count = len(spans)
+		if nStr := r.URL.Query().Get("n"); nStr != "" {
+			if n, err := strconv.Atoi(nStr); err == nil && n >= 0 && n < len(spans) {
+				spans = spans[len(spans)-n:]
+			}
+		}
+		for _, sp := range spans {
+			j := spanJSON{
+				ID:       sp.ID,
+				Parent:   sp.Parent,
+				Name:     sp.Name,
+				StartUS:  float64(sp.Start.Nanoseconds()) / 1e3,
+				DurUS:    float64((sp.Finish - sp.Start).Nanoseconds()) / 1e3,
+				Finished: sp.Finish >= sp.Start,
+			}
+			if len(sp.Attrs) > 0 {
+				j.Attrs = map[string]string{}
+				for _, a := range sp.Attrs {
+					j.Attrs[a.Key] = a.Value
+				}
+			}
+			out.Spans = append(out.Spans, j)
+		}
+	}
+	writeJSON(w, out)
+}
+
+func (s *DebugServer) handleSpansTrace(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="trace.json"`)
+	c := s.o.Trace
+	if c == nil {
+		c = NewCollectorCap(1) // empty trace document
+	}
+	if err := c.WriteChromeTrace(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *DebugServer) handleStage(w http.ResponseWriter, r *http.Request) {
+	var stats []StageStat
+	if c := s.o.Trace; c != nil {
+		stats = c.StageSummary()
+	}
+	if r.URL.Query().Get("format") == "json" {
+		type stageJSON struct {
+			Name         string  `json:"name"`
+			Count        int     `json:"count"`
+			TotalSeconds float64 `json:"total_seconds"`
+		}
+		out := make([]stageJSON, 0, len(stats))
+		for _, st := range stats {
+			out = append(out, stageJSON{Name: st.Name, Count: st.Count, TotalSeconds: st.Total.Seconds()})
+		}
+		writeJSON(w, out)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if len(stats) == 0 {
+		fmt.Fprintln(w, "(no spans recorded)")
+		return
+	}
+	for _, st := range stats {
+		fmt.Fprintf(w, "%-44s count=%-6d total=%s\n", st.Name, st.Count, st.Total)
+	}
+}
+
+// DebugListener is a running debug HTTP server bound to a TCP address —
+// what a CLI's -debug-addr flag starts. Close shuts the server down and
+// releases the port.
+type DebugListener struct {
+	addr string
+	srv  *http.Server
+	done chan struct{}
+}
+
+// ServeDebug binds addr (host:port; port 0 picks a free port) and serves
+// the /debug surface for o in a background goroutine. The returned
+// listener reports the resolved address and closes the server.
+func ServeDebug(addr string, o *Obs) (*DebugListener, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug server: %w", err)
+	}
+	d := &DebugListener{
+		addr: lis.Addr().String(),
+		srv:  &http.Server{Handler: NewDebugServer(o)},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(d.done)
+		// Serve returns http.ErrServerClosed (or a closed-listener error)
+		// on shutdown; either way the CLI run is over.
+		_ = d.srv.Serve(lis)
+	}()
+	return d, nil
+}
+
+// Addr returns the resolved listen address (useful with port 0).
+func (d *DebugListener) Addr() string { return d.addr }
+
+// Close stops the server and waits for the serve goroutine to exit.
+func (d *DebugListener) Close() error {
+	err := d.srv.Close()
+	<-d.done
+	return err
+}

@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// newPopulatedObs builds a handle with a few finished spans and metrics so
+// every /debug endpoint has content to serve.
+func newPopulatedObs() *Obs {
+	o := New()
+	ctx := With(context.Background(), o)
+	pctx, parent := StartSpan(ctx, "study.Run", KV("seed", 26))
+	for i := 0; i < 3; i++ {
+		_, sp := StartSpan(pctx, "corpus.Prepare")
+		sp.End()
+	}
+	parent.End()
+	o.Metrics.Counter("pipeline.calls").Add(5)
+	o.Metrics.CounterL("fault.injected", L("point", "csrc.parse")).Inc()
+	o.Metrics.Histogram("stage.seconds", nil).Observe(0.25)
+	return o
+}
+
+func get(t *testing.T, h http.Handler, path string) (int, string, string) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	body, _ := io.ReadAll(rec.Result().Body)
+	return rec.Code, string(body), rec.Header().Get("Content-Type")
+}
+
+func TestDebugMetricsEndpoint(t *testing.T) {
+	s := NewDebugServer(newPopulatedObs())
+
+	code, body, ctype := get(t, s, "/debug/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/metrics status = %d", code)
+	}
+	if !strings.Contains(ctype, "text/plain") {
+		t.Errorf("content type = %q, want text/plain exposition", ctype)
+	}
+	for _, want := range []string{
+		"# TYPE pipeline_calls counter",
+		"pipeline_calls 5",
+		`fault_injected{point="csrc.parse"} 1`,
+		`stage_seconds_bucket{le="+Inf"} 1`,
+		"stage_seconds_count 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body, ctype = get(t, s, "/debug/metrics?format=json")
+	if code != http.StatusOK {
+		t.Fatalf("json metrics status = %d", code)
+	}
+	if !strings.Contains(ctype, "application/json") {
+		t.Errorf("json content type = %q", ctype)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("json metrics body does not parse: %v\n%s", err, body)
+	}
+	if _, ok := snap["counters"]; !ok {
+		t.Errorf("json snapshot missing counters: %s", body)
+	}
+}
+
+func TestDebugSpansEndpoints(t *testing.T) {
+	s := NewDebugServer(newPopulatedObs())
+
+	code, body, _ := get(t, s, "/debug/spans")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/spans status = %d", code)
+	}
+	var spans struct {
+		Capacity int        `json:"capacity"`
+		Count    int        `json:"count"`
+		Dropped  uint64     `json:"dropped"`
+		Spans    []spanJSON `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(body), &spans); err != nil {
+		t.Fatalf("spans body does not parse: %v\n%s", err, body)
+	}
+	if spans.Count != 4 || len(spans.Spans) != 4 {
+		t.Errorf("count = %d, spans = %d, want 4 each", spans.Count, len(spans.Spans))
+	}
+	if spans.Capacity != DefaultSpanCap {
+		t.Errorf("capacity = %d, want %d", spans.Capacity, DefaultSpanCap)
+	}
+	if got := spans.Spans[0].Name; got != "study.Run" {
+		t.Errorf("first span = %q, want study.Run", got)
+	}
+	if spans.Spans[0].Attrs["seed"] != "26" {
+		t.Errorf("attrs = %v, want seed=26", spans.Spans[0].Attrs)
+	}
+
+	// ?n= keeps only the most recent spans.
+	code, body, _ = get(t, s, "/debug/spans?n=2")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/spans?n=2 status = %d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &spans); err != nil {
+		t.Fatal(err)
+	}
+	if len(spans.Spans) != 2 || spans.Count != 4 {
+		t.Errorf("n=2 returned %d spans (count %d), want 2 of 4", len(spans.Spans), spans.Count)
+	}
+
+	// The Chrome trace download is valid trace-event JSON.
+	code, body, ctype := get(t, s, "/debug/spans/trace")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/spans/trace status = %d", code)
+	}
+	if !strings.Contains(ctype, "application/json") {
+		t.Errorf("trace content type = %q", ctype)
+	}
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &trace); err != nil {
+		t.Fatalf("trace body does not parse: %v", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Error("trace has no events")
+	}
+}
+
+func TestDebugStageAndHealthEndpoints(t *testing.T) {
+	s := NewDebugServer(newPopulatedObs())
+
+	code, body, _ := get(t, s, "/debug/stage")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/stage status = %d", code)
+	}
+	if !strings.Contains(body, "corpus.Prepare") || !strings.Contains(body, "count=3") {
+		t.Errorf("stage text missing aggregate:\n%s", body)
+	}
+
+	code, body, _ = get(t, s, "/debug/stage?format=json")
+	if code != http.StatusOK {
+		t.Fatalf("stage json status = %d", code)
+	}
+	var stages []struct {
+		Name         string  `json:"name"`
+		Count        int     `json:"count"`
+		TotalSeconds float64 `json:"total_seconds"`
+	}
+	if err := json.Unmarshal([]byte(body), &stages); err != nil {
+		t.Fatalf("stage json does not parse: %v\n%s", err, body)
+	}
+	if len(stages) != 2 {
+		t.Errorf("stage json = %+v, want 2 stages", stages)
+	}
+
+	code, body, _ = get(t, s, "/debug/health")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/health status = %d", code)
+	}
+	var health struct {
+		Status     string `json:"status"`
+		Goroutines int    `json:"goroutines"`
+		Spans      int    `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(body), &health); err != nil {
+		t.Fatalf("health body does not parse: %v", err)
+	}
+	if health.Status != "ok" || health.Goroutines < 1 || health.Spans != 4 {
+		t.Errorf("health = %+v, want ok with 4 spans", health)
+	}
+}
+
+func TestDebugPprofMounted(t *testing.T) {
+	s := NewDebugServer(newPopulatedObs())
+	code, body, _ := get(t, s, "/debug/pprof/")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status = %d", code)
+	}
+	if !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index missing profile listing:\n%.200s", body)
+	}
+	code, _, _ = get(t, s, "/debug/pprof/cmdline")
+	if code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status = %d", code)
+	}
+}
+
+// TestDebugNilFacilities mounts the surface over an empty handle: every
+// endpoint must still answer 200 with an empty-but-valid payload.
+func TestDebugNilFacilities(t *testing.T) {
+	s := NewDebugServer(nil)
+	for _, path := range []string{
+		"/debug/health", "/debug/metrics", "/debug/metrics?format=json",
+		"/debug/spans", "/debug/spans/trace", "/debug/stage",
+	} {
+		code, body, _ := get(t, s, path)
+		if code != http.StatusOK {
+			t.Errorf("%s status = %d with nil facilities", path, code)
+		}
+		if body == "" && !strings.Contains(path, "metrics") {
+			t.Errorf("%s returned empty body", path)
+		}
+	}
+}
+
+func TestServeDebugBindsAndCloses(t *testing.T) {
+	o := newPopulatedObs()
+	d, err := ServeDebug("127.0.0.1:0", o)
+	if err != nil {
+		t.Fatalf("ServeDebug: %v", err)
+	}
+	addr := d.Addr()
+	if !strings.HasPrefix(addr, "127.0.0.1:") || strings.HasSuffix(addr, ":0") {
+		t.Fatalf("addr = %q, want resolved 127.0.0.1 port", addr)
+	}
+	resp, err := http.Get("http://" + addr + "/debug/health")
+	if err != nil {
+		t.Fatalf("GET health: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"ok"`) {
+		t.Errorf("health over TCP = %d %q", resp.StatusCode, body)
+	}
+	if err := d.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	if _, err := http.Get("http://" + addr + "/debug/health"); err == nil {
+		t.Error("server still serving after Close")
+	}
+}

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+)
+
+// Label is one key/value dimension of a metric series. A metric name plus
+// its sorted label set identifies a series: requests{code="200"} and
+// requests{code="500"} are independent counters under one name.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L builds a Label — the short constructor used at instrumentation sites:
+//
+//	obs.AddCountL(ctx, "fault.injected", 1, obs.L("point", "csrc.parse"))
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// seriesKey renders a metric name and label set into the canonical series
+// key: the bare name with no labels, otherwise name{k1="v1",k2="v2"} with
+// labels sorted by key and values escaped. The key doubles as the display
+// form in snapshots, so labeled series read the same in text, JSON, and
+// Prometheus output. The returned label slice is the sorted private copy
+// the registry retains.
+func seriesKey(name string, labels []Label) (string, []Label) {
+	if len(labels) == 0 {
+		return name, nil
+	}
+	ls := append([]Label(nil), labels...)
+	sort.SliceStable(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.Grow(len(name) + 16*len(ls))
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String(), ls
+}
+
+// escapeLabelValue escapes a label value for the quoted exposition form:
+// backslash, double quote, and newline become \\, \", and \n — exactly the
+// Prometheus text-format escaping rules.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 8)
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
+}
+
+// keyHash is FNV-1a over the series key, used only to pick a registry
+// shard.
+func keyHash(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -88,61 +89,142 @@ func (h *Histogram) Count() int64 { return h.total.Load() }
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
 
-// Registry holds named metrics. All methods are safe for concurrent use;
-// lookups get-or-create, so instrumentation sites never need registration
-// boilerplate.
-type Registry struct {
-	mu       sync.Mutex
+// regShards is the shard count of the registry's series index; a power of
+// two so the shard pick is a mask of the series-key hash. 16 shards keep
+// get-or-create contention negligible with every pipeline fan-out bumping
+// labeled counters concurrently.
+const regShards = 16
+
+// seriesMeta remembers a series' structured identity (base name + sorted
+// labels) so the Prometheus exposition never has to re-parse the rendered
+// key.
+type seriesMeta struct {
+	name   string
+	labels []Label
+}
+
+// regShard is one slice of the registry: its own lock plus the metric and
+// metadata maps for the series that hash to it.
+type regShard struct {
+	mu       sync.RWMutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	meta     map[string]seriesMeta
+}
+
+// Registry holds named, optionally labeled metrics behind a lock-sharded
+// series index. All methods are safe for concurrent use; lookups
+// get-or-create, so instrumentation sites never need registration
+// boilerplate. A series is (name, sorted label set); the label-free
+// methods address the unlabeled series of a name.
+type Registry struct {
+	shards [regShards]regShard
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{
-		counters: map[string]*Counter{},
-		gauges:   map[string]*Gauge{},
-		hists:    map[string]*Histogram{},
+	r := &Registry{}
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.counters = map[string]*Counter{}
+		s.gauges = map[string]*Gauge{}
+		s.hists = map[string]*Histogram{}
+		s.meta = map[string]seriesMeta{}
 	}
+	return r
 }
 
-// Counter returns the named counter, creating it on first use.
-func (r *Registry) Counter(name string) *Counter {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	c, ok := r.counters[name]
-	if !ok {
-		c = &Counter{}
-		r.counters[name] = c
+func (r *Registry) shard(key string) *regShard {
+	return &r.shards[keyHash(key)&(regShards-1)]
+}
+
+// Counter returns the named unlabeled counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter { return r.CounterL(name) }
+
+// CounterL returns the counter series for (name, labels), creating it on
+// first use. Labels are canonicalized by key order, so the argument order
+// never splits a series.
+func (r *Registry) CounterL(name string, labels ...Label) *Counter {
+	key, ls := seriesKey(name, labels)
+	s := r.shard(key)
+	s.mu.RLock()
+	c, ok := s.counters[key]
+	s.mu.RUnlock()
+	if ok {
+		return c
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok = s.counters[key]; ok {
+		return c
+	}
+	c = &Counter{}
+	s.counters[key] = c
+	s.recordMeta(key, name, ls)
 	return c
 }
 
-// Gauge returns the named gauge, creating it on first use.
-func (r *Registry) Gauge(name string) *Gauge {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	g, ok := r.gauges[name]
-	if !ok {
-		g = &Gauge{}
-		r.gauges[name] = g
+// Gauge returns the named unlabeled gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge { return r.GaugeL(name) }
+
+// GaugeL returns the gauge series for (name, labels), creating it on first
+// use.
+func (r *Registry) GaugeL(name string, labels ...Label) *Gauge {
+	key, ls := seriesKey(name, labels)
+	s := r.shard(key)
+	s.mu.RLock()
+	g, ok := s.gauges[key]
+	s.mu.RUnlock()
+	if ok {
+		return g
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if g, ok = s.gauges[key]; ok {
+		return g
+	}
+	g = &Gauge{}
+	s.gauges[key] = g
+	s.recordMeta(key, name, ls)
 	return g
 }
 
-// Histogram returns the named histogram, creating it with the given bucket
-// upper bounds on first use (nil = DefBuckets). Later calls ignore the
-// bounds argument and return the existing histogram.
+// Histogram returns the named unlabeled histogram, creating it with the
+// given bucket upper bounds on first use (nil = DefBuckets). Later calls
+// ignore the bounds argument and return the existing histogram.
 func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	h, ok := r.hists[name]
-	if !ok {
-		h = newHistogram(bounds)
-		r.hists[name] = h
+	return r.HistogramL(name, bounds)
+}
+
+// HistogramL returns the histogram series for (name, labels), creating it
+// with the given bucket upper bounds on first use (nil = DefBuckets).
+func (r *Registry) HistogramL(name string, bounds []float64, labels ...Label) *Histogram {
+	key, ls := seriesKey(name, labels)
+	s := r.shard(key)
+	s.mu.RLock()
+	h, ok := s.hists[key]
+	s.mu.RUnlock()
+	if ok {
+		return h
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if h, ok = s.hists[key]; ok {
+		return h
+	}
+	h = newHistogram(bounds)
+	s.hists[key] = h
+	s.recordMeta(key, name, ls)
 	return h
+}
+
+// recordMeta stores the structured identity of a new series. Caller holds
+// the shard write lock.
+func (s *regShard) recordMeta(key, name string, labels []Label) {
+	if _, ok := s.meta[key]; !ok {
+		s.meta[key] = seriesMeta{name: name, labels: labels}
+	}
 }
 
 // BucketCount is one histogram bucket in a snapshot: the cumulative count
@@ -152,15 +234,59 @@ type BucketCount struct {
 	Count      int64   `json:"count"`
 }
 
-// HistSnapshot is a point-in-time histogram reading.
+// HistSnapshot is a point-in-time histogram reading, including the
+// bucket-interpolated quantile estimates.
 type HistSnapshot struct {
 	Count   int64         `json:"count"`
 	Sum     float64       `json:"sum"`
+	P50     float64       `json:"p50"`
+	P90     float64       `json:"p90"`
+	P99     float64       `json:"p99"`
 	Buckets []BucketCount `json:"buckets"`
 }
 
-// Snapshot is a point-in-time reading of the whole registry. It marshals
-// directly to JSON and renders as text via String.
+// Quantile estimates the q-quantile (0 <= q <= 1) of the recorded
+// distribution from the cumulative buckets, interpolating linearly within
+// the bucket that contains the target rank — the same estimator Prometheus
+// applies to histogram series. Values in the +Inf bucket clamp to the
+// highest finite bound (the estimate cannot exceed what the buckets
+// resolve), and an empty histogram estimates 0. Observations are assumed
+// non-negative, which holds for every duration- and size-shaped series the
+// pipeline records.
+func (h HistSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Buckets) == 0 || math.IsNaN(q) {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	lo := 0.0
+	var prevCum int64
+	for _, b := range h.Buckets {
+		if float64(b.Count) >= rank && b.Count > prevCum {
+			if math.IsInf(b.UpperBound, 1) {
+				// Target falls beyond the finite buckets: clamp to the
+				// highest finite bound.
+				return lo
+			}
+			in := float64(b.Count - prevCum)
+			return lo + (b.UpperBound-lo)*(rank-float64(prevCum))/in
+		}
+		if !math.IsInf(b.UpperBound, 1) {
+			lo = b.UpperBound
+		}
+		prevCum = b.Count
+	}
+	return lo
+}
+
+// Snapshot is a point-in-time reading of the whole registry, keyed by
+// series key (the bare name, or name{k="v",...} for labeled series). It
+// marshals directly to JSON and renders as text via String.
 type Snapshot struct {
 	Counters   map[string]int64        `json:"counters,omitempty"`
 	Gauges     map[string]float64      `json:"gauges,omitempty"`
@@ -169,31 +295,41 @@ type Snapshot struct {
 
 // Snapshot captures every metric's current value.
 func (r *Registry) Snapshot() Snapshot {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	s := Snapshot{
 		Counters:   map[string]int64{},
 		Gauges:     map[string]float64{},
 		Histograms: map[string]HistSnapshot{},
 	}
-	for name, c := range r.counters {
-		s.Counters[name] = c.Value()
-	}
-	for name, g := range r.gauges {
-		s.Gauges[name] = g.Value()
-	}
-	for name, h := range r.hists {
-		hs := HistSnapshot{Count: h.Count(), Sum: h.Sum()}
-		cum := int64(0)
-		for i, ub := range h.bounds {
-			cum += h.counts[i].Load()
-			hs.Buckets = append(hs.Buckets, BucketCount{UpperBound: ub, Count: cum})
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		for key, c := range sh.counters {
+			s.Counters[key] = c.Value()
 		}
-		cum += h.counts[len(h.bounds)].Load()
-		hs.Buckets = append(hs.Buckets, BucketCount{UpperBound: math.Inf(1), Count: cum})
-		s.Histograms[name] = hs
+		for key, g := range sh.gauges {
+			s.Gauges[key] = g.Value()
+		}
+		for key, h := range sh.hists {
+			s.Histograms[key] = snapshotHistogram(h)
+		}
+		sh.mu.RUnlock()
 	}
 	return s
+}
+
+func snapshotHistogram(h *Histogram) HistSnapshot {
+	hs := HistSnapshot{Count: h.Count(), Sum: h.Sum()}
+	cum := int64(0)
+	for i, ub := range h.bounds {
+		cum += h.counts[i].Load()
+		hs.Buckets = append(hs.Buckets, BucketCount{UpperBound: ub, Count: cum})
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	hs.Buckets = append(hs.Buckets, BucketCount{UpperBound: math.Inf(1), Count: cum})
+	hs.P50 = hs.Quantile(0.50)
+	hs.P90 = hs.Quantile(0.90)
+	hs.P99 = hs.Quantile(0.99)
+	return hs
 }
 
 // JSON renders the snapshot as indented JSON. Histogram +Inf bounds are
@@ -206,6 +342,9 @@ func (s Snapshot) JSON() ([]byte, error) {
 	type jsonHist struct {
 		Count   int64        `json:"count"`
 		Sum     float64      `json:"sum"`
+		P50     float64      `json:"p50"`
+		P90     float64      `json:"p90"`
+		P99     float64      `json:"p99"`
 		Buckets []jsonBucket `json:"buckets"`
 	}
 	out := struct {
@@ -214,7 +353,7 @@ func (s Snapshot) JSON() ([]byte, error) {
 		Histograms map[string]jsonHist `json:"histograms,omitempty"`
 	}{Counters: s.Counters, Gauges: s.Gauges, Histograms: map[string]jsonHist{}}
 	for name, h := range s.Histograms {
-		jh := jsonHist{Count: h.Count, Sum: h.Sum}
+		jh := jsonHist{Count: h.Count, Sum: h.Sum, P50: h.P50, P90: h.P90, P99: h.P99}
 		for _, b := range h.Buckets {
 			ub := "+Inf"
 			if !math.IsInf(b.UpperBound, 1) {
@@ -227,14 +366,15 @@ func (s Snapshot) JSON() ([]byte, error) {
 	return json.MarshalIndent(out, "", "  ")
 }
 
-// String renders the snapshot as sorted, aligned text.
+// String renders the snapshot as sorted, aligned text. Float values go
+// through formatFloat, so the text round-trips every float64 exactly.
 func (s Snapshot) String() string {
 	var b strings.Builder
 	for _, name := range sortedKeys(s.Counters) {
 		fmt.Fprintf(&b, "counter  %-44s %d\n", name, s.Counters[name])
 	}
 	for _, name := range sortedKeys(s.Gauges) {
-		fmt.Fprintf(&b, "gauge    %-44s %g\n", name, s.Gauges[name])
+		fmt.Fprintf(&b, "gauge    %-44s %s\n", name, formatFloat(s.Gauges[name]))
 	}
 	for _, name := range sortedKeys(s.Histograms) {
 		h := s.Histograms[name]
@@ -242,7 +382,9 @@ func (s Snapshot) String() string {
 		if h.Count > 0 {
 			mean = h.Sum / float64(h.Count)
 		}
-		fmt.Fprintf(&b, "hist     %-44s count=%d sum=%.6g mean=%.6g\n", name, h.Count, h.Sum, mean)
+		fmt.Fprintf(&b, "hist     %-44s count=%d sum=%s mean=%s p50=%s p90=%s p99=%s\n",
+			name, h.Count, formatFloat(h.Sum), formatFloat(mean),
+			formatFloat(h.P50), formatFloat(h.P90), formatFloat(h.P99))
 		for _, bk := range h.Buckets {
 			if bk.Count == 0 {
 				continue
@@ -257,7 +399,10 @@ func (s Snapshot) String() string {
 	return b.String()
 }
 
-func formatFloat(v float64) string { return fmt.Sprintf("%g", v) }
+// formatFloat renders v with the minimal digits that parse back to exactly
+// v — strconv's shortest 'g' form, so golden output is stable wherever
+// fmt's fixed-precision verbs would truncate.
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
 func sortedKeys[M ~map[string]V, V any](m M) []string {
 	keys := make([]string, 0, len(m))

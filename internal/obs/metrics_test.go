@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"math"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -115,7 +116,68 @@ func TestRegistryConcurrency(t *testing.T) {
 	if got := r.Histogram("shared.hist", nil).Count(); got != workers*perWorker {
 		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
 	}
-	if got := len(o.Trace.Spans()); got != workers*perWorker {
-		t.Errorf("span count = %d, want %d", got, workers*perWorker)
+	// 8000 span starts overflow the default ring: the collector retains the
+	// most recent DefaultSpanCap and counts the rest as dropped.
+	retained := len(o.Trace.Spans())
+	if retained != DefaultSpanCap {
+		t.Errorf("span count = %d, want ring capacity %d", retained, DefaultSpanCap)
+	}
+	if got := o.Trace.Dropped(); got != workers*perWorker-DefaultSpanCap {
+		t.Errorf("dropped = %d, want %d", got, workers*perWorker-DefaultSpanCap)
+	}
+}
+
+func TestLabeledSeriesAreIndependent(t *testing.T) {
+	r := NewRegistry()
+	r.CounterL("req", L("code", "200")).Add(3)
+	r.CounterL("req", L("code", "500")).Inc()
+	r.Counter("req").Add(7) // the unlabeled series of the same name
+	if got := r.CounterL("req", L("code", "200")).Value(); got != 3 {
+		t.Errorf("req{code=200} = %d, want 3", got)
+	}
+	if got := r.CounterL("req", L("code", "500")).Value(); got != 1 {
+		t.Errorf("req{code=500} = %d, want 1", got)
+	}
+	if got := r.Counter("req").Value(); got != 7 {
+		t.Errorf("req = %d, want 7", got)
+	}
+	// Label order never splits a series.
+	a := r.CounterL("multi", L("b", "2"), L("a", "1"))
+	b := r.CounterL("multi", L("a", "1"), L("b", "2"))
+	if a != b {
+		t.Error("label order split the series")
+	}
+	s := r.Snapshot()
+	for _, key := range []string{`req`, `req{code="200"}`, `req{code="500"}`, `multi{a="1",b="2"}`} {
+		if _, ok := s.Counters[key]; !ok {
+			t.Errorf("snapshot missing series key %q (have %v)", key, sortedKeys(s.Counters))
+		}
+	}
+	// Labeled gauges and histograms share the same series index.
+	r.GaugeL("depth", L("stage", "survey")).Set(4)
+	if got := r.GaugeL("depth", L("stage", "survey")).Value(); got != 4 {
+		t.Errorf("depth{stage=survey} = %g, want 4", got)
+	}
+	r.HistogramL("lat", []float64{1, 2}, L("op", "a")).Observe(1.5)
+	if got := r.HistogramL("lat", nil, L("op", "a")).Count(); got != 1 {
+		t.Errorf("lat{op=a} count = %d, want 1", got)
+	}
+}
+
+func TestFormatFloatRoundTrips(t *testing.T) {
+	// Values where fmt's default %g-style rendering would be fine but a
+	// fixed %.6g would truncate; formatFloat must emit the shortest string
+	// that parses back to exactly the same float64.
+	for _, v := range []float64{
+		0.1, 1.0 / 3.0, 1e-17, 123456.789012345, 2.5000000000000004, math.Pi,
+	} {
+		got := formatFloat(v)
+		back, err := strconv.ParseFloat(got, 64)
+		if err != nil {
+			t.Fatalf("formatFloat(%v) = %q does not parse: %v", v, got, err)
+		}
+		if back != v {
+			t.Errorf("formatFloat(%v) = %q round-trips to %v", v, got, back)
+		}
 	}
 }

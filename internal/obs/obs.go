@@ -126,6 +126,29 @@ func ObserveDuration(ctx context.Context, name string, d time.Duration) {
 	Observe(ctx, name, d.Seconds())
 }
 
+// AddCountL adds delta to the labeled counter series (no-op without a
+// registry).
+func AddCountL(ctx context.Context, name string, delta int64, labels ...Label) {
+	if o := From(ctx); o != nil && o.Metrics != nil {
+		o.Metrics.CounterL(name, labels...).Add(delta)
+	}
+}
+
+// SetGaugeL sets the labeled gauge series (no-op without a registry).
+func SetGaugeL(ctx context.Context, name string, v float64, labels ...Label) {
+	if o := From(ctx); o != nil && o.Metrics != nil {
+		o.Metrics.GaugeL(name, labels...).Set(v)
+	}
+}
+
+// ObserveL records v into the labeled histogram series with the default
+// buckets (no-op without a registry).
+func ObserveL(ctx context.Context, name string, v float64, labels ...Label) {
+	if o := From(ctx); o != nil && o.Metrics != nil {
+		o.Metrics.HistogramL(name, nil, labels...).Observe(v)
+	}
+}
+
 // Logger returns a logger that tags records with the context's span. It
 // never returns nil; with logging disabled it returns a discard logger.
 func Logger(ctx context.Context) *slog.Logger {

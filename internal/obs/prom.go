@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (version 0.0.4): one # TYPE header per metric family, then one
+// line per series with labels sorted by key and values escaped. Metric
+// names are sanitized (every character outside [a-zA-Z0-9_:] becomes '_',
+// so the registry's dotted names read as embed_cache_lookups). Histograms
+// emit cumulative _bucket series with le labels ending at +Inf, plus _sum
+// and _count. Families and series are emitted in sorted order, so the
+// output is byte-stable for a given registry state.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	type series struct {
+		meta seriesMeta
+		c    *Counter
+		g    *Gauge
+		h    *Histogram
+	}
+	// family groups every series sharing a sanitized name and metric kind
+	// (keyed by both, so a name accidentally reused across kinds still
+	// emits each series under a correct # TYPE header).
+	type famKey struct {
+		name string
+		kind string // "counter", "gauge", "histogram"
+	}
+	fams := map[famKey][]series{}
+	add := func(kind, key string, sh *regShard, s series) {
+		m, ok := sh.meta[key]
+		if !ok {
+			m = seriesMeta{name: key}
+		}
+		s.meta = m
+		fk := famKey{name: sanitizeMetricName(m.name), kind: kind}
+		fams[fk] = append(fams[fk], s)
+	}
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		for key, c := range sh.counters {
+			add("counter", key, sh, series{c: c})
+		}
+		for key, g := range sh.gauges {
+			add("gauge", key, sh, series{g: g})
+		}
+		for key, h := range sh.hists {
+			add("histogram", key, sh, series{h: h})
+		}
+		sh.mu.RUnlock()
+	}
+
+	keys := make([]famKey, 0, len(fams))
+	for fk := range fams {
+		keys = append(keys, fk)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].name != keys[j].name {
+			return keys[i].name < keys[j].name
+		}
+		return keys[i].kind < keys[j].kind
+	})
+	for _, fk := range keys {
+		name, fam := fk.name, fams[fk]
+		sort.Slice(fam, func(i, j int) bool {
+			return labelBody(fam[i].meta.labels) < labelBody(fam[j].meta.labels)
+		})
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, fk.kind); err != nil {
+			return err
+		}
+		for _, s := range fam {
+			var err error
+			switch {
+			case s.c != nil:
+				_, err = fmt.Fprintf(w, "%s%s %d\n", name, labelSet(s.meta.labels), s.c.Value())
+			case s.g != nil:
+				_, err = fmt.Fprintf(w, "%s%s %s\n", name, labelSet(s.meta.labels), formatFloat(s.g.Value()))
+			case s.h != nil:
+				err = writePromHistogram(w, name, s.meta.labels, s.h)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writePromHistogram emits one histogram series: cumulative buckets with
+// the le label appended to the series' own labels, then _sum and _count.
+func writePromHistogram(w io.Writer, name string, labels []Label, h *Histogram) error {
+	hs := snapshotHistogram(h)
+	for _, b := range hs.Buckets {
+		le := "+Inf"
+		if !math.IsInf(b.UpperBound, 1) {
+			le = formatFloat(b.UpperBound)
+		}
+		withLE := append(append([]Label(nil), labels...), L("le", le))
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, labelSet(withLE), b.Count); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, labelSet(labels), formatFloat(hs.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, labelSet(labels), hs.Count)
+	return err
+}
+
+// labelBody renders the inside of a label set (no braces) for sorting and
+// exposition; labels are already sorted by key at series creation, and the
+// le label appends after them, matching Prometheus' own bucket rendering.
+func labelBody(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(sanitizeLabelName(l.Key))
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// labelSet renders a full {…} label set, or the empty string for an
+// unlabeled series.
+func labelSet(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	return "{" + labelBody(labels) + "}"
+}
+
+// sanitizeMetricName maps a registry name onto the Prometheus metric-name
+// charset [a-zA-Z_:][a-zA-Z0-9_:]*; the pipeline's dotted names become
+// underscore-separated.
+func sanitizeMetricName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// sanitizeLabelName maps a label key onto [a-zA-Z_][a-zA-Z0-9_]*.
+func sanitizeLabelName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

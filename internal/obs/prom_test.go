@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestPrometheusGolden pins the exact text exposition: family ordering,
+// name sanitization, label escaping (backslash, quote, newline),
+// cumulative buckets ending at +Inf, and the _sum/_count tail.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pipeline.calls").Add(7)
+	r.CounterL("fault.injected", L("point", "csrc.parse")).Add(2)
+	r.CounterL("fault.injected", L("point", "embed.train")).Add(1)
+	r.CounterL("weird.labels", L("msg", "a\\b\"c\nd")).Inc()
+	r.Gauge("embed.cache.hit_rate").Set(0.5625)
+	r.GaugeL("pool.depth", L("stage", "survey"), L("arm", "treat")).Set(3)
+	h := r.Histogram("stage.seconds", []float64{0.001, 0.01, 0.1})
+	for _, v := range []float64{0.0005, 0.002, 0.003, 0.05, 2} {
+		h.Observe(v)
+	}
+	hl := r.HistogramL("op.seconds", []float64{1, 2}, L("op", "fit"))
+	hl.Observe(1.5)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	got := buf.String()
+
+	golden := filepath.Join("testdata", "prom_golden.txt")
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatalf("update golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestPrometheusBucketCumulative checks structural invariants the golden
+// file alone would not explain: bucket counts are monotone, the +Inf
+// bucket equals _count, and every line parses as `name{labels} value`.
+func TestPrometheusBucketCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1.5, 1.7, 4, 100} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	var last int64 = -1
+	infSeen := false
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "lat_bucket") {
+			continue
+		}
+		var cum int64
+		for i := len(line) - 1; i >= 0; i-- {
+			if line[i] == ' ' {
+				for _, c := range line[i+1:] {
+					cum = cum*10 + int64(c-'0')
+				}
+				break
+			}
+		}
+		if cum < last {
+			t.Errorf("bucket counts not cumulative: %q after %d", line, last)
+		}
+		last = cum
+		if strings.Contains(line, `le="+Inf"`) {
+			infSeen = true
+			if cum != 5 {
+				t.Errorf("+Inf bucket = %d, want 5", cum)
+			}
+		}
+	}
+	if !infSeen {
+		t.Error("no +Inf bucket emitted")
+	}
+	if !strings.Contains(out, "lat_count 5") {
+		t.Errorf("missing lat_count 5 in:\n%s", out)
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	for in, want := range map[string]string{
+		"embed.cache.hit_rate": "embed_cache_hit_rate",
+		"fault.injected":       "fault_injected",
+		"9lives":               "_9lives",
+		"ok:name_1":            "ok:name_1",
+		"sp ace-dash":          "sp_ace_dash",
+		"":                     "_",
+	} {
+		if got := sanitizeMetricName(in); got != want {
+			t.Errorf("sanitizeMetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

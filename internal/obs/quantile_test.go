@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// exactQuantile is the reference estimator: the smallest sample whose rank
+// covers q*n — the same rank convention the bucket walk uses, so the two
+// must land in the same bucket.
+func exactQuantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// bucketWidthAt returns the width of the bucket that contains v (the
+// guaranteed error bound of linear interpolation within a bucket).
+func bucketWidthAt(bounds []float64, v float64) float64 {
+	lo := 0.0
+	for _, ub := range bounds {
+		if v <= ub {
+			return ub - lo
+		}
+		lo = ub
+	}
+	return math.Inf(1)
+}
+
+// TestQuantileWithinBucketWidth is the property test: for random positive
+// samples that stay inside the finite buckets, the interpolated estimate
+// must sit within one bucket width of the exact sorted-sample quantile.
+func TestQuantileWithinBucketWidth(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	bounds := []float64{0.5, 1, 2, 4, 8, 16, 32, 64}
+	quantiles := []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99}
+	for trial := 0; trial < 50; trial++ {
+		r := NewRegistry()
+		h := r.Histogram("q", bounds)
+		n := 1 + rng.Intn(500)
+		samples := make([]float64, n)
+		for i := range samples {
+			// Exponential-ish positive values capped below the top bound.
+			v := math.Min(rng.ExpFloat64()*4, 63.9)
+			samples[i] = v
+			h.Observe(v)
+		}
+		sort.Float64s(samples)
+		hs := r.Snapshot().Histograms["q"]
+		for _, q := range quantiles {
+			est := hs.Quantile(q)
+			exact := exactQuantile(samples, q)
+			width := bucketWidthAt(bounds, exact)
+			if diff := math.Abs(est - exact); diff > width+1e-9 {
+				t.Fatalf("trial %d n=%d q=%g: estimate %g vs exact %g differs by %g > bucket width %g",
+					trial, n, q, est, exact, diff, width)
+			}
+		}
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("edge", []float64{1, 2})
+
+	// Empty histogram estimates 0 for every quantile.
+	hs := r.Snapshot().Histograms["edge"]
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := hs.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%g) = %g, want 0", q, got)
+		}
+	}
+
+	// Mass beyond the finite buckets clamps to the highest finite bound.
+	h.Observe(100)
+	h.Observe(200)
+	hs = r.Snapshot().Histograms["edge"]
+	if got := hs.Quantile(0.99); got != 2 {
+		t.Errorf("overflow Quantile(0.99) = %g, want clamp to 2", got)
+	}
+	if hs.P99 != 2 || hs.P50 != 2 {
+		t.Errorf("snapshot quantiles = p50 %g p99 %g, want both 2", hs.P50, hs.P99)
+	}
+
+	// Out-of-range q clamps instead of misbehaving. With all mass in the
+	// overflow bucket even q=0 clamps to the highest finite bound.
+	if got := hs.Quantile(-1); got != 2 {
+		t.Errorf("Quantile(-1) = %g, want 2 (clamped to q=0, overflow mass)", got)
+	}
+	if got := hs.Quantile(2); got != 2 {
+		t.Errorf("Quantile(2) = %g, want the max estimate", got)
+	}
+	if got := hs.Quantile(math.NaN()); got != 0 {
+		t.Errorf("Quantile(NaN) = %g, want 0", got)
+	}
+}
+
+// TestSnapshotQuantilesInterpolate pins one hand-computed interpolation so
+// the estimator can't silently change convention.
+func TestSnapshotQuantilesInterpolate(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("interp", []float64{10, 20})
+	// 10 observations in (0,10], none above.
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+	}
+	hs := r.Snapshot().Histograms["interp"]
+	// rank = 0.5*10 = 5 of 10 in bucket (0,10] → 0 + 10*(5/10) = 5.
+	if hs.P50 != 5 {
+		t.Errorf("P50 = %g, want 5", hs.P50)
+	}
+	// rank = 9 of 10 → 9.
+	if hs.P90 != 9 {
+		t.Errorf("P90 = %g, want 9", hs.P90)
+	}
+}

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRingEvictsOldest checks the single-threaded ring contract: capacity
+// is never exceeded, the retained spans are the most recent ones in start
+// order, and the drop counter accounts exactly for the evictions.
+func TestRingEvictsOldest(t *testing.T) {
+	c := NewCollectorCap(4)
+	o := &Obs{Trace: c}
+	ctx := With(context.Background(), o)
+	for i := 0; i < 10; i++ {
+		_, sp := StartSpan(ctx, fmt.Sprintf("s%d", i))
+		sp.End()
+	}
+	spans := c.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("retained %d spans, want 4", len(spans))
+	}
+	for i, want := range []string{"s6", "s7", "s8", "s9"} {
+		if spans[i].Name != want {
+			t.Errorf("spans[%d] = %q, want %q", i, spans[i].Name, want)
+		}
+	}
+	if got := c.Dropped(); got != 6 {
+		t.Errorf("dropped = %d, want 6", got)
+	}
+	if got := c.Cap(); got != 4 {
+		t.Errorf("cap = %d, want 4", got)
+	}
+}
+
+// TestRingEvictedSpanEndIsSafe ends a span after it has been evicted from
+// the ring — End must stay safe (the span just records into itself).
+func TestRingEvictedSpanEndIsSafe(t *testing.T) {
+	c := NewCollectorCap(2)
+	o := &Obs{Trace: c}
+	ctx := With(context.Background(), o)
+	_, first := StartSpan(ctx, "evicted")
+	for i := 0; i < 4; i++ {
+		_, sp := StartSpan(ctx, "filler")
+		sp.End()
+	}
+	first.End() // evicted by now
+	first.SetAttr("late", "attr")
+	if d := first.Duration(); d < 0 {
+		t.Errorf("evicted span duration = %v, want >= 0", d)
+	}
+}
+
+// TestRingBoundedUnderConcurrentStarts hammers one collector from many
+// goroutines with 10x the ring capacity in span starts (the acceptance
+// load), asserting bounded retention and exact drop accounting; run with
+// -race to verify the ring is data-race free.
+func TestRingBoundedUnderConcurrentStarts(t *testing.T) {
+	const capacity = 64
+	const workers = 8
+	const perWorker = capacity * 10 / workers // 10x capacity in total
+	c := NewCollectorCap(capacity)
+	o := &Obs{Trace: c}
+	ctx := With(context.Background(), o)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				sctx, sp := StartSpan(ctx, "outer", KV("w", w))
+				_, inner := StartSpan(sctx, "inner")
+				inner.End()
+				sp.End()
+				// Concurrent readers must see a consistent bounded view.
+				if i%50 == 0 {
+					if n := len(c.Spans()); n > capacity {
+						t.Errorf("Spans() returned %d > capacity %d", n, capacity)
+					}
+					_ = c.Dropped()
+					_ = c.StageTotals()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	total := uint64(workers * perWorker * 2) // outer + inner per iteration
+	if n := len(c.Spans()); n != capacity {
+		t.Errorf("retained %d spans, want capacity %d", n, capacity)
+	}
+	if got := c.Dropped(); got != total-capacity {
+		t.Errorf("dropped = %d, want %d (started %d, capacity %d)",
+			got, total-capacity, total, capacity)
+	}
+	// IDs keep counting past the ring: the newest retained span has the
+	// final ID.
+	spans := c.Spans()
+	if last := spans[len(spans)-1].ID; last != total {
+		t.Errorf("newest span ID = %d, want %d", last, total)
+	}
+}
+
+// TestRingRendersAfterWrap checks the renderers stay usable on a wrapped
+// ring (orphaned children whose parents were evicted must not break the
+// tree walk).
+func TestRingRendersAfterWrap(t *testing.T) {
+	c := NewCollectorCap(3)
+	o := &Obs{Trace: c}
+	ctx := With(context.Background(), o)
+	pctx, parent := StartSpan(ctx, "parent")
+	for i := 0; i < 5; i++ {
+		_, sp := StartSpan(pctx, "child")
+		sp.End()
+	}
+	parent.End()
+	if tree := c.TimingTree(); tree == "" {
+		t.Error("TimingTree on wrapped ring is empty")
+	}
+	if sum := c.StageSummary(); len(sum) == 0 {
+		t.Error("StageSummary on wrapped ring is empty")
+	}
+	c.Reset()
+	if len(c.Spans()) != 0 || c.Dropped() != 0 {
+		t.Error("Reset did not clear ring and drop counter")
+	}
+	if got := c.Cap(); got != 3 {
+		t.Errorf("Reset changed capacity to %d, want 3", got)
+	}
+}
+
+func TestSamplerSetsRuntimeGauges(t *testing.T) {
+	r := NewRegistry()
+	s := NewSampler(r, 10*time.Millisecond)
+	s.Start()
+	s.Start() // second Start is a no-op
+	time.Sleep(35 * time.Millisecond)
+	s.Stop()
+	s.Stop() // second Stop is a no-op
+	if g := r.Gauge("runtime.goroutines").Value(); g < 1 {
+		t.Errorf("runtime.goroutines = %g, want >= 1", g)
+	}
+	if g := r.Gauge("runtime.heap_alloc_bytes").Value(); g <= 0 {
+		t.Errorf("runtime.heap_alloc_bytes = %g, want > 0", g)
+	}
+	if n := r.Counter("runtime.samples").Value(); n < 2 {
+		t.Errorf("runtime.samples = %d, want >= 2 (start + ticks + stop)", n)
+	}
+	// Nil-registry and nil samplers are inert.
+	NewSampler(nil, 0).Start()
+	var nilSampler *Sampler
+	nilSampler.Start()
+	nilSampler.Stop()
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// DefaultSampleInterval is the runtime sampler's default tick.
+const DefaultSampleInterval = time.Second
+
+// Sampler periodically reads Go runtime health (heap, GC, goroutines)
+// into registry gauges, so a long-lived process exposes its resource
+// profile on /debug/metrics without anyone attaching a profiler. It is
+// started and stopped alongside the collector that owns the registry:
+//
+//	s := obs.NewSampler(o.Metrics, 0)
+//	s.Start()
+//	defer s.Stop()
+//
+// Start samples once synchronously before launching the background
+// goroutine, so the gauges exist from the first scrape.
+type Sampler struct {
+	reg      *Registry
+	interval time.Duration
+
+	mu      sync.Mutex
+	stop    chan struct{}
+	done    chan struct{}
+	started bool
+}
+
+// NewSampler builds a sampler writing into reg every interval (<= 0 means
+// DefaultSampleInterval). A nil registry yields a sampler whose Start and
+// Stop are no-ops.
+func NewSampler(reg *Registry, interval time.Duration) *Sampler {
+	if interval <= 0 {
+		interval = DefaultSampleInterval
+	}
+	return &Sampler{reg: reg, interval: interval}
+}
+
+// Start samples once and launches the background sampling goroutine.
+// Starting an already-started sampler is a no-op.
+func (s *Sampler) Start() {
+	if s == nil || s.reg == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return
+	}
+	s.started = true
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	s.sample()
+	go s.loop(s.stop, s.done)
+}
+
+// Stop halts the background goroutine and waits for it to exit, taking one
+// final sample so the gauges reflect end-of-run state. Safe to call twice
+// and on a never-started sampler.
+func (s *Sampler) Stop() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.started = false
+	stop, done := s.stop, s.done
+	s.mu.Unlock()
+	close(stop)
+	<-done
+	s.sample()
+}
+
+func (s *Sampler) loop(stop, done chan struct{}) {
+	defer close(done)
+	t := time.NewTicker(s.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			s.sample()
+		}
+	}
+}
+
+// sample reads the runtime counters into gauges. Gauge names live under
+// the runtime.* prefix so they sort together in snapshots and exposition.
+func (s *Sampler) sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.reg.Gauge("runtime.goroutines").Set(float64(runtime.NumGoroutine()))
+	s.reg.Gauge("runtime.gomaxprocs").Set(float64(runtime.GOMAXPROCS(0)))
+	s.reg.Gauge("runtime.heap_alloc_bytes").Set(float64(ms.HeapAlloc))
+	s.reg.Gauge("runtime.heap_objects").Set(float64(ms.HeapObjects))
+	s.reg.Gauge("runtime.sys_bytes").Set(float64(ms.Sys))
+	s.reg.Gauge("runtime.next_gc_bytes").Set(float64(ms.NextGC))
+	s.reg.Gauge("runtime.gc_runs").Set(float64(ms.NumGC))
+	s.reg.Gauge("runtime.gc_pause_total_seconds").Set(float64(ms.PauseTotalNs) / 1e9)
+	s.reg.Counter("runtime.samples").Inc()
+}

@@ -67,19 +67,60 @@ func (s *Span) Duration() time.Duration {
 	return s.Finish - s.Start
 }
 
-// Collector accumulates spans in memory. The zero value is not usable; call
-// NewCollector. All methods are safe for concurrent use.
+// DefaultSpanCap is the span ring capacity NewCollector uses: enough to
+// hold every span of a full batch study run, small enough that a long-
+// lived process keeps bounded memory no matter how many requests it
+// serves.
+const DefaultSpanCap = 4096
+
+// Collector accumulates spans in a fixed-capacity ring buffer: once the
+// ring is full, starting a span evicts the oldest recorded one and bumps
+// the drop counter, so a long-lived process always holds the most recent
+// traces in bounded memory. Short batch runs never fill the ring and see
+// the complete trace, exactly as before the ring existed. All methods are
+// safe for concurrent use.
 type Collector struct {
-	mu     sync.Mutex
-	epoch  time.Time
-	now    func() time.Time // test hook; nil = time.Now
-	nextID uint64
-	spans  []*Span
+	mu      sync.Mutex
+	epoch   time.Time
+	now     func() time.Time // test hook; nil = time.Now
+	nextID  uint64
+	cap     int     // ring capacity; 0 means DefaultSpanCap on first start
+	ring    []*Span // insertion-ordered ring, len(ring) <= cap
+	head    int     // index of the oldest span once the ring is full
+	dropped uint64  // spans evicted to admit newer ones
 }
 
-// NewCollector returns an empty collector whose epoch is now.
+// NewCollector returns an empty collector whose epoch is now, holding up
+// to DefaultSpanCap spans.
 func NewCollector() *Collector {
-	return &Collector{epoch: time.Now()}
+	return NewCollectorCap(DefaultSpanCap)
+}
+
+// NewCollectorCap returns an empty collector with the given span ring
+// capacity (<= 0 means DefaultSpanCap).
+func NewCollectorCap(capacity int) *Collector {
+	if capacity <= 0 {
+		capacity = DefaultSpanCap
+	}
+	return &Collector{epoch: time.Now(), cap: capacity}
+}
+
+// Cap returns the span ring capacity.
+func (c *Collector) Cap() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cap == 0 {
+		return DefaultSpanCap
+	}
+	return c.cap
+}
+
+// Dropped returns how many spans have been evicted from the ring to make
+// room for newer ones.
+func (c *Collector) Dropped() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
 }
 
 func (c *Collector) since() time.Duration {
@@ -104,18 +145,30 @@ func (c *Collector) start(name string, parent *Span, attrs []Attr) *Span {
 	if parent != nil {
 		sp.Parent = parent.ID
 	}
-	c.spans = append(c.spans, sp)
+	if c.cap == 0 {
+		c.cap = DefaultSpanCap // zero-value collectors (tests) get the default
+	}
+	if len(c.ring) < c.cap {
+		c.ring = append(c.ring, sp)
+	} else {
+		c.ring[c.head] = sp
+		c.head = (c.head + 1) % c.cap
+		c.dropped++
+	}
 	return sp
 }
 
-// Spans returns a snapshot of all spans in start order. Open spans are
-// reported with Finish clamped to now so renderers see a monotone duration.
+// Spans returns a snapshot of the retained spans in start order (the
+// oldest retained span first — spans evicted from the ring are gone; see
+// Dropped). Open spans are reported with Finish clamped to now so
+// renderers see a monotone duration.
 func (c *Collector) Spans() []*Span {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	now := c.since()
-	out := make([]*Span, len(c.spans))
-	for i, sp := range c.spans {
+	out := make([]*Span, len(c.ring))
+	for i := range c.ring {
+		sp := c.ring[(c.head+i)%len(c.ring)]
 		cp := *sp
 		if cp.Finish < cp.Start {
 			cp.Finish = now
@@ -126,11 +179,14 @@ func (c *Collector) Spans() []*Span {
 	return out
 }
 
-// Reset drops all recorded spans and restarts the epoch.
+// Reset drops all recorded spans (and the drop counter) and restarts the
+// epoch. The ring capacity is retained.
 func (c *Collector) Reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.spans = nil
+	c.ring = nil
+	c.head = 0
+	c.dropped = 0
 	c.nextID = 0
 	if c.now != nil {
 		c.epoch = c.now()
@@ -185,9 +241,19 @@ func (c *Collector) TimingTree() string {
 	if len(spans) == 0 {
 		return "(no spans recorded)\n"
 	}
+	present := map[uint64]bool{}
+	for _, sp := range spans {
+		present[sp.ID] = true
+	}
 	children := map[uint64][]*Span{}
 	for _, sp := range spans {
-		children[sp.Parent] = append(children[sp.Parent], sp)
+		parent := sp.Parent
+		if !present[parent] {
+			// The parent was evicted from the ring; render the span as a
+			// root so wrapped traces stay visible.
+			parent = 0
+		}
+		children[parent] = append(children[parent], sp)
 	}
 	var b strings.Builder
 	var walk func(parent uint64, prefix string)

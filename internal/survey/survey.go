@@ -197,7 +197,6 @@ func RunCtx(ctx context.Context, cfg *Config) (*Dataset, error) {
 	// Partition outcomes: failed participants drop out of the dataset (and
 	// into the run manifest); a caller cancellation or a total wipe-out is
 	// still fatal.
-	man := fault.ManifestFrom(ctx)
 	var firstErr error
 	kept := users[:0]
 	for i, ud := range users {
@@ -210,7 +209,7 @@ func RunCtx(ctx context.Context, cfg *Config) (*Dataset, error) {
 			}
 			id := pool[i].ID
 			ds.DroppedIDs = append(ds.DroppedIDs, id)
-			man.Exclude("survey", "participant:"+strconv.Itoa(id), err)
+			fault.Exclude(ctx, "survey", "participant:"+strconv.Itoa(id), err)
 			obs.AddCount(ctx, "survey.participants.dropped", 1)
 			obs.Logger(ctx).Error("participant dropped", "participant", id, "err", err)
 			continue

@@ -5,6 +5,12 @@
 # `check.sh chaos` instead runs only the fault-injection chaos suite (the
 # full-pipeline fault-plan sweep plus the error-path contract and par
 # masking tests) under the race detector.
+#
+# `check.sh debug-smoke` drives the live /debug HTTP surface end to end: a
+# race-instrumented studysim run is stretched with a delay-only fault plan
+# (delays never change output bytes), every /debug endpoint is scraped
+# mid-run and must answer 200 with a parseable payload, and the run's
+# stdout must hash identical to a clean run's.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -13,6 +19,90 @@ if [ "${1:-}" = "chaos" ]; then
 	echo "== chaos (fault-plan sweep + error-path contracts, -race)"
 	go test -race -count=1 -run 'Chaos|ErrorChain|Mask|MaskGenuine|Fault|Plan|Manifest' \
 		./internal/fault/ ./internal/par/ ./internal/core/
+	echo "OK"
+	exit 0
+fi
+
+if [ "${1:-}" = "debug-smoke" ]; then
+	echo "== debug-smoke (live /debug endpoints mid-run, -race)"
+	tmp="$(mktemp -d)"
+	trap 'rm -rf "$tmp"' EXIT
+	go build -race -o "$tmp/studysim" ./cmd/studysim
+
+	echo "-- clean reference run"
+	"$tmp/studysim" -jobs 4 >"$tmp/clean.out" 2>/dev/null
+
+	echo "-- instrumented run (delay plan + -debug-addr)"
+	"$tmp/studysim" -jobs 1 \
+		-faults 'survey.participant:delay,delay=100ms' \
+		-debug-addr=127.0.0.1:0 -debug-sample=250ms \
+		>"$tmp/dbg.out" 2>"$tmp/dbg.err" &
+	pid=$!
+
+	addr=""
+	for _ in $(seq 1 100); do
+		addr="$(sed -n 's|.*listening on http://\([^/]*\)/debug/.*|\1|p' "$tmp/dbg.err")"
+		[ -n "$addr" ] && break
+		sleep 0.1
+	done
+	if [ -z "$addr" ]; then
+		echo "debug-smoke: server address never appeared on stderr"
+		cat "$tmp/dbg.err"
+		exit 1
+	fi
+	echo "   debug server at $addr"
+	sleep 1 # let the pipeline get into the delayed survey stage
+
+	fail=0
+	for ep in 'debug/health' 'debug/metrics' 'debug/metrics?format=json' \
+		'debug/spans' 'debug/spans/trace' 'debug/stage' \
+		'debug/stage?format=json' 'debug/pprof/'; do
+		code="$(curl -s -o "$tmp/ep.out" -w '%{http_code}' "http://$addr/$ep")"
+		if [ "$code" != "200" ] || [ ! -s "$tmp/ep.out" ]; then
+			echo "   FAIL $ep -> HTTP $code ($(wc -c <"$tmp/ep.out") bytes)"
+			fail=1
+			continue
+		fi
+		case "$ep" in
+		*format=json | debug/health | debug/spans | debug/spans/trace)
+			if ! python3 -c 'import json,sys; json.load(open(sys.argv[1]))' "$tmp/ep.out"; then
+				echo "   FAIL $ep -> unparseable JSON"
+				fail=1
+				continue
+			fi
+			;;
+		debug/metrics)
+			if ! grep -q '^# TYPE .* gauge$' "$tmp/ep.out"; then
+				echo "   FAIL $ep -> no TYPE lines in exposition"
+				fail=1
+				continue
+			fi
+			;;
+		esac
+		echo "   ok   $ep ($(wc -c <"$tmp/ep.out") bytes)"
+	done
+
+	# The runtime sampler must have populated its gauges by now.
+	if ! curl -s "http://$addr/debug/metrics" | grep -q '^runtime_goroutines '; then
+		echo "   FAIL runtime sampler gauges missing from /debug/metrics"
+		fail=1
+	fi
+
+	wait "$pid" || {
+		echo "debug-smoke: instrumented run exited non-zero"
+		fail=1
+	}
+	[ "$fail" = "0" ] || exit 1
+
+	clean_sum="$(sha256sum "$tmp/clean.out" | cut -d' ' -f1)"
+	dbg_sum="$(sha256sum "$tmp/dbg.out" | cut -d' ' -f1)"
+	if [ "$clean_sum" != "$dbg_sum" ]; then
+		echo "debug-smoke: output diverged with telemetry enabled"
+		echo "  clean: $clean_sum"
+		echo "  debug: $dbg_sum"
+		exit 1
+	fi
+	echo "   output byte-identical with live telemetry ($clean_sum)"
 	echo "OK"
 	exit 0
 fi

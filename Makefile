@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint fmt-check check chaos debug-smoke bench bench-kernels bench-smoke clean
+.PHONY: all build test race vet lint fmt-check check chaos debug-smoke opt-check bench bench-kernels bench-opt bench-smoke clean
 
 all: build test
 
@@ -49,6 +49,12 @@ chaos:
 debug-smoke:
 	./scripts/check.sh debug-smoke
 
+# The optimizer gate: the compile/opt unit + differential suites under
+# -race, a clean `irlint -corpus -opt 2`, dirty.c's seeded dead stores
+# deleted at -opt 1, and byte-identical studysim output at -O0.
+opt-check:
+	./scripts/check.sh opt
+
 # Measure the parallel pipeline at jobs=1,2,4,8 and record ns/op plus the
 # speedup over the sequential baseline, the per-stage breakdown, and the
 # Amdahl serial-fraction estimate in BENCH_pipeline.json.
@@ -61,6 +67,13 @@ bench:
 # BENCH_kernels.json, warning on >10% regressions vs the committed file.
 bench-kernels:
 	./scripts/bench.sh kernels
+
+# Measure the verified optimizer over the full corpus (SSA round-trips,
+# verifier gates, differential execution) and record ns/op, the corpus
+# instruction shrink per level, and the per-pass time split in
+# BENCH_opt.json.
+bench-opt:
+	./scripts/bench.sh opt
 
 # One iteration of every benchmark — catches bit-rot in the bench suite
 # without the cost of a real measurement run.

@@ -3,13 +3,15 @@
 //
 // Usage:
 //
-//	decompile [-annotate] [-ir] [-func NAME] [-types a,b,c] FILE
-//	decompile -snippet AEEK [-annotate] [-ir]
+//	decompile [-annotate] [-ir] [-opt N] [-func NAME] [-types a,b,c] FILE
+//	decompile -snippet AEEK [-annotate] [-ir] [-opt N]
 //
 // With -snippet it operates on one of the embedded study snippets instead
 // of a file. -ir prints the intermediate representation instead of
 // pseudo-C; -annotate applies the corpus-trained recovery model (or the
-// paper-faithful overrides for snippets).
+// paper-faithful overrides for snippets); -opt runs the verified
+// optimizer (internal/compile/opt) at the given level first, so the
+// decompiled output shows what survives -O1/-O2.
 //
 // Observability flags: -stats prints the per-stage timing tree and a
 // metrics snapshot to stderr, -trace writes a Chrome trace-event JSON
@@ -30,6 +32,7 @@ import (
 	"time"
 
 	"decompstudy/internal/compile"
+	"decompstudy/internal/compile/opt"
 	"decompstudy/internal/corpus"
 	"decompstudy/internal/csrc"
 	"decompstudy/internal/decomp"
@@ -49,6 +52,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	annotate := fs.Bool("annotate", false, "apply name/type recovery to the decompiled output")
 	jobs := fs.Int("jobs", runtime.GOMAXPROCS(0), "worker count for pipeline fan-outs (results are identical at any value)")
 	showIR := fs.Bool("ir", false, "print the intermediate representation instead of pseudo-C")
+	optLevel := fs.Int("opt", 0, "optimization level (0-2) applied to the IR before decompiling")
 	funcName := fs.String("func", "", "only process the named function")
 	typeList := fs.String("types", "", "comma-separated extra type names for the parser")
 	snippet := fs.String("snippet", "", "operate on an embedded study snippet (AEEK, BAPL, POSTORDER, TC)")
@@ -63,6 +67,11 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	debugAddr := fs.String("debug-addr", "", "serve live /debug endpoints (metrics, spans, stage, pprof) on this address; port 0 picks a free port")
 	debugSample := fs.Duration("debug-sample", obs.DefaultSampleInterval, "runtime sampling interval for the /debug metrics gauges")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	level, err := opt.ParseLevel(*optLevel)
+	if err != nil {
+		fmt.Fprintf(stderr, "decompile: %v\n", err)
 		return 2
 	}
 
@@ -86,7 +95,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	}()
 
 	if *snippet != "" {
-		return runSnippet(ctx, *snippet, *annotate, *showIR, stdout, stderr)
+		return runSnippet(ctx, *snippet, level, *annotate, *showIR, stdout, stderr)
 	}
 	if fs.NArg() != 1 {
 		fmt.Fprintln(stderr, "usage: decompile [flags] FILE  (or -snippet ID)")
@@ -108,6 +117,10 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	}
 	obj, err := compile.CompileCtx(ctx, file)
 	if err != nil {
+		fmt.Fprintf(stderr, "decompile: %v\n", err)
+		return 1
+	}
+	if obj, err = optimize(ctx, obj, level); err != nil {
 		fmt.Fprintf(stderr, "decompile: %v\n", err)
 		return 1
 	}
@@ -154,7 +167,14 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	return 0
 }
 
-func runSnippet(ctx context.Context, id string, annotate, showIR bool, stdout, stderr io.Writer) int {
+// optimize runs the object through the verified optimizer when level is
+// above -O0 (the identity, where the object passes through untouched).
+func optimize(ctx context.Context, obj *compile.Object, level opt.Level) (*compile.Object, error) {
+	out, _, err := opt.OptimizeObject(ctx, obj, level)
+	return out, err
+}
+
+func runSnippet(ctx context.Context, id string, level opt.Level, annotate, showIR bool, stdout, stderr io.Writer) int {
 	s, ok := corpus.SnippetByID(strings.ToUpper(id))
 	if !ok {
 		fmt.Fprintf(stderr, "decompile: unknown snippet %q (want AEEK, BAPL, POSTORDER, TC)\n", id)
@@ -171,6 +191,10 @@ func runSnippet(ctx context.Context, id string, annotate, showIR bool, stdout, s
 			fmt.Fprintf(stderr, "decompile: %v\n", err)
 			return 1
 		}
+		if obj, err = optimize(ctx, obj, level); err != nil {
+			fmt.Fprintf(stderr, "decompile: %v\n", err)
+			return 1
+		}
 		cf, ok := obj.Func0(s.FuncName)
 		if !ok {
 			fmt.Fprintf(stderr, "decompile: %s missing %s\n", s.ID, s.FuncName)
@@ -179,7 +203,7 @@ func runSnippet(ctx context.Context, id string, annotate, showIR bool, stdout, s
 		fmt.Fprintln(stdout, cf.String())
 		return 0
 	}
-	p, err := corpus.PrepareCtx(ctx, s)
+	p, err := corpus.PrepareOptCtx(ctx, s, level)
 	if err != nil {
 		fmt.Fprintf(stderr, "decompile: %v\n", err)
 		return 1

@@ -13,7 +13,10 @@
 // -corpus lints the embedded study snippets and the training corpus
 // instead of (or in addition to) the listed files. -json emits the
 // findings as a JSON document; -complexity appends the per-function
-// structural-complexity covariates used as RQ5 predictors. The exit code
+// structural-complexity covariates used as RQ5 predictors. -opt N runs
+// the verified optimizer (internal/compile/opt) at level N before
+// linting: findings and covariates then describe the optimized IR, and
+// the report carries per-check before/after finding deltas. The exit code
 // is 0 when every function is clean, 1 when there are findings or a
 // pipeline failure, and 2 on usage errors.
 //
@@ -40,6 +43,7 @@ import (
 
 	"decompstudy/internal/analysis"
 	"decompstudy/internal/compile"
+	"decompstudy/internal/compile/opt"
 	"decompstudy/internal/corpus"
 	"decompstudy/internal/csrc"
 	"decompstudy/internal/fault"
@@ -64,10 +68,27 @@ type funcCov struct {
 	analysis.Covariates
 }
 
+// optDelta is the per-check finding count before and after optimization.
+type optDelta struct {
+	Before int `json:"before"`
+	After  int `json:"after"`
+}
+
 // report accumulates results across every linted unit.
 type report struct {
-	Findings   []finding `json:"findings"`
-	Complexity []funcCov `json:"complexity,omitempty"`
+	Findings   []finding           `json:"findings"`
+	Complexity []funcCov           `json:"complexity,omitempty"`
+	OptDeltas  map[string]optDelta `json:"opt_deltas,omitempty"`
+}
+
+func (rep *report) addDelta(check string, before, after int) {
+	if rep.OptDeltas == nil {
+		rep.OptDeltas = map[string]optDelta{}
+	}
+	d := rep.OptDeltas[check]
+	d.Before += before
+	d.After += after
+	rep.OptDeltas[check] = d
 }
 
 // runner carries the per-invocation state through every linted unit.
@@ -75,6 +96,7 @@ type runner struct {
 	ctx        context.Context
 	rep        report
 	complexity bool
+	level      opt.Level
 }
 
 // lintSrc parses and compiles one mini-C translation unit, lints every
@@ -93,14 +115,33 @@ func (r *runner) lintSrc(ctx context.Context, source, src string, types []string
 	if err != nil {
 		return err
 	}
-	r.lintObject(ctx, source, obj, rep)
-	return nil
+	return r.lintObject(ctx, source, obj, rep)
 }
 
 // lintObject lints every function of an already-compiled object into rep.
-func (r *runner) lintObject(ctx context.Context, source string, obj *compile.Object, rep *report) {
+// At -opt 1/2 the object is optimized first: findings and complexity
+// covariates describe the optimized IR, and rep records the per-check
+// finding deltas (a dead store the optimizer deletes is a finding at -O0
+// that is gone at -O1).
+func (r *runner) lintObject(ctx context.Context, source string, obj *compile.Object, rep *report) error {
+	var before map[string]int
+	if r.level > opt.O0 {
+		before = map[string]int{}
+		for _, fn := range obj.Funcs {
+			for _, d := range analysis.Check(ctx, fn) {
+				before[d.Check]++
+			}
+		}
+		oobj, _, err := opt.OptimizeObject(ctx, obj, r.level)
+		if err != nil {
+			return fmt.Errorf("optimizing %s at %s: %w", source, r.level, err)
+		}
+		obj = oobj
+	}
+	after := map[string]int{}
 	for _, fn := range obj.Funcs {
 		for _, d := range analysis.Check(ctx, fn) {
+			after[d.Check]++
 			rep.Findings = append(rep.Findings, finding{Source: source, Diag: d})
 		}
 		if r.complexity {
@@ -110,6 +151,17 @@ func (r *runner) lintObject(ctx context.Context, source string, obj *compile.Obj
 			})
 		}
 	}
+	if before != nil {
+		for check, n := range before {
+			rep.addDelta(check, n, after[check])
+		}
+		for check, n := range after {
+			if _, ok := before[check]; !ok {
+				rep.addDelta(check, 0, n)
+			}
+		}
+	}
+	return nil
 }
 
 // lintCorpus feeds the embedded study snippets and the training corpus
@@ -141,8 +193,7 @@ func (r *runner) lintCorpus() error {
 			if err != nil {
 				return fmt.Errorf("training[%d]: %w", i, err)
 			}
-			r.lintObject(ctx, fmt.Sprintf("training[%d]", i), obj, rep)
-			return nil
+			return r.lintObject(ctx, fmt.Sprintf("training[%d]", i), obj, rep)
 		}})
 	}
 
@@ -163,6 +214,9 @@ func (r *runner) lintCorpus() error {
 		}
 		r.rep.Findings = append(r.rep.Findings, frags[i].Findings...)
 		r.rep.Complexity = append(r.rep.Complexity, frags[i].Complexity...)
+		for check, d := range frags[i].OptDeltas {
+			r.rep.addDelta(check, d.Before, d.After)
+		}
 	}
 	return errors.Join(failed...)
 }
@@ -174,6 +228,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	jobs := fs.Int("jobs", runtime.GOMAXPROCS(0), "worker count for the corpus lint sweep (results are identical at any value)")
 	jsonOut := fs.Bool("json", false, "emit findings as JSON instead of text")
 	complexity := fs.Bool("complexity", false, "also report per-function complexity covariates")
+	optLevel := fs.Int("opt", 0, "optimize the IR at this level (0-2) before linting; reports per-check finding deltas")
 	typeList := fs.String("types", "", "comma-separated extra type names for the parser")
 	tracePath := fs.String("trace", "", "write a Chrome trace-event JSON file of the pipeline spans")
 	stats := fs.Bool("stats", false, "print the per-stage timing tree and metrics snapshot to stderr")
@@ -190,6 +245,11 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	}
 	if !*useCorpus && fs.NArg() == 0 {
 		fmt.Fprintln(stderr, "usage: irlint [flags] FILE.c ...  (or -corpus)")
+		return 2
+	}
+	level, err := opt.ParseLevel(*optLevel)
+	if err != nil {
+		fmt.Fprintf(stderr, "irlint: %v\n", err)
 		return 2
 	}
 
@@ -221,7 +281,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		extra = strings.Split(*typeList, ",")
 	}
 
-	r := &runner{ctx: par.WithJobs(ctx, *jobs), complexity: *complexity}
+	r := &runner{ctx: par.WithJobs(ctx, *jobs), complexity: *complexity, level: level}
 	for _, path := range fs.Args() {
 		src, err := os.ReadFile(path)
 		if err != nil {
@@ -267,6 +327,19 @@ func renderText(w io.Writer, rep *report) {
 		for _, c := range rep.Complexity {
 			fmt.Fprintf(w, "%s: %s: %s\n", c.Source, c.Func, c.Covariates.String())
 		}
+	}
+	if len(rep.OptDeltas) > 0 {
+		keys := make([]string, 0, len(rep.OptDeltas))
+		for k := range rep.OptDeltas {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, len(keys))
+		for i, k := range keys {
+			d := rep.OptDeltas[k]
+			parts[i] = fmt.Sprintf("%s %d→%d", k, d.Before, d.After)
+		}
+		fmt.Fprintf(w, "\nopt deltas: %s\n", strings.Join(parts, ", "))
 	}
 	if len(rep.Findings) == 0 && rep.Complexity == nil {
 		fmt.Fprintln(w, "irlint: no findings")

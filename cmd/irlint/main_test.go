@@ -35,13 +35,65 @@ func TestDirtyFileReportsEverySeededFinding(t *testing.T) {
 		"lint.uninit-read", "verify.def-before-use",
 		// The position and variable naming must survive to the CLI.
 		"dead_store", "(acc)", "(extra)", "(total)",
+		// The ghost accumulator (genuine-use fixpoint, not plain liveness).
+		"cycle_store", "(shadow)",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}
 	}
-	if !strings.Contains(out, "5 finding(s)") {
+	if !strings.Contains(out, "7 finding(s)") {
 		t.Errorf("output missing the summary line:\n%s", out)
+	}
+}
+
+func TestOptLevelRemovesFindings(t *testing.T) {
+	// At -opt 1 the optimizer deletes the dead stores (the ghost
+	// accumulator included), folds the constant condition, and
+	// zero-initializes the maybe-uninit local; only the unused parameter —
+	// which no optimization can remove — survives, and the delta line
+	// records what disappeared.
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-opt", "1", dirtyDemo}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1 (unused-param survives); stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, gone := range []string{"(acc)", "(shadow)", "(total)", "lint.const-cond]"} {
+		if strings.Contains(out, gone) {
+			t.Errorf("finding %q should be optimized away at -opt 1:\n%s", gone, out)
+		}
+	}
+	for _, want := range []string{
+		"1 finding(s): lint.unused-param×1",
+		"lint.dead-store 3→0",
+		"lint.const-cond 1→0",
+		"lint.unused-param 1→1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	stdout.Reset()
+	if code := run([]string{"-opt", "3", dirtyDemo}, &stdout, &stderr); code != 2 {
+		t.Errorf("-opt 3 exit = %d, want 2 (usage error)", code)
+	}
+}
+
+func TestOptJSONDeltas(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", "-opt", "2", dirtyDemo}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	var rep report
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, stdout.String())
+	}
+	if d := rep.OptDeltas["lint.dead-store"]; d.Before != 3 || d.After != 0 {
+		t.Errorf("dead-store delta = %+v, want 3→0", d)
+	}
+	if len(rep.Findings) != 1 {
+		t.Errorf("findings = %d, want only the unused param", len(rep.Findings))
 	}
 }
 
@@ -54,10 +106,10 @@ func TestJSONOutput(t *testing.T) {
 	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
 		t.Fatalf("output is not JSON: %v\n%s", err, stdout.String())
 	}
-	if len(rep.Findings) != 5 {
-		t.Errorf("findings = %d, want 5", len(rep.Findings))
+	if len(rep.Findings) != 7 {
+		t.Errorf("findings = %d, want 7", len(rep.Findings))
 	}
-	if len(rep.Complexity) != 4 {
+	if len(rep.Complexity) != 5 {
 		t.Errorf("complexity rows = %d, want one per function", len(rep.Complexity))
 	}
 	f := rep.Findings[0]

@@ -7,6 +7,10 @@
 //	nametool [flags] snippet ID                   # full metric report for a snippet
 //	nametool [flags] nearest NAME [K]             # nearest embedding neighbors
 //
+// -opt N runs the verified optimizer (internal/compile/opt) at the given
+// level before extracting a snippet's renamings, so the report covers
+// only the names that survive -O1/-O2.
+//
 // Observability flags: -stats prints the per-stage timing tree and a
 // metrics snapshot to stderr, -trace writes a Chrome trace-event JSON
 // file, -v / -log-level enable structured logging, -cpuprofile /
@@ -25,6 +29,7 @@ import (
 	"strings"
 	"time"
 
+	"decompstudy/internal/compile/opt"
 	"decompstudy/internal/corpus"
 	"decompstudy/internal/embed"
 	"decompstudy/internal/metrics"
@@ -46,7 +51,13 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	memprofile := fs.String("memprofile", "", "write a pprof heap profile to this file")
 	debugAddr := fs.String("debug-addr", "", "serve live /debug endpoints (metrics, spans, stage, pprof) on this address; port 0 picks a free port")
 	debugSample := fs.Duration("debug-sample", obs.DefaultSampleInterval, "runtime sampling interval for the /debug metrics gauges")
+	optLevel := fs.Int("opt", 0, "optimization level (0-2) applied to the snippet IR before extracting renamings")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	level, err := opt.ParseLevel(*optLevel)
+	if err != nil {
+		fmt.Fprintf(stderr, "nametool: %v\n", err)
 		return 2
 	}
 	rest := fs.Args()
@@ -86,7 +97,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 			usage(stderr)
 			return 2
 		}
-		return snippet(ctx, rest[1], model, stdout, stderr)
+		return snippet(ctx, rest[1], level, model, stdout, stderr)
 	case "nearest":
 		if len(rest) < 2 {
 			usage(stderr)
@@ -138,13 +149,13 @@ func pair(cand, ref string, model *embed.Model, stdout io.Writer) int {
 	return 0
 }
 
-func snippet(ctx context.Context, id string, model *embed.Model, stdout, stderr io.Writer) int {
+func snippet(ctx context.Context, id string, level opt.Level, model *embed.Model, stdout, stderr io.Writer) int {
 	s, ok := corpus.SnippetByID(strings.ToUpper(id))
 	if !ok {
 		fmt.Fprintf(stderr, "nametool: unknown snippet %q\n", id)
 		return 2
 	}
-	p, err := corpus.PrepareCtx(ctx, s)
+	p, err := corpus.PrepareOptCtx(ctx, s, level)
 	if err != nil {
 		fmt.Fprintf(stderr, "nametool: %v\n", err)
 		return 1

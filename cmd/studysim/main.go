@@ -3,14 +3,16 @@
 //
 // Usage:
 //
-//	studysim [-seed N] [-jobs N] [-artifact NAME] [-csv]
+//	studysim [-seed N] [-jobs N] [-opt N] [-artifact NAME] [-csv]
 //	studysim -stats -trace trace.json [-v] [-cpuprofile cpu.out]
 //
 // With no flags it prints every table and figure in paper order using the
 // shipped seed. -artifact selects a single artifact (table1, table2,
 // table3, table4, fig1..fig8, intext, metrics, complexity, ablations,
-// confound, telemetry); -csv dumps the anonymized response dataset
-// instead.
+// confound, optlevels, telemetry); -csv dumps the anonymized response
+// dataset instead. -opt prepares the snippets at an optimization level
+// (0-2); the default 0 keeps every artifact byte-identical with earlier
+// releases, and the optlevels artifact sweeps all three levels.
 //
 // Observability flags: -stats prints the per-stage timing tree and a
 // metrics snapshot to stderr after the run, -trace writes a Chrome
@@ -77,6 +79,10 @@ var artifactRegistry = []artifactEntry{
 	{"confound", func(_ *experiments.Runner, _ int64) (string, error) {
 		return experiments.ConfoundComparison()
 	}},
+	{"optlevels", func(_ *experiments.Runner, seed int64) (string, error) {
+		out, _, err := experiments.OptLevels(seed)
+		return out, err
+	}},
 	{"telemetry", func(r *experiments.Runner, _ int64) (string, error) { return r.TelemetryReport() }},
 }
 
@@ -104,6 +110,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	jobs := fs.Int("jobs", runtime.GOMAXPROCS(0), "worker count for pipeline fan-outs (results are identical at any value)")
 	artifact := fs.String("artifact", "", "single artifact to render ("+artifactNames()+")")
 	csv := fs.Bool("csv", false, "dump the anonymized response dataset as CSV")
+	optLevel := fs.Int("opt", 0, "optimization level snippets are prepared at (0, 1, or 2; 0 keeps output byte-identical)")
 	export := fs.String("export", "", "write the replication package (CSV + JSON) to this directory")
 	tracePath := fs.String("trace", "", "write a Chrome trace-event JSON file of the pipeline spans")
 	stats := fs.Bool("stats", false, "print the per-stage timing tree and metrics snapshot to stderr")
@@ -236,7 +243,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		}
 	}()
 
-	r, err := experiments.NewRunnerCtx(ctx, &core.Config{Seed: *seed, Jobs: *jobs})
+	r, err := experiments.NewRunnerCtx(ctx, &core.Config{Seed: *seed, Jobs: *jobs, OptLevel: *optLevel})
 	if err != nil {
 		fmt.Fprintf(stderr, "studysim: %v\n", err)
 		return 1

@@ -48,7 +48,8 @@ func TestArtifactRegistryCoversDocumentedNames(t *testing.T) {
 	want := []string{
 		"table1", "table2", "table3", "table4",
 		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-		"intext", "metrics", "complexity", "ablations", "confound", "telemetry",
+		"intext", "metrics", "complexity", "ablations", "confound",
+		"optlevels", "telemetry",
 	}
 	if len(artifactRegistry) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(artifactRegistry), len(want))

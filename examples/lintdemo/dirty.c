@@ -33,3 +33,16 @@ int uninit_read(int n) {
   }
   return total;
 }
+
+/* lint.dead-store (ghost accumulator): shadow circulates through the
+ * loop back edge — each store is read only to produce the next one — and
+ * never reaches a return, store, call, or branch. */
+int cycle_store(int n) {
+  int shadow = 0;
+  int i = 0;
+  while (i < n) {
+    shadow = shadow + i;
+    i = i + 1;
+  }
+  return i;
+}

@@ -21,32 +21,11 @@ func tfn(nparams, ntemps int, blocks ...*compile.Block) *compile.Func {
 	}
 }
 
-func mov(dst int, a compile.Operand) compile.Instr {
-	return compile.Instr{Op: compile.OpMov, Dst: dst, A: a}
-}
+// mov, load, store, ret, br, and condbr now live in randgen.go so GenFunc
+// can share them; add remains test-only.
 
 func add(dst int, a, b compile.Operand) compile.Instr {
 	return compile.Instr{Op: compile.OpAdd, Dst: dst, A: a, B: b}
-}
-
-func load(dst int, addr compile.Operand, width int) compile.Instr {
-	return compile.Instr{Op: compile.OpLoad, Dst: dst, A: addr, Width: width}
-}
-
-func store(addr, val compile.Operand, width int) compile.Instr {
-	return compile.Instr{Op: compile.OpStore, Dst: -1, A: addr, B: val, Width: width}
-}
-
-func ret(a compile.Operand) compile.Instr {
-	return compile.Instr{Op: compile.OpRet, Dst: -1, A: a}
-}
-
-func br(target int) compile.Instr {
-	return compile.Instr{Op: compile.OpBr, Dst: -1, Target: target}
-}
-
-func condbr(cond compile.Operand, target, els int) compile.Instr {
-	return compile.Instr{Op: compile.OpCondBr, Dst: -1, A: cond, Target: target, Else: els}
 }
 
 // diamond builds the canonical four-block CFG

@@ -109,8 +109,17 @@ func (l *linter) tempName(t int) string {
 // old value of a statement-position i++, say) that no reader of the
 // decompiled output ever sees. Calls are exempt (the write is incidental
 // to the side effect); memory stores have no Dst and are never flagged.
+//
+// Classic liveness alone under-reports one store class: a ghost
+// accumulator whose value only circulates through a copy/arithmetic
+// cycle (typically over a loop back edge — x feeds y feeds x) without
+// ever reaching an observable sink. Every store in the cycle is "live"
+// because the next cycle instruction reads it, yet none of them can
+// affect the program. genuineTemps closes that hole; stores the classic
+// check already flags are not re-reported.
 func (l *linter) deadStores() {
 	live := Liveness(l.g)
+	genuine := l.genuineTemps()
 	for bi, b := range l.g.Blocks {
 		if !l.g.Reach.Has(bi) {
 			continue
@@ -126,9 +135,57 @@ func (l *linter) deadStores() {
 			}
 			if !after.Has(t) {
 				l.add("lint.dead-store", b.ID, ii, "value stored in %s is never read", l.tempName(t))
+			} else if !genuine.Has(t) {
+				l.add("lint.dead-store", b.ID, ii,
+					"value stored in %s only feeds copies of itself and is never observed", l.tempName(t))
 			}
 		})
 	}
+}
+
+// genuineTemps computes which temps can influence an observable effect.
+// Sinks are the instructions with behavior of their own — memory stores,
+// calls, returns, conditional branches, and loads (their address operand
+// decides what memory is read); every temp they use is genuine. A
+// pass-through instruction (mov, arithmetic, comparison) makes its
+// operands genuine only if its destination is. The backward fixpoint
+// leaves a copy cycle that never escapes with no genuine member, which is
+// exactly the ghost-accumulator signature deadStores wants.
+func (l *linter) genuineTemps() Bits {
+	genuine := NewBits(l.fn.NTemps)
+	var scratch []int
+	mark := func(in compile.Instr) bool {
+		changed := false
+		scratch = usedTemps(in, scratch[:0])
+		for _, t := range scratch {
+			if t >= 0 && t < l.fn.NTemps && !genuine.Has(t) {
+				genuine.Set(t)
+				changed = true
+			}
+		}
+		return changed
+	}
+	for changed := true; changed; {
+		changed = false
+		for bi, b := range l.g.Blocks {
+			if !l.g.Reach.Has(bi) {
+				continue
+			}
+			for _, in := range b.Instrs {
+				switch in.Op {
+				case compile.OpStore, compile.OpCall, compile.OpRet, compile.OpCondBr, compile.OpLoad:
+					if mark(in) {
+						changed = true
+					}
+				default:
+					if t := defTemp(in); t >= 0 && t < l.fn.NTemps && genuine.Has(t) && mark(in) {
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return genuine
 }
 
 // unreachableCode flags whole blocks the entry cannot reach.

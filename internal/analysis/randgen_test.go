@@ -7,64 +7,9 @@ import (
 	"decompstudy/internal/compile"
 )
 
-// genFunc builds a random well-formed function: the entry block defines
-// every non-parameter temp before any branching, so definite assignment
-// holds on every path; every other block ends in a branch to an existing
-// block or a return. The result must be verifier-clean apart from
-// possible unreachable-block warnings.
-func genFunc(r *rand.Rand) *compile.Func {
-	nparams := r.Intn(3)
-	nlocals := 1 + r.Intn(5)
-	ntemps := nparams + nlocals
-	nblocks := 1 + r.Intn(7)
-
-	anyTemp := func() compile.Operand { return compile.Temp(r.Intn(ntemps)) }
-	value := func() compile.Operand {
-		if r.Intn(2) == 0 {
-			return compile.Const(int64(r.Intn(100)))
-		}
-		return anyTemp()
-	}
-	widths := []int{1, 2, 4, 8}
-	binops := []compile.Opcode{
-		compile.OpAdd, compile.OpSub, compile.OpMul, compile.OpAnd,
-		compile.OpOr, compile.OpXor, compile.OpCmpEQ, compile.OpCmpLT,
-	}
-
-	fn := &compile.Func{Name: "rand", NParams: nparams, NTemps: ntemps, RetWidth: 8}
-	for id := 0; id < nblocks; id++ {
-		b := &compile.Block{ID: id}
-		if id == 0 {
-			for t := nparams; t < ntemps; t++ {
-				b.Instrs = append(b.Instrs, mov(t, compile.Const(int64(t))))
-			}
-		}
-		for k := r.Intn(4); k > 0; k-- {
-			switch r.Intn(4) {
-			case 0:
-				b.Instrs = append(b.Instrs, mov(r.Intn(ntemps), value()))
-			case 1:
-				b.Instrs = append(b.Instrs, compile.Instr{
-					Op: binops[r.Intn(len(binops))], Dst: r.Intn(ntemps), A: value(), B: value(),
-				})
-			case 2:
-				b.Instrs = append(b.Instrs, store(anyTemp(), value(), widths[r.Intn(len(widths))]))
-			case 3:
-				b.Instrs = append(b.Instrs, load(r.Intn(ntemps), anyTemp(), widths[r.Intn(len(widths))]))
-			}
-		}
-		switch {
-		case id == nblocks-1 || r.Intn(3) == 0:
-			b.Instrs = append(b.Instrs, ret(value()))
-		case r.Intn(2) == 0:
-			b.Instrs = append(b.Instrs, br(r.Intn(nblocks)))
-		default:
-			b.Instrs = append(b.Instrs, condbr(anyTemp(), r.Intn(nblocks), r.Intn(nblocks)))
-		}
-		fn.Blocks = append(fn.Blocks, b)
-	}
-	return fn
-}
+// genFunc is the test-local alias for the exported generator; the tests
+// predate the promotion of GenFunc into the package API.
+func genFunc(r *rand.Rand) *compile.Func { return GenFunc(r) }
 
 func TestVerifyRandomWellFormed(t *testing.T) {
 	for seed := int64(0); seed < 50; seed++ {

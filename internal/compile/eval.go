@@ -1,0 +1,43 @@
+package compile
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrStepLimit is the sentinel wrapped by step-limit faults. Differential
+// harnesses (compile/opt) match it to tell "this input runs too long under
+// the configured budget" apart from genuine execution faults: an optimized
+// function executes a different instruction count than its source, so a
+// one-sided step-limit hit is inconclusive rather than a semantic
+// disagreement. It wraps ErrExec, so existing errors.Is(err, ErrExec)
+// checks keep matching.
+var ErrStepLimit = fmt.Errorf("compile: step limit exceeded: %w", ErrExec)
+
+// IsStepLimit reports whether err is a step-limit fault.
+func IsStepLimit(err error) bool { return errors.Is(err, ErrStepLimit) }
+
+// EvalBinop constant-folds one binary IR operation with exactly the
+// interpreter's semantics — shift counts masked to 6 bits, logical right
+// shift, Go's truncated division (MinInt64 / -1 wraps), comparisons to
+// 0/1 — and fails with ErrExec on division or modulo by zero, the cases
+// the interpreter traps on. The optimizer folds through this function so
+// constant propagation can never disagree with execution.
+func EvalBinop(op Opcode, a, b int64) (int64, error) {
+	return applyBinop(op, a, b)
+}
+
+// EvalUnop constant-folds one unary IR operation (neg, not, lnot) with the
+// interpreter's semantics.
+func EvalUnop(op Opcode, a int64) (int64, error) {
+	switch op {
+	case OpNeg:
+		return -a, nil
+	case OpNot:
+		return ^a, nil
+	case OpLNot:
+		return b2i(a == 0), nil
+	default:
+		return 0, fmt.Errorf("compile: not a unop: %v: %w", op, ErrExec)
+	}
+}

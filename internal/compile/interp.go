@@ -75,7 +75,7 @@ func (m *Machine) call(name string, args []int64, depth int) (int64, error) {
 		for _, in := range cur.Instrs {
 			m.steps++
 			if m.steps > m.StepLimit {
-				return 0, fmt.Errorf("compile: step limit exceeded in %s: %w", name, ErrExec)
+				return 0, fmt.Errorf("in %s: %w", name, ErrStepLimit)
 			}
 			switch in.Op {
 			case OpMov:

@@ -1,0 +1,284 @@
+package opt
+
+import (
+	"decompstudy/internal/analysis"
+	"decompstudy/internal/compile"
+)
+
+// This file implements the out-of-SSA copy-coalescing analysis. Naive phi
+// deconstruction inserts one copy per phi per predecessor edge, which
+// GROWS mov-heavy lowered code instead of shrinking it. Coalescing
+// assigns a phi and its arguments one shared temp whenever their SSA
+// values do not interfere, so most copies become self-copies and vanish.
+//
+// Interference is exact for strict SSA: two values interfere iff one is
+// live at the other's (unique) definition. Liveness is computed over SSA
+// values with phi arguments live-out of the predecessor edge, phi
+// destinations defined at the top of their block.
+
+// liveInfo carries per-block value liveness plus, per value, the set of
+// values live immediately after its definition (its interference row).
+type liveInfo struct {
+	in, out []analysis.Bits // per dense block index, over value IDs
+	atDef   []analysis.Bits // per value ID, over value IDs
+}
+
+// uses appends the value IDs an instruction reads.
+func uses(in compile.Instr, out []int) []int {
+	add := func(o compile.Operand) []int {
+		if o.Kind == compile.OperandTemp {
+			out = append(out, o.Temp)
+		}
+		return out
+	}
+	out = add(in.A)
+	out = add(in.B)
+	if in.Op == compile.OpCall {
+		out = add(in.Callee)
+		for _, a := range in.Args {
+			out = add(a)
+		}
+	}
+	return out
+}
+
+// valueLiveness runs the backward dataflow over live blocks, following
+// the rewritten terminators (edges SCCP folded away are gone).
+func (s *ssaFunc) valueLiveness() *liveInfo {
+	nb := len(s.blocks)
+	li := &liveInfo{
+		in:    make([]analysis.Bits, nb),
+		out:   make([]analysis.Bits, nb),
+		atDef: make([]analysis.Bits, s.nvals),
+	}
+	for i := range li.in {
+		li.in[i] = analysis.NewBits(s.nvals)
+		li.out[i] = analysis.NewBits(s.nvals)
+	}
+	for v := range li.atDef {
+		li.atDef[v] = analysis.NewBits(s.nvals)
+	}
+
+	// phiArg returns the argument value flowing over edge pred→bi into the
+	// pi-th phi, or -1. Duplicate-edge slots carry identical values, so the
+	// first non-None slot is authoritative.
+	phiArg := func(bi, pi, pred int) int {
+		p := s.blocks[bi].phis[pi]
+		for slot, pb := range s.g.Preds[bi] {
+			if pb == pred && p.args[slot].Kind == compile.OperandTemp {
+				return p.args[slot].Temp
+			}
+			if pb == pred && p.args[slot].Kind != compile.OperandNone {
+				return -1 // constant argument: nothing live
+			}
+		}
+		return -1
+	}
+
+	// transfer recomputes liveIn[bi] from liveOut[bi]; returns true when it
+	// changed.
+	transfer := func(bi int) bool {
+		b := s.blocks[bi]
+		live := li.out[bi].Clone()
+		for i := len(b.instrs) - 1; i >= 0; i-- {
+			in := b.instrs[i]
+			if d := defTempOf(in); d >= 0 {
+				live.Clear(d)
+			}
+			var scratch [8]int
+			for _, u := range uses(b.instrs[i], scratch[:0]) {
+				live.Set(u)
+			}
+		}
+		for _, p := range b.phis {
+			live.Clear(p.dst)
+		}
+		if live.Equal(li.in[bi]) {
+			return false
+		}
+		li.in[bi] = live
+		return true
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for bi := nb - 1; bi >= 0; bi-- {
+			b := s.blocks[bi]
+			if b == nil || !s.live[bi] {
+				continue
+			}
+			if len(b.instrs) == 0 {
+				continue
+			}
+			out := analysis.NewBits(s.nvals)
+			seen := map[int]bool{}
+			for _, succID := range termSuccs(b.instrs[len(b.instrs)-1]) {
+				si, ok := s.g.Index[succID]
+				if !ok || seen[si] || s.blocks[si] == nil || !s.live[si] {
+					continue
+				}
+				seen[si] = true
+				out.Union(li.in[si])
+				for pi := range s.blocks[si].phis {
+					if a := phiArg(si, pi, bi); a >= 0 {
+						out.Set(a)
+					}
+				}
+			}
+			if !out.Equal(li.out[bi]) {
+				li.out[bi] = out
+				changed = true
+			}
+			if transfer(bi) {
+				changed = true
+			}
+		}
+	}
+
+	// Final backward pass: record the live set at every definition point.
+	for bi := range s.blocks {
+		b := s.blocks[bi]
+		if b == nil || !s.live[bi] {
+			continue
+		}
+		live := li.out[bi].Clone()
+		for i := len(b.instrs) - 1; i >= 0; i-- {
+			in := b.instrs[i]
+			if d := defTempOf(in); d >= 0 {
+				live.Clear(d)
+				li.atDef[d].Union(live)
+			}
+			var scratch [8]int
+			for _, u := range uses(b.instrs[i], scratch[:0]) {
+				live.Set(u)
+			}
+		}
+		// Phi destinations define in parallel at the block top: each
+		// interferes with everything live there, the other phi dsts
+		// included.
+		for _, p := range b.phis {
+			live.Set(p.dst)
+		}
+		for _, p := range b.phis {
+			live.Clear(p.dst)
+			li.atDef[p.dst].Union(live)
+			live.Set(p.dst)
+		}
+		if bi == 0 {
+			// Parameters and synthetic zero values define in parallel at
+			// entry (the interpreter's register file). Entry has no phis —
+			// buildSSA splits the entry block when it has predecessors.
+			for _, p := range b.phis {
+				live.Clear(p.dst)
+			}
+			ent := func(v int) {
+				live.Clear(v)
+				li.atDef[v].Union(live)
+				live.Set(v)
+			}
+			for p := 0; p < s.fn.NParams; p++ {
+				ent(p)
+			}
+			for _, zv := range s.zeroVals {
+				ent(zv)
+			}
+		}
+	}
+	return li
+}
+
+// classes is a union-find over SSA values with the merge metadata the
+// coalescer needs.
+type classes struct {
+	parent  []int
+	members [][]int
+	param   []int // param ID pinned to the class, -1 if none
+	named   []int // the symbol-table orig temp the class carries, -1 if none
+}
+
+func (c *classes) find(v int) int {
+	for c.parent[v] != v {
+		c.parent[v] = c.parent[c.parent[v]]
+		v = c.parent[v]
+	}
+	return v
+}
+
+// coalesce builds the value classes: every phi tries to merge with each
+// of its argument values. A merge is allowed when no pair of member
+// values interferes, at most one side is pinned to a parameter, and the
+// classes do not carry two different named variables (a temp serving two
+// symbols would make annotations ambiguous).
+func (s *ssaFunc) coalesce() *classes {
+	li := s.valueLiveness()
+	named := make(map[int]bool, len(s.fn.Symbols))
+	for _, sym := range s.fn.Symbols {
+		named[sym.Temp] = true
+	}
+
+	c := &classes{
+		parent:  make([]int, s.nvals),
+		members: make([][]int, s.nvals),
+		param:   make([]int, s.nvals),
+		named:   make([]int, s.nvals),
+	}
+	for v := 0; v < s.nvals; v++ {
+		c.parent[v] = v
+		c.members[v] = []int{v}
+		c.param[v] = -1
+		if v < s.fn.NParams {
+			c.param[v] = v
+		}
+		c.named[v] = -1
+		if o := s.origOf[v]; o >= 0 && named[o] {
+			c.named[v] = o
+		}
+	}
+
+	interfere := func(x, y int) bool {
+		return li.atDef[x].Has(y) || li.atDef[y].Has(x)
+	}
+	tryMerge := func(a, b int) {
+		ra, rb := c.find(a), c.find(b)
+		if ra == rb {
+			return
+		}
+		if c.param[ra] >= 0 && c.param[rb] >= 0 {
+			return
+		}
+		if c.named[ra] >= 0 && c.named[rb] >= 0 && c.named[ra] != c.named[rb] {
+			return
+		}
+		for _, x := range c.members[ra] {
+			for _, y := range c.members[rb] {
+				if interfere(x, y) {
+					return
+				}
+			}
+		}
+		// Merge rb into ra.
+		c.parent[rb] = ra
+		c.members[ra] = append(c.members[ra], c.members[rb]...)
+		c.members[rb] = nil
+		if c.param[rb] >= 0 {
+			c.param[ra] = c.param[rb]
+		}
+		if c.named[rb] >= 0 {
+			c.named[ra] = c.named[rb]
+		}
+	}
+
+	for bi, b := range s.blocks {
+		if b == nil || !s.live[bi] {
+			continue
+		}
+		for _, p := range b.phis {
+			for _, a := range p.args {
+				if a.Kind == compile.OperandTemp {
+					tryMerge(p.dst, a.Temp)
+				}
+			}
+		}
+	}
+	return c
+}

@@ -1,0 +1,340 @@
+package opt
+
+import "decompstudy/internal/compile"
+
+// deconstruct translates SSA back into plain compile.Func form. Values
+// are first coalesced (see coalesce.go): a phi and its non-interfering
+// arguments share one temp, so their copies vanish; parameters pin their
+// classes to temps 0..NParams-1, preserving the interpreter's calling
+// convention. The copies that remain become parallel-copy sets,
+// sequentialized with cycle-breaking scratch temps so the lost-copy and
+// swap problems cannot bite. A block with several successors emits its
+// copies on a fresh edge block per successor (critical-edge splitting) —
+// emitting them before the branch would execute them on paths that never
+// reach the phi, clobbering coalesced temps.
+//
+// The output is deterministic, structurally verifier-clean (only live
+// blocks are emitted, entry first; coalescing is interference-checked, so
+// every read is definitely assigned), and never aliases the input
+// function.
+func (s *ssaFunc) deconstruct() *compile.Func {
+	cls := s.coalesce()
+
+	// Pass 1: find which values are actually read by the emitted program,
+	// so unused zero-inits do not materialize.
+	used := make([]bool, s.nvals)
+	markOp := func(o compile.Operand) {
+		if o.Kind == compile.OperandTemp {
+			used[o.Temp] = true
+		}
+	}
+	for bi, b := range s.blocks {
+		if b == nil || !s.live[bi] {
+			continue
+		}
+		for _, p := range b.phis {
+			for _, a := range p.args {
+				markOp(a)
+			}
+		}
+		for _, in := range b.instrs {
+			markOp(in.A)
+			markOp(in.B)
+			if in.Op == compile.OpCall {
+				markOp(in.Callee)
+				for _, a := range in.Args {
+					markOp(a)
+				}
+			}
+		}
+	}
+
+	// Pass 2: assign one temp per coalescing class, in deterministic
+	// encounter order. Parameter classes are pinned.
+	tempOf := make([]int, s.nvals)
+	for i := range tempOf {
+		tempOf[i] = -1
+	}
+	classTemp := make(map[int]int, s.nvals)
+	next := s.fn.NParams
+	assign := func(v int) {
+		if v < 0 || tempOf[v] >= 0 {
+			return
+		}
+		r := cls.find(v)
+		t, ok := classTemp[r]
+		if !ok {
+			if cls.param[r] >= 0 {
+				t = cls.param[r]
+			} else {
+				t = next
+				next++
+			}
+			classTemp[r] = t
+		}
+		tempOf[v] = t
+	}
+	for p := 0; p < s.fn.NParams; p++ {
+		assign(p)
+	}
+	for _, zv := range s.zeroVals {
+		if used[zv] {
+			assign(zv)
+		}
+	}
+	for bi, b := range s.blocks {
+		if b == nil || !s.live[bi] {
+			continue
+		}
+		for _, p := range b.phis {
+			assign(p.dst)
+		}
+		for _, in := range b.instrs {
+			if d := defTempOf(in); d >= 0 {
+				assign(d)
+			}
+		}
+	}
+
+	mapOp := func(o compile.Operand) compile.Operand {
+		if o.Kind == compile.OperandTemp {
+			return compile.Temp(tempOf[o.Temp])
+		}
+		return o
+	}
+
+	out := &compile.Func{
+		Name:      s.fn.Name,
+		NParams:   s.fn.NParams,
+		RetWidth:  s.fn.RetWidth,
+		RetSigned: s.fn.RetSigned,
+	}
+
+	nextBlockID := 0
+	for bi, b := range s.blocks {
+		if b != nil && s.live[bi] && b.id >= nextBlockID {
+			nextBlockID = b.id + 1
+		}
+	}
+
+	// copiesInto collects the still-needed parallel copies for the edge
+	// bi→si; coalesced pairs map to the same temp and drop out.
+	copiesInto := func(bi, si int) []parCopy {
+		var copies []parCopy
+		for _, p := range s.blocks[si].phis {
+			slot := -1
+			for j, pred := range s.g.Preds[si] {
+				if pred == bi && p.args[j].Kind != compile.OperandNone {
+					slot = j
+					break
+				}
+			}
+			if slot < 0 {
+				continue
+			}
+			src := mapOp(p.args[slot])
+			if src.Kind == compile.OperandTemp && src.Temp == tempOf[p.dst] {
+				continue
+			}
+			copies = append(copies, parCopy{dst: tempOf[p.dst], src: src})
+		}
+		return copies
+	}
+
+	// Pass 3: emit live blocks in original order, splitting critical
+	// edges that still carry copies.
+	var edgeBlocks []*compile.Block
+	for bi, b := range s.blocks {
+		if b == nil || !s.live[bi] {
+			continue
+		}
+		nb := &compile.Block{ID: b.id}
+		if bi == 0 {
+			for _, zv := range s.zeroVals {
+				if used[zv] {
+					nb.Instrs = append(nb.Instrs, compile.Instr{
+						Op: compile.OpMov, Dst: tempOf[zv], A: compile.Const(0),
+					})
+				}
+			}
+		}
+		if len(b.instrs) == 0 {
+			// Cannot happen on verifier-clean input (every block has a
+			// terminator), but stay total.
+			out.Blocks = append(out.Blocks, nb)
+			continue
+		}
+		for _, in := range b.instrs[:len(b.instrs)-1] {
+			o := in
+			o.A = mapOp(in.A)
+			o.B = mapOp(in.B)
+			if in.Op == compile.OpCall {
+				o.Callee = mapOp(in.Callee)
+				o.Args = make([]compile.Operand, len(in.Args))
+				for i, a := range in.Args {
+					o.Args[i] = mapOp(a)
+				}
+			}
+			if d := defTempOf(in); d >= 0 {
+				o.Dst = tempOf[d]
+			}
+			nb.Instrs = append(nb.Instrs, o)
+		}
+
+		term := b.instrs[len(b.instrs)-1]
+		t := term
+		t.A = mapOp(term.A)
+
+		var succs []int // distinct dense successor indices
+		seen := map[int]bool{}
+		for _, succID := range termSuccs(term) {
+			si, ok := s.g.Index[succID]
+			if !ok || seen[si] || s.blocks[si] == nil {
+				continue
+			}
+			seen[si] = true
+			succs = append(succs, si)
+		}
+
+		if len(succs) == 1 {
+			// Unique successor: copies run inline before the terminator.
+			// The terminator reads its operand AFTER those copies execute,
+			// but semantically it must see the pre-copy value (a condbr with
+			// both arms on one block can read a temp the copies overwrite) —
+			// park the pre-copy value in a scratch temp then.
+			copies := copiesInto(bi, succs[0])
+			if t.A.Kind == compile.OperandTemp {
+				for _, c := range copies {
+					if c.dst == t.A.Temp {
+						scratch := next
+						next++
+						nb.Instrs = append(nb.Instrs, compile.Instr{
+							Op: compile.OpMov, Dst: scratch, A: t.A,
+						})
+						t.A = compile.Temp(scratch)
+						break
+					}
+				}
+			}
+			nb.Instrs = append(nb.Instrs, sequentialize(copies, &next)...)
+		} else if len(succs) > 1 {
+			for _, si := range succs {
+				copies := copiesInto(bi, si)
+				if len(copies) == 0 {
+					continue
+				}
+				eb := &compile.Block{ID: nextBlockID}
+				nextBlockID++
+				eb.Instrs = append(sequentialize(copies, &next),
+					compile.Instr{Op: compile.OpBr, Dst: -1, Target: s.blocks[si].id})
+				edgeBlocks = append(edgeBlocks, eb)
+				if t.Target == s.blocks[si].id {
+					t.Target = eb.ID
+				} else if t.Op == compile.OpCondBr && t.Else == s.blocks[si].id {
+					t.Else = eb.ID
+				}
+			}
+		}
+		nb.Instrs = append(nb.Instrs, t)
+		out.Blocks = append(out.Blocks, nb)
+	}
+	out.Blocks = append(out.Blocks, edgeBlocks...)
+	out.NTemps = next
+	if out.NTemps < out.NParams {
+		out.NTemps = out.NParams
+	}
+
+	// Symbol table: parameters keep their temps; a local follows its
+	// lowest-numbered surviving SSA value (the first definition in
+	// dominator order). Locals whose every version was optimized away drop
+	// out of the table — that is the study's annotation-survival axis.
+	for _, sym := range s.fn.Symbols {
+		if sym.Kind == compile.VarParam && sym.Temp < s.fn.NParams {
+			out.Symbols = append(out.Symbols, sym)
+			continue
+		}
+		mapped := -1
+		for v := 0; v < s.nvals; v++ {
+			if s.origOf[v] == sym.Temp && tempOf[v] >= 0 {
+				mapped = tempOf[v]
+				break
+			}
+		}
+		if mapped >= 0 {
+			ns := sym
+			ns.Temp = mapped
+			out.Symbols = append(out.Symbols, ns)
+		}
+	}
+	return out
+}
+
+// parCopy is one pending parallel copy.
+type parCopy struct {
+	dst int
+	src compile.Operand
+}
+
+// sequentialize orders a parallel copy set into mov instructions. A copy
+// is safe to emit when no pending copy still reads its destination; when
+// every pending copy is blocked the set contains a cycle, which is broken
+// by saving one blocked destination into a fresh scratch temp (allocated
+// from *next) and redirecting its readers — the standard lost-copy/swap
+// treatment.
+func sequentialize(copies []parCopy, next *int) []compile.Instr {
+	var out []compile.Instr
+	pending := make([]parCopy, 0, len(copies))
+	for _, c := range copies {
+		// Self-copies (a coalesced or self-looping phi argument) are no-ops.
+		if c.src.Kind == compile.OperandTemp && c.src.Temp == c.dst {
+			continue
+		}
+		pending = append(pending, c)
+	}
+	for len(pending) > 0 {
+		emitted := false
+		for i, c := range pending {
+			blocked := false
+			for _, o := range pending {
+				if o.src.Kind == compile.OperandTemp && o.src.Temp == c.dst {
+					blocked = true
+					break
+				}
+			}
+			if blocked {
+				continue
+			}
+			out = append(out, compile.Instr{Op: compile.OpMov, Dst: c.dst, A: c.src})
+			pending = append(pending[:i], pending[i+1:]...)
+			emitted = true
+			break
+		}
+		if emitted {
+			continue
+		}
+		// Every pending destination is still read: break the cycle by
+		// parking the first destination in a scratch temp.
+		d := pending[0].dst
+		scratch := *next
+		*next++
+		out = append(out, compile.Instr{Op: compile.OpMov, Dst: scratch, A: compile.Temp(d)})
+		for i := range pending {
+			if pending[i].src.Kind == compile.OperandTemp && pending[i].src.Temp == d {
+				pending[i].src = compile.Temp(scratch)
+			}
+		}
+	}
+	return out
+}
+
+// termSuccs returns the successor block IDs of a terminator instruction.
+func termSuccs(t compile.Instr) []int {
+	switch t.Op {
+	case compile.OpBr:
+		return []int{t.Target}
+	case compile.OpCondBr:
+		return []int{t.Target, t.Else}
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,100 @@
+package opt
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+
+	"decompstudy/internal/compile"
+)
+
+// diffMemSize is the machine memory used for differential runs — the
+// interpreter default, so in-bounds addresses behave identically.
+const diffMemSize = 1 << 16
+
+// diffStepLimit bounds each differential execution. Both machines get the
+// same budget; a one-sided hit is inconclusive (the optimized function
+// executes a different instruction count), so that vector is skipped
+// rather than reported as a disagreement.
+const diffStepLimit = 200_000
+
+// Equivalent executes function name in both objects on vectors randomized
+// input vectors (deterministic per seed) and reports the first observable
+// disagreement: differing fault behavior, differing results, or differing
+// final memory. Both machines start from identical pseudorandom memory so
+// loads of unwritten addresses agree too. A nil return means no
+// disagreement was observed.
+func Equivalent(a, b *compile.Object, name string, vectors int, seed int64) error {
+	fn, ok := a.Func0(name)
+	if !ok {
+		return fmt.Errorf("no function %q in original object: %w", name, ErrOpt)
+	}
+	r := rand.New(rand.NewSource(seed))
+	mem := make([]byte, diffMemSize)
+	for v := 0; v < vectors; v++ {
+		r.Read(mem)
+		args := make([]int64, fn.NParams)
+		for i := range args {
+			args[i] = diffArg(r)
+		}
+
+		ma := compile.NewMachine(a, diffMemSize)
+		mb := compile.NewMachine(b, diffMemSize)
+		ma.StepLimit = diffStepLimit
+		mb.StepLimit = diffStepLimit
+		copy(ma.Mem(), mem)
+		copy(mb.Mem(), mem)
+
+		va, ea := ma.Call(name, args...)
+		vb, eb := mb.Call(name, args...)
+		if compile.IsStepLimit(ea) || compile.IsStepLimit(eb) {
+			continue
+		}
+		switch {
+		case (ea != nil) != (eb != nil):
+			return fmt.Errorf("differential mismatch in %s (args %v): original %s, optimized %s: %w",
+				name, args, describe(va, ea), describe(vb, eb), ErrOpt)
+		case ea == nil && va != vb:
+			return fmt.Errorf("differential mismatch in %s (args %v): original returned %d, optimized %d: %w",
+				name, args, va, vb, ErrOpt)
+		case ea == nil && !bytes.Equal(ma.Mem(), mb.Mem()):
+			return fmt.Errorf("differential mismatch in %s (args %v): memories diverge at offset %#x: %w",
+				name, args, firstDiff(ma.Mem(), mb.Mem()), ErrOpt)
+		}
+		// Both faulted (non-step-limit): they agree the input is bad. The
+		// exact message may differ (e.g. which of two dead divisions
+		// trapped first), which is not an observable program behavior.
+	}
+	return nil
+}
+
+// diffArg draws one argument value, mixing magnitudes so small constants,
+// in-bounds addresses, negatives, and wide values all occur.
+func diffArg(r *rand.Rand) int64 {
+	switch r.Intn(4) {
+	case 0:
+		return int64(r.Intn(16)) // small counts and flags
+	case 1:
+		return int64(r.Intn(diffMemSize - 64)) // plausible addresses
+	case 2:
+		return -int64(r.Intn(1 << 20)) // negatives
+	default:
+		return int64(r.Uint64()) // full width
+	}
+}
+
+func describe(v int64, err error) string {
+	if err != nil {
+		return fmt.Sprintf("faulted (%v)", err)
+	}
+	return fmt.Sprintf("returned %d", v)
+}
+
+func firstDiff(a, b []byte) int {
+	for i := range a {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return -1
+}

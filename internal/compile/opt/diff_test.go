@@ -1,0 +1,99 @@
+package opt
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"decompstudy/internal/analysis"
+	"decompstudy/internal/compile"
+)
+
+// TestDifferentialRandom is the quick-check suite from the roadmap: a
+// thousand randomized well-formed functions, each optimized at -O1 and
+// -O2 with the built-in differential gate, plus extra input vectors
+// through Equivalent. Any behavioral divergence or verifier diagnostic
+// fails the run. Short mode trims the count for the pre-commit loop.
+func TestDifferentialRandom(t *testing.T) {
+	n := 1000
+	if testing.Short() {
+		n = 150
+	}
+	r := rand.New(rand.NewSource(26))
+	ctx := context.Background()
+	for i := 0; i < n; i++ {
+		f := analysis.GenFunc(r)
+		if analysis.CountSev(analysis.Verify(f), analysis.SevError) > 0 {
+			t.Fatalf("GenFunc emitted invalid IR at i=%d", i)
+		}
+		obj := &compile.Object{Funcs: []*compile.Func{f}}
+		for _, level := range []Level{O1, O2} {
+			out, _, err := OptimizeObject(ctx, obj, level)
+			if err != nil {
+				t.Fatalf("i=%d %s: %v\ninput:\n%s", i, level, err, f)
+			}
+			for _, ofn := range out.Funcs {
+				if diags := analysis.Verify(ofn); len(diags) > 0 {
+					t.Fatalf("i=%d %s: %d diagnostics on optimized IR: %v", i, level, len(diags), diags[0])
+				}
+			}
+			if err := Equivalent(obj, out, f.Name, 8, int64(i)*1009+int64(level)); err != nil {
+				t.Fatalf("i=%d %s extra vectors: %v\ninput:\n%s", i, level, err, f)
+			}
+		}
+	}
+}
+
+// TestEquivalentCatchesMiscompiles: the harness itself must flag a wrong
+// constant, a wrong store, and a wrong fault — otherwise the gate is
+// decorative.
+func TestEquivalentCatchesMiscompiles(t *testing.T) {
+	orig := fn("victim", 1, 2,
+		blk(0,
+			ibin(compile.OpAdd, 1, compile.Temp(0), compile.Const(1)),
+			iret(compile.Temp(1)),
+		),
+	)
+	obj := &compile.Object{Funcs: []*compile.Func{orig}}
+
+	wrongValue := fn("victim", 1, 2,
+		blk(0,
+			ibin(compile.OpAdd, 1, compile.Temp(0), compile.Const(2)),
+			iret(compile.Temp(1)),
+		),
+	)
+	wrongMem := fn("victim", 1, 2,
+		blk(0,
+			ibin(compile.OpAdd, 1, compile.Temp(0), compile.Const(1)),
+			istore(compile.Const(64), compile.Const(7), 1),
+			iret(compile.Temp(1)),
+		),
+	)
+	wrongFault := fn("victim", 1, 2,
+		blk(0,
+			ibin(compile.OpDiv, 1, compile.Const(1), compile.Const(0)),
+			iret(compile.Temp(1)),
+		),
+	)
+	for name, bad := range map[string]*compile.Func{
+		"value": wrongValue, "memory": wrongMem, "fault": wrongFault,
+	} {
+		badObj := &compile.Object{Funcs: []*compile.Func{bad}}
+		if err := Equivalent(obj, badObj, "victim", 8, 3); err == nil {
+			t.Errorf("Equivalent missed the %s miscompile", name)
+		}
+	}
+}
+
+// TestOptimizeRejectsBadLevel: invalid levels error through both entry
+// points rather than silently running some default.
+func TestOptimizeRejectsBadLevel(t *testing.T) {
+	f := fn("f", 0, 1, blk(0, iret(compile.Const(0))))
+	obj := &compile.Object{Funcs: []*compile.Func{f}}
+	if _, _, err := Optimize(context.Background(), f, Level(7)); err == nil {
+		t.Error("Optimize accepted level 7")
+	}
+	if _, _, err := OptimizeObject(context.Background(), obj, Level(-2)); err == nil {
+		t.Error("OptimizeObject accepted level -2")
+	}
+}

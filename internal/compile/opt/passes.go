@@ -1,0 +1,460 @@
+package opt
+
+import "decompstudy/internal/compile"
+
+// Lattice tags for sparse conditional constant propagation. Values start
+// at top ("no evidence yet"), fall to a single constant, and bottom out
+// at "varies". The lattice only ever descends, so the fixpoint loop
+// terminates.
+const (
+	latTop = iota
+	latConst
+	latBot
+)
+
+// lat is one value's SCCP lattice cell.
+type lat struct {
+	tag int
+	c   int64
+}
+
+// meet joins two lattice cells.
+func meet(a, b lat) lat {
+	switch {
+	case a.tag == latTop:
+		return b
+	case b.tag == latTop:
+		return a
+	case a.tag == latConst && b.tag == latConst && a.c == b.c:
+		return a
+	default:
+		return lat{tag: latBot}
+	}
+}
+
+// constProp runs sparse conditional constant propagation with branch
+// folding over the SSA function, in place:
+//
+//   - values proven constant have their defining instructions rewritten
+//     to `mov #c` and their uses replaced by constant operands,
+//   - condbr on a proven-constant condition folds to an unconditional br,
+//   - blocks no realizable path executes are removed (s.live cleared).
+//
+// Folding goes through compile.EvalBinop/EvalUnop — the interpreter's own
+// arithmetic — and never folds a division or modulo whose divisor could
+// be zero: the trapping instruction stays so -O0 and -O2 fault on exactly
+// the same inputs.
+func (s *ssaFunc) constProp() {
+	vals := make([]lat, s.nvals)
+	for p := 0; p < s.fn.NParams; p++ {
+		vals[p] = lat{tag: latBot}
+	}
+	for _, zv := range s.zeroVals {
+		vals[zv] = lat{tag: latConst, c: 0}
+	}
+
+	operandLat := func(o compile.Operand) lat {
+		switch o.Kind {
+		case compile.OperandConst:
+			return lat{tag: latConst, c: o.Const}
+		case compile.OperandTemp:
+			return vals[o.Temp]
+		default:
+			// Symbol operands (string labels, function names) never fold.
+			return lat{tag: latBot}
+		}
+	}
+
+	exec := make([]bool, len(s.blocks))
+	// edgeExec is keyed by (pred, succ) dense indices.
+	edgeExec := map[[2]int]bool{}
+	if len(s.blocks) > 0 && s.blocks[0] != nil {
+		exec[0] = true
+	}
+
+	evalInstr := func(in compile.Instr) lat {
+		switch in.Op {
+		case compile.OpMov:
+			return operandLat(in.A)
+		case compile.OpNeg, compile.OpNot, compile.OpLNot:
+			a := operandLat(in.A)
+			if a.tag == latConst {
+				if v, err := compile.EvalUnop(in.Op, a.c); err == nil {
+					return lat{tag: latConst, c: v}
+				}
+				return lat{tag: latBot}
+			}
+			return a
+		case compile.OpAdd, compile.OpSub, compile.OpMul, compile.OpDiv, compile.OpRem,
+			compile.OpAnd, compile.OpOr, compile.OpXor, compile.OpShl, compile.OpShr,
+			compile.OpCmpEQ, compile.OpCmpNE, compile.OpCmpLT, compile.OpCmpLE,
+			compile.OpCmpGT, compile.OpCmpGE:
+			a, b := operandLat(in.A), operandLat(in.B)
+			if a.tag == latBot || b.tag == latBot {
+				return lat{tag: latBot}
+			}
+			if a.tag == latTop || b.tag == latTop {
+				return lat{tag: latTop}
+			}
+			v, err := compile.EvalBinop(in.Op, a.c, b.c)
+			if err != nil {
+				// Division by a constant zero: the instruction traps at
+				// runtime; its "result" never exists.
+				return lat{tag: latBot}
+			}
+			return lat{tag: latConst, c: v}
+		default:
+			// Loads and calls produce unknowable values.
+			return lat{tag: latBot}
+		}
+	}
+
+	// Fixpoint: re-simulate executable blocks until nothing descends and
+	// no new edge lights up. Functions here are tiny; the simple loop
+	// beats worklist bookkeeping.
+	for changed := true; changed; {
+		changed = false
+		for bi, b := range s.blocks {
+			if b == nil || !exec[bi] {
+				continue
+			}
+			for pi := range b.phis {
+				m := lat{tag: latTop}
+				for slot, pred := range s.g.Preds[bi] {
+					if !edgeExec[[2]int{pred, bi}] {
+						continue
+					}
+					m = meet(m, operandLat(b.phis[pi].args[slot]))
+				}
+				d := b.phis[pi].dst
+				if nv := meet(vals[d], m); nv != vals[d] {
+					vals[d] = nv
+					changed = true
+				}
+			}
+			for _, in := range b.instrs {
+				if d := defTempOf(in); d >= 0 {
+					nv := meet(vals[d], evalInstr(in))
+					if nv != vals[d] {
+						vals[d] = nv
+						changed = true
+					}
+				}
+			}
+			if len(b.instrs) == 0 {
+				continue
+			}
+			term := b.instrs[len(b.instrs)-1]
+			markEdge := func(succID int) {
+				si, ok := s.g.Index[succID]
+				if !ok || s.blocks[si] == nil {
+					return
+				}
+				if !edgeExec[[2]int{bi, si}] {
+					edgeExec[[2]int{bi, si}] = true
+					changed = true
+				}
+				if !exec[si] {
+					exec[si] = true
+					changed = true
+				}
+			}
+			switch term.Op {
+			case compile.OpBr:
+				markEdge(term.Target)
+			case compile.OpCondBr:
+				switch c := operandLat(term.A); c.tag {
+				case latConst:
+					if c.c != 0 {
+						markEdge(term.Target)
+					} else {
+						markEdge(term.Else)
+					}
+				case latBot:
+					markEdge(term.Target)
+					markEdge(term.Else)
+				}
+			}
+		}
+	}
+
+	// Rewrite: fold constant definitions, substitute constant uses, fold
+	// branches, drop unexecutable blocks.
+	subst := func(o compile.Operand) compile.Operand {
+		if o.Kind == compile.OperandTemp && vals[o.Temp].tag == latConst {
+			return compile.Const(vals[o.Temp].c)
+		}
+		return o
+	}
+	for bi, b := range s.blocks {
+		if b == nil {
+			continue
+		}
+		if !exec[bi] {
+			s.live[bi] = false
+			continue
+		}
+		for pi := range b.phis {
+			for j := range b.phis[pi].args {
+				b.phis[pi].args[j] = subst(b.phis[pi].args[j])
+			}
+		}
+		for ii := range b.instrs {
+			in := &b.instrs[ii]
+			if d := defTempOf(*in); d >= 0 && vals[d].tag == latConst && foldable(in.Op) {
+				*in = compile.Instr{Op: compile.OpMov, Dst: d, A: compile.Const(vals[d].c)}
+				continue
+			}
+			in.A = subst(in.A)
+			in.B = subst(in.B)
+			if in.Op == compile.OpCall {
+				// The callee slot stays symbolic; argument temps fold.
+				for ai := range in.Args {
+					in.Args[ai] = subst(in.Args[ai])
+				}
+			}
+			if in.Op == compile.OpCondBr && in.A.Kind == compile.OperandConst {
+				target := in.Target
+				if in.A.Const == 0 {
+					target = in.Else
+				}
+				*in = compile.Instr{Op: compile.OpBr, Dst: -1, Target: target}
+			}
+		}
+	}
+}
+
+// foldable reports whether a constant result may replace the instruction
+// outright: pure register ops only. Loads and calls are never rewritten
+// (their lattice is bottom anyway); a div/rem whose result is a known
+// constant already proved its divisor non-zero, so it is pure here.
+func foldable(op compile.Opcode) bool {
+	switch op {
+	case compile.OpLoad, compile.OpStore, compile.OpCall,
+		compile.OpRet, compile.OpBr, compile.OpCondBr:
+		return false
+	}
+	return true
+}
+
+// copyProp replaces every use of a value defined by a copy (`mov v, w`,
+// `mov v, #c`, or a phi whose live arguments all agree) with the copied
+// operand, chasing chains to their origin. The now-unused copies stay in
+// place for DCE to collect.
+func (s *ssaFunc) copyProp() {
+	// defs: value → the operand it copies, or None when not a copy.
+	resolved := make([]compile.Operand, s.nvals)
+	state := make([]int, s.nvals) // 0 unvisited, 1 in progress, 2 done
+
+	def := make([]compile.Operand, s.nvals) // raw copy source per value
+	phiOf := make(map[int]*phi, 0)          // value → defining phi
+	phiBlock := make(map[int]int, 0)        // value → dense block of the phi
+	for bi, b := range s.blocks {
+		if b == nil || !s.live[bi] {
+			continue
+		}
+		for pi := range b.phis {
+			phiOf[b.phis[pi].dst] = &b.phis[pi]
+			phiBlock[b.phis[pi].dst] = bi
+		}
+		for _, in := range b.instrs {
+			if in.Op == compile.OpMov && in.Dst >= 0 {
+				def[in.Dst] = in.A
+			}
+		}
+	}
+
+	var resolve func(v int) compile.Operand
+	resolve = func(v int) compile.Operand {
+		self := compile.Temp(v)
+		if state[v] == 2 {
+			return resolved[v]
+		}
+		if state[v] == 1 {
+			return self // cycle through phis: keep the value itself
+		}
+		state[v] = 1
+		out := self
+		switch {
+		case def[v].Kind == compile.OperandConst:
+			out = def[v]
+		case def[v].Kind == compile.OperandTemp:
+			out = resolve(def[v].Temp)
+		default:
+			if p, ok := phiOf[v]; ok {
+				// A phi whose live arguments all resolve to one operand is a
+				// copy of it (self-references ignored, the standard rule).
+				agreed := compile.Operand{}
+				ok := true
+				bi := phiBlock[v]
+				for slot, pred := range s.g.Preds[bi] {
+					if s.blocks[pred] == nil || !s.live[pred] {
+						continue
+					}
+					a := p.args[slot]
+					if a.Kind == compile.OperandNone {
+						continue
+					}
+					if a.Kind == compile.OperandTemp {
+						a = resolve(a.Temp)
+					}
+					if a.Kind == compile.OperandTemp && a.Temp == v {
+						continue // self loop
+					}
+					if agreed.Kind == compile.OperandNone {
+						agreed = a
+					} else if agreed != a {
+						ok = false
+						break
+					}
+				}
+				if ok && agreed.Kind != compile.OperandNone {
+					out = agreed
+				}
+			}
+		}
+		state[v] = 2
+		resolved[v] = out
+		return out
+	}
+
+	subst := func(o compile.Operand) compile.Operand {
+		if o.Kind == compile.OperandTemp {
+			return resolve(o.Temp)
+		}
+		return o
+	}
+	for bi, b := range s.blocks {
+		if b == nil || !s.live[bi] {
+			continue
+		}
+		for pi := range b.phis {
+			for j := range b.phis[pi].args {
+				b.phis[pi].args[j] = subst(b.phis[pi].args[j])
+			}
+		}
+		for ii := range b.instrs {
+			in := &b.instrs[ii]
+			in.A = subst(in.A)
+			in.B = subst(in.B)
+			if in.Op == compile.OpCall {
+				if in.Callee.Kind == compile.OperandTemp {
+					in.Callee = subst(in.Callee)
+				}
+				for ai := range in.Args {
+					in.Args[ai] = subst(in.Args[ai])
+				}
+			}
+		}
+	}
+}
+
+// dce removes instructions whose results nothing observes. Effectful or
+// potentially trapping instructions are roots and always stay: stores,
+// calls, returns, branches, loads (out-of-bounds faults), and div/rem
+// with a possibly-zero divisor — removing any of those would change
+// observable behavior on some input, which the differential gate would
+// catch. Everything else survives only if a chain of uses connects it to
+// a root.
+func (s *ssaFunc) dce() {
+	needed := make([]bool, s.nvals)
+	var work []int
+	need := func(o compile.Operand) {
+		if o.Kind == compile.OperandTemp && !needed[o.Temp] {
+			needed[o.Temp] = true
+			work = append(work, o.Temp)
+		}
+	}
+
+	type defSite struct {
+		block int
+		instr int // -1: phi
+		phi   int
+	}
+	defAt := make(map[int]defSite, s.nvals)
+
+	for bi, b := range s.blocks {
+		if b == nil || !s.live[bi] {
+			continue
+		}
+		for pi, p := range b.phis {
+			defAt[p.dst] = defSite{block: bi, instr: -1, phi: pi}
+		}
+		for ii, in := range b.instrs {
+			if d := defTempOf(in); d >= 0 {
+				defAt[d] = defSite{block: bi, instr: ii}
+			}
+			if !removable(in) {
+				need(in.A)
+				need(in.B)
+				if in.Op == compile.OpCall {
+					need(in.Callee)
+					for _, a := range in.Args {
+						need(a)
+					}
+				}
+			}
+		}
+	}
+
+	for len(work) > 0 {
+		v := work[len(work)-1]
+		work = work[:len(work)-1]
+		site, ok := defAt[v]
+		if !ok {
+			continue // parameter or zero-init: no instruction to keep
+		}
+		b := s.blocks[site.block]
+		if site.instr < 0 {
+			for _, a := range b.phis[site.phi].args {
+				need(a)
+			}
+			continue
+		}
+		in := b.instrs[site.instr]
+		need(in.A)
+		need(in.B)
+		if in.Op == compile.OpCall {
+			need(in.Callee)
+			for _, a := range in.Args {
+				need(a)
+			}
+		}
+	}
+
+	for bi, b := range s.blocks {
+		if b == nil || !s.live[bi] {
+			continue
+		}
+		kept := b.phis[:0]
+		for _, p := range b.phis {
+			if needed[p.dst] {
+				kept = append(kept, p)
+			}
+		}
+		b.phis = kept
+		keptIn := b.instrs[:0]
+		for _, in := range b.instrs {
+			if d := defTempOf(in); d >= 0 && removable(in) && !needed[d] {
+				continue
+			}
+			keptIn = append(keptIn, in)
+		}
+		b.instrs = keptIn
+	}
+}
+
+// removable reports whether the instruction is pure — free of side
+// effects and unable to trap — so DCE may delete it when its result is
+// unused. Division and modulo are pure only when the divisor is a
+// non-zero constant.
+func removable(in compile.Instr) bool {
+	switch in.Op {
+	case compile.OpStore, compile.OpCall, compile.OpRet, compile.OpBr, compile.OpCondBr,
+		compile.OpLoad:
+		return false
+	case compile.OpDiv, compile.OpRem:
+		return in.B.Kind == compile.OperandConst && in.B.Const != 0
+	}
+	return true
+}

@@ -1,0 +1,219 @@
+package opt
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"decompstudy/internal/analysis"
+	"decompstudy/internal/compile"
+)
+
+func optimize(t *testing.T, f *compile.Func, level Level) (*compile.Func, *Stats) {
+	t.Helper()
+	mustVerify(t, f)
+	out, st, err := Optimize(context.Background(), f, level)
+	if err != nil {
+		t.Fatalf("Optimize(%s, %s): %v", f.Name, level, err)
+	}
+	mustVerify(t, out)
+	return out, st
+}
+
+// TestConstPropStraightLine: a chain of constant arithmetic collapses to
+// a single returned constant at -O1.
+func TestConstPropStraightLine(t *testing.T) {
+	f := fn("arith", 0, 3,
+		blk(0,
+			imov(0, compile.Const(2)),
+			imov(1, compile.Const(3)),
+			ibin(compile.OpMul, 2, compile.Temp(0), compile.Temp(1)),
+			ibin(compile.OpAdd, 2, compile.Temp(2), compile.Const(4)),
+			iret(compile.Temp(2)),
+		),
+	)
+	out, st := optimize(t, f, O1)
+	if got := countFuncInstrs(out); got != 1 {
+		t.Errorf("want 1 instruction (ret 10), got %d:\n%v", got, out.Blocks[0].Instrs)
+	}
+	term := out.Blocks[0].Instrs[len(out.Blocks[0].Instrs)-1]
+	if term.Op != compile.OpRet || term.A != compile.Const(10) {
+		t.Errorf("want `ret 10`, got %s", term)
+	}
+	if st.InstrsBefore != 5 || st.InstrsAfter != 1 {
+		t.Errorf("stats before/after = %d/%d, want 5/1", st.InstrsBefore, st.InstrsAfter)
+	}
+}
+
+// TestConstPropFoldsBranch: a condbr on a constant condition folds and
+// the dead arm disappears, including its instructions.
+func TestConstPropFoldsBranch(t *testing.T) {
+	f := fn("deadarm", 1, 2,
+		blk(0, imov(1, compile.Const(1)), icondbr(compile.Temp(1), 1, 2)),
+		blk(1, ibin(compile.OpAdd, 1, compile.Temp(0), compile.Const(5)), ibr(3)),
+		blk(2, ibin(compile.OpMul, 1, compile.Temp(0), compile.Const(9)), ibr(3)),
+		blk(3, iret(compile.Temp(1))),
+	)
+	out, _ := optimize(t, f, O1)
+	if len(out.Blocks) >= len(f.Blocks) {
+		t.Errorf("dead arm not removed: %d blocks, started with %d", len(out.Blocks), len(f.Blocks))
+	}
+	for _, b := range out.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == compile.OpMul {
+				t.Errorf("dead-arm multiply survived in b%d", b.ID)
+			}
+			if in.Op == compile.OpCondBr {
+				t.Errorf("constant branch not folded in b%d", b.ID)
+			}
+		}
+	}
+}
+
+// TestSCCPCorrelatedBranches: SCCP proves a second branch constant only
+// along executable paths — the classic case plain constprop misses.
+func TestSCCPCorrelatedBranches(t *testing.T) {
+	// t1 = 0; if (p0) t1 = 0; /* both arms leave t1 == 0 */ if (t1) return 99; return p0
+	f := fn("correlated", 1, 2,
+		blk(0, imov(1, compile.Const(0)), icondbr(compile.Temp(0), 1, 2)),
+		blk(1, imov(1, compile.Const(0)), ibr(2)),
+		blk(2, icondbr(compile.Temp(1), 3, 4)),
+		blk(3, iret(compile.Const(99))),
+		blk(4, iret(compile.Temp(0))),
+	)
+	out, _ := optimize(t, f, O1)
+	for _, b := range out.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == compile.OpRet && in.A == compile.Const(99) {
+				t.Errorf("unreachable `return 99` survived SCCP")
+			}
+		}
+	}
+}
+
+// TestDCETrapPreservation: dead pure instructions go; dead loads and dead
+// divisions by a possibly-zero divisor stay, because they can fault.
+func TestDCETrapPreservation(t *testing.T) {
+	f := fn("traps", 2, 6,
+		blk(0,
+			ibin(compile.OpAdd, 2, compile.Temp(0), compile.Const(1)), // dead, pure: goes
+			iload(3, compile.Temp(0), 8),                              // dead, can fault: stays
+			ibin(compile.OpDiv, 4, compile.Temp(1), compile.Temp(0)),  // dead, divisor unknown: stays
+			ibin(compile.OpDiv, 5, compile.Temp(1), compile.Const(4)), // dead, divisor 4: goes
+			iret(compile.Temp(1)),
+		),
+	)
+	out, _ := optimize(t, f, O2)
+	var ops []compile.Opcode
+	for _, in := range out.Blocks[0].Instrs {
+		ops = append(ops, in.Op)
+	}
+	want := []compile.Opcode{compile.OpLoad, compile.OpDiv, compile.OpRet}
+	if !reflect.DeepEqual(ops, want) {
+		t.Errorf("surviving ops %v, want %v", ops, want)
+	}
+}
+
+// TestCopyPropChain: -O2 collapses mov chains that -O1 leaves.
+func TestCopyPropChain(t *testing.T) {
+	f := fn("chain", 1, 4,
+		blk(0,
+			imov(1, compile.Temp(0)),
+			imov(2, compile.Temp(1)),
+			imov(3, compile.Temp(2)),
+			ibin(compile.OpAdd, 3, compile.Temp(3), compile.Temp(3)),
+			iret(compile.Temp(3)),
+		),
+	)
+	out, _ := optimize(t, f, O2)
+	if got := countFuncInstrs(out); got != 2 {
+		t.Errorf("want 2 instructions (add + ret), got %d:\n%v", got, out.Blocks[0].Instrs)
+	}
+	add := out.Blocks[0].Instrs[0]
+	if add.Op != compile.OpAdd || add.A != compile.Temp(0) || add.B != compile.Temp(0) {
+		t.Errorf("copy chain not collapsed onto the parameter: %s", add)
+	}
+}
+
+// TestO0IsIdentity: level 0 returns the very same pointers.
+func TestO0IsIdentity(t *testing.T) {
+	f := fn("id", 1, 2, blk(0, imov(1, compile.Temp(0)), iret(compile.Temp(1))))
+	out, st, err := Optimize(context.Background(), f, O0)
+	if err != nil || out != f {
+		t.Fatalf("O0 not identity: out=%p f=%p err=%v", out, f, err)
+	}
+	if st.InstrsBefore != st.InstrsAfter {
+		t.Errorf("O0 stats claim a size change: %+v", st)
+	}
+	obj := &compile.Object{Funcs: []*compile.Func{f}}
+	oout, _, err := OptimizeObject(context.Background(), obj, O0)
+	if err != nil || oout != obj {
+		t.Fatalf("O0 OptimizeObject not identity: %v", err)
+	}
+}
+
+// TestParseLevel rejects out-of-range levels with ErrOpt.
+func TestParseLevel(t *testing.T) {
+	for _, n := range []int{0, 1, 2} {
+		if l, err := ParseLevel(n); err != nil || int(l) != n {
+			t.Errorf("ParseLevel(%d) = %v, %v", n, l, err)
+		}
+	}
+	for _, n := range []int{-1, 3, 42} {
+		if _, err := ParseLevel(n); !errors.Is(err, ErrOpt) {
+			t.Errorf("ParseLevel(%d) err = %v, want ErrOpt", n, err)
+		}
+	}
+}
+
+// TestOptimizeDeterministic: two runs over the same input agree exactly.
+func TestOptimizeDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		f := analysis.GenFunc(r)
+		if analysis.CountSev(analysis.Verify(f), analysis.SevError) > 0 {
+			t.Fatalf("GenFunc produced invalid IR at i=%d", i)
+		}
+		a, _, err := Optimize(context.Background(), f, O2)
+		if err != nil {
+			t.Fatalf("first run: %v", err)
+		}
+		b, _, err := Optimize(context.Background(), f, O2)
+		if err != nil {
+			t.Fatalf("second run: %v", err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("nondeterministic optimization at i=%d", i)
+		}
+	}
+}
+
+// TestStatsAccounting: pass stats cover every pass that ran and the
+// object-level aggregate matches the sum over functions.
+func TestStatsAccounting(t *testing.T) {
+	f1 := fn("f1", 0, 2,
+		blk(0, imov(0, compile.Const(1)), ibin(compile.OpAdd, 1, compile.Temp(0), compile.Const(1)), iret(compile.Temp(1))))
+	f2 := fn("f2", 1, 2,
+		blk(0, imov(1, compile.Temp(0)), iret(compile.Temp(1))))
+	obj := &compile.Object{Funcs: []*compile.Func{f1, f2}}
+	out, st, err := OptimizeObject(context.Background(), obj, O2)
+	if err != nil {
+		t.Fatalf("OptimizeObject: %v", err)
+	}
+	if st.Funcs != 2 || len(out.Funcs) != 2 {
+		t.Fatalf("want 2 funcs, got %d/%d", st.Funcs, len(out.Funcs))
+	}
+	if st.InstrsBefore != 5 {
+		t.Errorf("InstrsBefore = %d, want 5", st.InstrsBefore)
+	}
+	if st.InstrsAfter >= st.InstrsBefore {
+		t.Errorf("no shrink recorded: %d -> %d", st.InstrsBefore, st.InstrsAfter)
+	}
+	for _, p := range st.Passes {
+		if p.Runs == 0 {
+			t.Errorf("pass %s never ran at O2", p.Pass)
+		}
+	}
+}

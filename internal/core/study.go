@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"decompstudy/internal/analysis"
+	"decompstudy/internal/compile/opt"
 	"decompstudy/internal/corpus"
 	"decompstudy/internal/embed"
 	"decompstudy/internal/fault"
@@ -62,6 +63,12 @@ type Config struct {
 	// to the context (par.WithJobs) or, failing that, runtime.GOMAXPROCS.
 	// Results are byte-identical at any worker count.
 	Jobs int
+	// OptLevel selects the optimization level (0, 1, or 2) snippets are
+	// prepared at — a study dimension: higher levels delete and rewrite
+	// the instructions annotations anchor to. 0 (the default) leaves the
+	// compiled IR untouched, keeping artifacts byte-identical with
+	// pre-optimizer runs.
+	OptLevel int
 }
 
 func (c *Config) defaults() Config {
@@ -79,6 +86,7 @@ func (c *Config) defaults() Config {
 	if c.Jobs > 0 {
 		out.Jobs = c.Jobs
 	}
+	out.OptLevel = c.OptLevel
 	return out
 }
 
@@ -143,8 +151,11 @@ func NewCtx(ctx context.Context, cfg *Config) (*Study, error) {
 	// study continues on the survivors, like the paper dropping a defective
 	// study material rather than the whole experiment. Losing every snippet
 	// is fatal.
-	var err error
-	s.Prepared, err = corpus.PrepareAllCtx(ctx)
+	level, err := opt.ParseLevel(c.OptLevel)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrPipeline, err)
+	}
+	s.Prepared, err = corpus.PrepareAllOptCtx(ctx, level)
 	if err != nil && len(s.Prepared) == 0 {
 		return nil, fmt.Errorf("%w: preparing snippets: %w", ErrPipeline, err)
 	}

@@ -7,6 +7,7 @@ import (
 
 	"decompstudy/internal/analysis"
 	"decompstudy/internal/compile"
+	"decompstudy/internal/compile/opt"
 	"decompstudy/internal/csrc"
 	"decompstudy/internal/decomp"
 	"decompstudy/internal/fault"
@@ -28,8 +29,11 @@ type Prepared struct {
 	Snippet *Snippet
 	// IR is the verified intermediate representation of the study
 	// function; the structural-complexity covariates (RQ5) are computed
-	// from it.
+	// from it. At OptLevel > 0 this is the optimized IR, so covariates,
+	// decompiled output, and annotations all reflect the level.
 	IR *compile.Func
+	// OptLevel records the optimization level the snippet was prepared at.
+	OptLevel opt.Level
 	// HexRays is the control arm (plain decompiler output).
 	HexRays *decomp.Decompiled
 	// Dirty is the treatment arm (decompiler output with recovered names).
@@ -44,14 +48,26 @@ func Prepare(s *Snippet) (*Prepared, error) {
 }
 
 // PrepareCtx is Prepare with telemetry: one corpus.Prepare span per snippet
-// with the parse/compile/lift/annotate stages as children.
+// with the parse/compile/lift/annotate stages as children. It prepares at
+// -O0, the study default.
 func PrepareCtx(ctx context.Context, s *Snippet) (*Prepared, error) {
+	return PrepareOptCtx(ctx, s, opt.O0)
+}
+
+// PrepareOptCtx is PrepareCtx with an optimization level: after the IR
+// verifies, the whole object runs through compile/opt at the given level
+// (verified after every pass and differentially executed against the
+// unoptimized object), and decompilation, annotation, and covariates are
+// computed from the optimized IR. opt.O0 is the identity — the pipeline
+// is then byte-identical to PrepareCtx.
+func PrepareOptCtx(ctx context.Context, s *Snippet, level opt.Level) (*Prepared, error) {
 	// The snippet ID is the fault-injection item key for every stage this
 	// snippet flows through (key-matched rules fire only on this snippet).
 	ctx = fault.WithKey(ctx, s.ID)
-	ctx, sp := obs.StartSpan(ctx, "corpus.Prepare", obs.KV("snippet", s.ID))
+	ctx, sp := obs.StartSpan(ctx, "corpus.Prepare",
+		obs.KV("snippet", s.ID), obs.KV("opt", level.String()))
 	defer sp.End()
-	obs.Logger(ctx).Debug("preparing snippet", "snippet", s.ID, "func", s.FuncName)
+	obs.Logger(ctx).Debug("preparing snippet", "snippet", s.ID, "func", s.FuncName, "opt", level.String())
 
 	file, err := csrc.ParseCtx(ctx, s.Source, s.ExtraTypes)
 	if err != nil {
@@ -62,6 +78,9 @@ func PrepareCtx(ctx context.Context, s *Snippet) (*Prepared, error) {
 		return nil, fmt.Errorf("%w: compiling %s: %w", ErrPrepare, s.ID, err)
 	}
 	if err := verifyIR(ctx, s.ID, obj); err != nil {
+		return nil, err
+	}
+	if obj, err = optimizeIR(ctx, s.ID, obj, level); err != nil {
 		return nil, err
 	}
 	cf, ok := obj.Func0(s.FuncName)
@@ -87,10 +106,24 @@ func PrepareCtx(ctx context.Context, s *Snippet) (*Prepared, error) {
 	return &Prepared{
 		Snippet:    s,
 		IR:         cf,
+		OptLevel:   level,
 		HexRays:    d,
 		Dirty:      dirty,
 		OrigSource: printFunc(srcFn),
 	}, nil
+}
+
+// optimizeIR runs the object through compile/opt. Failures — an
+// unverifiable pass output or a differential disagreement — exclude the
+// snippet exactly like any other pipeline stage fault, with the
+// structured diagnostics riding the error.
+func optimizeIR(ctx context.Context, id string, obj *compile.Object, level opt.Level) (*compile.Object, error) {
+	out, _, err := opt.OptimizeObject(ctx, obj, level)
+	if err != nil {
+		obs.AddCount(ctx, "corpus.opt.rejected", 1)
+		return nil, fmt.Errorf("%w: optimizing %s at %s: %w", ErrPrepare, id, level, err)
+	}
+	return out, nil
 }
 
 // verifyIR rejects malformed compiled IR with structured diagnostics
@@ -116,6 +149,12 @@ func PrepareAllCtx(ctx context.Context) ([]*Prepared, error) {
 	return PrepareSnippets(ctx, Snippets())
 }
 
+// PrepareAllOptCtx prepares every study snippet at the given optimization
+// level.
+func PrepareAllOptCtx(ctx context.Context, level opt.Level) ([]*Prepared, error) {
+	return PrepareSnippetsOpt(ctx, Snippets(), level)
+}
+
 // PrepareSnippets prepares the given snippets, continuing past per-snippet
 // failures. On error it returns the successfully prepared snippets together
 // with every failure joined via errors.Join, so telemetry can report partial
@@ -126,14 +165,19 @@ func PrepareAllCtx(ctx context.Context) ([]*Prepared, error) {
 // completion order, so the returned slice and the joined error message are
 // identical at any worker count.
 func PrepareSnippets(ctx context.Context, snippets []*Snippet) ([]*Prepared, error) {
+	return PrepareSnippetsOpt(ctx, snippets, opt.O0)
+}
+
+// PrepareSnippetsOpt is PrepareSnippets at an explicit optimization level.
+func PrepareSnippetsOpt(ctx context.Context, snippets []*Snippet, level opt.Level) ([]*Prepared, error) {
 	jobs := par.JobsFrom(ctx)
 	ctx, sp := obs.StartSpan(ctx, "corpus.PrepareAll",
-		obs.KV("snippets", len(snippets)), obs.KV("jobs", jobs))
+		obs.KV("snippets", len(snippets)), obs.KV("jobs", jobs), obs.KV("opt", level.String()))
 	defer sp.End()
 	obs.SetGauge(ctx, "corpus.prepare.jobs", float64(jobs))
 
 	prepared, errs := par.MapAll(ctx, jobs, snippets, func(ctx context.Context, _ int, s *Snippet) (*Prepared, error) {
-		p, err := PrepareCtx(ctx, s)
+		p, err := PrepareOptCtx(ctx, s, level)
 		if err != nil {
 			obs.AddCount(ctx, "corpus.prepare.failed", 1)
 			obs.Logger(ctx).Error("snippet preparation failed", "snippet", s.ID, "err", err)

@@ -41,6 +41,30 @@ func VariantPerfectAnnotations() []*Snippet {
 	return out
 }
 
+// VariantOptScaled returns the snippets with every question's treatment
+// effect scaled by the per-snippet factor in scale (keyed by snippet ID,
+// missing IDs keep factor 1). The factor models annotation survival under
+// optimization: a deleted or rewritten variable cannot carry its
+// annotation, so both the help and the harm of DIRTY names attenuate
+// toward zero with it — including the misleading questions, whose
+// trust-scaled penalty shrinks the same way.
+func VariantOptScaled(scale map[string]float64) []*Snippet {
+	var out []*Snippet
+	for _, s := range Snippets() {
+		c := s.Clone()
+		f, ok := scale[s.ID]
+		if !ok {
+			f = 1
+		}
+		for i := range c.Questions {
+			c.Questions[i].Calib.TreatDelta *= f
+			c.Questions[i].Calib.TreatTimeDelta *= f
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
 // VariantHarderQuestions returns the snippets with every question one
 // logit harder — the §VI robustness check that the null treatment result
 // is not an artifact of question difficulty.

@@ -31,8 +31,14 @@ type AblationResult struct {
 // runAblation builds a study from the given survey configuration and
 // extracts the ablation summary.
 func runAblation(name string, seed int64, svCfg *survey.Config) (AblationResult, error) {
+	return runAblationCfg(name, &core.Config{Seed: seed, Survey: svCfg})
+}
+
+// runAblationCfg is runAblation over a full study configuration, for
+// ablations that vary more than the survey (the opt-level sweep).
+func runAblationCfg(name string, cfg *core.Config) (AblationResult, error) {
 	out := AblationResult{Name: name}
-	s, err := core.New(&core.Config{Seed: seed, Survey: svCfg})
+	s, err := core.New(cfg)
 	if err != nil {
 		return out, fmt.Errorf("experiments: ablation %s: %w", name, err)
 	}

@@ -6,6 +6,12 @@
 # full-pipeline fault-plan sweep plus the error-path contract and par
 # masking tests) under the race detector.
 #
+# `check.sh opt` instead runs only the optimizer gate under the race
+# detector: the compile/opt unit + differential suites, a clean
+# `irlint -corpus -opt 2` (optimized corpus must verify and lint clean),
+# the expectation that -opt 1 deletes the seeded dead stores in
+# examples/lintdemo/dirty.c, and byte-identical studysim output at -O0.
+#
 # `check.sh debug-smoke` drives the live /debug HTTP surface end to end: a
 # race-instrumented studysim run is stretched with a delay-only fault plan
 # (delays never change output bytes), every /debug endpoint is scraped
@@ -19,6 +25,38 @@ if [ "${1:-}" = "chaos" ]; then
 	echo "== chaos (fault-plan sweep + error-path contracts, -race)"
 	go test -race -count=1 -run 'Chaos|ErrorChain|Mask|MaskGenuine|Fault|Plan|Manifest' \
 		./internal/fault/ ./internal/par/ ./internal/core/
+	echo "OK"
+	exit 0
+fi
+
+if [ "${1:-}" = "opt" ]; then
+	echo "== opt (SSA pipeline: verifier + differential gates, -race)"
+	go test -race -count=1 ./internal/compile/opt/
+	go test -race -count=1 -run 'Opt' ./internal/corpus/ ./cmd/irlint/
+
+	echo "-- irlint: optimized corpus must stay clean"
+	go run ./cmd/irlint -corpus -opt 2
+
+	echo "-- irlint: -opt 1 must delete the seeded dead stores"
+	out="$(go run ./cmd/irlint -opt 1 examples/lintdemo/dirty.c || true)"
+	if echo "$out" | grep -q 'lint.dead-store]'; then
+		echo "opt: dead stores survived -opt 1:"
+		echo "$out"
+		exit 1
+	fi
+	if ! echo "$out" | grep -q 'lint.dead-store 3→0'; then
+		echo "opt: missing the dead-store delta line:"
+		echo "$out"
+		exit 1
+	fi
+
+	echo "-- studysim: -opt 0 must be byte-identical to the default"
+	a="$(go run ./cmd/studysim -seed 26 2>/dev/null | sha256sum | cut -d' ' -f1)"
+	b="$(go run ./cmd/studysim -seed 26 -opt 0 2>/dev/null | sha256sum | cut -d' ' -f1)"
+	if [ "$a" != "$b" ]; then
+		echo "opt: -opt 0 changed studysim output ($a vs $b)"
+		exit 1
+	fi
 	echo "OK"
 	exit 0
 fi

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint fmt-check check chaos debug-smoke opt-check bench bench-kernels bench-opt bench-smoke clean
+.PHONY: all build test race vet lint fmt-check check chaos debug-smoke opt-check store-check bench bench-pipeline bench-kernels bench-opt bench-smoke clean
 
 all: build test
 
@@ -55,11 +55,25 @@ debug-smoke:
 opt-check:
 	./scripts/check.sh opt
 
+# The model-store gate: the store's single-flight/disk/fault tests plus
+# the streaming determinism matrix and model marshal round-trips under
+# -race, then a studysim identity sweep — cold disk cache, warm reuse,
+# -no-model-cache, -no-stream, jobs 1 vs 8 must all hash identical.
+store-check:
+	./scripts/check.sh store
+
 # Measure the parallel pipeline at jobs=1,2,4,8 and record ns/op plus the
 # speedup over the sequential baseline, the per-stage breakdown, and the
 # Amdahl serial-fraction estimate in BENCH_pipeline.json.
 bench:
 	./scripts/bench.sh
+
+# The pipeline measurement by its explicit name: jobs sweep, cold-vs-warm
+# model store, and the batched ablation grid, gated against the committed
+# BENCH_pipeline.json (>10% ns/op regressions and serial-fraction rises
+# print warnings).
+bench-pipeline:
+	./scripts/bench.sh pipeline
 
 # Measure the serial hot kernels (embedding training, cosine cache paths,
 # Levenshtein, metric battery, mixed-model fits) with -benchmem and record

@@ -25,6 +25,7 @@ import (
 	"decompstudy/internal/embed"
 	"decompstudy/internal/experiments"
 	"decompstudy/internal/metrics"
+	"decompstudy/internal/modelstore"
 	"decompstudy/internal/obs"
 	"decompstudy/internal/par"
 	"decompstudy/internal/survey"
@@ -118,10 +119,36 @@ func BenchmarkFullStudy(b *testing.B) {
 	}
 }
 
+// reportStages converts accumulated span totals into the per-stage ns/*
+// custom metrics shared by the stage benchmarks. The prepare stage is
+// summed from per-snippet corpus.Prepare spans (the streaming pipeline has
+// no corpus.PrepareAll barrier; the barrier path nests Prepare under
+// PrepareAll, so the barrier total is the PrepareAll span alone).
+func reportStages(b *testing.B, stageTotals map[string]time.Duration, n float64) {
+	b.Helper()
+	report := func(metric string, stages ...string) {
+		var total time.Duration
+		for _, st := range stages {
+			total += stageTotals[st]
+		}
+		b.ReportMetric(float64(total.Nanoseconds())/n, metric)
+	}
+	if _, barrier := stageTotals["corpus.PrepareAll"]; barrier {
+		report("ns/prepare", "corpus.PrepareAll")
+	} else {
+		report("ns/prepare", "corpus.Prepare")
+	}
+	report("ns/opt", "opt.OptimizeObject")
+	report("ns/train", "embed.Train", "namerec.TrainModel")
+	report("ns/survey", "survey.Run")
+	report("ns/metrics", "metrics.Evaluate")
+	report("ns/panel", "qualcode.RatePanel")
+}
+
 // BenchmarkStudyStages measures one instrumented end-to-end run (pipeline
 // plus both mixed-model fits) and breaks the wall-clock into per-stage
-// custom metrics from the obs span collector: ns/prepare, ns/train,
-// ns/survey, ns/metrics, ns/panel, ns/fit.
+// custom metrics from the obs span collector: ns/prepare, ns/opt,
+// ns/train, ns/survey, ns/metrics, ns/panel, ns/fit.
 func BenchmarkStudyStages(b *testing.B) {
 	b.ReportAllocs()
 	stageTotals := map[string]time.Duration{}
@@ -143,19 +170,9 @@ func BenchmarkStudyStages(b *testing.B) {
 		}
 	}
 	n := float64(b.N)
-	report := func(metric string, stages ...string) {
-		var total time.Duration
-		for _, st := range stages {
-			total += stageTotals[st]
-		}
-		b.ReportMetric(float64(total.Nanoseconds())/n, metric)
-	}
-	report("ns/prepare", "corpus.PrepareAll")
-	report("ns/train", "embed.Train", "namerec.TrainModel")
-	report("ns/survey", "survey.Run")
-	report("ns/metrics", "metrics.Evaluate")
-	report("ns/panel", "qualcode.RatePanel")
-	report("ns/fit", "mixed.FitGLMMLogit", "mixed.FitLMM")
+	reportStages(b, stageTotals, n)
+	fit := stageTotals["mixed.FitGLMMLogit"] + stageTotals["mixed.FitLMM"]
+	b.ReportMetric(float64(fit.Nanoseconds())/n, "ns/fit")
 }
 
 // BenchmarkPipelineParallel measures one complete pipeline run at fixed
@@ -169,38 +186,54 @@ func BenchmarkStudyStages(b *testing.B) {
 // single-core host the speedups hover around 1.0 and f near 1;
 // scripts/bench.sh records the numbers either way in BENCH_pipeline.json.
 func BenchmarkPipelineParallel(b *testing.B) {
-	var baseline float64 // ns/op at jobs=1
+	// runStudies is one sub-benchmark body: n full pipeline runs at the
+	// given worker count, optionally resolving models through a store
+	// (mkStore is called once per iteration; return the same store for a
+	// warm cache, a fresh one for a cold cache). Returns ns/op.
+	runStudies := func(b *testing.B, jobs int, mkStore func() *modelstore.Store) float64 {
+		ctx := par.WithJobs(context.Background(), jobs)
+		stageTotals := map[string]time.Duration{}
+		var lookups, hits, diskHits int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			o := obs.New()
+			runCtx := obs.With(ctx, o)
+			var st *modelstore.Store
+			if mkStore != nil {
+				st = mkStore()
+				before := st.Stats()
+				lookups -= before.Lookups
+				hits -= before.Hits
+				diskHits -= before.DiskHits
+				runCtx = modelstore.With(runCtx, st)
+			}
+			if _, err := core.NewCtx(runCtx, &core.Config{Seed: int64(i + 1), Jobs: jobs}); err != nil {
+				b.Fatal(err)
+			}
+			if st != nil {
+				after := st.Stats()
+				lookups += after.Lookups
+				hits += after.Hits
+				diskHits += after.DiskHits
+			}
+			for name, d := range o.Trace.StageTotals() {
+				stageTotals[name] += d
+			}
+		}
+		b.StopTimer()
+		n := float64(b.N)
+		reportStages(b, stageTotals, n)
+		if mkStore != nil && lookups > 0 {
+			b.ReportMetric(float64(hits+diskHits)/float64(lookups), "hit/rate")
+		}
+		return float64(b.Elapsed().Nanoseconds()) / n
+	}
+
+	var baseline float64 // ns/op at jobs=1, no store
 	for _, jobs := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
-			ctx := par.WithJobs(context.Background(), jobs)
-			stageTotals := map[string]time.Duration{}
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				o := obs.New()
-				runCtx := obs.With(ctx, o)
-				if _, err := core.NewCtx(runCtx, &core.Config{Seed: int64(i + 1), Jobs: jobs}); err != nil {
-					b.Fatal(err)
-				}
-				for name, d := range o.Trace.StageTotals() {
-					stageTotals[name] += d
-				}
-			}
-			b.StopTimer()
-			n := float64(b.N)
-			report := func(metric string, stages ...string) {
-				var total time.Duration
-				for _, st := range stages {
-					total += stageTotals[st]
-				}
-				b.ReportMetric(float64(total.Nanoseconds())/n, metric)
-			}
-			report("ns/prepare", "corpus.PrepareAll")
-			report("ns/train", "embed.Train", "namerec.TrainModel")
-			report("ns/survey", "survey.Run")
-			report("ns/metrics", "metrics.Evaluate")
-			report("ns/panel", "qualcode.RatePanel")
-			perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			perOp := runStudies(b, jobs, nil)
 			if jobs == 1 {
 				baseline = perOp
 			}
@@ -214,6 +247,48 @@ func BenchmarkPipelineParallel(b *testing.B) {
 				}
 			}
 		})
+	}
+
+	// The store dimension, both at the full worker count: cold pays one
+	// training per model per run (a fresh store every iteration); warm
+	// shares one pre-trained store across every run, so training cost
+	// vanishes from the loop. speedup here is warm-vs-cold leverage —
+	// it is real even on a single core, unlike scheduling speedup.
+	var coldOp float64
+	b.Run("store=cold/jobs=8", func(b *testing.B) {
+		coldOp = runStudies(b, 8, modelstore.New)
+	})
+	b.Run("store=warm/jobs=8", func(b *testing.B) {
+		warm := modelstore.New()
+		if _, err := core.NewCtx(modelstore.With(context.Background(), warm), &core.Config{Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+		perOp := runStudies(b, 8, func() *modelstore.Store { return warm })
+		if coldOp > 0 && perOp > 0 {
+			b.ReportMetric(coldOp/perOp, "x/speedup")
+		}
+	})
+}
+
+// BenchmarkAblationGrid measures the batched five-cell ablation grid: one
+// shared corpus preparation and one model training feeding every cell
+// through the content-addressed store. The hit/rate metric confirms the
+// cells actually shared models instead of retraining.
+func BenchmarkAblationGrid(b *testing.B) {
+	b.ReportAllocs()
+	var lookups, hits int64
+	for i := 0; i < b.N; i++ {
+		st := modelstore.New()
+		ctx := modelstore.With(context.Background(), st)
+		if _, _, err := experiments.AblationsCtx(ctx, int64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+		s := st.Stats()
+		lookups += s.Lookups
+		hits += s.Hits + s.DiskHits
+	}
+	if lookups > 0 {
+		b.ReportMetric(float64(hits)/float64(lookups), "hit/rate")
 	}
 }
 

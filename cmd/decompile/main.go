@@ -18,6 +18,10 @@
 // file, -v / -log-level enable structured logging, -cpuprofile /
 // -memprofile write pprof profiles, and -debug-addr serves the live
 // /debug HTTP surface for the duration of the run.
+//
+// -model-cache DIR persists the recovery model to a content-addressed
+// on-disk store so repeated -annotate runs skip training;
+// -no-model-cache trains fresh every run. Output is identical either way.
 package main
 
 import (
@@ -37,6 +41,7 @@ import (
 	"decompstudy/internal/csrc"
 	"decompstudy/internal/decomp"
 	"decompstudy/internal/fault"
+	"decompstudy/internal/modelstore"
 	"decompstudy/internal/namerec"
 	"decompstudy/internal/obs"
 	"decompstudy/internal/par"
@@ -66,10 +71,17 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	retryBudget := fs.Int("retry-budget", fault.DefaultRetryBudget, "per-run retry budget for transient injected faults")
 	debugAddr := fs.String("debug-addr", "", "serve live /debug endpoints (metrics, spans, stage, pprof) on this address; port 0 picks a free port")
 	debugSample := fs.Duration("debug-sample", obs.DefaultSampleInterval, "runtime sampling interval for the /debug metrics gauges")
+	modelCache := fs.String("model-cache", "", "persist trained models to this directory, content-addressed (reruns skip training)")
+	noModelCache := fs.Bool("no-model-cache", false, "disable the in-process model store; every run trains fresh")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	level, err := opt.ParseLevel(*optLevel)
+	if err != nil {
+		fmt.Fprintf(stderr, "decompile: %v\n", err)
+		return 2
+	}
+	store, err := modelstore.FromFlags(*modelCache, *noModelCache)
 	if err != nil {
 		fmt.Fprintf(stderr, "decompile: %v\n", err)
 		return 2
@@ -84,6 +96,9 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		return ecode
 	}
 	ctx = par.WithJobs(ctx, *jobs)
+	if store != nil {
+		ctx = modelstore.With(ctx, store)
+	}
 	ctx, ecode = setupFaults(ctx, *faults, *retryBudget, "decompile", stderr)
 	if ecode != 0 {
 		return ecode
@@ -127,12 +142,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 
 	var annotator *namerec.Annotator
 	if *annotate {
-		training, err := corpus.TrainingFiles()
-		if err != nil {
-			fmt.Fprintf(stderr, "decompile: %v\n", err)
-			return 1
-		}
-		model, err := namerec.TrainModelCtx(ctx, training)
+		model, err := recoveryModel(ctx)
 		if err != nil {
 			fmt.Fprintf(stderr, "decompile: %v\n", err)
 			return 1
@@ -165,6 +175,19 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		fmt.Fprintln(stdout, d.Source())
 	}
 	return 0
+}
+
+// recoveryModel trains (or, with a store in the context, loads) the
+// corpus-trained name recovery model.
+func recoveryModel(ctx context.Context) (*namerec.Model, error) {
+	if st := modelstore.From(ctx); st != nil {
+		return st.NamerecModel(ctx, corpus.TrainingSources(), corpus.TrainingFiles)
+	}
+	training, err := corpus.TrainingFiles()
+	if err != nil {
+		return nil, err
+	}
+	return namerec.TrainModelCtx(ctx, training)
 }
 
 // optimize runs the object through the verified optimizer when level is

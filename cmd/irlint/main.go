@@ -47,6 +47,7 @@ import (
 	"decompstudy/internal/corpus"
 	"decompstudy/internal/csrc"
 	"decompstudy/internal/fault"
+	"decompstudy/internal/modelstore"
 	"decompstudy/internal/obs"
 	"decompstudy/internal/par"
 )
@@ -240,6 +241,8 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	retryBudget := fs.Int("retry-budget", fault.DefaultRetryBudget, "per-run retry budget for transient injected faults")
 	debugAddr := fs.String("debug-addr", "", "serve live /debug endpoints (metrics, spans, stage, pprof) on this address; port 0 picks a free port")
 	debugSample := fs.Duration("debug-sample", obs.DefaultSampleInterval, "runtime sampling interval for the /debug metrics gauges")
+	modelCache := fs.String("model-cache", "", "persist trained models to this directory, content-addressed (shared CLI flag; irlint trains none today)")
+	noModelCache := fs.Bool("no-model-cache", false, "disable the in-process model store; every run trains fresh")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -252,6 +255,11 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		fmt.Fprintf(stderr, "irlint: %v\n", err)
 		return 2
 	}
+	store, err := modelstore.FromFlags(*modelCache, *noModelCache)
+	if err != nil {
+		fmt.Fprintf(stderr, "irlint: %v\n", err)
+		return 2
+	}
 
 	ctx, finish, ecode := setupObs(obsOptions{
 		trace: *tracePath, stats: *stats, verbose: *verbose,
@@ -260,6 +268,9 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	}, "irlint", stderr)
 	if ecode != 0 {
 		return ecode
+	}
+	if store != nil {
+		ctx = modelstore.With(ctx, store)
 	}
 	ctx = fault.WithManifest(ctx, fault.NewManifest())
 	if *faults != "" {

@@ -16,6 +16,10 @@
 // file, -v / -log-level enable structured logging, -cpuprofile /
 // -memprofile write pprof profiles, and -debug-addr serves the live
 // /debug HTTP surface for the duration of the run.
+//
+// -model-cache DIR persists the embedding model to a content-addressed
+// on-disk store so repeated runs skip training; -no-model-cache trains
+// fresh every run. Output is identical either way.
 package main
 
 import (
@@ -33,6 +37,7 @@ import (
 	"decompstudy/internal/corpus"
 	"decompstudy/internal/embed"
 	"decompstudy/internal/metrics"
+	"decompstudy/internal/modelstore"
 	"decompstudy/internal/obs"
 )
 
@@ -52,10 +57,17 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	debugAddr := fs.String("debug-addr", "", "serve live /debug endpoints (metrics, spans, stage, pprof) on this address; port 0 picks a free port")
 	debugSample := fs.Duration("debug-sample", obs.DefaultSampleInterval, "runtime sampling interval for the /debug metrics gauges")
 	optLevel := fs.Int("opt", 0, "optimization level (0-2) applied to the snippet IR before extracting renamings")
+	modelCache := fs.String("model-cache", "", "persist trained models to this directory, content-addressed (reruns skip training)")
+	noModelCache := fs.Bool("no-model-cache", false, "disable the in-process model store; every run trains fresh")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	level, err := opt.ParseLevel(*optLevel)
+	if err != nil {
+		fmt.Fprintf(stderr, "nametool: %v\n", err)
+		return 2
+	}
+	store, err := modelstore.FromFlags(*modelCache, *noModelCache)
 	if err != nil {
 		fmt.Fprintf(stderr, "nametool: %v\n", err)
 		return 2
@@ -73,6 +85,9 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	}, "nametool", stderr)
 	if ecode != 0 {
 		return ecode
+	}
+	if store != nil {
+		ctx = modelstore.With(ctx, store)
 	}
 	defer func() {
 		if err := finish(); err != nil && code == 0 {
@@ -128,7 +143,11 @@ func trainModel(ctx context.Context) (*embed.Model, error) {
 	if err != nil {
 		return nil, err
 	}
-	return embed.TrainCtx(ctx, ctxs, &embed.Config{Dim: 24})
+	cfg := &embed.Config{Dim: 24}
+	if st := modelstore.From(ctx); st != nil {
+		return st.EmbedModel(ctx, ctxs, cfg)
+	}
+	return embed.TrainCtx(ctx, ctxs, cfg)
 }
 
 func pair(cand, ref string, model *embed.Model, stdout io.Writer) int {

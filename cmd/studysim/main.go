@@ -26,6 +26,13 @@
 // spec (see internal/fault), -retry-budget bounds transient-fault retries.
 // When injection is armed (or anything was excluded) the run manifest —
 // exclusions and retry counts — is printed to stderr after the run.
+//
+// Performance flags: -model-cache DIR persists trained models to a
+// content-addressed on-disk store so reruns skip training entirely;
+// -no-model-cache disables the model store (every run trains fresh);
+// -no-stream falls back to the barrier-synchronized pipeline instead of
+// the default cross-stage streaming DAG. All three are output-invariant:
+// artifacts are byte-identical with any combination.
 package main
 
 import (
@@ -41,6 +48,7 @@ import (
 	"decompstudy/internal/core"
 	"decompstudy/internal/experiments"
 	"decompstudy/internal/fault"
+	"decompstudy/internal/modelstore"
 	"decompstudy/internal/obs"
 	"decompstudy/internal/par"
 )
@@ -72,15 +80,15 @@ var artifactRegistry = []artifactEntry{
 	{"intext", func(r *experiments.Runner, _ int64) (string, error) { return r.InTextStats() }},
 	{"metrics", func(r *experiments.Runner, _ int64) (string, error) { return r.MetricReportTable(), nil }},
 	{"complexity", func(r *experiments.Runner, _ int64) (string, error) { return r.ComplexityReport() }},
-	{"ablations", func(_ *experiments.Runner, seed int64) (string, error) {
-		out, _, err := experiments.Ablations(seed)
+	{"ablations", func(r *experiments.Runner, seed int64) (string, error) {
+		out, _, err := r.Ablations(seed)
 		return out, err
 	}},
 	{"confound", func(_ *experiments.Runner, _ int64) (string, error) {
 		return experiments.ConfoundComparison()
 	}},
-	{"optlevels", func(_ *experiments.Runner, seed int64) (string, error) {
-		out, _, err := experiments.OptLevels(seed)
+	{"optlevels", func(r *experiments.Runner, seed int64) (string, error) {
+		out, _, err := r.OptLevels(seed)
 		return out, err
 	}},
 	{"telemetry", func(r *experiments.Runner, _ int64) (string, error) { return r.TelemetryReport() }},
@@ -122,7 +130,15 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	retryBudget := fs.Int("retry-budget", fault.DefaultRetryBudget, "per-run retry budget for transient injected faults")
 	debugAddr := fs.String("debug-addr", "", "serve live /debug endpoints (metrics, spans, stage, pprof) on this address; port 0 picks a free port")
 	debugSample := fs.Duration("debug-sample", obs.DefaultSampleInterval, "runtime sampling interval for the /debug metrics gauges")
+	modelCache := fs.String("model-cache", "", "persist trained models to this directory, content-addressed (reruns skip training)")
+	noModelCache := fs.Bool("no-model-cache", false, "disable the in-process model store; every run trains fresh")
+	noStream := fs.Bool("no-stream", false, "use the barrier-synchronized pipeline instead of the streaming DAG (outputs are identical)")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	store, err := modelstore.FromFlags(*modelCache, *noModelCache)
+	if err != nil {
+		fmt.Fprintf(stderr, "studysim: %v\n", err)
 		return 2
 	}
 
@@ -160,6 +176,9 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		o.Log = obs.NewLogger(stderr, level)
 	}
 	ctx := par.WithJobs(obs.With(context.Background(), o), *jobs)
+	if store != nil {
+		ctx = modelstore.With(ctx, store)
+	}
 
 	// Start the live debug surface before the pipeline so a scrape observes
 	// the run from its first span. The sampler keeps the runtime gauges
@@ -243,7 +262,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		}
 	}()
 
-	r, err := experiments.NewRunnerCtx(ctx, &core.Config{Seed: *seed, Jobs: *jobs, OptLevel: *optLevel})
+	r, err := experiments.NewRunnerCtx(ctx, &core.Config{Seed: *seed, Jobs: *jobs, OptLevel: *optLevel, NoStream: *noStream})
 	if err != nil {
 		fmt.Fprintf(stderr, "studysim: %v\n", err)
 		return 1

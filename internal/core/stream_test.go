@@ -1,0 +1,152 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"decompstudy/internal/fault"
+	"decompstudy/internal/modelstore"
+	"decompstudy/internal/par"
+)
+
+// studyFingerprint flattens everything a run produces that downstream
+// artifacts read: the collected dataset, the per-snippet metric reports
+// (with the panel scores folded in), and the prepared corpus text. Two
+// studies with equal fingerprints render byte-identical artifacts.
+func studyFingerprint(s *Study) string {
+	var b strings.Builder
+	b.WriteString(s.Dataset.CSV())
+	ids := make([]string, 0, len(s.MetricReports))
+	for id := range s.MetricReports {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		fmt.Fprintf(&b, "%s: %+v\n", id, s.MetricReports[id])
+	}
+	for _, p := range s.Prepared {
+		b.WriteString(p.Snippet.ID)
+		b.WriteString(p.Dirty.Source())
+		b.WriteString(p.HexRays.Source())
+	}
+	return b.String()
+}
+
+// TestStreamingDeterminismMatrix pins the tentpole's core invariant: the
+// streaming DAG, the barrier pipeline, any worker count, and any model
+// store state (absent, cold, warm, disk-backed) all produce the same
+// study, byte for byte.
+func TestStreamingDeterminismMatrix(t *testing.T) {
+	ref, err := NewCtx(context.Background(), &Config{NoStream: true, Jobs: 1})
+	if err != nil {
+		t.Fatalf("reference barrier study: %v", err)
+	}
+	want := studyFingerprint(ref)
+
+	warmMem := modelstore.New()
+	diskDir := t.TempDir()
+	openDisk := func() context.Context {
+		st, err := modelstore.Open(diskDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return modelstore.With(context.Background(), st)
+	}
+	cases := []struct {
+		name string
+		ctx  func() context.Context
+		cfg  *Config
+	}{
+		{"stream-jobs1", context.Background, &Config{Jobs: 1}},
+		{"stream-jobs8", context.Background, &Config{Jobs: 8}},
+		{"barrier-jobs8", context.Background, &Config{NoStream: true, Jobs: 8}},
+		{"stream-store-cold", func() context.Context {
+			return modelstore.With(context.Background(), warmMem)
+		}, &Config{Jobs: 8}},
+		{"stream-store-warm", func() context.Context {
+			return modelstore.With(context.Background(), warmMem)
+		}, &Config{Jobs: 8}},
+		{"barrier-store-warm", func() context.Context {
+			return modelstore.With(context.Background(), warmMem)
+		}, &Config{NoStream: true, Jobs: 1}},
+		{"stream-disk-cold", openDisk, &Config{Jobs: 8}},
+		{"stream-disk-warm", openDisk, &Config{Jobs: 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := NewCtx(tc.ctx(), tc.cfg)
+			if err != nil {
+				t.Fatalf("NewCtx: %v", err)
+			}
+			if got := studyFingerprint(s); got != want {
+				t.Errorf("study diverges from the barrier/jobs=1 reference (len %d vs %d)", len(got), len(want))
+			}
+		})
+	}
+	if st := warmMem.Stats(); st.Trains != 2 {
+		t.Errorf("shared store Trains = %d, want 2 (one embed + one namerec across three runs)", st.Trains)
+	}
+	if st := warmMem.Stats(); st.Hits != 4 {
+		t.Errorf("shared store Hits = %d, want 4 (two models × two rerun studies)", st.Hits)
+	}
+}
+
+// TestStreamingStoreFaultIsolation arms an embed-training fault with a
+// store attached: the run must fail exactly as it does without a store,
+// and the poisoned training must leave no entry behind — a clean rerun on
+// the same store trains fresh and matches an uncached study.
+func TestStreamingStoreFaultIsolation(t *testing.T) {
+	for _, stream := range []bool{true, false} {
+		name := "stream"
+		if !stream {
+			name = "barrier"
+		}
+		t.Run(name, func(t *testing.T) {
+			st := modelstore.New()
+			plan, err := fault.ParsePlan("seed=1; embed.train:error")
+			if err != nil {
+				t.Fatal(err)
+			}
+			armed := fault.With(modelstore.With(context.Background(), st), fault.NewInjector(plan, 0))
+			_, err = NewCtx(armed, &Config{NoStream: !stream})
+			if !errors.Is(err, ErrPipeline) || !errors.Is(err, fault.ErrInjected) {
+				t.Fatalf("faulted run err = %v, want ErrPipeline wrapping ErrInjected", err)
+			}
+
+			clean := modelstore.With(context.Background(), st)
+			s, err := NewCtx(clean, &Config{NoStream: !stream})
+			if err != nil {
+				t.Fatalf("clean rerun on the same store: %v", err)
+			}
+			stats := st.Stats()
+			if stats.Trains != 3 {
+				// Failed embed train + successful embed and namerec trains.
+				t.Errorf("Trains = %d, want 3 — the faulted training must not be cached", stats.Trains)
+			}
+			ref, err := NewCtx(context.Background(), &Config{NoStream: true, Jobs: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if studyFingerprint(s) != studyFingerprint(ref) {
+				t.Error("study after a faulted-then-clean store diverges from an uncached study")
+			}
+		})
+	}
+}
+
+// TestStreamingRespectsJobsFromContext checks the streaming path still
+// honors par.WithJobs when Config.Jobs is zero, like the barrier path.
+func TestStreamingRespectsJobsFromContext(t *testing.T) {
+	ctx := par.WithJobs(context.Background(), 2)
+	s, err := NewCtx(ctx, nil)
+	if err != nil {
+		t.Fatalf("NewCtx: %v", err)
+	}
+	if len(s.Prepared) != 4 {
+		t.Errorf("prepared snippets = %d, want 4", len(s.Prepared))
+	}
+}

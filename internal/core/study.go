@@ -27,6 +27,7 @@ import (
 	"decompstudy/internal/embed"
 	"decompstudy/internal/fault"
 	"decompstudy/internal/metrics"
+	"decompstudy/internal/modelstore"
 	"decompstudy/internal/namerec"
 	"decompstudy/internal/obs"
 	"decompstudy/internal/par"
@@ -69,6 +70,18 @@ type Config struct {
 	// compiled IR untouched, keeping artifacts byte-identical with
 	// pre-optimizer runs.
 	OptLevel int
+	// Prepared, when non-nil, supplies an already-prepared corpus and the
+	// preparation stage is skipped entirely — the batched multi-run path
+	// (ablation grids, level sweeps) prepares once and shares the result.
+	// The snippets must match OptLevel; Prepared is shared read-only, which
+	// is safe because a Prepared is immutable after preparation.
+	Prepared []*corpus.Prepared
+	// NoStream disables cross-stage streaming and runs the classic barrier
+	// pipeline (prepare → train → survey → metrics → panel, each stage
+	// completing before the next starts). The two paths produce
+	// byte-identical studies; the barrier path exists as a determinism
+	// cross-check and debugging aid (-no-stream).
+	NoStream bool
 }
 
 func (c *Config) defaults() Config {
@@ -87,6 +100,8 @@ func (c *Config) defaults() Config {
 		out.Jobs = c.Jobs
 	}
 	out.OptLevel = c.OptLevel
+	out.Prepared = c.Prepared
+	out.NoStream = c.NoStream
 	return out
 }
 
@@ -127,6 +142,16 @@ func New(cfg *Config) (*Study, error) {
 // span, and every stage (corpus preparation, embedding training, recovery-
 // model training, survey administration, metric evaluation, expert panel)
 // reports its own child span when the context carries an obs handle.
+//
+// By default the stages run as a streaming DAG: embedding training,
+// recovery training, and survey administration start immediately and
+// overlap with corpus preparation, and each snippet flows into metric
+// evaluation the moment it is prepared (and the embedding model is ready)
+// instead of waiting for the whole corpus behind a barrier. Config.NoStream
+// selects the classic barrier pipeline; both produce byte-identical
+// studies. When the context carries a modelstore (modelstore.With), the
+// training stages resolve through it — a warm store skips training
+// entirely and returns a bit-identical cached model.
 func NewCtx(ctx context.Context, cfg *Config) (*Study, error) {
 	c := cfg.defaults()
 	if c.Jobs > 0 {
@@ -144,52 +169,41 @@ func NewCtx(ctx context.Context, cfg *Config) (*Study, error) {
 		ctx = fault.WithManifest(ctx, man)
 	}
 	s := &Study{Config: c, ctx: ctx, Manifest: man}
+
+	var err error
+	if c.NoStream {
+		err = s.buildBarrier(ctx, c)
+	} else {
+		err = s.buildStream(ctx, c)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.finishTelemetry(ctx, sp, man)
+	return s, nil
+}
+
+// buildBarrier is the classic pipeline: every stage completes before the
+// next starts. It is the reference semantics the streaming path must
+// reproduce byte for byte.
+func (s *Study) buildBarrier(ctx context.Context, c Config) error {
 	log := obs.Logger(ctx)
-
-	// Per-snippet preparation failures degrade gracefully: the snippet is
-	// excluded (PrepareSnippets already recorded it in the manifest) and the
-	// study continues on the survivors, like the paper dropping a defective
-	// study material rather than the whole experiment. Losing every snippet
-	// is fatal.
-	level, err := opt.ParseLevel(c.OptLevel)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %w", ErrPipeline, err)
-	}
-	s.Prepared, err = corpus.PrepareAllOptCtx(ctx, level)
-	if err != nil && len(s.Prepared) == 0 {
-		return nil, fmt.Errorf("%w: preparing snippets: %w", ErrPipeline, err)
-	}
-	if err != nil {
-		log.Error("continuing with partial corpus", "prepared", len(s.Prepared), "err", err)
-	}
-	log.Debug("corpus prepared", "snippets", len(s.Prepared))
-
-	ctxs, err := corpus.EmbeddingContexts()
-	if err != nil {
-		return nil, fmt.Errorf("%w: embedding contexts: %w", ErrPipeline, err)
-	}
-	s.Embed, err = embed.TrainCtx(ctx, ctxs, &embed.Config{Dim: c.EmbedDim})
-	if err != nil {
-		return nil, fmt.Errorf("%w: training embeddings: %w", ErrPipeline, err)
+	if err := s.prepareCorpus(ctx, c); err != nil {
+		return err
 	}
 
-	training, err := corpus.TrainingFiles()
+	var err error
+	s.Embed, err = s.trainEmbed(ctx, c)
 	if err != nil {
-		return nil, fmt.Errorf("%w: training corpus: %w", ErrPipeline, err)
+		return err
 	}
-	s.Recovery, err = namerec.TrainModelCtx(ctx, training)
+	s.Recovery, err = s.trainRecovery(ctx)
 	if err != nil {
-		return nil, fmt.Errorf("%w: training recovery model: %w", ErrPipeline, err)
+		return err
 	}
-
-	svCfg := survey.Config{}
-	if c.Survey != nil {
-		svCfg = *c.Survey
-	}
-	svCfg.Seed = c.Seed
-	s.Dataset, err = survey.RunCtx(ctx, &svCfg)
+	s.Dataset, err = s.runSurvey(ctx, c)
 	if err != nil {
-		return nil, fmt.Errorf("%w: administering survey: %w", ErrPipeline, err)
+		return err
 	}
 
 	// Intrinsic metrics plus structural-complexity covariates per snippet
@@ -200,47 +214,315 @@ func NewCtx(ctx context.Context, cfg *Config) (*Study, error) {
 	s.Complexity = map[string]analysis.Covariates{}
 	var sets []qualcode.PairSet
 	for _, p := range s.Prepared {
-		pairs := make([]metrics.Pair, 0, len(p.Dirty.Renames))
-		for _, r := range p.Dirty.Renames {
-			pairs = append(pairs, metrics.Pair{Candidate: r.NewName, Reference: r.OrigName})
-		}
-		mctx := fault.WithKey(ctx, p.Snippet.ID)
-		rep, err := metrics.EvaluateCtx(mctx, pairs, p.Dirty.Source(), p.OrigSource, s.Embed)
+		rep, cov, err := evalSnippet(ctx, p, s.Embed)
 		if err != nil {
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-				return nil, fmt.Errorf("%w: metrics for %s: %w", ErrPipeline, p.Snippet.ID, err)
+				return fmt.Errorf("%w: metrics for %s: %w", ErrPipeline, p.Snippet.ID, err)
 			}
 			fault.Exclude(ctx, "metrics", p.Snippet.ID, err)
 			obs.AddCount(ctx, "metrics.evaluate.excluded", 1)
 			log.Error("metric evaluation excluded", "snippet", p.Snippet.ID, "err", err)
 			continue
 		}
-		cov := analysis.MeasureCtx(ctx, p.IR)
 		s.Complexity[p.Snippet.ID] = cov
-		rep.Cyclomatic = float64(cov.Cyclomatic)
-		rep.CFGEdges = float64(cov.Edges)
-		rep.MaxLoopDepth = float64(cov.MaxLoopDepth)
-		rep.LivePressure = float64(cov.MaxLivePressure)
-		rep.CallCount = float64(cov.Calls)
 		s.MetricReports[p.Snippet.ID] = rep
-		sets = append(sets, qualcode.PairSet{
-			SnippetID: p.Snippet.ID,
-			NamePairs: p.Dirty.MetricPairs(),
-			TypePairs: p.Dirty.TypePairs(),
-		})
+		sets = append(sets, pairSet(p))
 	}
+	return s.runPanel(ctx, c, sets)
+}
+
+// buildStream is the streaming DAG: the shared stages (embedding training,
+// recovery training, survey) start immediately as tasks, and corpus
+// preparation is fused with per-snippet metric evaluation — snippet A's
+// metrics run while snippet B is still being compiled, bounded by the
+// context's worker count. Results are collected in input order and error
+// precedence follows the barrier path exactly (prepare-all-lost, embed,
+// recovery, survey, per-snippet metrics, panel), so the two paths are
+// observationally identical on success and on every tested failure.
+func (s *Study) buildStream(ctx context.Context, c Config) error {
+	log := obs.Logger(ctx)
+	level, err := opt.ParseLevel(c.OptLevel)
+	if err != nil {
+		return fmt.Errorf("%w: %w", ErrPipeline, err)
+	}
+	jobs := par.JobsFrom(ctx)
+
+	embedT := par.Go(ctx, func(ctx context.Context) (*embed.Model, error) {
+		return s.trainEmbed(ctx, c)
+	})
+	recoveryT := par.Go(ctx, func(ctx context.Context) (*namerec.Model, error) {
+		return s.trainRecovery(ctx)
+	})
+	surveyT := par.Go(ctx, func(ctx context.Context) (*survey.Dataset, error) {
+		return s.runSurvey(ctx, c)
+	})
+
+	// One pipelined unit per snippet: prepare (unless the caller supplied a
+	// prepared corpus), then — as soon as the embedding model lands — the
+	// metric battery. MapAll never cancels on item failure, mirroring the
+	// barrier path's graceful per-item degradation.
+	type snippetOut struct {
+		p       *corpus.Prepared
+		rep     metrics.Report
+		cov     analysis.Covariates
+		evaled  bool
+		prepErr error
+		evalErr error
+	}
+	eval := func(ctx context.Context, p *corpus.Prepared) snippetOut {
+		out := snippetOut{p: p}
+		em, err := embedT.Wait(ctx)
+		if err != nil {
+			// Embedding training failed: the whole run is about to fail with
+			// that error, so the metric stage is skipped without recording
+			// per-snippet exclusions — exactly what the barrier path does.
+			return out
+		}
+		out.rep, out.cov, out.evalErr = evalSnippet(ctx, p, em)
+		out.evaled = out.evalErr == nil
+		return out
+	}
+
+	var outs []snippetOut
+	var snips []*corpus.Snippet
+	if c.Prepared != nil {
+		s.Prepared = c.Prepared
+		log.Debug("corpus reused", "snippets", len(s.Prepared))
+		var werrs []error
+		outs, werrs = par.MapAll(ctx, jobs, c.Prepared, func(ctx context.Context, _ int, p *corpus.Prepared) (snippetOut, error) {
+			return eval(ctx, p), nil
+		})
+		// A worker panic (or a cancellation skip) leaves a zero snippetOut
+		// with the error in werrs; surface it as the snippet's eval error so
+		// the collection below handles it like any metric failure.
+		for i := range outs {
+			if werrs[i] != nil && outs[i].evalErr == nil {
+				outs[i] = snippetOut{p: c.Prepared[i], evalErr: werrs[i]}
+			}
+		}
+	} else {
+		snips = corpus.Snippets()
+		var werrs []error
+		outs, werrs = par.MapAll(ctx, jobs, snips, func(ctx context.Context, _ int, sn *corpus.Snippet) (snippetOut, error) {
+			p, err := corpus.PrepareOptCtx(ctx, sn, level)
+			if err != nil {
+				obs.AddCount(ctx, "corpus.prepare.failed", 1)
+				log.Error("snippet preparation failed", "snippet", sn.ID, "err", err)
+				return snippetOut{prepErr: err}, nil
+			}
+			obs.AddCount(ctx, "corpus.prepare.ok", 1)
+			return eval(ctx, p), nil
+		})
+		// A worker panic during preparation is recovered by par's guard and
+		// lands in werrs with a zero snippetOut; fold it into the per-item
+		// prepare failures, matching the barrier path (PrepareSnippetsOpt
+		// sees the same guard-wrapped error from its own MapAll).
+		for i := range outs {
+			if werrs[i] != nil && outs[i].p == nil && outs[i].prepErr == nil {
+				outs[i].prepErr = werrs[i]
+			}
+		}
+
+		// Assemble the prepared corpus in input order with the barrier
+		// path's partial-failure semantics: failures are excluded and
+		// joined; losing every snippet is fatal.
+		var failed []error
+		for i, o := range outs {
+			if o.prepErr != nil {
+				failed = append(failed, o.prepErr)
+				if !isCancellation(o.prepErr) {
+					fault.Exclude(ctx, "corpus", snips[i].ID, o.prepErr)
+				}
+				continue
+			}
+			s.Prepared = append(s.Prepared, o.p)
+		}
+		if len(failed) > 0 {
+			err := errors.Join(failed...)
+			if len(s.Prepared) == 0 {
+				return fmt.Errorf("%w: preparing snippets: %w", ErrPipeline, err)
+			}
+			log.Error("continuing with partial corpus", "prepared", len(s.Prepared), "err", err)
+		}
+		log.Debug("corpus prepared", "snippets", len(s.Prepared))
+	}
+
+	// Shared-stage failures surface in barrier order, so errors.Is
+	// contracts and error text match the reference path.
+	if s.Embed, err = embedT.Wait(ctx); err != nil {
+		return err
+	}
+	if s.Recovery, err = recoveryT.Wait(ctx); err != nil {
+		return err
+	}
+	if s.Dataset, err = surveyT.Wait(ctx); err != nil {
+		return err
+	}
+
+	s.MetricReports = map[string]metrics.Report{}
+	s.Complexity = map[string]analysis.Covariates{}
+	var sets []qualcode.PairSet
+	for _, o := range outs {
+		if o.p == nil {
+			continue // preparation failed; already excluded above
+		}
+		if o.evalErr != nil {
+			if isCancellation(o.evalErr) {
+				return fmt.Errorf("%w: metrics for %s: %w", ErrPipeline, o.p.Snippet.ID, o.evalErr)
+			}
+			fault.Exclude(ctx, "metrics", o.p.Snippet.ID, o.evalErr)
+			obs.AddCount(ctx, "metrics.evaluate.excluded", 1)
+			log.Error("metric evaluation excluded", "snippet", o.p.Snippet.ID, "err", o.evalErr)
+			continue
+		}
+		if !o.evaled {
+			continue
+		}
+		s.Complexity[o.p.Snippet.ID] = o.cov
+		s.MetricReports[o.p.Snippet.ID] = o.rep
+		sets = append(sets, pairSet(o.p))
+	}
+	return s.runPanel(ctx, c, sets)
+}
+
+// prepareCorpus runs (or reuses) corpus preparation with the pipeline's
+// partial-failure tolerance: per-snippet failures are excluded, losing
+// everything is fatal.
+func (s *Study) prepareCorpus(ctx context.Context, c Config) error {
+	log := obs.Logger(ctx)
+	if c.Prepared != nil {
+		s.Prepared = c.Prepared
+		log.Debug("corpus reused", "snippets", len(s.Prepared))
+		return nil
+	}
+	level, err := opt.ParseLevel(c.OptLevel)
+	if err != nil {
+		return fmt.Errorf("%w: %w", ErrPipeline, err)
+	}
+	s.Prepared, err = corpus.PrepareAllOptCtx(ctx, level)
+	if err != nil && len(s.Prepared) == 0 {
+		return fmt.Errorf("%w: preparing snippets: %w", ErrPipeline, err)
+	}
+	if err != nil {
+		log.Error("continuing with partial corpus", "prepared", len(s.Prepared), "err", err)
+	}
+	log.Debug("corpus prepared", "snippets", len(s.Prepared))
+	return nil
+}
+
+// trainEmbed resolves the embedding model: through the context's model
+// store when one is attached (training only on a true miss), directly
+// otherwise. The store returns bit-identical models, so the two routes are
+// indistinguishable downstream.
+func (s *Study) trainEmbed(ctx context.Context, c Config) (*embed.Model, error) {
+	ctxs, err := corpus.EmbeddingContexts()
+	if err != nil {
+		return nil, fmt.Errorf("%w: embedding contexts: %w", ErrPipeline, err)
+	}
+	cfg := &embed.Config{Dim: c.EmbedDim}
+	var m *embed.Model
+	if st := modelstore.From(ctx); st != nil {
+		m, err = st.EmbedModel(ctx, ctxs, cfg)
+	} else {
+		m, err = embed.TrainCtx(ctx, ctxs, cfg)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%w: training embeddings: %w", ErrPipeline, err)
+	}
+	return m, nil
+}
+
+// trainRecovery resolves the DIRTY-analog recovery model, through the
+// model store when one is attached.
+func (s *Study) trainRecovery(ctx context.Context) (*namerec.Model, error) {
+	if st := modelstore.From(ctx); st != nil {
+		m, err := st.NamerecModel(ctx, corpus.TrainingSources(), corpus.TrainingFiles)
+		if err != nil {
+			return nil, fmt.Errorf("%w: training recovery model: %w", ErrPipeline, err)
+		}
+		return m, nil
+	}
+	training, err := corpus.TrainingFiles()
+	if err != nil {
+		return nil, fmt.Errorf("%w: training corpus: %w", ErrPipeline, err)
+	}
+	m, err := namerec.TrainModelCtx(ctx, training)
+	if err != nil {
+		return nil, fmt.Errorf("%w: training recovery model: %w", ErrPipeline, err)
+	}
+	return m, nil
+}
+
+// runSurvey administers the survey with the study seed.
+func (s *Study) runSurvey(ctx context.Context, c Config) (*survey.Dataset, error) {
+	svCfg := survey.Config{}
+	if c.Survey != nil {
+		svCfg = *c.Survey
+	}
+	svCfg.Seed = c.Seed
+	d, err := survey.RunCtx(ctx, &svCfg)
+	if err != nil {
+		return nil, fmt.Errorf("%w: administering survey: %w", ErrPipeline, err)
+	}
+	return d, nil
+}
+
+// evalSnippet is the per-snippet pipeline tail shared by both execution
+// paths: the intrinsic metric battery over the snippet's rename pairs plus
+// the structural-complexity covariates, folded into one report. Identical
+// inputs produce bit-identical reports regardless of which path — or which
+// worker — runs them.
+func evalSnippet(ctx context.Context, p *corpus.Prepared, em *embed.Model) (metrics.Report, analysis.Covariates, error) {
+	pairs := make([]metrics.Pair, 0, len(p.Dirty.Renames))
+	for _, r := range p.Dirty.Renames {
+		pairs = append(pairs, metrics.Pair{Candidate: r.NewName, Reference: r.OrigName})
+	}
+	mctx := fault.WithKey(ctx, p.Snippet.ID)
+	rep, err := metrics.EvaluateCtx(mctx, pairs, p.Dirty.Source(), p.OrigSource, em)
+	if err != nil {
+		return metrics.Report{}, analysis.Covariates{}, err
+	}
+	cov := analysis.MeasureCtx(ctx, p.IR)
+	rep.Cyclomatic = float64(cov.Cyclomatic)
+	rep.CFGEdges = float64(cov.Edges)
+	rep.MaxLoopDepth = float64(cov.MaxLoopDepth)
+	rep.LivePressure = float64(cov.MaxLivePressure)
+	rep.CallCount = float64(cov.Calls)
+	return rep, cov, nil
+}
+
+// pairSet extracts the expert-panel input for one prepared snippet.
+func pairSet(p *corpus.Prepared) qualcode.PairSet {
+	return qualcode.PairSet{
+		SnippetID: p.Snippet.ID,
+		NamePairs: p.Dirty.MetricPairs(),
+		TypePairs: p.Dirty.TypePairs(),
+	}
+}
+
+// runPanel runs the expert panel over the snippet pair sets and folds its
+// human-evaluation scores into the metric reports.
+func (s *Study) runPanel(ctx context.Context, c Config, sets []qualcode.PairSet) error {
+	var err error
 	s.Panel, err = qualcode.RatePanelCtx(ctx, sets, s.Embed, &qualcode.PanelConfig{Seed: c.Seed})
 	if err != nil {
-		return nil, fmt.Errorf("%w: expert panel: %w", ErrPipeline, err)
+		return fmt.Errorf("%w: expert panel: %w", ErrPipeline, err)
 	}
-	// Fold the panel's human-evaluation scores into the metric reports.
 	for id, rep := range s.MetricReports {
 		rep.HumanVariables = s.Panel.VariableScore[id]
 		rep.HumanTypes = s.Panel.TypeScore[id]
 		s.MetricReports[id] = rep
 	}
+	return nil
+}
+
+// finishTelemetry exports the run's cache and robustness ledgers.
+func (s *Study) finishTelemetry(ctx context.Context, sp *obs.Span, man *fault.Manifest) {
+	log := obs.Logger(ctx)
 	// Report the embedding memo-cache's effectiveness over the whole run:
 	// metric evaluation and the expert panel score through the same cache.
+	// (With a model store attached the model — and so the cache — may be
+	// shared across runs; the stats are then cumulative for the model.)
 	st := s.Embed.CacheStats()
 	obs.AddCount(ctx, "embed.cache.hits", st.Hits)
 	obs.AddCount(ctx, "embed.cache.misses", st.Misses)
@@ -250,6 +532,12 @@ func NewCtx(ctx context.Context, cfg *Config) (*Study, error) {
 	sp.SetAttr("cache_hit_rate", fmt.Sprintf("%.3f", st.HitRate()))
 	log.Debug("embedding cache", "hits", st.Hits, "misses", st.Misses,
 		"hit_rate", st.HitRate(), "miss_ns", st.MissCostNs(), "ident_entries", st.IdentEntries)
+	// The model store's ledger, when one is attached.
+	if ms := modelstore.From(ctx); ms != nil {
+		mst := ms.Stats()
+		obs.SetGauge(ctx, "modelstore.hit_rate", mst.HitRate())
+		sp.SetAttr("modelstore_hit_rate", fmt.Sprintf("%.3f", mst.HitRate()))
+	}
 	// Surface the run's robustness ledger. Gauges are only emitted for
 	// non-clean runs so a clean run's telemetry is unchanged.
 	if exs := man.Exclusions(); len(exs) > 0 {
@@ -261,7 +549,10 @@ func NewCtx(ctx context.Context, cfg *Config) (*Study, error) {
 		obs.SetGauge(ctx, "pipeline.fault_retries", float64(n))
 		sp.SetAttr("fault_retries", n)
 	}
-	return s, nil
+}
+
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // obsCtx returns the context the study was built under, so analyses parent

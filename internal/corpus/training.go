@@ -162,6 +162,16 @@ void transfer(char *to, char *from, char *dst, char *src, int n) {
 `,
 }
 
+// TrainingSources returns the raw training-corpus sources in training
+// order. The model store hashes these (together with the training
+// configuration) to content-address the trained models, so any edit to the
+// corpus automatically invalidates every cached model.
+func TrainingSources() []string {
+	out := make([]string, len(trainingSources))
+	copy(out, trainingSources)
+	return out
+}
+
 // TrainingFiles parses the training corpus.
 func TrainingFiles() ([]*csrc.File, error) {
 	out := make([]*csrc.File, 0, len(trainingSources))

@@ -1,0 +1,159 @@
+package embed
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"decompstudy/internal/linalg"
+	"decompstudy/internal/obs"
+)
+
+// Binary model format. The canonical trained state is (tokens, vectors):
+// the vocabulary map, row norms, unit rows, and both memo caches are all
+// recomputed deterministically from the vectors on load, so a round-trip
+// yields a model whose every query answer is bit-identical to the fresh
+// train. Floats travel as IEEE-754 bit patterns (math.Float64bits), never
+// through decimal formatting, so no precision is lost.
+const (
+	marshalMagic   = "DSEM" // decompstudy embed model
+	marshalVersion = 1
+)
+
+// MarshalBinary serializes the model's canonical trained state. The
+// encoding is deterministic: tokens in vocabulary-index order, vector rows
+// in the same order, every float as its exact bit pattern — two models
+// trained from the same corpus marshal to the same bytes.
+func (m *Model) MarshalBinary() ([]byte, error) {
+	rows, cols := m.vectors.Rows(), m.vectors.Cols()
+	if rows != len(m.tokens) {
+		return nil, fmt.Errorf("embed: marshal: %d tokens vs %d vector rows", len(m.tokens), rows)
+	}
+	var buf []byte
+	buf = append(buf, marshalMagic...)
+	buf = binary.AppendUvarint(buf, marshalVersion)
+	buf = binary.AppendUvarint(buf, uint64(m.dim))
+	buf = binary.AppendUvarint(buf, uint64(rows))
+	buf = binary.AppendUvarint(buf, uint64(cols))
+	for _, tok := range m.tokens {
+		buf = binary.AppendUvarint(buf, uint64(len(tok)))
+		buf = append(buf, tok...)
+	}
+	for i := 0; i < rows; i++ {
+		for _, x := range m.vectors.RowView(i) {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(x))
+		}
+	}
+	return buf, nil
+}
+
+// UnmarshalModel reconstructs a model from MarshalBinary output. The
+// derived state (vocabulary index, normalization, caches) is rebuilt
+// exactly as TrainCtx builds it, so the loaded model is indistinguishable
+// from the one that was serialized.
+func UnmarshalModel(data []byte) (*Model, error) {
+	r := reader{data: data}
+	if string(r.bytes(len(marshalMagic))) != marshalMagic {
+		return nil, fmt.Errorf("embed: unmarshal: bad magic")
+	}
+	if v := r.uvarint(); v != marshalVersion {
+		return nil, fmt.Errorf("embed: unmarshal: unsupported format version %d", v)
+	}
+	dim := int(r.uvarint())
+	rows := int(r.uvarint())
+	cols := int(r.uvarint())
+	if r.err != nil {
+		return nil, fmt.Errorf("embed: unmarshal: truncated header: %w", r.err)
+	}
+	// Trained models always have cols == dim (Train clamps dim to |V| before
+	// factorizing), and the token table can't outnumber the payload bytes.
+	if dim < 0 || rows < 0 || cols != dim || rows > len(data) {
+		return nil, fmt.Errorf("embed: unmarshal: implausible dimensions %dx%d (dim %d)", rows, cols, dim)
+	}
+	tokens := make([]string, rows)
+	vocab := make(map[string]int, rows)
+	for i := range tokens {
+		n := int(r.uvarint())
+		if r.err != nil || n > r.remaining() {
+			return nil, fmt.Errorf("embed: unmarshal: truncated token table")
+		}
+		tokens[i] = string(r.bytes(n))
+		vocab[tokens[i]] = i
+	}
+	vectors := linalg.NewMatrix(rows, cols)
+	for i := 0; i < rows; i++ {
+		row := vectors.RowView(i)
+		for j := range row {
+			row[j] = math.Float64frombits(r.uint64())
+		}
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("embed: unmarshal: truncated vectors: %w", r.err)
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("embed: unmarshal: %d trailing bytes", r.remaining())
+	}
+	m := &Model{vocab: vocab, tokens: tokens, vectors: vectors, dim: dim, idvecs: newVecCache()}
+	m.normalize()
+	return m, nil
+}
+
+// BindObs attaches the live cache-lookup counters a freshly trained model
+// gets from TrainCtx, so a model loaded from the store reports telemetry
+// identically. It must be called before the model is shared across
+// goroutines (the store binds during the single-flight build).
+func (m *Model) BindObs(ctx context.Context) {
+	if o := obs.From(ctx); o != nil && o.Metrics != nil {
+		m.obsHits = o.Metrics.CounterL("embed.cache.lookups", obs.L("result", "hit"))
+		m.obsMisses = o.Metrics.CounterL("embed.cache.lookups", obs.L("result", "miss"))
+	}
+}
+
+// Resolved returns the configuration with defaults applied — the exact
+// parameters a Train call with this config uses, which is what a
+// content-addressed cache must key on.
+func (c *Config) Resolved() Config { return c.defaults() }
+
+// reader is a minimal cursor over a marshal buffer that latches the first
+// decode error instead of forcing a check per field.
+type reader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *reader) remaining() int { return len(r.data) - r.off }
+
+func (r *reader) bytes(n int) []byte {
+	if r.err != nil || n < 0 || r.off+n > len(r.data) {
+		if r.err == nil {
+			r.err = fmt.Errorf("need %d bytes, have %d", n, r.remaining())
+		}
+		return nil
+	}
+	out := r.data[r.off : r.off+n]
+	r.off += n
+	return out
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		r.err = fmt.Errorf("bad uvarint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *reader) uint64() uint64 {
+	b := r.bytes(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}

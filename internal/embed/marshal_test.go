@@ -1,0 +1,84 @@
+package embed
+
+import (
+	"bytes"
+	"testing"
+)
+
+func marshalTestModel(t *testing.T) *Model {
+	t.Helper()
+	m, err := Train([][]string{
+		{"buffer_length", "buf", "cap", "len"},
+		{"copy_bytes", "dest", "src", "n", "i"},
+		{"find_char", "str", "ch", "len", "pos"},
+	}, &Config{Dim: 8, Iterations: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMarshalRoundTripBitIdentical(t *testing.T) {
+	m := marshalTestModel(t)
+	data, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := UnmarshalModel(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data2, err := m2.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatal("marshal(unmarshal(marshal(m))) differs from marshal(m)")
+	}
+
+	// The loaded model must behave exactly like the trained one: same
+	// vocabulary, same vectors, same derived similarities.
+	if m2.Dim() != m.Dim() || m2.VocabSize() != m.VocabSize() {
+		t.Fatalf("shape mismatch: got dim=%d vocab=%d, want dim=%d vocab=%d",
+			m2.Dim(), m2.VocabSize(), m.Dim(), m.VocabSize())
+	}
+	for _, pair := range [][2]string{{"buf", "dest"}, {"buffer_length", "len"}, {"str", "pos"}} {
+		if a, b := m.Cosine(pair[0], pair[1]), m2.Cosine(pair[0], pair[1]); a != b {
+			t.Errorf("Cosine(%s, %s): trained %v, loaded %v", pair[0], pair[1], a, b)
+		}
+	}
+	near, err := m.Nearest("buf", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	near2, err := m2.Nearest("buf", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range near {
+		if near[i] != near2[i] {
+			t.Fatalf("Nearest diverges: trained %v, loaded %v", near, near2)
+		}
+	}
+}
+
+func TestUnmarshalRejectsCorruptData(t *testing.T) {
+	m := marshalTestModel(t)
+	data, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, mutate := range map[string]func([]byte) []byte{
+		"empty":      func([]byte) []byte { return nil },
+		"bad-magic":  func(b []byte) []byte { b[0] = 'X'; return b },
+		"truncated":  func(b []byte) []byte { return b[:len(b)-9] },
+		"half-magic": func(b []byte) []byte { return b[:2] },
+	} {
+		t.Run(name, func(t *testing.T) {
+			buf := append([]byte(nil), data...)
+			if _, err := UnmarshalModel(mutate(buf)); err == nil {
+				t.Error("UnmarshalModel accepted corrupt data")
+			}
+		})
+	}
+}

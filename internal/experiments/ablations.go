@@ -1,11 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"decompstudy/internal/core"
 	"decompstudy/internal/corpus"
+	"decompstudy/internal/modelstore"
+	"decompstudy/internal/par"
 	"decompstudy/internal/participants"
 	"decompstudy/internal/survey"
 )
@@ -37,8 +40,15 @@ func runAblation(name string, seed int64, svCfg *survey.Config) (AblationResult,
 // runAblationCfg is runAblation over a full study configuration, for
 // ablations that vary more than the survey (the opt-level sweep).
 func runAblationCfg(name string, cfg *core.Config) (AblationResult, error) {
+	return runAblationCfgCtx(context.Background(), name, cfg)
+}
+
+// runAblationCfgCtx is runAblationCfg under a caller context, so batched
+// grids can thread a shared model store (and telemetry) through every
+// cell.
+func runAblationCfgCtx(ctx context.Context, name string, cfg *core.Config) (AblationResult, error) {
 	out := AblationResult{Name: name}
-	s, err := core.New(cfg)
+	s, err := core.NewCtx(ctx, cfg)
 	if err != nil {
 		return out, fmt.Errorf("experiments: ablation %s: %w", name, err)
 	}
@@ -69,6 +79,13 @@ func runAblationCfg(name string, cfg *core.Config) (AblationResult, error) {
 	return out, nil
 }
 
+// Ablations renders the ablation grid under the runner's context, so the
+// batched cells share the CLI's model store and telemetry — and hit the
+// models the runner's own study already trained.
+func (r *Runner) Ablations(seed int64) (string, []AblationResult, error) {
+	return AblationsCtx(r.obsCtx(), seed)
+}
+
 // Ablations runs the design-choice counterfactuals DESIGN.md §3 calls out
 // and renders them next to the baseline:
 //
@@ -81,26 +98,44 @@ func runAblationCfg(name string, cfg *core.Config) (AblationResult, error) {
 //     rule guards the timing model;
 //   - harder-questions: §VI robustness of the null to question difficulty.
 func Ablations(seed int64) (string, []AblationResult, error) {
+	return AblationsCtx(context.Background(), seed)
+}
+
+// AblationsCtx is Ablations as a batched multi-run: every cell shares one
+// corpus preparation (core.Config.Prepared) and one base-model training
+// (resolved through a content-addressed model store — the context's, or a
+// run-local one), so each cell pays only for its own delta: the survey,
+// the metric battery, and the fits. Cells fan out across the context's
+// worker budget and results are collected in configuration order, so the
+// rendered table is byte-identical to the sequential unbatched runs it
+// replaced.
+func AblationsCtx(ctx context.Context, seed int64) (string, []AblationResult, error) {
 	if seed == 0 {
 		seed = 26 // the library-default study seed (core.Config)
 	}
-	configs := []struct {
+	type cell struct {
 		name string
 		cfg  *survey.Config
-	}{
+	}
+	configs := []cell{
 		{"baseline", nil},
 		{"perfect-annotations", &survey.Config{Snippets: corpus.VariantPerfectAnnotations()}},
 		{"skepticism-training", &survey.Config{Pool: &participants.PoolConfig{TrustAlpha: 1.2, TrustBeta: 3}}},
 		{"no-quality-filter", &survey.Config{DisableQualityFilter: true}},
 		{"harder-questions", &survey.Config{Snippets: corpus.VariantHarderQuestions()}},
 	}
-	var results []AblationResult
-	for _, c := range configs {
-		r, err := runAblation(c.name, seed, c.cfg)
-		if err != nil {
-			return "", nil, err
-		}
-		results = append(results, r)
+	if modelstore.From(ctx) == nil {
+		ctx = modelstore.With(ctx, modelstore.New())
+	}
+	prepared, err := corpus.PrepareAllCtx(ctx)
+	if err != nil && len(prepared) == 0 {
+		return "", nil, fmt.Errorf("experiments: ablations corpus: %w", err)
+	}
+	results, err := par.Map(ctx, par.JobsFrom(ctx), configs, func(ctx context.Context, _ int, c cell) (AblationResult, error) {
+		return runAblationCfgCtx(ctx, c.name, &core.Config{Seed: seed, Survey: c.cfg, Prepared: prepared})
+	})
+	if err != nil {
+		return "", nil, err
 	}
 
 	var b strings.Builder

@@ -8,6 +8,8 @@ import (
 	"decompstudy/internal/compile/opt"
 	"decompstudy/internal/core"
 	"decompstudy/internal/corpus"
+	"decompstudy/internal/modelstore"
+	"decompstudy/internal/par"
 	"decompstudy/internal/survey"
 )
 
@@ -29,6 +31,12 @@ type OptLevelResult struct {
 	Ablation AblationResult
 }
 
+// OptLevels renders the optimization-level sweep under the runner's
+// context (shared model store and telemetry).
+func (r *Runner) OptLevels(seed int64) (string, []OptLevelResult, error) {
+	return OptLevelsCtx(r.obsCtx(), seed)
+}
+
 // OptLevels sweeps the optimization level across the whole study: the
 // corpus is re-prepared at -O0/-O1/-O2, annotation survival is measured
 // against the -O0 decompilation, and a full study runs per level with
@@ -37,10 +45,24 @@ type OptLevelResult struct {
 // mislead. The rendered table puts IR shrink, annotation survival, and
 // the resulting treatment coefficients side by side.
 func OptLevels(seed int64) (string, []OptLevelResult, error) {
+	return OptLevelsCtx(context.Background(), seed)
+}
+
+// OptLevelsCtx is OptLevels as a batched multi-run. The corpus is prepared
+// once per level (the -O0 preparation doubles as the survival baseline and
+// the -O0 cell's corpus, so it is never prepared twice), and the trained
+// models are resolved through a shared content-addressed store: training
+// inputs don't depend on the optimization level, so all three studies run
+// off ONE embedding train and ONE recovery train instead of three of each.
+// Levels fan out across the context's worker budget; results are collected
+// in level order, byte-identical to the sequential sweep this replaced.
+func OptLevelsCtx(ctx context.Context, seed int64) (string, []OptLevelResult, error) {
 	if seed == 0 {
 		seed = 26 // the library-default study seed (core.Config)
 	}
-	ctx := context.Background()
+	if modelstore.From(ctx) == nil {
+		ctx = modelstore.With(ctx, modelstore.New())
+	}
 
 	countInstrs := func(ps []*corpus.Prepared) int {
 		n := 0
@@ -66,47 +88,56 @@ func OptLevels(seed int64) (string, []OptLevelResult, error) {
 	baseInstrs := countInstrs(base)
 	baseRenames := countRenames(base)
 
-	var results []OptLevelResult
-	for _, level := range []opt.Level{opt.O0, opt.O1, opt.O2} {
-		ps, err := corpus.PrepareAllOptCtx(ctx, level)
-		if err != nil {
-			return "", nil, fmt.Errorf("experiments: optlevels %s corpus: %w", level, err)
-		}
-		r := OptLevelResult{Level: level, Instrs: countInstrs(ps), Survival: 1}
-		if baseInstrs > 0 {
-			r.ShrinkPct = 100 * float64(baseInstrs-r.Instrs) / float64(baseInstrs)
-		}
-
-		// Per-snippet annotation survival, and its corpus-wide aggregate.
-		scale := make(map[string]float64, len(ps))
-		kept, total := 0, 0
-		for _, p := range ps {
-			b := baseRenames[p.Snippet.ID]
-			n := len(p.Dirty.Renames)
-			if n > b {
-				n = b // new scratch temps never count as surviving annotations
+	results, err := par.Map(ctx, par.JobsFrom(ctx), []opt.Level{opt.O0, opt.O1, opt.O2},
+		func(ctx context.Context, _ int, level opt.Level) (OptLevelResult, error) {
+			ps := base // -O0 reuses the baseline preparation
+			if level != opt.O0 {
+				var err error
+				ps, err = corpus.PrepareAllOptCtx(ctx, level)
+				if err != nil {
+					return OptLevelResult{}, fmt.Errorf("experiments: optlevels %s corpus: %w", level, err)
+				}
 			}
-			f := 1.0
-			if b > 0 {
-				f = float64(n) / float64(b)
+			r := OptLevelResult{Level: level, Instrs: countInstrs(ps), Survival: 1}
+			if baseInstrs > 0 {
+				r.ShrinkPct = 100 * float64(baseInstrs-r.Instrs) / float64(baseInstrs)
 			}
-			scale[p.Snippet.ID] = f
-			kept += n
-			total += b
-		}
-		if total > 0 {
-			r.Survival = float64(kept) / float64(total)
-		}
 
-		r.Ablation, err = runAblationCfg(level.String(), &core.Config{
-			Seed:     seed,
-			OptLevel: int(level),
-			Survey:   &survey.Config{Snippets: corpus.VariantOptScaled(scale)},
+			// Per-snippet annotation survival, and its corpus-wide aggregate.
+			scale := make(map[string]float64, len(ps))
+			kept, total := 0, 0
+			for _, p := range ps {
+				b := baseRenames[p.Snippet.ID]
+				n := len(p.Dirty.Renames)
+				if n > b {
+					n = b // new scratch temps never count as surviving annotations
+				}
+				f := 1.0
+				if b > 0 {
+					f = float64(n) / float64(b)
+				}
+				scale[p.Snippet.ID] = f
+				kept += n
+				total += b
+			}
+			if total > 0 {
+				r.Survival = float64(kept) / float64(total)
+			}
+
+			var err error
+			r.Ablation, err = runAblationCfgCtx(ctx, level.String(), &core.Config{
+				Seed:     seed,
+				OptLevel: int(level),
+				Prepared: ps,
+				Survey:   &survey.Config{Snippets: corpus.VariantOptScaled(scale)},
+			})
+			if err != nil {
+				return OptLevelResult{}, fmt.Errorf("experiments: optlevels %s study: %w", level, err)
+			}
+			return r, nil
 		})
-		if err != nil {
-			return "", nil, fmt.Errorf("experiments: optlevels %s study: %w", level, err)
-		}
-		results = append(results, r)
+	if err != nil {
+		return "", nil, err
 	}
 
 	var b strings.Builder

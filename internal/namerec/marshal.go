@@ -1,0 +1,107 @@
+package namerec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Binary model format. Predict scans examples in insertion order and keeps
+// the FIRST best-scoring example, so the example order is part of the
+// model's observable behavior and the encoding preserves it exactly.
+// Feature sets are maps; they are serialized in sorted order so two
+// identical models marshal to the same bytes.
+const (
+	nrMarshalMagic   = "DSNR" // decompstudy namerec model
+	nrMarshalVersion = 1
+)
+
+// MarshalBinary serializes the trained model deterministically: examples
+// in training order, each example's features sorted.
+func (m *Model) MarshalBinary() ([]byte, error) {
+	var buf []byte
+	buf = append(buf, nrMarshalMagic...)
+	buf = binary.AppendUvarint(buf, nrMarshalVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(m.examples)))
+	appendStr := func(s string) {
+		buf = binary.AppendUvarint(buf, uint64(len(s)))
+		buf = append(buf, s...)
+	}
+	for _, ex := range m.examples {
+		appendStr(ex.name)
+		appendStr(ex.typeSpec)
+		feats := make([]string, 0, len(ex.features))
+		for f := range ex.features {
+			feats = append(feats, f)
+		}
+		sort.Strings(feats)
+		buf = binary.AppendUvarint(buf, uint64(len(feats)))
+		for _, f := range feats {
+			appendStr(f)
+		}
+	}
+	return buf, nil
+}
+
+// UnmarshalModel reconstructs a model from MarshalBinary output. Example
+// order — and therefore every Predict answer — matches the serialized
+// model exactly.
+func UnmarshalModel(data []byte) (*Model, error) {
+	off := 0
+	fail := func(what string) (*Model, error) {
+		return nil, fmt.Errorf("namerec: unmarshal: %s at offset %d", what, off)
+	}
+	if len(data) < len(nrMarshalMagic) || string(data[:len(nrMarshalMagic)]) != nrMarshalMagic {
+		return fail("bad magic")
+	}
+	off = len(nrMarshalMagic)
+	uvarint := func() (uint64, bool) {
+		v, n := binary.Uvarint(data[off:])
+		if n <= 0 {
+			return 0, false
+		}
+		off += n
+		return v, true
+	}
+	str := func() (string, bool) {
+		n, ok := uvarint()
+		if !ok || off+int(n) > len(data) {
+			return "", false
+		}
+		s := string(data[off : off+int(n)])
+		off += int(n)
+		return s, true
+	}
+	if v, ok := uvarint(); !ok || v != nrMarshalVersion {
+		return fail("unsupported format version")
+	}
+	count, ok := uvarint()
+	if !ok || int(count) > len(data) {
+		return fail("implausible example count")
+	}
+	m := &Model{examples: make([]example, 0, count)}
+	for i := uint64(0); i < count; i++ {
+		name, ok1 := str()
+		typeSpec, ok2 := str()
+		nf, ok3 := uvarint()
+		if !ok1 || !ok2 || !ok3 || int(nf) > len(data) {
+			return fail("truncated example")
+		}
+		feats := make(map[string]bool, nf)
+		for j := uint64(0); j < nf; j++ {
+			f, ok := str()
+			if !ok {
+				return fail("truncated feature list")
+			}
+			feats[f] = true
+		}
+		m.examples = append(m.examples, example{name: name, typeSpec: typeSpec, features: feats})
+	}
+	if off != len(data) {
+		return fail("trailing bytes")
+	}
+	if len(m.examples) == 0 {
+		return nil, ErrEmptyModel
+	}
+	return m, nil
+}

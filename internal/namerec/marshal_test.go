@@ -1,0 +1,113 @@
+package namerec
+
+import (
+	"bytes"
+	"testing"
+
+	"decompstudy/internal/csrc"
+)
+
+var marshalTestSources = []string{
+	`
+int buffer_length(char *buf, int cap) {
+  int len = 0;
+  while (len < cap) {
+    if (buf[len] == 0) {
+      return len;
+    }
+    len = len + 1;
+  }
+  return cap;
+}
+`,
+	`
+void copy_bytes(char *dest, const char *src, int n) {
+  for (int i = 0; i < n; i++) {
+    dest[i] = src[i];
+  }
+}
+`,
+	`
+int find_char(const char *str, int ch, int len) {
+  for (int pos = 0; pos < len; pos++) {
+    if (str[pos] == ch) {
+      return pos;
+    }
+  }
+  return -1;
+}
+`,
+}
+
+func marshalTestModel(t *testing.T) *Model {
+	t.Helper()
+	files := make([]*csrc.File, 0, len(marshalTestSources))
+	for _, src := range marshalTestSources {
+		f, err := csrc.Parse(src, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	m, err := TrainModel(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMarshalRoundTripBitIdentical(t *testing.T) {
+	m := marshalTestModel(t)
+	data, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := UnmarshalModel(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data2, err := m2.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatal("marshal(unmarshal(marshal(m))) differs from marshal(m)")
+	}
+	if m2.NumExamples() != m.NumExamples() {
+		t.Fatalf("NumExamples: loaded %d, trained %d", m2.NumExamples(), m.NumExamples())
+	}
+
+	// Prediction is insertion-order sensitive, so behavioral identity here
+	// proves the examples survived in training order.
+	for _, ex := range m.examples {
+		feats := make([]string, 0, len(ex.features))
+		for f := range ex.features {
+			feats = append(feats, f)
+		}
+		p1, ok1 := m.Predict(feats)
+		p2, ok2 := m2.Predict(feats)
+		if ok1 != ok2 || p1 != p2 {
+			t.Fatalf("Predict(%v): trained (%v, %v), loaded (%v, %v)", feats, p1, ok1, p2, ok2)
+		}
+	}
+}
+
+func TestUnmarshalRejectsCorruptData(t *testing.T) {
+	m := marshalTestModel(t)
+	data, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, mutate := range map[string]func([]byte) []byte{
+		"empty":     func([]byte) []byte { return nil },
+		"bad-magic": func(b []byte) []byte { b[0] = 'X'; return b },
+		"truncated": func(b []byte) []byte { return b[:len(b)/2] },
+	} {
+		t.Run(name, func(t *testing.T) {
+			buf := append([]byte(nil), data...)
+			if _, err := UnmarshalModel(mutate(buf)); err == nil {
+				t.Error("UnmarshalModel accepted corrupt data")
+			}
+		})
+	}
+}

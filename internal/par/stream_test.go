@@ -1,0 +1,84 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTaskResult(t *testing.T) {
+	task := Go(context.Background(), func(context.Context) (int, error) { return 42, nil })
+	v, err := task.Wait(context.Background())
+	if v != 42 || err != nil {
+		t.Fatalf("Wait = %d, %v; want 42, nil", v, err)
+	}
+	// A second Wait observes the same result.
+	v, err = task.Wait(context.Background())
+	if v != 42 || err != nil {
+		t.Fatalf("second Wait = %d, %v; want 42, nil", v, err)
+	}
+}
+
+func TestTaskError(t *testing.T) {
+	boom := errors.New("boom")
+	task := Go(context.Background(), func(context.Context) (int, error) { return 0, boom })
+	if _, err := task.Wait(context.Background()); !errors.Is(err, boom) {
+		t.Fatalf("Wait err = %v, want boom", err)
+	}
+}
+
+func TestTaskPanicBecomesError(t *testing.T) {
+	task := Go(context.Background(), func(context.Context) (int, error) { panic("kaboom") })
+	_, err := task.Wait(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("Wait err = %v, want the panic value surfaced", err)
+	}
+	if !strings.Contains(err.Error(), "stream_test.go") {
+		t.Errorf("panic error should carry the stack, got %q", err)
+	}
+}
+
+func TestTaskWaitHonorsContext(t *testing.T) {
+	release := make(chan struct{})
+	task := Go(context.Background(), func(context.Context) (int, error) {
+		<-release
+		return 7, nil
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := task.Wait(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait on cancelled ctx = %v, want context.Canceled", err)
+	}
+	// A cancelled Wait must not consume the result: later waiters with live
+	// contexts still get it.
+	close(release)
+	if v, err := task.Wait(context.Background()); v != 7 || err != nil {
+		t.Fatalf("Wait after release = %d, %v; want 7, nil", v, err)
+	}
+}
+
+func TestTaskManyWaiters(t *testing.T) {
+	task := Go(context.Background(), func(context.Context) (string, error) {
+		time.Sleep(time.Millisecond)
+		return "shared", nil
+	})
+	var wg sync.WaitGroup
+	for range 8 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if v, err := task.Wait(context.Background()); v != "shared" || err != nil {
+				t.Errorf("Wait = %q, %v; want shared, nil", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case <-task.Done():
+	default:
+		t.Error("Done() should be closed after Wait returned")
+	}
+}

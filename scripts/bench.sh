@@ -12,9 +12,16 @@
 #
 # The pipeline JSON holds one entry per worker count with ns/op, the speedup
 # over the jobs=1 baseline, the per-stage wall-clock breakdown from the obs
-# span collector, and the Amdahl serial-fraction estimate, plus enough host
-# metadata to interpret the numbers (a single-core host legitimately reports
-# speedup ≈ 1.0 and serial fraction ≈ 1).
+# span collector (including the optimizer stage), and the Amdahl
+# serial-fraction estimate, plus enough host metadata to interpret the
+# numbers (a single-core host legitimately reports speedup ≈ 1.0 and serial
+# fraction ≈ 1). It also records the model-store dimension — cold vs warm
+# cache ns/op, hit rates, and the warm-over-cold speedup, which is real
+# even on one core — and the batched ablation-grid wall clock
+# (ablation_grid_ns). When a committed BENCH_pipeline.json exists, fresh
+# results are compared against it and a >10% ns/op regression or a rising
+# serial fraction prints a warning — a warning, not a failure, because
+# wall-clock on shared CI hosts is noisy.
 #
 # The opt JSON holds one entry per optimization level with ns/op over the
 # whole corpus (SSA round-trips, verifier gates, and differential execution
@@ -37,11 +44,30 @@ TIME="${BENCH_TIME:-10x}"
 
 run_pipeline() {
 	OUT="${BENCH_OUT:-BENCH_pipeline.json}"
-	RAW="$(go test -run NONE -bench 'BenchmarkPipelineParallel' -benchtime "$TIME" .)"
+	PREV=""
+	if [ -f "$OUT" ]; then
+		PREV="$(cat "$OUT")"
+	fi
+	RAW="$(go test -run NONE -bench 'BenchmarkPipelineParallel|BenchmarkAblationGrid' -benchtime "$TIME" .)"
 	echo "$RAW"
 
-	echo "$RAW" | awk -v out="$OUT" -v benchtime="$TIME" '
-	BEGIN     { n = 0 }
+	printf '%s\n===RAW===\n%s\n' "$PREV" "$RAW" | awk -v out="$OUT" -v benchtime="$TIME" '
+	BEGIN     { n = 0; ns = 0; section = "prev"; grid_ns = ""; grid_hit = "" }
+	/^===RAW===$/ { section = "raw"; next }
+	section == "prev" {
+		# Pull "jobs"/"ns_per_op"/"serial_fraction" out of the committed
+		# JSON (one worker count per line by construction below) for the
+		# regression gate. Store-dimension rows also carry "jobs"; their
+		# "mode" field keeps them out of the scheduling baseline.
+		if (!/"mode"/ && match($0, /"jobs": [0-9]+/)) {
+			pj = substr($0, RSTART+8, RLENGTH-8)
+			if (match($0, /"ns_per_op": [0-9.]+/))
+				prev_ns[pj] = substr($0, RSTART+13, RLENGTH-13)
+			if (match($0, /"serial_fraction": [0-9.]+/))
+				prev_sf[pj] = substr($0, RSTART+19, RLENGTH-19)
+		}
+		next
+	}
 	/^cpu:/   { sub(/^cpu: */, ""); cpu = $0 }
 	/^goos:/  { goos = $2 }
 	/^goarch:/{ goarch = $2 }
@@ -51,17 +77,39 @@ run_pipeline() {
 		jobs[n] = tail[1]
 		nsop[n] = $3
 		speedup[n] = "1.0"; serial[n] = ""
-		prep[n] = train[n] = surv[n] = metr[n] = panel[n] = 0
+		prep[n] = optns[n] = train[n] = surv[n] = metr[n] = panel[n] = 0
 		for (i = 4; i < NF; i++) {
 			if ($(i+1) == "x/speedup")       speedup[n] = $i
 			if ($(i+1) == "serial/fraction") serial[n] = $i
 			if ($(i+1) == "ns/prepare")      prep[n] = $i
+			if ($(i+1) == "ns/opt")          optns[n] = $i
 			if ($(i+1) == "ns/train")        train[n] = $i
 			if ($(i+1) == "ns/survey")       surv[n] = $i
 			if ($(i+1) == "ns/metrics")      metr[n] = $i
 			if ($(i+1) == "ns/panel")        panel[n] = $i
 		}
 		n++
+	}
+	/^BenchmarkPipelineParallel\/store=/ {
+		split($1, parts, "/")
+		split(parts[2], kv, "=")
+		mode[ns] = kv[2]
+		split(parts[3], jv, "=")
+		split(jv[2], tail, "-")
+		sjobs[ns] = tail[1]
+		snsop[ns] = $3
+		shit[ns] = "null"; sspeed[ns] = "null"
+		for (i = 4; i < NF; i++) {
+			if ($(i+1) == "hit/rate")  shit[ns] = $i
+			if ($(i+1) == "x/speedup") sspeed[ns] = $i
+		}
+		ns++
+	}
+	/^BenchmarkAblationGrid/ {
+		grid_ns = $3
+		for (i = 4; i < NF; i++) {
+			if ($(i+1) == "hit/rate") grid_hit = $i
+		}
 	}
 	END {
 		if (n == 0) { print "bench.sh: no benchmark results parsed" > "/dev/stderr"; exit 1 }
@@ -75,10 +123,33 @@ run_pipeline() {
 		for (i = 0; i < n; i++) {
 			comma = (i < n-1) ? "," : ""
 			sf = (serial[i] == "") ? "null" : serial[i]
-			printf "    {\"jobs\": %s, \"ns_per_op\": %s, \"speedup\": %s, \"serial_fraction\": %s, \"per_stage_ns\": {\"prepare\": %s, \"train\": %s, \"survey\": %s, \"metrics\": %s, \"panel\": %s}}%s\n", \
-				jobs[i], nsop[i], speedup[i], sf, prep[i], train[i], surv[i], metr[i], panel[i], comma >> out
+			printf "    {\"jobs\": %s, \"ns_per_op\": %s, \"speedup\": %s, \"serial_fraction\": %s, \"per_stage_ns\": {\"prepare\": %s, \"opt\": %s, \"train\": %s, \"survey\": %s, \"metrics\": %s, \"panel\": %s}}%s\n", \
+				jobs[i], nsop[i], speedup[i], sf, prep[i], optns[i], train[i], surv[i], metr[i], panel[i], comma >> out
+			# Regression gate against the committed file; warn, do not
+			# fail, on >10% ns/op regression or a rising serial fraction.
+			j = jobs[i]
+			if (j in prev_ns) {
+				delta = (nsop[i] - prev_ns[j]) / prev_ns[j] * 100
+				printf "bench.sh: jobs=%-2s %12s ns/op (committed %12s, %+.1f%%)\n", j, nsop[i], prev_ns[j], delta
+				if (delta > 10)
+					printf "bench.sh: WARNING: jobs=%s ns/op regressed %.1f%% vs committed results\n", j, delta
+			}
+			if ((j in prev_sf) && serial[i] != "" && serial[i] + 0 > prev_sf[j] + 0.02)
+				printf "bench.sh: WARNING: jobs=%s serial fraction rose to %s (committed %s)\n", j, serial[i], prev_sf[j]
 		}
-		printf "  ]\n}\n" >> out
+		printf "  ],\n" >> out
+		printf "  \"store\": [\n" >> out
+		for (i = 0; i < ns; i++) {
+			comma = (i < ns-1) ? "," : ""
+			printf "    {\"mode\": \"%s\", \"jobs\": %s, \"ns_per_op\": %s, \"hit_rate\": %s, \"speedup_vs_cold\": %s}%s\n", \
+				mode[i], sjobs[i], snsop[i], shit[i], sspeed[i], comma >> out
+		}
+		printf "  ],\n" >> out
+		gn = (grid_ns == "") ? "null" : grid_ns
+		gh = (grid_hit == "") ? "null" : grid_hit
+		printf "  \"ablation_grid_ns\": %s,\n", gn >> out
+		printf "  \"ablation_grid_hit_rate\": %s\n", gh >> out
+		printf "}\n" >> out
 	}
 	'
 	echo "bench.sh: wrote $OUT"

@@ -17,9 +17,59 @@
 # (delays never change output bytes), every /debug endpoint is scraped
 # mid-run and must answer 200 with a parseable payload, and the run's
 # stdout must hash identical to a clean run's.
+#
+# `check.sh store` instead runs only the model-store gate: the store's
+# single-flight/disk/fault tests plus the streaming determinism matrix and
+# model marshal round-trips under the race detector, then a studysim
+# identity sweep proving a cold disk cache, a warm reuse of the same
+# cache, -no-model-cache, -no-stream, and jobs 1 vs 8 all hash identical
+# to the flagless run. The sweep also runs as part of the default gate.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+# store_identity_sweep builds studysim once and proves the model store and
+# the streaming DAG never change output bytes: every flag combination must
+# hash identical to the flagless seed-26 run, and the cold cache run must
+# actually have persisted both models to disk.
+store_identity_sweep() {
+	sweep_tmp="$(mktemp -d)"
+	go build -o "$sweep_tmp/studysim" ./cmd/studysim
+	cache="$sweep_tmp/cache"
+	mkdir -p "$cache"
+
+	base="$("$sweep_tmp/studysim" -seed 26 2>/dev/null | sha256sum | cut -d' ' -f1)"
+	echo "   baseline                         $base"
+	# The first -model-cache run is cold (populates the dir); every later
+	# one reuses it warm.
+	for args in \
+		'-jobs 8' \
+		"-model-cache $cache" \
+		"-model-cache $cache -jobs 8" \
+		'-no-model-cache' \
+		'-no-stream' \
+		'-no-stream -jobs 8' \
+		"-no-stream -model-cache $cache"; do
+		# shellcheck disable=SC2086 # args is a deliberate word list
+		got="$("$sweep_tmp/studysim" -seed 26 $args 2>/dev/null | sha256sum | cut -d' ' -f1)"
+		if [ "$got" != "$base" ]; then
+			echo "store: output diverged with '$args':"
+			echo "  flagless: $base"
+			echo "  $args: $got"
+			rm -rf "$sweep_tmp"
+			exit 1
+		fi
+		echo "   ok   $args"
+	done
+	models="$(find "$cache" -name '*.model' | wc -l)"
+	if [ "$models" -ne 2 ]; then
+		echo "store: cache dir holds $models persisted models after the sweep, want 2 (embed + namerec)"
+		rm -rf "$sweep_tmp"
+		exit 1
+	fi
+	echo "   cache dir persisted both models"
+	rm -rf "$sweep_tmp"
+}
 
 if [ "${1:-}" = "chaos" ]; then
 	echo "== chaos (fault-plan sweep + error-path contracts, -race)"
@@ -57,6 +107,18 @@ if [ "${1:-}" = "opt" ]; then
 		echo "opt: -opt 0 changed studysim output ($a vs $b)"
 		exit 1
 	fi
+	echo "OK"
+	exit 0
+fi
+
+if [ "${1:-}" = "store" ]; then
+	echo "== store (model store + streaming determinism, -race)"
+	go test -race -count=1 ./internal/modelstore/
+	go test -race -count=1 -run 'Streaming|Marshal|Task' \
+		./internal/core/ ./internal/embed/ ./internal/namerec/ ./internal/par/
+
+	echo "-- studysim: cold/warm cache, -no-stream, jobs must be byte-identical"
+	store_identity_sweep
 	echo "OK"
 	exit 0
 fi
@@ -176,6 +238,9 @@ echo "== go test -race"
 # metrics, experiments); the race detector is part of the gate so a lazy
 # init or shared-slice write can't land.
 go test -race ./...
+
+echo "== model store identity"
+store_identity_sweep
 
 # Opt-in benchmark run: RUN_BENCH=1 ./scripts/check.sh additionally
 # records the parallel-pipeline measurements in BENCH_pipeline.json.

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint fmt-check check chaos debug-smoke opt-check store-check bench bench-pipeline bench-kernels bench-opt bench-smoke clean
+.PHONY: all build test race vet lint fmt-check check chaos debug-smoke opt-check store-check serve-check bench bench-pipeline bench-kernels bench-opt bench-serve bench-smoke clean
 
 all: build test
 
@@ -62,6 +62,14 @@ opt-check:
 store-check:
 	./scripts/check.sh store
 
+# The serving gate: the serve package's batcher/admission/e2e suites and
+# the modelstore storm test under -race, then a live smoke — served on an
+# ephemeral port, a zero-error loadgen run over every endpoint, the
+# serve.request series on /debug/metrics, /v1/study byte-identical to the
+# studysim CLI at seed 26, and a clean SIGTERM drain.
+serve-check:
+	./scripts/check.sh serve
+
 # Measure the parallel pipeline at jobs=1,2,4,8 and record ns/op plus the
 # speedup over the sequential baseline, the per-stage breakdown, and the
 # Amdahl serial-fraction estimate in BENCH_pipeline.json.
@@ -88,6 +96,15 @@ bench-kernels:
 # BENCH_opt.json.
 bench-opt:
 	./scripts/bench.sh opt
+
+# Measure decompilation-as-a-service: served is booted twice on ephemeral
+# ports — batched and -no-batch at the same worker count — and loadgen
+# replays the same closed-loop mix against each. Records both full reports
+# plus the batched-over-unbatched throughput ratio and p50/p90/p99 in
+# BENCH_serve.json, warning on a >10% batched-p99 regression vs the
+# committed file.
+bench-serve:
+	./scripts/bench.sh serve
 
 # One iteration of every benchmark — catches bit-rot in the bench suite
 # without the cost of a real measurement run.

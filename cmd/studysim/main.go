@@ -57,66 +57,12 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-// artifactEntry is one -artifact choice. Keeping the registry ordered means
-// the unknown-artifact error can list every valid name.
-type artifactEntry struct {
-	name string
-	fn   func(r *experiments.Runner, seed int64) (string, error)
-}
-
-var artifactRegistry = []artifactEntry{
-	{"table1", func(r *experiments.Runner, _ int64) (string, error) { return r.TableI() }},
-	{"table2", func(r *experiments.Runner, _ int64) (string, error) { return r.TableII() }},
-	{"table3", func(r *experiments.Runner, _ int64) (string, error) { return r.TableIII() }},
-	{"table4", func(r *experiments.Runner, _ int64) (string, error) { return r.TableIV() }},
-	{"fig1", func(r *experiments.Runner, _ int64) (string, error) { return r.Figure1() }},
-	{"fig2", func(r *experiments.Runner, _ int64) (string, error) { return r.Figure2() }},
-	{"fig3", func(r *experiments.Runner, _ int64) (string, error) { return r.Figure3() }},
-	{"fig4", func(r *experiments.Runner, _ int64) (string, error) { return r.Figure4() }},
-	{"fig5", func(r *experiments.Runner, _ int64) (string, error) { return r.Figure5() }},
-	{"fig6", func(r *experiments.Runner, _ int64) (string, error) { return r.Figure6() }},
-	{"fig7", func(r *experiments.Runner, _ int64) (string, error) { return r.Figure7() }},
-	{"fig8", func(r *experiments.Runner, _ int64) (string, error) { return r.Figure8() }},
-	{"intext", func(r *experiments.Runner, _ int64) (string, error) { return r.InTextStats() }},
-	{"metrics", func(r *experiments.Runner, _ int64) (string, error) { return r.MetricReportTable(), nil }},
-	{"complexity", func(r *experiments.Runner, _ int64) (string, error) { return r.ComplexityReport() }},
-	{"ablations", func(r *experiments.Runner, seed int64) (string, error) {
-		out, _, err := r.Ablations(seed)
-		return out, err
-	}},
-	{"confound", func(_ *experiments.Runner, _ int64) (string, error) {
-		return experiments.ConfoundComparison()
-	}},
-	{"optlevels", func(r *experiments.Runner, seed int64) (string, error) {
-		out, _, err := r.OptLevels(seed)
-		return out, err
-	}},
-	{"telemetry", func(r *experiments.Runner, _ int64) (string, error) { return r.TelemetryReport() }},
-}
-
-func artifactNames() string {
-	names := make([]string, len(artifactRegistry))
-	for i, e := range artifactRegistry {
-		names[i] = e.name
-	}
-	return strings.Join(names, ", ")
-}
-
-func lookupArtifact(name string) (artifactEntry, bool) {
-	for _, e := range artifactRegistry {
-		if e.name == name {
-			return e, true
-		}
-	}
-	return artifactEntry{}, false
-}
-
 func run(args []string, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("studysim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	seed := fs.Int64("seed", 0, "simulation seed (0 = shipped default)")
 	jobs := fs.Int("jobs", runtime.GOMAXPROCS(0), "worker count for pipeline fan-outs (results are identical at any value)")
-	artifact := fs.String("artifact", "", "single artifact to render ("+artifactNames()+")")
+	artifact := fs.String("artifact", "", "single artifact to render ("+experiments.ArtifactNames()+")")
 	csv := fs.Bool("csv", false, "dump the anonymized response dataset as CSV")
 	optLevel := fs.Int("opt", 0, "optimization level snippets are prepared at (0, 1, or 2; 0 keeps output byte-identical)")
 	export := fs.String("export", "", "write the replication package (CSV + JSON) to this directory")
@@ -145,12 +91,12 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	// Validate -artifact before the (expensive) pipeline runs so typos fail
 	// fast with the full menu.
 	name := strings.ToLower(*artifact)
-	var entry artifactEntry
+	var entry experiments.Artifact
 	if name != "" {
 		var ok bool
-		entry, ok = lookupArtifact(name)
+		entry, ok = experiments.LookupArtifact(name)
 		if !ok {
-			fmt.Fprintf(stderr, "studysim: unknown artifact %q\nvalid artifacts: %s\n", *artifact, artifactNames())
+			fmt.Fprintf(stderr, "studysim: unknown artifact %q\nvalid artifacts: %s\n", *artifact, experiments.ArtifactNames())
 			return 2
 		}
 	}
@@ -284,7 +230,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	if name == "" {
 		out, err = r.All()
 	} else {
-		out, err = entry.fn(r, *seed)
+		out, err = entry.Render(r, *seed)
 	}
 	if err != nil {
 		fmt.Fprintf(stderr, "studysim: %v\n", err)

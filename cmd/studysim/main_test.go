@@ -5,6 +5,8 @@ import (
 	"os"
 	"strings"
 	"testing"
+
+	"decompstudy/internal/experiments"
 )
 
 func TestUnknownArtifactListsValidNames(t *testing.T) {
@@ -18,9 +20,9 @@ func TestUnknownArtifactListsValidNames(t *testing.T) {
 		t.Errorf("stderr missing unknown-artifact notice: %q", msg)
 	}
 	// The error must enumerate every registered artifact.
-	for _, e := range artifactRegistry {
-		if !strings.Contains(msg, e.name) {
-			t.Errorf("stderr missing valid artifact %q: %q", e.name, msg)
+	for _, name := range strings.Split(experiments.ArtifactNames(), ", ") {
+		if !strings.Contains(msg, name) {
+			t.Errorf("stderr missing valid artifact %q: %q", name, msg)
 		}
 	}
 	if stdout.Len() != 0 {
@@ -84,12 +86,16 @@ func TestArtifactRegistryCoversDocumentedNames(t *testing.T) {
 		"intext", "metrics", "complexity", "ablations", "confound",
 		"optlevels", "telemetry",
 	}
-	if len(artifactRegistry) != len(want) {
-		t.Fatalf("registry has %d entries, want %d", len(artifactRegistry), len(want))
+	got := strings.Split(experiments.ArtifactNames(), ", ")
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(got), len(want))
 	}
 	for i, name := range want {
-		if artifactRegistry[i].name != name {
-			t.Errorf("registry[%d] = %q, want %q", i, artifactRegistry[i].name, name)
+		if got[i] != name {
+			t.Errorf("registry[%d] = %q, want %q", i, got[i], name)
+		}
+		if _, ok := experiments.LookupArtifact(name); !ok {
+			t.Errorf("LookupArtifact(%q) not found", name)
 		}
 	}
 }

@@ -1,0 +1,64 @@
+package experiments
+
+import "strings"
+
+// Artifact is one named, individually renderable output of the study — a
+// table, figure, or report. The registry is the single menu shared by the
+// studysim CLI's -artifact flag and the served /v1/study endpoint, so both
+// surfaces render byte-identical text for the same name and seed.
+type Artifact struct {
+	Name string
+	// Render produces the artifact. seed is only consulted by artifacts
+	// that launch extra pipeline runs (ablations, optlevels).
+	Render func(r *Runner, seed int64) (string, error)
+}
+
+var artifactRegistry = []Artifact{
+	{"table1", func(r *Runner, _ int64) (string, error) { return r.TableI() }},
+	{"table2", func(r *Runner, _ int64) (string, error) { return r.TableII() }},
+	{"table3", func(r *Runner, _ int64) (string, error) { return r.TableIII() }},
+	{"table4", func(r *Runner, _ int64) (string, error) { return r.TableIV() }},
+	{"fig1", func(r *Runner, _ int64) (string, error) { return r.Figure1() }},
+	{"fig2", func(r *Runner, _ int64) (string, error) { return r.Figure2() }},
+	{"fig3", func(r *Runner, _ int64) (string, error) { return r.Figure3() }},
+	{"fig4", func(r *Runner, _ int64) (string, error) { return r.Figure4() }},
+	{"fig5", func(r *Runner, _ int64) (string, error) { return r.Figure5() }},
+	{"fig6", func(r *Runner, _ int64) (string, error) { return r.Figure6() }},
+	{"fig7", func(r *Runner, _ int64) (string, error) { return r.Figure7() }},
+	{"fig8", func(r *Runner, _ int64) (string, error) { return r.Figure8() }},
+	{"intext", func(r *Runner, _ int64) (string, error) { return r.InTextStats() }},
+	{"metrics", func(r *Runner, _ int64) (string, error) { return r.MetricReportTable(), nil }},
+	{"complexity", func(r *Runner, _ int64) (string, error) { return r.ComplexityReport() }},
+	{"ablations", func(r *Runner, seed int64) (string, error) {
+		out, _, err := r.Ablations(seed)
+		return out, err
+	}},
+	{"confound", func(_ *Runner, _ int64) (string, error) {
+		return ConfoundComparison()
+	}},
+	{"optlevels", func(r *Runner, seed int64) (string, error) {
+		out, _, err := r.OptLevels(seed)
+		return out, err
+	}},
+	{"telemetry", func(r *Runner, _ int64) (string, error) { return r.TelemetryReport() }},
+}
+
+// ArtifactNames lists every registered artifact name, comma-separated and
+// in paper order — the menu shown by flag help and error messages.
+func ArtifactNames() string {
+	names := make([]string, len(artifactRegistry))
+	for i, e := range artifactRegistry {
+		names[i] = e.Name
+	}
+	return strings.Join(names, ", ")
+}
+
+// LookupArtifact resolves a (lower-cased) artifact name.
+func LookupArtifact(name string) (Artifact, bool) {
+	for _, e := range artifactRegistry {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Artifact{}, false
+}

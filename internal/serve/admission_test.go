@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestLimiterAdmitsUpToConcurrency(t *testing.T) {
+	ctx := context.Background()
+	l := NewLimiter("t", 2, 4)
+	if err := l.Acquire(ctx); err != nil {
+		t.Fatalf("first Acquire: %v", err)
+	}
+	if err := l.Acquire(ctx); err != nil {
+		t.Fatalf("second Acquire: %v", err)
+	}
+	if got := l.InFlight(); got != 2 {
+		t.Fatalf("InFlight = %d, want 2", got)
+	}
+	l.Release()
+	l.Release()
+	if got := l.InFlight(); got != 0 {
+		t.Fatalf("InFlight after release = %d, want 0", got)
+	}
+}
+
+func TestLimiterRejectsBeyondQueue(t *testing.T) {
+	ctx := context.Background()
+	l := NewLimiter("t", 1, 0)
+	if err := l.Acquire(ctx); err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	defer l.Release()
+	// Zero queue: a second caller is rejected immediately, never blocked.
+	if err := l.Acquire(ctx); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("Acquire = %v, want ErrSaturated", err)
+	}
+}
+
+func TestLimiterCancelWhileQueued(t *testing.T) {
+	l := NewLimiter("t", 1, 1)
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	defer l.Release()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := l.Acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued Acquire = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestLimiterReleaseAdmitsQueuedWaiter(t *testing.T) {
+	l := NewLimiter("t", 1, 1)
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	admitted := make(chan error, 1)
+	go func() {
+		admitted <- l.Acquire(context.Background())
+	}()
+	// Give the waiter time to enter the queue, then free the slot.
+	time.Sleep(10 * time.Millisecond)
+	l.Release()
+	select {
+	case err := <-admitted:
+		if err != nil {
+			t.Fatalf("queued Acquire = %v, want nil", err)
+		}
+		l.Release()
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued waiter never admitted after Release")
+	}
+}

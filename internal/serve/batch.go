@@ -1,0 +1,253 @@
+// Package serve is the decompilation-as-a-service layer: an HTTP JSON API
+// in front of the study pipeline where trained models are loaded once and
+// amortized across thousands of requests. The performance core is a
+// request batcher that coalesces concurrent work into bounded batches
+// (flushed by size or latency, identical requests computed once per
+// flush), fronted by per-endpoint admission control (bounded queue, 503
+// with Retry-After on saturation) so overload degrades into fast
+// rejections instead of collapse.
+//
+// The package is transport-complete but process-agnostic: cmd/served wires
+// it to a listener and signals, the httptest suite drives it in-process,
+// and cmd/loadgen measures it from outside.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"decompstudy/internal/obs"
+)
+
+// ErrSaturated is returned when an endpoint's bounded queue is full — the
+// HTTP layer maps it to 503 with a Retry-After header. Load sheds at the
+// door, never by queuing without bound.
+var ErrSaturated = errors.New("serve: saturated, retry later")
+
+// ErrDraining is returned once shutdown has begun; the HTTP layer also
+// maps it to 503 so a load balancer retries against another instance.
+var ErrDraining = errors.New("serve: draining")
+
+// pending is one submitted work item waiting for its result.
+type pending[T, R any] struct {
+	// ctx is the item's processing context: server-lifetime cancellation
+	// with request-scoped values (fault injector, item key) attached. It
+	// is deliberately NOT the HTTP request context — a client disconnect
+	// must never cancel a computation shared with co-batched waiters.
+	ctx  context.Context
+	key  string
+	item T
+	done chan result[R]
+}
+
+type result[R any] struct {
+	val R
+	err error
+}
+
+// Process computes one flushed batch. items holds one entry per distinct
+// coalescing key (first-submitted order); ctxs[i] is the context of the
+// first request that submitted items[i]. It returns a result or error per
+// item, in order — par.MapAll's shape, so processors fan out directly.
+type Process[T, R any] func(ctx context.Context, items []T, ctxs []context.Context) ([]R, []error)
+
+// Batcher coalesces concurrent submissions into size/latency-bounded
+// batches. Submissions carrying the same key are computed once per flush
+// and the result fanned out to every waiter — the serving-time analog of
+// the model store's single-flight training. A zero key disables
+// coalescing for that item.
+//
+// One goroutine collects and flushes; parallelism lives inside Process
+// (par.MapAll over the unique items), so the worker budget is identical
+// to per-request serving at equal -jobs — what batching buys is fewer
+// computations (dedup) and per-flush rather than per-request overhead.
+type Batcher[T, R any] struct {
+	name     string
+	maxBatch int
+	maxDelay time.Duration
+	process  Process[T, R]
+	base     context.Context
+
+	queue chan *pending[T, R]
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewBatcher starts a batcher flushing at maxBatch items or maxDelay after
+// the first queued item, whichever comes first. queueDepth bounds the
+// submission backlog: a full queue rejects with ErrSaturated. base is the
+// server-lifetime context processing runs under (request cancellation
+// never kills a shared computation); its obs handle records the batch
+// telemetry.
+func NewBatcher[T, R any](base context.Context, name string, maxBatch, queueDepth int, maxDelay time.Duration, process Process[T, R]) *Batcher[T, R] {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	if queueDepth < 1 {
+		queueDepth = 1
+	}
+	if maxDelay <= 0 {
+		maxDelay = 2 * time.Millisecond
+	}
+	b := &Batcher[T, R]{
+		name:     name,
+		maxBatch: maxBatch,
+		maxDelay: maxDelay,
+		process:  process,
+		base:     base,
+		queue:    make(chan *pending[T, R], queueDepth),
+	}
+	b.wg.Add(1)
+	go b.run()
+	return b
+}
+
+// Submit enqueues one item and blocks for its result. waitCtx bounds the
+// caller's wait (the HTTP request context: cancellation abandons the wait,
+// the shared computation finishes for any co-waiters). procCtx is the
+// context the item is processed under — derive it from the server-lifetime
+// context, attaching request-scoped values like a fault injector. key is
+// the coalescing identity: concurrent submissions with equal keys share
+// one computation ("" = never coalesce). A full queue fails fast with
+// ErrSaturated; a closed batcher with ErrDraining.
+func (b *Batcher[T, R]) Submit(waitCtx, procCtx context.Context, key string, item T) (R, error) {
+	var zero R
+	p := &pending[T, R]{ctx: procCtx, key: key, item: item, done: make(chan result[R], 1)}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return zero, ErrDraining
+	}
+	select {
+	case b.queue <- p:
+		b.mu.Unlock()
+	default:
+		b.mu.Unlock()
+		obs.AddCountL(b.base, "serve.batch.rejected", 1, obs.L("batcher", b.name))
+		return zero, ErrSaturated
+	}
+	select {
+	case r := <-p.done:
+		return r.val, r.err
+	case <-waitCtx.Done():
+		return zero, waitCtx.Err()
+	}
+}
+
+// Close drains the batcher: no new submissions are accepted, everything
+// already queued is flushed and answered, and the collector goroutine
+// exits. Safe to call more than once.
+func (b *Batcher[T, R]) Close() {
+	b.mu.Lock()
+	if !b.closed {
+		b.closed = true
+		close(b.queue)
+	}
+	b.mu.Unlock()
+	b.wg.Wait()
+}
+
+// run is the collector loop: wait for a first item, gather until the batch
+// fills or the delay elapses, flush, repeat. A closed queue still yields
+// its buffered items, so draining flushes the backlog before exit.
+func (b *Batcher[T, R]) run() {
+	defer b.wg.Done()
+	for {
+		p, ok := <-b.queue
+		if !ok {
+			return
+		}
+		batch := []*pending[T, R]{p}
+		reason := "drain"
+		timer := time.NewTimer(b.maxDelay)
+	collect:
+		for len(batch) < b.maxBatch {
+			select {
+			case q, ok := <-b.queue:
+				if !ok {
+					break collect
+				}
+				batch = append(batch, q)
+			case <-timer.C:
+				reason = "timer"
+				break collect
+			}
+		}
+		timer.Stop()
+		if len(batch) >= b.maxBatch {
+			reason = "size"
+		}
+		b.flush(batch, reason)
+	}
+}
+
+// flush groups the batch by coalescing key (first-seen order, so results
+// are deterministic for a fixed arrival order), runs Process once over the
+// unique items, and fans each group's result out to all its waiters.
+func (b *Batcher[T, R]) flush(batch []*pending[T, R], reason string) {
+	var (
+		items  []T
+		ctxs   []context.Context
+		groups [][]*pending[T, R]
+		index  = map[string]int{}
+	)
+	for _, p := range batch {
+		if p.key != "" {
+			if gi, ok := index[p.key]; ok {
+				groups[gi] = append(groups[gi], p)
+				continue
+			}
+			index[p.key] = len(items)
+		}
+		items = append(items, p.item)
+		ctxs = append(ctxs, p.ctx)
+		groups = append(groups, []*pending[T, R]{p})
+	}
+
+	obs.ObserveL(b.base, "serve.batch.size", float64(len(batch)), obs.L("batcher", b.name))
+	obs.AddCountL(b.base, "serve.batch.flushes", 1, obs.L("batcher", b.name), obs.L("reason", reason))
+	obs.AddCountL(b.base, "serve.batch.items", int64(len(batch)), obs.L("batcher", b.name))
+	obs.AddCountL(b.base, "serve.batch.coalesced", int64(len(batch)-len(items)), obs.L("batcher", b.name))
+
+	vals, errs := b.runProcess(items, ctxs)
+	for gi, group := range groups {
+		r := result[R]{err: errs[gi]}
+		if r.err == nil {
+			r.val = vals[gi]
+		}
+		for _, p := range group {
+			p.done <- r // buffered; never blocks on an abandoned waiter
+		}
+	}
+}
+
+// runProcess guards the processor: a panic fails every item of the flush
+// with an error carrying the stack instead of killing the collector.
+func (b *Batcher[T, R]) runProcess(items []T, ctxs []context.Context) (vals []R, errs []error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err := fmt.Errorf("serve: batch processor panic: %v\n%s", r, debug.Stack())
+			vals = make([]R, len(items))
+			errs = make([]error, len(items))
+			for i := range errs {
+				errs[i] = err
+			}
+		}
+	}()
+	vals, errs = b.process(b.base, items, ctxs)
+	if len(vals) != len(items) || len(errs) != len(items) {
+		err := fmt.Errorf("serve: batch processor returned %d/%d results for %d items", len(vals), len(errs), len(items))
+		vals = make([]R, len(items))
+		errs = make([]error, len(items))
+		for i := range errs {
+			errs[i] = err
+		}
+	}
+	return vals, errs
+}

@@ -1,0 +1,309 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// countingProcess records every flush it receives and returns item+1 for
+// each input.
+type countingProcess struct {
+	mu      sync.Mutex
+	flushes [][]int
+	block   chan struct{} // non-nil: processing waits here after signaling started
+	started chan struct{}
+}
+
+func (p *countingProcess) fn(_ context.Context, items []int, _ []context.Context) ([]int, []error) {
+	if p.started != nil {
+		p.started <- struct{}{}
+	}
+	if p.block != nil {
+		<-p.block
+	}
+	p.mu.Lock()
+	cp := make([]int, len(items))
+	copy(cp, items)
+	p.flushes = append(p.flushes, cp)
+	p.mu.Unlock()
+	out := make([]int, len(items))
+	errs := make([]error, len(items))
+	for i, it := range items {
+		out[i] = it + 1
+	}
+	return out, errs
+}
+
+func (p *countingProcess) flushCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.flushes)
+}
+
+func TestBatcherCoalescesDuplicateKeys(t *testing.T) {
+	ctx := context.Background()
+	p := &countingProcess{}
+	b := NewBatcher(ctx, "t", 64, 64, 50*time.Millisecond, p.fn)
+	defer b.Close()
+
+	const waiters = 8
+	var wg sync.WaitGroup
+	results := make([]int, waiters)
+	errs := make([]error, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = b.Submit(ctx, ctx, "same", 41)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < waiters; i++ {
+		if errs[i] != nil {
+			t.Fatalf("waiter %d: %v", i, errs[i])
+		}
+		if results[i] != 42 {
+			t.Fatalf("waiter %d = %d, want 42", i, results[i])
+		}
+	}
+	// All 8 coalesced: every flush that ran carried exactly one unique item.
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	total := 0
+	for _, f := range p.flushes {
+		if len(f) != 1 {
+			t.Fatalf("flush carried %d unique items, want 1 (all keys equal)", len(f))
+		}
+		total += len(f)
+	}
+	if total >= waiters {
+		t.Fatalf("processed %d items for %d identical submissions — no coalescing", total, waiters)
+	}
+}
+
+func TestBatcherDistinctKeysAllProcessed(t *testing.T) {
+	ctx := context.Background()
+	p := &countingProcess{}
+	b := NewBatcher(ctx, "t", 64, 64, 20*time.Millisecond, p.fn)
+	defer b.Close()
+
+	const n = 6
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got, err := b.Submit(ctx, ctx, fmt.Sprintf("k%d", i), i)
+			if err != nil {
+				t.Errorf("submit %d: %v", i, err)
+			} else if got != i+1 {
+				t.Errorf("submit %d = %d, want %d", i, got, i+1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	p.mu.Lock()
+	total := 0
+	for _, f := range p.flushes {
+		total += len(f)
+	}
+	p.mu.Unlock()
+	if total != n {
+		t.Fatalf("processed %d items, want %d (distinct keys never coalesce)", total, n)
+	}
+}
+
+func TestBatcherEmptyKeyNeverCoalesces(t *testing.T) {
+	ctx := context.Background()
+	p := &countingProcess{}
+	b := NewBatcher(ctx, "t", 64, 64, 20*time.Millisecond, p.fn)
+	defer b.Close()
+
+	const n = 4
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := b.Submit(ctx, ctx, "", 7); err != nil {
+				t.Errorf("submit: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	p.mu.Lock()
+	total := 0
+	for _, f := range p.flushes {
+		total += len(f)
+	}
+	p.mu.Unlock()
+	if total != n {
+		t.Fatalf("processed %d items, want %d (empty keys are unique)", total, n)
+	}
+}
+
+func TestBatcherFlushBySizeDoesNotWaitForTimer(t *testing.T) {
+	ctx := context.Background()
+	p := &countingProcess{}
+	// Huge delay: only the size bound can flush within the test deadline.
+	b := NewBatcher(ctx, "t", 2, 64, time.Hour, p.fn)
+	defer b.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var wg sync.WaitGroup
+		for i := 0; i < 2; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				b.Submit(ctx, ctx, fmt.Sprintf("k%d", i), i)
+			}(i)
+		}
+		wg.Wait()
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("size-bounded flush never fired")
+	}
+}
+
+func TestBatcherFlushByDelay(t *testing.T) {
+	ctx := context.Background()
+	p := &countingProcess{}
+	// Batch bound far above the submission count: only the timer flushes.
+	b := NewBatcher(ctx, "t", 1000, 64, 10*time.Millisecond, p.fn)
+	defer b.Close()
+	got, err := b.Submit(ctx, ctx, "k", 1)
+	if err != nil || got != 2 {
+		t.Fatalf("Submit = %d, %v; want 2, nil", got, err)
+	}
+}
+
+func TestBatcherSaturationRejectsFast(t *testing.T) {
+	ctx := context.Background()
+	p := &countingProcess{block: make(chan struct{}), started: make(chan struct{}, 16)}
+	b := NewBatcher(ctx, "t", 1, 1, time.Millisecond, p.fn)
+	defer b.Close()
+	defer close(p.block)
+
+	// First submission: collector dequeues it and blocks in processing.
+	go b.Submit(ctx, ctx, "a", 1)
+	<-p.started
+	// The queue's single slot can't drain while processing blocks. Poll
+	// with a short wait timeout: an iteration that wins the empty slot
+	// times out waiting (the item stays queued), and the next one must
+	// bounce off the now-full queue.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		wctx, wcancel := context.WithTimeout(ctx, 5*time.Millisecond)
+		_, err := b.Submit(wctx, ctx, "c", 3)
+		wcancel()
+		if errors.Is(err, ErrSaturated) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("never saturated; last err = %v", err)
+		}
+	}
+}
+
+func TestBatcherCloseDrainsQueued(t *testing.T) {
+	ctx := context.Background()
+	p := &countingProcess{}
+	b := NewBatcher(ctx, "t", 4, 16, 5*time.Millisecond, p.fn)
+
+	var wg sync.WaitGroup
+	var ok atomic.Int64
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := b.Submit(ctx, ctx, fmt.Sprintf("k%d", i), i); err == nil {
+				ok.Add(1)
+			}
+		}(i)
+	}
+	// Close concurrently: everything already queued must still be answered.
+	time.Sleep(time.Millisecond)
+	b.Close()
+	wg.Wait()
+	// Post-close submissions are refused.
+	if _, err := b.Submit(ctx, ctx, "x", 9); !errors.Is(err, ErrDraining) {
+		t.Fatalf("Submit after Close = %v, want ErrDraining", err)
+	}
+	if ok.Load() == 0 {
+		t.Fatal("no queued submission was answered during drain")
+	}
+}
+
+func TestBatcherProcessPanicFailsFlushOnly(t *testing.T) {
+	ctx := context.Background()
+	panicky := func(_ context.Context, items []int, _ []context.Context) ([]int, []error) {
+		if items[0] == 666 {
+			panic("boom")
+		}
+		out := make([]int, len(items))
+		for i, it := range items {
+			out[i] = it + 1
+		}
+		return out, make([]error, len(items))
+	}
+	b := NewBatcher(ctx, "t", 1, 16, time.Millisecond, panicky)
+	defer b.Close()
+
+	if _, err := b.Submit(ctx, ctx, "bad", 666); err == nil || !strings.Contains(err.Error(), "panic") {
+		t.Fatalf("panicking flush err = %v, want panic error", err)
+	}
+	// The collector survived; the next flush works.
+	if got, err := b.Submit(ctx, ctx, "good", 1); err != nil || got != 2 {
+		t.Fatalf("Submit after panic = %d, %v; want 2, nil", got, err)
+	}
+}
+
+func TestBatcherProcessLengthMismatchIsError(t *testing.T) {
+	ctx := context.Background()
+	short := func(_ context.Context, items []int, _ []context.Context) ([]int, []error) {
+		return nil, nil
+	}
+	b := NewBatcher(ctx, "t", 1, 16, time.Millisecond, short)
+	defer b.Close()
+	if _, err := b.Submit(ctx, ctx, "k", 1); err == nil || !strings.Contains(err.Error(), "results") {
+		t.Fatalf("err = %v, want length-mismatch error", err)
+	}
+}
+
+func TestBatcherWaitCtxCancelAbandonsWaitOnly(t *testing.T) {
+	ctx := context.Background()
+	p := &countingProcess{block: make(chan struct{}), started: make(chan struct{}, 16)}
+	b := NewBatcher(ctx, "t", 1, 16, time.Millisecond, p.fn)
+	defer b.Close()
+
+	waitCtx, cancel := context.WithCancel(ctx)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := b.Submit(waitCtx, ctx, "k", 1)
+		errc <- err
+	}()
+	<-p.started
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("Submit after cancel = %v, want context.Canceled", err)
+	}
+	// The computation itself still completes once unblocked.
+	close(p.block)
+	deadline := time.Now().Add(5 * time.Second)
+	for p.flushCount() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("abandoned flush never completed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,672 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"decompstudy/internal/analysis"
+	"decompstudy/internal/compile"
+	"decompstudy/internal/compile/opt"
+	"decompstudy/internal/core"
+	"decompstudy/internal/corpus"
+	"decompstudy/internal/csrc"
+	"decompstudy/internal/decomp"
+	"decompstudy/internal/experiments"
+	"decompstudy/internal/fault"
+	"decompstudy/internal/metrics"
+	"decompstudy/internal/namerec"
+	"decompstudy/internal/obs"
+	"decompstudy/internal/par"
+)
+
+// maxBody bounds request bodies; the largest legitimate payload is a
+// source file, and 1 MiB is orders of magnitude above any study snippet.
+const maxBody = 1 << 20
+
+// ---- middleware ----------------------------------------------------------
+
+// statusWriter records the status code written by a handler so the
+// middleware can label its metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.code, w.wrote = code, true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if !w.wrote {
+		w.code, w.wrote = http.StatusOK, true
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// wrap is the per-endpoint middleware: POST-only, bounded body, a span
+// per request, latency/throughput metrics labeled by endpoint and status,
+// and a recover barrier turning handler panics into 500s instead of
+// connection resets.
+func (s *Server) wrap(name string, fn http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+			return
+		}
+		r.Body = http.MaxBytesReader(w, r.Body, maxBody)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		_, sp := obs.StartSpan(s.base, "serve.request", obs.KV("endpoint", name))
+		defer func() {
+			if rec := recover(); rec != nil {
+				obs.Logger(s.base).Error("handler panic", "endpoint", name, "panic", rec)
+				if !sw.wrote {
+					writeError(sw, http.StatusInternalServerError, fmt.Errorf("internal error"))
+				}
+			}
+			sp.SetAttr("status", strconv.Itoa(sw.code))
+			sp.End()
+			el := obs.L("endpoint", name)
+			obs.ObserveL(s.base, "serve.request.seconds", time.Since(start).Seconds(), el)
+			obs.AddCountL(s.base, "serve.requests", 1, el, obs.L("status", strconv.Itoa(sw.code)))
+		}()
+		fn(sw, r)
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	if code == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// fail maps processing errors to status codes: saturation and draining are
+// 503 (retryable elsewhere), client abandonment gets no body, everything
+// else is a 500 carrying the pipeline error.
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrSaturated) || errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusServiceUnavailable, err)
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+func decode(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("invalid request body: %w", err)
+	}
+	return nil
+}
+
+// requestCtx derives the per-request processing context from the server
+// base: a fresh fault manifest, plus an injector when a chaos plan rides
+// the X-Fault-Plan header. The returned spec is non-empty iff faults are
+// armed — fault-armed work must never coalesce with clean work. The
+// context deliberately does not inherit the HTTP request's cancellation.
+func (s *Server) requestCtx(r *http.Request) (ctx context.Context, faultSpec string, status int, err error) {
+	ctx = fault.WithManifest(s.base, fault.NewManifest())
+	spec := r.Header.Get("X-Fault-Plan")
+	if spec == "" {
+		return ctx, "", 0, nil
+	}
+	if !s.opts.AllowFaultHeader {
+		return nil, "", http.StatusForbidden, fmt.Errorf("X-Fault-Plan is disabled (start served with -allow-fault-header)")
+	}
+	plan, perr := fault.ParsePlan(spec)
+	if perr != nil {
+		return nil, "", http.StatusBadRequest, fmt.Errorf("invalid X-Fault-Plan: %w", perr)
+	}
+	obs.AddCount(s.base, "serve.fault.armed", 1)
+	return fault.With(ctx, fault.NewInjector(plan, fault.DefaultRetryBudget)), spec, 0, nil
+}
+
+func snippetByID(id string) (*corpus.Snippet, error) {
+	sn, ok := corpus.SnippetByID(strings.ToUpper(id))
+	if !ok {
+		return nil, fmt.Errorf("unknown snippet %q (want AEEK, BAPL, POSTORDER, TC)", id)
+	}
+	return sn, nil
+}
+
+func parseOpt(level int) (opt.Level, error) {
+	l, err := opt.ParseLevel(level)
+	if err != nil {
+		return 0, fmt.Errorf("invalid opt level: %w", err)
+	}
+	return l, nil
+}
+
+// ---- health --------------------------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// ---- batched work: annotate + metrics ------------------------------------
+
+// workItem is one unit of batchable work: annotate or score a prepared
+// snippet at an optimization level, under its request's processing
+// context (carried by the batcher, not the item).
+type workItem struct {
+	kind    string // "annotate" | "metrics"
+	snippet *corpus.Snippet
+	level   opt.Level
+}
+
+// coalesceKey is the batch-level identity of an item. Fault-armed
+// requests return "" — injector state is per-request, so their work is
+// never shared.
+func coalesceKey(it workItem, faultSpec string) string {
+	if faultSpec != "" {
+		return ""
+	}
+	return it.kind + "|" + it.snippet.ID + "|" + it.level.String()
+}
+
+// processBatch computes one flush: the unique items fan out over the
+// server's worker budget, each computed single-worker under its own
+// request context — total parallelism equals NoBatch mode at the same
+// Jobs, so measured wins come from coalescing, not extra workers.
+func (s *Server) processBatch(ctx context.Context, items []workItem, ctxs []context.Context) ([]any, []error) {
+	return par.MapAll(ctx, s.opts.Jobs, items, func(_ context.Context, i int, it workItem) (any, error) {
+		return s.computeItem(ctxs[i], it)
+	})
+}
+
+// computeItem runs one annotate/metrics unit end to end: prepare the
+// snippet at the requested level, then either render the annotated arm or
+// evaluate the full metric battery against the warm embedding model.
+func (s *Server) computeItem(ctx context.Context, it workItem) (any, error) {
+	// Single worker inside an item: the fan-out is across items.
+	ctx = par.WithJobs(ctx, 1)
+	p, err := corpus.PrepareOptCtx(ctx, it.snippet, it.level)
+	if err != nil {
+		return nil, err
+	}
+	switch it.kind {
+	case "annotate":
+		return annotateResponseFrom(p), nil
+	case "metrics":
+		return s.metricsResponseFrom(ctx, p)
+	}
+	return nil, fmt.Errorf("serve: unknown work kind %q", it.kind)
+}
+
+// submitWork routes an item through the batcher, or — in NoBatch mode —
+// computes it directly under the work limiter. Both paths produce
+// identical responses; only scheduling differs.
+func (s *Server) submitWork(r *http.Request, procCtx context.Context, key string, it workItem) (any, error) {
+	if s.opts.NoBatch {
+		if err := s.work.Acquire(r.Context()); err != nil {
+			return nil, err
+		}
+		defer s.work.Release()
+		return s.computeItem(procCtx, it)
+	}
+	return s.batch.Submit(r.Context(), procCtx, key, it)
+}
+
+// AnnotateRequest asks for the DIRTY-style annotated arm of a study
+// snippet at an optimization level.
+type AnnotateRequest struct {
+	Snippet string `json:"snippet"`
+	Opt     int    `json:"opt"`
+}
+
+// RenameJSON is one recovered variable in an annotate response.
+type RenameJSON struct {
+	OrigName   string  `json:"orig_name"`
+	OrigType   string  `json:"orig_type"`
+	NewName    string  `json:"new_name"`
+	NewType    string  `json:"new_type"`
+	Confidence float64 `json:"confidence"`
+}
+
+// AnnotateResponse is the annotated pseudo-C plus the rename provenance.
+type AnnotateResponse struct {
+	Snippet string       `json:"snippet"`
+	Opt     string       `json:"opt"`
+	Output  string       `json:"output"`
+	Renames []RenameJSON `json:"renames"`
+}
+
+func annotateResponseFrom(p *corpus.Prepared) *AnnotateResponse {
+	resp := &AnnotateResponse{
+		Snippet: p.Snippet.ID,
+		Opt:     p.OptLevel.String(),
+		Output:  p.Dirty.Source(),
+		Renames: make([]RenameJSON, 0, len(p.Dirty.Renames)),
+	}
+	for _, rn := range p.Dirty.Renames {
+		resp.Renames = append(resp.Renames, RenameJSON{
+			OrigName: rn.OrigName, OrigType: rn.OrigType,
+			NewName: rn.NewName, NewType: rn.NewType,
+			Confidence: rn.Confidence,
+		})
+	}
+	return resp
+}
+
+func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
+	var req AnnotateRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sn, err := snippetByID(req.Snippet)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	level, err := parseOpt(req.Opt)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	procCtx, spec, status, err := s.requestCtx(r)
+	if err != nil {
+		writeError(w, status, err)
+		return
+	}
+	it := workItem{kind: "annotate", snippet: sn, level: level}
+	out, err := s.submitWork(r, procCtx, coalesceKey(it, spec), it)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// MetricsRequest asks for the intrinsic metric battery of a snippet's
+// recovered names against ground truth.
+type MetricsRequest struct {
+	Snippet string `json:"snippet"`
+	Opt     int    `json:"opt"`
+}
+
+// MetricsReport mirrors metrics.Report with wire-stable field names.
+type MetricsReport struct {
+	ExactMatch    float64 `json:"exact_match"`
+	Levenshtein   float64 `json:"levenshtein"`
+	NormalizedLev float64 `json:"normalized_levenshtein"`
+	Jaccard       float64 `json:"jaccard"`
+	BLEU          float64 `json:"bleu"`
+	CodeBLEU      float64 `json:"code_bleu"`
+	BERTScoreF1   float64 `json:"bertscore_f1"`
+	VarCLR        float64 `json:"varclr"`
+}
+
+// MetricsResponse is the metric battery plus the structural-complexity
+// covariates of the snippet's IR.
+type MetricsResponse struct {
+	Snippet    string              `json:"snippet"`
+	Opt        string              `json:"opt"`
+	Pairs      int                 `json:"pairs"`
+	Report     MetricsReport       `json:"report"`
+	Covariates analysis.Covariates `json:"covariates"`
+}
+
+func (s *Server) metricsResponseFrom(ctx context.Context, p *corpus.Prepared) (*MetricsResponse, error) {
+	pairs := make([]metrics.Pair, 0, len(p.Dirty.Renames))
+	for _, rn := range p.Dirty.Renames {
+		pairs = append(pairs, metrics.Pair{Candidate: rn.NewName, Reference: rn.OrigName})
+	}
+	rep, err := metrics.EvaluateCtx(fault.WithKey(ctx, p.Snippet.ID), pairs, p.Dirty.Source(), p.OrigSource, s.embedModel)
+	if err != nil {
+		return nil, err
+	}
+	cov := analysis.MeasureCtx(ctx, p.IR)
+	return &MetricsResponse{
+		Snippet: p.Snippet.ID,
+		Opt:     p.OptLevel.String(),
+		Pairs:   len(pairs),
+		Report: MetricsReport{
+			ExactMatch:    rep.ExactMatch,
+			Levenshtein:   rep.Levenshtein,
+			NormalizedLev: rep.NormalizedLev,
+			Jaccard:       rep.Jaccard,
+			BLEU:          rep.BLEU,
+			CodeBLEU:      rep.CodeBLEU,
+			BERTScoreF1:   rep.BERTScoreF1,
+			VarCLR:        rep.VarCLR,
+		},
+		Covariates: cov,
+	}, nil
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var req MetricsRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sn, err := snippetByID(req.Snippet)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	level, err := parseOpt(req.Opt)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	procCtx, spec, status, err := s.requestCtx(r)
+	if err != nil {
+		writeError(w, status, err)
+		return
+	}
+	it := workItem{kind: "metrics", snippet: sn, level: level}
+	out, err := s.submitWork(r, procCtx, coalesceKey(it, spec), it)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// ---- decompile -----------------------------------------------------------
+
+// DecompileRequest decompiles either an embedded study snippet or an
+// arbitrary mini-C source. IR dumps the intermediate representation
+// instead of pseudo-C; Annotate applies name recovery (the warm
+// corpus-trained model for sources, the paper-faithful overrides for
+// snippets); Func filters a source's functions by name.
+type DecompileRequest struct {
+	Snippet  string   `json:"snippet,omitempty"`
+	Source   string   `json:"source,omitempty"`
+	Types    []string `json:"types,omitempty"`
+	Opt      int      `json:"opt"`
+	Annotate bool     `json:"annotate"`
+	IR       bool     `json:"ir"`
+	Func     string   `json:"func,omitempty"`
+}
+
+// DecompileResponse carries the rendered output (pseudo-C or IR).
+type DecompileResponse struct {
+	Output string `json:"output"`
+}
+
+func (s *Server) handleDecompile(w http.ResponseWriter, r *http.Request) {
+	var req DecompileRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if (req.Snippet == "") == (req.Source == "") {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("exactly one of snippet or source is required"))
+		return
+	}
+	level, err := parseOpt(req.Opt)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	procCtx, _, status, err := s.requestCtx(r)
+	if err != nil {
+		writeError(w, status, err)
+		return
+	}
+	if err := s.pipeline.Acquire(r.Context()); err != nil {
+		s.fail(w, err)
+		return
+	}
+	defer s.pipeline.Release()
+	ctx := par.WithJobs(procCtx, 1)
+
+	var out string
+	if req.Snippet != "" {
+		out, err = s.decompileSnippet(ctx, req, level)
+	} else {
+		out, err = s.decompileSource(ctx, req, level)
+	}
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, &DecompileResponse{Output: out})
+}
+
+func (s *Server) decompileSnippet(ctx context.Context, req DecompileRequest, level opt.Level) (string, error) {
+	sn, err := snippetByID(req.Snippet)
+	if err != nil {
+		return "", err
+	}
+	p, err := corpus.PrepareOptCtx(ctx, sn, level)
+	if err != nil {
+		return "", err
+	}
+	switch {
+	case req.IR:
+		return p.IR.String(), nil
+	case req.Annotate:
+		return p.Dirty.Source(), nil
+	default:
+		return p.HexRays.Source(), nil
+	}
+}
+
+func (s *Server) decompileSource(ctx context.Context, req DecompileRequest, level opt.Level) (string, error) {
+	file, err := csrc.ParseCtx(ctx, req.Source, req.Types)
+	if err != nil {
+		return "", err
+	}
+	obj, err := compile.CompileCtx(ctx, file)
+	if err != nil {
+		return "", err
+	}
+	if obj, _, err = opt.OptimizeObject(ctx, obj, level); err != nil {
+		return "", err
+	}
+	var annotator *namerec.Annotator
+	if req.Annotate {
+		annotator = &namerec.Annotator{Model: s.recModel}
+	}
+	var sb strings.Builder
+	matched := false
+	for _, fn := range obj.Funcs {
+		if req.Func != "" && fn.Name != req.Func {
+			continue
+		}
+		matched = true
+		if req.IR {
+			fmt.Fprintln(&sb, fn.String())
+			continue
+		}
+		d, err := decomp.LiftFuncCtx(ctx, fn)
+		if err != nil {
+			return "", fmt.Errorf("%s: %w", fn.Name, err)
+		}
+		if annotator != nil {
+			a, err := annotator.AnnotateCtx(ctx, d)
+			if err != nil {
+				return "", fmt.Errorf("%s: %w", fn.Name, err)
+			}
+			fmt.Fprintln(&sb, a.Source())
+			continue
+		}
+		fmt.Fprintln(&sb, d.Source())
+	}
+	if !matched {
+		return "", fmt.Errorf("no function matched %q", req.Func)
+	}
+	return sb.String(), nil
+}
+
+// ---- lint ----------------------------------------------------------------
+
+// LintRequest verifies and lints a snippet or source and measures its
+// structural-complexity covariates.
+type LintRequest struct {
+	Snippet string   `json:"snippet,omitempty"`
+	Source  string   `json:"source,omitempty"`
+	Types   []string `json:"types,omitempty"`
+	Opt     int      `json:"opt"`
+}
+
+// LintResponse is the combined verifier+lint findings plus per-function
+// covariates.
+type LintResponse struct {
+	Diags      []analysis.Diag                `json:"diags"`
+	Covariates map[string]analysis.Covariates `json:"covariates"`
+}
+
+func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
+	var req LintRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if (req.Snippet == "") == (req.Source == "") {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("exactly one of snippet or source is required"))
+		return
+	}
+	level, err := parseOpt(req.Opt)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	procCtx, _, status, err := s.requestCtx(r)
+	if err != nil {
+		writeError(w, status, err)
+		return
+	}
+	if err := s.pipeline.Acquire(r.Context()); err != nil {
+		s.fail(w, err)
+		return
+	}
+	defer s.pipeline.Release()
+	ctx := par.WithJobs(procCtx, 1)
+
+	source, types := req.Source, req.Types
+	if req.Snippet != "" {
+		sn, err := snippetByID(req.Snippet)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		source, types = sn.Source, sn.ExtraTypes
+	}
+	file, err := csrc.ParseCtx(ctx, source, types)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	obj, err := compile.CompileCtx(ctx, file)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	if obj, _, err = opt.OptimizeObject(ctx, obj, level); err != nil {
+		s.fail(w, err)
+		return
+	}
+	diags := analysis.CheckObject(ctx, obj)
+	if diags == nil {
+		diags = []analysis.Diag{}
+	}
+	writeJSON(w, http.StatusOK, &LintResponse{
+		Diags:      diags,
+		Covariates: analysis.MeasureObject(ctx, obj),
+	})
+}
+
+// ---- study ---------------------------------------------------------------
+
+// StudyRequest runs the full study simulation. Seed 0 means the shipped
+// default (26); Artifact selects a single table/figure (empty = all, in
+// paper order — byte-identical to the studysim CLI).
+type StudyRequest struct {
+	Seed     int64  `json:"seed"`
+	Opt      int    `json:"opt"`
+	Artifact string `json:"artifact,omitempty"`
+}
+
+func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) {
+	var req StudyRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if _, err := parseOpt(req.Opt); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	name := strings.ToLower(req.Artifact)
+	var entry experiments.Artifact
+	if name != "" {
+		var ok bool
+		entry, ok = experiments.LookupArtifact(name)
+		if !ok {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("unknown artifact %q (valid: %s)", req.Artifact, experiments.ArtifactNames()))
+			return
+		}
+	}
+	procCtx, _, status, err := s.requestCtx(r)
+	if err != nil {
+		writeError(w, status, err)
+		return
+	}
+	if err := s.study.Acquire(r.Context()); err != nil {
+		s.fail(w, err)
+		return
+	}
+	defer s.study.Release()
+
+	// A study run is seconds of CPU — unlike batched items it is not
+	// shared, so honor client disconnects by forwarding the request
+	// context's cancellation onto the (base-derived) processing context.
+	ctx, cancel := context.WithCancel(procCtx)
+	defer cancel()
+	stop := context.AfterFunc(r.Context(), cancel)
+	defer stop()
+
+	runner, err := experiments.NewRunnerCtx(ctx, &core.Config{Seed: req.Seed, Jobs: s.opts.Jobs, OptLevel: req.Opt})
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	var out string
+	if name == "" {
+		out, err = runner.All()
+	} else {
+		out, err = entry.Render(runner, req.Seed)
+	}
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	// Raw text, exactly the bytes studysim prints — the sha256-identity
+	// contract between the service and the CLI.
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write([]byte(out))
+}

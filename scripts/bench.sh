@@ -7,6 +7,7 @@
 #	./scripts/bench.sh            # pipeline benchmark -> BENCH_pipeline.json
 #	./scripts/bench.sh kernels    # kernel benchmarks  -> BENCH_kernels.json
 #	./scripts/bench.sh opt        # optimizer bench    -> BENCH_opt.json
+#	./scripts/bench.sh serve      # serving benchmark  -> BENCH_serve.json
 #	./scripts/bench.sh all        # all of the above
 #	BENCH_TIME=50x ./scripts/bench.sh
 #
@@ -35,12 +36,32 @@
 # committed BENCH_kernels.json exists, fresh results are compared against it
 # and any kernel more than 10% slower prints a warning — a warning, not a
 # failure, because wall-clock on shared CI hosts is noisy.
+#
+# The serve JSON records the decompilation-as-a-service measurement: served
+# is started on an ephemeral port twice — once with the coalescing batcher
+# (default) and once with -no-batch per-request execution at the same
+# worker count — and cmd/loadgen replays the same closed-loop request mix
+# against each. Both full loadgen reports (rps, error counts, p50/p90/p99
+# latency per endpoint) are embedded, alongside the batched-over-unbatched
+# throughput ratio. When a committed BENCH_serve.json exists, a >10%
+# batched-p99 regression prints a warning — a warning, not a failure,
+# because wall-clock on shared CI hosts is noisy.
+#
+# Every JSON carries a "host" object (num_cpu, gomaxprocs) so throughput
+# and speedup numbers can be interpreted for the machine that produced
+# them.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 MODE="${1:-pipeline}"
 TIME="${BENCH_TIME:-10x}"
+
+# Host metadata recorded into every BENCH_*.json: runtime.NumCPU is the
+# online-processor count, and GOMAXPROCS defaults to it unless the
+# environment overrides it (go test and served inherit the same override).
+NCPU="$(getconf _NPROCESSORS_ONLN 2>/dev/null || nproc 2>/dev/null || echo 1)"
+GMP="${GOMAXPROCS:-$NCPU}"
 
 run_pipeline() {
 	OUT="${BENCH_OUT:-BENCH_pipeline.json}"
@@ -51,7 +72,7 @@ run_pipeline() {
 	RAW="$(go test -run NONE -bench 'BenchmarkPipelineParallel|BenchmarkAblationGrid' -benchtime "$TIME" .)"
 	echo "$RAW"
 
-	printf '%s\n===RAW===\n%s\n' "$PREV" "$RAW" | awk -v out="$OUT" -v benchtime="$TIME" '
+	printf '%s\n===RAW===\n%s\n' "$PREV" "$RAW" | awk -v out="$OUT" -v benchtime="$TIME" -v ncpu="$NCPU" -v gmp="$GMP" '
 	BEGIN     { n = 0; ns = 0; section = "prev"; grid_ns = ""; grid_hit = "" }
 	/^===RAW===$/ { section = "raw"; next }
 	section == "prev" {
@@ -119,6 +140,7 @@ run_pipeline() {
 		printf "  \"goos\": \"%s\",\n", goos >> out
 		printf "  \"goarch\": \"%s\",\n", goarch >> out
 		printf "  \"cpu\": \"%s\",\n", cpu >> out
+		printf "  \"host\": {\"num_cpu\": %s, \"gomaxprocs\": %s},\n", ncpu, gmp >> out
 		printf "  \"results\": [\n" >> out
 		for (i = 0; i < n; i++) {
 			comma = (i < n-1) ? "," : ""
@@ -177,7 +199,7 @@ metrics_evaluate 517488 3686
 lmm_fit 21495637 8106
 glmm_fit 277865317 866578'
 
-	printf '%s\n===PREV===\n%s\n===RAW===\n%s\n' "$BASELINE" "$PREV" "$RAW" | awk -v out="$OUT" -v benchtime="$TIME" '
+	printf '%s\n===PREV===\n%s\n===RAW===\n%s\n' "$BASELINE" "$PREV" "$RAW" | awk -v out="$OUT" -v benchtime="$TIME" -v ncpu="$NCPU" -v gmp="$GMP" '
 	BEGIN { section = "baseline"; n = 0 }
 	/^===PREV===$/ { section = "prev"; next }
 	/^===RAW===$/  { section = "raw"; next }
@@ -215,6 +237,7 @@ glmm_fit 277865317 866578'
 		printf "  \"goos\": \"%s\",\n", goos >> out
 		printf "  \"goarch\": \"%s\",\n", goarch >> out
 		printf "  \"cpu\": \"%s\",\n", cpu >> out
+		printf "  \"host\": {\"num_cpu\": %s, \"gomaxprocs\": %s},\n", ncpu, gmp >> out
 		printf "  \"baseline_note\": \"pre-optimization serial kernels, same harness and host class\",\n" >> out
 		printf "  \"kernels\": [\n" >> out
 		for (i = 0; i < n; i++) {
@@ -245,7 +268,7 @@ run_opt() {
 	RAW="$(go test -run NONE -bench 'BenchmarkOptimizer' -benchtime "$TIME" .)"
 	echo "$RAW"
 
-	echo "$RAW" | awk -v out="$OUT" -v benchtime="$TIME" '
+	echo "$RAW" | awk -v out="$OUT" -v benchtime="$TIME" -v ncpu="$NCPU" -v gmp="$GMP" '
 	BEGIN     { n = 0 }
 	/^cpu:/   { sub(/^cpu: */, ""); cpu = $0 }
 	/^goos:/  { goos = $2 }
@@ -274,6 +297,7 @@ run_opt() {
 		printf "  \"goos\": \"%s\",\n", goos >> out
 		printf "  \"goarch\": \"%s\",\n", goarch >> out
 		printf "  \"cpu\": \"%s\",\n", cpu >> out
+		printf "  \"host\": {\"num_cpu\": %s, \"gomaxprocs\": %s},\n", ncpu, gmp >> out
 		printf "  \"note\": \"ns/op covers the full corpus: SSA round-trips, per-pass verifier gates, and differential execution\",\n" >> out
 		printf "  \"levels\": [\n" >> out
 		for (i = 0; i < n; i++) {
@@ -288,17 +312,154 @@ run_opt() {
 	echo "bench.sh: wrote $OUT"
 }
 
+# serve_pass starts served on an ephemeral port with the given extra flags,
+# replays the benchmark mix against it with loadgen, writes the loadgen
+# report to $1, and shuts the server down with SIGTERM (the drain path is
+# part of what's being exercised). Uses $SERVE_TMP, $SERVE_DUR,
+# $SERVE_CONNS, $SERVE_MIX set by run_serve.
+serve_pass() {
+	rpt="$1"
+	shift
+	rm -f "$SERVE_TMP/addr"
+	"$SERVE_TMP/served" -addr 127.0.0.1:0 -addr-file "$SERVE_TMP/addr" "$@" \
+		>"$SERVE_TMP/served.out" 2>"$SERVE_TMP/served.err" &
+	spid=$!
+	saddr=""
+	for _ in $(seq 1 600); do
+		if [ -s "$SERVE_TMP/addr" ]; then
+			saddr="$(cat "$SERVE_TMP/addr")"
+			break
+		fi
+		if ! kill -0 "$spid" 2>/dev/null; then
+			echo "bench.sh: served exited before binding:" >&2
+			cat "$SERVE_TMP/served.err" >&2
+			exit 1
+		fi
+		sleep 0.1
+	done
+	if [ -z "$saddr" ]; then
+		echo "bench.sh: served never reported its bound address" >&2
+		kill "$spid" 2>/dev/null || true
+		exit 1
+	fi
+	if ! "$SERVE_TMP/loadgen" -addr "$saddr" -duration "$SERVE_DUR" \
+		-conns "$SERVE_CONNS" -mix "$SERVE_MIX" -out "$rpt" \
+		2>"$SERVE_TMP/loadgen.err"; then
+		echo "bench.sh: loadgen failed (a serving benchmark with errors is not a result):" >&2
+		cat "$SERVE_TMP/loadgen.err" >&2
+		kill -TERM "$spid" 2>/dev/null || true
+		exit 1
+	fi
+	sed 's/^/bench.sh:   /' "$SERVE_TMP/loadgen.err"
+	kill -TERM "$spid"
+	if ! wait "$spid"; then
+		echo "bench.sh: served exited non-zero after drain:" >&2
+		cat "$SERVE_TMP/served.err" >&2
+		exit 1
+	fi
+}
+
+run_serve() {
+	OUT="${BENCH_SERVE_OUT:-BENCH_serve.json}"
+	SERVE_DUR="${BENCH_SERVE_DURATION:-5s}"
+	# The default mix is the two batcher-served endpoints: decompile and
+	# lint take the identical per-request pipeline path in both modes, so
+	# including them only dilutes the quantity being measured (check.sh
+	# serve smokes the full mix instead). 32 closed-loop connections give
+	# the batcher real coalescing pressure even on small hosts.
+	SERVE_CONNS="${BENCH_SERVE_CONNS:-32}"
+	SERVE_MIX="${BENCH_SERVE_MIX:-annotate=2,metrics=1}"
+	PREV_P99=""
+	if [ -f "$OUT" ]; then
+		PREV_P99="$(sed -n 's/.*"batched_p99_ms": \([0-9.]*\).*/\1/p' "$OUT" | head -n 1)"
+	fi
+
+	SERVE_TMP="$(mktemp -d)"
+	go build -o "$SERVE_TMP/served" ./cmd/served
+	go build -o "$SERVE_TMP/loadgen" ./cmd/loadgen
+
+	# Both passes run closed-loop at the same -conns and the same served
+	# -jobs (the default, GOMAXPROCS): the only difference is the coalescing
+	# batcher vs per-request execution, so the throughput ratio isolates
+	# what batching buys.
+	echo "bench.sh: serve pass 1/2: batched (conns=$SERVE_CONNS, $SERVE_DUR)"
+	serve_pass "$SERVE_TMP/batched.json"
+	echo "bench.sh: serve pass 2/2: -no-batch (conns=$SERVE_CONNS, $SERVE_DUR)"
+	serve_pass "$SERVE_TMP/unbatched.json" -no-batch
+
+	# The overall latency block precedes the per-endpoint map in the loadgen
+	# report, so the first match of each key is the aggregate value.
+	brps="$(sed -n 's/.*"rps_achieved": \([0-9.]*\).*/\1/p' "$SERVE_TMP/batched.json" | head -n 1)"
+	urps="$(sed -n 's/.*"rps_achieved": \([0-9.]*\).*/\1/p' "$SERVE_TMP/unbatched.json" | head -n 1)"
+	bp99="$(sed -n 's/.*"p99_ms": \([0-9.]*\).*/\1/p' "$SERVE_TMP/batched.json" | head -n 1)"
+	up99="$(sed -n 's/.*"p99_ms": \([0-9.]*\).*/\1/p' "$SERVE_TMP/unbatched.json" | head -n 1)"
+
+	{
+		cat "$SERVE_TMP/batched.json"
+		echo "===SEP==="
+		cat "$SERVE_TMP/unbatched.json"
+	} | awk -v out="$OUT" -v dur="$SERVE_DUR" -v conns="$SERVE_CONNS" \
+		-v mix="$SERVE_MIX" -v ncpu="$NCPU" -v gmp="$GMP" \
+		-v brps="$brps" -v urps="$urps" -v bp99="$bp99" -v up99="$up99" \
+		-v prev_p99="$PREV_P99" '
+	BEGIN { section = "b"; nb = 0; nu = 0 }
+	/^===SEP===$/ { section = "u"; next }
+	{ if (section == "b") b[nb++] = $0; else u[nu++] = $0 }
+	END {
+		if (nb == 0 || nu == 0 || urps + 0 == 0) {
+			print "bench.sh: missing loadgen reports" > "/dev/stderr"
+			exit 1
+		}
+		ratio = brps / urps
+		printf "{\n" > out
+		printf "  \"benchmark\": \"serve_loadgen\",\n" >> out
+		printf "  \"duration\": \"%s\",\n", dur >> out
+		printf "  \"conns\": %s,\n", conns >> out
+		printf "  \"mix\": \"%s\",\n", mix >> out
+		printf "  \"host\": {\"num_cpu\": %s, \"gomaxprocs\": %s},\n", ncpu, gmp >> out
+		printf "  \"batched_rps\": %s,\n", brps >> out
+		printf "  \"unbatched_rps\": %s,\n", urps >> out
+		printf "  \"throughput_ratio\": %.2f,\n", ratio >> out
+		printf "  \"batched_p99_ms\": %s,\n", bp99 >> out
+		printf "  \"unbatched_p99_ms\": %s,\n", up99 >> out
+		printf "  \"batched\": %s\n", b[0] >> out
+		for (i = 1; i < nb - 1; i++) printf "  %s\n", b[i] >> out
+		printf "  %s,\n", b[nb-1] >> out
+		printf "  \"unbatched\": %s\n", u[0] >> out
+		for (i = 1; i < nu - 1; i++) printf "  %s\n", u[i] >> out
+		printf "  %s\n", u[nu-1] >> out
+		printf "}\n" >> out
+		printf "bench.sh: batched %.0f rps vs unbatched %.0f rps -> %.2fx throughput\n", brps, urps, ratio
+		printf "bench.sh: p99 batched %s ms, unbatched %s ms\n", bp99, up99
+		if (ratio < 2.0)
+			printf "bench.sh: WARNING: batched throughput ratio %.2fx is below the 2x target\n", ratio
+		# Regression gate against the committed file; warn, do not fail,
+		# on >10% batched-p99 regression (shared CI hosts are noisy).
+		if (prev_p99 != "" && prev_p99 + 0 > 0) {
+			delta = (bp99 - prev_p99) / prev_p99 * 100
+			printf "bench.sh: batched p99 %s ms (committed %s ms, %+.1f%%)\n", bp99, prev_p99, delta
+			if (delta > 10)
+				printf "bench.sh: WARNING: batched p99 regressed %.1f%% vs committed results\n", delta
+		}
+	}
+	'
+	rm -rf "$SERVE_TMP"
+	echo "bench.sh: wrote $OUT"
+}
+
 case "$MODE" in
 pipeline) run_pipeline ;;
 kernels) run_kernels ;;
 opt) run_opt ;;
+serve) run_serve ;;
 all)
 	run_pipeline
 	run_kernels
 	run_opt
+	run_serve
 	;;
 *)
-	echo "usage: $0 [pipeline|kernels|opt|all]" >&2
+	echo "usage: $0 [pipeline|kernels|opt|serve|all]" >&2
 	exit 2
 	;;
 esac

@@ -18,6 +18,16 @@
 # mid-run and must answer 200 with a parseable payload, and the run's
 # stdout must hash identical to a clean run's.
 #
+# `check.sh serve` instead runs only the serving gate: the serve package's
+# batcher/admission/e2e suites and the modelstore storm test under -race,
+# then a live smoke — served is started on an ephemeral port, /healthz is
+# polled, a short loadgen run over the full endpoint mix must finish with
+# zero errors, /debug/metrics must expose the serve.request series, a
+# /v1/study response must hash byte-identical to the studysim CLI at seed
+# 26, and SIGTERM must drain cleanly. The smoke (without the -race test
+# pass, which the default gate already runs) also runs as part of the
+# default gate.
+#
 # `check.sh store` instead runs only the model-store gate: the store's
 # single-flight/disk/fault tests plus the streaming determinism matrix and
 # model marshal round-trips under the race detector, then a studysim
@@ -70,6 +80,111 @@ store_identity_sweep() {
 	echo "   cache dir persisted both models"
 	rm -rf "$sweep_tmp"
 }
+
+# serve_smoke builds served and loadgen, boots the server on an ephemeral
+# port, and proves the serving path end to end: a zero-error loadgen run
+# over the full endpoint mix, the serve.request series on /debug/metrics,
+# /v1/study bytes identical to the studysim CLI at seed 26, and a clean
+# SIGTERM drain.
+serve_smoke() {
+	smoke_tmp="$(mktemp -d)"
+	go build -o "$smoke_tmp/served" ./cmd/served
+	go build -o "$smoke_tmp/loadgen" ./cmd/loadgen
+	go build -o "$smoke_tmp/studysim" ./cmd/studysim
+
+	"$smoke_tmp/served" -addr 127.0.0.1:0 -addr-file "$smoke_tmp/addr" \
+		>"$smoke_tmp/served.out" 2>"$smoke_tmp/served.err" &
+	spid=$!
+	addr=""
+	for _ in $(seq 1 600); do
+		if [ -s "$smoke_tmp/addr" ]; then
+			addr="$(cat "$smoke_tmp/addr")"
+			break
+		fi
+		if ! kill -0 "$spid" 2>/dev/null; then
+			echo "serve: served exited before binding:"
+			cat "$smoke_tmp/served.err"
+			rm -rf "$smoke_tmp"
+			exit 1
+		fi
+		sleep 0.1
+	done
+	if [ -z "$addr" ]; then
+		echo "serve: served never wrote its bound address"
+		kill "$spid" 2>/dev/null || true
+		rm -rf "$smoke_tmp"
+		exit 1
+	fi
+	echo "   served at $addr"
+
+	code="$(curl -s -o /dev/null -w '%{http_code}' "http://$addr/healthz")"
+	if [ "$code" != "200" ]; then
+		echo "serve: /healthz -> HTTP $code, want 200"
+		kill "$spid" 2>/dev/null || true
+		rm -rf "$smoke_tmp"
+		exit 1
+	fi
+
+	# The smoke covers every pipeline endpoint; loadgen exits non-zero if
+	# any request errors, times out, or returns a truncated body.
+	if ! "$smoke_tmp/loadgen" -addr "$addr" -duration 2s -conns 4 \
+		-mix 'annotate=4,metrics=2,decompile=2,lint=1' \
+		-out "$smoke_tmp/loadgen.json" 2>"$smoke_tmp/loadgen.err"; then
+		echo "serve: loadgen smoke failed:"
+		cat "$smoke_tmp/loadgen.err"
+		kill "$spid" 2>/dev/null || true
+		rm -rf "$smoke_tmp"
+		exit 1
+	fi
+	if ! grep -q '"errors": 0,' "$smoke_tmp/loadgen.json"; then
+		echo "serve: loadgen reported errors:"
+		cat "$smoke_tmp/loadgen.json"
+		kill "$spid" 2>/dev/null || true
+		rm -rf "$smoke_tmp"
+		exit 1
+	fi
+	echo "   loadgen smoke: $(sed -n 's/.*"requests": \([0-9]*\),.*/\1/p' "$smoke_tmp/loadgen.json" | head -n 1) requests, 0 errors"
+
+	if ! curl -s "http://$addr/debug/metrics?format=json" | grep -q 'serve.request'; then
+		echo "serve: /debug/metrics is missing the serve.request series"
+		kill "$spid" 2>/dev/null || true
+		rm -rf "$smoke_tmp"
+		exit 1
+	fi
+	echo "   /debug/metrics exposes serve.request"
+
+	# Serving a study must not change a single byte vs the CLI.
+	cli_sum="$("$smoke_tmp/studysim" -seed 26 2>/dev/null | sha256sum | cut -d' ' -f1)"
+	srv_sum="$(curl -s -X POST -d '{"seed": 26}' "http://$addr/v1/study" | sha256sum | cut -d' ' -f1)"
+	if [ "$cli_sum" != "$srv_sum" ]; then
+		echo "serve: /v1/study diverged from the studysim CLI at seed 26:"
+		echo "  cli:    $cli_sum"
+		echo "  served: $srv_sum"
+		kill "$spid" 2>/dev/null || true
+		rm -rf "$smoke_tmp"
+		exit 1
+	fi
+	echo "   /v1/study byte-identical to studysim ($cli_sum)"
+
+	kill -TERM "$spid"
+	if ! wait "$spid"; then
+		echo "serve: served exited non-zero on SIGTERM drain:"
+		cat "$smoke_tmp/served.err"
+		rm -rf "$smoke_tmp"
+		exit 1
+	fi
+	echo "   SIGTERM drained cleanly"
+	rm -rf "$smoke_tmp"
+}
+
+if [ "${1:-}" = "serve" ]; then
+	echo "== serve (batcher/admission/e2e suites + live smoke, -race)"
+	go test -race -count=1 ./internal/serve/
+	go test -race -count=1 -run 'Storm' ./internal/modelstore/
+	serve_smoke
+	echo "OK"
+	exit 0
+fi
 
 if [ "${1:-}" = "chaos" ]; then
 	echo "== chaos (fault-plan sweep + error-path contracts, -race)"
@@ -241,6 +356,9 @@ go test -race ./...
 
 echo "== model store identity"
 store_identity_sweep
+
+echo "== serve smoke"
+serve_smoke
 
 # Opt-in benchmark run: RUN_BENCH=1 ./scripts/check.sh additionally
 # records the parallel-pipeline measurements in BENCH_pipeline.json.
